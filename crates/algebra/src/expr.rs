@@ -1,0 +1,303 @@
+//! Algebra expression trees.
+//!
+//! A small logical algebra over named NF² relations, evaluated against an
+//! [`Env`]. This is the layer the query language (`nf2-query`) plans
+//! into, and a convenient way to compose the §3.3 operators
+//! programmatically.
+
+use std::collections::HashMap;
+
+use nf2_core::error::{NfError, Result};
+use nf2_core::relation::NfRelation;
+use nf2_core::schema::NestOrder;
+use nf2_core::tuple::ValueSet;
+use nf2_core::value::Atom;
+
+use crate::ops;
+
+/// A named-relation environment for evaluation.
+#[derive(Debug, Default, Clone)]
+pub struct Env {
+    rels: HashMap<String, NfRelation>,
+}
+
+impl Env {
+    /// An empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a relation under `name`.
+    pub fn insert(&mut self, name: impl Into<String>, rel: NfRelation) {
+        self.rels.insert(name.into(), rel);
+    }
+
+    /// Looks up a relation.
+    pub fn get(&self, name: &str) -> Result<&NfRelation> {
+        self.rels
+            .get(name)
+            .ok_or_else(|| NfError::UnknownAttribute(format!("relation {name}")))
+    }
+
+    /// Registered relation names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.rels.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+/// A logical algebra expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A base relation by name.
+    Rel(String),
+    /// Per-attribute membership selection ([`ops::select_box`]).
+    SelectBox {
+        /// Input expression.
+        input: Box<Expr>,
+        /// `(attribute name, allowed values)` conjuncts.
+        constraints: Vec<(String, Vec<Atom>)>,
+    },
+    /// Projection with duplicate elimination on `R*` ([`ops::project`]).
+    Project {
+        /// Input expression.
+        input: Box<Expr>,
+        /// Kept attribute names, in output order.
+        attrs: Vec<String>,
+    },
+    /// Set union on `R*`.
+    Union(Box<Expr>, Box<Expr>),
+    /// Set difference on `R*`.
+    Difference(Box<Expr>, Box<Expr>),
+    /// Set intersection on `R*`.
+    Intersect(Box<Expr>, Box<Expr>),
+    /// Natural join on shared attribute names.
+    Join(Box<Expr>, Box<Expr>),
+    /// NEST over one attribute (Def. 4).
+    Nest {
+        /// Input expression.
+        input: Box<Expr>,
+        /// Attribute to nest on.
+        attr: String,
+    },
+    /// UNNEST over one attribute.
+    Unnest {
+        /// Input expression.
+        input: Box<Expr>,
+        /// Attribute to unnest.
+        attr: String,
+    },
+    /// Full canonicalization `ν_P` (Def. 5) with the named application
+    /// order.
+    Canonicalize {
+        /// Input expression.
+        input: Box<Expr>,
+        /// Attribute names in nest application order.
+        order: Vec<String>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a base relation.
+    pub fn rel(name: impl Into<String>) -> Expr {
+        Expr::Rel(name.into())
+    }
+
+    /// Evaluates the expression against `env`.
+    pub fn eval(&self, env: &Env) -> Result<NfRelation> {
+        match self {
+            Expr::Rel(name) => env.get(name).cloned(),
+            Expr::SelectBox { input, constraints } => {
+                let rel = input.eval(env)?;
+                let resolved = constraints
+                    .iter()
+                    .map(|(name, values)| {
+                        let attr = rel.schema().attr_id(name)?;
+                        let set = ValueSet::new(values.clone())
+                            .ok_or(NfError::EmptyValueSet { attr })?;
+                        Ok((attr, set))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                ops::select_box(&rel, &resolved)
+            }
+            Expr::Project { input, attrs } => {
+                let rel = input.eval(env)?;
+                let ids = attrs
+                    .iter()
+                    .map(|n| rel.schema().attr_id(n))
+                    .collect::<Result<Vec<_>>>()?;
+                ops::project(&rel, &ids, &NestOrder::identity(ids.len()))
+            }
+            Expr::Union(l, r) => {
+                let (l, r) = (l.eval(env)?, r.eval(env)?);
+                let order = NestOrder::identity(l.arity());
+                ops::union(&l, &r, &order)
+            }
+            Expr::Difference(l, r) => {
+                let (l, r) = (l.eval(env)?, r.eval(env)?);
+                let order = NestOrder::identity(l.arity());
+                ops::difference(&l, &r, &order)
+            }
+            Expr::Intersect(l, r) => {
+                let (l, r) = (l.eval(env)?, r.eval(env)?);
+                ops::intersect(&l, &r)
+            }
+            Expr::Join(l, r) => {
+                let (l, r) = (l.eval(env)?, r.eval(env)?);
+                ops::natural_join(&l, &r)
+            }
+            Expr::Nest { input, attr } => {
+                let rel = input.eval(env)?;
+                let id = rel.schema().attr_id(attr)?;
+                Ok(ops::nest(&rel, id))
+            }
+            Expr::Unnest { input, attr } => {
+                let rel = input.eval(env)?;
+                let id = rel.schema().attr_id(attr)?;
+                Ok(ops::unnest(&rel, id))
+            }
+            Expr::Canonicalize { input, order } => {
+                let rel = input.eval(env)?;
+                let names: Vec<&str> = order.iter().map(String::as_str).collect();
+                let order = NestOrder::from_names(rel.schema(), &names)?;
+                Ok(nf2_core::nest::canonicalize(&rel, &order))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Expr {
+    /// Compact algebra notation, e.g. `π[Course](σ[Student∈{…}](sc))` —
+    /// used by EXPLAIN output and optimizer traces.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Rel(name) => write!(f, "{name}"),
+            Expr::SelectBox { input, constraints } => {
+                write!(f, "σ[")?;
+                for (i, (attr, values)) in constraints.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    let vals: Vec<String> = values.iter().map(|a| a.to_string()).collect();
+                    write!(f, "{attr}∈{{{}}}", vals.join(","))?;
+                }
+                write!(f, "]({input})")
+            }
+            Expr::Project { input, attrs } => write!(f, "π[{}]({input})", attrs.join(",")),
+            Expr::Union(l, r) => write!(f, "({l} ∪ {r})"),
+            Expr::Difference(l, r) => write!(f, "({l} − {r})"),
+            Expr::Intersect(l, r) => write!(f, "({l} ∩ {r})"),
+            Expr::Join(l, r) => write!(f, "({l} ⋈ {r})"),
+            Expr::Nest { input, attr } => write!(f, "ν[{attr}]({input})"),
+            Expr::Unnest { input, attr } => write!(f, "μ[{attr}]({input})"),
+            Expr::Canonicalize { input, order } => {
+                write!(f, "ν[{}]({input})", order.join("→"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf2_core::relation::FlatRelation;
+    use nf2_core::schema::Schema;
+
+    fn env_with_sc() -> Env {
+        let schema = Schema::new("SC", &["Student", "Course"]).unwrap();
+        let flat = FlatRelation::from_rows(
+            schema,
+            vec![
+                vec![Atom(1), Atom(10)],
+                vec![Atom(1), Atom(11)],
+                vec![Atom(2), Atom(10)],
+            ],
+        )
+        .unwrap();
+        let mut env = Env::new();
+        env.insert("sc", NfRelation::from_flat(&flat));
+        env
+    }
+
+    #[test]
+    fn env_lookup() {
+        let env = env_with_sc();
+        assert!(env.get("sc").is_ok());
+        assert!(env.get("missing").is_err());
+        assert_eq!(env.names(), vec!["sc"]);
+    }
+
+    #[test]
+    fn eval_select_project_pipeline() {
+        let env = env_with_sc();
+        let expr = Expr::Project {
+            input: Box::new(Expr::SelectBox {
+                input: Box::new(Expr::rel("sc")),
+                constraints: vec![("Student".into(), vec![Atom(1)])],
+            }),
+            attrs: vec!["Course".into()],
+        };
+        let out = expr.eval(&env).unwrap();
+        assert_eq!(out.expand().len(), 2);
+        assert_eq!(out.schema().attr_names().collect::<Vec<_>>(), vec!["Course"]);
+    }
+
+    #[test]
+    fn eval_nest_then_unnest_round_trips() {
+        let env = env_with_sc();
+        let nested = Expr::Nest { input: Box::new(Expr::rel("sc")), attr: "Student".into() };
+        let round = Expr::Unnest { input: Box::new(nested.clone()), attr: "Student".into() };
+        let base = env.get("sc").unwrap().expand();
+        assert_eq!(round.eval(&env).unwrap().expand(), base);
+        assert!(nested.eval(&env).unwrap().tuple_count() < 3);
+    }
+
+    #[test]
+    fn eval_canonicalize_by_names() {
+        let env = env_with_sc();
+        let expr = Expr::Canonicalize {
+            input: Box::new(Expr::rel("sc")),
+            order: vec!["Student".into(), "Course".into()],
+        };
+        let out = expr.eval(&env).unwrap();
+        assert!(nf2_core::nest::is_canonical(
+            &out,
+            &NestOrder::identity(2)
+        ));
+    }
+
+    #[test]
+    fn eval_unknown_attr_errors() {
+        let env = env_with_sc();
+        let expr = Expr::Nest { input: Box::new(Expr::rel("sc")), attr: "Nope".into() };
+        assert!(expr.eval(&env).is_err());
+    }
+
+    #[test]
+    fn eval_set_operators() {
+        let env = env_with_sc();
+        let u = Expr::Union(Box::new(Expr::rel("sc")), Box::new(Expr::rel("sc")));
+        assert_eq!(u.eval(&env).unwrap().expand().len(), 3);
+        let d = Expr::Difference(Box::new(Expr::rel("sc")), Box::new(Expr::rel("sc")));
+        assert!(d.eval(&env).unwrap().is_empty());
+        let i = Expr::Intersect(Box::new(Expr::rel("sc")), Box::new(Expr::rel("sc")));
+        assert_eq!(i.eval(&env).unwrap().expand().len(), 3);
+    }
+
+    #[test]
+    fn eval_join_via_expr() {
+        let mut env = env_with_sc();
+        let cp_schema = Schema::new("CP", &["Course", "Prereq"]).unwrap();
+        let cp = FlatRelation::from_rows(
+            cp_schema,
+            vec![vec![Atom(10), Atom(90)], vec![Atom(11), Atom(91)]],
+        )
+        .unwrap();
+        env.insert("cp", NfRelation::from_flat(&cp));
+        let j = Expr::Join(Box::new(Expr::rel("sc")), Box::new(Expr::rel("cp")));
+        let out = j.eval(&env).unwrap();
+        assert_eq!(out.expand().len(), 3);
+        assert_eq!(out.arity(), 3);
+    }
+}

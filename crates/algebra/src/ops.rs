@@ -1,0 +1,417 @@
+//! NF² relational algebra operators.
+//!
+//! The paper builds on the Jaeschke–Schek algebra of NF² relations
+//! (reference [7]): ordinary relational operators extended with NEST and
+//! UNNEST. Every operator here is defined by its effect on the underlying
+//! 1NF relation `R*` (the realization view), with fast tuple-level
+//! ("rectangle") implementations used whenever they provably preserve the
+//! partition invariant:
+//!
+//! * selection by per-attribute value sets intersects rectangles directly;
+//! * projection uses tuple-level projection when the kept attributes are
+//!   *fixed* (Def. 7) — fixedness is exactly pairwise disjointness of the
+//!   projections — and falls back to expansion otherwise;
+//! * natural join intersects shared components pairwise (disjointness of
+//!   the inputs carries over to the output);
+//! * union/difference/intersection work on `R*` and re-nest.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use nf2_core::error::{NfError, Result};
+use nf2_core::nest::canonical_of_flat;
+use nf2_core::properties::is_fixed_on;
+use nf2_core::relation::{FlatRelation, NfRelation};
+use nf2_core::schema::{AttrId, NestOrder, Schema};
+use nf2_core::tuple::{FlatTuple, NfTuple, ValueSet};
+use nf2_core::value::Atom;
+
+/// Re-exported relation-level NEST (Def. 4) for algebra users.
+pub use nf2_core::nest::nest;
+/// Re-exported relation-level UNNEST for algebra users.
+pub use nf2_core::nest::unnest;
+
+/// Selection by per-attribute membership: keeps the flat tuples whose
+/// `attr` value lies in the given set, for every listed constraint.
+///
+/// Implemented by intersecting each rectangle with the constraint box —
+/// the intersection of disjoint rectangles stays disjoint, so no
+/// re-nesting is needed.
+pub fn select_box(rel: &NfRelation, constraints: &[(AttrId, ValueSet)]) -> Result<NfRelation> {
+    for (attr, _) in constraints {
+        if *attr >= rel.arity() {
+            return Err(NfError::AttrOutOfBounds { attr: *attr, arity: rel.arity() });
+        }
+    }
+    let mut tuples = Vec::new();
+    'tuple: for t in rel.tuples() {
+        let mut out = t.clone();
+        for (attr, set) in constraints {
+            match out.component(*attr).intersection(set) {
+                Some(reduced) => out = out.with_component(*attr, reduced),
+                None => continue 'tuple,
+            }
+        }
+        tuples.push(out);
+    }
+    NfRelation::from_tuples(rel.schema().clone(), tuples)
+}
+
+/// Selection by an arbitrary predicate over flat tuples (realization-view
+/// semantics): expands, filters, and re-nests with `order`.
+pub fn select_where<F>(rel: &NfRelation, pred: F, order: &NestOrder) -> NfRelation
+where
+    F: Fn(&[Atom]) -> bool,
+{
+    let flat = rel.expand();
+    let mut kept = FlatRelation::new(rel.schema().clone());
+    for row in flat.rows() {
+        if pred(row) {
+            kept.insert(row.clone()).expect("row arity matches schema");
+        }
+    }
+    canonical_of_flat(&kept, order)
+}
+
+/// Builds the schema of a projection.
+fn project_schema(schema: &Schema, attrs: &[AttrId]) -> Result<Arc<Schema>> {
+    let names = attrs
+        .iter()
+        .map(|&a| schema.attr_name(a))
+        .collect::<Result<Vec<_>>>()?;
+    Schema::new(format!("{}_proj", schema.name()), &names)
+}
+
+/// Projection onto `attrs` (duplicates eliminated on `R*`, as in 1NF
+/// algebra).
+///
+/// When the relation is fixed on `attrs` (Def. 7) the projections of
+/// distinct tuples are pairwise disjoint, so tuple-level projection is
+/// sound and no expansion happens — the paper's fixedness notion doing
+/// real optimizer work. Otherwise the projection is computed on `R*` and
+/// re-nested with `order`.
+pub fn project(rel: &NfRelation, attrs: &[AttrId], order: &NestOrder) -> Result<NfRelation> {
+    let schema = project_schema(rel.schema(), attrs)?;
+    if order.arity() != attrs.len() {
+        return Err(NfError::InvalidNestOrder(format!(
+            "projection keeps {} attributes but order covers {}",
+            attrs.len(),
+            order.arity()
+        )));
+    }
+    if is_fixed_on(rel, attrs) {
+        // Fast path: componentwise projection of each rectangle.
+        let mut tuples: Vec<NfTuple> = rel
+            .tuples()
+            .iter()
+            .map(|t| NfTuple::new(attrs.iter().map(|&a| t.component(a).clone()).collect()))
+            .collect();
+        tuples.sort();
+        tuples.dedup();
+        return NfRelation::from_tuples(schema, tuples);
+    }
+    let mut rows: BTreeSet<FlatTuple> = BTreeSet::new();
+    for t in rel.tuples() {
+        for row in t.expand() {
+            rows.insert(attrs.iter().map(|&a| row[a]).collect());
+        }
+    }
+    let flat = FlatRelation::from_rows(schema, rows)?;
+    Ok(canonical_of_flat(&flat, order))
+}
+
+fn require_compatible(left: &NfRelation, right: &NfRelation) -> Result<()> {
+    if !left.schema().compatible_with(right.schema()) {
+        return Err(NfError::SchemaMismatch {
+            left: left.schema().to_string(),
+            right: right.schema().to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Set union on `R*`, re-nested with `order`.
+pub fn union(left: &NfRelation, right: &NfRelation, order: &NestOrder) -> Result<NfRelation> {
+    require_compatible(left, right)?;
+    let mut rows = left.expand().into_rows();
+    rows.extend(right.expand().into_rows());
+    let flat = FlatRelation::from_rows(left.schema().clone(), rows)?;
+    Ok(canonical_of_flat(&flat, order))
+}
+
+/// Set difference `left* − right*`, re-nested with `order`.
+pub fn difference(left: &NfRelation, right: &NfRelation, order: &NestOrder) -> Result<NfRelation> {
+    require_compatible(left, right)?;
+    let right_rows = right.expand().into_rows();
+    let rows: BTreeSet<FlatTuple> = left
+        .expand()
+        .into_rows()
+        .into_iter()
+        .filter(|r| !right_rows.contains(r))
+        .collect();
+    let flat = FlatRelation::from_rows(left.schema().clone(), rows)?;
+    Ok(canonical_of_flat(&flat, order))
+}
+
+/// Set intersection on `R*`.
+///
+/// Computed tuple-level: the intersection of two rectangles is a
+/// rectangle, and intersections inherit disjointness from the left input.
+pub fn intersect(left: &NfRelation, right: &NfRelation) -> Result<NfRelation> {
+    require_compatible(left, right)?;
+    let mut tuples = Vec::new();
+    for l in left.tuples() {
+        for r in right.tuples() {
+            let mut comps = Vec::with_capacity(l.arity());
+            let mut ok = true;
+            for a in 0..l.arity() {
+                match l.component(a).intersection(r.component(a)) {
+                    Some(c) => comps.push(c),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                tuples.push(NfTuple::new(comps));
+            }
+        }
+    }
+    NfRelation::from_tuples(left.schema().clone(), tuples)
+}
+
+/// Natural join on shared attribute *names*.
+///
+/// Output schema: all of `left`'s attributes followed by `right`'s
+/// non-shared attributes. Tuple-level: for each pair of rectangles,
+/// intersect the shared components; if none is empty, emit the combined
+/// rectangle. Disjointness of the inputs implies disjointness of the
+/// output, so the result is a valid NFR without re-nesting.
+pub fn natural_join(left: &NfRelation, right: &NfRelation) -> Result<NfRelation> {
+    let lschema = left.schema();
+    let rschema = right.schema();
+    // Map of right attr -> left attr for shared names; list of right-only attrs.
+    let mut shared: Vec<(AttrId, AttrId)> = Vec::new(); // (right, left)
+    let mut right_only: Vec<AttrId> = Vec::new();
+    for (r_id, r_name) in rschema.attr_names().enumerate() {
+        match lschema.attr_id(r_name) {
+            Ok(l_id) => shared.push((r_id, l_id)),
+            Err(_) => right_only.push(r_id),
+        }
+    }
+    let mut names: Vec<&str> = lschema.attr_names().collect();
+    let right_names: Vec<&str> = rschema.attr_names().collect();
+    for &r_id in &right_only {
+        names.push(right_names[r_id]);
+    }
+    let schema = Schema::new(
+        format!("{}_join_{}", lschema.name(), rschema.name()),
+        &names,
+    )?;
+
+    let mut tuples = Vec::new();
+    for l in left.tuples() {
+        'pair: for r in right.tuples() {
+            let mut comps: Vec<ValueSet> = l.components().to_vec();
+            for &(r_id, l_id) in &shared {
+                match comps[l_id].intersection(r.component(r_id)) {
+                    Some(c) => comps[l_id] = c,
+                    None => continue 'pair,
+                }
+            }
+            for &r_id in &right_only {
+                comps.push(r.component(r_id).clone());
+            }
+            tuples.push(NfTuple::new(comps));
+        }
+    }
+    NfRelation::from_tuples(schema, tuples)
+}
+
+/// Cartesian product — natural join of relations with disjoint attribute
+/// names.
+pub fn product(left: &NfRelation, right: &NfRelation) -> Result<NfRelation> {
+    for name in right.schema().attr_names() {
+        if left.schema().attr_id(name).is_ok() {
+            return Err(NfError::SchemaMismatch {
+                left: left.schema().to_string(),
+                right: format!("{} (shares attribute {name})", right.schema()),
+            });
+        }
+    }
+    natural_join(left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema(name: &str, attrs: &[&str]) -> Arc<Schema> {
+        Schema::new(name, attrs).unwrap()
+    }
+
+    fn vs(ids: &[u32]) -> ValueSet {
+        ValueSet::new(ids.iter().map(|&i| Atom(i)).collect()).unwrap()
+    }
+
+    fn t(comps: &[&[u32]]) -> NfTuple {
+        NfTuple::new(comps.iter().map(|c| vs(c)).collect())
+    }
+
+    fn rel(s: Arc<Schema>, tuples: Vec<NfTuple>) -> NfRelation {
+        NfRelation::from_tuples(s, tuples).unwrap()
+    }
+
+    fn flat_of(rel: &NfRelation) -> BTreeSet<FlatTuple> {
+        rel.expand().into_rows()
+    }
+
+    #[test]
+    fn select_box_intersects_rectangles() {
+        let r = rel(
+            schema("R", &["A", "B"]),
+            vec![t(&[&[1, 2], &[10, 11]]), t(&[&[3], &[10]])],
+        );
+        let sel = select_box(&r, &[(0, vs(&[2, 3]))]).unwrap();
+        assert_eq!(
+            flat_of(&sel),
+            BTreeSet::from([vec![Atom(2), Atom(10)], vec![Atom(2), Atom(11)], vec![Atom(3), Atom(10)]])
+        );
+    }
+
+    #[test]
+    fn select_box_drops_empty_tuples() {
+        let r = rel(schema("R", &["A", "B"]), vec![t(&[&[1], &[10]])]);
+        let sel = select_box(&r, &[(0, vs(&[9]))]).unwrap();
+        assert!(sel.is_empty());
+        assert!(select_box(&r, &[(7, vs(&[1]))]).is_err());
+    }
+
+    #[test]
+    fn select_where_matches_flat_semantics() {
+        let r = rel(
+            schema("R", &["A", "B"]),
+            vec![t(&[&[1, 2], &[10, 11]])],
+        );
+        let sel = select_where(&r, |row| row[0] == Atom(1) || row[1] == Atom(11), &NestOrder::identity(2));
+        assert_eq!(sel.expand().len(), 3);
+        assert!(sel.validate().is_ok());
+    }
+
+    #[test]
+    fn project_fixed_fast_path() {
+        // Fixed on {B}: B-sets disjoint — tuple-level projection sound.
+        let r = rel(
+            schema("R", &["A", "B"]),
+            vec![t(&[&[1, 2], &[10]]), t(&[&[2, 3], &[11]])],
+        );
+        assert!(is_fixed_on(&r, &[1]));
+        let p = project(&r, &[1], &NestOrder::identity(1)).unwrap();
+        assert_eq!(p.tuple_count(), 2);
+        assert_eq!(
+            flat_of(&p),
+            BTreeSet::from([vec![Atom(10)], vec![Atom(11)]])
+        );
+    }
+
+    #[test]
+    fn project_unfixed_falls_back_to_expansion() {
+        // Not fixed on {A}: a2 in both tuples; expansion dedup needed.
+        let r = rel(
+            schema("R", &["A", "B"]),
+            vec![t(&[&[1, 2], &[10]]), t(&[&[2, 3], &[11]])],
+        );
+        assert!(!is_fixed_on(&r, &[0]));
+        let p = project(&r, &[0], &NestOrder::identity(1)).unwrap();
+        assert_eq!(
+            flat_of(&p),
+            BTreeSet::from([vec![Atom(1)], vec![Atom(2)], vec![Atom(3)]])
+        );
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn project_reorders_attributes() {
+        let r = rel(schema("R", &["A", "B"]), vec![t(&[&[1], &[10]])]);
+        let p = project(&r, &[1, 0], &NestOrder::identity(2)).unwrap();
+        assert_eq!(p.schema().attr_names().collect::<Vec<_>>(), vec!["B", "A"]);
+        assert_eq!(flat_of(&p), BTreeSet::from([vec![Atom(10), Atom(1)]]));
+    }
+
+    #[test]
+    fn union_difference_intersect_flat_semantics() {
+        let s = schema("R", &["A", "B"]);
+        let l = rel(s.clone(), vec![t(&[&[1, 2], &[10]])]);
+        let r = rel(
+            schema("S", &["A", "B"]),
+            vec![t(&[&[2, 3], &[10]])],
+        );
+        let order = NestOrder::identity(2);
+        let u = union(&l, &r, &order).unwrap();
+        assert_eq!(u.expand().len(), 3);
+        let d = difference(&l, &r, &order).unwrap();
+        assert_eq!(flat_of(&d), BTreeSet::from([vec![Atom(1), Atom(10)]]));
+        let i = intersect(&l, &r).unwrap();
+        assert_eq!(flat_of(&i), BTreeSet::from([vec![Atom(2), Atom(10)]]));
+    }
+
+    #[test]
+    fn set_ops_reject_incompatible_schemas() {
+        let l = rel(schema("R", &["A", "B"]), vec![]);
+        let r = rel(schema("S", &["A", "C"]), vec![]);
+        let order = NestOrder::identity(2);
+        assert!(union(&l, &r, &order).is_err());
+        assert!(difference(&l, &r, &order).is_err());
+        assert!(intersect(&l, &r).is_err());
+    }
+
+    #[test]
+    fn natural_join_matches_flat_join() {
+        // SC(Student, Course) ⋈ CP(Course, Prereq).
+        let sc = rel(
+            schema("SC", &["Student", "Course"]),
+            vec![t(&[&[1], &[10, 11]]), t(&[&[2], &[11]])],
+        );
+        let cp = rel(
+            schema("CP", &["Course", "Prereq"]),
+            vec![t(&[&[10], &[90]]), t(&[&[11], &[91, 92]])],
+        );
+        let j = natural_join(&sc, &cp).unwrap();
+        assert_eq!(
+            j.schema().attr_names().collect::<Vec<_>>(),
+            vec!["Student", "Course", "Prereq"]
+        );
+        // Flat check: (1,10,90), (1,11,91), (1,11,92), (2,11,91), (2,11,92).
+        assert_eq!(j.expand().len(), 5);
+        assert!(j.validate().is_ok());
+    }
+
+    #[test]
+    fn join_with_no_shared_attrs_is_product() {
+        let l = rel(schema("L", &["A"]), vec![t(&[&[1, 2]])]);
+        let r = rel(schema("R", &["B"]), vec![t(&[&[10]]), t(&[&[11]])]);
+        let p = product(&l, &r).unwrap();
+        assert_eq!(p.expand().len(), 4);
+    }
+
+    #[test]
+    fn product_rejects_shared_names() {
+        let l = rel(schema("L", &["A"]), vec![]);
+        let r = rel(schema("R", &["A"]), vec![]);
+        assert!(product(&l, &r).is_err());
+    }
+
+    #[test]
+    fn join_disjointness_carries_to_output() {
+        // Two left rectangles sharing course sets but disjoint students.
+        let sc = rel(
+            schema("SC", &["S", "C"]),
+            vec![t(&[&[1], &[10, 11]]), t(&[&[2], &[10, 11]])],
+        );
+        let cd = rel(schema("CD", &["C", "D"]), vec![t(&[&[10, 11], &[5]])]);
+        let j = natural_join(&sc, &cd).unwrap();
+        assert!(j.validate().is_ok(), "output tuples must stay disjoint");
+        assert_eq!(j.tuple_count(), 2);
+    }
+}

@@ -1,0 +1,838 @@
+//! Rule-based optimizer over [`Expr`] trees.
+//!
+//! §5 of the paper leaves "the optimization strategy" as an open problem;
+//! this module supplies the classical rule-based answer, built directly
+//! on the interaction laws of [`crate::laws`]. Every rewrite rule is
+//! annotated with the *strength* of equivalence it preserves:
+//!
+//! * **structural** rules produce a plan whose result is tuple-for-tuple
+//!   identical to the original (safe everywhere);
+//! * **realization** rules preserve only the underlying 1NF relation
+//!   `R*` (Theorem 1); the grouping of the result may differ, so they are
+//!   only applied in [`RewriteMode::Realization`] — appropriate whenever
+//!   the consumer re-canonicalizes or only looks at flat rows.
+//!
+//! | Rule | Rewrite | Strength | Law |
+//! |------|---------|----------|-----|
+//! | `merge-selects` | `σc2(σc1(X)) → σ[c1∧c2](X)` | structural | ∩ associativity |
+//! | `elim-empty-select` | `σ[](X) → X` | structural | identity |
+//! | `select-into-join` | `σ(L ⋈ R) → σL ⋈ σR` (conjuncts routed by schema) | structural | L8 |
+//! | `select-into-intersect` | `σ(L ∩ R) → σL ∩ σR` | structural | ∩ distributivity |
+//! | `select-through-unnest` | `σ(μa(X)) → μa(σ(X))` | structural | L3/L6 analogue |
+//! | `select-through-nest` | `σ[a∈S](νa(X)) → νa(σ[a∈S](X))` (nest-attr conjuncts only) | structural | L6 |
+//! | `select-into-union` | `σ(L ∪ R) → σL ∪ σR` | realization | L9 |
+//! | `select-into-difference` | `σ(L − R) → σL − σR` | realization | L9 |
+//! | `select-through-nest-all` | `σ(νa(X)) → νa(σ(X))` (all conjuncts) | realization | L7 |
+//! | `elim-unnest-nest` | `μa(νa(X)) → μa(X)` | structural | L1 |
+//! | `elim-nest-unnest` | `νa(μa(X)) → νa(X)` | structural | L2 |
+//! | `elim-nest-nest` | `νa(νa(X)) → νa(X)` | structural | L5 |
+//! | `elim-unnest-unnest` | `μa(μa(X)) → μa(X)` | structural | μ idempotent |
+//! | `elim-canon-canon` | `νP(νP(X)) → νP(X)` | structural | Thm 5 fixpoint |
+//! | `merge-projects` | `π2(π1(X)) → π2(X)` | realization | classical |
+
+use std::collections::HashMap;
+use std::fmt;
+
+use nf2_core::error::{NfError, Result};
+use nf2_core::value::Atom;
+
+use crate::expr::{Env, Expr};
+
+/// Which equivalence strength the optimizer may exploit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RewriteMode {
+    /// Only structural (tuple-identical) rewrites.
+    Structural,
+    /// Structural plus realization-view (`R*`-preserving) rewrites.
+    Realization,
+}
+
+/// Static schema information: relation name → attribute names. The
+/// optimizer needs it to route selection conjuncts into join sides.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaCatalog {
+    attrs: HashMap<String, Vec<String>>,
+}
+
+impl SchemaCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a base relation's attribute names.
+    pub fn insert(&mut self, name: impl Into<String>, attrs: Vec<String>) {
+        self.attrs.insert(name.into(), attrs);
+    }
+
+    /// Builds the catalog from an evaluation environment.
+    pub fn from_env(env: &Env) -> Self {
+        let mut cat = Self::new();
+        for name in env.names() {
+            let rel = env.get(name).expect("name listed by env");
+            cat.insert(name, rel.schema().attr_names().map(str::to_owned).collect());
+        }
+        cat
+    }
+
+    fn base_attrs(&self, name: &str) -> Result<&[String]> {
+        self.attrs
+            .get(name)
+            .map(Vec::as_slice)
+            .ok_or_else(|| NfError::UnknownAttribute(format!("relation {name}")))
+    }
+}
+
+/// Infers the output attribute names of `expr` without evaluating it.
+pub fn output_attrs(expr: &Expr, catalog: &SchemaCatalog) -> Result<Vec<String>> {
+    match expr {
+        Expr::Rel(name) => Ok(catalog.base_attrs(name)?.to_vec()),
+        Expr::SelectBox { input, .. }
+        | Expr::Nest { input, .. }
+        | Expr::Unnest { input, .. }
+        | Expr::Canonicalize { input, .. } => output_attrs(input, catalog),
+        Expr::Project { attrs, .. } => Ok(attrs.clone()),
+        Expr::Union(l, _) | Expr::Difference(l, _) | Expr::Intersect(l, _) => {
+            output_attrs(l, catalog)
+        }
+        Expr::Join(l, r) => {
+            let mut out = output_attrs(l, catalog)?;
+            for attr in output_attrs(r, catalog)? {
+                if !out.contains(&attr) {
+                    out.push(attr);
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// One applied rewrite, for EXPLAIN-style traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Applied {
+    /// Rule identifier (see the module table).
+    pub rule: &'static str,
+    /// The subexpression after the rewrite, rendered.
+    pub result: String,
+}
+
+/// The optimizer output: the rewritten expression and the rule trace.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// The final expression.
+    pub expr: Expr,
+    /// Rules applied, in application order.
+    pub trace: Vec<Applied>,
+}
+
+impl fmt::Display for Optimized {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "plan: {}", self.expr)?;
+        for step in &self.trace {
+            writeln!(f, "  [{}] → {}", step.rule, step.result)?;
+        }
+        Ok(())
+    }
+}
+
+/// Upper bound on rewrite passes; each pass applies at most one rule per
+/// node, so this comfortably exceeds any real fixpoint depth.
+const MAX_PASSES: usize = 64;
+
+/// Optimizes `expr` under `mode`, using `catalog` for attribute routing.
+///
+/// Runs the rule set to fixpoint (top-down, one rule per pass). The
+/// result is guaranteed structurally equivalent in
+/// [`RewriteMode::Structural`] and `R*`-equivalent in
+/// [`RewriteMode::Realization`]; both guarantees are property-tested.
+pub fn optimize(expr: &Expr, catalog: &SchemaCatalog, mode: RewriteMode) -> Optimized {
+    let mut current = expr.clone();
+    let mut trace = Vec::new();
+    for _ in 0..MAX_PASSES {
+        match rewrite(&current, catalog, mode) {
+            Some((next, rule)) => {
+                trace.push(Applied { rule, result: next.to_string() });
+                current = next;
+            }
+            None => break,
+        }
+    }
+    Optimized { expr: current, trace }
+}
+
+/// Tries to apply one rule anywhere in the tree (root first, then
+/// children, left to right). Returns the rewritten tree and rule name.
+fn rewrite(expr: &Expr, catalog: &SchemaCatalog, mode: RewriteMode) -> Option<(Expr, &'static str)> {
+    if let Some(hit) = rewrite_root(expr, catalog, mode) {
+        return Some(hit);
+    }
+    // Recurse into children, rebuilding the node around the first hit.
+    macro_rules! descend1 {
+        ($input:expr, $build:expr) => {
+            if let Some((new_input, rule)) = rewrite($input, catalog, mode) {
+                return Some(($build(Box::new(new_input)), rule));
+            }
+        };
+    }
+    match expr {
+        Expr::Rel(_) => None,
+        Expr::SelectBox { input, constraints } => {
+            let constraints = constraints.clone();
+            descend1!(input, |i| Expr::SelectBox { input: i, constraints: constraints.clone() });
+            None
+        }
+        Expr::Project { input, attrs } => {
+            let attrs = attrs.clone();
+            descend1!(input, |i| Expr::Project { input: i, attrs: attrs.clone() });
+            None
+        }
+        Expr::Nest { input, attr } => {
+            let attr = attr.clone();
+            descend1!(input, |i| Expr::Nest { input: i, attr: attr.clone() });
+            None
+        }
+        Expr::Unnest { input, attr } => {
+            let attr = attr.clone();
+            descend1!(input, |i| Expr::Unnest { input: i, attr: attr.clone() });
+            None
+        }
+        Expr::Canonicalize { input, order } => {
+            let order = order.clone();
+            descend1!(input, |i| Expr::Canonicalize { input: i, order: order.clone() });
+            None
+        }
+        Expr::Union(l, r) | Expr::Difference(l, r) | Expr::Intersect(l, r) | Expr::Join(l, r) => {
+            let rebuild = |l: Box<Expr>, r: Box<Expr>| match expr {
+                Expr::Union(..) => Expr::Union(l, r),
+                Expr::Difference(..) => Expr::Difference(l, r),
+                Expr::Intersect(..) => Expr::Intersect(l, r),
+                Expr::Join(..) => Expr::Join(l, r),
+                _ => unreachable!(),
+            };
+            if let Some((new_l, rule)) = rewrite(l, catalog, mode) {
+                return Some((rebuild(Box::new(new_l), r.clone()), rule));
+            }
+            if let Some((new_r, rule)) = rewrite(r, catalog, mode) {
+                return Some((rebuild(l.clone(), Box::new(new_r)), rule));
+            }
+            None
+        }
+    }
+}
+
+/// Rule dispatch at a single node.
+fn rewrite_root(
+    expr: &Expr,
+    catalog: &SchemaCatalog,
+    mode: RewriteMode,
+) -> Option<(Expr, &'static str)> {
+    match expr {
+        Expr::SelectBox { input, constraints } => {
+            rewrite_select(input, constraints, catalog, mode)
+        }
+        Expr::Unnest { input, attr } => match input.as_ref() {
+            // L1: μa(νa(X)) → μa(X).
+            Expr::Nest { input: inner, attr: na } if na == attr => Some((
+                Expr::Unnest { input: inner.clone(), attr: attr.clone() },
+                "elim-unnest-nest",
+            )),
+            // μ idempotent: μa(μa(X)) → μa(X).
+            Expr::Unnest { attr: ua, .. } if ua == attr => {
+                Some((input.as_ref().clone(), "elim-unnest-unnest"))
+            }
+            _ => None,
+        },
+        Expr::Nest { input, attr } => match input.as_ref() {
+            // L2: νa(μa(X)) → νa(X).
+            Expr::Unnest { input: inner, attr: ua } if ua == attr => Some((
+                Expr::Nest { input: inner.clone(), attr: attr.clone() },
+                "elim-nest-unnest",
+            )),
+            // L5: νa(νa(X)) → νa(X).
+            Expr::Nest { attr: na, .. } if na == attr => {
+                Some((input.as_ref().clone(), "elim-nest-nest"))
+            }
+            _ => None,
+        },
+        Expr::Canonicalize { input, order } => match input.as_ref() {
+            // Theorem-5 fixpoint: νP(νP(X)) → νP(X).
+            Expr::Canonicalize { order: inner_order, .. } if inner_order == order => {
+                Some((input.as_ref().clone(), "elim-canon-canon"))
+            }
+            _ => None,
+        },
+        Expr::Project { input, attrs } => match input.as_ref() {
+            // Classical cascade: π2(π1(X)) → π2(X); R*-preserving only,
+            // because the fixedness fast path may differ.
+            Expr::Project { input: inner, .. } if mode == RewriteMode::Realization => Some((
+                Expr::Project { input: inner.clone(), attrs: attrs.clone() },
+                "merge-projects",
+            )),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// All rules rooted at a `SelectBox` node.
+fn rewrite_select(
+    input: &Expr,
+    constraints: &[(String, Vec<Atom>)],
+    catalog: &SchemaCatalog,
+    mode: RewriteMode,
+) -> Option<(Expr, &'static str)> {
+    // Identity elimination.
+    if constraints.is_empty() {
+        return Some((input.clone(), "elim-empty-select"));
+    }
+    match input {
+        // σc2(σc1(X)) → σ[c1 ∧ c2](X): conjuncts concatenate; repeated
+        // attributes intersect inside `select_box`, so plain
+        // concatenation is exact.
+        Expr::SelectBox { input: inner, constraints: inner_c } => {
+            let mut merged = inner_c.clone();
+            merged.extend(constraints.iter().cloned());
+            Some((Expr::SelectBox { input: inner.clone(), constraints: merged }, "merge-selects"))
+        }
+        // σ(L ⋈ R) → σL ⋈ σR, each conjunct routed to every side that
+        // owns the attribute. Rectangle intersection is commutative and
+        // idempotent, so the result is tuple-identical (L8 machinery).
+        Expr::Join(l, r) => {
+            let l_attrs = output_attrs(l, catalog).ok()?;
+            let r_attrs = output_attrs(r, catalog).ok()?;
+            let mut to_l = Vec::new();
+            let mut to_r = Vec::new();
+            let mut residual = Vec::new();
+            for (attr, values) in constraints {
+                let in_l = l_attrs.iter().any(|a| a == attr);
+                let in_r = r_attrs.iter().any(|a| a == attr);
+                if in_l {
+                    to_l.push((attr.clone(), values.clone()));
+                }
+                if in_r {
+                    to_r.push((attr.clone(), values.clone()));
+                }
+                if !in_l && !in_r {
+                    residual.push((attr.clone(), values.clone()));
+                }
+            }
+            if to_l.is_empty() && to_r.is_empty() {
+                return None; // nothing routable (or unknown attrs): leave for eval to report
+            }
+            let new_l: Expr = if to_l.is_empty() {
+                l.as_ref().clone()
+            } else {
+                Expr::SelectBox { input: l.clone(), constraints: to_l }
+            };
+            let new_r: Expr = if to_r.is_empty() {
+                r.as_ref().clone()
+            } else {
+                Expr::SelectBox { input: r.clone(), constraints: to_r }
+            };
+            let joined = Expr::Join(Box::new(new_l), Box::new(new_r));
+            let out = if residual.is_empty() {
+                joined
+            } else {
+                Expr::SelectBox { input: Box::new(joined), constraints: residual }
+            };
+            Some((out, "select-into-join"))
+        }
+        // σ(L ∩ R) → σL ∩ σR — structural: (l∩r)∩S = (l∩S)∩(r∩S).
+        Expr::Intersect(l, r) => {
+            let sel = |side: &Expr| Expr::SelectBox {
+                input: Box::new(side.clone()),
+                constraints: constraints.to_vec(),
+            };
+            Some((Expr::Intersect(Box::new(sel(l)), Box::new(sel(r))), "select-into-intersect"))
+        }
+        // σ(μa(X)) → μa(σ(X)) — structural for every conjunct: unnest
+        // only splits the `a` component and selection only intersects
+        // components, so the operations touch disjoint structure (and on
+        // `a` itself, splitting then filtering singletons equals
+        // filtering the set then splitting).
+        Expr::Unnest { input: inner, attr } => Some((
+            Expr::Unnest {
+                input: Box::new(Expr::SelectBox {
+                    input: inner.clone(),
+                    constraints: constraints.to_vec(),
+                }),
+                attr: attr.clone(),
+            },
+            "select-through-unnest",
+        )),
+        // σ(νa(X)): nest-attribute conjuncts commute structurally (L6);
+        // the rest only at realization view (L7).
+        Expr::Nest { input: inner, attr } => {
+            let (on_attr, rest): (Vec<_>, Vec<_>) =
+                constraints.iter().cloned().partition(|(a, _)| a == attr);
+            if mode == RewriteMode::Realization && !rest.is_empty() {
+                // Push everything (L7 licenses it at R* view).
+                return Some((
+                    Expr::Nest {
+                        input: Box::new(Expr::SelectBox {
+                            input: inner.clone(),
+                            constraints: constraints.to_vec(),
+                        }),
+                        attr: attr.clone(),
+                    },
+                    "select-through-nest-all",
+                ));
+            }
+            if on_attr.is_empty() {
+                return None;
+            }
+            let pushed = Expr::Nest {
+                input: Box::new(Expr::SelectBox { input: inner.clone(), constraints: on_attr }),
+                attr: attr.clone(),
+            };
+            let out = if rest.is_empty() {
+                pushed
+            } else {
+                Expr::SelectBox { input: Box::new(pushed), constraints: rest }
+            };
+            Some((out, "select-through-nest"))
+        }
+        // σ(L ∪ R) / σ(L − R): realization-view only (the set operators
+        // re-nest, and selection does not commute with re-nesting
+        // structurally — see the L7 counterexample).
+        Expr::Union(l, r) if mode == RewriteMode::Realization => {
+            let sel = |side: &Expr| Expr::SelectBox {
+                input: Box::new(side.clone()),
+                constraints: constraints.to_vec(),
+            };
+            Some((Expr::Union(Box::new(sel(l)), Box::new(sel(r))), "select-into-union"))
+        }
+        Expr::Difference(l, r) if mode == RewriteMode::Realization => {
+            let sel = |side: &Expr| Expr::SelectBox {
+                input: Box::new(side.clone()),
+                constraints: constraints.to_vec(),
+            };
+            Some((
+                Expr::Difference(Box::new(sel(l)), Box::new(sel(r))),
+                "select-into-difference",
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// A rough per-node cardinality model used to report estimated work.
+///
+/// Estimates are *heuristic* (selectivity 1/2 per conjunct, join
+/// selectivity 1/4); they exist so EXPLAIN can rank plans, not to be
+/// accurate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Estimated NF² tuples flowing out of the node.
+    pub out_tuples: f64,
+    /// Estimated total work (sum of input cardinalities over all nodes).
+    pub total_work: f64,
+}
+
+/// Estimates cardinality and work for `expr` against base-relation sizes.
+pub fn estimate(expr: &Expr, sizes: &HashMap<String, usize>) -> CostEstimate {
+    fn walk(expr: &Expr, sizes: &HashMap<String, usize>, work: &mut f64) -> f64 {
+        let out = match expr {
+            Expr::Rel(name) => sizes.get(name).copied().unwrap_or(0) as f64,
+            Expr::SelectBox { input, constraints } => {
+                let t = walk(input, sizes, work);
+                *work += t;
+                t * 0.5f64.powi(constraints.len() as i32)
+            }
+            Expr::Project { input, .. } => {
+                let t = walk(input, sizes, work);
+                *work += t;
+                t
+            }
+            Expr::Union(l, r) => {
+                let (a, b) = (walk(l, sizes, work), walk(r, sizes, work));
+                *work += a + b;
+                a + b
+            }
+            Expr::Difference(l, r) => {
+                let (a, b) = (walk(l, sizes, work), walk(r, sizes, work));
+                *work += a + b;
+                a
+            }
+            Expr::Intersect(l, r) => {
+                let (a, b) = (walk(l, sizes, work), walk(r, sizes, work));
+                *work += a * b; // pairwise rectangle intersection
+                a.min(b)
+            }
+            Expr::Join(l, r) => {
+                let (a, b) = (walk(l, sizes, work), walk(r, sizes, work));
+                *work += a * b;
+                (a * b / 4.0).max(1.0)
+            }
+            Expr::Nest { input, .. } => {
+                let t = walk(input, sizes, work);
+                *work += t;
+                (t * 0.7).max(1.0)
+            }
+            Expr::Unnest { input, .. } => {
+                let t = walk(input, sizes, work);
+                *work += t;
+                t * 1.5
+            }
+            Expr::Canonicalize { input, order } => {
+                let t = walk(input, sizes, work);
+                *work += t * order.len() as f64;
+                (t * 0.5).max(1.0)
+            }
+        };
+        out
+    }
+    let mut work = 0.0;
+    let out_tuples = walk(expr, sizes, &mut work);
+    CostEstimate { out_tuples, total_work: work }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf2_core::relation::{FlatRelation, NfRelation};
+    use nf2_core::schema::Schema;
+
+    fn env() -> Env {
+        let mut env = Env::new();
+        let sc = Schema::new("SC", &["Student", "Course"]).unwrap();
+        let flat = FlatRelation::from_rows(
+            sc,
+            vec![
+                vec![Atom(1), Atom(10)],
+                vec![Atom(1), Atom(11)],
+                vec![Atom(2), Atom(10)],
+                vec![Atom(3), Atom(12)],
+            ],
+        )
+        .unwrap();
+        env.insert("sc", NfRelation::from_flat(&flat));
+        let cp = Schema::new("CP", &["Course", "Prereq"]).unwrap();
+        let flat = FlatRelation::from_rows(
+            cp,
+            vec![vec![Atom(10), Atom(90)], vec![Atom(11), Atom(91)], vec![Atom(12), Atom(91)]],
+        )
+        .unwrap();
+        env.insert("cp", NfRelation::from_flat(&flat));
+        env
+    }
+
+    fn sel(input: Expr, attr: &str, values: &[u32]) -> Expr {
+        Expr::SelectBox {
+            input: Box::new(input),
+            constraints: vec![(attr.into(), values.iter().map(|&v| Atom(v)).collect())],
+        }
+    }
+
+    /// Structural-mode optimization must be tuple-identical.
+    fn assert_structural_equiv(expr: &Expr) {
+        let env = env();
+        let catalog = SchemaCatalog::from_env(&env);
+        let opt = optimize(expr, &catalog, RewriteMode::Structural);
+        assert_eq!(
+            expr.eval(&env).unwrap(),
+            opt.expr.eval(&env).unwrap(),
+            "structural rewrite changed the result: {expr} vs {}",
+            opt.expr
+        );
+    }
+
+    /// Realization-mode optimization must preserve `R*` (rows compared,
+    /// not derived schema names, which rewrites may abbreviate).
+    fn assert_realization_equiv(expr: &Expr) {
+        let env = env();
+        let catalog = SchemaCatalog::from_env(&env);
+        let opt = optimize(expr, &catalog, RewriteMode::Realization);
+        assert_eq!(
+            expr.eval(&env).unwrap().expand().into_rows(),
+            opt.expr.eval(&env).unwrap().expand().into_rows(),
+            "realization rewrite changed R*: {expr} vs {}",
+            opt.expr
+        );
+    }
+
+    #[test]
+    fn merge_selects_flattens_cascade() {
+        let expr = sel(sel(Expr::rel("sc"), "Student", &[1]), "Course", &[10]);
+        let catalog = SchemaCatalog::from_env(&env());
+        let opt = optimize(&expr, &catalog, RewriteMode::Structural);
+        match &opt.expr {
+            Expr::SelectBox { constraints, input } => {
+                assert_eq!(constraints.len(), 2);
+                assert!(matches!(input.as_ref(), Expr::Rel(_)));
+            }
+            other => panic!("expected one SelectBox, got {other}"),
+        }
+        assert_eq!(opt.trace[0].rule, "merge-selects");
+        assert_structural_equiv(&expr);
+    }
+
+    #[test]
+    fn empty_select_eliminated() {
+        let expr = Expr::SelectBox { input: Box::new(Expr::rel("sc")), constraints: vec![] };
+        let catalog = SchemaCatalog::from_env(&env());
+        let opt = optimize(&expr, &catalog, RewriteMode::Structural);
+        assert_eq!(opt.expr, Expr::rel("sc"));
+    }
+
+    #[test]
+    fn select_pushes_into_join_sides() {
+        let expr = sel(
+            sel(
+                Expr::Join(Box::new(Expr::rel("sc")), Box::new(Expr::rel("cp"))),
+                "Student",
+                &[1],
+            ),
+            "Prereq",
+            &[91],
+        );
+        let catalog = SchemaCatalog::from_env(&env());
+        let opt = optimize(&expr, &catalog, RewriteMode::Structural);
+        // Both conjuncts must end up below the join.
+        match &opt.expr {
+            Expr::Join(l, r) => {
+                assert!(matches!(l.as_ref(), Expr::SelectBox { .. }), "left got Student");
+                assert!(matches!(r.as_ref(), Expr::SelectBox { .. }), "right got Prereq");
+            }
+            other => panic!("expected Join at root, got {other}"),
+        }
+        assert_structural_equiv(&expr);
+    }
+
+    #[test]
+    fn shared_attr_conjunct_pushes_to_both_sides() {
+        let expr = sel(
+            Expr::Join(Box::new(Expr::rel("sc")), Box::new(Expr::rel("cp"))),
+            "Course",
+            &[10],
+        );
+        let catalog = SchemaCatalog::from_env(&env());
+        let opt = optimize(&expr, &catalog, RewriteMode::Structural);
+        match &opt.expr {
+            Expr::Join(l, r) => {
+                assert!(matches!(l.as_ref(), Expr::SelectBox { .. }));
+                assert!(matches!(r.as_ref(), Expr::SelectBox { .. }));
+            }
+            other => panic!("expected Join, got {other}"),
+        }
+        assert_structural_equiv(&expr);
+    }
+
+    #[test]
+    fn unroutable_conjunct_stays_put() {
+        let expr = sel(
+            Expr::Join(Box::new(Expr::rel("sc")), Box::new(Expr::rel("cp"))),
+            "Nope",
+            &[1],
+        );
+        let catalog = SchemaCatalog::from_env(&env());
+        let opt = optimize(&expr, &catalog, RewriteMode::Structural);
+        assert_eq!(opt.expr, expr, "unknown attribute must not be silently dropped");
+        // Both plans error identically.
+        assert!(expr.eval(&env()).is_err());
+        assert!(opt.expr.eval(&env()).is_err());
+    }
+
+    #[test]
+    fn select_through_nest_same_attr_structural() {
+        let expr = sel(
+            Expr::Nest { input: Box::new(Expr::rel("sc")), attr: "Student".into() },
+            "Student",
+            &[1, 2],
+        );
+        let catalog = SchemaCatalog::from_env(&env());
+        let opt = optimize(&expr, &catalog, RewriteMode::Structural);
+        assert!(matches!(opt.expr, Expr::Nest { .. }), "select sank below nest: {}", opt.expr);
+        assert_structural_equiv(&expr);
+    }
+
+    #[test]
+    fn select_through_nest_other_attr_needs_realization_mode() {
+        let expr = sel(
+            Expr::Nest { input: Box::new(Expr::rel("sc")), attr: "Student".into() },
+            "Course",
+            &[10],
+        );
+        let catalog = SchemaCatalog::from_env(&env());
+        let structural = optimize(&expr, &catalog, RewriteMode::Structural);
+        assert_eq!(structural.expr, expr, "structural mode must not push");
+        let realization = optimize(&expr, &catalog, RewriteMode::Realization);
+        assert!(matches!(realization.expr, Expr::Nest { .. }));
+        assert_realization_equiv(&expr);
+    }
+
+    #[test]
+    fn select_through_unnest_structural() {
+        let expr = sel(
+            Expr::Unnest { input: Box::new(Expr::rel("sc")), attr: "Course".into() },
+            "Student",
+            &[1],
+        );
+        assert_structural_equiv(&expr);
+        let catalog = SchemaCatalog::from_env(&env());
+        let opt = optimize(&expr, &catalog, RewriteMode::Structural);
+        assert!(matches!(opt.expr, Expr::Unnest { .. }));
+    }
+
+    #[test]
+    fn nest_unnest_pairs_eliminated() {
+        let nest = |e: Expr, a: &str| Expr::Nest { input: Box::new(e), attr: a.into() };
+        let unnest = |e: Expr, a: &str| Expr::Unnest { input: Box::new(e), attr: a.into() };
+        let catalog = SchemaCatalog::from_env(&env());
+
+        let e1 = unnest(nest(Expr::rel("sc"), "Student"), "Student");
+        let o1 = optimize(&e1, &catalog, RewriteMode::Structural);
+        assert_eq!(o1.expr, unnest(Expr::rel("sc"), "Student"));
+        assert_structural_equiv(&e1);
+
+        let e2 = nest(unnest(Expr::rel("sc"), "Student"), "Student");
+        let o2 = optimize(&e2, &catalog, RewriteMode::Structural);
+        assert_eq!(o2.expr, nest(Expr::rel("sc"), "Student"));
+        assert_structural_equiv(&e2);
+
+        let e3 = nest(nest(Expr::rel("sc"), "Student"), "Student");
+        assert_eq!(
+            optimize(&e3, &catalog, RewriteMode::Structural).expr,
+            nest(Expr::rel("sc"), "Student")
+        );
+
+        let e4 = unnest(unnest(Expr::rel("sc"), "Course"), "Course");
+        assert_eq!(
+            optimize(&e4, &catalog, RewriteMode::Structural).expr,
+            unnest(Expr::rel("sc"), "Course")
+        );
+    }
+
+    #[test]
+    fn different_attr_nest_pairs_kept() {
+        // νA(μB(X)) must not be touched.
+        let expr = Expr::Nest {
+            input: Box::new(Expr::Unnest {
+                input: Box::new(Expr::rel("sc")),
+                attr: "Course".into(),
+            }),
+            attr: "Student".into(),
+        };
+        let catalog = SchemaCatalog::from_env(&env());
+        let opt = optimize(&expr, &catalog, RewriteMode::Structural);
+        assert_eq!(opt.expr, expr);
+    }
+
+    #[test]
+    fn canon_canon_eliminated() {
+        let canon = |e: Expr| Expr::Canonicalize {
+            input: Box::new(e),
+            order: vec!["Student".into(), "Course".into()],
+        };
+        let expr = canon(canon(Expr::rel("sc")));
+        let catalog = SchemaCatalog::from_env(&env());
+        let opt = optimize(&expr, &catalog, RewriteMode::Structural);
+        assert_eq!(opt.expr, canon(Expr::rel("sc")));
+        assert_structural_equiv(&expr);
+    }
+
+    #[test]
+    fn merge_projects_realization_only() {
+        let proj = |e: Expr, attrs: &[&str]| Expr::Project {
+            input: Box::new(e),
+            attrs: attrs.iter().map(|s| s.to_string()).collect(),
+        };
+        let expr = proj(proj(Expr::rel("sc"), &["Student", "Course"]), &["Student"]);
+        let catalog = SchemaCatalog::from_env(&env());
+        let s = optimize(&expr, &catalog, RewriteMode::Structural);
+        assert_eq!(s.expr, expr);
+        let r = optimize(&expr, &catalog, RewriteMode::Realization);
+        assert_eq!(r.expr, proj(Expr::rel("sc"), &["Student"]));
+        assert_realization_equiv(&expr);
+    }
+
+    #[test]
+    fn deep_pipeline_reaches_fixpoint() {
+        // σ(σ(μS(νS( sc ⋈ cp )))) — several rules must fire in sequence.
+        let inner = Expr::Join(Box::new(Expr::rel("sc")), Box::new(Expr::rel("cp")));
+        let expr = sel(
+            sel(
+                Expr::Unnest {
+                    input: Box::new(Expr::Nest {
+                        input: Box::new(inner),
+                        attr: "Student".into(),
+                    }),
+                    attr: "Student".into(),
+                },
+                "Student",
+                &[1],
+            ),
+            "Prereq",
+            &[91],
+        );
+        let catalog = SchemaCatalog::from_env(&env());
+        let opt = optimize(&expr, &catalog, RewriteMode::Structural);
+        assert!(opt.trace.len() >= 3, "trace: {:?}", opt.trace);
+        assert_structural_equiv(&expr);
+    }
+
+    #[test]
+    fn output_attrs_infers_join_schema() {
+        let catalog = SchemaCatalog::from_env(&env());
+        let j = Expr::Join(Box::new(Expr::rel("sc")), Box::new(Expr::rel("cp")));
+        assert_eq!(output_attrs(&j, &catalog).unwrap(), vec!["Student", "Course", "Prereq"]);
+        let p = Expr::Project { input: Box::new(j), attrs: vec!["Prereq".into()] };
+        assert_eq!(output_attrs(&p, &catalog).unwrap(), vec!["Prereq"]);
+        assert!(output_attrs(&Expr::rel("nope"), &catalog).is_err());
+    }
+
+    #[test]
+    fn estimate_prefers_pushed_down_plans() {
+        let sizes = HashMap::from([("sc".to_string(), 1000), ("cp".to_string(), 1000)]);
+        let unpushed = sel(
+            Expr::Join(Box::new(Expr::rel("sc")), Box::new(Expr::rel("cp"))),
+            "Student",
+            &[1],
+        );
+        let catalog = {
+            let mut c = SchemaCatalog::new();
+            c.insert("sc", vec!["Student".into(), "Course".into()]);
+            c.insert("cp", vec!["Course".into(), "Prereq".into()]);
+            c
+        };
+        let pushed = optimize(&unpushed, &catalog, RewriteMode::Structural).expr;
+        let before = estimate(&unpushed, &sizes);
+        let after = estimate(&pushed, &sizes);
+        assert!(
+            after.total_work < before.total_work,
+            "pushdown must reduce estimated work: {before:?} vs {after:?}"
+        );
+    }
+
+    #[test]
+    fn estimate_handles_all_node_kinds() {
+        let sizes = HashMap::from([("sc".to_string(), 100)]);
+        let r = Expr::rel("sc");
+        let exprs = vec![
+            Expr::Union(Box::new(r.clone()), Box::new(r.clone())),
+            Expr::Difference(Box::new(r.clone()), Box::new(r.clone())),
+            Expr::Intersect(Box::new(r.clone()), Box::new(r.clone())),
+            Expr::Project { input: Box::new(r.clone()), attrs: vec!["Student".into()] },
+            Expr::Canonicalize {
+                input: Box::new(r.clone()),
+                order: vec!["Student".into(), "Course".into()],
+            },
+        ];
+        for e in exprs {
+            let est = estimate(&e, &sizes);
+            assert!(est.out_tuples >= 0.0 && est.total_work > 0.0, "{e}");
+        }
+        // Unknown relation estimates to zero tuples, not a panic.
+        assert_eq!(estimate(&Expr::rel("nope"), &sizes).out_tuples, 0.0);
+    }
+
+    #[test]
+    fn display_renders_trace() {
+        let expr = sel(sel(Expr::rel("sc"), "Student", &[1]), "Course", &[10]);
+        let catalog = SchemaCatalog::from_env(&env());
+        let opt = optimize(&expr, &catalog, RewriteMode::Structural);
+        let text = opt.to_string();
+        assert!(text.contains("plan:"), "{text}");
+        assert!(text.contains("merge-selects"), "{text}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Algebra operator costs on nested vs flat representations: the
+//! rectangle-level fast paths (select_box, fixed projection, join) versus
+//! expansion-based evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use nf2_algebra::{natural_join, project, select_box, select_where};
+use nf2_core::nest::canonical_of_flat;
+use nf2_core::relation::FlatRelation;
+use nf2_core::schema::{NestOrder, Schema};
+use nf2_core::tuple::ValueSet;
+use nf2_core::value::Atom;
+use nf2_workload as workload;
+use std::collections::BTreeSet;
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+    let w = workload::university(300, 4, 50, 2, 10, 5);
+    let canon = canonical_of_flat(&w.flat, &NestOrder::identity(3));
+    let course = w.flat.rows().next().unwrap()[1];
+
+    group.bench_function("select_box_rectangle", |b| {
+        b.iter(|| select_box(std::hint::black_box(&canon), &[(1, ValueSet::singleton(course))]))
+    });
+    group.bench_function("select_where_expansion", |b| {
+        b.iter(|| {
+            select_where(
+                std::hint::black_box(&canon),
+                |row| row[1] == course,
+                &NestOrder::identity(3),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("projection");
+    let w = workload::university(300, 4, 50, 2, 10, 5);
+    let canon = canonical_of_flat(&w.flat, &NestOrder::identity(3));
+    // {Club, Course, Student} is fixed (full set); {Student} alone is the
+    // fixed fast path only when student sets are disjoint — measure both
+    // an (unfixed) expansion projection and a fixed one.
+    group.bench_function("project_unfixed_expansion", |b| {
+        b.iter(|| project(std::hint::black_box(&canon), &[1], &NestOrder::identity(1)).unwrap())
+    });
+    group.bench_function("project_fixed_fast_path", |b| {
+        b.iter(|| {
+            project(std::hint::black_box(&canon), &[0, 1, 2], &NestOrder::identity(3)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join");
+    group.sample_size(20);
+    let w = workload::university(200, 3, 40, 2, 8, 6);
+    let sc = canonical_of_flat(&w.flat, &NestOrder::identity(3));
+    // Course difficulty relation.
+    let courses: BTreeSet<Atom> = w.flat.rows().map(|r| r[1]).collect();
+    let schema = Schema::new("CD", &["Course", "Difficulty"]).unwrap();
+    let cd_flat = FlatRelation::from_rows(
+        schema,
+        courses
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| vec![c, Atom(9_000_000 + (i as u32 % 3))]),
+    )
+    .unwrap();
+    let cd = canonical_of_flat(&cd_flat, &NestOrder::identity(2));
+
+    group.bench_function("natural_join_rectangles", |b| {
+        b.iter(|| natural_join(std::hint::black_box(&sc), std::hint::black_box(&cd)).unwrap())
+    });
+    // Flat baseline: nested-loop join over expansions.
+    group.bench_function("natural_join_flat_baseline", |b| {
+        b.iter(|| {
+            let l = sc.expand();
+            let r = cd.expand();
+            let mut out = Vec::new();
+            for lr in l.rows() {
+                for rr in r.rows() {
+                    if lr[1] == rr[0] {
+                        out.push((lr.clone(), rr[1]));
+                    }
+                }
+            }
+            out
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection, bench_projection, bench_join);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Batch-maintenance strategies under Criterion: §4 incremental
+//! application vs re-nesting from scratch vs the auto-selecting
+//! strategy, across batch sizes (experiment E14's wall-clock companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nf2_core::bulk::{apply_batch, apply_batch_auto, rebuild_batch, Op};
+use nf2_core::maintenance::{CanonicalRelation, CostCounter};
+use nf2_core::schema::NestOrder;
+use nf2_workload as workload;
+
+fn setup(pct: usize) -> (CanonicalRelation, Vec<Op>) {
+    let w = workload::university(120, 3, 25, 2, 8, 47);
+    let base_rows = w.flat.len();
+    let canon = CanonicalRelation::from_flat(&w.flat, NestOrder::identity(3)).unwrap();
+    let ops = workload::op_trace(&w, (base_rows * pct / 100).max(1), 40, pct as u64);
+    (canon, ops)
+}
+
+fn bench_batch_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_strategies");
+    group.sample_size(10);
+    for &pct in &[5usize, 25, 100] {
+        let (base, ops) = setup(pct);
+        group.bench_with_input(BenchmarkId::new("incremental", pct), &pct, |b, _| {
+            b.iter(|| {
+                let mut canon = base.clone();
+                let mut cost = CostCounter::new();
+                apply_batch(&mut canon, std::hint::black_box(&ops), &mut cost).unwrap();
+                canon
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("renest", pct), &pct, |b, _| {
+            b.iter(|| rebuild_batch(std::hint::black_box(&base), &ops).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("auto", pct), &pct, |b, _| {
+            b.iter(|| {
+                let mut canon = base.clone();
+                let mut cost = CostCounter::new();
+                apply_batch_auto(&mut canon, std::hint::black_box(&ops), &mut cost).unwrap();
+                canon
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_modify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modify");
+    let w = workload::university(200, 3, 40, 2, 10, 3);
+    let base = CanonicalRelation::from_flat(&w.flat, NestOrder::identity(3)).unwrap();
+    let rows: Vec<_> = w.flat.rows().cloned().collect();
+    group.bench_function("delete_insert_roundtrip", |b| {
+        let mut canon = base.clone();
+        let mut i = 0usize;
+        b.iter(|| {
+            let row = rows[i % rows.len()].clone();
+            i += 1;
+            let mut cost = CostCounter::new();
+            // Move the row to a fresh value and back: two modifies.
+            let mut moved = row.clone();
+            moved[2] = nf2_core::value::Atom(8_000_000);
+            nf2_core::bulk::modify(&mut canon, &row, moved.clone(), &mut cost).unwrap();
+            nf2_core::bulk::modify(&mut canon, &moved, row, &mut cost).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_strategies, bench_modify);
+criterion_main!(benches);

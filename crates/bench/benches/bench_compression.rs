@@ -1,0 +1,54 @@
+//! E8 timing companion: compression quality is measured by the repro
+//! binary; this bench times the compressors themselves (canonical nest vs
+//! the reduction strategies) on the same workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nf2_core::irreducible::{reduce, ReduceStrategy};
+use nf2_core::nest::canonical_of_flat;
+use nf2_core::relation::NfRelation;
+use nf2_core::schema::NestOrder;
+use nf2_workload as workload;
+
+fn bench_compressors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compressors");
+    group.sample_size(10);
+    // Reduction strategies are quadratic: keep inputs modest.
+    let w = workload::university(40, 3, 12, 2, 5, 3);
+    let base = NfRelation::from_flat(&w.flat);
+    let order = NestOrder::identity(3);
+
+    group.bench_function("canonical_nest", |b| {
+        b.iter(|| canonical_of_flat(std::hint::black_box(&w.flat), &order));
+    });
+    group.bench_function("reduce_first_fit", |b| {
+        b.iter(|| reduce(std::hint::black_box(&base), ReduceStrategy::FirstFit));
+    });
+    group.bench_function("reduce_greedy", |b| {
+        b.iter(|| reduce(std::hint::black_box(&base), ReduceStrategy::GreedyLargest));
+    });
+    group.bench_function("reduce_random", |b| {
+        b.iter(|| reduce(std::hint::black_box(&base), ReduceStrategy::Random(9)));
+    });
+    group.finish();
+}
+
+fn bench_expansion(c: &mut Criterion) {
+    // Theorem 1's direction back to 1NF: expansion cost per flat row.
+    let mut group = c.benchmark_group("expand");
+    for &students in &[100usize, 400] {
+        let w = workload::university(students, 4, 60, 2, 12, 11);
+        let canon = canonical_of_flat(&w.flat, &NestOrder::identity(3));
+        group.bench_with_input(
+            BenchmarkId::new("university", w.flat.len()),
+            &canon,
+            |b, canon| {
+                b.iter(|| std::hint::black_box(canon).expand());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compressors, bench_expansion);
+criterion_main!(benches);

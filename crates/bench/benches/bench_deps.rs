@@ -1,0 +1,102 @@
+//! Dependency-theory costs: Armstrong closure vs the chase on FDs, the
+//! dependency basis vs the chase on MVDs, and full 4NF decomposition —
+//! the machinery §3.4 assumes is "mechanically obtained".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nf2_deps::{
+    candidate_keys, chase_implies_fd, chase_implies_mvd, closure, decompose_4nf,
+    dependency_basis, implies_mvd_basis, mine_fds, synthesize_3nf, AttrSet, Fd, Mvd,
+};
+use nf2_workload as workload;
+
+/// A chain FD set A0 → A1 → … → A(n−1) over `n` attributes.
+fn chain_fds(n: usize) -> Vec<Fd> {
+    (0..n - 1).map(|i| Fd::new([i], [i + 1])).collect()
+}
+
+/// Star MVDs A0 ->-> Ai for each i.
+fn star_mvds(n: usize) -> Vec<Mvd> {
+    (1..n).map(|i| Mvd::new([0], [i])).collect()
+}
+
+fn bench_fd_implication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fd_implication");
+    for &n in &[4usize, 8, 16] {
+        let fds = chain_fds(n);
+        let target = Fd::new([0], [n - 1]);
+        group.bench_with_input(BenchmarkId::new("closure", n), &n, |b, _| {
+            b.iter(|| closure(std::hint::black_box(AttrSet::single(0)), &fds))
+        });
+        group.bench_with_input(BenchmarkId::new("chase", n), &n, |b, _| {
+            b.iter(|| chase_implies_fd(n, std::hint::black_box(&fds), &[], &target))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mvd_implication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mvd_implication");
+    for &n in &[4usize, 6, 8] {
+        let mvds = star_mvds(n);
+        let target = Mvd::new([0], [1, 2]);
+        group.bench_with_input(BenchmarkId::new("basis", n), &n, |b, _| {
+            b.iter(|| implies_mvd_basis(n, &[], std::hint::black_box(&mvds), &target))
+        });
+        group.bench_with_input(BenchmarkId::new("chase", n), &n, |b, _| {
+            b.iter(|| chase_implies_mvd(n, &[], std::hint::black_box(&mvds), &target))
+        });
+    }
+    group.finish();
+}
+
+fn bench_basis_and_keys(c: &mut Criterion) {
+    let mut group = c.benchmark_group("basis_and_keys");
+    for &n in &[4usize, 8, 12] {
+        let fds = chain_fds(n);
+        let mvds = star_mvds(n);
+        group.bench_with_input(BenchmarkId::new("dependency_basis", n), &n, |b, _| {
+            b.iter(|| dependency_basis(AttrSet::single(0), n, &fds, std::hint::black_box(&mvds)))
+        });
+        group.bench_with_input(BenchmarkId::new("candidate_keys", n), &n, |b, _| {
+            b.iter(|| candidate_keys(n, std::hint::black_box(&fds)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompose_and_synthesize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schema_design");
+    group.sample_size(20);
+    for &n in &[4usize, 5, 6] {
+        let fds = chain_fds(n);
+        let mvds = vec![Mvd::new([0], [1])];
+        group.bench_with_input(BenchmarkId::new("decompose_4nf", n), &n, |b, _| {
+            b.iter(|| decompose_4nf(n, std::hint::black_box(&fds), &mvds))
+        });
+        group.bench_with_input(BenchmarkId::new("synthesize_3nf", n), &n, |b, _| {
+            b.iter(|| synthesize_3nf(n, std::hint::black_box(&fds)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dependency_mining");
+    group.sample_size(20);
+    let w = workload::university(120, 3, 25, 2, 8, 23);
+    group.bench_function("mine_fds_university", |b| {
+        b.iter(|| mine_fds(std::hint::black_box(&w.flat)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fd_implication,
+    bench_mvd_implication,
+    bench_basis_and_keys,
+    bench_decompose_and_synthesize,
+    bench_mining
+);
+criterion_main!(benches);

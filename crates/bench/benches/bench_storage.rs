@@ -1,0 +1,115 @@
+//! Storage substrate micro-benchmarks: codec, pages, heap files and
+//! table checkpoint/recovery.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use bytes::BytesMut;
+use nf2_core::schema::NestOrder;
+use nf2_core::tuple::{NfTuple, ValueSet};
+use nf2_core::value::Atom;
+use nf2_storage::codec::{decode_nf_tuple, encode_nf_tuple};
+use nf2_storage::{HeapFile, NfTable, Page, SharedDictionary};
+use nf2_workload as workload;
+
+fn sample_tuple(width: usize) -> NfTuple {
+    NfTuple::new(vec![
+        ValueSet::new((0..width as u32).map(Atom).collect()).unwrap(),
+        ValueSet::singleton(Atom(1_000_000)),
+        ValueSet::new((0..(width as u32 / 2).max(1)).map(|v| Atom(2_000_000 + v)).collect())
+            .unwrap(),
+    ])
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let t = sample_tuple(64);
+    let mut encoded = BytesMut::new();
+    encode_nf_tuple(&t, &mut encoded);
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_nf_tuple", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(256);
+            encode_nf_tuple(std::hint::black_box(&t), &mut buf);
+            buf
+        })
+    });
+    group.bench_function("decode_nf_tuple", |b| {
+        b.iter(|| {
+            let mut slice: &[u8] = &encoded;
+            decode_nf_tuple(&mut slice, 3).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_page_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page");
+    let record = vec![0xabu8; 120];
+    group.bench_function("insert_until_full", |b| {
+        b.iter(|| {
+            let mut p = Page::new(0);
+            while p.fits(record.len()) {
+                p.insert(&record).unwrap();
+            }
+            p
+        })
+    });
+    let mut full = Page::new(0);
+    while full.fits(record.len()) {
+        full.insert(&record).unwrap();
+    }
+    group.bench_function("serialize_page", |b| b.iter(|| std::hint::black_box(&full).to_bytes()));
+    let bytes = full.to_bytes();
+    group.bench_function("deserialize_page", |b| {
+        b.iter(|| Page::from_bytes(std::hint::black_box(&bytes)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_heap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heap");
+    group.sample_size(20);
+    group.bench_function("insert_1000_records", |b| {
+        let record = vec![7u8; 100];
+        b.iter(|| {
+            let mut h = HeapFile::new();
+            for _ in 0..1000 {
+                h.insert(&record).unwrap();
+            }
+            h
+        })
+    });
+    group.finish();
+}
+
+fn bench_checkpoint_open(c: &mut Criterion) {
+    let mut group = c.benchmark_group("durability");
+    group.sample_size(10);
+    let w = workload::relationship(1_000, 80, 40, 6, 3);
+    let dir = std::env::temp_dir().join("nf2_bench_ckpt");
+    std::fs::create_dir_all(&dir).unwrap();
+    group.bench_function("checkpoint_1000_rows", |b| {
+        b.iter(|| {
+            let mut t = NfTable::from_flat(
+                "bench",
+                &w.flat,
+                NestOrder::identity(3),
+                SharedDictionary::new(),
+            )
+            .unwrap();
+            t.checkpoint(&dir).unwrap();
+        })
+    });
+    // Prepare a checkpoint for the open benchmark.
+    let mut t =
+        NfTable::from_flat("bench", &w.flat, NestOrder::identity(3), SharedDictionary::new())
+            .unwrap();
+    t.checkpoint(&dir).unwrap();
+    group.bench_function("open_1000_rows", |b| {
+        b.iter(|| NfTable::open(&dir, "bench", SharedDictionary::new()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_page_ops, bench_heap, bench_checkpoint_open);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro            # all experiments, ASCII
+//! repro --md       # all experiments, Markdown (EXPERIMENTS.md format)
+//! repro E3 E7      # a subset
+//! ```
+
+use nf2_bench::{run_all, run_one};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let markdown = args.iter().any(|a| a == "--md");
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let reports = if ids.is_empty() {
+        run_all()
+    } else {
+        let mut out = Vec::new();
+        for id in ids {
+            match run_one(id) {
+                Some(r) => out.push(r),
+                None => {
+                    eprintln!("unknown experiment id: {id} (valid: E1..E15)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    };
+
+    for r in &reports {
+        if markdown {
+            println!("{}", r.to_markdown());
+        } else {
+            println!("{}", r.to_ascii());
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Composition and decomposition of tuples (Definitions 1 and 2).
+//!
+//! *Composition* `∨_{Ec}(r, s)` merges two tuples that are set-equal on
+//! every attribute but `Ec` into one tuple whose `Ec` component is the
+//! union. *Decomposition* `u_{Ed(ex)}(t)` splits a tuple on attribute `Ed`
+//! into the part carrying `ex` and the remainder. Composition is the move
+//! from 1NF towards NF²; decomposition is its inverse. Both are purely
+//! syntactic: neither loses nor adds information (Theorem 1 builds on
+//! this).
+
+use crate::error::{NfError, Result};
+use crate::tuple::{NfTuple, ValueSet};
+
+/// Def. 1 — composes `r` and `s` over attribute `attr`.
+///
+/// Requires `r` and `s` to be set-theoretically equal on every attribute
+/// except `attr`. Returns the merged tuple whose `attr` component is the
+/// union of the two `attr` components.
+///
+/// Inside a valid NFR (pairwise-disjoint expansions) the two `attr`
+/// components are automatically disjoint; this is asserted in debug builds
+/// but not required by the definition itself.
+pub fn compose(r: &NfTuple, s: &NfTuple, attr: usize) -> Result<NfTuple> {
+    if !r.agrees_except(s, attr) {
+        return Err(NfError::NotComposable { attr });
+    }
+    debug_assert!(
+        r.component(attr).is_disjoint_from(s.component(attr)) || r.component(attr) == s.component(attr),
+        "composition inside a valid NFR merges disjoint {attr}-components"
+    );
+    Ok(r.with_component(attr, r.component(attr).union(s.component(attr))))
+}
+
+/// Whether Def. 1 applies to `r`, `s` over `attr`.
+pub fn composable(r: &NfTuple, s: &NfTuple, attr: usize) -> bool {
+    r.agrees_except(s, attr)
+}
+
+/// Finds some attribute over which `r` and `s` are composable.
+///
+/// Distinct tuples of a relation differ on at least one attribute, so at
+/// most one attribute can qualify unless the tuples are identical (in which
+/// case every attribute qualifies trivially; callers operate on duplicate-
+/// free relations so that case does not arise).
+pub fn composable_over(r: &NfTuple, s: &NfTuple) -> Option<usize> {
+    let n = r.arity();
+    debug_assert_eq!(n, s.arity());
+    let mut differing = None;
+    for i in 0..n {
+        if r.component(i) != s.component(i) {
+            if differing.is_some() {
+                return None; // differ on ≥ 2 attributes: not composable
+            }
+            differing = Some(i);
+        }
+    }
+    differing
+}
+
+/// The result of a decomposition: the isolated part and, when the component
+/// had more than the isolated values, the remainder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// `te` in Def. 2 — the tuple carrying exactly the isolated values.
+    pub isolated: NfTuple,
+    /// `tr` in Def. 2 — the tuple carrying the rest, absent when the whole
+    /// component was isolated.
+    pub remainder: Option<NfTuple>,
+}
+
+/// Def. 2 — decomposes `t` on attribute `attr`, isolating the single value
+/// `value`.
+///
+/// Returns `te` (with `Ed = {value}`) and `tr` (with the remaining values),
+/// or an error if `value` is not in the component. When the component *is*
+/// `{value}` the remainder is `None` and the isolated part equals `t`.
+pub fn decompose(t: &NfTuple, attr: usize, value: crate::value::Atom) -> Result<Split> {
+    decompose_set(t, attr, &ValueSet::singleton(value))
+}
+
+/// Generalised decomposition (DESIGN.md D5): isolates the subset `values`
+/// of `t`'s `attr` component via a sequence of Def. 2 steps.
+///
+/// Errors unless `values ⊆ t.Ed`.
+pub fn decompose_set(t: &NfTuple, attr: usize, values: &ValueSet) -> Result<Split> {
+    let comp = t.component(attr);
+    if !values.is_subset_of(comp) {
+        return Err(NfError::ValueNotInComponent { attr });
+    }
+    let isolated = t.with_component(attr, values.clone());
+    let remainder = comp
+        .difference(values)
+        .map(|rest| t.with_component(attr, rest));
+    Ok(Split { isolated, remainder })
+}
+
+/// Scans a slice of tuples for the first composable pair, returning
+/// `(i, j, attr)` with `i < j`.
+///
+/// Used by irreducibility checking and by the pairwise nest used to test
+/// Theorem 2. Quadratic; the production path ([`crate::nest::nest`]) uses
+/// hashing instead.
+pub fn find_composable_pair(tuples: &[NfTuple]) -> Option<(usize, usize, usize)> {
+    for i in 0..tuples.len() {
+        for j in (i + 1)..tuples.len() {
+            if let Some(attr) = composable_over(&tuples[i], &tuples[j]) {
+                return Some((i, j, attr));
+            }
+        }
+    }
+    None
+}
+
+/// Like [`find_composable_pair`] but restricted to composition over a
+/// single attribute.
+pub fn find_composable_pair_over(tuples: &[NfTuple], attr: usize) -> Option<(usize, usize)> {
+    for i in 0..tuples.len() {
+        for j in (i + 1)..tuples.len() {
+            if composable(&tuples[i], &tuples[j], attr) {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Atom;
+
+    fn vs(ids: &[u32]) -> ValueSet {
+        ValueSet::new(ids.iter().map(|&i| Atom(i)).collect()).unwrap()
+    }
+
+    fn t(comps: &[&[u32]]) -> NfTuple {
+        NfTuple::new(comps.iter().map(|c| vs(c)).collect())
+    }
+
+    #[test]
+    fn paper_example_composition_over_b() {
+        // t1 = [A(a1,a2) B(b1,b2) C(c1)], t2 = [A(a1,a2) B(b3) C(c1)]
+        // ∨_B(t1, t2) = [A(a1,a2) B(b1,b2,b3) C(c1)]  (§3.2)
+        let t1 = t(&[&[1, 2], &[11, 12], &[21]]);
+        let t2 = t(&[&[1, 2], &[13], &[21]]);
+        let t3 = compose(&t1, &t2, 1).unwrap();
+        assert_eq!(t3, t(&[&[1, 2], &[11, 12, 13], &[21]]));
+    }
+
+    #[test]
+    fn composition_requires_agreement_elsewhere() {
+        let t1 = t(&[&[1], &[11]]);
+        let t2 = t(&[&[2], &[12]]);
+        assert_eq!(compose(&t1, &t2, 0), Err(NfError::NotComposable { attr: 0 }));
+        assert!(!composable(&t1, &t2, 0));
+    }
+
+    #[test]
+    fn composition_is_commutative() {
+        let t1 = t(&[&[1], &[11]]);
+        let t2 = t(&[&[2], &[11]]);
+        assert_eq!(compose(&t1, &t2, 0).unwrap(), compose(&t2, &t1, 0).unwrap());
+    }
+
+    #[test]
+    fn composable_over_finds_the_single_differing_attr() {
+        let t1 = t(&[&[1, 2], &[11]]);
+        let t2 = t(&[&[1, 2], &[12]]);
+        assert_eq!(composable_over(&t1, &t2), Some(1));
+        let t3 = t(&[&[3], &[12]]);
+        assert_eq!(composable_over(&t1, &t3), None);
+    }
+
+    #[test]
+    fn paper_example_decomposition_on_b() {
+        // u_{B(b3)}(t3) recovers t1 and t2 from the §3.2 example.
+        let t3 = t(&[&[1, 2], &[11, 12, 13], &[21]]);
+        let split = decompose(&t3, 1, Atom(13)).unwrap();
+        assert_eq!(split.isolated, t(&[&[1, 2], &[13], &[21]]));
+        assert_eq!(split.remainder, Some(t(&[&[1, 2], &[11, 12], &[21]])));
+    }
+
+    #[test]
+    fn paper_example_decomposition_on_a() {
+        // u_{A(a1)}(t3) gives [A(a1) B(b1,b2,b3) C(c1)] and
+        // [A(a2) B(b1,b2,b3) C(c1)]  (§3.2).
+        let t3 = t(&[&[1, 2], &[11, 12, 13], &[21]]);
+        let split = decompose(&t3, 0, Atom(1)).unwrap();
+        assert_eq!(split.isolated, t(&[&[1], &[11, 12, 13], &[21]]));
+        assert_eq!(split.remainder, Some(t(&[&[2], &[11, 12, 13], &[21]])));
+    }
+
+    #[test]
+    fn decompose_whole_component_has_no_remainder() {
+        let t1 = t(&[&[1], &[11]]);
+        let split = decompose(&t1, 0, Atom(1)).unwrap();
+        assert_eq!(split.isolated, t1);
+        assert_eq!(split.remainder, None);
+    }
+
+    #[test]
+    fn decompose_missing_value_errors() {
+        let t1 = t(&[&[1], &[11]]);
+        assert_eq!(
+            decompose(&t1, 0, Atom(9)),
+            Err(NfError::ValueNotInComponent { attr: 0 })
+        );
+    }
+
+    #[test]
+    fn decompose_set_isolates_subsets() {
+        let t1 = t(&[&[1, 2, 3, 4], &[11]]);
+        let split = decompose_set(&t1, 0, &vs(&[2, 4])).unwrap();
+        assert_eq!(split.isolated, t(&[&[2, 4], &[11]]));
+        assert_eq!(split.remainder, Some(t(&[&[1, 3], &[11]])));
+    }
+
+    #[test]
+    fn compose_then_decompose_round_trips() {
+        let t1 = t(&[&[1, 2], &[11, 12], &[21]]);
+        let t2 = t(&[&[1, 2], &[13], &[21]]);
+        let merged = compose(&t1, &t2, 1).unwrap();
+        let split = decompose_set(&merged, 1, t2.component(1)).unwrap();
+        assert_eq!(split.isolated, t2);
+        assert_eq!(split.remainder, Some(t1));
+    }
+
+    #[test]
+    fn find_composable_pair_scans_in_order() {
+        let tuples = vec![
+            t(&[&[1], &[11]]),
+            t(&[&[2], &[12]]),
+            t(&[&[1], &[12]]), // composable with both (over B with #0, over A with #1)
+        ];
+        assert_eq!(find_composable_pair(&tuples), Some((0, 2, 1)));
+        assert_eq!(find_composable_pair_over(&tuples, 0), Some((1, 2)));
+        assert_eq!(find_composable_pair_over(&tuples, 1), Some((0, 2)));
+    }
+
+    #[test]
+    fn find_composable_pair_none_when_irreducible() {
+        let tuples = vec![t(&[&[1], &[11]]), t(&[&[2], &[12]])];
+        assert_eq!(find_composable_pair(&tuples), None);
+    }
+}

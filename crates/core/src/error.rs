@@ -1,0 +1,109 @@
+//! Error type shared by all `nf2-core` operations.
+
+use std::fmt;
+
+/// Errors raised by NF² model operations.
+///
+/// The model is strict: every constructor validates its inputs so that the
+/// partition invariant (DESIGN.md D1) can never be silently violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NfError {
+    /// A tuple had a different number of components than its schema.
+    ArityMismatch { expected: usize, got: usize },
+    /// A value set was empty. Every component of an NF² tuple must carry at
+    /// least one atomic value (Def. 1 operates on non-empty sets).
+    EmptyValueSet { attr: usize },
+    /// Two relations (or a relation and a tuple) had incompatible schemas.
+    SchemaMismatch { left: String, right: String },
+    /// An attribute name was not found in the schema.
+    UnknownAttribute(String),
+    /// An attribute index was out of bounds for the schema.
+    AttrOutOfBounds { attr: usize, arity: usize },
+    /// Two tuples could not be composed over the requested attribute
+    /// because they disagree on some other attribute (Def. 1).
+    NotComposable { attr: usize },
+    /// A decomposition was requested for a value absent from the component
+    /// (Def. 2 requires `ex` to be a member of the `Ed` component).
+    ValueNotInComponent { attr: usize },
+    /// The relation would contain two tuples whose expansions overlap,
+    /// violating the partition invariant (DESIGN.md D1).
+    OverlappingTuples,
+    /// The flat tuple already exists in the relation (`R*` is a set).
+    DuplicateFlatTuple,
+    /// The flat tuple was not found in the relation.
+    FlatTupleNotFound,
+    /// A permutation/nest order did not cover the schema exactly once.
+    InvalidNestOrder(String),
+}
+
+impl fmt::Display for NfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NfError::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: schema has {expected} attributes, tuple has {got}")
+            }
+            NfError::EmptyValueSet { attr } => {
+                write!(f, "empty value set for attribute #{attr}")
+            }
+            NfError::SchemaMismatch { left, right } => {
+                write!(f, "schema mismatch: {left} vs {right}")
+            }
+            NfError::UnknownAttribute(name) => write!(f, "unknown attribute: {name}"),
+            NfError::AttrOutOfBounds { attr, arity } => {
+                write!(f, "attribute index {attr} out of bounds for arity {arity}")
+            }
+            NfError::NotComposable { attr } => {
+                write!(f, "tuples are not composable over attribute #{attr}")
+            }
+            NfError::ValueNotInComponent { attr } => {
+                write!(f, "value not present in component of attribute #{attr}")
+            }
+            NfError::OverlappingTuples => {
+                write!(f, "tuple expansions overlap: relation is not a partition of R*")
+            }
+            NfError::DuplicateFlatTuple => write!(f, "flat tuple already present in R*"),
+            NfError::FlatTupleNotFound => write!(f, "flat tuple not found in R*"),
+            NfError::InvalidNestOrder(msg) => write!(f, "invalid nest order: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NfError {}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T, E = NfError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(NfError, &str)> = vec![
+            (NfError::ArityMismatch { expected: 3, got: 2 }, "arity mismatch"),
+            (NfError::EmptyValueSet { attr: 1 }, "empty value set"),
+            (
+                NfError::SchemaMismatch { left: "R".into(), right: "S".into() },
+                "schema mismatch",
+            ),
+            (NfError::UnknownAttribute("X".into()), "unknown attribute"),
+            (NfError::AttrOutOfBounds { attr: 9, arity: 3 }, "out of bounds"),
+            (NfError::NotComposable { attr: 0 }, "not composable"),
+            (NfError::ValueNotInComponent { attr: 0 }, "not present"),
+            (NfError::OverlappingTuples, "overlap"),
+            (NfError::DuplicateFlatTuple, "already present"),
+            (NfError::FlatTupleNotFound, "not found"),
+            (NfError::InvalidNestOrder("dup".into()), "nest order"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&NfError::OverlappingTuples);
+    }
+}

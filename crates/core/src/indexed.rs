@@ -1,0 +1,413 @@
+//! Index-accelerated canonical maintenance — the "optimization strategy"
+//! the paper leaves open (§5: "We didn't mean to optimize the algorithm,
+//! but the optimization strategy is another problem").
+//!
+//! [`CanonicalRelation`](crate::maintenance::CanonicalRelation) scans all
+//! tuples per `candt`/`searcht` probe: Theorem A-4 bounds *compositions*,
+//! not probe time, so wall-clock per update still grows with the tuple
+//! count. [`IndexedCanonicalRelation`] maintains inverted postings
+//! `(attribute, value) → tuple slots` so that candidate search touches
+//! only tuples sharing values with `t`. Behaviour is bit-identical to the
+//! unindexed engine (property-tested); only the probe complexity changes.
+
+use std::collections::HashMap;
+
+use crate::compose::{compose, decompose_set};
+use crate::error::{NfError, Result};
+use crate::maintenance::CostCounter;
+use crate::relation::{FlatRelation, NfRelation};
+use crate::schema::{NestOrder, Schema};
+use crate::tuple::{FlatTuple, NfTuple};
+use crate::value::Atom;
+use std::sync::Arc;
+
+/// A slot id in the tuple arena (stable across unrelated updates).
+type Slot = usize;
+
+/// Canonical NFR with inverted-index-accelerated §4 maintenance.
+///
+/// Tuples live in a slotted arena; `postings[(attr, value)]` holds the
+/// slots of tuples whose `attr` component contains `value`. The §4
+/// algorithms run exactly as in the scan engine, but `candt` intersects
+/// postings instead of scanning the arena, and `searcht` probes the
+/// postings of the most selective attribute.
+#[derive(Debug, Clone)]
+pub struct IndexedCanonicalRelation {
+    schema: Arc<Schema>,
+    order: NestOrder,
+    /// Tuple arena; `None` marks free slots.
+    arena: Vec<Option<NfTuple>>,
+    free: Vec<Slot>,
+    postings: HashMap<(usize, Atom), Vec<Slot>>,
+    live: usize,
+}
+
+impl IndexedCanonicalRelation {
+    /// An empty indexed canonical relation.
+    pub fn new(schema: Arc<Schema>, order: NestOrder) -> Result<Self> {
+        if order.arity() != schema.arity() {
+            return Err(NfError::InvalidNestOrder(format!(
+                "order covers {} attributes, schema has {}",
+                order.arity(),
+                schema.arity()
+            )));
+        }
+        Ok(Self {
+            schema,
+            order,
+            arena: Vec::new(),
+            free: Vec::new(),
+            postings: HashMap::new(),
+            live: 0,
+        })
+    }
+
+    /// Builds from a 1NF relation by nesting, then indexing.
+    pub fn from_flat(flat: &FlatRelation, order: NestOrder) -> Result<Self> {
+        let rel = crate::nest::canonical_of_flat(flat, &order);
+        let mut this = Self::new(flat.schema().clone(), order)?;
+        for t in rel.into_tuples() {
+            this.arena_insert(t);
+        }
+        Ok(this)
+    }
+
+    /// The nest order.
+    pub fn order(&self) -> &NestOrder {
+        &self.order
+    }
+
+    /// Number of NF² tuples.
+    pub fn tuple_count(&self) -> usize {
+        self.live
+    }
+
+    /// Materialises the current relation (sorted for comparison).
+    pub fn to_relation(&self) -> NfRelation {
+        let tuples: Vec<NfTuple> = self.arena.iter().flatten().cloned().collect();
+        NfRelation::from_tuples(self.schema.clone(), tuples)
+            .expect("indexed engine maintains the partition invariant")
+    }
+
+    /// Whether `R*` contains `flat` — indexed `searcht`.
+    pub fn contains(&self, flat: &[Atom]) -> bool {
+        self.searcht(flat).is_some()
+    }
+
+    /// §4.2 insertion; returns `true` if the row was new.
+    pub fn insert(&mut self, flat: FlatTuple, cost: &mut CostCounter) -> Result<bool> {
+        if flat.len() != self.schema.arity() {
+            return Err(NfError::ArityMismatch { expected: self.schema.arity(), got: flat.len() });
+        }
+        if self.searcht(&flat).is_some() {
+            return Ok(false);
+        }
+        let t = NfTuple::from_flat(&flat);
+        self.recons(t, cost);
+        Ok(true)
+    }
+
+    /// §4.3 deletion; returns `true` if the row existed.
+    pub fn delete(&mut self, flat: &[Atom], cost: &mut CostCounter) -> Result<bool> {
+        if flat.len() != self.schema.arity() {
+            return Err(NfError::ArityMismatch { expected: self.schema.arity(), got: flat.len() });
+        }
+        let Some(slot) = self.searcht(flat) else {
+            return Ok(false);
+        };
+        let mut q = self.arena_remove(slot);
+        for pos in (0..self.order.arity()).rev() {
+            let attr = self.order.attr_at(pos);
+            let split = decompose_set(&q, attr, &crate::tuple::ValueSet::singleton(flat[attr]))
+                .expect("searcht guarantees membership");
+            if let Some(rem) = split.remainder {
+                cost.decompositions += 1;
+                self.recons(rem, cost);
+            }
+            q = split.isolated;
+        }
+        debug_assert_eq!(q.to_flat().as_deref(), Some(flat));
+        Ok(true)
+    }
+
+    /// Indexed `searcht`: probes the postings of the first attribute and
+    /// filters by containment.
+    fn searcht(&self, flat: &[Atom]) -> Option<Slot> {
+        let probe_attr = 0usize;
+        let slots = self.postings.get(&(probe_attr, flat[probe_attr]))?;
+        slots.iter().copied().find(|&s| {
+            self.arena[s]
+                .as_ref()
+                .is_some_and(|t| t.contains_flat(flat))
+        })
+    }
+
+    /// Indexed `candt`: candidate tuples must contain every value of `t`
+    /// on at least the last-position attribute (for `m < n`) or equal
+    /// `t`'s first component (for `m = n-1` cases); postings for `t`'s
+    /// values cover all possibilities, so the union of posting lists for
+    /// one representative value per attribute is a complete candidate
+    /// pool. We probe the shortest posting list among `t`'s first values
+    /// per attribute, then run the exact predicate.
+    fn candt(&self, t: &NfTuple, cost: &mut CostCounter) -> Option<(Slot, usize)> {
+        let n = self.order.arity();
+        // Candidate pool: any tuple matching the predicate at position m
+        // must contain t's E(k) values for every k > m, and equal them
+        // for k < m. In both cases it shares t's values on every
+        // attribute except possibly the composition attribute itself —
+        // so for each position m, tuples in the pool appear in the
+        // postings of any value of t on any attribute other than m.
+        // Probing two distinct attributes' postings therefore covers
+        // every m: a candidate misses attribute a's postings only when
+        // m = a.
+        let mut pool: Vec<Slot> = Vec::new();
+        if n == 1 {
+            // Degenerate arity: the position-0 predicate is vacuous, so
+            // every live tuple is a potential candidate.
+            pool.extend((0..self.arena.len()).filter(|&s| self.arena[s].is_some()));
+        } else {
+            let probe_a = self.order.attr_at(n - 1);
+            let probe_b = self.order.attr_at(n - 2);
+            for attr in [probe_a, probe_b] {
+                let v = t.component(attr).as_slice()[0];
+                if let Some(slots) = self.postings.get(&(attr, v)) {
+                    pool.extend_from_slice(slots);
+                }
+            }
+        }
+        pool.sort_unstable();
+        pool.dedup();
+
+        let mut best: Option<(Slot, usize)> = None;
+        for slot in pool {
+            let Some(s) = self.arena[slot].as_ref() else { continue };
+            cost.candidate_probes += 1;
+            for m in 0..n {
+                if best.is_some_and(|(_, bm)| bm <= m) {
+                    break;
+                }
+                if self.is_candidate_at(s, t, m) {
+                    debug_assert!(
+                        best.is_none_or(|(bs, bm)| bm != m || bs == slot),
+                        "Lemma A-1: at most one candidate at the minimal position"
+                    );
+                    best = Some((slot, m));
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    fn is_candidate_at(&self, s: &NfTuple, t: &NfTuple, m: usize) -> bool {
+        let n = self.order.arity();
+        for k in 0..n {
+            let attr = self.order.attr_at(k);
+            let (sc, tc) = (s.component(attr), t.component(attr));
+            if k < m {
+                if sc != tc {
+                    return false;
+                }
+            } else if k > m && !tc.is_subset_of(sc) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The §4 `recons`, identical control flow to the scan engine.
+    fn recons(&mut self, t: NfTuple, cost: &mut CostCounter) {
+        cost.recons_calls += 1;
+        match self.candt(&t, cost) {
+            None => {
+                self.arena_insert(t);
+            }
+            Some((slot, m)) => {
+                let mut p = self.arena_remove(slot);
+                let n = self.order.arity();
+                for pos in ((m + 1)..n).rev() {
+                    let attr = self.order.attr_at(pos);
+                    let split = decompose_set(&p, attr, t.component(attr))
+                        .expect("candidate predicate guarantees containment above m");
+                    if let Some(rem) = split.remainder {
+                        cost.decompositions += 1;
+                        self.recons(rem, cost);
+                    }
+                    p = split.isolated;
+                }
+                let attr_m = self.order.attr_at(m);
+                let w = compose(&p, &t, attr_m).expect("Lemma A-2");
+                cost.compositions += 1;
+                self.recons(w, cost);
+            }
+        }
+    }
+
+    fn arena_insert(&mut self, t: NfTuple) -> Slot {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.arena[s] = Some(t);
+                s
+            }
+            None => {
+                self.arena.push(Some(t));
+                self.arena.len() - 1
+            }
+        };
+        let t = self.arena[slot].as_ref().expect("just inserted");
+        for attr in 0..self.schema.arity() {
+            for v in t.component(attr).iter() {
+                self.postings.entry((attr, v)).or_default().push(slot);
+            }
+        }
+        self.live += 1;
+        slot
+    }
+
+    fn arena_remove(&mut self, slot: Slot) -> NfTuple {
+        let t = self.arena[slot].take().expect("slot must be live");
+        for attr in 0..self.schema.arity() {
+            for v in t.component(attr).iter() {
+                if let Some(list) = self.postings.get_mut(&(attr, v)) {
+                    if let Some(pos) = list.iter().position(|&s| s == slot) {
+                        list.swap_remove(pos);
+                    }
+                    if list.is_empty() {
+                        self.postings.remove(&(attr, v));
+                    }
+                }
+            }
+        }
+        self.free.push(slot);
+        self.live -= 1;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maintenance::CanonicalRelation;
+    use crate::schema::Schema;
+
+    fn schema3() -> Arc<Schema> {
+        Schema::new("R", &["A", "B", "C"]).unwrap()
+    }
+
+    fn row(vals: &[u32]) -> FlatTuple {
+        vals.iter().map(|&v| Atom(v)).collect()
+    }
+
+    #[test]
+    fn indexed_matches_scan_engine_on_random_streams() {
+        for order in NestOrder::all(3) {
+            let mut indexed =
+                IndexedCanonicalRelation::new(schema3(), order.clone()).unwrap();
+            let mut scan = CanonicalRelation::new(schema3(), order.clone()).unwrap();
+            let mut state = 0xabcdefu64;
+            for _ in 0..400 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let r = row(&[
+                    (state >> 8) as u32 % 5,
+                    10 + (state >> 24) as u32 % 5,
+                    20 + (state >> 40) as u32 % 4,
+                ]);
+                let mut c1 = CostCounter::new();
+                if state.is_multiple_of(3) {
+                    let a = indexed.delete(&r, &mut c1).unwrap();
+                    let b = scan.delete(&r).unwrap();
+                    assert_eq!(a, b);
+                } else {
+                    let a = indexed.insert(r.clone(), &mut c1).unwrap();
+                    let b = scan.insert(r).unwrap();
+                    assert_eq!(a, b);
+                }
+            }
+            assert_eq!(
+                &indexed.to_relation(),
+                scan.relation(),
+                "indexed and scan engines must agree for order {order}"
+            );
+        }
+    }
+
+    #[test]
+    fn indexed_from_flat_matches_scan() {
+        let flat = FlatRelation::from_rows(
+            schema3(),
+            (0..60u32).map(|i| row(&[i % 6, 10 + i % 4, 20 + i % 3])),
+        )
+        .unwrap();
+        let order = NestOrder::identity(3);
+        let indexed = IndexedCanonicalRelation::from_flat(&flat, order.clone()).unwrap();
+        let scan = CanonicalRelation::from_flat(&flat, order).unwrap();
+        assert_eq!(&indexed.to_relation(), scan.relation());
+        assert_eq!(indexed.tuple_count(), scan.tuple_count());
+    }
+
+    #[test]
+    fn indexed_probes_fewer_tuples_on_large_relations() {
+        // The whole point: candidate probes scale with postings, not with
+        // the relation size.
+        let flat = FlatRelation::from_rows(
+            schema3(),
+            (0..4000u32).map(|i| row(&[i % 500, 10_000 + i % 40, 20_000 + i % 7])),
+        )
+        .unwrap();
+        let order = NestOrder::identity(3);
+        let mut indexed = IndexedCanonicalRelation::from_flat(&flat, order.clone()).unwrap();
+        let mut scan = CanonicalRelation::from_flat(&flat, order).unwrap();
+
+        let probe = row(&[501, 10_041, 20_008]); // fresh values
+        let mut ic = CostCounter::new();
+        indexed.insert(probe.clone(), &mut ic).unwrap();
+        let mut sc = CostCounter::new();
+        scan.insert_counted(probe, &mut sc).unwrap();
+        assert!(
+            ic.candidate_probes * 10 < sc.candidate_probes.max(1),
+            "indexed probes ({}) should be far below scan probes ({})",
+            ic.candidate_probes,
+            sc.candidate_probes
+        );
+    }
+
+    #[test]
+    fn contains_and_counts() {
+        let mut idx = IndexedCanonicalRelation::new(schema3(), NestOrder::identity(3)).unwrap();
+        let mut cost = CostCounter::new();
+        assert!(idx.insert(row(&[1, 11, 21]), &mut cost).unwrap());
+        assert!(!idx.insert(row(&[1, 11, 21]), &mut cost).unwrap());
+        assert!(idx.contains(&row(&[1, 11, 21])));
+        assert!(!idx.contains(&row(&[2, 11, 21])));
+        assert_eq!(idx.tuple_count(), 1);
+        assert!(idx.delete(&row(&[1, 11, 21]), &mut cost).unwrap());
+        assert!(!idx.delete(&row(&[1, 11, 21]), &mut cost).unwrap());
+        assert_eq!(idx.tuple_count(), 0);
+    }
+
+    #[test]
+    fn arity_checks() {
+        let mut idx = IndexedCanonicalRelation::new(schema3(), NestOrder::identity(3)).unwrap();
+        let mut cost = CostCounter::new();
+        assert!(idx.insert(row(&[1]), &mut cost).is_err());
+        assert!(idx.delete(&row(&[1]), &mut cost).is_err());
+        assert!(IndexedCanonicalRelation::new(schema3(), NestOrder::identity(2)).is_err());
+    }
+
+    #[test]
+    fn slot_reuse_keeps_postings_consistent() {
+        let mut idx = IndexedCanonicalRelation::new(schema3(), NestOrder::identity(3)).unwrap();
+        let mut cost = CostCounter::new();
+        for i in 0..30u32 {
+            idx.insert(row(&[i % 3, 10 + i % 3, 20 + i % 2]), &mut cost).unwrap();
+        }
+        for i in 0..30u32 {
+            idx.delete(&row(&[i % 3, 10 + i % 3, 20 + i % 2]), &mut cost).unwrap();
+        }
+        assert_eq!(idx.tuple_count(), 0);
+        assert!(idx.postings.is_empty(), "no stale postings after full teardown");
+        // Rebuild after teardown works.
+        idx.insert(row(&[9, 19, 29]), &mut cost).unwrap();
+        assert!(idx.contains(&row(&[9, 19, 29])));
+    }
+}

@@ -1,0 +1,347 @@
+//! Cardinality classes and fixedness (Definitions 6–7, Fig. 3).
+//!
+//! Def. 6 classifies how values of an attribute relate to tuples: whether a
+//! value appears in at most one tuple or several, and whether it appears as
+//! a singleton component or inside a compound set. Def. 7's *fixedness* is
+//! the paper's key notion on NFRs: `R` is fixed on `F1 … Fk` when every
+//! combination of values drawn from those attributes is contained in at
+//! most one tuple.
+
+use std::collections::HashMap;
+
+use crate::relation::NfRelation;
+use crate::schema::{AttrId, NestOrder};
+use crate::value::Atom;
+
+/// Def. 6 — the correspondence class of an attribute in a relation.
+///
+/// The first axis is tuple multiplicity (does some value appear in more
+/// than one tuple?), the second is component compoundness (does some value
+/// appear inside a non-singleton set?). The class of the attribute is the
+/// least upper bound over all its values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CardinalityClass {
+    /// `1:1` — every value appears in at most one tuple, always as a
+    /// singleton component.
+    OneToOne,
+    /// `n:1` — every value appears in at most one tuple, some inside a
+    /// compound set.
+    NToOne,
+    /// `1:n` — some value appears in several tuples, all occurrences are
+    /// singleton components.
+    OneToN,
+    /// `m:n` — some value appears in several tuples and some occurrence is
+    /// inside a compound set.
+    MToN,
+}
+
+impl std::fmt::Display for CardinalityClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CardinalityClass::OneToOne => "1:1",
+            CardinalityClass::NToOne => "n:1",
+            CardinalityClass::OneToN => "1:n",
+            CardinalityClass::MToN => "m:n",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Def. 6 — classifies attribute `attr` in `rel`.
+///
+/// An empty relation (or an attribute with no values) is vacuously `1:1`.
+pub fn cardinality_class(rel: &NfRelation, attr: AttrId) -> CardinalityClass {
+    let mut tuple_count: HashMap<Atom, usize> = HashMap::new();
+    let mut in_compound: HashMap<Atom, bool> = HashMap::new();
+    for t in rel.tuples() {
+        let comp = t.component(attr);
+        let compound = !comp.is_singleton();
+        for v in comp.iter() {
+            *tuple_count.entry(v).or_insert(0) += 1;
+            let e = in_compound.entry(v).or_insert(false);
+            *e = *e || compound;
+        }
+    }
+    let multi = tuple_count.values().any(|&c| c > 1);
+    let compound = in_compound.values().any(|&c| c);
+    match (multi, compound) {
+        (false, false) => CardinalityClass::OneToOne,
+        (false, true) => CardinalityClass::NToOne,
+        (true, false) => CardinalityClass::OneToN,
+        (true, true) => CardinalityClass::MToN,
+    }
+}
+
+/// Def. 7 — whether `rel` is fixed on the attribute set `attrs`: every
+/// combination `(f1, …, fk)` with `fi` drawn from each tuple's `Fi`
+/// component appears in at most one tuple.
+///
+/// Equivalently: no two distinct tuples intersect on *all* of `attrs` —
+/// checked pairwise in `O(T² · k)` set operations.
+pub fn is_fixed_on(rel: &NfRelation, attrs: &[AttrId]) -> bool {
+    if attrs.is_empty() {
+        // A 0-attribute combination (the empty tuple) is "contained" in
+        // every tuple: only relations with ≤ 1 tuple are fixed on ∅.
+        return rel.tuple_count() <= 1;
+    }
+    let ts = rel.tuples();
+    for i in 0..ts.len() {
+        for j in (i + 1)..ts.len() {
+            let share_all = attrs.iter().all(|&a| {
+                !ts[i].component(a).is_disjoint_from(ts[j].component(a))
+            });
+            if share_all {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// All minimal attribute subsets on which `rel` is fixed.
+///
+/// Enumerates subsets (exponential in arity — intended for the paper's
+/// small degrees). A subset is reported only if no proper subset of it is
+/// fixed.
+pub fn minimal_fixed_sets(rel: &NfRelation) -> Vec<Vec<AttrId>> {
+    let n = rel.arity();
+    assert!(n <= 16, "minimal_fixed_sets enumerates 2^n subsets; arity {n} too large");
+    let mut fixed_masks: Vec<u32> = Vec::new();
+    for mask in 1u32..(1 << n) {
+        let attrs: Vec<AttrId> = (0..n).filter(|&a| mask & (1 << a) != 0).collect();
+        if is_fixed_on(rel, &attrs) {
+            fixed_masks.push(mask);
+        }
+    }
+    let minimal: Vec<u32> = fixed_masks
+        .iter()
+        .copied()
+        .filter(|&m| !fixed_masks.iter().any(|&o| o != m && o & m == o))
+        .collect();
+    minimal
+        .into_iter()
+        .map(|m| (0..n).filter(|&a| m & (1 << a) != 0).collect())
+        .collect()
+}
+
+/// A point in Fig. 3's diagram: how one NFR relates to the canonical /
+/// irreducible / fixed regions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Classification {
+    /// Whether no composition applies (Def. 3).
+    pub irreducible: bool,
+    /// The nest orders whose canonical form equals this relation (empty if
+    /// the relation is not canonical for any order).
+    pub canonical_for: Vec<NestOrder>,
+    /// Minimal attribute sets on which the relation is fixed (Def. 7).
+    pub fixed_on: Vec<Vec<AttrId>>,
+}
+
+impl Classification {
+    /// Whether the relation is canonical for at least one order.
+    pub fn is_canonical(&self) -> bool {
+        !self.canonical_for.is_empty()
+    }
+
+    /// Whether the relation is fixed on at least one attribute set.
+    pub fn is_fixed(&self) -> bool {
+        !self.fixed_on.is_empty()
+    }
+}
+
+/// Classifies `rel` for Fig. 3: irreducibility, the set of nest orders it
+/// is canonical for, and its minimal fixed attribute sets.
+///
+/// Tries all `n!` orders — small arities only.
+pub fn classify(rel: &NfRelation) -> Classification {
+    let flat = rel.expand();
+    let canonical_for = NestOrder::all(rel.arity())
+        .into_iter()
+        .filter(|order| crate::nest::canonical_of_flat(&flat, order) == *rel)
+        .collect();
+    Classification {
+        irreducible: crate::irreducible::is_irreducible(rel),
+        canonical_for,
+        fixed_on: minimal_fixed_sets(rel),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::FlatRelation;
+    use crate::schema::Schema;
+    use crate::tuple::{NfTuple, ValueSet};
+    use std::sync::Arc;
+
+    fn schema(attrs: &[&str]) -> Arc<Schema> {
+        Schema::new("R", attrs).unwrap()
+    }
+
+    fn vs(ids: &[u32]) -> ValueSet {
+        ValueSet::new(ids.iter().map(|&i| Atom(i)).collect()).unwrap()
+    }
+
+    fn t(comps: &[&[u32]]) -> NfTuple {
+        NfTuple::new(comps.iter().map(|c| vs(c)).collect())
+    }
+
+    fn rel(attrs: &[&str], tuples: Vec<NfTuple>) -> NfRelation {
+        NfRelation::from_tuples(schema(attrs), tuples).unwrap()
+    }
+
+    #[test]
+    fn cardinality_one_to_one() {
+        let r = rel(&["A", "B"], vec![t(&[&[1], &[11]]), t(&[&[2], &[12]])]);
+        assert_eq!(cardinality_class(&r, 0), CardinalityClass::OneToOne);
+    }
+
+    #[test]
+    fn cardinality_n_to_one() {
+        // a1, a2 live inside one compound component of a single tuple.
+        let r = rel(&["A", "B"], vec![t(&[&[1, 2], &[11]])]);
+        assert_eq!(cardinality_class(&r, 0), CardinalityClass::NToOne);
+    }
+
+    #[test]
+    fn cardinality_one_to_n() {
+        // b11 appears as a singleton in two tuples.
+        let r = rel(&["A", "B"], vec![t(&[&[1], &[11]]), t(&[&[2], &[11]])]);
+        assert_eq!(cardinality_class(&r, 1), CardinalityClass::OneToN);
+    }
+
+    #[test]
+    fn cardinality_m_to_n() {
+        // b11 appears in two tuples, once inside a compound set.
+        let r = rel(
+            &["A", "B"],
+            vec![t(&[&[1], &[11, 12]]), t(&[&[2], &[11]])],
+        );
+        assert_eq!(cardinality_class(&r, 1), CardinalityClass::MToN);
+    }
+
+    #[test]
+    fn cardinality_display() {
+        assert_eq!(CardinalityClass::MToN.to_string(), "m:n");
+        assert_eq!(CardinalityClass::OneToOne.to_string(), "1:1");
+    }
+
+    #[test]
+    fn example1_fixedness_under_def7() {
+        // Example 1's narrative says "R1 is fixed on A and R2 on B", but
+        // under Def. 7 (each value combination contained in at most one
+        // tuple — the reading Example 3 and Theorems 3-5 require) the
+        // attributes are swapped: composing over A leaves a2 in both
+        // tuples of R1, so R1 is fixed on B = U - {A}, exactly as
+        // Theorem 5 predicts for a nest on A. See DESIGN.md D8.
+        let r = rel(
+            &["A", "B"],
+            vec![
+                t(&[&[1], &[11]]),
+                t(&[&[2], &[11]]),
+                t(&[&[2], &[12]]),
+                t(&[&[3], &[12]]),
+            ],
+        );
+        assert!(!is_fixed_on(&r, &[0]));
+        assert!(!is_fixed_on(&r, &[1]));
+
+        let r1 = rel(&["A", "B"], vec![t(&[&[1, 2], &[11]]), t(&[&[2, 3], &[12]])]);
+        assert!(is_fixed_on(&r1, &[1]), "R1 (nested on A) is fixed on B");
+        assert!(!is_fixed_on(&r1, &[0]), "a2 appears in both tuples of R1");
+
+        let r2 = rel(
+            &["A", "B"],
+            vec![t(&[&[1], &[11]]), t(&[&[2], &[11, 12]]), t(&[&[3], &[12]])],
+        );
+        assert!(is_fixed_on(&r2, &[0]), "R2 (nested on B) is fixed on A");
+        assert!(!is_fixed_on(&r2, &[1]), "b1 appears in two tuples of R2");
+    }
+
+    #[test]
+    fn example3_fixedness_matches_paper() {
+        // Example 3: R7 is fixed on A, R8 is not — this example pins the
+        // per-value reading of Def. 7.
+        let r7 = rel(
+            &["A", "B", "C"],
+            vec![
+                t(&[&[1], &[11, 12], &[21]]),
+                t(&[&[2], &[11], &[21, 22]]),
+            ],
+        );
+        assert!(is_fixed_on(&r7, &[0]), "R7 is fixed on A");
+
+        let r8 = rel(
+            &["A", "B", "C"],
+            vec![
+                t(&[&[1, 2], &[11], &[21]]),
+                t(&[&[1], &[12], &[21]]),
+                t(&[&[2], &[11], &[22]]),
+            ],
+        );
+        assert!(!is_fixed_on(&r8, &[0]), "a1 appears in two tuples of R8");
+    }
+
+    #[test]
+    fn fixed_on_all_attrs_iff_partition_of_distinct_rectangles() {
+        // Fixedness on the full attribute set holds iff no two tuples
+        // overlap on every attribute — always true for a valid NFR.
+        let r = rel(&["A", "B"], vec![t(&[&[1, 2], &[11]]), t(&[&[2], &[12]])]);
+        assert!(is_fixed_on(&r, &[0, 1]));
+    }
+
+    #[test]
+    fn fixed_on_empty_set() {
+        let one = rel(&["A", "B"], vec![t(&[&[1], &[11]])]);
+        assert!(is_fixed_on(&one, &[]));
+        let two = rel(&["A", "B"], vec![t(&[&[1], &[11]]), t(&[&[2], &[12]])]);
+        assert!(!is_fixed_on(&two, &[]));
+    }
+
+    #[test]
+    fn minimal_fixed_sets_are_minimal() {
+        // R1 from Example 1: A-sets {a1,a2} and {a2,a3} share a2, so {A}
+        // is not fixed; B-sets {b1} and {b2} are disjoint, so {B} is the
+        // unique minimal fixed set. {A,B} is fixed but not minimal.
+        let r1 = rel(&["A", "B"], vec![t(&[&[1, 2], &[11]]), t(&[&[2, 3], &[12]])]);
+        let sets = minimal_fixed_sets(&r1);
+        assert_eq!(sets, vec![vec![1]]);
+    }
+
+    #[test]
+    fn classify_canonical_and_irreducible() {
+        // Example 1's R1 = ν_{B}(ν_{A}(R)): canonical for A-first order.
+        let r1 = rel(&["A", "B"], vec![t(&[&[1, 2], &[11]]), t(&[&[2, 3], &[12]])]);
+        let c = classify(&r1);
+        assert!(c.irreducible);
+        assert!(c.is_canonical());
+        assert!(c
+            .canonical_for
+            .contains(&NestOrder::identity(2)));
+        assert!(c.is_fixed());
+    }
+
+    #[test]
+    fn classify_non_canonical_irreducible() {
+        // Example 2's 3-tuple minimum is irreducible but canonical for no
+        // order.
+        let f = FlatRelation::from_rows(
+            schema(&["A", "B", "C"]),
+            [
+                [1u32, 11, 22],
+                [1, 12, 22],
+                [1, 12, 21],
+                [2, 11, 22],
+                [2, 11, 21],
+                [2, 12, 21],
+            ]
+            .iter()
+            .map(|r| r.iter().map(|&v| Atom(v)).collect()),
+        )
+        .unwrap();
+        let min = crate::irreducible::minimum_partition(&f);
+        let c = classify(&min);
+        assert!(c.irreducible);
+        assert!(!c.is_canonical(), "the 3-tuple form is reachable by no nest order");
+    }
+}

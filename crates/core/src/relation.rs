@@ -1,0 +1,393 @@
+//! Flat (1NF) and NF² relations, and the `R ↔ R*` correspondence
+//! (Theorem 1).
+//!
+//! An [`NfRelation`] is a set of NF² tuples whose expansions are pairwise
+//! disjoint — exactly the class of relations reachable from a 1NF relation
+//! by compositions and decompositions (DESIGN.md D1). Its underlying 1NF
+//! relation `R*` is therefore unique (Theorem 1): [`NfRelation::expand`]
+//! computes it, and [`NfRelation::from_flat`] embeds a 1NF relation as the
+//! all-singleton NFR.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use crate::error::{NfError, Result};
+use crate::schema::Schema;
+use crate::tuple::{FlatTuple, NfTuple};
+
+/// A first-normal-form relation: a *set* of flat tuples over a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatRelation {
+    schema: Arc<Schema>,
+    rows: BTreeSet<FlatTuple>,
+}
+
+impl FlatRelation {
+    /// An empty 1NF relation.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        Self { schema, rows: BTreeSet::new() }
+    }
+
+    /// Builds from rows, validating arity. Duplicate rows collapse (set
+    /// semantics).
+    pub fn from_rows<I>(schema: Arc<Schema>, rows: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = FlatTuple>,
+    {
+        let mut rel = Self::new(schema);
+        for row in rows {
+            rel.insert(row)?;
+        }
+        Ok(rel)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Inserts a row. Returns `true` if it was new.
+    pub fn insert(&mut self, row: FlatTuple) -> Result<bool> {
+        if row.len() != self.schema.arity() {
+            return Err(NfError::ArityMismatch { expected: self.schema.arity(), got: row.len() });
+        }
+        Ok(self.rows.insert(row))
+    }
+
+    /// Removes a row. Returns `true` if it was present.
+    pub fn remove(&mut self, row: &[crate::value::Atom]) -> bool {
+        self.rows.remove(row)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, row: &[crate::value::Atom]) -> bool {
+        self.rows.contains(row)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates rows in lexicographic order.
+    pub fn rows(&self) -> impl Iterator<Item = &FlatTuple> {
+        self.rows.iter()
+    }
+
+    /// Consumes the relation, yielding its rows.
+    pub fn into_rows(self) -> BTreeSet<FlatTuple> {
+        self.rows
+    }
+}
+
+/// A non-first-normal-form relation: distinct NF² tuples with pairwise
+/// disjoint expansions over a shared schema.
+///
+/// The tuple *order* is not semantically meaningful; equality compares the
+/// underlying sets of tuples.
+#[derive(Debug, Clone)]
+pub struct NfRelation {
+    schema: Arc<Schema>,
+    tuples: Vec<NfTuple>,
+}
+
+impl NfRelation {
+    /// An empty NFR.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        Self { schema, tuples: Vec::new() }
+    }
+
+    /// Builds an NFR from tuples, validating the partition invariant.
+    pub fn from_tuples(schema: Arc<Schema>, tuples: Vec<NfTuple>) -> Result<Self> {
+        let rel = Self { schema, tuples };
+        rel.validate()?;
+        Ok(rel)
+    }
+
+    /// Builds an NFR from tuples **without** validating. For internal use
+    /// by operations that preserve the invariant by construction.
+    pub(crate) fn from_tuples_unchecked(schema: Arc<Schema>, tuples: Vec<NfTuple>) -> Self {
+        let rel = Self { schema, tuples };
+        debug_assert!(rel.validate().is_ok(), "internal operation broke the NFR invariant");
+        rel
+    }
+
+    /// Embeds a 1NF relation as the NFR of singleton tuples — the starting
+    /// point of every composition sequence (§3.2).
+    pub fn from_flat(flat: &FlatRelation) -> Self {
+        let tuples = flat.rows().map(|r| NfTuple::from_flat(r)).collect();
+        Self { schema: flat.schema().clone(), tuples }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The degree `n`.
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// The NF² tuples (order not significant).
+    pub fn tuples(&self) -> &[NfTuple] {
+        &self.tuples
+    }
+
+    /// Number of NF² tuples.
+    pub fn tuple_count(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Number of flat tuples represented (`|R*|`), without materialising
+    /// the expansion.
+    pub fn flat_count(&self) -> u128 {
+        self.tuples.iter().map(NfTuple::expansion_count).sum()
+    }
+
+    /// Whether the relation represents no flat tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Theorem 1 — the unique underlying 1NF relation `R*`.
+    pub fn expand(&self) -> FlatRelation {
+        let mut rows = BTreeSet::new();
+        for t in &self.tuples {
+            for flat in t.expand() {
+                let fresh = rows.insert(flat);
+                debug_assert!(fresh, "partition invariant: expansions are disjoint");
+            }
+        }
+        FlatRelation { schema: self.schema.clone(), rows }
+    }
+
+    /// Whether some tuple's expansion contains `flat`.
+    pub fn contains_flat(&self, flat: &[crate::value::Atom]) -> bool {
+        self.find_containing(flat).is_some()
+    }
+
+    /// Index of the (unique, by disjointness) tuple containing `flat` —
+    /// the paper's `searcht`.
+    pub fn find_containing(&self, flat: &[crate::value::Atom]) -> Option<usize> {
+        self.tuples.iter().position(|t| t.contains_flat(flat))
+    }
+
+    /// Validates the representation invariants:
+    /// 1. every tuple has the schema's arity;
+    /// 2. no two identical tuples;
+    /// 3. expansions are pairwise disjoint (the partition invariant, D1).
+    pub fn validate(&self) -> Result<()> {
+        for t in &self.tuples {
+            if t.arity() != self.schema.arity() {
+                return Err(NfError::ArityMismatch {
+                    expected: self.schema.arity(),
+                    got: t.arity(),
+                });
+            }
+        }
+        for i in 0..self.tuples.len() {
+            for j in (i + 1)..self.tuples.len() {
+                if self.tuples[i] == self.tuples[j] {
+                    return Err(NfError::DuplicateFlatTuple);
+                }
+                if self.tuples[i].overlaps(&self.tuples[j]) {
+                    return Err(NfError::OverlappingTuples);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds a tuple, enforcing the partition invariant against existing
+    /// tuples.
+    pub fn push_tuple(&mut self, tuple: NfTuple) -> Result<()> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(NfError::ArityMismatch { expected: self.schema.arity(), got: tuple.arity() });
+        }
+        for t in &self.tuples {
+            if t.overlaps(&tuple) {
+                return Err(NfError::OverlappingTuples);
+            }
+        }
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// Adds a tuple without the overlap scan; callers must guarantee the
+    /// invariant.
+    pub(crate) fn push_tuple_unchecked(&mut self, tuple: NfTuple) {
+        debug_assert_eq!(tuple.arity(), self.schema.arity());
+        self.tuples.push(tuple);
+    }
+
+    /// Removes and returns the tuple at `idx`.
+    pub(crate) fn swap_remove(&mut self, idx: usize) -> NfTuple {
+        self.tuples.swap_remove(idx)
+    }
+
+    /// Tuples sorted canonically — used for order-insensitive comparison
+    /// and stable display.
+    pub fn sorted_tuples(&self) -> Vec<NfTuple> {
+        let mut ts = self.tuples.clone();
+        ts.sort();
+        ts
+    }
+
+    /// Consumes the relation, yielding its tuples.
+    pub fn into_tuples(self) -> Vec<NfTuple> {
+        self.tuples
+    }
+}
+
+impl PartialEq for NfRelation {
+    /// Equality as sets of NF² tuples (tuple order is irrelevant).
+    fn eq(&self, other: &Self) -> bool {
+        self.schema.compatible_with(&other.schema) && self.sorted_tuples() == other.sorted_tuples()
+    }
+}
+
+impl Eq for NfRelation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::ValueSet;
+    use crate::value::Atom;
+
+    fn schema2() -> Arc<Schema> {
+        Schema::new("R", &["A", "B"]).unwrap()
+    }
+
+    fn vs(ids: &[u32]) -> ValueSet {
+        ValueSet::new(ids.iter().map(|&i| Atom(i)).collect()).unwrap()
+    }
+
+    fn t(comps: &[&[u32]]) -> NfTuple {
+        NfTuple::new(comps.iter().map(|c| vs(c)).collect())
+    }
+
+    fn flat(rows: &[&[u32]]) -> FlatRelation {
+        FlatRelation::from_rows(
+            schema2(),
+            rows.iter().map(|r| r.iter().map(|&v| Atom(v)).collect()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn flat_relation_is_a_set() {
+        let mut r = flat(&[&[1, 10], &[1, 10]]);
+        assert_eq!(r.len(), 1);
+        assert!(!r.insert(vec![Atom(1), Atom(10)]).unwrap());
+        assert!(r.insert(vec![Atom(2), Atom(10)]).unwrap());
+        assert_eq!(r.len(), 2);
+        assert!(r.remove(&[Atom(2), Atom(10)]));
+        assert!(!r.remove(&[Atom(2), Atom(10)]));
+    }
+
+    #[test]
+    fn flat_relation_checks_arity() {
+        let mut r = FlatRelation::new(schema2());
+        assert!(r.insert(vec![Atom(1)]).is_err());
+    }
+
+    #[test]
+    fn from_flat_gives_singletons() {
+        let f = flat(&[&[1, 10], &[2, 20]]);
+        let nfr = NfRelation::from_flat(&f);
+        assert_eq!(nfr.tuple_count(), 2);
+        assert!(nfr.tuples().iter().all(NfTuple::is_flat));
+        assert_eq!(nfr.flat_count(), 2);
+    }
+
+    #[test]
+    fn theorem1_expand_round_trips() {
+        // Composition preserves R*: any NFR expands back to the original
+        // 1NF relation, and that expansion is unique.
+        let f = flat(&[&[1, 10], &[2, 10], &[1, 20]]);
+        let nfr = NfRelation::from_tuples(
+            schema2(),
+            vec![t(&[&[1, 2], &[10]]), t(&[&[1], &[20]])],
+        )
+        .unwrap();
+        assert_eq!(nfr.expand(), f);
+    }
+
+    #[test]
+    fn validate_rejects_overlap() {
+        let bad = NfRelation::from_tuples(
+            schema2(),
+            vec![t(&[&[1, 2], &[10]]), t(&[&[2, 3], &[10]])],
+        );
+        assert_eq!(bad.unwrap_err(), NfError::OverlappingTuples);
+    }
+
+    #[test]
+    fn validate_rejects_duplicates() {
+        let bad = NfRelation::from_tuples(schema2(), vec![t(&[&[1], &[10]]), t(&[&[1], &[10]])]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_arity() {
+        let bad = NfRelation::from_tuples(schema2(), vec![NfTuple::from_flat(&[Atom(1)])]);
+        assert_eq!(bad.unwrap_err(), NfError::ArityMismatch { expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn push_tuple_guards_invariant() {
+        let mut r = NfRelation::new(schema2());
+        r.push_tuple(t(&[&[1, 2], &[10]])).unwrap();
+        assert_eq!(
+            r.push_tuple(t(&[&[2], &[10, 20]])),
+            Err(NfError::OverlappingTuples)
+        );
+        r.push_tuple(t(&[&[3], &[10]])).unwrap();
+        assert_eq!(r.tuple_count(), 2);
+    }
+
+    #[test]
+    fn find_containing_locates_the_unique_tuple() {
+        let r = NfRelation::from_tuples(
+            schema2(),
+            vec![t(&[&[1, 2], &[10]]), t(&[&[3], &[10, 20]])],
+        )
+        .unwrap();
+        assert_eq!(r.find_containing(&[Atom(2), Atom(10)]), Some(0));
+        assert_eq!(r.find_containing(&[Atom(3), Atom(20)]), Some(1));
+        assert_eq!(r.find_containing(&[Atom(9), Atom(10)]), None);
+        assert!(r.contains_flat(&[Atom(1), Atom(10)]));
+    }
+
+    #[test]
+    fn equality_ignores_tuple_order() {
+        let a = NfRelation::from_tuples(
+            schema2(),
+            vec![t(&[&[1], &[10]]), t(&[&[2], &[20]])],
+        )
+        .unwrap();
+        let b = NfRelation::from_tuples(
+            schema2(),
+            vec![t(&[&[2], &[20]]), t(&[&[1], &[10]])],
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flat_count_avoids_materialising() {
+        let r = NfRelation::from_tuples(
+            schema2(),
+            vec![t(&[&[1, 2, 3], &[10, 20]]), t(&[&[4], &[30]])],
+        )
+        .unwrap();
+        assert_eq!(r.flat_count(), 7);
+        assert_eq!(r.expand().len(), 7);
+    }
+}

@@ -1,0 +1,285 @@
+//! Relation schemas and nest orders.
+//!
+//! A schema names the simple domains `E1 … En` a relation is defined over.
+//! A [`NestOrder`] is the permutation `P` of Def. 5: the sequence in which
+//! [`nest`](crate::nest::nest) is applied to reach a canonical form.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{NfError, Result};
+
+/// Index of an attribute within a schema (0-based).
+pub type AttrId = usize;
+
+/// A named list of attributes (simple domains) `E1 … En`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Schema {
+    name: String,
+    attrs: Vec<String>,
+}
+
+impl Schema {
+    /// Builds a schema from a relation name and attribute names.
+    ///
+    /// Attribute names must be unique and non-empty.
+    pub fn new<S: Into<String>>(name: S, attrs: &[&str]) -> Result<Arc<Self>> {
+        let name = name.into();
+        let mut seen = std::collections::HashSet::new();
+        for a in attrs {
+            if a.is_empty() {
+                return Err(NfError::UnknownAttribute("<empty>".into()));
+            }
+            if !seen.insert(*a) {
+                return Err(NfError::UnknownAttribute(format!("duplicate attribute {a}")));
+            }
+        }
+        Ok(Arc::new(Self {
+            name,
+            attrs: attrs.iter().map(|s| (*s).to_owned()).collect(),
+        }))
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes (the paper's *degree* `n`).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Attribute names in declaration order.
+    pub fn attr_names(&self) -> impl Iterator<Item = &str> {
+        self.attrs.iter().map(String::as_str)
+    }
+
+    /// Resolves an attribute name to its index.
+    pub fn attr_id(&self, name: &str) -> Result<AttrId> {
+        self.attrs
+            .iter()
+            .position(|a| a == name)
+            .ok_or_else(|| NfError::UnknownAttribute(name.to_owned()))
+    }
+
+    /// The name of attribute `id`.
+    pub fn attr_name(&self, id: AttrId) -> Result<&str> {
+        self.attrs
+            .get(id)
+            .map(String::as_str)
+            .ok_or(NfError::AttrOutOfBounds { attr: id, arity: self.arity() })
+    }
+
+    /// Whether two schemas describe the same attribute list (names may
+    /// differ; compatibility is structural, per the paper's domain-based
+    /// treatment).
+    pub fn compatible_with(&self, other: &Schema) -> bool {
+        self.attrs == other.attrs
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.attrs.join(", "))
+    }
+}
+
+/// The permutation `P` of Def. 5, stored in **application order**: the
+/// attribute at position 0 is nested first, the attribute at the last
+/// position is nested last.
+///
+/// The paper writes `ν_P` for `P = P(E1) … P(En)` with
+/// `ν_{EiEj}(R) = ν_{Ei}(ν_{Ej}(R))`, i.e. the *last listed* attribute is
+/// applied *first*. Storing application order directly removes that
+/// ambiguity (DESIGN.md D2); use [`NestOrder::from_paper_notation`] to
+/// convert a sequence written in the paper's convention.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NestOrder(Vec<AttrId>);
+
+impl NestOrder {
+    /// Builds a nest order from attribute indices in application order.
+    ///
+    /// The order must be a permutation of `0..arity`.
+    pub fn new(order: Vec<AttrId>, arity: usize) -> Result<Self> {
+        if order.len() != arity {
+            return Err(NfError::InvalidNestOrder(format!(
+                "order has {} entries, schema has arity {}",
+                order.len(),
+                arity
+            )));
+        }
+        let mut seen = vec![false; arity];
+        for &a in &order {
+            if a >= arity {
+                return Err(NfError::InvalidNestOrder(format!(
+                    "attribute index {a} out of bounds for arity {arity}"
+                )));
+            }
+            if seen[a] {
+                return Err(NfError::InvalidNestOrder(format!("attribute {a} listed twice")));
+            }
+            seen[a] = true;
+        }
+        Ok(Self(order))
+    }
+
+    /// The identity order `E1, E2, …, En` (nest `E1` first).
+    ///
+    /// This is the canonical orientation used by §4's update algorithms,
+    /// whose permutation `P = En En-1 … E1` applies `ν_{E1}` first.
+    pub fn identity(arity: usize) -> Self {
+        Self((0..arity).collect())
+    }
+
+    /// Converts a sequence written in the paper's `ν_{P(E1) … P(En)}`
+    /// notation (last listed applied first) into application order.
+    pub fn from_paper_notation(listed: Vec<AttrId>, arity: usize) -> Result<Self> {
+        let mut order = listed;
+        order.reverse();
+        Self::new(order, arity)
+    }
+
+    /// Builds a nest order from attribute names in application order.
+    pub fn from_names(schema: &Schema, names: &[&str]) -> Result<Self> {
+        let order = names
+            .iter()
+            .map(|n| schema.attr_id(n))
+            .collect::<Result<Vec<_>>>()?;
+        Self::new(order, schema.arity())
+    }
+
+    /// Attribute indices in application order.
+    pub fn as_slice(&self) -> &[AttrId] {
+        &self.0
+    }
+
+    /// Number of attributes covered.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The attribute nested at position `pos` (0 = first applied).
+    pub fn attr_at(&self, pos: usize) -> AttrId {
+        self.0[pos]
+    }
+
+    /// The position at which attribute `attr` is nested.
+    pub fn position_of(&self, attr: AttrId) -> usize {
+        self.0
+            .iter()
+            .position(|&a| a == attr)
+            .expect("attribute must be covered by the nest order")
+    }
+
+    /// Enumerates all `n!` nest orders over `arity` attributes
+    /// (Def. 5: "we have n! permutations and so do canonical forms").
+    ///
+    /// Intended for small arities; the count grows factorially.
+    pub fn all(arity: usize) -> Vec<NestOrder> {
+        let mut result = Vec::new();
+        let mut current: Vec<AttrId> = (0..arity).collect();
+        permute(&mut current, 0, &mut result);
+        result
+    }
+}
+
+fn permute(current: &mut Vec<AttrId>, k: usize, out: &mut Vec<NestOrder>) {
+    if k == current.len() {
+        out.push(NestOrder(current.clone()));
+        return;
+    }
+    for i in k..current.len() {
+        current.swap(k, i);
+        permute(current, k + 1, out);
+        current.swap(k, i);
+    }
+}
+
+impl fmt::Display for NestOrder {
+    /// Writes application order as `E0 -> E1 -> …`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.0.iter().map(|a| format!("E{a}")).collect();
+        write!(f, "{}", parts.join(" -> "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_basics() {
+        let s = Schema::new("SC", &["Student", "Course"]).unwrap();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.attr_id("Course").unwrap(), 1);
+        assert_eq!(s.attr_name(0).unwrap(), "Student");
+        assert!(s.attr_id("Club").is_err());
+        assert!(s.attr_name(5).is_err());
+        assert_eq!(s.to_string(), "SC(Student, Course)");
+    }
+
+    #[test]
+    fn schema_rejects_duplicate_attrs() {
+        assert!(Schema::new("R", &["A", "A"]).is_err());
+        assert!(Schema::new("R", &["A", ""]).is_err());
+    }
+
+    #[test]
+    fn schema_compatibility_is_structural() {
+        let a = Schema::new("R", &["A", "B"]).unwrap();
+        let b = Schema::new("S", &["A", "B"]).unwrap();
+        let c = Schema::new("T", &["A", "C"]).unwrap();
+        assert!(a.compatible_with(&b));
+        assert!(!a.compatible_with(&c));
+    }
+
+    #[test]
+    fn nest_order_validation() {
+        assert!(NestOrder::new(vec![0, 1, 2], 3).is_ok());
+        assert!(NestOrder::new(vec![0, 1], 3).is_err());
+        assert!(NestOrder::new(vec![0, 0, 1], 3).is_err());
+        assert!(NestOrder::new(vec![0, 1, 5], 3).is_err());
+    }
+
+    #[test]
+    fn identity_order() {
+        let o = NestOrder::identity(3);
+        assert_eq!(o.as_slice(), &[0, 1, 2]);
+        assert_eq!(o.attr_at(0), 0);
+        assert_eq!(o.position_of(2), 2);
+    }
+
+    #[test]
+    fn paper_notation_reverses() {
+        // P = E2 E1 E0 in the paper applies ν_{E0} first.
+        let o = NestOrder::from_paper_notation(vec![2, 1, 0], 3).unwrap();
+        assert_eq!(o.as_slice(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn from_names_resolves() {
+        let s = Schema::new("R", &["A", "B", "C"]).unwrap();
+        let o = NestOrder::from_names(&s, &["B", "C", "A"]).unwrap();
+        assert_eq!(o.as_slice(), &[1, 2, 0]);
+        assert!(NestOrder::from_names(&s, &["B", "C", "X"]).is_err());
+    }
+
+    #[test]
+    fn all_orders_has_factorial_count() {
+        assert_eq!(NestOrder::all(0).len(), 1);
+        assert_eq!(NestOrder::all(1).len(), 1);
+        assert_eq!(NestOrder::all(3).len(), 6);
+        assert_eq!(NestOrder::all(4).len(), 24);
+        // All distinct.
+        let all = NestOrder::all(4);
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), 24);
+    }
+
+    #[test]
+    fn display_shows_application_order() {
+        let o = NestOrder::new(vec![1, 0], 2).unwrap();
+        assert_eq!(o.to_string(), "E1 -> E0");
+    }
+}

@@ -1,0 +1,491 @@
+//! NF² tuples and their expansion semantics.
+//!
+//! An NF² tuple `[E1(e11, …, e1m1) … En(en1, …, enmn)]` (§3.1) carries a
+//! non-empty *set* of atomic values per attribute. Its meaning is the set of
+//! all flat (1NF) tuples obtainable by picking one value per component — the
+//! Cartesian product of its components. Geometrically each NF² tuple is a
+//! combinatorial *rectangle* inside the flat relation `R*`.
+
+use std::fmt;
+
+use crate::error::{NfError, Result};
+use crate::value::Atom;
+
+/// A flat (1NF) tuple: one atom per attribute.
+pub type FlatTuple = Vec<Atom>;
+
+/// A non-empty, sorted, duplicate-free set of atoms — one component of an
+/// NF² tuple.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ValueSet(Vec<Atom>);
+
+impl ValueSet {
+    /// Builds a set from arbitrary values (sorted and deduplicated).
+    /// Returns `None` for an empty input: components must be non-empty.
+    pub fn new(mut values: Vec<Atom>) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_unstable();
+        values.dedup();
+        Some(Self(values))
+    }
+
+    /// A one-element set.
+    pub fn singleton(value: Atom) -> Self {
+        Self(vec![value])
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Always `false` by construction; kept for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether the set has exactly one element.
+    pub fn is_singleton(&self) -> bool {
+        self.0.len() == 1
+    }
+
+    /// The values in ascending order.
+    pub fn as_slice(&self) -> &[Atom] {
+        &self.0
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, value: Atom) -> bool {
+        self.0.binary_search(&value).is_ok()
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &ValueSet) -> bool {
+        if self.0.len() > other.0.len() {
+            return false;
+        }
+        self.0.iter().all(|v| other.contains(*v))
+    }
+
+    /// Whether the two sets share no value.
+    pub fn is_disjoint_from(&self, other: &ValueSet) -> bool {
+        // Merge walk over the two sorted slices.
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+
+    /// Set union (used by composition, Def. 1).
+    pub fn union(&self, other: &ValueSet) -> ValueSet {
+        let mut out = Vec::with_capacity(self.0.len() + other.0.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.0[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.0[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.0[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.0[i..]);
+        out.extend_from_slice(&other.0[j..]);
+        ValueSet(out)
+    }
+
+    /// Set intersection. `None` when empty (components must be non-empty).
+    pub fn intersection(&self, other: &ValueSet) -> Option<ValueSet> {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.0[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(ValueSet(out))
+        }
+    }
+
+    /// Set difference `self \ other`. `None` when empty.
+    pub fn difference(&self, other: &ValueSet) -> Option<ValueSet> {
+        let out: Vec<Atom> = self.0.iter().copied().filter(|v| !other.contains(*v)).collect();
+        if out.is_empty() {
+            None
+        } else {
+            Some(ValueSet(out))
+        }
+    }
+
+    /// Iterates over the values in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Atom> + '_ {
+        self.0.iter().copied()
+    }
+}
+
+impl From<Atom> for ValueSet {
+    fn from(a: Atom) -> Self {
+        ValueSet::singleton(a)
+    }
+}
+
+impl fmt::Display for ValueSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.0.iter().map(|a| a.to_string()).collect();
+        write!(f, "{{{}}}", parts.join(", "))
+    }
+}
+
+/// An NF² tuple: one [`ValueSet`] per attribute.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NfTuple {
+    comps: Vec<ValueSet>,
+}
+
+impl NfTuple {
+    /// Builds a tuple from components. All components must be non-empty;
+    /// `None` entries signal an empty component and are rejected.
+    pub fn new(comps: Vec<ValueSet>) -> Self {
+        Self { comps }
+    }
+
+    /// Builds a tuple from per-attribute value vectors.
+    pub fn from_values(values: Vec<Vec<Atom>>) -> Result<Self> {
+        let comps = values
+            .into_iter()
+            .enumerate()
+            .map(|(attr, vs)| ValueSet::new(vs).ok_or(NfError::EmptyValueSet { attr }))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { comps })
+    }
+
+    /// Lifts a flat tuple into an NF² tuple of singletons.
+    pub fn from_flat(flat: &[Atom]) -> Self {
+        Self {
+            comps: flat.iter().map(|&a| ValueSet::singleton(a)).collect(),
+        }
+    }
+
+    /// The paper's degree `n`.
+    pub fn arity(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// The component of attribute `attr` — the paper's `π(r, Ek)`.
+    pub fn component(&self, attr: usize) -> &ValueSet {
+        &self.comps[attr]
+    }
+
+    /// All components in attribute order.
+    pub fn components(&self) -> &[ValueSet] {
+        &self.comps
+    }
+
+    /// Replaces the component of `attr`, returning a new tuple.
+    pub fn with_component(&self, attr: usize, set: ValueSet) -> NfTuple {
+        let mut comps = self.comps.clone();
+        comps[attr] = set;
+        NfTuple { comps }
+    }
+
+    /// Number of flat tuples this tuple represents (product of component
+    /// sizes). Saturates at `u128::MAX`.
+    pub fn expansion_count(&self) -> u128 {
+        self.comps
+            .iter()
+            .fold(1u128, |acc, c| acc.saturating_mul(c.len() as u128))
+    }
+
+    /// Whether every component is a singleton (the tuple is flat).
+    pub fn is_flat(&self) -> bool {
+        self.comps.iter().all(ValueSet::is_singleton)
+    }
+
+    /// Converts to a flat tuple if every component is a singleton.
+    pub fn to_flat(&self) -> Option<FlatTuple> {
+        if !self.is_flat() {
+            return None;
+        }
+        Some(self.comps.iter().map(|c| c.as_slice()[0]).collect())
+    }
+
+    /// Whether the flat tuple `flat` lies inside this rectangle.
+    pub fn contains_flat(&self, flat: &[Atom]) -> bool {
+        debug_assert_eq!(flat.len(), self.arity());
+        self.comps.iter().zip(flat).all(|(c, &v)| c.contains(v))
+    }
+
+    /// Whether the expansions of `self` and `other` intersect — true iff
+    /// every pair of corresponding components intersects.
+    pub fn overlaps(&self, other: &NfTuple) -> bool {
+        debug_assert_eq!(self.arity(), other.arity());
+        self.comps
+            .iter()
+            .zip(&other.comps)
+            .all(|(a, b)| !a.is_disjoint_from(b))
+    }
+
+    /// Whether `self`'s expansion is a subset of `other`'s (componentwise
+    /// inclusion).
+    pub fn is_contained_in(&self, other: &NfTuple) -> bool {
+        debug_assert_eq!(self.arity(), other.arity());
+        self.comps
+            .iter()
+            .zip(&other.comps)
+            .all(|(a, b)| a.is_subset_of(b))
+    }
+
+    /// Whether the two tuples are set-theoretically equal on every
+    /// attribute except `except` (the precondition of Def. 1).
+    pub fn agrees_except(&self, other: &NfTuple, except: usize) -> bool {
+        debug_assert_eq!(self.arity(), other.arity());
+        self.comps
+            .iter()
+            .zip(&other.comps)
+            .enumerate()
+            .all(|(i, (a, b))| i == except || a == b)
+    }
+
+    /// Iterates over the flat tuples of the expansion in lexicographic
+    /// order (odometer over the sorted components).
+    pub fn expand(&self) -> ExpansionIter<'_> {
+        ExpansionIter {
+            tuple: self,
+            indices: vec![0; self.comps.len()],
+            done: self.comps.is_empty(),
+        }
+    }
+}
+
+/// Iterator over the expansion of an [`NfTuple`]; see [`NfTuple::expand`].
+pub struct ExpansionIter<'a> {
+    tuple: &'a NfTuple,
+    indices: Vec<usize>,
+    done: bool,
+}
+
+impl Iterator for ExpansionIter<'_> {
+    type Item = FlatTuple;
+
+    fn next(&mut self) -> Option<FlatTuple> {
+        if self.done {
+            return None;
+        }
+        let flat: FlatTuple = self
+            .indices
+            .iter()
+            .zip(self.tuple.comps.iter())
+            .map(|(&i, c)| c.as_slice()[i])
+            .collect();
+        // Advance the odometer from the last attribute.
+        let mut pos = self.indices.len();
+        loop {
+            if pos == 0 {
+                self.done = true;
+                break;
+            }
+            pos -= 1;
+            self.indices[pos] += 1;
+            if self.indices[pos] < self.tuple.comps[pos].len() {
+                break;
+            }
+            self.indices[pos] = 0;
+        }
+        Some(flat)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.done {
+            return (0, Some(0));
+        }
+        let total = self.tuple.expansion_count();
+        let hint = usize::try_from(total).ok();
+        (hint.unwrap_or(usize::MAX), hint)
+    }
+}
+
+impl fmt::Display for NfTuple {
+    /// Paper notation: `[E0(a, b) E1(c)]` with numeric atom ids.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.comps.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            let vals: Vec<String> = c.iter().map(|a| a.to_string()).collect();
+            write!(f, "E{i}({})", vals.join(", "))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(id: u32) -> Atom {
+        Atom(id)
+    }
+
+    fn vs(ids: &[u32]) -> ValueSet {
+        ValueSet::new(ids.iter().map(|&i| Atom(i)).collect()).unwrap()
+    }
+
+    #[test]
+    fn value_set_sorts_and_dedups() {
+        let s = vs(&[3, 1, 2, 1]);
+        assert_eq!(s.as_slice(), &[a(1), a(2), a(3)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn value_set_rejects_empty() {
+        assert!(ValueSet::new(vec![]).is_none());
+    }
+
+    #[test]
+    fn value_set_membership_and_subset() {
+        let s = vs(&[1, 3, 5]);
+        assert!(s.contains(a(3)));
+        assert!(!s.contains(a(2)));
+        assert!(vs(&[1, 5]).is_subset_of(&s));
+        assert!(!vs(&[1, 2]).is_subset_of(&s));
+        assert!(!vs(&[1, 3, 5, 7]).is_subset_of(&s));
+    }
+
+    #[test]
+    fn value_set_disjointness() {
+        assert!(vs(&[1, 3]).is_disjoint_from(&vs(&[2, 4])));
+        assert!(!vs(&[1, 3]).is_disjoint_from(&vs(&[3])));
+    }
+
+    #[test]
+    fn value_set_union_intersection_difference() {
+        let x = vs(&[1, 2, 4]);
+        let y = vs(&[2, 3]);
+        assert_eq!(x.union(&y), vs(&[1, 2, 3, 4]));
+        assert_eq!(x.intersection(&y), Some(vs(&[2])));
+        assert_eq!(x.intersection(&vs(&[9])), None);
+        assert_eq!(x.difference(&y), Some(vs(&[1, 4])));
+        assert_eq!(x.difference(&x), None);
+    }
+
+    #[test]
+    fn singleton_checks() {
+        assert!(vs(&[7]).is_singleton());
+        assert!(!vs(&[7, 8]).is_singleton());
+        assert_eq!(ValueSet::from(a(7)), vs(&[7]));
+    }
+
+    #[test]
+    fn tuple_from_flat_and_back() {
+        let t = NfTuple::from_flat(&[a(1), a(2)]);
+        assert!(t.is_flat());
+        assert_eq!(t.to_flat(), Some(vec![a(1), a(2)]));
+        assert_eq!(t.expansion_count(), 1);
+    }
+
+    #[test]
+    fn tuple_from_values_rejects_empty_component() {
+        assert!(NfTuple::from_values(vec![vec![a(1)], vec![]]).is_err());
+    }
+
+    #[test]
+    fn expansion_count_is_product() {
+        let t = NfTuple::new(vec![vs(&[1, 2]), vs(&[3, 4, 5])]);
+        assert_eq!(t.expansion_count(), 6);
+        assert!(!t.is_flat());
+        assert_eq!(t.to_flat(), None);
+    }
+
+    #[test]
+    fn expansion_enumerates_cartesian_product() {
+        // The paper's example: [A(a1, a2) B(b1)] means {(a1,b1), (a2,b1)}.
+        let t = NfTuple::new(vec![vs(&[1, 2]), vs(&[10])]);
+        let flats: Vec<FlatTuple> = t.expand().collect();
+        assert_eq!(flats, vec![vec![a(1), a(10)], vec![a(2), a(10)]]);
+    }
+
+    #[test]
+    fn expansion_is_lexicographic_and_complete() {
+        let t = NfTuple::new(vec![vs(&[1, 2]), vs(&[3, 4]), vs(&[5])]);
+        let flats: Vec<FlatTuple> = t.expand().collect();
+        assert_eq!(flats.len(), 4);
+        let mut sorted = flats.clone();
+        sorted.sort();
+        assert_eq!(flats, sorted, "odometer order is lexicographic");
+    }
+
+    #[test]
+    fn contains_flat_checks_membership() {
+        let t = NfTuple::new(vec![vs(&[1, 2]), vs(&[3])]);
+        assert!(t.contains_flat(&[a(1), a(3)]));
+        assert!(!t.contains_flat(&[a(1), a(4)]));
+    }
+
+    #[test]
+    fn overlap_requires_all_components_to_intersect() {
+        let t = NfTuple::new(vec![vs(&[1, 2]), vs(&[3])]);
+        let u = NfTuple::new(vec![vs(&[2]), vs(&[4])]);
+        assert!(!t.overlaps(&u), "B components are disjoint");
+        let v = NfTuple::new(vec![vs(&[2]), vs(&[3, 4])]);
+        assert!(t.overlaps(&v));
+    }
+
+    #[test]
+    fn containment_is_componentwise() {
+        let small = NfTuple::new(vec![vs(&[1]), vs(&[3])]);
+        let big = NfTuple::new(vec![vs(&[1, 2]), vs(&[3, 4])]);
+        assert!(small.is_contained_in(&big));
+        assert!(!big.is_contained_in(&small));
+    }
+
+    #[test]
+    fn agrees_except_matches_def1_precondition() {
+        // t1 = [A(a1,a2) B(b1,b2) C(c1)], t2 = [A(a1,a2) B(b3) C(c1)] —
+        // the paper's §3.2 example: composable over B.
+        let t1 = NfTuple::new(vec![vs(&[1, 2]), vs(&[11, 12]), vs(&[21])]);
+        let t2 = NfTuple::new(vec![vs(&[1, 2]), vs(&[13]), vs(&[21])]);
+        assert!(t1.agrees_except(&t2, 1));
+        assert!(!t1.agrees_except(&t2, 0));
+        assert!(!t1.agrees_except(&t2, 2));
+    }
+
+    #[test]
+    fn with_component_replaces() {
+        let t = NfTuple::new(vec![vs(&[1]), vs(&[2])]);
+        let u = t.with_component(1, vs(&[5, 6]));
+        assert_eq!(u.component(1), &vs(&[5, 6]));
+        assert_eq!(t.component(1), &vs(&[2]), "original untouched");
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let t = NfTuple::new(vec![vs(&[1, 2]), vs(&[3])]);
+        assert_eq!(t.to_string(), "[E0(@1, @2) E1(@3)]");
+    }
+}

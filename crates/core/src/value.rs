@@ -1,0 +1,140 @@
+//! Atomic values and the interning dictionary.
+//!
+//! The paper defines NFRs over *simple domains* — sets of atomic elements
+//! (§3.1). We represent an atomic element as an [`Atom`]: a dense `u32`
+//! identifier interned through a [`Dictionary`]. All set operations in the
+//! model then work on integers; human-readable names only matter at the
+//! presentation boundary.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned atomic value (an element of a simple domain).
+///
+/// `Atom`s are plain identifiers: equality and ordering are on the id, which
+/// matches the paper's treatment of domain elements as opaque symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Atom(pub u32);
+
+impl Atom {
+    /// The raw identifier.
+    #[inline]
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// A bidirectional mapping between strings and [`Atom`]s.
+///
+/// Interning is append-only; an atom, once issued, never changes meaning.
+/// This is the single-threaded dictionary used by the core model and the
+/// examples; `nf2-storage` wraps it in a lock for concurrent use.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    names: Vec<String>,
+    index: HashMap<String, Atom>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its atom. Idempotent.
+    pub fn intern(&mut self, name: &str) -> Atom {
+        if let Some(&atom) = self.index.get(name) {
+            return atom;
+        }
+        let atom = Atom(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), atom);
+        atom
+    }
+
+    /// Interns every name in `names`, preserving order.
+    pub fn intern_all<'a, I>(&mut self, names: I) -> Vec<Atom>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        names.into_iter().map(|n| self.intern(n)).collect()
+    }
+
+    /// Looks up a previously interned name.
+    pub fn lookup(&self, name: &str) -> Option<Atom> {
+        self.index.get(name).copied()
+    }
+
+    /// Resolves an atom back to its name, if it was issued by this
+    /// dictionary.
+    pub fn resolve(&self, atom: Atom) -> Option<&str> {
+        self.names.get(atom.0 as usize).map(String::as_str)
+    }
+
+    /// Resolves an atom, falling back to its numeric display form.
+    pub fn resolve_or_id(&self, atom: Atom) -> String {
+        match self.resolve(atom) {
+            Some(name) => name.to_owned(),
+            None => atom.to_string(),
+        }
+    }
+
+    /// Number of interned values.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("s1");
+        let b = d.intern("s1");
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn intern_issues_dense_ids() {
+        let mut d = Dictionary::new();
+        let atoms = d.intern_all(["a", "b", "c"]);
+        assert_eq!(atoms, vec![Atom(0), Atom(1), Atom(2)]);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut d = Dictionary::new();
+        let a = d.intern("course-1");
+        assert_eq!(d.resolve(a), Some("course-1"));
+        assert_eq!(d.lookup("course-1"), Some(a));
+        assert_eq!(d.lookup("missing"), None);
+        assert_eq!(d.resolve(Atom(99)), None);
+    }
+
+    #[test]
+    fn resolve_or_id_falls_back() {
+        let d = Dictionary::new();
+        assert_eq!(d.resolve_or_id(Atom(7)), "@7");
+    }
+
+    #[test]
+    fn atom_ordering_is_by_id() {
+        assert!(Atom(1) < Atom(2));
+        assert_eq!(Atom(3).id(), 3);
+    }
+}

@@ -1,0 +1,320 @@
+//! Property-based tests for the NF² core model.
+//!
+//! These encode the paper's theorems as executable laws over randomly
+//! generated relations:
+//!
+//! * Theorem 1 — `R*` is invariant under composition/decomposition;
+//! * Theorem 2 — the nest fixpoint is unique regardless of composition
+//!   order;
+//! * Def. 5 — canonical forms are irreducible;
+//! * §4 — incremental insert/delete equals re-nesting from scratch;
+//! * Theorem 5 — a canonical form is fixed on all attributes but the
+//!   first-nested one;
+//! * D1 — every public operation preserves the partition invariant.
+
+use proptest::prelude::*;
+
+use nf2_core::irreducible::{is_irreducible, reduce, ReduceStrategy};
+use nf2_core::maintenance::{CanonicalRelation, CostCounter};
+use nf2_core::nest::{canonical_of_flat, nest, nest_pairwise, unnest};
+use nf2_core::properties::is_fixed_on;
+use nf2_core::relation::{FlatRelation, NfRelation};
+use nf2_core::schema::{NestOrder, Schema};
+use nf2_core::value::Atom;
+use std::sync::Arc;
+
+/// A random small flat relation: arity 2–4, values per attribute 1–4,
+/// up to 24 rows.
+fn arb_flat() -> impl Strategy<Value = FlatRelation> {
+    (2usize..=4)
+        .prop_flat_map(|arity| {
+            let row = proptest::collection::vec(0u32..4, arity);
+            proptest::collection::vec(row, 0..24).prop_map(move |rows| (arity, rows))
+        })
+        .prop_map(|(arity, rows)| {
+            let names: Vec<String> = (0..arity).map(|i| format!("E{i}")).collect();
+            let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            let schema = Schema::new("R", &name_refs).unwrap();
+            FlatRelation::from_rows(
+                schema,
+                rows.into_iter().map(|r| {
+                    r.into_iter()
+                        .enumerate()
+                        // Offset values per attribute so domains are disjoint,
+                        // mirroring distinct simple domains.
+                        .map(|(i, v)| Atom(v + 10 * i as u32))
+                        .collect::<Vec<Atom>>()
+                }),
+            )
+            .unwrap()
+        })
+}
+
+/// A random nest order for a given arity, as a seed-driven permutation.
+fn order_from_seed(arity: usize, seed: u64) -> NestOrder {
+    let all = NestOrder::all(arity);
+    all[(seed as usize) % all.len()].clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Theorem 1: nesting never changes the underlying 1NF relation.
+    #[test]
+    fn nest_preserves_expansion(flat in arb_flat(), attr_seed in 0usize..4, seed in any::<u64>()) {
+        let attr = attr_seed % flat.schema().arity();
+        let base = NfRelation::from_flat(&flat);
+        let nested = nest(&base, attr);
+        prop_assert_eq!(nested.expand(), flat.clone());
+        let order = order_from_seed(flat.schema().arity(), seed);
+        let canon = canonical_of_flat(&flat, &order);
+        prop_assert_eq!(canon.expand(), flat);
+    }
+
+    /// Theorem 1 (other direction): unnest restores singleton granularity
+    /// without changing R*.
+    #[test]
+    fn unnest_preserves_expansion(flat in arb_flat(), attr_seed in 0usize..4, seed in any::<u64>()) {
+        let attr = attr_seed % flat.schema().arity();
+        let order = order_from_seed(flat.schema().arity(), seed);
+        let canon = canonical_of_flat(&flat, &order);
+        let un = unnest(&canon, attr);
+        prop_assert!(un.validate().is_ok());
+        prop_assert_eq!(un.expand(), flat);
+    }
+
+    /// Theorem 2: the ν_E fixpoint does not depend on the order in which
+    /// composable pairs are merged.
+    #[test]
+    fn theorem2_nest_fixpoint_unique(flat in arb_flat(), attr_seed in 0usize..4, seed in any::<u64>()) {
+        let attr = attr_seed % flat.schema().arity();
+        let base = NfRelation::from_flat(&flat);
+        let expected = nest(&base, attr);
+        let mut state = seed | 1;
+        let random_pick = move |k: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize % k
+        };
+        prop_assert_eq!(nest_pairwise(&base, attr, random_pick), expected);
+    }
+
+    /// Canonical forms are irreducible (claim inside Def. 5: "it is easy
+    /// to show that VP(R) is irreducible").
+    #[test]
+    fn canonical_forms_are_irreducible(flat in arb_flat(), seed in any::<u64>()) {
+        let order = order_from_seed(flat.schema().arity(), seed);
+        let canon = canonical_of_flat(&flat, &order);
+        prop_assert!(is_irreducible(&canon));
+        prop_assert!(canon.validate().is_ok());
+    }
+
+    /// Every reduction strategy reaches an irreducible form with the same
+    /// R* (Def. 3), and never more tuples than the flat relation.
+    #[test]
+    fn reductions_reach_irreducible_forms(flat in arb_flat(), seed in any::<u64>()) {
+        let base = NfRelation::from_flat(&flat);
+        for strategy in [
+            ReduceStrategy::FirstFit,
+            ReduceStrategy::Random(seed),
+            ReduceStrategy::GreedyLargest,
+        ] {
+            let r = reduce(&base, strategy);
+            prop_assert!(is_irreducible(&r));
+            prop_assert!(r.validate().is_ok());
+            prop_assert_eq!(r.expand(), flat.clone());
+            prop_assert!(r.tuple_count() <= flat.len());
+        }
+    }
+
+    /// §4 insertion: building a canonical relation row by row equals
+    /// nesting the final 1NF relation from scratch — for every nest order.
+    #[test]
+    fn incremental_insert_matches_oracle(flat in arb_flat(), seed in any::<u64>()) {
+        let order = order_from_seed(flat.schema().arity(), seed);
+        let mut canon = CanonicalRelation::new(flat.schema().clone(), order.clone()).unwrap();
+        for r in flat.rows() {
+            prop_assert!(canon.insert(r.clone()).unwrap());
+        }
+        let oracle = canonical_of_flat(&flat, &order);
+        prop_assert_eq!(canon.relation(), &oracle);
+        prop_assert!(canon.verify().is_ok());
+    }
+
+    /// §4 deletion: deleting a random subset incrementally equals nesting
+    /// the remaining rows from scratch.
+    #[test]
+    fn incremental_delete_matches_oracle(
+        flat in arb_flat(),
+        seed in any::<u64>(),
+        keep_mask in any::<u64>(),
+    ) {
+        let order = order_from_seed(flat.schema().arity(), seed);
+        let mut canon = CanonicalRelation::from_flat(&flat, order.clone()).unwrap();
+        let mut remaining = FlatRelation::new(flat.schema().clone());
+        for (i, r) in flat.rows().enumerate() {
+            if keep_mask & (1 << (i % 64)) != 0 {
+                remaining.insert(r.clone()).unwrap();
+            } else {
+                prop_assert!(canon.delete(r).unwrap());
+            }
+        }
+        let oracle = canonical_of_flat(&remaining, &order);
+        prop_assert_eq!(canon.relation(), &oracle);
+    }
+
+    /// Theorem 5: the canonical form is fixed on every attribute set that
+    /// excludes the first-nested attribute — in particular on U − E_first.
+    #[test]
+    fn theorem5_fixed_on_complement_of_first_nested(flat in arb_flat(), seed in any::<u64>()) {
+        let arity = flat.schema().arity();
+        let order = order_from_seed(arity, seed);
+        let canon = canonical_of_flat(&flat, &order);
+        let rest: Vec<usize> = (0..arity).filter(|&a| a != order.attr_at(0)).collect();
+        prop_assert!(
+            is_fixed_on(&canon, &rest),
+            "canonical for {} must be fixed on {:?}",
+            order,
+            rest
+        );
+    }
+
+    /// Mixed random workload equivalence, the strongest §4 law: any
+    /// interleaving of inserts and deletes tracks the from-scratch oracle.
+    #[test]
+    fn mixed_workload_matches_oracle(
+        flat in arb_flat(),
+        ops in proptest::collection::vec((any::<bool>(), proptest::collection::vec(0u32..4, 4)), 0..30),
+        seed in any::<u64>(),
+    ) {
+        let arity = flat.schema().arity();
+        let order = order_from_seed(arity, seed);
+        let mut canon = CanonicalRelation::from_flat(&flat, order.clone()).unwrap();
+        let mut shadow = flat.clone();
+        for (is_insert, raw) in ops {
+            let row: Vec<Atom> = raw
+                .iter()
+                .take(arity)
+                .enumerate()
+                .map(|(i, &v)| Atom(v + 10 * i as u32))
+                .collect();
+            if is_insert {
+                let expected = !shadow.contains(&row);
+                prop_assert_eq!(canon.insert(row.clone()).unwrap(), expected);
+                shadow.insert(row).unwrap();
+            } else {
+                let expected = shadow.contains(&row);
+                prop_assert_eq!(canon.delete(&row).unwrap(), expected);
+                shadow.remove(&row);
+            }
+        }
+        prop_assert_eq!(canon.relation(), &canonical_of_flat(&shadow, &order));
+    }
+
+    /// Cost counters are monotone and structural ops stay plausibly
+    /// bounded by the Theorem A-4 budget (loose sanity bound: exponential
+    /// in arity, never proportional to rows).
+    #[test]
+    fn costs_bounded_by_degree_budget(flat in arb_flat(), seed in any::<u64>()) {
+        let arity = flat.schema().arity();
+        let order = order_from_seed(arity, seed);
+        let mut canon = CanonicalRelation::new(flat.schema().clone(), order).unwrap();
+        let mut worst = 0u64;
+        for r in flat.rows() {
+            let mut cost = CostCounter::new();
+            canon.insert_counted(r.clone(), &mut cost).unwrap();
+            worst = worst.max(cost.structural_ops());
+        }
+        // Theorem A-4: ops bounded by a function of arity alone. With
+        // arity ≤ 4 and domains of 4 values the observed worst case is far
+        // below this loose budget; what matters is it cannot scale with
+        // rows (24 max here, bound stays fixed as row count grows).
+        let budget = 3u64.saturating_pow(arity as u32 + 2);
+        prop_assert!(worst <= budget, "worst {} exceeds degree budget {}", worst, budget);
+    }
+
+    /// Bulk maintenance: applying a random op stream incrementally, via
+    /// the auto strategy, and via the re-nest baseline all land on the
+    /// same canonical relation (and it verifies).
+    #[test]
+    fn bulk_strategies_agree(
+        flat in arb_flat(),
+        raw_ops in proptest::collection::vec((any::<bool>(), proptest::collection::vec(0u32..4, 4)), 0..30),
+        seed in any::<u64>(),
+    ) {
+        use nf2_core::bulk::{apply_batch, apply_batch_auto, rebuild_batch, Op};
+        let arity = flat.schema().arity();
+        let order = order_from_seed(arity, seed);
+        let base = CanonicalRelation::from_flat(&flat, order).unwrap();
+        let ops: Vec<Op> = raw_ops
+            .into_iter()
+            .map(|(is_insert, vals)| {
+                let row: Vec<Atom> = vals
+                    .into_iter()
+                    .take(arity)
+                    .enumerate()
+                    .map(|(i, v)| Atom(v + 10 * i as u32))
+                    .collect();
+                if is_insert { Op::Insert(row) } else { Op::Delete(row) }
+            })
+            .collect();
+
+        let mut incremental = base.clone();
+        let mut cost = CostCounter::new();
+        let s1 = apply_batch(&mut incremental, &ops, &mut cost).unwrap();
+        incremental.verify().unwrap();
+
+        let mut auto = base.clone();
+        let mut cost2 = CostCounter::new();
+        let (s2, _) = apply_batch_auto(&mut auto, &ops, &mut cost2).unwrap();
+
+        let rebuilt = rebuild_batch(&base, &ops).unwrap();
+
+        prop_assert_eq!(incremental.relation(), auto.relation());
+        prop_assert_eq!(incremental.relation(), rebuilt.relation());
+        prop_assert_eq!(s1, s2, "summaries agree across strategies");
+    }
+
+    /// `modify` is exactly delete-then-insert, and never touches the
+    /// relation when the old row is absent.
+    #[test]
+    fn modify_matches_delete_insert(
+        flat in arb_flat(),
+        old_vals in proptest::collection::vec(0u32..4, 4),
+        new_vals in proptest::collection::vec(0u32..4, 4),
+        seed in any::<u64>(),
+    ) {
+        use nf2_core::bulk::modify;
+        let arity = flat.schema().arity();
+        let order = order_from_seed(arity, seed);
+        let row = |vals: &[u32]| -> Vec<Atom> {
+            vals.iter().take(arity).enumerate().map(|(i, &v)| Atom(v + 10 * i as u32)).collect()
+        };
+        let (old, new) = (row(&old_vals), row(&new_vals));
+        let base = CanonicalRelation::from_flat(&flat, order).unwrap();
+
+        let mut via_modify = base.clone();
+        let mut cost = CostCounter::new();
+        let hit = modify(&mut via_modify, &old, new.clone(), &mut cost).unwrap();
+
+        let mut via_ops = base.clone();
+        if via_ops.contains(&old) {
+            prop_assert!(hit);
+            via_ops.delete(&old).unwrap();
+            via_ops.insert(new).unwrap();
+        } else {
+            prop_assert!(!hit);
+        }
+        prop_assert_eq!(via_modify.relation(), via_ops.relation());
+        via_modify.verify().unwrap();
+    }
+}
+
+/// Build of Arc<Schema> must be cheap to clone across relations — sanity
+/// compile-time usage of shared schemas in tests.
+#[test]
+fn shared_schema_across_relations() {
+    let schema = Schema::new("R", &["A", "B"]).unwrap();
+    let f1 = FlatRelation::new(schema.clone());
+    let f2 = FlatRelation::new(schema.clone());
+    assert!(Arc::ptr_eq(f1.schema(), f2.schema()));
+}

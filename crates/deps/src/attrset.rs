@@ -1,0 +1,169 @@
+//! Compact attribute sets.
+//!
+//! Dependency theory manipulates subsets of `U = {E1 … En}` constantly;
+//! a bitmask keeps closures and covers allocation-free. Arity is capped at
+//! 32 — far above the degrees the paper considers.
+
+use std::fmt;
+
+use nf2_core::schema::AttrId;
+
+/// A subset of a schema's attributes, as a 32-bit mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AttrSet(u32);
+
+impl AttrSet {
+    /// The empty set.
+    pub const EMPTY: AttrSet = AttrSet(0);
+
+    /// Builds from attribute indices.
+    pub fn from_attrs<I: IntoIterator<Item = AttrId>>(attrs: I) -> Self {
+        let mut mask = 0u32;
+        for a in attrs {
+            assert!(a < 32, "attribute index {a} exceeds the 32-attribute cap");
+            mask |= 1 << a;
+        }
+        AttrSet(mask)
+    }
+
+    /// The full set over `arity` attributes.
+    pub fn full(arity: usize) -> Self {
+        assert!(arity <= 32);
+        if arity == 32 {
+            AttrSet(u32::MAX)
+        } else {
+            AttrSet((1u32 << arity) - 1)
+        }
+    }
+
+    /// A single attribute.
+    pub fn single(attr: AttrId) -> Self {
+        Self::from_attrs([attr])
+    }
+
+    /// The raw mask.
+    pub fn mask(self) -> u32 {
+        self.0
+    }
+
+    /// Set union.
+    pub fn union(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    pub fn minus(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 & !other.0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(self, other: AttrSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Membership test.
+    pub fn contains(self, attr: AttrId) -> bool {
+        attr < 32 && self.0 & (1 << attr) != 0
+    }
+
+    /// Inserts an attribute.
+    pub fn insert(&mut self, attr: AttrId) {
+        assert!(attr < 32);
+        self.0 |= 1 << attr;
+    }
+
+    /// Number of attributes.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates member attribute indices in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = AttrId> {
+        (0..32usize).filter(move |&a| self.0 & (1 << a) != 0)
+    }
+
+    /// All subsets of `self`, including empty and `self`.
+    pub fn subsets(self) -> impl Iterator<Item = AttrSet> {
+        // Standard submask enumeration, ascending by mask value.
+        let full = self.0;
+        let mut cur: Option<u32> = Some(0);
+        std::iter::from_fn(move || {
+            let m = cur?;
+            cur = if m == full { None } else { Some(((m | !full).wrapping_add(1)) & full) };
+            Some(AttrSet(m))
+        })
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.iter().map(|a| format!("E{a}")).collect();
+        write!(f, "{{{}}}", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_membership() {
+        let s = AttrSet::from_attrs([0, 2]);
+        assert!(s.contains(0));
+        assert!(!s.contains(1));
+        assert!(s.contains(2));
+        assert_eq!(s.len(), 2);
+        assert_eq!(AttrSet::single(3).mask(), 8);
+    }
+
+    #[test]
+    fn algebra() {
+        let a = AttrSet::from_attrs([0, 1]);
+        let b = AttrSet::from_attrs([1, 2]);
+        assert_eq!(a.union(b), AttrSet::from_attrs([0, 1, 2]));
+        assert_eq!(a.intersect(b), AttrSet::single(1));
+        assert_eq!(a.minus(b), AttrSet::single(0));
+        assert!(AttrSet::single(1).is_subset_of(a));
+        assert!(!a.is_subset_of(b));
+        assert!(AttrSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn full_and_iter() {
+        let f = AttrSet::full(4);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn subsets_enumerates_power_set() {
+        let s = AttrSet::from_attrs([0, 2]);
+        let subs: Vec<AttrSet> = s.subsets().collect();
+        assert_eq!(subs.len(), 4);
+        assert!(subs.contains(&AttrSet::EMPTY));
+        assert!(subs.contains(&AttrSet::single(0)));
+        assert!(subs.contains(&AttrSet::single(2)));
+        assert!(subs.contains(&s));
+    }
+
+    #[test]
+    fn display_lists_members() {
+        assert_eq!(AttrSet::from_attrs([0, 3]).to_string(), "{E0,E3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn rejects_large_indices() {
+        let _ = AttrSet::from_attrs([40]);
+    }
+}

@@ -1,0 +1,357 @@
+//! The chase: a sound and **complete** decision procedure for
+//! implication of functional and multivalued dependencies, and for the
+//! lossless-join property of decompositions.
+//!
+//! The dependency basis ([`crate::basis`]) treats FDs only through their
+//! MVD images; rules that *mix* the two — e.g. coalescence
+//! (`X →→ Y`, `Z → W`, `W ⊆ Y`, `Z ∩ Y = ∅` ⟹ `X → W`) — need the
+//! chase. §3.4 of the paper reasons from both kinds of dependency at
+//! once, so the substrate must decide the mixed theory.
+//!
+//! The tableau starts with two rows that agree exactly on the left side
+//! of the dependency being tested. Chasing applies:
+//!
+//! * the **FD rule** — rows agreeing on `lhs` get their `rhs` symbols
+//!   unified (smaller symbol wins, globally);
+//! * the **MVD rule** — rows agreeing on `lhs` spawn the row that swaps
+//!   their `rhs` components.
+//!
+//! Each column only ever holds symbols present in it initially, so the
+//! tableau is bounded (≤ `s^n` rows for `s` symbols per column) and the
+//! fixpoint exists.
+
+use std::collections::BTreeSet;
+
+use crate::attrset::AttrSet;
+use crate::fd::Fd;
+use crate::mvd::Mvd;
+
+/// A chase tableau: rows of symbols, one column per attribute.
+#[derive(Debug, Clone)]
+struct Tableau {
+    arity: usize,
+    rows: Vec<Vec<u32>>,
+    seen: BTreeSet<Vec<u32>>,
+}
+
+impl Tableau {
+    fn new(arity: usize, rows: Vec<Vec<u32>>) -> Self {
+        let seen = rows.iter().cloned().collect();
+        Tableau { arity, rows, seen }
+    }
+
+    /// Globally renames symbol `from` to `to` (the FD equate step).
+    fn rename(&mut self, from: u32, to: u32) {
+        for row in &mut self.rows {
+            for sym in row.iter_mut() {
+                if *sym == from {
+                    *sym = to;
+                }
+            }
+        }
+        self.seen = self.rows.iter().cloned().collect();
+    }
+
+    /// One FD pass. Returns whether anything changed.
+    fn apply_fds(&mut self, fds: &[Fd]) -> bool {
+        let mut changed = false;
+        loop {
+            let mut pair: Option<(u32, u32)> = None;
+            'scan: for fd in fds {
+                for i in 0..self.rows.len() {
+                    for j in (i + 1)..self.rows.len() {
+                        let (a, b) = (&self.rows[i], &self.rows[j]);
+                        if fd.lhs.iter().all(|c| a[c] == b[c]) {
+                            for c in fd.rhs.iter() {
+                                if a[c] != b[c] {
+                                    pair = Some((a[c].max(b[c]), a[c].min(b[c])));
+                                    break 'scan;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            match pair {
+                Some((from, to)) => {
+                    self.rename(from, to);
+                    changed = true;
+                }
+                None => return changed,
+            }
+        }
+    }
+
+    /// One MVD pass: adds every derivable swap row. Returns whether
+    /// anything was added.
+    fn apply_mvds(&mut self, mvds: &[Mvd]) -> bool {
+        let mut changed = false;
+        loop {
+            let mut added = false;
+            for mvd in mvds {
+                let n = self.rows.len();
+                for i in 0..n {
+                    for j in 0..n {
+                        if i == j {
+                            continue;
+                        }
+                        let (a, b) = (&self.rows[i], &self.rows[j]);
+                        if !mvd.lhs.iter().all(|c| a[c] == b[c]) {
+                            continue;
+                        }
+                        // Swap: rhs columns from `a`, the rest from `b`.
+                        let row: Vec<u32> = (0..self.arity)
+                            .map(|c| if mvd.rhs.contains(c) { a[c] } else { b[c] })
+                            .collect();
+                        if self.seen.insert(row.clone()) {
+                            self.rows.push(row);
+                            added = true;
+                        }
+                    }
+                }
+            }
+            if !added {
+                return changed;
+            }
+            changed = true;
+        }
+    }
+
+    /// Chases to fixpoint under both rule kinds.
+    fn chase(&mut self, fds: &[Fd], mvds: &[Mvd]) {
+        loop {
+            let f = self.apply_fds(fds);
+            let m = self.apply_mvds(mvds);
+            if !f && !m {
+                break;
+            }
+        }
+    }
+}
+
+/// The canonical two-row start: rows agree exactly on `lhs`
+/// (symbol = column index there), and use disjoint fresh symbols
+/// elsewhere.
+fn two_row_start(arity: usize, lhs: AttrSet) -> Tableau {
+    let row0: Vec<u32> = (0..arity).map(|c| c as u32).collect();
+    let row1: Vec<u32> = (0..arity)
+        .map(|c| if lhs.contains(c) { c as u32 } else { (arity + c) as u32 })
+        .collect();
+    Tableau::new(arity, vec![row0, row1])
+}
+
+/// Whether `fds ∪ mvds ⊨ target` (an FD), decided by the chase.
+/// Complete for the mixed FD+MVD theory.
+pub fn chase_implies_fd(arity: usize, fds: &[Fd], mvds: &[Mvd], target: &Fd) -> bool {
+    if target.is_trivial() {
+        return true;
+    }
+    let mut t = two_row_start(arity, target.lhs);
+    t.chase(fds, mvds);
+    // The two start rows live at indices 0 and 1 (chase never reorders).
+    target.rhs.iter().all(|c| t.rows[0][c] == t.rows[1][c])
+}
+
+/// Whether `fds ∪ mvds ⊨ target` (an MVD), decided by the chase.
+/// Complete for the mixed FD+MVD theory.
+pub fn chase_implies_mvd(arity: usize, fds: &[Fd], mvds: &[Mvd], target: &Mvd) -> bool {
+    if target.is_trivial(arity) {
+        return true;
+    }
+    let mut t = two_row_start(arity, target.lhs);
+    t.chase(fds, mvds);
+    // Implied iff the swap of the two start rows on `rhs` is present.
+    let (r0, r1) = (t.rows[0].clone(), t.rows[1].clone());
+    let want: Vec<u32> = (0..arity)
+        .map(|c| if target.rhs.contains(c) { r0[c] } else { r1[c] })
+        .collect();
+    t.seen.contains(&want)
+}
+
+/// Whether decomposing a relation over `arity` attributes into
+/// `fragments` has a lossless join under `fds ∪ mvds` (the classical
+/// tableau test: one row per fragment, distinguished symbols on the
+/// fragment's attributes; lossless iff chasing produces an
+/// all-distinguished row).
+pub fn is_lossless_join(arity: usize, fds: &[Fd], mvds: &[Mvd], fragments: &[AttrSet]) -> bool {
+    let rows: Vec<Vec<u32>> = fragments
+        .iter()
+        .enumerate()
+        .map(|(i, frag)| {
+            (0..arity)
+                .map(|c| {
+                    if frag.contains(c) {
+                        c as u32 // distinguished
+                    } else {
+                        (arity * (i + 1) + c) as u32 // fresh per row
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let mut t = Tableau::new(arity, rows);
+    t.chase(fds, mvds);
+    let goal: Vec<u32> = (0..arity).map(|c| c as u32).collect();
+    t.seen.contains(&goal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::implies;
+
+    fn fd(lhs: &[usize], rhs: &[usize]) -> Fd {
+        Fd::new(lhs.iter().copied(), rhs.iter().copied())
+    }
+
+    fn mvd(lhs: &[usize], rhs: &[usize]) -> Mvd {
+        Mvd::new(lhs.iter().copied(), rhs.iter().copied())
+    }
+
+    #[test]
+    fn fd_transitivity() {
+        let fds = [fd(&[0], &[1]), fd(&[1], &[2])];
+        assert!(chase_implies_fd(3, &fds, &[], &fd(&[0], &[2])));
+        assert!(!chase_implies_fd(3, &fds, &[], &fd(&[2], &[0])));
+    }
+
+    #[test]
+    fn fd_augmentation_and_reflexivity() {
+        let fds = [fd(&[0], &[1])];
+        assert!(chase_implies_fd(3, &fds, &[], &fd(&[0, 2], &[1, 2])));
+        assert!(chase_implies_fd(3, &[], &[], &fd(&[0, 1], &[1])));
+    }
+
+    #[test]
+    fn chase_agrees_with_closure_on_fd_only_sets() {
+        // Pseudo-exhaustive check over a small space: all single-attr FDs
+        // over 3 attributes, premises of size 2.
+        let singles: Vec<Fd> = (0..3)
+            .flat_map(|a| (0..3).filter(move |&b| b != a).map(move |b| fd(&[a], &[b])))
+            .collect();
+        for i in 0..singles.len() {
+            for j in 0..singles.len() {
+                let premises = [singles[i], singles[j]];
+                for goal in &singles {
+                    assert_eq!(
+                        chase_implies_fd(3, &premises, &[], goal),
+                        implies(&premises, goal),
+                        "premises {premises:?} goal {goal:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mvd_complementation() {
+        let mvds = [mvd(&[0], &[1])];
+        assert!(chase_implies_mvd(3, &[], &mvds, &mvd(&[0], &[2])));
+    }
+
+    #[test]
+    fn mvd_augmentation() {
+        let mvds = [mvd(&[0], &[1])];
+        assert!(chase_implies_mvd(4, &[], &mvds, &mvd(&[0, 2], &[1])));
+    }
+
+    #[test]
+    fn mvd_transitivity() {
+        // X ->-> Y, Y ->-> Z ⟹ X ->-> Z − Y. U=ABCD, A->->B, B->->C.
+        let mvds = [mvd(&[0], &[1]), mvd(&[1], &[2])];
+        assert!(chase_implies_mvd(4, &[], &mvds, &mvd(&[0], &[2])));
+    }
+
+    #[test]
+    fn mvd_not_implied_without_premises() {
+        assert!(!chase_implies_mvd(3, &[], &[], &mvd(&[0], &[1])));
+    }
+
+    #[test]
+    fn fd_implies_its_mvd_image() {
+        let fds = [fd(&[0], &[1])];
+        assert!(chase_implies_mvd(3, &fds, &[], &mvd(&[0], &[1])));
+    }
+
+    #[test]
+    fn coalescence_needs_the_chase() {
+        // A ->-> B (over ABC) plus C -> B imply the FD A -> B — the
+        // mixed-theory rule the dependency basis alone cannot see.
+        let fds = [fd(&[2], &[1])];
+        let mvds = [mvd(&[0], &[1])];
+        assert!(chase_implies_fd(3, &fds, &mvds, &fd(&[0], &[1])));
+        // Sanity: neither premise alone implies it.
+        assert!(!chase_implies_fd(3, &fds, &[], &fd(&[0], &[1])));
+        assert!(!chase_implies_fd(3, &[], &mvds, &fd(&[0], &[1])));
+    }
+
+    #[test]
+    fn trivial_targets_short_circuit() {
+        assert!(chase_implies_fd(3, &[], &[], &fd(&[0, 1], &[0])));
+        assert!(chase_implies_mvd(3, &[], &[], &mvd(&[0], &[1, 2])));
+    }
+
+    #[test]
+    fn lossless_binary_fd_split() {
+        // R(A,B,C), A -> B: {A,B} ⋈ {A,C} is lossless.
+        let fds = [fd(&[0], &[1])];
+        let frags = [AttrSet::from_attrs([0, 1]), AttrSet::from_attrs([0, 2])];
+        assert!(is_lossless_join(3, &fds, &[], &frags));
+    }
+
+    #[test]
+    fn lossy_split_detected() {
+        // R(A,B,C) with no dependencies: {A,B} ⋈ {B,C} loses.
+        let frags = [AttrSet::from_attrs([0, 1]), AttrSet::from_attrs([1, 2])];
+        assert!(!is_lossless_join(3, &[], &[], &frags));
+    }
+
+    #[test]
+    fn mvd_split_is_lossless() {
+        // Fagin's theorem: R = {X,Y} ⋈ {X,Z} lossless iff X ->-> Y.
+        // The paper's R1: Student ->-> Course | Club.
+        let mvds = [mvd(&[0], &[1])];
+        let frags = [AttrSet::from_attrs([0, 1]), AttrSet::from_attrs([0, 2])];
+        assert!(is_lossless_join(3, &[], &mvds, &frags));
+        assert!(!is_lossless_join(3, &[], &[], &frags));
+    }
+
+    #[test]
+    fn three_way_split_with_fds() {
+        // R(A,B,C,D), A -> B, A -> C, A -> D: star split on A lossless.
+        let fds = [fd(&[0], &[1]), fd(&[0], &[2]), fd(&[0], &[3])];
+        let frags = [
+            AttrSet::from_attrs([0, 1]),
+            AttrSet::from_attrs([0, 2]),
+            AttrSet::from_attrs([0, 3]),
+        ];
+        assert!(is_lossless_join(4, &fds, &[], &frags));
+    }
+
+    #[test]
+    fn single_fragment_is_trivially_lossless() {
+        assert!(is_lossless_join(3, &[], &[], &[AttrSet::full(3)]));
+    }
+
+    #[test]
+    fn chase_agrees_with_basis_on_mvd_only_sets() {
+        // Both procedures are complete for pure MVD theories; they must
+        // agree on every small instance.
+        use crate::basis::implies_mvd_basis;
+        let all_mvds: Vec<Mvd> = (0..3)
+            .flat_map(|a| (0..3).filter(move |&b| b != a).map(move |b| mvd(&[a], &[b])))
+            .collect();
+        for i in 0..all_mvds.len() {
+            for j in 0..all_mvds.len() {
+                let premises = [all_mvds[i], all_mvds[j]];
+                for goal in &all_mvds {
+                    assert_eq!(
+                        chase_implies_mvd(3, &[], &premises, goal),
+                        implies_mvd_basis(3, &[], &premises, goal),
+                        "premises {premises:?} goal {goal:?}"
+                    );
+                }
+            }
+        }
+    }
+}

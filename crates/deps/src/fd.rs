@@ -1,0 +1,265 @@
+//! Functional dependencies: closure, keys, minimal cover, and
+//! satisfaction checking on instances.
+//!
+//! The paper assumes "all the relations are in 3NF, which are mechanically
+//! obtained [13]" (§3.4); this module supplies the machinery reference
+//! [13] (Bernstein 1976) relies on.
+
+use std::collections::HashMap;
+
+use nf2_core::relation::FlatRelation;
+use nf2_core::value::Atom;
+
+use crate::attrset::AttrSet;
+
+/// A functional dependency `lhs → rhs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fd {
+    /// Determinant attributes (the paper's `F1 … Fk`).
+    pub lhs: AttrSet,
+    /// Dependent attributes (the paper's `E1 … Em`).
+    pub rhs: AttrSet,
+}
+
+impl Fd {
+    /// Builds `lhs → rhs` from attribute index lists.
+    pub fn new<L, R>(lhs: L, rhs: R) -> Self
+    where
+        L: IntoIterator<Item = usize>,
+        R: IntoIterator<Item = usize>,
+    {
+        Fd { lhs: AttrSet::from_attrs(lhs), rhs: AttrSet::from_attrs(rhs) }
+    }
+
+    /// Whether the FD is trivial (`rhs ⊆ lhs`).
+    pub fn is_trivial(&self) -> bool {
+        self.rhs.is_subset_of(self.lhs)
+    }
+}
+
+impl std::fmt::Display for Fd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} -> {}", self.lhs, self.rhs)
+    }
+}
+
+/// The attribute closure `attrs⁺` under `fds` (textbook fixpoint).
+pub fn closure(attrs: AttrSet, fds: &[Fd]) -> AttrSet {
+    let mut closed = attrs;
+    loop {
+        let mut changed = false;
+        for fd in fds {
+            if fd.lhs.is_subset_of(closed) && !fd.rhs.is_subset_of(closed) {
+                closed = closed.union(fd.rhs);
+                changed = true;
+            }
+        }
+        if !changed {
+            return closed;
+        }
+    }
+}
+
+/// Whether `fds` logically imply `fd` (via closure).
+pub fn implies(fds: &[Fd], fd: &Fd) -> bool {
+    fd.rhs.is_subset_of(closure(fd.lhs, fds))
+}
+
+/// Whether `attrs` is a superkey of a relation over `arity` attributes.
+pub fn is_superkey(attrs: AttrSet, arity: usize, fds: &[Fd]) -> bool {
+    AttrSet::full(arity).is_subset_of(closure(attrs, fds))
+}
+
+/// All candidate keys (minimal superkeys) of a relation over `arity`
+/// attributes. Exponential in arity; the paper's degrees are small.
+pub fn candidate_keys(arity: usize, fds: &[Fd]) -> Vec<AttrSet> {
+    let full = AttrSet::full(arity);
+    let mut keys: Vec<AttrSet> = Vec::new();
+    // Enumerate subsets ordered by size so minimality falls out naturally.
+    let mut subsets: Vec<AttrSet> = full.subsets().collect();
+    subsets.sort_by_key(|s| s.len());
+    for s in subsets {
+        if s.is_empty() && arity > 0 && !is_superkey(s, arity, fds) {
+            continue;
+        }
+        if is_superkey(s, arity, fds) && !keys.iter().any(|k| k.is_subset_of(s)) {
+            keys.push(s);
+        }
+    }
+    keys
+}
+
+/// A minimal cover: singleton right-hand sides, no extraneous left-hand
+/// attributes, no redundant FDs (Bernstein's step 1).
+pub fn minimal_cover(fds: &[Fd]) -> Vec<Fd> {
+    // 1. Split RHS into singletons, dropping trivial parts.
+    let mut cover: Vec<Fd> = Vec::new();
+    for fd in fds {
+        for a in fd.rhs.minus(fd.lhs).iter() {
+            cover.push(Fd { lhs: fd.lhs, rhs: AttrSet::single(a) });
+        }
+    }
+    // 2. Remove extraneous LHS attributes.
+    let snapshot = cover.clone();
+    for fd in &mut cover {
+        loop {
+            let mut reduced = None;
+            for a in fd.lhs.iter() {
+                let smaller = fd.lhs.minus(AttrSet::single(a));
+                if !smaller.is_empty() && fd.rhs.is_subset_of(closure(smaller, &snapshot)) {
+                    reduced = Some(smaller);
+                    break;
+                }
+            }
+            match reduced {
+                Some(smaller) => fd.lhs = smaller,
+                None => break,
+            }
+        }
+    }
+    cover.sort_by_key(|fd| (fd.lhs.mask(), fd.rhs.mask()));
+    cover.dedup();
+    // 3. Remove redundant FDs.
+    let mut i = 0;
+    while i < cover.len() {
+        let fd = cover[i];
+        let mut rest = cover.clone();
+        rest.remove(i);
+        if implies(&rest, &fd) {
+            cover = rest;
+        } else {
+            i += 1;
+        }
+    }
+    cover
+}
+
+/// Whether the instance `rel` satisfies `fd`: no two rows agree on `lhs`
+/// but differ on `rhs`.
+pub fn holds_fd(rel: &FlatRelation, fd: &Fd) -> bool {
+    let lhs: Vec<usize> = fd.lhs.iter().collect();
+    let rhs: Vec<usize> = fd.rhs.iter().collect();
+    let mut seen: HashMap<Vec<Atom>, Vec<Atom>> = HashMap::new();
+    for row in rel.rows() {
+        let key: Vec<Atom> = lhs.iter().map(|&a| row[a]).collect();
+        let val: Vec<Atom> = rhs.iter().map(|&a| row[a]).collect();
+        match seen.entry(key) {
+            std::collections::hash_map::Entry::Occupied(o) => {
+                if *o.get() != val {
+                    return false;
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(val);
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf2_core::schema::Schema;
+
+    fn fd(lhs: &[usize], rhs: &[usize]) -> Fd {
+        Fd::new(lhs.iter().copied(), rhs.iter().copied())
+    }
+
+    #[test]
+    fn closure_fixpoint() {
+        // A -> B, B -> C: {A}+ = {A,B,C}.
+        let fds = vec![fd(&[0], &[1]), fd(&[1], &[2])];
+        assert_eq!(closure(AttrSet::single(0), &fds), AttrSet::full(3));
+        assert_eq!(closure(AttrSet::single(2), &fds), AttrSet::single(2));
+    }
+
+    #[test]
+    fn implication_via_closure() {
+        let fds = vec![fd(&[0], &[1]), fd(&[1], &[2])];
+        assert!(implies(&fds, &fd(&[0], &[2])));
+        assert!(!implies(&fds, &fd(&[2], &[0])));
+    }
+
+    #[test]
+    fn trivial_fd_detection() {
+        assert!(fd(&[0, 1], &[1]).is_trivial());
+        assert!(!fd(&[0], &[1]).is_trivial());
+    }
+
+    #[test]
+    fn candidate_keys_minimal() {
+        // R(A,B,C) with A -> B, B -> C: key = {A}.
+        let fds = vec![fd(&[0], &[1]), fd(&[1], &[2])];
+        assert_eq!(candidate_keys(3, &fds), vec![AttrSet::single(0)]);
+    }
+
+    #[test]
+    fn candidate_keys_multiple() {
+        // R(A,B) with A -> B and B -> A: both {A} and {B} are keys.
+        let fds = vec![fd(&[0], &[1]), fd(&[1], &[0])];
+        let keys = candidate_keys(2, &fds);
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&AttrSet::single(0)));
+        assert!(keys.contains(&AttrSet::single(1)));
+    }
+
+    #[test]
+    fn no_fds_key_is_everything() {
+        let keys = candidate_keys(3, &[]);
+        assert_eq!(keys, vec![AttrSet::full(3)]);
+    }
+
+    #[test]
+    fn minimal_cover_splits_and_prunes() {
+        // AB -> C where A -> C already: B is extraneous.
+        let fds = vec![fd(&[0, 1], &[2]), fd(&[0], &[2])];
+        let cover = minimal_cover(&fds);
+        assert_eq!(cover, vec![fd(&[0], &[2])]);
+    }
+
+    #[test]
+    fn minimal_cover_removes_redundant() {
+        // A -> B, B -> C, A -> C: the last is implied.
+        let fds = vec![fd(&[0], &[1]), fd(&[1], &[2]), fd(&[0], &[2])];
+        let cover = minimal_cover(&fds);
+        assert_eq!(cover.len(), 2);
+        assert!(cover.contains(&fd(&[0], &[1])));
+        assert!(cover.contains(&fd(&[1], &[2])));
+    }
+
+    #[test]
+    fn minimal_cover_of_compound_rhs() {
+        let fds = vec![fd(&[0], &[1, 2])];
+        let cover = minimal_cover(&fds);
+        assert_eq!(cover.len(), 2);
+        assert!(cover.iter().all(|f| f.rhs.len() == 1));
+    }
+
+    #[test]
+    fn holds_fd_on_instances() {
+        let schema = Schema::new("R", &["A", "B"]).unwrap();
+        let sat = FlatRelation::from_rows(
+            schema.clone(),
+            vec![
+                vec![Atom(1), Atom(10)],
+                vec![Atom(2), Atom(10)],
+                vec![Atom(1), Atom(10)],
+            ],
+        )
+        .unwrap();
+        assert!(holds_fd(&sat, &fd(&[0], &[1])));
+        let unsat = FlatRelation::from_rows(
+            schema,
+            vec![vec![Atom(1), Atom(10)], vec![Atom(1), Atom(11)]],
+        )
+        .unwrap();
+        assert!(!holds_fd(&unsat, &fd(&[0], &[1])));
+        assert!(holds_fd(&unsat, &fd(&[1], &[0])));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(fd(&[0], &[1]).to_string(), "{E0} -> {E1}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Dependency discovery on instances.
+//!
+//! §2 argues that "when we consider compound value domains, we should not
+//! assume some dependencies already exist" — whether `R1` enjoys
+//! `Student →→ Course | Club` is a property of the data. These miners
+//! recover the minimal FDs and the non-trivial binary MVDs an instance
+//! satisfies, so the §3.4 permutation choice can be driven by the data
+//! itself.
+
+use nf2_core::relation::FlatRelation;
+
+use crate::attrset::AttrSet;
+use crate::fd::{holds_fd, Fd};
+use crate::mvd::{holds_mvd, Mvd};
+
+/// All minimal non-trivial FDs `X → a` satisfied by `rel`.
+///
+/// For every attribute `a`, returns the minimal determinants among
+/// subsets of `U − {a}`. Exponential in arity (bounded to ≤ 12).
+pub fn mine_fds(rel: &FlatRelation) -> Vec<Fd> {
+    let arity = rel.schema().arity();
+    assert!(arity <= 12, "mine_fds enumerates subsets; arity {arity} too large");
+    let mut found = Vec::new();
+    for target in 0..arity {
+        let candidates = AttrSet::full(arity).minus(AttrSet::single(target));
+        let mut minimal: Vec<AttrSet> = Vec::new();
+        let mut subsets: Vec<AttrSet> = candidates.subsets().collect();
+        subsets.sort_by_key(|s| s.len());
+        for lhs in subsets {
+            if minimal.iter().any(|m| m.is_subset_of(lhs)) {
+                continue; // a smaller determinant already works
+            }
+            let fd = Fd { lhs, rhs: AttrSet::single(target) };
+            if holds_fd(rel, &fd) {
+                minimal.push(lhs);
+                found.push(fd);
+            }
+        }
+    }
+    found
+}
+
+/// All non-trivial MVDs `X →→ Y` with `Y` minimal per determinant,
+/// satisfied by `rel`, excluding those already implied by a mined FD
+/// (`X → Y` implies `X →→ Y`).
+pub fn mine_mvds(rel: &FlatRelation, fds: &[Fd]) -> Vec<Mvd> {
+    let arity = rel.schema().arity();
+    assert!(arity <= 8, "mine_mvds enumerates subset pairs; arity {arity} too large");
+    let full = AttrSet::full(arity);
+    let mut found = Vec::new();
+    let mut lhs_sets: Vec<AttrSet> = full.subsets().collect();
+    lhs_sets.sort_by_key(|s| s.len());
+    for lhs in lhs_sets {
+        if lhs == full {
+            continue;
+        }
+        let rest = full.minus(lhs);
+        let mut rhs_sets: Vec<AttrSet> = rest.subsets().collect();
+        rhs_sets.sort_by_key(|s| s.len());
+        for rhs in rhs_sets {
+            let mvd = Mvd { lhs, rhs };
+            if mvd.is_trivial(arity) {
+                continue;
+            }
+            // Skip the FD-implied case: X → Y (restricted to mined FDs).
+            let fd_implied = crate::fd::implies(fds, &Fd { lhs, rhs });
+            if fd_implied {
+                continue;
+            }
+            // Skip complements of already-found MVDs for the same lhs.
+            if found.iter().any(|m: &Mvd| m.lhs == lhs && m.complement(arity).rhs == rhs) {
+                continue;
+            }
+            if holds_mvd(rel, &mvd) {
+                found.push(mvd);
+            }
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf2_core::schema::Schema;
+    use nf2_core::value::Atom;
+
+    fn rel3(rows: &[[u32; 3]]) -> FlatRelation {
+        let schema = Schema::new("R", &["A", "B", "C"]).unwrap();
+        FlatRelation::from_rows(
+            schema,
+            rows.iter()
+                .map(|r| r.iter().map(|&v| Atom(v)).collect::<Vec<_>>()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mines_simple_fd() {
+        // B is a function of A.
+        let r = rel3(&[[1, 10, 21], [1, 10, 22], [2, 11, 21]]);
+        let fds = mine_fds(&r);
+        assert!(fds.contains(&Fd::new([0], [1])), "A -> B should be mined: {fds:?}");
+        assert!(!fds.contains(&Fd::new([0], [2])), "A does not determine C");
+    }
+
+    #[test]
+    fn mined_fds_are_minimal() {
+        let r = rel3(&[[1, 10, 21], [1, 10, 22], [2, 11, 21]]);
+        let fds = mine_fds(&r);
+        // {A,C} -> B holds but {A} -> B is minimal; the larger one must
+        // not be reported.
+        assert!(!fds.contains(&Fd::new([0, 2], [1])));
+    }
+
+    #[test]
+    fn mines_mvd_from_product_structure() {
+        // Student ->-> Course | Club: courses × clubs per student.
+        let r = rel3(&[
+            [1, 10, 20],
+            [1, 10, 21],
+            [1, 11, 20],
+            [1, 11, 21],
+            [2, 12, 22],
+        ]);
+        let fds = mine_fds(&r);
+        let mvds = mine_mvds(&r, &fds);
+        assert!(
+            mvds.iter().any(|m| m.lhs == AttrSet::single(0)
+                && (m.rhs == AttrSet::single(1) || m.rhs == AttrSet::single(2))),
+            "A ->-> B | C should be mined: {mvds:?}"
+        );
+    }
+
+    #[test]
+    fn no_mvd_in_relationship_data() {
+        // The paper's R2-style data: no product structure for student 1.
+        let r = rel3(&[[1, 10, 20], [1, 11, 21], [2, 10, 20]]);
+        let fds = mine_fds(&r);
+        let mvds = mine_mvds(&r, &fds);
+        assert!(
+            !mvds.iter().any(|m| m.lhs == AttrSet::single(0)),
+            "student determines nothing multivalued here: {mvds:?}"
+        );
+    }
+
+    #[test]
+    fn empty_relation_satisfies_everything() {
+        let r = rel3(&[]);
+        let fds = mine_fds(&r);
+        // Vacuously, ∅ -> a for every attribute.
+        assert!(fds.iter().all(|f| f.lhs.is_empty()));
+        assert_eq!(fds.len(), 3);
+    }
+}

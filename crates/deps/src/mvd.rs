@@ -1,0 +1,193 @@
+//! Multivalued dependencies (Fagin 1977, the paper's reference [2]).
+//!
+//! `X →→ Y | Z` (with `Z = U − X − Y`) holds when, within each `X`-group,
+//! the set of `(Y, Z)` combinations is the Cartesian product of the
+//! `Y`-projections and `Z`-projections of the group. The paper's central
+//! §2 example — `Student →→ Course | Club` in `R1`, no MVD in `R2` —
+//! is what makes updates on `R1` local and on `R2` messy.
+
+use std::collections::{HashMap, HashSet};
+
+use nf2_core::relation::FlatRelation;
+use nf2_core::value::Atom;
+
+use crate::attrset::AttrSet;
+
+/// A multivalued dependency `lhs →→ rhs` (complement `U − lhs − rhs`
+/// implicit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mvd {
+    /// Determinant attributes.
+    pub lhs: AttrSet,
+    /// One side of the split.
+    pub rhs: AttrSet,
+}
+
+impl Mvd {
+    /// Builds `lhs →→ rhs`.
+    pub fn new<L, R>(lhs: L, rhs: R) -> Self
+    where
+        L: IntoIterator<Item = usize>,
+        R: IntoIterator<Item = usize>,
+    {
+        Mvd { lhs: AttrSet::from_attrs(lhs), rhs: AttrSet::from_attrs(rhs) }
+    }
+
+    /// The complement side `U − lhs − rhs` for a given arity.
+    pub fn complement_side(&self, arity: usize) -> AttrSet {
+        AttrSet::full(arity).minus(self.lhs).minus(self.rhs)
+    }
+
+    /// The complementation rule: `X →→ Y` implies `X →→ U − X − Y`.
+    pub fn complement(&self, arity: usize) -> Mvd {
+        Mvd { lhs: self.lhs, rhs: self.complement_side(arity) }
+    }
+
+    /// Whether the MVD is trivial for the given arity
+    /// (`rhs ⊆ lhs` or `lhs ∪ rhs = U`).
+    pub fn is_trivial(&self, arity: usize) -> bool {
+        self.rhs.is_subset_of(self.lhs) || self.lhs.union(self.rhs) == AttrSet::full(arity)
+    }
+}
+
+impl std::fmt::Display for Mvd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ->-> {}", self.lhs, self.rhs)
+    }
+}
+
+/// Whether the instance `rel` satisfies `mvd`: per `X`-group, the
+/// `(Y, Z)` pairs form a full Cartesian product.
+pub fn holds_mvd(rel: &FlatRelation, mvd: &Mvd) -> bool {
+    let arity = rel.schema().arity();
+    let xs: Vec<usize> = mvd.lhs.iter().collect();
+    let ys: Vec<usize> = mvd.rhs.minus(mvd.lhs).iter().collect();
+    let zs: Vec<usize> = mvd.complement_side(arity).iter().collect();
+
+    #[derive(Default)]
+    struct Group {
+        ys: HashSet<Vec<Atom>>,
+        zs: HashSet<Vec<Atom>>,
+        pairs: HashSet<(Vec<Atom>, Vec<Atom>)>,
+    }
+
+    let mut groups: HashMap<Vec<Atom>, Group> = HashMap::new();
+    for row in rel.rows() {
+        let x: Vec<Atom> = xs.iter().map(|&a| row[a]).collect();
+        let y: Vec<Atom> = ys.iter().map(|&a| row[a]).collect();
+        let z: Vec<Atom> = zs.iter().map(|&a| row[a]).collect();
+        let g = groups.entry(x).or_default();
+        g.ys.insert(y.clone());
+        g.zs.insert(z.clone());
+        g.pairs.insert((y, z));
+    }
+    groups
+        .values()
+        .all(|g| g.pairs.len() == g.ys.len() * g.zs.len())
+}
+
+/// Whether `rel` is in 4NF with respect to `mvds` and `fds`: every
+/// non-trivial MVD's determinant is a superkey.
+pub fn is_4nf(
+    arity: usize,
+    fds: &[crate::fd::Fd],
+    mvds: &[Mvd],
+) -> bool {
+    mvds.iter()
+        .filter(|m| !m.is_trivial(arity))
+        .all(|m| crate::fd::is_superkey(m.lhs, arity, fds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf2_core::schema::Schema;
+
+    fn rel(rows: &[[u32; 3]]) -> FlatRelation {
+        let schema = Schema::new("R", &["Student", "Course", "Club"]).unwrap();
+        FlatRelation::from_rows(
+            schema,
+            rows.iter()
+                .map(|r| r.iter().map(|&v| Atom(v)).collect::<Vec<_>>()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_r1_satisfies_student_mvd() {
+        // R1: each student's courses × clubs form a product.
+        let r1 = rel(&[
+            [1, 11, 21],
+            [1, 12, 21],
+            [1, 13, 21],
+            [2, 11, 22],
+            [2, 12, 22],
+        ]);
+        assert!(holds_mvd(&r1, &Mvd::new([0], [1])));
+        assert!(holds_mvd(&r1, &Mvd::new([0], [2])));
+    }
+
+    #[test]
+    fn non_product_group_violates_mvd() {
+        // Student 1 pairs course 11 only with club 21, course 12 only
+        // with club 22: not a product.
+        let r = rel(&[[1, 11, 21], [1, 12, 22]]);
+        assert!(!holds_mvd(&r, &Mvd::new([0], [1])));
+    }
+
+    #[test]
+    fn complement_rule() {
+        let m = Mvd::new([0], [1]);
+        let c = m.complement(3);
+        assert_eq!(c.rhs, AttrSet::single(2));
+        // Complementation is an involution.
+        assert_eq!(c.complement(3), m);
+    }
+
+    #[test]
+    fn complement_satisfaction_mirrors() {
+        // Fagin: X ->-> Y holds iff X ->-> U-X-Y holds.
+        let r = rel(&[[1, 11, 21], [1, 12, 21], [1, 11, 22], [1, 12, 22], [2, 13, 23]]);
+        let m = Mvd::new([0], [1]);
+        assert_eq!(holds_mvd(&r, &m), holds_mvd(&r, &m.complement(3)));
+    }
+
+    #[test]
+    fn trivial_mvds() {
+        assert!(Mvd::new([0, 1], [1]).is_trivial(3));
+        assert!(Mvd::new([0], [1, 2]).is_trivial(3));
+        assert!(!Mvd::new([0], [1]).is_trivial(3));
+    }
+
+    #[test]
+    fn trivial_mvd_always_holds() {
+        let r = rel(&[[1, 11, 21], [1, 12, 22], [2, 13, 21]]);
+        assert!(holds_mvd(&r, &Mvd::new([0], [1, 2])));
+        assert!(holds_mvd(&r, &Mvd::new([0, 1], [1])));
+    }
+
+    #[test]
+    fn fd_implies_mvd_on_instances() {
+        // Any instance satisfying the FD Student -> Course also satisfies
+        // the MVD Student ->-> Course.
+        let r = rel(&[[1, 11, 21], [1, 11, 22], [2, 12, 21]]);
+        assert!(crate::fd::holds_fd(&r, &crate::fd::Fd::new([0], [1])));
+        assert!(holds_mvd(&r, &Mvd::new([0], [1])));
+    }
+
+    #[test]
+    fn four_nf_check() {
+        // MVD A ->-> B with A not a key: not 4NF.
+        let fds = vec![];
+        let mvds = vec![Mvd::new([0], [1])];
+        assert!(!is_4nf(3, &fds, &mvds));
+        // If A is a key, 4NF holds.
+        let fds = vec![crate::fd::Fd::new([0], [1, 2])];
+        assert!(is_4nf(3, &fds, &mvds));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Mvd::new([0], [1]).to_string(), "{E0} ->-> {E1}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Bernstein's 3NF synthesis (the paper's reference [13]).
+//!
+//! §3.4 assumes "all the relations are in 3NF, which are mechanically
+//! obtained" — this module performs that mechanical step: from a set of
+//! FDs over `U`, produce a lossless, dependency-preserving set of 3NF
+//! schemas (minimal cover → group by determinant → add a key schema if no
+//! fragment contains one).
+
+use crate::attrset::AttrSet;
+use crate::fd::{candidate_keys, minimal_cover, Fd};
+
+/// One synthesised 3NF fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fragment {
+    /// Attributes of the fragment schema.
+    pub attrs: AttrSet,
+    /// FDs local to the fragment (projected from the cover).
+    pub fds: Vec<Fd>,
+    /// Whether this fragment was added solely to preserve a key.
+    pub is_key_fragment: bool,
+}
+
+/// Result of the synthesis: fragments plus the global candidate keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Synthesis {
+    /// 3NF fragments covering all FDs.
+    pub fragments: Vec<Fragment>,
+    /// Candidate keys of the universal schema.
+    pub keys: Vec<AttrSet>,
+}
+
+/// Synthesises 3NF fragments from `fds` over a schema of `arity`
+/// attributes (Bernstein 1976, as used by §3.4).
+pub fn synthesize_3nf(arity: usize, fds: &[Fd]) -> Synthesis {
+    let cover = minimal_cover(fds);
+    let keys = candidate_keys(arity, &cover);
+
+    // Group cover FDs by determinant; one fragment per group with
+    // attrs = lhs ∪ (all grouped rhs).
+    let mut groups: Vec<(AttrSet, Vec<Fd>)> = Vec::new();
+    for fd in &cover {
+        match groups.iter_mut().find(|(lhs, _)| *lhs == fd.lhs) {
+            Some((_, list)) => list.push(*fd),
+            None => groups.push((fd.lhs, vec![*fd])),
+        }
+    }
+    let mut fragments: Vec<Fragment> = groups
+        .into_iter()
+        .map(|(lhs, list)| {
+            let attrs = list.iter().fold(lhs, |acc, fd| acc.union(fd.rhs));
+            Fragment { attrs, fds: list, is_key_fragment: false }
+        })
+        .collect();
+
+    // Drop fragments subsumed by others.
+    let snapshot = fragments.clone();
+    fragments.retain(|f| {
+        !snapshot
+            .iter()
+            .any(|other| other.attrs != f.attrs && f.attrs.is_subset_of(other.attrs))
+    });
+
+    // Ensure some fragment contains a candidate key (lossless join).
+    let has_key = fragments
+        .iter()
+        .any(|f| keys.iter().any(|k| k.is_subset_of(f.attrs)));
+    if !has_key {
+        if let Some(k) = keys.first() {
+            fragments.push(Fragment { attrs: *k, fds: Vec::new(), is_key_fragment: true });
+        }
+    }
+
+    Synthesis { fragments, keys }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd(lhs: &[usize], rhs: &[usize]) -> Fd {
+        Fd::new(lhs.iter().copied(), rhs.iter().copied())
+    }
+
+    #[test]
+    fn chain_produces_two_fragments() {
+        // A -> B, B -> C over R(A,B,C): fragments AB and BC; key {A}
+        // contained in AB.
+        let syn = synthesize_3nf(3, &[fd(&[0], &[1]), fd(&[1], &[2])]);
+        assert_eq!(syn.fragments.len(), 2);
+        let attr_sets: Vec<AttrSet> = syn.fragments.iter().map(|f| f.attrs).collect();
+        assert!(attr_sets.contains(&AttrSet::from_attrs([0, 1])));
+        assert!(attr_sets.contains(&AttrSet::from_attrs([1, 2])));
+        assert!(syn.fragments.iter().all(|f| !f.is_key_fragment));
+        assert_eq!(syn.keys, vec![AttrSet::single(0)]);
+    }
+
+    #[test]
+    fn same_determinant_groups_together() {
+        // A -> B and A -> C: one fragment ABC.
+        let syn = synthesize_3nf(3, &[fd(&[0], &[1]), fd(&[0], &[2])]);
+        assert_eq!(syn.fragments.len(), 1);
+        assert_eq!(syn.fragments[0].attrs, AttrSet::full(3));
+    }
+
+    #[test]
+    fn key_fragment_added_when_missing() {
+        // R(A,B,C) with only B -> C: key is {A,B}, contained in no FD
+        // fragment, so a key fragment is added.
+        let syn = synthesize_3nf(3, &[fd(&[1], &[2])]);
+        assert_eq!(syn.fragments.len(), 2);
+        let key_frag = syn.fragments.iter().find(|f| f.is_key_fragment).unwrap();
+        assert_eq!(key_frag.attrs, AttrSet::from_attrs([0, 1]));
+    }
+
+    #[test]
+    fn no_fds_yields_single_key_fragment() {
+        let syn = synthesize_3nf(2, &[]);
+        assert_eq!(syn.fragments.len(), 1);
+        assert!(syn.fragments[0].is_key_fragment);
+        assert_eq!(syn.fragments[0].attrs, AttrSet::full(2));
+    }
+
+    #[test]
+    fn fragments_cover_every_cover_fd() {
+        let fds = [fd(&[0], &[1]), fd(&[1], &[2]), fd(&[2, 3], &[0])];
+        let syn = synthesize_3nf(4, &fds);
+        for f in minimal_cover(&fds) {
+            assert!(
+                syn.fragments
+                    .iter()
+                    .any(|frag| f.lhs.union(f.rhs).is_subset_of(frag.attrs)),
+                "cover FD {f} must live inside some fragment"
+            );
+        }
+    }
+}

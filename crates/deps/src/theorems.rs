@@ -1,0 +1,339 @@
+//! Executable forms of §3.4's Theorems 3–5 and the permutation-choice
+//! heuristic ("nesting on left-side attributes of FDs or MVDs allows us to
+//! get to 'better' NFRs").
+//!
+//! Theorem 3: if FD `F → E` holds, **every** irreducible form is fixed on
+//! `F`. Theorem 4: if MVD `F →→ E1 | … | Em` holds, **some** irreducible
+//! form is fixed on `F` (not all — Example 3). Theorem 5: for any nest
+//! order there is a canonical form fixed on the `n−1` attributes other
+//! than the first-nested one.
+
+use nf2_core::irreducible::{reduce, ReduceStrategy};
+use nf2_core::nest::canonical_of_flat;
+use nf2_core::properties::is_fixed_on;
+use nf2_core::relation::{FlatRelation, NfRelation};
+use nf2_core::schema::{AttrId, NestOrder};
+
+use crate::attrset::AttrSet;
+use crate::fd::Fd;
+use crate::mvd::Mvd;
+
+/// Evidence gathered while stress-testing Theorem 3 on an instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Theorem3Report {
+    /// Whether the FD holds on the instance at all.
+    pub fd_holds: bool,
+    /// Number of distinct irreducible forms sampled.
+    pub forms_sampled: usize,
+    /// Whether every sampled form was fixed on the FD's left side.
+    pub all_fixed: bool,
+}
+
+/// Samples irreducible forms of `flat` (every canonical order plus random
+/// reductions) and checks each is fixed on `fd.lhs` — Theorem 3's claim.
+///
+/// Theorem 3 holds in §3.4's standing setting: the relation is a 3NF
+/// fragment whose attributes are exactly `F ∪ E` (determinant plus
+/// dependents). With a *free* attribute outside `F ∪ E`, two tuples that
+/// agree on `F` and `E` but differ on the free attribute can compose over
+/// `F`, splitting an `F`-value across tuples — the conclusion fails (see
+/// DESIGN.md D9 and the `theorem3_requires_fragment_scope` test). This
+/// checker reports whatever the instance exhibits; callers wanting the
+/// theorem's guarantee should pass fragments.
+pub fn check_theorem3(flat: &FlatRelation, fd: &Fd, random_samples: u64) -> Theorem3Report {
+    let fd_holds = crate::fd::holds_fd(flat, fd);
+    let lhs: Vec<AttrId> = fd.lhs.iter().collect();
+    let forms = sample_irreducible_forms(flat, random_samples);
+    let all_fixed = forms.iter().all(|r| is_fixed_on(r, &lhs));
+    Theorem3Report { fd_holds, forms_sampled: forms.len(), all_fixed }
+}
+
+/// Evidence for Theorem 4 on an instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Theorem4Report {
+    /// Whether the MVD holds on the instance.
+    pub mvd_holds: bool,
+    /// Number of distinct irreducible forms sampled.
+    pub forms_sampled: usize,
+    /// How many sampled forms were fixed on the MVD's left side.
+    pub fixed_count: usize,
+}
+
+impl Theorem4Report {
+    /// Theorem 4 asserts existence: at least one fixed form.
+    pub fn exists_fixed(&self) -> bool {
+        self.fixed_count > 0
+    }
+
+    /// Example 3's observation: some forms may fail to be fixed.
+    pub fn exists_unfixed(&self) -> bool {
+        self.fixed_count < self.forms_sampled
+    }
+}
+
+/// Samples irreducible forms and counts how many are fixed on `mvd.lhs` —
+/// Theorem 4 plus Example 3's converse.
+pub fn check_theorem4(flat: &FlatRelation, mvd: &Mvd, random_samples: u64) -> Theorem4Report {
+    let mvd_holds = crate::mvd::holds_mvd(flat, mvd);
+    let lhs: Vec<AttrId> = mvd.lhs.iter().collect();
+    let forms = sample_irreducible_forms(flat, random_samples);
+    let fixed_count = forms.iter().filter(|r| is_fixed_on(r, &lhs)).count();
+    Theorem4Report { mvd_holds, forms_sampled: forms.len(), fixed_count }
+}
+
+/// Theorem 5 check: the canonical form for `order` is fixed on the
+/// `n−1` attributes excluding the first-nested one.
+pub fn check_theorem5(flat: &FlatRelation, order: &NestOrder) -> bool {
+    let canon = canonical_of_flat(flat, order);
+    let rest: Vec<AttrId> = (0..flat.schema().arity())
+        .filter(|&a| a != order.attr_at(0))
+        .collect();
+    is_fixed_on(&canon, &rest)
+}
+
+/// Collects a diverse sample of irreducible forms: all canonical forms
+/// (when the arity permits enumerating `n!`) plus `random_samples` random
+/// reductions. Deduplicated.
+pub fn sample_irreducible_forms(flat: &FlatRelation, random_samples: u64) -> Vec<NfRelation> {
+    let base = NfRelation::from_flat(flat);
+    let mut forms: Vec<NfRelation> = Vec::new();
+    let mut push = |r: NfRelation| {
+        if !forms.contains(&r) {
+            forms.push(r);
+        }
+    };
+    if flat.schema().arity() <= 5 {
+        for order in NestOrder::all(flat.schema().arity()) {
+            push(canonical_of_flat(flat, &order));
+        }
+    }
+    push(reduce(&base, ReduceStrategy::FirstFit));
+    push(reduce(&base, ReduceStrategy::GreedyLargest));
+    for seed in 0..random_samples {
+        push(reduce(&base, ReduceStrategy::Random(seed)));
+    }
+    forms
+}
+
+/// §3.4's design heuristic: a nest order whose canonical form is fixed on
+/// the determinants of the given dependencies.
+///
+/// Dependent (right-side) attributes are nested **first** and determinant
+/// (left-side) attributes **last**; by the Theorem 5 argument the result
+/// is fixed on every attribute nested after position 0 — in particular on
+/// all determinants. (In the paper's reversed notation this is exactly
+/// "P is a permutation of F1 … Fk" heading the sequence.)
+pub fn suggest_nest_order(arity: usize, fds: &[Fd], mvds: &[Mvd]) -> NestOrder {
+    let mut determinants = AttrSet::EMPTY;
+    for fd in fds {
+        determinants = determinants.union(fd.lhs);
+    }
+    for mvd in mvds {
+        determinants = determinants.union(mvd.lhs);
+    }
+    let dependents = AttrSet::full(arity).minus(determinants);
+    let mut order: Vec<AttrId> = dependents.iter().collect();
+    order.extend(determinants.iter());
+    NestOrder::new(order, arity).expect("constructed from a partition of 0..arity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf2_core::schema::Schema;
+    use nf2_core::value::Atom;
+
+    fn rel3(rows: &[[u32; 3]]) -> FlatRelation {
+        let schema = Schema::new("R", &["A", "B", "C"]).unwrap();
+        FlatRelation::from_rows(
+            schema,
+            rows.iter()
+                .map(|r| r.iter().map(|&v| Atom(v)).collect::<Vec<_>>()),
+        )
+        .unwrap()
+    }
+
+    /// Example 3's instance: MVD A ->-> B | C.
+    fn example3() -> FlatRelation {
+        rel3(&[[1, 11, 21], [1, 12, 21], [2, 11, 21], [2, 11, 22]])
+    }
+
+    #[test]
+    fn theorem3_fd_implies_all_forms_fixed() {
+        // 3NF fragment R(A,B) with FD A -> B (U = F ∪ E, the §3.4
+        // setting): every irreducible form is fixed on {A}.
+        let schema = Schema::new("R", &["A", "B"]).unwrap();
+        let r = FlatRelation::from_rows(
+            schema,
+            [[1u32, 11], [2, 11], [3, 12], [4, 12], [5, 11]]
+                .iter()
+                .map(|row| row.iter().map(|&v| Atom(v)).collect::<Vec<_>>()),
+        )
+        .unwrap();
+        let fd = Fd::new([0], [1]);
+        let report = check_theorem3(&r, &fd, 24);
+        assert!(report.fd_holds);
+        assert!(report.forms_sampled >= 1);
+        assert!(report.all_fixed, "Theorem 3: every irreducible form fixed on A");
+    }
+
+    #[test]
+    fn theorem3_requires_fragment_scope() {
+        // With a free attribute C outside F ∪ E the conclusion fails:
+        // (1,11,21) and (3,11,21) compose over A, after which a1 and a3
+        // share a tuple while (1,11,22) still holds a1 — not fixed on A.
+        // This is why §3.4 assumes 3NF fragments (DESIGN.md D9).
+        let r = rel3(&[[1, 11, 21], [1, 11, 22], [2, 12, 21], [3, 11, 23], [3, 11, 21]]);
+        let fd = Fd::new([0], [1]);
+        let report = check_theorem3(&r, &fd, 48);
+        assert!(report.fd_holds, "the FD itself holds");
+        assert!(
+            !report.all_fixed,
+            "a free attribute breaks fixedness on the determinant"
+        );
+    }
+
+    #[test]
+    fn theorem3_without_fd_can_fail() {
+        // No FD A -> B here; some irreducible forms are not fixed on A.
+        let r = rel3(&[[1, 11, 21], [1, 12, 21], [2, 11, 21], [2, 12, 22]]);
+        let fd = Fd::new([0], [1]);
+        let report = check_theorem3(&r, &fd, 24);
+        assert!(!report.fd_holds);
+        assert!(!report.all_fixed);
+    }
+
+    #[test]
+    fn theorem4_mvd_gives_existence_not_universality() {
+        let r = example3();
+        let mvd = Mvd::new([0], [1]);
+        let report = check_theorem4(&r, &mvd, 32);
+        assert!(report.mvd_holds, "Example 3 assumes A ->-> B|C");
+        assert!(report.exists_fixed(), "Theorem 4: some irreducible form is fixed on A");
+        assert!(
+            report.exists_unfixed(),
+            "Example 3: R8 is an irreducible form not fixed on A ({} of {} fixed)",
+            report.fixed_count,
+            report.forms_sampled
+        );
+    }
+
+    #[test]
+    fn theorem5_holds_for_every_order() {
+        let r = example3();
+        for order in NestOrder::all(3) {
+            assert!(check_theorem5(&r, &order), "order {order}");
+        }
+    }
+
+    #[test]
+    fn suggested_order_nests_determinants_last() {
+        // FD A -> B over R(A,B,C): A is the determinant, so A is nested
+        // last and the canonical form is fixed on {A}.
+        let fds = vec![Fd::new([0], [1])];
+        let order = suggest_nest_order(3, &fds, &[]);
+        assert_eq!(*order.as_slice().last().unwrap(), 0);
+
+        let r = rel3(&[[1, 11, 21], [1, 11, 22], [2, 12, 21], [3, 11, 23]]);
+        let canon = canonical_of_flat(&r, &order);
+        assert!(is_fixed_on(&canon, &[0]), "canonical under suggested order fixed on A");
+    }
+
+    #[test]
+    fn suggested_order_covers_mvd_determinants() {
+        let mvds = vec![Mvd::new([0], [1])];
+        let order = suggest_nest_order(3, &[], &mvds);
+        // Determinant {A} last; dependents {B, C} first.
+        assert_eq!(*order.as_slice().last().unwrap(), 0);
+        let r = example3();
+        let canon = canonical_of_flat(&r, &order);
+        assert!(is_fixed_on(&canon, &[0]));
+    }
+
+    #[test]
+    fn suggested_order_with_no_deps_is_identity() {
+        let order = suggest_nest_order(3, &[], &[]);
+        assert_eq!(order.as_slice(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn sample_forms_are_distinct_and_equivalent() {
+        let r = example3();
+        let forms = sample_irreducible_forms(&r, 16);
+        for f in &forms {
+            assert_eq!(f.expand(), r);
+        }
+        // Deduplicated.
+        for (i, a) in forms.iter().enumerate() {
+            for b in forms.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod cardinality_tests {
+    use super::*;
+    use nf2_core::properties::{cardinality_class, CardinalityClass};
+    use nf2_core::schema::Schema;
+    use nf2_core::value::Atom;
+
+    /// Theorem 3 also characterises the Def. 6 classes of an irreducible
+    /// form under an FD. On the fragment R(A,B) with A -> B, every
+    /// irreducible form has one tuple per B-value: the determinant's
+    /// values sit inside compound sets of single tuples (our `n:1`) and
+    /// each dependent value appears exactly once as a singleton. The
+    /// paper writes the dependent class as "1:n" — the same
+    /// value-to-tuple correspondence read in the opposite orientation
+    /// (one tuple holding n determinant values per dependent value).
+    #[test]
+    fn theorem3_cardinality_classes_on_fragment() {
+        let schema = Schema::new("R", &["A", "B"]).unwrap();
+        let flat = FlatRelation::from_rows(
+            schema,
+            [[1u32, 11], [2, 11], [3, 12], [4, 12], [5, 11]]
+                .iter()
+                .map(|row| row.iter().map(|&v| Atom(v)).collect::<Vec<_>>()),
+        )
+        .unwrap();
+        for form in sample_irreducible_forms(&flat, 16) {
+            assert_eq!(
+                cardinality_class(&form, 0),
+                CardinalityClass::NToOne,
+                "determinant values group inside single tuples"
+            );
+            assert_eq!(
+                cardinality_class(&form, 1),
+                CardinalityClass::OneToOne,
+                "each dependent value heads exactly one tuple"
+            );
+        }
+    }
+
+    /// Theorem 4's class claim: under an MVD the dependents of a fixed
+    /// irreducible form are `m:n` — values recur across tuples and inside
+    /// compound sets. Example 3's R7 exhibits it exactly.
+    #[test]
+    fn theorem4_cardinality_class_is_m_to_n() {
+        let schema = Schema::new("R", &["A", "B", "C"]).unwrap();
+        let flat = FlatRelation::from_rows(
+            schema,
+            [[1u32, 11, 21], [1, 12, 21], [2, 11, 21], [2, 11, 22]]
+                .iter()
+                .map(|row| row.iter().map(|&v| Atom(v)).collect::<Vec<_>>()),
+        )
+        .unwrap();
+        // R7 = the A-fixed irreducible form from Example 3.
+        let forms = sample_irreducible_forms(&flat, 16);
+        let r7 = forms
+            .iter()
+            .find(|f| is_fixed_on(f, &[0]))
+            .expect("Theorem 4: a fixed form exists");
+        assert_eq!(
+            cardinality_class(r7, 1),
+            CardinalityClass::MToN,
+            "dependent B of R7 is m:n as Theorem 4 states"
+        );
+    }
+}

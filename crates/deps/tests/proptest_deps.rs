@@ -1,0 +1,227 @@
+//! Property tests for the dependency-theory substrate: closure laws,
+//! cover equivalence, FD/MVD satisfaction laws, mining soundness, and —
+//! crucially — agreement between the three independent implication
+//! procedures (Armstrong closure, dependency basis, chase).
+
+use proptest::prelude::*;
+
+use nf2_core::relation::FlatRelation;
+use nf2_core::schema::Schema;
+use nf2_core::value::Atom;
+use nf2_deps::{
+    chase_implies_fd, chase_implies_mvd, closure, decompose_4nf, dependency_basis, derive,
+    holds_fd, holds_mvd, implies, implies_mvd_basis, is_4nf_fragment, is_lossless_join, mine_fds,
+    minimal_cover, AttrSet, Fd, Mvd,
+};
+
+fn arb_fds(arity: usize) -> impl Strategy<Value = Vec<Fd>> {
+    let attr_set = move || {
+        proptest::collection::btree_set(0usize..arity, 1..=arity)
+            .prop_map(AttrSet::from_attrs)
+    };
+    proptest::collection::vec((attr_set(), attr_set()), 0..6)
+        .prop_map(|pairs| pairs.into_iter().map(|(lhs, rhs)| Fd { lhs, rhs }).collect())
+}
+
+fn arb_flat() -> impl Strategy<Value = FlatRelation> {
+    proptest::collection::vec(proptest::collection::vec(0u32..3, 3), 0..16).prop_map(|rows| {
+        let schema = Schema::new("R", &["A", "B", "C"]).unwrap();
+        FlatRelation::from_rows(
+            schema,
+            rows.into_iter().map(|r| {
+                r.into_iter()
+                    .enumerate()
+                    .map(|(i, v)| Atom(v + 10 * i as u32))
+                    .collect::<Vec<Atom>>()
+            }),
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Closure is extensive, monotone and idempotent.
+    #[test]
+    fn closure_is_a_closure_operator(fds in arb_fds(4), seed in 0u32..16) {
+        let x = AttrSet::from_attrs((0..4).filter(|&a| seed & (1 << a) != 0));
+        let cx = closure(x, &fds);
+        prop_assert!(x.is_subset_of(cx), "extensive");
+        prop_assert_eq!(closure(cx, &fds), cx, "idempotent");
+        // Monotone: X ⊆ X ∪ {0} implies closure(X) ⊆ closure(X ∪ {0}).
+        let bigger = x.union(AttrSet::single(0));
+        prop_assert!(cx.is_subset_of(closure(bigger, &fds)), "monotone");
+    }
+
+    /// A minimal cover is logically equivalent to the original FD set.
+    #[test]
+    fn minimal_cover_is_equivalent(fds in arb_fds(4)) {
+        let cover = minimal_cover(&fds);
+        for fd in &fds {
+            prop_assert!(implies(&cover, fd), "cover must imply original {fd}");
+        }
+        for fd in &cover {
+            prop_assert!(implies(&fds, fd), "original must imply cover {fd}");
+            prop_assert!(!fd.is_trivial());
+            prop_assert_eq!(fd.rhs.len(), 1, "singleton right-hand sides");
+        }
+    }
+
+    /// Instance law: an FD that holds implies the corresponding MVD holds
+    /// (Fagin), and MVD complementation is satisfaction-invariant.
+    #[test]
+    fn fd_implies_mvd_and_complement_invariance(flat in arb_flat(), lhs in 0usize..3, rhs in 0usize..3) {
+        prop_assume!(lhs != rhs);
+        let fd = Fd::new([lhs], [rhs]);
+        let mvd = Mvd::new([lhs], [rhs]);
+        if holds_fd(&flat, &fd) {
+            prop_assert!(holds_mvd(&flat, &mvd), "FD ⇒ MVD on instances");
+        }
+        prop_assert_eq!(
+            holds_mvd(&flat, &mvd),
+            holds_mvd(&flat, &mvd.complement(3)),
+            "complementation rule"
+        );
+    }
+
+    /// Mining soundness: every mined FD holds; minimality: no mined FD's
+    /// proper LHS subset determines the same attribute.
+    #[test]
+    fn mined_fds_hold_and_are_minimal(flat in arb_flat()) {
+        let fds = mine_fds(&flat);
+        for fd in &fds {
+            prop_assert!(holds_fd(&flat, fd), "mined FD {fd} must hold");
+            for drop in fd.lhs.iter() {
+                let smaller = Fd { lhs: fd.lhs.minus(AttrSet::single(drop)), rhs: fd.rhs };
+                if !smaller.lhs.is_empty() || fd.lhs.len() == 1 {
+                    prop_assert!(
+                        !holds_fd(&flat, &smaller),
+                        "mined FD {fd} not minimal: {smaller} also holds"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Armstrong derivations exist exactly for implied FDs, and every
+    /// produced proof tree verifies and concludes its target.
+    #[test]
+    fn derivations_are_complete_and_sound(fds in arb_fds(4), lhs_bits in 1u32..15, rhs_bits in 1u32..15) {
+        let target = Fd {
+            lhs: AttrSet::from_attrs((0..4).filter(|&a| lhs_bits & (1 << a) != 0)),
+            rhs: AttrSet::from_attrs((0..4).filter(|&a| rhs_bits & (1 << a) != 0)),
+        };
+        match derive(&fds, &target) {
+            Some(proof) => {
+                prop_assert!(implies(&fds, &target), "derived but not implied");
+                prop_assert!(proof.verify(&fds), "proof fails verification: {proof}");
+                prop_assert_eq!(proof.conclusion(), target);
+            }
+            None => prop_assert!(!implies(&fds, &target), "implied but underivable"),
+        }
+    }
+
+    /// The chase and the Armstrong closure are both complete for FD-only
+    /// implication; they must agree on random dependency sets.
+    #[test]
+    fn chase_equals_closure_for_fd_implication(fds in arb_fds(4), lhs_bits in 1u32..15, rhs_bits in 1u32..15) {
+        let target = Fd {
+            lhs: AttrSet::from_attrs((0..4).filter(|&a| lhs_bits & (1 << a) != 0)),
+            rhs: AttrSet::from_attrs((0..4).filter(|&a| rhs_bits & (1 << a) != 0)),
+        };
+        prop_assert_eq!(
+            chase_implies_fd(4, &fds, &[], &target),
+            implies(&fds, &target),
+            "fds {:?} target {}", &fds, target
+        );
+    }
+
+    /// The chase and the dependency basis are both complete for MVD-only
+    /// implication; they must agree on random MVD sets.
+    #[test]
+    fn chase_equals_basis_for_mvd_implication(
+        pairs in proptest::collection::vec((1u32..15, 1u32..15), 0..4),
+        lhs_bits in 1u32..15,
+        rhs_bits in 1u32..15,
+    ) {
+        let mvds: Vec<Mvd> = pairs
+            .into_iter()
+            .map(|(l, r)| Mvd {
+                lhs: AttrSet::from_attrs((0..4).filter(|&a| l & (1 << a) != 0)),
+                rhs: AttrSet::from_attrs((0..4).filter(|&a| r & (1 << a) != 0)),
+            })
+            .collect();
+        let target = Mvd {
+            lhs: AttrSet::from_attrs((0..4).filter(|&a| lhs_bits & (1 << a) != 0)),
+            rhs: AttrSet::from_attrs((0..4).filter(|&a| rhs_bits & (1 << a) != 0)),
+        };
+        prop_assert_eq!(
+            chase_implies_mvd(4, &[], &mvds, &target),
+            implies_mvd_basis(4, &[], &mvds, &target),
+            "mvds {:?} target {}", &mvds, target
+        );
+    }
+
+    /// The dependency basis always partitions `U − X`, and every block
+    /// yields a chase-implied MVD (soundness of the basis fixpoint).
+    #[test]
+    fn basis_blocks_partition_and_are_implied(
+        fds in arb_fds(4),
+        pairs in proptest::collection::vec((1u32..15, 1u32..15), 0..3),
+        x_bits in 0u32..16,
+    ) {
+        let mvds: Vec<Mvd> = pairs
+            .into_iter()
+            .map(|(l, r)| Mvd {
+                lhs: AttrSet::from_attrs((0..4).filter(|&a| l & (1 << a) != 0)),
+                rhs: AttrSet::from_attrs((0..4).filter(|&a| r & (1 << a) != 0)),
+            })
+            .collect();
+        let x = AttrSet::from_attrs((0..4).filter(|&a| x_bits & (1 << a) != 0));
+        let blocks = dependency_basis(x, 4, &fds, &mvds);
+        // Partition: disjoint, union = U − X.
+        let mut union = AttrSet::EMPTY;
+        for (i, b) in blocks.iter().enumerate() {
+            prop_assert!(!b.is_empty());
+            prop_assert!(union.intersect(*b).is_empty(), "block {i} overlaps");
+            union = union.union(*b);
+        }
+        prop_assert_eq!(union, AttrSet::full(4).minus(x));
+        // Soundness: X ->-> B must be chase-implied for every block.
+        for b in &blocks {
+            prop_assert!(
+                chase_implies_mvd(4, &fds, &mvds, &Mvd { lhs: x, rhs: *b }),
+                "block {b} of DEP({x}) not implied"
+            );
+        }
+    }
+
+    /// Every 4NF decomposition is lossless (tableau-verified) and all
+    /// its fragments are in 4NF.
+    #[test]
+    fn random_4nf_decompositions_are_lossless(
+        fds in arb_fds(4),
+        pairs in proptest::collection::vec((1u32..15, 1u32..15), 0..3),
+    ) {
+        let mvds: Vec<Mvd> = pairs
+            .into_iter()
+            .map(|(l, r)| Mvd {
+                lhs: AttrSet::from_attrs((0..4).filter(|&a| l & (1 << a) != 0)),
+                rhs: AttrSet::from_attrs((0..4).filter(|&a| r & (1 << a) != 0)),
+            })
+            .collect();
+        let d = decompose_4nf(4, &fds, &mvds);
+        prop_assert!(!d.fragments.is_empty());
+        prop_assert!(
+            is_lossless_join(4, &fds, &mvds, &d.fragments),
+            "lossy decomposition {d} from fds {:?} mvds {:?}", &fds, &mvds
+        );
+        for f in &d.fragments {
+            prop_assert!(is_4nf_fragment(4, &fds, &mvds, *f), "fragment {f} of {d} not 4NF");
+        }
+        // Attribute coverage: fragments must cover U.
+        let covered = d.fragments.iter().fold(AttrSet::EMPTY, |acc, f| acc.union(*f));
+        prop_assert_eq!(covered, AttrSet::full(4));
+    }
+}

@@ -1,0 +1,210 @@
+//! Abstract syntax of the NF² DML.
+
+/// An equality predicate `attr = 'value'` (also used for `SET`
+/// assignments in UPDATE).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EqPredicate {
+    /// Attribute name.
+    pub attr: String,
+    /// String value (interned at execution time).
+    pub value: String,
+}
+
+/// A WHERE-clause conjunct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// `attr = 'value'`.
+    Eq(EqPredicate),
+    /// `attr IN ('v1', 'v2', …)` — membership in a value list. Maps
+    /// directly onto the algebra's box selection (a per-attribute value
+    /// set), so an IN costs the same as an equality.
+    In {
+        /// Attribute name.
+        attr: String,
+        /// Allowed values.
+        values: Vec<String>,
+    },
+}
+
+impl Predicate {
+    /// The constrained attribute.
+    pub fn attr(&self) -> &str {
+        match self {
+            Predicate::Eq(p) => &p.attr,
+            Predicate::In { attr, .. } => attr,
+        }
+    }
+
+    /// The allowed values (one for equality).
+    pub fn values(&self) -> Vec<&str> {
+        match self {
+            Predicate::Eq(p) => vec![p.value.as_str()],
+            Predicate::In { values, .. } => values.iter().map(String::as_str).collect(),
+        }
+    }
+}
+
+/// Projection target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Projection {
+    /// `SELECT *`
+    All,
+    /// Explicit attribute list.
+    Attrs(Vec<String>),
+    /// `SELECT COUNT(*)` — flat-row count of the result (`|R*|`).
+    CountStar,
+    /// `SELECT COUNT(DISTINCT attr)` — distinct values of one attribute.
+    CountDistinct(String),
+}
+
+/// One parsed statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// `CREATE TABLE name (a, b, c) [NEST ORDER (x, y, z)]`
+    ///
+    /// The nest order lists attributes in application order (first listed
+    /// nested first); defaults to declaration order.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Attribute names.
+        attrs: Vec<String>,
+        /// Optional nest order (attribute names, application order).
+        nest_order: Option<Vec<String>>,
+    },
+    /// `DROP TABLE name`
+    DropTable {
+        /// Table name.
+        name: String,
+    },
+    /// `INSERT INTO name VALUES ('a','b'), ('c','d')`
+    Insert {
+        /// Table name.
+        table: String,
+        /// Rows of string values.
+        rows: Vec<Vec<String>>,
+    },
+    /// `DELETE FROM name WHERE a='x' AND b IN ('y','z')`
+    ///
+    /// Deletes every flat tuple matching the conjunction; an empty WHERE
+    /// clause deletes everything.
+    Delete {
+        /// Table name.
+        table: String,
+        /// Conjunctive predicates.
+        predicates: Vec<Predicate>,
+    },
+    /// `SELECT a, b FROM name [JOIN t1 [JOIN t2 …]] [WHERE …]`
+    Select {
+        /// Projection list (attributes or an aggregate).
+        projection: Projection,
+        /// Table name.
+        table: String,
+        /// Further tables, natural-joined left to right on shared
+        /// attribute names before selection/projection.
+        joins: Vec<String>,
+        /// Conjunctive predicates.
+        predicates: Vec<Predicate>,
+    },
+    /// `NEST name ON attr` — ad-hoc query returning the nested relation.
+    Nest {
+        /// Table name.
+        table: String,
+        /// Attribute to nest on.
+        attr: String,
+    },
+    /// `UNNEST name ON attr` — ad-hoc query returning the unnested
+    /// relation.
+    Unnest {
+        /// Table name.
+        table: String,
+        /// Attribute to unnest.
+        attr: String,
+    },
+    /// `SHOW name` — render the stored NFR.
+    Show {
+        /// Table name.
+        table: String,
+        /// Whether to render the flat realization `R*` instead
+        /// (`SHOW FLAT name`).
+        flat: bool,
+    },
+    /// `UPDATE name SET a='x' [, b='y'] [WHERE …]`
+    ///
+    /// Rewrites every matching flat tuple: delete + insert through the §4
+    /// maintenance, so the canonical form is preserved throughout.
+    Update {
+        /// Table name.
+        table: String,
+        /// `attr = value` assignments.
+        assignments: Vec<EqPredicate>,
+        /// Conjunctive predicates selecting the rows to rewrite.
+        predicates: Vec<Predicate>,
+    },
+    /// `TABLES` — list known tables.
+    Tables,
+    /// `STATS name` — report the table's realization-view numbers:
+    /// NF² tuples vs flat rows (compression), accumulated §4 maintenance
+    /// costs, and lookup probe counters.
+    Stats {
+        /// Table name.
+        table: String,
+    },
+    /// `BEGIN` — open a transaction: subsequent row mutations are undo-
+    /// logged until COMMIT or ROLLBACK. DDL is rejected inside one.
+    Begin,
+    /// `COMMIT` — close the transaction, discarding the undo log.
+    Commit,
+    /// `ROLLBACK` — undo every row mutation since BEGIN, in reverse
+    /// order, through the same §4 maintenance the forward path used.
+    Rollback,
+    /// `EXPLAIN [OPTIMIZED] SELECT …` — show the algebra plan without
+    /// executing it; `OPTIMIZED` additionally runs the rule-based
+    /// rewriter and prints the applied rules and cost estimates.
+    Explain {
+        /// The SELECT being explained.
+        inner: Box<Statement>,
+        /// Whether to run and report the optimizer.
+        optimized: bool,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ast_nodes_are_comparable() {
+        let a = Statement::Show { table: "t".into(), flat: false };
+        let b = Statement::Show { table: "t".into(), flat: false };
+        assert_eq!(a, b);
+        let c = Statement::Show { table: "t".into(), flat: true };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn predicates_carry_attr_and_value() {
+        let p = EqPredicate { attr: "Student".into(), value: "s1".into() };
+        assert_eq!(p.attr, "Student");
+        assert_eq!(p.value, "s1");
+    }
+
+    #[test]
+    fn predicate_accessors_unify_eq_and_in() {
+        let eq = Predicate::Eq(EqPredicate { attr: "A".into(), value: "x".into() });
+        assert_eq!(eq.attr(), "A");
+        assert_eq!(eq.values(), vec!["x"]);
+        let inp = Predicate::In { attr: "B".into(), values: vec!["y".into(), "z".into()] };
+        assert_eq!(inp.attr(), "B");
+        assert_eq!(inp.values(), vec!["y", "z"]);
+    }
+
+    #[test]
+    fn projection_variants() {
+        assert_ne!(Projection::CountStar, Projection::All);
+        assert_eq!(
+            Projection::CountDistinct("A".into()),
+            Projection::CountDistinct("A".into())
+        );
+    }
+}

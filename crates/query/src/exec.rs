@@ -1,0 +1,1108 @@
+//! Statement execution against a database of NF² tables.
+//!
+//! SELECT statements compile into `nf2-algebra` expressions evaluated on
+//! the stored canonical relations; INSERT/DELETE drive the §4 incremental
+//! maintenance inside [`NfTable`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use nf2_algebra::optimize::{estimate, optimize, RewriteMode, SchemaCatalog};
+use nf2_algebra::{Env, Expr};
+use nf2_core::display::{render_flat, render_nf};
+use nf2_core::relation::NfRelation;
+use nf2_core::schema::NestOrder;
+use nf2_core::value::Atom;
+use nf2_storage::{NfTable, SharedDictionary};
+
+use crate::ast::{Predicate, Projection, Statement};
+use crate::parser::{parse_script, ParseError};
+
+/// Errors from statement execution.
+#[derive(Debug)]
+pub enum QueryError {
+    /// Parsing failed.
+    Parse(ParseError),
+    /// The referenced table does not exist.
+    NoSuchTable(String),
+    /// A table with the name already exists.
+    TableExists(String),
+    /// The model or storage layer rejected the operation.
+    Storage(nf2_storage::StorageError),
+    /// The model layer rejected the operation.
+    Model(nf2_core::NfError),
+    /// A predicate referenced an unknown value, so nothing can match.
+    Semantic(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::NoSuchTable(n) => write!(f, "no such table: {n}"),
+            QueryError::TableExists(n) => write!(f, "table already exists: {n}"),
+            QueryError::Storage(e) => write!(f, "{e}"),
+            QueryError::Model(e) => write!(f, "{e}"),
+            QueryError::Semantic(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+impl From<nf2_storage::StorageError> for QueryError {
+    fn from(e: nf2_storage::StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}
+impl From<nf2_core::NfError> for QueryError {
+    fn from(e: nf2_core::NfError) -> Self {
+        QueryError::Model(e)
+    }
+}
+
+/// Result of executing one statement.
+#[derive(Debug)]
+pub enum Output {
+    /// A message (DDL acknowledgements, table lists).
+    Message(String),
+    /// Number of rows affected by a mutation.
+    Affected(usize),
+    /// An aggregate result (`COUNT(*)`, `COUNT(DISTINCT …)`).
+    Count(u128),
+    /// A query result relation (with a rendered table).
+    Relation {
+        /// The result relation.
+        relation: NfRelation,
+        /// ASCII rendering using the database dictionary.
+        rendered: String,
+    },
+}
+
+impl Output {
+    /// The rendered/normal textual form of the output.
+    pub fn to_text(&self) -> String {
+        match self {
+            Output::Message(m) => m.clone(),
+            Output::Affected(n) => format!("{n} row(s) affected"),
+            Output::Count(n) => n.to_string(),
+            Output::Relation { rendered, .. } => rendered.clone(),
+        }
+    }
+}
+
+/// One reverse operation in a transaction's undo log.
+#[derive(Debug, Clone)]
+enum Undo {
+    /// A delete (or the delete half of an update) removed this row.
+    Reinsert {
+        table: String,
+        row: Vec<Atom>,
+    },
+    /// An insert added this row.
+    Remove {
+        table: String,
+        row: Vec<Atom>,
+    },
+}
+
+/// An in-memory database: a dictionary shared by all tables plus a
+/// catalog of NF² tables, with single-level transactions (BEGIN /
+/// COMMIT / ROLLBACK) over the row-mutation statements.
+#[derive(Debug, Default)]
+pub struct Database {
+    dict: SharedDictionary,
+    tables: BTreeMap<String, NfTable>,
+    /// Undo log of the open transaction, if any.
+    txn: Option<Vec<Undo>>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared dictionary.
+    pub fn dict(&self) -> &SharedDictionary {
+        &self.dict
+    }
+
+    /// Immutable access to a table.
+    pub fn table(&self, name: &str) -> Result<&NfTable, QueryError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| QueryError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Mutable access to a table.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut NfTable, QueryError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| QueryError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Parses and executes a whole script, returning one output per
+    /// statement.
+    pub fn run_script(&mut self, script: &str) -> Result<Vec<Output>, QueryError> {
+        let stmts = parse_script(script)?;
+        stmts.into_iter().map(|s| self.execute(s)).collect()
+    }
+
+    /// Parses and executes a single statement.
+    pub fn run(&mut self, statement: &str) -> Result<Output, QueryError> {
+        self.execute(crate::parser::parse(statement)?)
+    }
+
+    /// Executes a parsed statement.
+    pub fn execute(&mut self, stmt: Statement) -> Result<Output, QueryError> {
+        match stmt {
+            Statement::CreateTable { name, attrs, nest_order } => {
+                if self.txn.is_some() {
+                    return Err(QueryError::Semantic(
+                        "DDL inside a transaction is not supported".into(),
+                    ));
+                }
+                if self.tables.contains_key(&name) {
+                    return Err(QueryError::TableExists(name));
+                }
+                let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+                let schema = nf2_core::Schema::new(name.clone(), &attr_refs)?;
+                let order = match nest_order {
+                    Some(names) => {
+                        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                        NestOrder::from_names(&schema, &refs)?
+                    }
+                    None => NestOrder::identity(attrs.len()),
+                };
+                let table = NfTable::create(&name, &attr_refs, order, self.dict.clone())?;
+                self.tables.insert(name.clone(), table);
+                Ok(Output::Message(format!("created table {name}")))
+            }
+            Statement::DropTable { name } => {
+                if self.txn.is_some() {
+                    return Err(QueryError::Semantic(
+                        "DDL inside a transaction is not supported".into(),
+                    ));
+                }
+                if self.tables.remove(&name).is_none() {
+                    return Err(QueryError::NoSuchTable(name));
+                }
+                Ok(Output::Message(format!("dropped table {name}")))
+            }
+            Statement::Insert { table, rows } => {
+                let t = self.table_mut(&table)?;
+                let mut affected = 0;
+                let mut undo = Vec::new();
+                for row in rows {
+                    let refs: Vec<&str> = row.iter().map(String::as_str).collect();
+                    let atoms = t.row_from_strs(&refs)?;
+                    if t.insert_atoms(atoms.clone())? {
+                        affected += 1;
+                        undo.push(Undo::Remove { table: table.clone(), row: atoms });
+                    }
+                }
+                self.log_undo(undo);
+                Ok(Output::Affected(affected))
+            }
+            Statement::Delete { table, predicates } => {
+                let dict = self.dict.clone();
+                let t = self.table_mut(&table)?;
+                // Resolve predicates; a predicate with no known value
+                // matches nothing.
+                let Some(bound) = resolve_bound(t, &dict, &predicates)? else {
+                    return Ok(Output::Affected(0));
+                };
+                // Collect matching flat rows, then delete them one by one
+                // through §4 maintenance.
+                let victims: Vec<Vec<Atom>> = t
+                    .relation()
+                    .expand()
+                    .rows()
+                    .filter(|row| bound.iter().all(|(a, vs)| vs.contains(&row[*a])))
+                    .cloned()
+                    .collect();
+                let mut affected = 0;
+                let mut undo = Vec::new();
+                for row in &victims {
+                    if t.delete_atoms(row)? {
+                        affected += 1;
+                        undo.push(Undo::Reinsert { table: table.clone(), row: row.clone() });
+                    }
+                }
+                self.log_undo(undo);
+                Ok(Output::Affected(affected))
+            }
+            Statement::Update { table, assignments, predicates } => {
+                let dict = self.dict.clone();
+                let t = self.table_mut(&table)?;
+                // Resolve assignment targets (values are interned on use).
+                let mut sets: Vec<(usize, Atom)> = Vec::new();
+                for a in &assignments {
+                    let attr = t.schema().attr_id(&a.attr)?;
+                    sets.push((attr, dict.intern(&a.value)));
+                }
+                // Resolve the selection; unknown values match nothing.
+                let Some(bound) = resolve_bound(t, &dict, &predicates)? else {
+                    return Ok(Output::Affected(0));
+                };
+                let victims: Vec<Vec<Atom>> = t
+                    .relation()
+                    .expand()
+                    .rows()
+                    .filter(|row| bound.iter().all(|(a, vs)| vs.contains(&row[*a])))
+                    .cloned()
+                    .collect();
+                let mut affected = 0;
+                let mut undo = Vec::new();
+                for row in &victims {
+                    let mut updated = row.clone();
+                    for &(attr, v) in &sets {
+                        updated[attr] = v;
+                    }
+                    if updated == *row {
+                        continue; // no-op rewrite
+                    }
+                    t.delete_atoms(row)?;
+                    undo.push(Undo::Reinsert { table: table.clone(), row: row.clone() });
+                    // The rewritten row may collide with an existing one —
+                    // set semantics absorb it (and then there is nothing to
+                    // undo for the insert half).
+                    if t.insert_atoms(updated.clone())? {
+                        undo.push(Undo::Remove { table: table.clone(), row: updated });
+                    }
+                    affected += 1;
+                }
+                self.log_undo(undo);
+                Ok(Output::Affected(affected))
+            }
+            Statement::Select { projection, table, joins, predicates } => {
+                let (expr, env) = self.plan_select(&table, &joins, &projection, &predicates)?;
+                let Some(expr) = expr else {
+                    // Unknown predicate value: empty result.
+                    if matches!(projection, Projection::CountStar | Projection::CountDistinct(_)) {
+                        return Ok(Output::Count(0));
+                    }
+                    let t = self.table(&table)?;
+                    let empty = NfRelation::new(t.schema().clone());
+                    let rendered = render_nf(&empty, &self.dict.snapshot());
+                    return Ok(Output::Relation { relation: empty, rendered });
+                };
+                // Structural-mode optimization is always sound: the result
+                // is tuple-identical to the unoptimized plan's.
+                let catalog = SchemaCatalog::from_env(&env);
+                let expr = optimize(&expr, &catalog, RewriteMode::Structural).expr;
+                let relation = expr.eval(&env)?;
+                match projection {
+                    Projection::CountStar | Projection::CountDistinct(_) => {
+                        Ok(Output::Count(relation.flat_count()))
+                    }
+                    _ => {
+                        let rendered = render_nf(&relation, &self.dict.snapshot());
+                        Ok(Output::Relation { relation, rendered })
+                    }
+                }
+            }
+            Statement::Explain { inner, optimized } => {
+                let Statement::Select { projection, table, joins, predicates } = *inner else {
+                    return Err(QueryError::Semantic(
+                        "EXPLAIN supports SELECT statements only".into(),
+                    ));
+                };
+                let (expr, env) = self.plan_select(&table, &joins, &projection, &predicates)?;
+                let Some(expr) = expr else {
+                    return Ok(Output::Message(
+                        "plan: <empty result — predicate value never interned>".to_owned(),
+                    ));
+                };
+                let mut text = format!("plan:\n{}", explain_expr(&expr, 0));
+                if optimized {
+                    let catalog = SchemaCatalog::from_env(&env);
+                    let opt = optimize(&expr, &catalog, RewriteMode::Structural);
+                    let sizes: std::collections::HashMap<String, usize> = env
+                        .names()
+                        .iter()
+                        .map(|n| {
+                            (n.to_string(), env.get(n).map(|r| r.tuple_count()).unwrap_or(0))
+                        })
+                        .collect();
+                    let before = estimate(&expr, &sizes);
+                    let after = estimate(&opt.expr, &sizes);
+                    text.push_str("\nrewrites:");
+                    if opt.trace.is_empty() {
+                        text.push_str("\n  (none applicable)");
+                    }
+                    for step in &opt.trace {
+                        text.push_str(&format!("\n  [{}] {}", step.rule, step.result));
+                    }
+                    text.push_str(&format!("\noptimized plan:\n{}", explain_expr(&opt.expr, 0)));
+                    text.push_str(&format!(
+                        "\nestimated work: {:.0} -> {:.0}",
+                        before.total_work, after.total_work
+                    ));
+                }
+                Ok(Output::Message(text))
+            }
+            Statement::Nest { table, attr } => {
+                let t = self.table(&table)?;
+                let id = t.schema().attr_id(&attr)?;
+                let relation = nf2_core::nest::nest(t.relation(), id);
+                let rendered = render_nf(&relation, &self.dict.snapshot());
+                Ok(Output::Relation { relation, rendered })
+            }
+            Statement::Unnest { table, attr } => {
+                let t = self.table(&table)?;
+                let id = t.schema().attr_id(&attr)?;
+                let relation = nf2_core::nest::unnest(t.relation(), id);
+                let rendered = render_nf(&relation, &self.dict.snapshot());
+                Ok(Output::Relation { relation, rendered })
+            }
+            Statement::Show { table, flat } => {
+                let t = self.table(&table)?;
+                let dict = self.dict.snapshot();
+                if flat {
+                    let f = t.relation().expand();
+                    let rendered = render_flat(&f, &dict);
+                    Ok(Output::Relation { relation: NfRelation::from_flat(&f), rendered })
+                } else {
+                    let rendered = render_nf(t.relation(), &dict);
+                    Ok(Output::Relation { relation: t.relation().clone(), rendered })
+                }
+            }
+            Statement::Begin => {
+                if self.txn.is_some() {
+                    return Err(QueryError::Semantic(
+                        "a transaction is already open (nested BEGIN is not supported)".into(),
+                    ));
+                }
+                self.txn = Some(Vec::new());
+                Ok(Output::Message("transaction started".into()))
+            }
+            Statement::Commit => match self.txn.take() {
+                Some(log) => Ok(Output::Message(format!(
+                    "committed ({} row mutation(s))",
+                    log.len()
+                ))),
+                None => Err(QueryError::Semantic("no open transaction to COMMIT".into())),
+            },
+            Statement::Rollback => {
+                let Some(log) = self.txn.take() else {
+                    return Err(QueryError::Semantic("no open transaction to ROLLBACK".into()));
+                };
+                let n = log.len();
+                for entry in log.into_iter().rev() {
+                    match entry {
+                        Undo::Reinsert { table, row } => {
+                            self.table_mut(&table)?.insert_atoms(row)?;
+                        }
+                        Undo::Remove { table, row } => {
+                            self.table_mut(&table)?.delete_atoms(&row)?;
+                        }
+                    }
+                }
+                Ok(Output::Message(format!("rolled back {n} row mutation(s)")))
+            }
+            Statement::Stats { table } => {
+                let t = self.table(&table)?;
+                let tuples = t.tuple_count();
+                let flats = t.flat_count();
+                let ratio = if tuples == 0 { 1.0 } else { flats as f64 / tuples as f64 };
+                let cost = t.maintenance_cost();
+                let stats = t.stats();
+                Ok(Output::Message(format!(
+                    "table {table}: {tuples} nf-tuples / {flats} flat rows (compression {ratio:.2}x)\n\
+                     nest order: {}\n\
+                     maintenance: {} compositions, {} decompositions, {} candidate probes, {} recons calls\n\
+                     access: {} lookups probing {} units; {} inserts, {} deletes",
+                    t.order(),
+                    cost.compositions,
+                    cost.decompositions,
+                    cost.candidate_probes,
+                    cost.recons_calls,
+                    stats.lookups,
+                    stats.units_probed,
+                    stats.inserts,
+                    stats.deletes,
+                )))
+            }
+            Statement::Tables => {
+                let mut lines: Vec<String> = Vec::new();
+                for (name, t) in &self.tables {
+                    lines.push(format!(
+                        "{name}: {} nf-tuples / {} flat rows, order {}",
+                        t.tuple_count(),
+                        t.flat_count(),
+                        t.order()
+                    ));
+                }
+                if lines.is_empty() {
+                    lines.push("(no tables)".into());
+                }
+                Ok(Output::Message(lines.join("\n")))
+            }
+        }
+    }
+
+    /// Appends undo entries to the open transaction's log (no-op when
+    /// running in autocommit).
+    fn log_undo(&mut self, entries: Vec<Undo>) {
+        if let Some(log) = self.txn.as_mut() {
+            log.extend(entries);
+        }
+    }
+
+    /// Compiles a SELECT into an algebra expression plus the evaluation
+    /// environment. Returns `Ok((None, env))` when some predicate has no
+    /// interned value at all (the result is statically empty).
+    #[allow(clippy::type_complexity)]
+    fn plan_select(
+        &self,
+        table: &str,
+        joins: &[String],
+        projection: &Projection,
+        predicates: &[Predicate],
+    ) -> Result<(Option<Expr>, Env), QueryError> {
+        let t = self.table(table)?;
+        let mut env = Env::new();
+        env.insert(table.to_owned(), t.relation().clone());
+        let mut expr = Expr::rel(table);
+        for other in joins {
+            let o = self.table(other)?;
+            env.insert(other.to_owned(), o.relation().clone());
+            expr = Expr::Join(Box::new(expr), Box::new(Expr::rel(other)));
+        }
+        if !predicates.is_empty() {
+            // Predicate attributes are resolved against the joined shape
+            // at eval time; here we only resolve values. An IN keeps its
+            // known values; a predicate with none is statically empty.
+            let mut constraints = Vec::with_capacity(predicates.len());
+            for p in predicates {
+                let atoms: Vec<Atom> =
+                    p.values().iter().filter_map(|v| self.dict.lookup(v)).collect();
+                if atoms.is_empty() {
+                    return Ok((None, env));
+                }
+                constraints.push((p.attr().to_owned(), atoms));
+            }
+            expr = Expr::SelectBox { input: Box::new(expr), constraints };
+        }
+        match projection {
+            Projection::Attrs(attrs) => {
+                expr = Expr::Project { input: Box::new(expr), attrs: attrs.clone() };
+            }
+            Projection::CountDistinct(attr) => {
+                expr = Expr::Project { input: Box::new(expr), attrs: vec![attr.clone()] };
+            }
+            Projection::All | Projection::CountStar => {}
+        }
+        Ok((Some(expr), env))
+    }
+}
+
+/// Resolves WHERE predicates to `(attr id, allowed atoms)` pairs against
+/// one table. `None` when some predicate has no known value (nothing can
+/// match).
+#[allow(clippy::type_complexity)]
+fn resolve_bound(
+    table: &NfTable,
+    dict: &SharedDictionary,
+    predicates: &[Predicate],
+) -> Result<Option<Vec<(usize, Vec<Atom>)>>, QueryError> {
+    let mut bound = Vec::with_capacity(predicates.len());
+    for p in predicates {
+        let attr = table.schema().attr_id(p.attr())?;
+        let atoms: Vec<Atom> = p.values().iter().filter_map(|v| dict.lookup(v)).collect();
+        if atoms.is_empty() {
+            return Ok(None);
+        }
+        bound.push((attr, atoms));
+    }
+    Ok(Some(bound))
+}
+
+/// Renders an algebra expression as an indented plan tree for EXPLAIN.
+fn explain_expr(expr: &Expr, depth: usize) -> String {
+    let pad = "  ".repeat(depth);
+    match expr {
+        Expr::Rel(name) => format!("{pad}scan {name}"),
+        Expr::SelectBox { input, constraints } => {
+            let preds: Vec<String> = constraints
+                .iter()
+                .map(|(a, vs)| format!("{a} IN {vs:?}"))
+                .collect();
+            format!("{pad}select [{}]\n{}", preds.join(" AND "), explain_expr(input, depth + 1))
+        }
+        Expr::Project { input, attrs } => {
+            format!("{pad}project [{}]\n{}", attrs.join(", "), explain_expr(input, depth + 1))
+        }
+        Expr::Join(l, r) => format!(
+            "{pad}natural-join\n{}\n{}",
+            explain_expr(l, depth + 1),
+            explain_expr(r, depth + 1)
+        ),
+        Expr::Union(l, r) => format!(
+            "{pad}union\n{}\n{}",
+            explain_expr(l, depth + 1),
+            explain_expr(r, depth + 1)
+        ),
+        Expr::Difference(l, r) => format!(
+            "{pad}difference\n{}\n{}",
+            explain_expr(l, depth + 1),
+            explain_expr(r, depth + 1)
+        ),
+        Expr::Intersect(l, r) => format!(
+            "{pad}intersect\n{}\n{}",
+            explain_expr(l, depth + 1),
+            explain_expr(r, depth + 1)
+        ),
+        Expr::Nest { input, attr } => {
+            format!("{pad}nest [{attr}]\n{}", explain_expr(input, depth + 1))
+        }
+        Expr::Unnest { input, attr } => {
+            format!("{pad}unnest [{attr}]\n{}", explain_expr(input, depth + 1))
+        }
+        Expr::Canonicalize { input, order } => {
+            format!("{pad}canonicalize [{}]\n{}", order.join(" -> "), explain_expr(input, depth + 1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded_db() -> Database {
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE sc (Student, Course, Club) NEST ORDER (Student, Course, Club);\n\
+             INSERT INTO sc VALUES ('s1','c1','b1'), ('s2','c1','b1'), ('s1','c2','b1');",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_show_flow() {
+        let mut db = seeded_db();
+        let out = db.run("SHOW sc").unwrap();
+        let text = out.to_text();
+        assert!(text.contains("Student"));
+        assert!(db.table("sc").unwrap().flat_count() == 3);
+    }
+
+    #[test]
+    fn duplicate_create_fails() {
+        let mut db = seeded_db();
+        assert!(matches!(
+            db.run("CREATE TABLE sc (A)"),
+            Err(QueryError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn insert_counts_new_rows_only() {
+        let mut db = seeded_db();
+        let out = db.run("INSERT INTO sc VALUES ('s1','c1','b1'), ('s9','c9','b9')").unwrap();
+        assert!(matches!(out, Output::Affected(1)));
+    }
+
+    #[test]
+    fn select_with_predicate_and_projection() {
+        let mut db = seeded_db();
+        let out = db.run("SELECT Course FROM sc WHERE Student = 's1'").unwrap();
+        match out {
+            Output::Relation { relation, .. } => {
+                assert_eq!(relation.expand().len(), 2, "s1 takes c1 and c2");
+                assert_eq!(relation.arity(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_unknown_value_is_empty_not_error() {
+        let mut db = seeded_db();
+        let out = db.run("SELECT * FROM sc WHERE Student = 'ghost'").unwrap();
+        match out {
+            Output::Relation { relation, .. } => assert!(relation.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_unknown_attr_is_error() {
+        let mut db = seeded_db();
+        assert!(db.run("SELECT * FROM sc WHERE Nope = 's1'").is_err());
+    }
+
+    #[test]
+    fn delete_with_partial_predicate() {
+        let mut db = seeded_db();
+        let out = db.run("DELETE FROM sc WHERE Student = 's1'").unwrap();
+        assert!(matches!(out, Output::Affected(2)));
+        assert_eq!(db.table("sc").unwrap().flat_count(), 1);
+    }
+
+    #[test]
+    fn delete_everything_with_empty_where() {
+        let mut db = seeded_db();
+        let out = db.run("DELETE FROM sc").unwrap();
+        assert!(matches!(out, Output::Affected(3)));
+        assert_eq!(db.table("sc").unwrap().flat_count(), 0);
+    }
+
+    #[test]
+    fn nest_and_unnest_are_ad_hoc() {
+        let mut db = seeded_db();
+        let nested = db.run("NEST sc ON Student").unwrap();
+        match nested {
+            Output::Relation { relation, .. } => {
+                assert!(relation.tuple_count() <= db.table("sc").unwrap().tuple_count());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The stored table is unchanged.
+        assert_eq!(db.table("sc").unwrap().flat_count(), 3);
+        assert!(db.run("UNNEST sc ON Student").is_ok());
+    }
+
+    #[test]
+    fn show_flat_renders_rows() {
+        let mut db = seeded_db();
+        let out = db.run("SHOW FLAT sc").unwrap();
+        let text = out.to_text();
+        assert!(text.matches("s1").count() >= 2, "two s1 rows in R*: {text}");
+    }
+
+    #[test]
+    fn tables_lists_catalog() {
+        let mut db = seeded_db();
+        let out = db.run("TABLES").unwrap();
+        assert!(out.to_text().contains("sc:"));
+        db.run("DROP TABLE sc").unwrap();
+        assert!(db.run("TABLES").unwrap().to_text().contains("no tables"));
+    }
+
+    #[test]
+    fn stats_reports_realization_numbers() {
+        let mut db = seeded_db();
+        db.run("SELECT * FROM sc WHERE Student = 's1'").unwrap();
+        let text = db.run("STATS sc").unwrap().to_text();
+        assert!(text.contains("3 flat rows"), "{text}");
+        assert!(text.contains("compression"), "{text}");
+        assert!(text.contains("recons calls"), "{text}");
+        assert!(text.contains("3 inserts"), "{text}");
+        assert!(db.run("STATS ghost").is_err());
+    }
+
+    #[test]
+    fn drop_missing_table_errors() {
+        let mut db = Database::new();
+        assert!(matches!(db.run("DROP TABLE ghost"), Err(QueryError::NoSuchTable(_))));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = QueryError::NoSuchTable("x".into());
+        assert!(e.to_string().contains("no such table"));
+    }
+}
+
+#[cfg(test)]
+mod join_explain_tests {
+    use super::*;
+
+    fn db_with_two_tables() -> Database {
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE sc (Student, Course);
+             INSERT INTO sc VALUES ('s1','c1'), ('s2','c1'), ('s1','c2');
+             CREATE TABLE cp (Course, Prof);
+             INSERT INTO cp VALUES ('c1','p1'), ('c2','p2');",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn select_join_matches_flat_join() {
+        let mut db = db_with_two_tables();
+        let out = db.run("SELECT * FROM sc JOIN cp").unwrap();
+        match out {
+            Output::Relation { relation, .. } => {
+                assert_eq!(relation.arity(), 3, "Student, Course, Prof");
+                assert_eq!(relation.expand().len(), 3, "one row per sc row");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_join_with_predicate_and_projection() {
+        let mut db = db_with_two_tables();
+        let out = db
+            .run("SELECT Student FROM sc JOIN cp WHERE Prof = 'p1'")
+            .unwrap();
+        match out {
+            Output::Relation { relation, .. } => {
+                assert_eq!(relation.expand().len(), 2, "s1 and s2 take p1's course");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_with_missing_table_errors() {
+        let mut db = db_with_two_tables();
+        assert!(matches!(
+            db.run("SELECT * FROM sc JOIN ghost"),
+            Err(QueryError::NoSuchTable(_))
+        ));
+    }
+
+    #[test]
+    fn explain_renders_plan_tree() {
+        let mut db = db_with_two_tables();
+        let out = db
+            .run("EXPLAIN SELECT Student FROM sc JOIN cp WHERE Prof = 'p1'")
+            .unwrap();
+        let text = out.to_text();
+        assert!(text.contains("project [Student]"), "{text}");
+        assert!(text.contains("select ["), "{text}");
+        assert!(text.contains("natural-join"), "{text}");
+        assert!(text.contains("scan sc"), "{text}");
+        assert!(text.contains("scan cp"), "{text}");
+    }
+
+    #[test]
+    fn explain_of_impossible_predicate() {
+        let mut db = db_with_two_tables();
+        let out = db.run("EXPLAIN SELECT * FROM sc WHERE Student = 'ghost'").unwrap();
+        assert!(out.to_text().contains("empty result"));
+    }
+
+    #[test]
+    fn explain_non_select_is_rejected_at_parse() {
+        let mut db = db_with_two_tables();
+        assert!(db.run("EXPLAIN SHOW sc").is_err());
+    }
+}
+
+#[cfg(test)]
+mod transaction_tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE sc (Student, Course);
+             INSERT INTO sc VALUES ('s1','c1'), ('s2','c1'), ('s1','c2');",
+        )
+        .unwrap();
+        db
+    }
+
+    fn snapshot(db: &Database) -> NfRelation {
+        db.table("sc").unwrap().relation().clone()
+    }
+
+    #[test]
+    fn rollback_restores_the_exact_relation() {
+        let mut db = db();
+        let before = snapshot(&db);
+        db.run("BEGIN").unwrap();
+        db.run("INSERT INTO sc VALUES ('s9','c9'), ('s9','c1')").unwrap();
+        db.run("DELETE FROM sc WHERE Student = 's1'").unwrap();
+        db.run("UPDATE sc SET Course = 'c7' WHERE Student = 's2'").unwrap();
+        assert_ne!(snapshot(&db), before, "mutations visible inside the txn");
+        let out = db.run("ROLLBACK").unwrap();
+        assert!(out.to_text().contains("rolled back"), "{}", out.to_text());
+        assert_eq!(snapshot(&db), before, "rollback restores the canonical form");
+        // And the restored relation is still canonical for its order.
+        let t = db.table("sc").unwrap();
+        let fresh = nf2_core::nest::canonical_of_flat(&t.relation().expand(), t.order());
+        assert_eq!(t.relation(), &fresh);
+    }
+
+    #[test]
+    fn commit_keeps_changes() {
+        let mut db = db();
+        db.run("BEGIN").unwrap();
+        db.run("INSERT INTO sc VALUES ('s9','c9')").unwrap();
+        db.run("COMMIT").unwrap();
+        assert_eq!(db.table("sc").unwrap().flat_count(), 4);
+        // After commit there is nothing to roll back.
+        assert!(db.run("ROLLBACK").is_err());
+    }
+
+    #[test]
+    fn rollback_of_update_collision_is_exact() {
+        let mut db = db();
+        let before = snapshot(&db);
+        db.run("BEGIN").unwrap();
+        // (s1,c1) → (s1,c2) collides with the existing (s1,c2).
+        db.run("UPDATE sc SET Course = 'c2' WHERE Course = 'c1'").unwrap();
+        db.run("ROLLBACK").unwrap();
+        assert_eq!(snapshot(&db), before);
+    }
+
+    #[test]
+    fn chained_updates_roll_back_through_intermediates() {
+        let mut db = db();
+        let before = snapshot(&db);
+        db.run("BEGIN").unwrap();
+        db.run("UPDATE sc SET Course = 'cX' WHERE Course = 'c1'").unwrap();
+        db.run("UPDATE sc SET Course = 'cY' WHERE Course = 'cX'").unwrap();
+        db.run("ROLLBACK").unwrap();
+        assert_eq!(snapshot(&db), before);
+    }
+
+    #[test]
+    fn transaction_state_errors() {
+        let mut db = db();
+        assert!(db.run("COMMIT").is_err(), "no txn open");
+        assert!(db.run("ROLLBACK").is_err());
+        db.run("BEGIN").unwrap();
+        assert!(db.run("BEGIN").is_err(), "nested BEGIN rejected");
+        assert!(db.run("CREATE TABLE t2 (A)").is_err(), "DDL in txn rejected");
+        assert!(db.run("DROP TABLE sc").is_err(), "DDL in txn rejected");
+        db.run("COMMIT").unwrap();
+        db.run("CREATE TABLE t2 (A)").unwrap();
+    }
+
+    #[test]
+    fn autocommit_mutations_bypass_the_log() {
+        let mut db = db();
+        db.run("INSERT INTO sc VALUES ('s9','c9')").unwrap();
+        db.run("BEGIN").unwrap();
+        let out = db.run("COMMIT").unwrap();
+        assert!(out.to_text().contains("(0 row mutation(s))"), "{}", out.to_text());
+    }
+
+    #[test]
+    fn rollback_spans_multiple_tables() {
+        let mut db = db();
+        db.run_script("CREATE TABLE cp (Course, Prof); INSERT INTO cp VALUES ('c1','p1');")
+            .unwrap();
+        let sc_before = snapshot(&db);
+        let cp_before = db.table("cp").unwrap().relation().clone();
+        db.run("BEGIN").unwrap();
+        db.run("DELETE FROM sc WHERE Course = 'c1'").unwrap();
+        db.run("INSERT INTO cp VALUES ('c2','p2')").unwrap();
+        db.run("ROLLBACK").unwrap();
+        assert_eq!(snapshot(&db), sc_before);
+        assert_eq!(db.table("cp").unwrap().relation(), &cp_before);
+    }
+}
+
+#[cfg(test)]
+mod extended_select_tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE sc (Student, Course);
+             INSERT INTO sc VALUES ('s1','c1'), ('s2','c1'), ('s1','c2'), ('s3','c3');
+             CREATE TABLE cp (Course, Prof);
+             INSERT INTO cp VALUES ('c1','p1'), ('c2','p2'), ('c3','p1');
+             CREATE TABLE pd (Prof, Dept);
+             INSERT INTO pd VALUES ('p1','d1'), ('p2','d2');",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn in_predicate_selects_value_set() {
+        let mut db = db();
+        let out = db.run("SELECT * FROM sc WHERE Student IN ('s1', 's3')").unwrap();
+        match out {
+            Output::Relation { relation, .. } => assert_eq!(relation.expand().len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_predicate_with_partially_unknown_values() {
+        let mut db = db();
+        // 'ghost' was never interned; the IN degrades to {s1}.
+        let out = db.run("SELECT * FROM sc WHERE Student IN ('s1', 'ghost')").unwrap();
+        match out {
+            Output::Relation { relation, .. } => assert_eq!(relation.expand().len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        // All unknown: statically empty.
+        let out = db.run("SELECT * FROM sc WHERE Student IN ('ghostA', 'ghostB')").unwrap();
+        match out {
+            Output::Relation { relation, .. } => assert!(relation.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_and_update_accept_in_predicates() {
+        let mut db = db();
+        let out = db.run("DELETE FROM sc WHERE Student IN ('s1','s2')").unwrap();
+        assert!(matches!(out, Output::Affected(3)));
+        assert_eq!(db.table("sc").unwrap().flat_count(), 1);
+        let out = db.run("UPDATE cp SET Prof = 'p9' WHERE Course IN ('c1','c2')").unwrap();
+        assert!(matches!(out, Output::Affected(2)));
+    }
+
+    #[test]
+    fn count_star_counts_flat_rows() {
+        let mut db = db();
+        match db.run("SELECT COUNT(*) FROM sc").unwrap() {
+            Output::Count(n) => assert_eq!(n, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        match db.run("SELECT COUNT(*) FROM sc WHERE Course = 'c1'").unwrap() {
+            Output::Count(n) => assert_eq!(n, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        match db.run("SELECT COUNT(*) FROM sc WHERE Course = 'ghost'").unwrap() {
+            Output::Count(n) => assert_eq!(n, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_distinct_projects_first() {
+        let mut db = db();
+        match db.run("SELECT COUNT(DISTINCT Student) FROM sc").unwrap() {
+            Output::Count(n) => assert_eq!(n, 3, "s1, s2, s3"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match db.run("SELECT COUNT(DISTINCT Course) FROM sc WHERE Student = 's1'").unwrap() {
+            Output::Count(n) => assert_eq!(n, 2, "c1 and c2"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(Output::Count(7).to_text(), "7");
+    }
+
+    #[test]
+    fn three_way_join_chains_naturally() {
+        let mut db = db();
+        // sc ⋈ cp ⋈ pd: Student-Course-Prof-Dept.
+        let out = db.run("SELECT Student, Dept FROM sc JOIN cp JOIN pd").unwrap();
+        match out {
+            Output::Relation { relation, .. } => {
+                assert_eq!(relation.arity(), 2);
+                // s1→{d1,d2}, s2→d1, s3→d1.
+                assert_eq!(relation.expand().len(), 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explain_optimized_shows_rewrites_and_costs() {
+        let mut db = db();
+        let out = db
+            .run("EXPLAIN OPTIMIZED SELECT Student FROM sc JOIN cp WHERE Prof = 'p1'")
+            .unwrap();
+        let text = out.to_text();
+        assert!(text.contains("rewrites:"), "{text}");
+        assert!(text.contains("select-into-join"), "{text}");
+        assert!(text.contains("optimized plan:"), "{text}");
+        assert!(text.contains("estimated work:"), "{text}");
+    }
+
+    #[test]
+    fn explain_optimized_with_nothing_to_do() {
+        let mut db = db();
+        let text = db.run("EXPLAIN OPTIMIZED SELECT * FROM sc").unwrap().to_text();
+        assert!(text.contains("(none applicable)"), "{text}");
+    }
+
+    #[test]
+    fn optimized_execution_matches_unoptimized_semantics() {
+        let mut db = db();
+        // The executor optimizes structurally; spot-check a plan where
+        // pushdown definitely fires against the by-hand expected rows.
+        let out = db
+            .run("SELECT Student FROM sc JOIN cp WHERE Prof = 'p1' AND Student IN ('s1','s2')")
+            .unwrap();
+        match out {
+            Output::Relation { relation, .. } => {
+                let rows = relation.expand();
+                assert_eq!(rows.len(), 2, "s1 (c1) and s2 (c1) reach p1");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod update_tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.run_script(
+            "CREATE TABLE sc (Student, Course);
+             INSERT INTO sc VALUES ('s1','c1'), ('s2','c1'), ('s1','c2');",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn update_rewrites_matching_rows() {
+        let mut db = db();
+        let out = db.run("UPDATE sc SET Course = 'c9' WHERE Student = 's1'").unwrap();
+        assert!(matches!(out, Output::Affected(2)));
+        // Both of s1's rows map to (s1, c9): set semantics collapse them.
+        let t = db.table("sc").unwrap();
+        assert_eq!(t.flat_count(), 2);
+        let c9 = db.dict().lookup("c9").unwrap();
+        let hits: usize = t.relation().expand().rows().filter(|r| r[1] == c9).count();
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn update_collision_collapses_by_set_semantics() {
+        let mut db = db();
+        // Rewriting s2's course to c2 creates (s2,c2); rewriting s1's c1
+        // to c2 collides with the existing (s1,c2) and collapses.
+        let out = db.run("UPDATE sc SET Course = 'c2' WHERE Course = 'c1'").unwrap();
+        assert!(matches!(out, Output::Affected(2)));
+        assert_eq!(db.table("sc").unwrap().flat_count(), 2, "(s1,c2) and (s2,c2)");
+    }
+
+    #[test]
+    fn update_with_unknown_value_is_noop() {
+        let mut db = db();
+        let out = db.run("UPDATE sc SET Course = 'c9' WHERE Student = 'ghost'").unwrap();
+        assert!(matches!(out, Output::Affected(0)));
+        assert_eq!(db.table("sc").unwrap().flat_count(), 3);
+    }
+
+    #[test]
+    fn update_identity_assignment_is_noop() {
+        let mut db = db();
+        let out = db.run("UPDATE sc SET Course = 'c1' WHERE Course = 'c1'").unwrap();
+        assert!(matches!(out, Output::Affected(0)));
+    }
+
+    #[test]
+    fn update_keeps_canonical_invariant() {
+        let mut db = db();
+        db.run("UPDATE sc SET Student = 's9'").unwrap();
+        let t = db.table("sc").unwrap();
+        let oracle = nf2_core::nest::canonical_of_flat(&t.relation().expand(), t.order());
+        assert_eq!(t.relation(), &oracle);
+    }
+
+    #[test]
+    fn update_unknown_attr_errors() {
+        let mut db = db();
+        assert!(db.run("UPDATE sc SET Nope = 'x'").is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! # nf2-query — the NF² data-manipulation language
+//!
+//! The paper defers its DML ("We didn't address the data manipulation
+//! language which we will show elsewhere", §5). This crate implements a
+//! small but complete one over the storage engine:
+//!
+//! ```text
+//! CREATE TABLE sc (Student, Course, Club) NEST ORDER (Student, Course, Club);
+//! INSERT INTO sc VALUES ('s1','c1','b1'), ('s2','c1','b2');
+//! SELECT Course FROM sc WHERE Student = 's1';
+//! SELECT Student FROM sc JOIN cp WHERE Prof = 'p1';
+//! UPDATE sc SET Club = 'b3' WHERE Student = 's1';
+//! DELETE FROM sc WHERE Student = 's1' AND Course = 'c1';
+//! EXPLAIN SELECT Student FROM sc JOIN cp;
+//! NEST sc ON Course;      -- ad-hoc ν_Course
+//! UNNEST sc ON Course;
+//! SHOW sc;  SHOW FLAT sc;  TABLES;
+//! ```
+//!
+//! Pipeline: [`token`] → [`parser`] → [`ast`] → [`exec`] (which plans
+//! SELECTs into `nf2-algebra` expressions and routes mutations through
+//! §4's incremental canonical maintenance).
+
+pub mod ast;
+pub mod exec;
+pub mod parser;
+pub mod token;
+
+pub use ast::{EqPredicate, Projection, Statement};
+pub use exec::{Database, Output, QueryError};
+pub use parser::{parse, parse_script, ParseError};
+pub use token::{lex, LexError, Token};

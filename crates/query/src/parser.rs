@@ -1,0 +1,468 @@
+//! Recursive-descent parser for the NF² DML.
+
+use std::fmt;
+
+use crate::ast::{EqPredicate, Predicate, Projection, Statement};
+use crate::token::{lex, LexError, Token};
+
+/// A parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.to_string() }
+    }
+}
+
+/// Parses a single statement (a trailing semicolon is optional).
+pub fn parse(input: &str) -> Result<Statement, ParseError> {
+    let mut stmts = parse_script(input)?;
+    match stmts.len() {
+        1 => Ok(stmts.remove(0)),
+        0 => Err(ParseError { message: "empty input".into() }),
+        n => Err(ParseError { message: format!("expected one statement, found {n}") }),
+    }
+}
+
+/// Parses a semicolon-separated script.
+pub fn parse_script(input: &str) -> Result<Vec<Statement>, ParseError> {
+    let tokens = lex(input)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    loop {
+        while parser.eat(&Token::Semicolon) {}
+        if parser.at_end() {
+            return Ok(stmts);
+        }
+        stmts.push(parser.statement()?);
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token, ParseError> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| ParseError { message: "unexpected end of input".into() })?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        let got = self.next()?;
+        if got == *t {
+            Ok(())
+        } else {
+            Err(ParseError { message: format!("expected {t}, found {got}") })
+        }
+    }
+
+    /// Consumes an identifier, returning it verbatim.
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(ParseError { message: format!("expected identifier, found {other}") }),
+        }
+    }
+
+    /// Consumes a keyword (case-insensitive identifier match).
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let got = self.ident()?;
+        if got.eq_ignore_ascii_case(kw) {
+            Ok(())
+        } else {
+            Err(ParseError { message: format!("expected keyword {kw}, found {got}") })
+        }
+    }
+
+    /// Whether the next token is the given keyword; consumes it if so.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Token::Str(s) => Ok(s),
+            other => Err(ParseError { message: format!("expected string literal, found {other}") }),
+        }
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>, ParseError> {
+        self.expect(&Token::LParen)?;
+        let mut names = vec![self.ident()?];
+        while self.eat(&Token::Comma) {
+            names.push(self.ident()?);
+        }
+        self.expect(&Token::RParen)?;
+        Ok(names)
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        let head = self.ident()?;
+        match head.to_ascii_lowercase().as_str() {
+            "create" => {
+                self.keyword("table")?;
+                let name = self.ident()?;
+                let attrs = self.ident_list()?;
+                let nest_order = if self.eat_keyword("nest") {
+                    self.keyword("order")?;
+                    Some(self.ident_list()?)
+                } else {
+                    None
+                };
+                Ok(Statement::CreateTable { name, attrs, nest_order })
+            }
+            "drop" => {
+                self.keyword("table")?;
+                Ok(Statement::DropTable { name: self.ident()? })
+            }
+            "insert" => {
+                self.keyword("into")?;
+                let table = self.ident()?;
+                self.keyword("values")?;
+                let mut rows = vec![self.value_row()?];
+                while self.eat(&Token::Comma) {
+                    rows.push(self.value_row()?);
+                }
+                Ok(Statement::Insert { table, rows })
+            }
+            "delete" => {
+                self.keyword("from")?;
+                let table = self.ident()?;
+                let predicates = self.where_clause()?;
+                Ok(Statement::Delete { table, predicates })
+            }
+            "select" => {
+                let projection = self.projection()?;
+                self.keyword("from")?;
+                let table = self.ident()?;
+                let mut joins = Vec::new();
+                while self.eat_keyword("join") {
+                    joins.push(self.ident()?);
+                }
+                let predicates = self.where_clause()?;
+                Ok(Statement::Select { projection, table, joins, predicates })
+            }
+            "update" => {
+                let table = self.ident()?;
+                self.keyword("set")?;
+                let mut assignments = vec![self.predicate()?];
+                while self.eat(&Token::Comma) {
+                    assignments.push(self.predicate()?);
+                }
+                let predicates = self.where_clause()?;
+                Ok(Statement::Update { table, assignments, predicates })
+            }
+            "nest" => {
+                let table = self.ident()?;
+                self.keyword("on")?;
+                Ok(Statement::Nest { table, attr: self.ident()? })
+            }
+            "unnest" => {
+                let table = self.ident()?;
+                self.keyword("on")?;
+                Ok(Statement::Unnest { table, attr: self.ident()? })
+            }
+            "show" => {
+                if self.eat_keyword("flat") {
+                    Ok(Statement::Show { table: self.ident()?, flat: true })
+                } else {
+                    Ok(Statement::Show { table: self.ident()?, flat: false })
+                }
+            }
+            "tables" => Ok(Statement::Tables),
+            "stats" => Ok(Statement::Stats { table: self.ident()? }),
+            "begin" => Ok(Statement::Begin),
+            "commit" => Ok(Statement::Commit),
+            "rollback" => Ok(Statement::Rollback),
+            "explain" => {
+                let optimized = self.eat_keyword("optimized");
+                let inner = self.statement()?;
+                if !matches!(inner, Statement::Select { .. }) {
+                    return Err(ParseError {
+                        message: "EXPLAIN supports SELECT statements only".into(),
+                    });
+                }
+                Ok(Statement::Explain { inner: Box::new(inner), optimized })
+            }
+            other => Err(ParseError { message: format!("unknown statement: {other}") }),
+        }
+    }
+
+    fn value_row(&mut self) -> Result<Vec<String>, ParseError> {
+        self.expect(&Token::LParen)?;
+        let mut vals = vec![self.string()?];
+        while self.eat(&Token::Comma) {
+            vals.push(self.string()?);
+        }
+        self.expect(&Token::RParen)?;
+        Ok(vals)
+    }
+
+    /// `*`, `COUNT(*)`, `COUNT(DISTINCT attr)`, or an attribute list.
+    /// `COUNT` is recognised only when followed by `(`, so it remains
+    /// usable as a plain attribute name.
+    fn projection(&mut self) -> Result<Projection, ParseError> {
+        if self.eat(&Token::Star) {
+            return Ok(Projection::All);
+        }
+        let first = self.ident()?;
+        if first.eq_ignore_ascii_case("count") && self.eat(&Token::LParen) {
+            let agg = if self.eat(&Token::Star) {
+                Projection::CountStar
+            } else {
+                self.keyword("distinct")?;
+                Projection::CountDistinct(self.ident()?)
+            };
+            self.expect(&Token::RParen)?;
+            return Ok(agg);
+        }
+        let mut attrs = vec![first];
+        while self.eat(&Token::Comma) {
+            attrs.push(self.ident()?);
+        }
+        Ok(Projection::Attrs(attrs))
+    }
+
+    fn where_clause(&mut self) -> Result<Vec<Predicate>, ParseError> {
+        if !self.eat_keyword("where") {
+            return Ok(Vec::new());
+        }
+        let mut preds = vec![self.where_predicate()?];
+        while self.eat_keyword("and") {
+            preds.push(self.where_predicate()?);
+        }
+        Ok(preds)
+    }
+
+    /// `attr = 'value'` or `attr IN ('v1', 'v2', …)`.
+    fn where_predicate(&mut self) -> Result<Predicate, ParseError> {
+        let attr = self.ident()?;
+        if self.eat_keyword("in") {
+            self.expect(&Token::LParen)?;
+            let mut values = vec![self.string()?];
+            while self.eat(&Token::Comma) {
+                values.push(self.string()?);
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Predicate::In { attr, values });
+        }
+        self.expect(&Token::Equals)?;
+        let value = self.string()?;
+        Ok(Predicate::Eq(EqPredicate { attr, value }))
+    }
+
+    /// A SET assignment: always `attr = 'value'`.
+    fn predicate(&mut self) -> Result<EqPredicate, ParseError> {
+        let attr = self.ident()?;
+        self.expect(&Token::Equals)?;
+        let value = self.string()?;
+        Ok(EqPredicate { attr, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_with_nest_order() {
+        let s = parse("CREATE TABLE sc (Student, Course) NEST ORDER (Student, Course);").unwrap();
+        assert_eq!(
+            s,
+            Statement::CreateTable {
+                name: "sc".into(),
+                attrs: vec!["Student".into(), "Course".into()],
+                nest_order: Some(vec!["Student".into(), "Course".into()]),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_create_without_nest_order() {
+        let s = parse("create table t (a, b)").unwrap();
+        assert!(matches!(s, Statement::CreateTable { nest_order: None, .. }));
+    }
+
+    #[test]
+    fn parses_insert_multi_row() {
+        let s = parse("INSERT INTO sc VALUES ('s1','c1'), ('s2','c2');").unwrap();
+        assert_eq!(
+            s,
+            Statement::Insert {
+                table: "sc".into(),
+                rows: vec![
+                    vec!["s1".into(), "c1".into()],
+                    vec!["s2".into(), "c2".into()]
+                ],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_delete_with_conjunction() {
+        let s = parse("DELETE FROM sc WHERE Student = 's1' AND Course = 'c1'").unwrap();
+        match s {
+            Statement::Delete { table, predicates } => {
+                assert_eq!(table, "sc");
+                assert_eq!(predicates.len(), 2);
+                assert_eq!(predicates[0].attr(), "Student");
+                assert_eq!(predicates[1].values(), vec!["c1"]);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_in_predicates() {
+        let s = parse("SELECT * FROM sc WHERE Student IN ('s1', 's2') AND Course = 'c1'").unwrap();
+        match s {
+            Statement::Select { predicates, .. } => {
+                assert_eq!(
+                    predicates[0],
+                    Predicate::In { attr: "Student".into(), values: vec!["s1".into(), "s2".into()] }
+                );
+                assert_eq!(predicates[1].values(), vec!["c1"]);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(parse("SELECT * FROM sc WHERE Student IN ()").is_err(), "empty IN list");
+        assert!(parse("SELECT * FROM sc WHERE Student IN ('s1'").is_err(), "unclosed IN list");
+    }
+
+    #[test]
+    fn parses_count_aggregates() {
+        assert!(matches!(
+            parse("SELECT COUNT(*) FROM sc").unwrap(),
+            Statement::Select { projection: Projection::CountStar, .. }
+        ));
+        match parse("SELECT COUNT(DISTINCT Student) FROM sc").unwrap() {
+            Statement::Select { projection: Projection::CountDistinct(a), .. } => {
+                assert_eq!(a, "Student")
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // COUNT without parens is a plain attribute.
+        assert!(matches!(
+            parse("SELECT Count FROM sc").unwrap(),
+            Statement::Select { projection: Projection::Attrs(_), .. }
+        ));
+        assert!(parse("SELECT COUNT(Student) FROM sc").is_err(), "only * or DISTINCT attr");
+    }
+
+    #[test]
+    fn parses_multi_way_join() {
+        match parse("SELECT * FROM a JOIN b JOIN c").unwrap() {
+            Statement::Select { joins, .. } => {
+                assert_eq!(joins, vec!["b".to_owned(), "c".to_owned()])
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_explain_optimized() {
+        assert!(matches!(
+            parse("EXPLAIN SELECT * FROM t").unwrap(),
+            Statement::Explain { optimized: false, .. }
+        ));
+        assert!(matches!(
+            parse("EXPLAIN OPTIMIZED SELECT * FROM t").unwrap(),
+            Statement::Explain { optimized: true, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_select_star_and_attrs() {
+        assert!(matches!(
+            parse("SELECT * FROM sc").unwrap(),
+            Statement::Select { projection: Projection::All, .. }
+        ));
+        let s = parse("SELECT Course, Student FROM sc WHERE Club='b1'").unwrap();
+        match s {
+            Statement::Select { projection: Projection::Attrs(attrs), predicates, .. } => {
+                assert_eq!(attrs, vec!["Course".to_owned(), "Student".to_owned()]);
+                assert_eq!(predicates.len(), 1);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nest_unnest_show() {
+        assert_eq!(
+            parse("NEST sc ON Course").unwrap(),
+            Statement::Nest { table: "sc".into(), attr: "Course".into() }
+        );
+        assert_eq!(
+            parse("UNNEST sc ON Course").unwrap(),
+            Statement::Unnest { table: "sc".into(), attr: "Course".into() }
+        );
+        assert_eq!(
+            parse("SHOW FLAT sc").unwrap(),
+            Statement::Show { table: "sc".into(), flat: true }
+        );
+        assert_eq!(parse("TABLES").unwrap(), Statement::Tables);
+    }
+
+    #[test]
+    fn parses_scripts() {
+        let stmts = parse_script(
+            "CREATE TABLE t (a, b); INSERT INTO t VALUES ('x','y'); SHOW t;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_statements() {
+        assert!(parse("").is_err());
+        assert!(parse("FROB x").is_err());
+        assert!(parse("CREATE TABLE").is_err());
+        assert!(parse("INSERT INTO t VALUES ('a' 'b')").is_err());
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("DELETE FROM t WHERE a = b").is_err(), "value must be a string literal");
+        assert!(parse("SHOW t; SHOW u").is_err(), "parse() wants exactly one statement");
+    }
+}

@@ -1,0 +1,192 @@
+//! Lexer for the NF² data-manipulation language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Bare identifier (table or attribute name), lowercased keywords are
+    /// resolved by the parser.
+    Ident(String),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `=`
+    Equals,
+    /// `*`
+    Star,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Semicolon => write!(f, ";"),
+            Token::Equals => write!(f, "="),
+            Token::Star => write!(f, "*"),
+        }
+    }
+}
+
+/// A lexing error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub pos: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `input`. Identifiers may contain letters, digits, `_` and
+/// `-`; string literals use single quotes with `''` as the escape.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Equals);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                let start = i;
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            pos: start,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' || b == '-' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(input[start..i].to_owned()));
+            }
+            other => {
+                return Err(LexError { pos: i, message: format!("unexpected character {other:?}") })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_create_statement() {
+        let toks = lex("CREATE TABLE sc (a, b);").unwrap();
+        assert_eq!(toks[0], Token::Ident("CREATE".into()));
+        assert_eq!(toks[2], Token::Ident("sc".into()));
+        assert!(toks.contains(&Token::LParen));
+        assert_eq!(*toks.last().unwrap(), Token::Semicolon);
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        let toks = lex("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        let err = lex("'oops").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn rejects_strange_characters() {
+        assert!(lex("SELECT ~ FROM x").is_err());
+    }
+
+    #[test]
+    fn skips_comments_and_whitespace() {
+        let toks = lex("a -- a comment\n b").unwrap();
+        assert_eq!(toks, vec![Token::Ident("a".into()), Token::Ident("b".into())]);
+    }
+
+    #[test]
+    fn lexes_equals_and_star() {
+        let toks = lex("SELECT * WHERE a = 'x'").unwrap();
+        assert!(toks.contains(&Token::Star));
+        assert!(toks.contains(&Token::Equals));
+    }
+
+    #[test]
+    fn identifiers_may_contain_dashes_and_digits() {
+        let toks = lex("course-101").unwrap();
+        assert_eq!(toks, vec![Token::Ident("course-101".into())]);
+    }
+}

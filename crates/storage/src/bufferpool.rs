@@ -1,0 +1,497 @@
+//! A buffer pool with clock (second-chance) eviction over a paged file.
+//!
+//! The heap layer ([`crate::heap`]) materialises whole files; that is
+//! fine for checkpoints but not for the realization-view story (§2):
+//! once the NFR *is* the physical representation, lookups should touch a
+//! bounded number of page frames, and the frames an access pattern
+//! re-touches should stay resident. [`BufferPool`] supplies exactly
+//! that: a fixed number of in-memory frames over a [`PagedFile`], with
+//! pin/unpin, dirty-page write-back, and hit/miss/eviction accounting
+//! that the search-space experiments read.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::error::{Result, StorageError};
+use crate::page::{Page, PAGE_SIZE};
+
+/// A file of fixed-size page frames with random-access page I/O.
+#[derive(Debug)]
+pub struct PagedFile {
+    file: File,
+    page_count: u32,
+}
+
+impl PagedFile {
+    /// Creates (truncating) a new paged file.
+    pub fn create(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self { file, page_count: 0 })
+    }
+
+    /// Opens an existing paged file, validating its geometry.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "paged file length {len} is not a multiple of the page size"
+            )));
+        }
+        Ok(Self { file, page_count: (len / PAGE_SIZE as u64) as u32 })
+    }
+
+    /// Number of pages in the file.
+    pub fn page_count(&self) -> u32 {
+        self.page_count
+    }
+
+    /// Appends a fresh empty page, returning its id.
+    pub fn allocate(&mut self) -> Result<u32> {
+        let id = self.page_count;
+        let page = Page::new(id);
+        self.write_page(&page)?;
+        self.page_count += 1;
+        Ok(id)
+    }
+
+    /// Reads and checksum-verifies one page.
+    pub fn read_page(&mut self, id: u32) -> Result<Page> {
+        if id >= self.page_count {
+            return Err(StorageError::InvalidRecord(format!("page {id} out of range")));
+        }
+        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        let mut frame = vec![0u8; PAGE_SIZE];
+        self.file.read_exact(&mut frame)?;
+        Page::from_bytes(&frame)
+    }
+
+    /// Writes one page at its id's offset.
+    pub fn write_page(&mut self, page: &Page) -> Result<()> {
+        self.file.seek(SeekFrom::Start(page.id() as u64 * PAGE_SIZE as u64))?;
+        self.file.write_all(&page.to_bytes())?;
+        Ok(())
+    }
+
+    /// Flushes OS buffers to disk.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.flush()?;
+        self.file.sync_all()?;
+        Ok(())
+    }
+}
+
+/// Buffer-pool access accounting.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Requests served from a resident frame.
+    pub hits: u64,
+    /// Requests that had to read from disk.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty frames written back (at eviction or flush).
+    pub write_backs: u64,
+}
+
+#[derive(Debug)]
+struct Frame {
+    page: Page,
+    dirty: bool,
+    pins: u32,
+    referenced: bool,
+}
+
+/// A fixed-capacity page cache with clock (second-chance) replacement.
+#[derive(Debug)]
+pub struct BufferPool {
+    file: PagedFile,
+    frames: Vec<Option<Frame>>,
+    /// page id → frame index.
+    resident: HashMap<u32, usize>,
+    hand: usize,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// Wraps `file` with a pool of `capacity` frames (at least 1).
+    pub fn new(file: PagedFile, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            file,
+            frames: (0..capacity).map(|_| None).collect(),
+            resident: HashMap::with_capacity(capacity),
+            hand: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Pool capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of pages in the backing file.
+    pub fn page_count(&self) -> u32 {
+        self.file.page_count()
+    }
+
+    /// Point-in-time access statistics.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Allocates a new page in the backing file and faults it in.
+    pub fn allocate_page(&mut self) -> Result<u32> {
+        let id = self.file.allocate()?;
+        self.fault_in(id)?;
+        Ok(id)
+    }
+
+    /// Read access to a page, faulting it in if necessary.
+    pub fn fetch(&mut self, id: u32) -> Result<&Page> {
+        let idx = self.frame_of(id)?;
+        let frame = self.frames[idx].as_mut().expect("resident frame");
+        frame.referenced = true;
+        Ok(&frame.page)
+    }
+
+    /// Write access to a page; the frame is marked dirty.
+    pub fn fetch_mut(&mut self, id: u32) -> Result<&mut Page> {
+        let idx = self.frame_of(id)?;
+        let frame = self.frames[idx].as_mut().expect("resident frame");
+        frame.referenced = true;
+        frame.dirty = true;
+        Ok(&mut frame.page)
+    }
+
+    /// Pins a page: it cannot be evicted until unpinned as many times.
+    pub fn pin(&mut self, id: u32) -> Result<()> {
+        let idx = self.frame_of(id)?;
+        self.frames[idx].as_mut().expect("resident frame").pins += 1;
+        Ok(())
+    }
+
+    /// Releases one pin. Unpinning a non-resident or unpinned page is an
+    /// error (it indicates a caller bookkeeping bug).
+    pub fn unpin(&mut self, id: u32) -> Result<()> {
+        let idx = *self
+            .resident
+            .get(&id)
+            .ok_or_else(|| StorageError::InvalidRecord(format!("unpin of non-resident page {id}")))?;
+        let frame = self.frames[idx].as_mut().expect("resident frame");
+        if frame.pins == 0 {
+            return Err(StorageError::InvalidRecord(format!("page {id} is not pinned")));
+        }
+        frame.pins -= 1;
+        Ok(())
+    }
+
+    /// Writes back one page if dirty (stays resident).
+    pub fn flush(&mut self, id: u32) -> Result<()> {
+        if let Some(&idx) = self.resident.get(&id) {
+            let frame = self.frames[idx].as_mut().expect("resident frame");
+            if frame.dirty {
+                self.file.write_page(&frame.page)?;
+                frame.dirty = false;
+                self.stats.write_backs += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes back every dirty frame and syncs the file.
+    pub fn flush_all(&mut self) -> Result<()> {
+        for idx in 0..self.frames.len() {
+            if let Some(frame) = self.frames[idx].as_mut() {
+                if frame.dirty {
+                    self.file.write_page(&frame.page)?;
+                    frame.dirty = false;
+                    self.stats.write_backs += 1;
+                }
+            }
+        }
+        self.file.sync()
+    }
+
+    /// Consumes the pool, flushing everything, and returns the file.
+    pub fn into_file(mut self) -> Result<PagedFile> {
+        self.flush_all()?;
+        Ok(self.file)
+    }
+
+    fn frame_of(&mut self, id: u32) -> Result<usize> {
+        if let Some(&idx) = self.resident.get(&id) {
+            self.stats.hits += 1;
+            return Ok(idx);
+        }
+        self.stats.misses += 1;
+        self.fault_in(id)
+    }
+
+    /// Loads `id` into a frame, evicting with the clock policy if full.
+    fn fault_in(&mut self, id: u32) -> Result<usize> {
+        debug_assert!(!self.resident.contains_key(&id));
+        let page = self.file.read_page(id)?;
+        let idx = self.victim()?;
+        if let Some(old) = self.frames[idx].take() {
+            if old.dirty {
+                self.file.write_page(&old.page)?;
+                self.stats.write_backs += 1;
+            }
+            self.resident.remove(&old.page.id());
+            self.stats.evictions += 1;
+        }
+        self.frames[idx] = Some(Frame { page, dirty: false, pins: 0, referenced: true });
+        self.resident.insert(id, idx);
+        Ok(idx)
+    }
+
+    /// Clock scan: free frame, else first unpinned frame whose reference
+    /// bit is already clear (clearing bits as the hand passes).
+    fn victim(&mut self) -> Result<usize> {
+        if let Some(free) = self.frames.iter().position(Option::is_none) {
+            return Ok(free);
+        }
+        // Two sweeps suffice: the first clears reference bits, the second
+        // must find one clear unless every frame is pinned.
+        for _ in 0..2 * self.frames.len() {
+            let idx = self.hand;
+            self.hand = (self.hand + 1) % self.frames.len();
+            let frame = self.frames[idx].as_mut().expect("pool is full here");
+            if frame.pins > 0 {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+            } else {
+                return Ok(idx);
+            }
+        }
+        Err(StorageError::PoolExhausted { capacity: self.frames.len() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_file(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("nf2_pool_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}.pages"))
+    }
+
+    fn pool_with_pages(tag: &str, pages: u32, capacity: usize) -> BufferPool {
+        let mut file = PagedFile::create(&temp_file(tag)).unwrap();
+        for _ in 0..pages {
+            file.allocate().unwrap();
+        }
+        BufferPool::new(file, capacity)
+    }
+
+    #[test]
+    fn paged_file_round_trips_pages() {
+        let path = temp_file("roundtrip");
+        let mut f = PagedFile::create(&path).unwrap();
+        let id = f.allocate().unwrap();
+        let mut page = f.read_page(id).unwrap();
+        let slot = page.insert(b"persisted").unwrap();
+        f.write_page(&page).unwrap();
+        f.sync().unwrap();
+        let mut g = PagedFile::open(&path).unwrap();
+        assert_eq!(g.page_count(), 1);
+        assert_eq!(g.read_page(id).unwrap().get(slot).unwrap(), b"persisted");
+    }
+
+    #[test]
+    fn paged_file_rejects_bad_geometry() {
+        let path = temp_file("badgeom");
+        std::fs::write(&path, vec![0u8; PAGE_SIZE + 7]).unwrap();
+        assert!(PagedFile::open(&path).is_err());
+    }
+
+    #[test]
+    fn out_of_range_reads_error() {
+        let mut f = PagedFile::create(&temp_file("range")).unwrap();
+        assert!(f.read_page(0).is_err());
+        f.allocate().unwrap();
+        assert!(f.read_page(0).is_ok());
+        assert!(f.read_page(1).is_err());
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let mut pool = pool_with_pages("hitmiss", 3, 2);
+        pool.fetch(0).unwrap();
+        pool.fetch(0).unwrap();
+        pool.fetch(1).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.evictions, 0);
+    }
+
+    #[test]
+    fn eviction_kicks_in_beyond_capacity() {
+        let mut pool = pool_with_pages("evict", 4, 2);
+        pool.fetch(0).unwrap();
+        pool.fetch(1).unwrap();
+        pool.fetch(2).unwrap(); // must evict 0 or 1
+        assert_eq!(pool.stats().evictions, 1);
+        // All pages still readable (faulted back in on demand).
+        for id in 0..3 {
+            pool.fetch(id).unwrap();
+        }
+    }
+
+    #[test]
+    fn clock_gives_second_chance_to_referenced_frames() {
+        let mut pool = pool_with_pages("clock", 4, 2);
+        pool.fetch(0).unwrap();
+        pool.fetch(1).unwrap();
+        // Both frames carry a reference bit; the first eviction scan
+        // clears both and takes the frame the hand re-reaches first
+        // (page 0). Page 2 lands there with its bit set; page 1's bit
+        // stays clear.
+        pool.fetch(2).unwrap();
+        assert!(!pool.resident.contains_key(&0));
+        // Second chance: faulting 3 must pass over referenced page 2 and
+        // evict page 1, whose bit was cleared and never re-set.
+        pool.fetch(3).unwrap();
+        assert!(pool.resident.contains_key(&2), "referenced frame survived the scan");
+        assert!(!pool.resident.contains_key(&1), "unreferenced frame evicted");
+        assert_eq!(pool.stats().evictions, 2);
+    }
+
+    #[test]
+    fn dirty_pages_are_written_back_on_eviction() {
+        let path = temp_file("writeback");
+        let mut file = PagedFile::create(&path).unwrap();
+        for _ in 0..3 {
+            file.allocate().unwrap();
+        }
+        let mut pool = BufferPool::new(file, 1);
+        let slot = pool.fetch_mut(0).unwrap().insert(b"dirty data").unwrap();
+        pool.fetch(1).unwrap(); // evicts page 0, forcing write-back
+        assert_eq!(pool.stats().write_backs, 1);
+        let page0 = pool.fetch(0).unwrap();
+        assert_eq!(page0.get(slot).unwrap(), b"dirty data");
+    }
+
+    #[test]
+    fn pinned_pages_are_never_evicted() {
+        let mut pool = pool_with_pages("pin", 3, 2);
+        pool.fetch(0).unwrap();
+        pool.pin(0).unwrap();
+        pool.fetch(1).unwrap();
+        pool.fetch(2).unwrap(); // must evict 1, not pinned 0
+        assert!(pool.resident.contains_key(&0));
+        pool.unpin(0).unwrap();
+        assert!(pool.unpin(0).is_err(), "double unpin is a caller bug");
+        assert!(pool.unpin(7).is_err(), "unpin of non-resident page");
+    }
+
+    #[test]
+    fn fully_pinned_pool_reports_exhaustion() {
+        let mut pool = pool_with_pages("exhaust", 3, 2);
+        pool.fetch(0).unwrap();
+        pool.pin(0).unwrap();
+        pool.fetch(1).unwrap();
+        pool.pin(1).unwrap();
+        match pool.fetch(2) {
+            Err(StorageError::PoolExhausted { capacity: 2 }) => {}
+            other => panic!("expected PoolExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flush_all_persists_and_clears_dirt() {
+        let path = temp_file("flushall");
+        let mut file = PagedFile::create(&path).unwrap();
+        for _ in 0..2 {
+            file.allocate().unwrap();
+        }
+        let mut pool = BufferPool::new(file, 2);
+        let s0 = pool.fetch_mut(0).unwrap().insert(b"zero").unwrap();
+        let s1 = pool.fetch_mut(1).unwrap().insert(b"one").unwrap();
+        pool.flush_all().unwrap();
+        assert_eq!(pool.stats().write_backs, 2);
+        // Re-open the file cold and verify both pages.
+        let mut cold = PagedFile::open(&path).unwrap();
+        assert_eq!(cold.read_page(0).unwrap().get(s0).unwrap(), b"zero");
+        assert_eq!(cold.read_page(1).unwrap().get(s1).unwrap(), b"one");
+    }
+
+    #[test]
+    fn flush_single_page_is_idempotent() {
+        let mut pool = pool_with_pages("flushone", 1, 1);
+        pool.fetch_mut(0).unwrap().insert(b"x").unwrap();
+        pool.flush(0).unwrap();
+        pool.flush(0).unwrap(); // clean now: no second write-back
+        assert_eq!(pool.stats().write_backs, 1);
+        pool.flush(42).unwrap(); // non-resident: no-op
+    }
+
+    #[test]
+    fn allocate_page_extends_file_and_pool() {
+        let mut pool = pool_with_pages("alloc", 0, 2);
+        let a = pool.allocate_page().unwrap();
+        let b = pool.allocate_page().unwrap();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(pool.page_count(), 2);
+        pool.fetch(a).unwrap();
+        assert_eq!(pool.stats().hits, 1, "freshly allocated page is resident");
+    }
+
+    #[test]
+    fn into_file_flushes_everything() {
+        let path = temp_file("intofile");
+        let mut file = PagedFile::create(&path).unwrap();
+        file.allocate().unwrap();
+        let mut pool = BufferPool::new(file, 1);
+        let slot = pool.fetch_mut(0).unwrap().insert(b"final").unwrap();
+        let mut file = pool.into_file().unwrap();
+        assert_eq!(file.read_page(0).unwrap().get(slot).unwrap(), b"final");
+    }
+
+    /// Randomised cross-check: a tiny pool over many pages must behave
+    /// exactly like direct file access.
+    #[test]
+    fn random_workload_matches_direct_file_access() {
+        let path = temp_file("oracle");
+        let mut file = PagedFile::create(&path).unwrap();
+        let pages = 8u32;
+        let mut slots = Vec::new();
+        for id in 0..pages {
+            file.allocate().unwrap();
+            let mut p = file.read_page(id).unwrap();
+            let slot = p.insert(format!("page-{id}").as_bytes()).unwrap();
+            file.write_page(&p).unwrap();
+            slots.push(slot);
+        }
+        let mut pool = BufferPool::new(file, 3);
+        // Deterministic pseudo-random access pattern.
+        let mut state = 0xdead_beefu64;
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let id = (state >> 33) as u32 % pages;
+            let page = pool.fetch(id).unwrap();
+            assert_eq!(
+                page.get(slots[id as usize]).unwrap(),
+                format!("page-{id}").as_bytes()
+            );
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits + s.misses, 200);
+        assert!(s.misses > 0 && s.hits > 0, "3-frame pool over 8 pages must mix");
+    }
+}

@@ -1,0 +1,129 @@
+//! A concurrent, shareable interning dictionary.
+//!
+//! Wraps the core [`Dictionary`](nf2_core::value::Dictionary) in a
+//! `parking_lot::RwLock` behind an `Arc`, so storage tables, query
+//! sessions and benchmark threads can share one value space.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use nf2_core::value::{Atom, Dictionary};
+
+/// A thread-safe interning dictionary.
+#[derive(Debug, Default, Clone)]
+pub struct SharedDictionary {
+    inner: Arc<RwLock<Dictionary>>,
+}
+
+impl SharedDictionary {
+    /// A fresh empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its atom.
+    pub fn intern(&self, name: &str) -> Atom {
+        // Fast path: read lock only.
+        if let Some(atom) = self.inner.read().lookup(name) {
+            return atom;
+        }
+        self.inner.write().intern(name)
+    }
+
+    /// Interns a whole row of names.
+    pub fn intern_row(&self, names: &[&str]) -> Vec<Atom> {
+        names.iter().map(|n| self.intern(n)).collect()
+    }
+
+    /// Looks up without interning.
+    pub fn lookup(&self, name: &str) -> Option<Atom> {
+        self.inner.read().lookup(name)
+    }
+
+    /// Resolves an atom to its name (owned, since the lock cannot escape).
+    pub fn resolve(&self, atom: Atom) -> Option<String> {
+        self.inner.read().resolve(atom).map(str::to_owned)
+    }
+
+    /// Resolves with a numeric fallback.
+    pub fn resolve_or_id(&self, atom: Atom) -> String {
+        self.inner.read().resolve_or_id(atom)
+    }
+
+    /// Number of interned values.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// A point-in-time copy of the underlying dictionary, for use with
+    /// core display helpers that take `&Dictionary`.
+    pub fn snapshot(&self) -> Dictionary {
+        self.inner.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_and_resolve() {
+        let d = SharedDictionary::new();
+        let a = d.intern("s1");
+        assert_eq!(d.intern("s1"), a);
+        assert_eq!(d.resolve(a).as_deref(), Some("s1"));
+        assert_eq!(d.lookup("s2"), None);
+        assert_eq!(d.len(), 1);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let d = SharedDictionary::new();
+        let d2 = d.clone();
+        let a = d.intern("shared");
+        assert_eq!(d2.lookup("shared"), Some(a));
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let d = SharedDictionary::new();
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let d = d.clone();
+                std::thread::spawn(move || {
+                    let mut atoms = Vec::new();
+                    for i in 0..50 {
+                        atoms.push((format!("v{}", i % 10), d.intern(&format!("v{}", i % 10))));
+                    }
+                    let _ = t;
+                    atoms
+                })
+            })
+            .collect();
+        let mut seen: std::collections::HashMap<String, Atom> = std::collections::HashMap::new();
+        for h in handles {
+            for (name, atom) in h.join().unwrap() {
+                let prev = seen.entry(name).or_insert(atom);
+                assert_eq!(*prev, atom, "same name must intern to the same atom everywhere");
+            }
+        }
+        assert_eq!(d.len(), 10);
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let d = SharedDictionary::new();
+        let a = d.intern("x");
+        let snap = d.snapshot();
+        d.intern("y");
+        assert_eq!(snap.resolve(a), Some("x"));
+        assert_eq!(snap.len(), 1, "snapshot does not see later interns");
+    }
+}

@@ -1,0 +1,105 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+/// Errors raised by the storage substrate.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The underlying NF² model rejected an operation.
+    Model(nf2_core::NfError),
+    /// A page checksum did not match its contents (corruption).
+    ChecksumMismatch {
+        /// The page whose checksum failed.
+        page_id: u32,
+    },
+    /// A page or record reference was invalid.
+    InvalidRecord(String),
+    /// A serialized buffer could not be decoded.
+    Corrupt(String),
+    /// The record does not fit in a page.
+    RecordTooLarge {
+        /// Encoded record size.
+        size: usize,
+        /// Maximum payload a page can hold.
+        max: usize,
+    },
+    /// An I/O error during persistence.
+    Io(std::io::Error),
+    /// Every buffer-pool frame is pinned; nothing can be evicted.
+    PoolExhausted {
+        /// Number of frames in the pool, all pinned.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Model(e) => write!(f, "model error: {e}"),
+            StorageError::ChecksumMismatch { page_id } => {
+                write!(f, "checksum mismatch on page {page_id}")
+            }
+            StorageError::InvalidRecord(msg) => write!(f, "invalid record: {msg}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            StorageError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds page payload capacity {max}")
+            }
+            StorageError::Io(e) => write!(f, "io error: {e}"),
+            StorageError::PoolExhausted { capacity } => {
+                write!(f, "all {capacity} buffer-pool frames are pinned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Model(e) => Some(e),
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nf2_core::NfError> for StorageError {
+    fn from(e: nf2_core::NfError) -> Self {
+        StorageError::Model(e)
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Result alias for storage operations.
+pub type Result<T, E = StorageError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<(StorageError, &str)> = vec![
+            (StorageError::Model(nf2_core::NfError::OverlappingTuples), "model error"),
+            (StorageError::ChecksumMismatch { page_id: 3 }, "checksum"),
+            (StorageError::InvalidRecord("x".into()), "invalid record"),
+            (StorageError::Corrupt("y".into()), "corrupt"),
+            (StorageError::RecordTooLarge { size: 9999, max: 100 }, "exceeds"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle));
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        let e: StorageError = nf2_core::NfError::DuplicateFlatTuple.into();
+        assert!(matches!(e, StorageError::Model(_)));
+        let e: StorageError = std::io::Error::other("boom").into();
+        assert!(matches!(e, StorageError::Io(_)));
+    }
+}

@@ -1,0 +1,229 @@
+//! Heap files: a growable collection of slotted pages with record ids,
+//! plus whole-file persistence.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::error::{Result, StorageError};
+use crate::page::{Page, SlotId, MAX_RECORD, PAGE_SIZE};
+
+/// Stable address of a record inside a heap file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId {
+    /// Page index.
+    pub page: u32,
+    /// Slot within the page.
+    pub slot: SlotId,
+}
+
+/// An append-friendly file of slotted pages.
+#[derive(Debug, Clone, Default)]
+pub struct HeapFile {
+    pages: Vec<Page>,
+}
+
+impl HeapFile {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of live records across all pages.
+    pub fn record_count(&self) -> usize {
+        self.pages.iter().map(Page::live_count).sum()
+    }
+
+    /// Total on-disk footprint in bytes (pages are fixed-size frames).
+    pub fn size_bytes(&self) -> usize {
+        self.pages.len() * PAGE_SIZE
+    }
+
+    /// Inserts a record into the first page with room, appending a new
+    /// page when none fits.
+    pub fn insert(&mut self, record: &[u8]) -> Result<RecordId> {
+        if record.len() > MAX_RECORD {
+            return Err(StorageError::RecordTooLarge { size: record.len(), max: MAX_RECORD });
+        }
+        // First-fit over existing pages (small files; fine for our scale).
+        for (i, page) in self.pages.iter_mut().enumerate() {
+            if page.fits(record.len()) {
+                let slot = page.insert(record)?;
+                return Ok(RecordId { page: i as u32, slot });
+            }
+        }
+        let mut page = Page::new(self.pages.len() as u32);
+        let slot = page.insert(record)?;
+        self.pages.push(page);
+        Ok(RecordId { page: (self.pages.len() - 1) as u32, slot })
+    }
+
+    /// Reads a record.
+    pub fn get(&self, rid: RecordId) -> Result<&[u8]> {
+        self.page(rid.page)?.get(rid.slot)
+    }
+
+    /// Deletes a record.
+    pub fn delete(&mut self, rid: RecordId) -> Result<()> {
+        let page = self
+            .pages
+            .get_mut(rid.page as usize)
+            .ok_or_else(|| StorageError::InvalidRecord(format!("page {} out of range", rid.page)))?;
+        page.delete(rid.slot)
+    }
+
+    /// Iterates `(rid, record)` over all live records.
+    pub fn iter(&self) -> impl Iterator<Item = (RecordId, &[u8])> {
+        self.pages.iter().enumerate().flat_map(|(i, page)| {
+            page.iter()
+                .map(move |(slot, rec)| (RecordId { page: i as u32, slot }, rec))
+        })
+    }
+
+    /// Compacts every page in place.
+    pub fn compact(&mut self) {
+        for page in &mut self.pages {
+            page.compact();
+        }
+    }
+
+    /// Drops all pages.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+
+    /// Writes all pages to `path` (fixed-size frames back to back).
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        for page in &self.pages {
+            file.write_all(&page.to_bytes())?;
+        }
+        file.flush()?;
+        Ok(())
+    }
+
+    /// Loads a heap file, verifying every page checksum.
+    pub fn load(path: &Path) -> Result<Self> {
+        let mut file = std::fs::File::open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.len() % PAGE_SIZE != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "heap file length {} is not a multiple of the page size",
+                bytes.len()
+            )));
+        }
+        let pages = bytes
+            .chunks_exact(PAGE_SIZE)
+            .map(Page::from_bytes)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { pages })
+    }
+
+    fn page(&self, id: u32) -> Result<&Page> {
+        self.pages
+            .get(id as usize)
+            .ok_or_else(|| StorageError::InvalidRecord(format!("page {id} out of range")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_spills_to_new_pages() {
+        let mut h = HeapFile::new();
+        let rec = vec![0u8; 3000];
+        for _ in 0..10 {
+            h.insert(&rec).unwrap();
+        }
+        assert!(h.page_count() >= 4, "10 x 3KB records need several 8KB pages");
+        assert_eq!(h.record_count(), 10);
+    }
+
+    #[test]
+    fn get_and_delete_by_rid() {
+        let mut h = HeapFile::new();
+        let r1 = h.insert(b"one").unwrap();
+        let r2 = h.insert(b"two").unwrap();
+        assert_eq!(h.get(r1).unwrap(), b"one");
+        h.delete(r1).unwrap();
+        assert!(h.get(r1).is_err());
+        assert_eq!(h.get(r2).unwrap(), b"two");
+        assert_eq!(h.record_count(), 1);
+    }
+
+    #[test]
+    fn iter_covers_live_records() {
+        let mut h = HeapFile::new();
+        let r1 = h.insert(b"a").unwrap();
+        h.insert(b"b").unwrap();
+        h.delete(r1).unwrap();
+        let contents: Vec<&[u8]> = h.iter().map(|(_, rec)| rec).collect();
+        assert_eq!(contents, vec![b"b".as_slice()]);
+    }
+
+    #[test]
+    fn delete_reuses_space_after_compact() {
+        let mut h = HeapFile::new();
+        let rids: Vec<RecordId> = (0..8).map(|_| h.insert(&[9u8; 1800]).unwrap()).collect();
+        let pages_before = h.page_count();
+        for rid in &rids {
+            h.delete(*rid).unwrap();
+        }
+        h.compact();
+        for _ in 0..8 {
+            h.insert(&[7u8; 1800]).unwrap();
+        }
+        assert_eq!(h.page_count(), pages_before, "compacted space is reused");
+    }
+
+    #[test]
+    fn save_and_load_round_trips() {
+        let dir = std::env::temp_dir().join("nf2_heap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("heap.nf2");
+        let mut h = HeapFile::new();
+        let r1 = h.insert(b"durable").unwrap();
+        h.insert(&vec![5u8; 4000]).unwrap();
+        h.save(&path).unwrap();
+        let loaded = HeapFile::load(&path).unwrap();
+        assert_eq!(loaded.record_count(), 2);
+        assert_eq!(loaded.get(r1).unwrap(), b"durable");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_corrupt_files() {
+        let dir = std::env::temp_dir().join("nf2_heap_test_corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("heap.nf2");
+        let mut h = HeapFile::new();
+        h.insert(b"x").unwrap();
+        h.save(&path).unwrap();
+        // Flip a byte in the payload region.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(HeapFile::load(&path).is_err());
+        // And a truncated file.
+        std::fs::write(&path, &bytes[..100]).unwrap();
+        assert!(HeapFile::load(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn invalid_rids_error() {
+        let h = HeapFile::new();
+        assert!(h.get(RecordId { page: 0, slot: 0 }).is_err());
+        let mut h = HeapFile::new();
+        h.insert(b"z").unwrap();
+        assert!(h.delete(RecordId { page: 5, slot: 0 }).is_err());
+    }
+}

@@ -1,0 +1,275 @@
+//! Secondary hash indexes: value → record-id postings, with
+//! persistence and integrity verification.
+//!
+//! §5 of the paper points at "the reduction of the search space" as the
+//! implementation payoff of NFRs. A fair measurement (experiment E9)
+//! needs the 1NF baseline to fight back with its own index; this module
+//! provides it, and [`crate::table::FlatTable`] maintains one per
+//! indexed attribute under inserts and deletes.
+
+use std::collections::{BTreeSet, HashMap};
+use std::path::Path;
+
+use bytes::{BufMut, BytesMut};
+
+use nf2_core::schema::AttrId;
+use nf2_core::value::Atom;
+
+use crate::codec::{decode_flat_tuple, fnv1a64, get_varint, put_varint};
+use crate::error::{Result, StorageError};
+use crate::heap::{HeapFile, RecordId};
+
+/// A hash index over one attribute: atom value → sorted record ids.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HashIndex {
+    attr: AttrId,
+    postings: HashMap<Atom, BTreeSet<RecordId>>,
+}
+
+impl HashIndex {
+    /// An empty index on `attr`.
+    pub fn new(attr: AttrId) -> Self {
+        Self { attr, postings: HashMap::new() }
+    }
+
+    /// The indexed attribute.
+    pub fn attr(&self) -> AttrId {
+        self.attr
+    }
+
+    /// Builds an index over a heap of encoded flat tuples.
+    pub fn build_flat(heap: &HeapFile, arity: usize, attr: AttrId) -> Result<Self> {
+        let mut index = Self::new(attr);
+        for (rid, rec) in heap.iter() {
+            let mut slice = rec;
+            let row = decode_flat_tuple(&mut slice, arity)?;
+            index.insert(row[attr], rid);
+        }
+        Ok(index)
+    }
+
+    /// Registers `rid` under `value`.
+    pub fn insert(&mut self, value: Atom, rid: RecordId) {
+        self.postings.entry(value).or_default().insert(rid);
+    }
+
+    /// Removes `rid` from `value`'s posting list. Returns whether it was
+    /// present; empty lists are dropped.
+    pub fn remove(&mut self, value: Atom, rid: RecordId) -> bool {
+        match self.postings.get_mut(&value) {
+            Some(list) => {
+                let hit = list.remove(&rid);
+                if list.is_empty() {
+                    self.postings.remove(&value);
+                }
+                hit
+            }
+            None => false,
+        }
+    }
+
+    /// The posting list for `value`, if any.
+    pub fn lookup(&self, value: Atom) -> Option<&BTreeSet<RecordId>> {
+        self.postings.get(&value)
+    }
+
+    /// Number of `(value, rid)` pairs.
+    pub fn entry_count(&self) -> usize {
+        self.postings.values().map(BTreeSet::len).sum()
+    }
+
+    /// Number of distinct indexed values.
+    pub fn distinct_values(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Verifies the index against a heap of flat tuples: every posting
+    /// must point at a live record whose `attr` value matches, and every
+    /// record must be covered. Detects dangling and missing postings
+    /// after corruption or a maintenance bug.
+    pub fn verify_against_flat(&self, heap: &HeapFile, arity: usize) -> Result<()> {
+        let mut covered = 0usize;
+        for (&value, rids) in &self.postings {
+            for &rid in rids {
+                let rec = heap.get(rid).map_err(|_| {
+                    StorageError::Corrupt(format!(
+                        "index on E{} has dangling rid {rid:?} under {value}",
+                        self.attr
+                    ))
+                })?;
+                let mut slice = rec;
+                let row = decode_flat_tuple(&mut slice, arity)?;
+                if row[self.attr] != value {
+                    return Err(StorageError::Corrupt(format!(
+                        "index on E{} maps {value} to a row holding {}",
+                        self.attr, row[self.attr]
+                    )));
+                }
+                covered += 1;
+            }
+        }
+        let live = heap.record_count();
+        if covered != live {
+            return Err(StorageError::Corrupt(format!(
+                "index on E{} covers {covered} of {live} records",
+                self.attr
+            )));
+        }
+        Ok(())
+    }
+
+    /// Serializes to `path` (checksummed varint format).
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let mut body = BytesMut::new();
+        put_varint(&mut body, self.attr as u64);
+        put_varint(&mut body, self.postings.len() as u64);
+        let mut values: Vec<Atom> = self.postings.keys().copied().collect();
+        values.sort_unstable();
+        for value in values {
+            let rids = &self.postings[&value];
+            put_varint(&mut body, u64::from(value.id()));
+            put_varint(&mut body, rids.len() as u64);
+            for rid in rids {
+                put_varint(&mut body, u64::from(rid.page));
+                put_varint(&mut body, u64::from(rid.slot));
+            }
+        }
+        let mut out = BytesMut::with_capacity(body.len() + 8);
+        out.put_u64(fnv1a64(&body));
+        out.extend_from_slice(&body);
+        std::fs::write(path, &out)?;
+        Ok(())
+    }
+
+    /// Loads from `path`, verifying the checksum.
+    pub fn load(path: &Path) -> Result<Self> {
+        let bytes = std::fs::read(path)?;
+        if bytes.len() < 8 {
+            return Err(StorageError::Corrupt("index file truncated".into()));
+        }
+        let stored = u64::from_be_bytes(bytes[..8].try_into().expect("8 bytes"));
+        let body = &bytes[8..];
+        if fnv1a64(body) != stored {
+            return Err(StorageError::ChecksumMismatch { page_id: u32::MAX });
+        }
+        let mut slice = body;
+        let attr = get_varint(&mut slice)? as AttrId;
+        let value_count = get_varint(&mut slice)? as usize;
+        let mut postings = HashMap::with_capacity(value_count);
+        for _ in 0..value_count {
+            let value = Atom(get_varint(&mut slice)? as u32);
+            let rid_count = get_varint(&mut slice)? as usize;
+            let mut rids = BTreeSet::new();
+            for _ in 0..rid_count {
+                let page = get_varint(&mut slice)? as u32;
+                let slot = get_varint(&mut slice)? as u16;
+                rids.insert(RecordId { page, slot });
+            }
+            postings.insert(value, rids);
+        }
+        Ok(Self { attr, postings })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_flat_tuple;
+    use nf2_core::tuple::FlatTuple;
+
+    fn heap_of(rows: &[[u32; 2]]) -> (HeapFile, Vec<RecordId>) {
+        let mut heap = HeapFile::new();
+        let mut rids = Vec::new();
+        let mut buf = BytesMut::new();
+        for row in rows {
+            let row: FlatTuple = row.iter().map(|&v| Atom(v)).collect();
+            buf.clear();
+            encode_flat_tuple(&row, &mut buf);
+            rids.push(heap.insert(&buf).unwrap());
+        }
+        (heap, rids)
+    }
+
+    #[test]
+    fn build_lookup_and_counts() {
+        let (heap, rids) = heap_of(&[[1, 10], [2, 10], [1, 11]]);
+        let idx = HashIndex::build_flat(&heap, 2, 1).unwrap();
+        assert_eq!(idx.attr(), 1);
+        assert_eq!(idx.entry_count(), 3);
+        assert_eq!(idx.distinct_values(), 2);
+        let ten = idx.lookup(Atom(10)).unwrap();
+        assert_eq!(ten.len(), 2);
+        assert!(ten.contains(&rids[0]) && ten.contains(&rids[1]));
+        assert!(idx.lookup(Atom(99)).is_none());
+    }
+
+    #[test]
+    fn insert_remove_round_trip() {
+        let mut idx = HashIndex::new(0);
+        let rid = RecordId { page: 0, slot: 3 };
+        idx.insert(Atom(5), rid);
+        assert!(idx.remove(Atom(5), rid));
+        assert!(!idx.remove(Atom(5), rid), "second removal is a miss");
+        assert!(idx.lookup(Atom(5)).is_none(), "empty lists dropped");
+    }
+
+    #[test]
+    fn verify_accepts_consistent_index() {
+        let (heap, _) = heap_of(&[[1, 10], [2, 11]]);
+        let idx = HashIndex::build_flat(&heap, 2, 0).unwrap();
+        idx.verify_against_flat(&heap, 2).unwrap();
+    }
+
+    #[test]
+    fn verify_detects_dangling_posting() {
+        let (heap, _) = heap_of(&[[1, 10]]);
+        let mut idx = HashIndex::build_flat(&heap, 2, 0).unwrap();
+        idx.insert(Atom(1), RecordId { page: 9, slot: 0 });
+        assert!(matches!(idx.verify_against_flat(&heap, 2), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn verify_detects_wrong_value_mapping() {
+        let (heap, rids) = heap_of(&[[1, 10]]);
+        let mut idx = HashIndex::new(0);
+        idx.insert(Atom(42), rids[0]); // wrong value
+        assert!(matches!(idx.verify_against_flat(&heap, 2), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn verify_detects_missing_coverage() {
+        let (heap, _) = heap_of(&[[1, 10], [2, 11]]);
+        let idx = HashIndex::new(0); // indexes nothing
+        assert!(matches!(idx.verify_against_flat(&heap, 2), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn save_and_load_round_trips() {
+        let dir = std::env::temp_dir().join("nf2_index_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("idx.bin");
+        let (heap, _) = heap_of(&[[1, 10], [2, 10], [3, 12]]);
+        let idx = HashIndex::build_flat(&heap, 2, 1).unwrap();
+        idx.save(&path).unwrap();
+        let loaded = HashIndex::load(&path).unwrap();
+        assert_eq!(loaded, idx);
+        loaded.verify_against_flat(&heap, 2).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_corruption() {
+        let dir = std::env::temp_dir().join("nf2_index_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.bin");
+        let (heap, _) = heap_of(&[[1, 10]]);
+        let idx = HashIndex::build_flat(&heap, 2, 0).unwrap();
+        idx.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(HashIndex::load(&path).is_err());
+        std::fs::write(&path, &bytes[..4]).unwrap();
+        assert!(HashIndex::load(&path).is_err(), "truncated file rejected");
+    }
+}

@@ -1,0 +1,37 @@
+//! # nf2-storage — the realization-view storage substrate
+//!
+//! §2 of the paper argues NFRs are powerful "not only as user view but
+//! also as internal view … the reduction of the number of tuples will
+//! contribute to the reduction of logical search space. We call this
+//! level of view as realization view." This crate makes that concrete:
+//!
+//! * [`codec`] — compact binary tuple encoding with checksums;
+//! * [`page`] — 8 KiB slotted pages;
+//! * [`heap`] — page files with record ids and persistence;
+//! * [`bufferpool`] — bounded page frames over a paged file, with clock
+//!   eviction, pinning, and hit/miss accounting;
+//! * [`index`] — secondary hash indexes (value → record ids) with
+//!   persistence and integrity verification;
+//! * [`dictionary`] — a concurrent interning dictionary;
+//! * [`table`] — [`NfTable`](table::NfTable), the NF²-native engine
+//!   (canonical maintenance + WAL + checkpoints + probe-counted lookups),
+//!   and [`FlatTable`](table::FlatTable), the 1NF baseline it is measured
+//!   against — including maintained secondary indexes, so the comparison
+//!   is not against a strawman.
+
+pub mod bufferpool;
+pub mod codec;
+pub mod dictionary;
+pub mod error;
+pub mod heap;
+pub mod index;
+pub mod page;
+pub mod table;
+
+pub use bufferpool::{BufferPool, PagedFile, PoolStats};
+pub use dictionary::SharedDictionary;
+pub use error::{Result, StorageError};
+pub use heap::{HeapFile, RecordId};
+pub use index::HashIndex;
+pub use page::{Page, PAGE_SIZE};
+pub use table::{FlatTable, NfTable, TableStats};

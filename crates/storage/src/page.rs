@@ -1,0 +1,334 @@
+//! Slotted pages.
+//!
+//! Classic slotted-page layout in a fixed 8 KiB frame: a header and a slot
+//! directory grow from the front, record payloads grow from the back. A
+//! FNV-1a checksum over the payload region detects corruption on load.
+//!
+//! ```text
+//! +--------+------------------+ ... free ... +-----------+-----------+
+//! | header | slot 0 | slot 1 |               | record 1  | record 0  |
+//! +--------+------------------+ ... free ... +-----------+-----------+
+//! ```
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::codec::fnv1a64;
+use crate::error::{Result, StorageError};
+
+/// Fixed page size (8 KiB).
+pub const PAGE_SIZE: usize = 8192;
+/// Header: magic(4) + page_id(4) + slot_count(2) + free_end(2) + checksum(8).
+const HEADER_SIZE: usize = 20;
+/// Each slot: offset(2) + len(2). A zero-length slot is a tombstone.
+const SLOT_SIZE: usize = 4;
+const MAGIC: u32 = 0x4e46_3250; // "NF2P"
+
+/// Maximum payload a single record may occupy.
+pub const MAX_RECORD: usize = PAGE_SIZE - HEADER_SIZE - SLOT_SIZE;
+
+/// A slot index within a page.
+pub type SlotId = u16;
+
+/// An 8 KiB slotted page.
+#[derive(Debug, Clone)]
+pub struct Page {
+    id: u32,
+    /// Slot directory: (offset, len); len == 0 marks a tombstone.
+    slots: Vec<(u16, u16)>,
+    /// Record payload area, indexed by absolute page offsets.
+    data: Box<[u8; PAGE_SIZE]>,
+    /// Start of the used payload region (records occupy `free_end..`).
+    free_end: usize,
+}
+
+impl Page {
+    /// A fresh empty page.
+    pub fn new(id: u32) -> Self {
+        Self { id, slots: Vec::new(), data: Box::new([0u8; PAGE_SIZE]), free_end: PAGE_SIZE }
+    }
+
+    /// The page id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Free bytes available for one more record (including its slot).
+    pub fn free_space(&self) -> usize {
+        let used_front = HEADER_SIZE + self.slots.len() * SLOT_SIZE;
+        self.free_end.saturating_sub(used_front)
+    }
+
+    /// Whether a record of `len` bytes fits.
+    pub fn fits(&self, len: usize) -> bool {
+        self.free_space() >= len + SLOT_SIZE
+    }
+
+    /// Number of live (non-tombstone) records.
+    pub fn live_count(&self) -> usize {
+        self.slots.iter().filter(|(_, len)| *len > 0).count()
+    }
+
+    /// Inserts a record, returning its slot. Fails when it cannot fit.
+    ///
+    /// Records must be non-empty: a zero-length slot is the tombstone
+    /// encoding, and no tuple codec produces empty records.
+    pub fn insert(&mut self, record: &[u8]) -> Result<SlotId> {
+        if record.is_empty() {
+            return Err(StorageError::InvalidRecord("empty records are not storable".into()));
+        }
+        if record.len() > MAX_RECORD {
+            return Err(StorageError::RecordTooLarge { size: record.len(), max: MAX_RECORD });
+        }
+        if !self.fits(record.len()) {
+            return Err(StorageError::RecordTooLarge {
+                size: record.len(),
+                max: self.free_space().saturating_sub(SLOT_SIZE),
+            });
+        }
+        let start = self.free_end - record.len();
+        self.data[start..self.free_end].copy_from_slice(record);
+        self.free_end = start;
+        // Reuse a tombstone slot if available.
+        if let Some(idx) = self.slots.iter().position(|(_, len)| *len == 0) {
+            self.slots[idx] = (start as u16, record.len() as u16);
+            return Ok(idx as SlotId);
+        }
+        self.slots.push((start as u16, record.len() as u16));
+        Ok((self.slots.len() - 1) as SlotId)
+    }
+
+    /// Reads a record.
+    pub fn get(&self, slot: SlotId) -> Result<&[u8]> {
+        let (off, len) = *self
+            .slots
+            .get(slot as usize)
+            .ok_or_else(|| StorageError::InvalidRecord(format!("slot {slot} out of range")))?;
+        if len == 0 {
+            return Err(StorageError::InvalidRecord(format!("slot {slot} is deleted")));
+        }
+        Ok(&self.data[off as usize..off as usize + len as usize])
+    }
+
+    /// Deletes a record (tombstones the slot). Space is reclaimed by
+    /// [`compact`](Self::compact).
+    pub fn delete(&mut self, slot: SlotId) -> Result<()> {
+        let entry = self
+            .slots
+            .get_mut(slot as usize)
+            .ok_or_else(|| StorageError::InvalidRecord(format!("slot {slot} out of range")))?;
+        if entry.1 == 0 {
+            return Err(StorageError::InvalidRecord(format!("slot {slot} already deleted")));
+        }
+        entry.1 = 0;
+        Ok(())
+    }
+
+    /// Iterates `(slot, record)` pairs over live records.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, &[u8])> {
+        self.slots.iter().enumerate().filter_map(|(i, (off, len))| {
+            if *len == 0 {
+                None
+            } else {
+                Some((i as SlotId, &self.data[*off as usize..(*off + *len) as usize]))
+            }
+        })
+    }
+
+    /// Rewrites the payload region dropping tombstoned space. Slot ids of
+    /// live records are preserved.
+    pub fn compact(&mut self) {
+        let mut fresh = Box::new([0u8; PAGE_SIZE]);
+        let mut end = PAGE_SIZE;
+        let mut slots = self.slots.clone();
+        for (i, (off, len)) in self.slots.iter().enumerate() {
+            if *len == 0 {
+                continue;
+            }
+            let len_us = *len as usize;
+            end -= len_us;
+            fresh[end..end + len_us]
+                .copy_from_slice(&self.data[*off as usize..*off as usize + len_us]);
+            slots[i] = (end as u16, *len);
+        }
+        // Trim trailing tombstones from the directory.
+        while matches!(slots.last(), Some((_, 0))) {
+            slots.pop();
+        }
+        self.data = fresh;
+        self.slots = slots;
+        self.free_end = end;
+    }
+
+    /// Serializes the page to exactly [`PAGE_SIZE`] bytes. The checksum
+    /// covers the whole frame after the header, padding included, so a
+    /// flipped bit anywhere in the body is detected on load.
+    pub fn to_bytes(&self) -> BytesMut {
+        let mut out = BytesMut::with_capacity(PAGE_SIZE);
+        out.put_u32(MAGIC);
+        out.put_u32(self.id);
+        out.put_u16(self.slots.len() as u16);
+        out.put_u16(self.free_end as u16);
+        out.put_u64(0); // checksum placeholder
+        for (off, len) in &self.slots {
+            out.put_u16(*off);
+            out.put_u16(*len);
+        }
+        out.extend_from_slice(&self.data[self.free_end..]);
+        out.resize(PAGE_SIZE, 0);
+        let checksum = fnv1a64(&out[HEADER_SIZE..]);
+        out[12..20].copy_from_slice(&checksum.to_be_bytes());
+        out
+    }
+
+    /// Deserializes a page, verifying magic, geometry and checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() != PAGE_SIZE {
+            return Err(StorageError::Corrupt(format!(
+                "page frame has {} bytes, expected {PAGE_SIZE}",
+                bytes.len()
+            )));
+        }
+        let mut buf = bytes;
+        let magic = buf.get_u32();
+        if magic != MAGIC {
+            return Err(StorageError::Corrupt(format!("bad page magic {magic:#x}")));
+        }
+        let id = buf.get_u32();
+        let slot_count = buf.get_u16() as usize;
+        let free_end = buf.get_u16() as usize;
+        let checksum = buf.get_u64();
+        if fnv1a64(&bytes[HEADER_SIZE..]) != checksum {
+            return Err(StorageError::ChecksumMismatch { page_id: id });
+        }
+        if free_end > PAGE_SIZE || HEADER_SIZE + slot_count * SLOT_SIZE > free_end {
+            return Err(StorageError::Corrupt("inconsistent page geometry".into()));
+        }
+        let body_len = slot_count * SLOT_SIZE + (PAGE_SIZE - free_end);
+        if buf.len() < body_len {
+            return Err(StorageError::Corrupt("page body truncated".into()));
+        }
+        let mut slots = Vec::with_capacity(slot_count);
+        for _ in 0..slot_count {
+            let off = buf.get_u16();
+            let len = buf.get_u16();
+            if len > 0 && (usize::from(off) < free_end || usize::from(off) + usize::from(len) > PAGE_SIZE)
+            {
+                return Err(StorageError::Corrupt("slot points outside payload".into()));
+            }
+            slots.push((off, len));
+        }
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        data[free_end..].copy_from_slice(&buf[..PAGE_SIZE - free_end]);
+        Ok(Self { id, slots, data, free_end })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_delete_cycle() {
+        let mut p = Page::new(7);
+        let s1 = p.insert(b"hello").unwrap();
+        let s2 = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(s1).unwrap(), b"hello");
+        assert_eq!(p.get(s2).unwrap(), b"world!");
+        assert_eq!(p.live_count(), 2);
+        p.delete(s1).unwrap();
+        assert!(p.get(s1).is_err());
+        assert_eq!(p.live_count(), 1);
+        assert!(p.delete(s1).is_err(), "double delete rejected");
+    }
+
+    #[test]
+    fn tombstone_slots_are_reused() {
+        let mut p = Page::new(0);
+        let s1 = p.insert(b"a").unwrap();
+        p.delete(s1).unwrap();
+        let s2 = p.insert(b"b").unwrap();
+        assert_eq!(s1, s2, "tombstone slot reused");
+    }
+
+    #[test]
+    fn rejects_empty_records() {
+        let mut p = Page::new(0);
+        assert!(matches!(p.insert(b""), Err(StorageError::InvalidRecord(_))));
+    }
+
+    #[test]
+    fn rejects_oversized_records() {
+        let mut p = Page::new(0);
+        let big = vec![0u8; PAGE_SIZE];
+        assert!(matches!(p.insert(&big), Err(StorageError::RecordTooLarge { .. })));
+    }
+
+    #[test]
+    fn fills_up_and_reports_space() {
+        let mut p = Page::new(0);
+        let rec = vec![0xabu8; 1000];
+        let mut n = 0;
+        while p.fits(rec.len()) {
+            p.insert(&rec).unwrap();
+            n += 1;
+        }
+        assert!(n >= 7, "should fit at least 7 KiB of records, got {n}");
+        assert!(p.insert(&rec).is_err());
+    }
+
+    #[test]
+    fn compact_reclaims_space_and_preserves_slots() {
+        let mut p = Page::new(0);
+        let s1 = p.insert(&[1u8; 2000]).unwrap();
+        let s2 = p.insert(&[2u8; 2000]).unwrap();
+        let s3 = p.insert(&[3u8; 2000]).unwrap();
+        p.delete(s2).unwrap();
+        let before = p.free_space();
+        p.compact();
+        assert!(p.free_space() >= before + 2000);
+        assert_eq!(p.get(s1).unwrap(), &[1u8; 2000][..]);
+        assert_eq!(p.get(s3).unwrap(), &[3u8; 2000][..]);
+        assert!(p.get(s2).is_err());
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let mut p = Page::new(42);
+        let s1 = p.insert(b"persistent").unwrap();
+        p.insert(b"bytes").unwrap();
+        let bytes = p.to_bytes();
+        assert_eq!(bytes.len(), PAGE_SIZE);
+        let q = Page::from_bytes(&bytes).unwrap();
+        assert_eq!(q.id(), 42);
+        assert_eq!(q.get(s1).unwrap(), b"persistent");
+        assert_eq!(q.live_count(), 2);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut p = Page::new(1);
+        p.insert(b"guarded").unwrap();
+        let mut bytes = p.to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff; // flip a payload byte
+        assert!(matches!(
+            Page::from_bytes(&bytes),
+            Err(StorageError::ChecksumMismatch { page_id: 1 })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let p = Page::new(1);
+        let mut bytes = p.to_bytes();
+        bytes[0] = 0;
+        assert!(matches!(Page::from_bytes(&bytes), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_page_is_detected() {
+        let p = Page::new(1);
+        let bytes = p.to_bytes();
+        assert!(Page::from_bytes(&bytes[..10]).is_err());
+    }
+}

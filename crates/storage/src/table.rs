@@ -1,0 +1,781 @@
+//! Storage-backed tables: the NF² engine and the 1NF baseline.
+//!
+//! [`NfTable`] is the paper's *realization view* (§2): the NFR is the
+//! physical representation. Updates run the §4 incremental canonical
+//! maintenance; durability follows the classic recipe — a write-ahead log
+//! of flat-row operations plus page checkpoints of the NF² tuples.
+//! [`FlatTable`] is the 1NF baseline storing one record per flat row.
+//! Both count probes so the "reduction of logical search space" claim
+//! (§2, §5) is measurable.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use bytes::{BufMut, BytesMut};
+use parking_lot::Mutex;
+
+use nf2_core::maintenance::{CanonicalRelation, CostCounter};
+use nf2_core::relation::{FlatRelation, NfRelation};
+use nf2_core::schema::{AttrId, NestOrder, Schema};
+use nf2_core::tuple::{FlatTuple, NfTuple};
+use nf2_core::value::Atom;
+
+use crate::codec::{
+    decode_flat_tuple, decode_nf_tuple, encode_flat_tuple, encode_nf_tuple, get_varint, put_varint,
+};
+use crate::dictionary::SharedDictionary;
+use crate::error::{Result, StorageError};
+use crate::heap::{HeapFile, RecordId};
+use crate::index::HashIndex;
+
+/// Probe and operation counters for the search-space experiments (E9).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TableStats {
+    /// Number of lookup calls.
+    pub lookups: u64,
+    /// Logical units examined by lookups (NF² tuples or flat rows).
+    pub units_probed: u64,
+    /// Rows inserted since creation.
+    pub inserts: u64,
+    /// Rows deleted since creation.
+    pub deletes: u64,
+}
+
+/// A WAL entry: one flat-row mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum WalEntry {
+    Insert(FlatTuple),
+    Delete(FlatTuple),
+}
+
+impl WalEntry {
+    fn encode(&self, out: &mut BytesMut) {
+        let (tag, row) = match self {
+            WalEntry::Insert(r) => (1u8, r),
+            WalEntry::Delete(r) => (2u8, r),
+        };
+        out.put_u8(tag);
+        encode_flat_tuple(row, out);
+    }
+
+    fn decode(buf: &mut &[u8], arity: usize) -> Result<Self> {
+        if buf.is_empty() {
+            return Err(StorageError::Corrupt("wal entry truncated".into()));
+        }
+        let tag = buf[0];
+        *buf = &buf[1..];
+        let row = decode_flat_tuple(buf, arity)?;
+        match tag {
+            1 => Ok(WalEntry::Insert(row)),
+            2 => Ok(WalEntry::Delete(row)),
+            t => Err(StorageError::Corrupt(format!("unknown wal tag {t}"))),
+        }
+    }
+}
+
+/// An NF² table: canonical NFR as the physical representation, with WAL +
+/// checkpoint durability and an optional value index.
+#[derive(Debug)]
+pub struct NfTable {
+    name: String,
+    dict: SharedDictionary,
+    canon: CanonicalRelation,
+    wal: Vec<WalEntry>,
+    /// (attr, value) → tuple positions at index-build time; dropped on any
+    /// mutation.
+    index: Option<HashMap<(AttrId, Atom), Vec<usize>>>,
+    stats: Mutex<TableStats>,
+    /// Accumulated §4 maintenance costs across all updates.
+    maintenance_cost: CostCounter,
+}
+
+impl NfTable {
+    /// Creates an empty table.
+    pub fn create(
+        name: &str,
+        attr_names: &[&str],
+        order: NestOrder,
+        dict: SharedDictionary,
+    ) -> Result<Self> {
+        let schema = Schema::new(name, attr_names)?;
+        let canon = CanonicalRelation::new(schema, order)?;
+        Ok(Self {
+            name: name.to_owned(),
+            dict,
+            canon,
+            wal: Vec::new(),
+            index: None,
+            stats: Mutex::new(TableStats::default()),
+            maintenance_cost: CostCounter::new(),
+        })
+    }
+
+    /// Builds a table from an existing 1NF relation by nesting from
+    /// scratch.
+    pub fn from_flat(
+        name: &str,
+        flat: &FlatRelation,
+        order: NestOrder,
+        dict: SharedDictionary,
+    ) -> Result<Self> {
+        let canon = CanonicalRelation::from_flat(flat, order)?;
+        Ok(Self {
+            name: name.to_owned(),
+            dict,
+            canon,
+            wal: Vec::new(),
+            index: None,
+            stats: Mutex::new(TableStats::default()),
+            maintenance_cost: CostCounter::new(),
+        })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        self.canon.relation().schema()
+    }
+
+    /// The nest order the table is canonical for.
+    pub fn order(&self) -> &NestOrder {
+        self.canon.order()
+    }
+
+    /// The shared dictionary.
+    pub fn dict(&self) -> &SharedDictionary {
+        &self.dict
+    }
+
+    /// The current NFR.
+    pub fn relation(&self) -> &NfRelation {
+        self.canon.relation()
+    }
+
+    /// NF² tuple count (the logical search space size).
+    pub fn tuple_count(&self) -> usize {
+        self.canon.tuple_count()
+    }
+
+    /// Flat row count (`|R*|`).
+    pub fn flat_count(&self) -> u128 {
+        self.canon.flat_count()
+    }
+
+    /// Point-in-time stats.
+    pub fn stats(&self) -> TableStats {
+        *self.stats.lock()
+    }
+
+    /// Accumulated §4 maintenance cost over the table's lifetime.
+    pub fn maintenance_cost(&self) -> CostCounter {
+        self.maintenance_cost
+    }
+
+    /// Interns string values into a flat row for this schema.
+    pub fn row_from_strs(&self, values: &[&str]) -> Result<FlatTuple> {
+        if values.len() != self.schema().arity() {
+            return Err(StorageError::Model(nf2_core::NfError::ArityMismatch {
+                expected: self.schema().arity(),
+                got: values.len(),
+            }));
+        }
+        Ok(self.dict.intern_row(values))
+    }
+
+    /// Inserts a row of string values. Returns `true` if new.
+    pub fn insert_row(&mut self, values: &[&str]) -> Result<bool> {
+        let row = self.row_from_strs(values)?;
+        self.insert_atoms(row)
+    }
+
+    /// Inserts a flat row of atoms via §4 maintenance, logging to the WAL.
+    pub fn insert_atoms(&mut self, row: FlatTuple) -> Result<bool> {
+        let mut cost = CostCounter::new();
+        let fresh = self.canon.insert_counted(row.clone(), &mut cost)?;
+        self.accumulate(cost);
+        if fresh {
+            self.wal.push(WalEntry::Insert(row));
+            self.index = None;
+            self.stats.lock().inserts += 1;
+        }
+        Ok(fresh)
+    }
+
+    /// Deletes a row of string values. Returns `true` if it existed.
+    pub fn delete_row(&mut self, values: &[&str]) -> Result<bool> {
+        let row = self.row_from_strs(values)?;
+        self.delete_atoms(&row)
+    }
+
+    /// Deletes a flat row of atoms via §4 maintenance, logging to the WAL.
+    pub fn delete_atoms(&mut self, row: &[Atom]) -> Result<bool> {
+        let mut cost = CostCounter::new();
+        let hit = self.canon.delete_counted(row, &mut cost)?;
+        self.accumulate(cost);
+        if hit {
+            self.wal.push(WalEntry::Delete(row.to_vec()));
+            self.index = None;
+            self.stats.lock().deletes += 1;
+        }
+        Ok(hit)
+    }
+
+    fn accumulate(&mut self, cost: CostCounter) {
+        self.maintenance_cost.compositions += cost.compositions;
+        self.maintenance_cost.decompositions += cost.decompositions;
+        self.maintenance_cost.candidate_probes += cost.candidate_probes;
+        self.maintenance_cost.recons_calls += cost.recons_calls;
+    }
+
+    /// Whether the table contains the flat row.
+    pub fn contains(&self, row: &[Atom]) -> bool {
+        self.canon.contains(row)
+    }
+
+    /// Scan lookup: NF² tuples whose `attr` component contains `value`.
+    /// Probes every tuple (counted) — the realization-view win is that
+    /// there are far fewer tuples than rows.
+    pub fn lookup_scan(&self, attr: AttrId, value: Atom) -> Vec<NfTuple> {
+        let mut stats = self.stats.lock();
+        stats.lookups += 1;
+        let mut hits = Vec::new();
+        for t in self.canon.relation().tuples() {
+            stats.units_probed += 1;
+            if t.component(attr).contains(value) {
+                hits.push(t.clone());
+            }
+        }
+        hits
+    }
+
+    /// Builds the (attr, value) → tuples index over the current state.
+    pub fn build_index(&mut self) {
+        let mut index: HashMap<(AttrId, Atom), Vec<usize>> = HashMap::new();
+        for (pos, t) in self.canon.relation().tuples().iter().enumerate() {
+            for attr in 0..self.schema().arity() {
+                for v in t.component(attr).iter() {
+                    index.entry((attr, v)).or_default().push(pos);
+                }
+            }
+        }
+        self.index = Some(index);
+    }
+
+    /// Indexed lookup; probes only the posting list (counted). Requires
+    /// [`build_index`](Self::build_index) since the last mutation.
+    pub fn lookup_indexed(&self, attr: AttrId, value: Atom) -> Result<Vec<NfTuple>> {
+        let index = self.index.as_ref().ok_or_else(|| {
+            StorageError::InvalidRecord("index not built (or invalidated by a mutation)".into())
+        })?;
+        let mut stats = self.stats.lock();
+        stats.lookups += 1;
+        let tuples = self.canon.relation().tuples();
+        Ok(index
+            .get(&(attr, value))
+            .map(|positions| {
+                stats.units_probed += positions.len() as u64;
+                positions.iter().map(|&p| tuples[p].clone()).collect()
+            })
+            .unwrap_or_default())
+    }
+
+    /// Checkpoints to `dir`: meta + page file of NF² tuples; truncates the
+    /// WAL.
+    pub fn checkpoint(&mut self, dir: &Path) -> Result<()> {
+        std::fs::create_dir_all(dir)?;
+        self.write_meta(&meta_path(dir, &self.name))?;
+        let mut heap = HeapFile::new();
+        let mut buf = BytesMut::new();
+        for t in self.canon.relation().tuples() {
+            buf.clear();
+            encode_nf_tuple(t, &mut buf);
+            heap.insert(&buf)?;
+        }
+        heap.save(&pages_path(dir, &self.name))?;
+        self.wal.clear();
+        std::fs::write(wal_path(dir, &self.name), b"")?;
+        Ok(())
+    }
+
+    /// Appends pending WAL entries to disk without checkpointing.
+    pub fn flush_wal(&self, dir: &Path) -> Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut buf = BytesMut::new();
+        for e in &self.wal {
+            e.encode(&mut buf);
+        }
+        std::fs::write(wal_path(dir, &self.name), &buf)?;
+        Ok(())
+    }
+
+    /// Opens a table from `dir`: loads the checkpoint pages, then replays
+    /// the WAL.
+    pub fn open(dir: &Path, name: &str, dict: SharedDictionary) -> Result<Self> {
+        let (attr_names, order_attrs, dict_entries) = read_meta(&meta_path(dir, name))?;
+        // Restore dictionary contents (atom ids are dense from 0).
+        for entry in &dict_entries {
+            dict.intern(entry);
+        }
+        let refs: Vec<&str> = attr_names.iter().map(String::as_str).collect();
+        let schema = Schema::new(name, &refs)?;
+        let arity = schema.arity();
+        let order = NestOrder::new(order_attrs, arity)
+            .map_err(StorageError::Model)?;
+        let heap = HeapFile::load(&pages_path(dir, name))?;
+        let mut tuples = Vec::with_capacity(heap.record_count());
+        for (_, rec) in heap.iter() {
+            let mut slice = rec;
+            tuples.push(decode_nf_tuple(&mut slice, arity)?);
+        }
+        let rel = NfRelation::from_tuples(schema.clone(), tuples)?;
+        let flat = rel.expand();
+        let mut canon = CanonicalRelation::from_flat(&flat, order)?;
+        // Replay WAL.
+        let wal_bytes = std::fs::read(wal_path(dir, name)).unwrap_or_default();
+        let mut slice: &[u8] = &wal_bytes;
+        while !slice.is_empty() {
+            match WalEntry::decode(&mut slice, arity)? {
+                WalEntry::Insert(row) => {
+                    canon.insert(row)?;
+                }
+                WalEntry::Delete(row) => {
+                    canon.delete(&row)?;
+                }
+            }
+        }
+        Ok(Self {
+            name: name.to_owned(),
+            dict,
+            canon,
+            wal: Vec::new(),
+            index: None,
+            stats: Mutex::new(TableStats::default()),
+            maintenance_cost: CostCounter::new(),
+        })
+    }
+
+    fn write_meta(&self, path: &Path) -> Result<()> {
+        let mut buf = BytesMut::new();
+        let schema = self.schema();
+        put_varint(&mut buf, schema.arity() as u64);
+        for name in schema.attr_names() {
+            put_varint(&mut buf, name.len() as u64);
+            buf.extend_from_slice(name.as_bytes());
+        }
+        for &a in self.canon.order().as_slice() {
+            put_varint(&mut buf, a as u64);
+        }
+        // Dictionary contents in atom order.
+        let snap = self.dict.snapshot();
+        put_varint(&mut buf, snap.len() as u64);
+        for id in 0..snap.len() as u32 {
+            let name = snap.resolve(Atom(id)).expect("dense atom ids");
+            put_varint(&mut buf, name.len() as u64);
+            buf.extend_from_slice(name.as_bytes());
+        }
+        let checksum = crate::codec::fnv1a64(&buf);
+        let mut out = BytesMut::with_capacity(buf.len() + 8);
+        out.put_u64(checksum);
+        out.extend_from_slice(&buf);
+        std::fs::write(path, &out)?;
+        Ok(())
+    }
+}
+
+fn read_meta(path: &Path) -> Result<(Vec<String>, Vec<usize>, Vec<String>)> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < 8 {
+        return Err(StorageError::Corrupt("meta file truncated".into()));
+    }
+    let stored = u64::from_be_bytes(bytes[..8].try_into().expect("8 bytes"));
+    let body = &bytes[8..];
+    if crate::codec::fnv1a64(body) != stored {
+        return Err(StorageError::ChecksumMismatch { page_id: u32::MAX });
+    }
+    let mut slice = body;
+    let read_string = |slice: &mut &[u8]| -> Result<String> {
+        let len = get_varint(slice)? as usize;
+        if slice.len() < len {
+            return Err(StorageError::Corrupt("meta string truncated".into()));
+        }
+        let s = String::from_utf8(slice[..len].to_vec())
+            .map_err(|_| StorageError::Corrupt("meta string not utf8".into()))?;
+        *slice = &slice[len..];
+        Ok(s)
+    };
+    let arity = get_varint(&mut slice)? as usize;
+    let mut attr_names = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        attr_names.push(read_string(&mut slice)?);
+    }
+    let mut order = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        order.push(get_varint(&mut slice)? as usize);
+    }
+    let dict_len = get_varint(&mut slice)? as usize;
+    let mut dict_entries = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        dict_entries.push(read_string(&mut slice)?);
+    }
+    Ok((attr_names, order, dict_entries))
+}
+
+fn meta_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.meta"))
+}
+fn pages_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.pages"))
+}
+fn wal_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.wal"))
+}
+
+/// The 1NF baseline: one heap record per flat row, with optional
+/// maintained secondary indexes (so the E9 comparison is against the
+/// strongest reasonable flat engine, not a strawman).
+#[derive(Debug)]
+pub struct FlatTable {
+    name: String,
+    schema: Arc<Schema>,
+    heap: HeapFile,
+    locations: HashMap<FlatTuple, RecordId>,
+    indexes: HashMap<AttrId, HashIndex>,
+    stats: Mutex<TableStats>,
+}
+
+impl FlatTable {
+    /// Creates an empty 1NF table.
+    pub fn create(name: &str, attr_names: &[&str]) -> Result<Self> {
+        Ok(Self {
+            name: name.to_owned(),
+            schema: Schema::new(name, attr_names)?,
+            heap: HeapFile::new(),
+            locations: HashMap::new(),
+            indexes: HashMap::new(),
+            stats: Mutex::new(TableStats::default()),
+        })
+    }
+
+    /// Builds from an existing 1NF relation.
+    pub fn from_flat(name: &str, flat: &FlatRelation) -> Result<Self> {
+        let names: Vec<&str> = flat.schema().attr_names().collect();
+        let mut table = Self::create(name, &names)?;
+        for row in flat.rows() {
+            table.insert_atoms(row.clone())?;
+        }
+        Ok(table)
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Row count.
+    pub fn row_count(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Bytes occupied by heap pages.
+    pub fn size_bytes(&self) -> usize {
+        self.heap.size_bytes()
+    }
+
+    /// Point-in-time stats.
+    pub fn stats(&self) -> TableStats {
+        *self.stats.lock()
+    }
+
+    /// Inserts a flat row. Returns `true` if new. Maintained indexes are
+    /// updated in the same operation.
+    pub fn insert_atoms(&mut self, row: FlatTuple) -> Result<bool> {
+        if row.len() != self.schema.arity() {
+            return Err(StorageError::Model(nf2_core::NfError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            }));
+        }
+        if self.locations.contains_key(&row) {
+            return Ok(false);
+        }
+        let mut buf = BytesMut::new();
+        encode_flat_tuple(&row, &mut buf);
+        let rid = self.heap.insert(&buf)?;
+        for (&attr, index) in &mut self.indexes {
+            index.insert(row[attr], rid);
+        }
+        self.locations.insert(row, rid);
+        self.stats.lock().inserts += 1;
+        Ok(true)
+    }
+
+    /// Deletes a flat row. Returns `true` if present. Maintained indexes
+    /// are updated in the same operation.
+    pub fn delete_atoms(&mut self, row: &[Atom]) -> Result<bool> {
+        match self.locations.remove(row) {
+            Some(rid) => {
+                self.heap.delete(rid)?;
+                for (&attr, index) in &mut self.indexes {
+                    index.remove(row[attr], rid);
+                }
+                self.stats.lock().deletes += 1;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Builds (or rebuilds) a maintained index on `attr`. Unlike
+    /// [`NfTable::build_index`], the index survives mutations — it is
+    /// updated by every insert and delete.
+    pub fn create_index(&mut self, attr: AttrId) -> Result<()> {
+        if attr >= self.schema.arity() {
+            return Err(StorageError::Model(nf2_core::NfError::AttrOutOfBounds {
+                attr,
+                arity: self.schema.arity(),
+            }));
+        }
+        let index = HashIndex::build_flat(&self.heap, self.schema.arity(), attr)?;
+        self.indexes.insert(attr, index);
+        Ok(())
+    }
+
+    /// Indexed lookup: rows whose `attr` equals `value`, probing only
+    /// the posting list (counted). Requires [`create_index`](Self::create_index).
+    pub fn lookup_indexed(&self, attr: AttrId, value: Atom) -> Result<Vec<FlatTuple>> {
+        let index = self
+            .indexes
+            .get(&attr)
+            .ok_or_else(|| StorageError::InvalidRecord(format!("no index on attribute {attr}")))?;
+        let mut stats = self.stats.lock();
+        stats.lookups += 1;
+        let arity = self.schema.arity();
+        let mut hits = Vec::new();
+        if let Some(rids) = index.lookup(value) {
+            stats.units_probed += rids.len() as u64;
+            for &rid in rids {
+                let mut slice = self.heap.get(rid)?;
+                hits.push(decode_flat_tuple(&mut slice, arity)?);
+            }
+        }
+        Ok(hits)
+    }
+
+    /// Verifies every maintained index against the heap (failure
+    /// injection hook: a maintenance bug or corruption surfaces here).
+    pub fn verify_indexes(&self) -> Result<()> {
+        for index in self.indexes.values() {
+            index.verify_against_flat(&self.heap, self.schema.arity())?;
+        }
+        Ok(())
+    }
+
+    /// Scan lookup: rows whose `attr` equals `value`. Probes every row.
+    pub fn lookup_scan(&self, attr: AttrId, value: Atom) -> Vec<FlatTuple> {
+        let mut stats = self.stats.lock();
+        stats.lookups += 1;
+        let mut hits = Vec::new();
+        let arity = self.schema.arity();
+        for (_, rec) in self.heap.iter() {
+            stats.units_probed += 1;
+            let mut slice = rec;
+            if let Ok(row) = decode_flat_tuple(&mut slice, arity) {
+                if row[attr] == value {
+                    hits.push(row);
+                }
+            }
+        }
+        hits
+    }
+
+    /// Reconstructs the 1NF relation.
+    pub fn to_flat_relation(&self) -> FlatRelation {
+        FlatRelation::from_rows(self.schema.clone(), self.locations.keys().cloned())
+            .expect("stored rows have correct arity")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nf2_table_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_table() -> NfTable {
+        let dict = SharedDictionary::new();
+        let mut t = NfTable::create(
+            "sc",
+            &["Student", "Course"],
+            NestOrder::identity(2),
+            dict,
+        )
+        .unwrap();
+        for (s, c) in [("s1", "c1"), ("s2", "c1"), ("s1", "c2"), ("s3", "c3")] {
+            assert!(t.insert_row(&[s, c]).unwrap());
+        }
+        t
+    }
+
+    #[test]
+    fn insert_compresses_into_nf_tuples() {
+        let t = sample_table();
+        assert_eq!(t.flat_count(), 4);
+        assert!(t.tuple_count() < 4, "students collapse per course");
+    }
+
+    #[test]
+    fn duplicate_insert_and_missing_delete_are_noops() {
+        let mut t = sample_table();
+        assert!(!t.insert_row(&["s1", "c1"]).unwrap());
+        assert!(!t.delete_row(&["zz", "c9"]).unwrap());
+        assert_eq!(t.flat_count(), 4);
+    }
+
+    #[test]
+    fn delete_updates_canonical_form() {
+        let mut t = sample_table();
+        assert!(t.delete_row(&["s1", "c1"]).unwrap());
+        assert_eq!(t.flat_count(), 3);
+        let row = t.row_from_strs(&["s1", "c1"]).unwrap();
+        assert!(!t.contains(&row));
+    }
+
+    #[test]
+    fn lookup_scan_counts_probes() {
+        let t = sample_table();
+        let c1 = t.dict().lookup("c1").unwrap();
+        let hits = t.lookup_scan(1, c1);
+        assert_eq!(hits.len(), 1, "both c1 students live in one tuple");
+        let stats = t.stats();
+        assert_eq!(stats.lookups, 1);
+        assert_eq!(stats.units_probed, t.tuple_count() as u64);
+    }
+
+    #[test]
+    fn indexed_lookup_probes_less() {
+        let mut t = sample_table();
+        assert!(t.lookup_indexed(0, Atom(0)).is_err(), "index not built yet");
+        t.build_index();
+        let s1 = t.dict().lookup("s1").unwrap();
+        let hits = t.lookup_indexed(0, s1).unwrap();
+        assert!(!hits.is_empty());
+        // Mutation invalidates the index.
+        t.insert_row(&["s9", "c9"]).unwrap();
+        assert!(t.lookup_indexed(0, s1).is_err());
+    }
+
+    #[test]
+    fn checkpoint_and_open_round_trips() {
+        let dir = temp_dir("ckpt");
+        let mut t = sample_table();
+        t.checkpoint(&dir).unwrap();
+        let reopened = NfTable::open(&dir, "sc", SharedDictionary::new()).unwrap();
+        assert_eq!(reopened.relation(), t.relation());
+        assert_eq!(reopened.flat_count(), 4);
+        // Dictionary restored: names resolve.
+        let row = reopened.row_from_strs(&["s1", "c1"]).unwrap();
+        assert!(reopened.contains(&row));
+    }
+
+    #[test]
+    fn wal_replay_recovers_unflushed_updates() {
+        let dir = temp_dir("wal");
+        let mut t = sample_table();
+        t.checkpoint(&dir).unwrap();
+        // Post-checkpoint updates, flushed to WAL only.
+        t.insert_row(&["s4", "c1"]).unwrap();
+        t.delete_row(&["s3", "c3"]).unwrap();
+        t.flush_wal(&dir).unwrap();
+        // Meta must know the new dictionary entries — rewrite it the way
+        // checkpoint would, without truncating the wal.
+        t.write_meta(&meta_path(&dir, "sc")).unwrap();
+        let reopened = NfTable::open(&dir, "sc", SharedDictionary::new()).unwrap();
+        assert_eq!(reopened.relation(), t.relation());
+        assert_eq!(reopened.flat_count(), 4);
+    }
+
+    #[test]
+    fn open_rejects_corrupt_meta() {
+        let dir = temp_dir("badmeta");
+        let mut t = sample_table();
+        t.checkpoint(&dir).unwrap();
+        let meta = meta_path(&dir, "sc");
+        let mut bytes = std::fs::read(&meta).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&meta, &bytes).unwrap();
+        assert!(NfTable::open(&dir, "sc", SharedDictionary::new()).is_err());
+    }
+
+    #[test]
+    fn maintenance_costs_accumulate() {
+        let t = sample_table();
+        let cost = t.maintenance_cost();
+        assert!(cost.recons_calls >= 4, "one recons per insert at least");
+    }
+
+    #[test]
+    fn flat_table_baseline_probes_every_row() {
+        let mut ft = FlatTable::create("sc", &["Student", "Course"]).unwrap();
+        for row in [[0u32, 10], [1, 10], [0, 11], [2, 12]] {
+            assert!(ft.insert_atoms(row.iter().map(|&v| Atom(v)).collect()).unwrap());
+        }
+        assert_eq!(ft.row_count(), 4);
+        let hits = ft.lookup_scan(1, Atom(10));
+        assert_eq!(hits.len(), 2);
+        assert_eq!(ft.stats().units_probed, 4);
+        assert!(ft.delete_atoms(&[Atom(0), Atom(10)]).unwrap());
+        assert!(!ft.delete_atoms(&[Atom(0), Atom(10)]).unwrap());
+        assert_eq!(ft.row_count(), 3);
+    }
+
+    #[test]
+    fn flat_table_maintained_index_survives_mutations() {
+        let mut ft = FlatTable::create("sc", &["Student", "Course"]).unwrap();
+        for row in [[0u32, 10], [1, 10], [0, 11]] {
+            ft.insert_atoms(row.iter().map(|&v| Atom(v)).collect()).unwrap();
+        }
+        assert!(ft.lookup_indexed(1, Atom(10)).is_err(), "no index yet");
+        ft.create_index(1).unwrap();
+        assert_eq!(ft.lookup_indexed(1, Atom(10)).unwrap().len(), 2);
+        // The index follows inserts and deletes.
+        ft.insert_atoms(vec![Atom(2), Atom(10)]).unwrap();
+        ft.delete_atoms(&[Atom(0), Atom(10)]).unwrap();
+        assert_eq!(ft.lookup_indexed(1, Atom(10)).unwrap().len(), 2);
+        assert!(ft.lookup_indexed(1, Atom(99)).unwrap().is_empty());
+        ft.verify_indexes().unwrap();
+        // Probe counting: only the posting list is touched.
+        let before = ft.stats().units_probed;
+        ft.lookup_indexed(1, Atom(11)).unwrap();
+        assert_eq!(ft.stats().units_probed - before, 1);
+    }
+
+    #[test]
+    fn flat_table_rejects_index_on_bad_attr() {
+        let mut ft = FlatTable::create("sc", &["A", "B"]).unwrap();
+        assert!(ft.create_index(5).is_err());
+    }
+
+    #[test]
+    fn flat_table_round_trips_relation() {
+        let schema = Schema::new("r", &["A", "B"]).unwrap();
+        let flat = FlatRelation::from_rows(
+            schema,
+            vec![vec![Atom(1), Atom(2)], vec![Atom(3), Atom(4)]],
+        )
+        .unwrap();
+        let ft = FlatTable::from_flat("r", &flat).unwrap();
+        assert_eq!(ft.to_flat_relation(), flat);
+        assert!(ft.size_bytes() >= crate::page::PAGE_SIZE);
+    }
+}

@@ -1,0 +1,69 @@
+//! Batch updates: when does §4 incremental maintenance stop paying?
+//!
+//! The paper proves per-operation cost independent of `|R*|`
+//! (Theorem A-4), which makes the incremental path unbeatable for small
+//! batches. But a batch that rewrites most of the relation amortises one
+//! re-nest better than thousands of recons cascades. This example runs
+//! the crossover live, shows the shipped `should_rebuild` heuristic
+//! picking sides, and rounds off with `STATS` from the query layer.
+//!
+//! Run with: `cargo run --release --example batch_updates`
+
+use std::time::Instant;
+
+use nf2::core::bulk::{apply_batch, rebuild_batch, should_rebuild};
+use nf2::core::maintenance::{CanonicalRelation, CostCounter};
+use nf2::prelude::*;
+use nf2::workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = workload::university(150, 3, 30, 2, 8, 91);
+    let base_rows = w.flat.len();
+    let base = CanonicalRelation::from_flat(&w.flat, NestOrder::identity(3))?;
+    println!(
+        "base relation: {} flat rows in {} NF² tuples\n",
+        base_rows,
+        base.tuple_count()
+    );
+    println!("{:>6} | {:>12} | {:>10} | {:>11} | heuristic", "batch", "incremental", "re-nest", "faster");
+    println!("{}", "-".repeat(62));
+
+    for pct in [1usize, 5, 20, 50, 100] {
+        let ops = workload::op_trace(&w, (base_rows * pct / 100).max(1), 40, pct as u64);
+
+        let mut incremental = base.clone();
+        let mut cost = CostCounter::new();
+        let start = Instant::now();
+        apply_batch(&mut incremental, &ops, &mut cost)?;
+        let t_inc = start.elapsed();
+
+        let start = Instant::now();
+        let rebuilt = rebuild_batch(&base, &ops)?;
+        let t_re = start.elapsed();
+        assert_eq!(incremental.relation(), rebuilt.relation(), "strategies agree");
+
+        let faster = if t_inc <= t_re { "incremental" } else { "re-nest" };
+        let heuristic = if should_rebuild(ops.len(), base.flat_count()) {
+            "re-nest"
+        } else {
+            "incremental"
+        };
+        println!(
+            "{:>5}% | {:>10}µs | {:>8}µs | {:>11} | {}",
+            pct,
+            t_inc.as_micros(),
+            t_re.as_micros(),
+            faster,
+            heuristic
+        );
+    }
+
+    // The same trade is visible through the DML: STATS exposes the
+    // accumulated §4 costs.
+    let mut db = Database::new();
+    db.run("CREATE TABLE sc (Student, Course) NEST ORDER (Student, Course)")?;
+    db.run("INSERT INTO sc VALUES ('s1','c1'), ('s2','c1'), ('s1','c2'), ('s3','c3')")?;
+    db.run("DELETE FROM sc WHERE Student = 's3'")?;
+    println!("\n{}", db.run("STATS sc")?.to_text());
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! §2's two kinds of "compoundness": splittable sets vs power-set values.
+//!
+//! The paper contrasts `SC[Student, Course]` — where `(a, {c1, c2})`
+//! just abbreviates two flat tuples and may be split freely — with
+//! `CP[Course, Prerequisite]`, where `{c1, c2}` is one *alternative
+//! prerequisite condition* defined on the power set of Course and must
+//! NOT be split: `(c0, {c1,c2})` and `(c0, {c1,c3})` are different
+//! conditions. This example models both faithfully and joins them with
+//! the NF² algebra.
+//!
+//! Run with: `cargo run --example curriculum`
+
+use nf2::algebra::{natural_join, select_box};
+use nf2::core::display::render_nf;
+use nf2::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut dict = Dictionary::new();
+
+    // --- SC: splittable set semantics (the paper's first pattern). ---
+    let sc_schema = Schema::new("SC", &["Student", "Course"])?;
+    let sc_flat = FlatRelation::from_rows(
+        sc_schema,
+        [
+            ("a", "c0"),
+            ("b", "c0"),
+            ("a", "c4"),
+            ("b", "c4"),
+            ("d", "c4"),
+        ]
+        .iter()
+        .map(|(s, c)| vec![dict.intern(s), dict.intern(c)]),
+    )?;
+    let sc = canonical_of_flat(&sc_flat, &NestOrder::identity(2));
+    println!("SC — set-valued field is just an abbreviation (splittable):");
+    println!("{}", render_nf(&sc, &dict));
+
+    // --- CP: power-set domain (the paper's second pattern). ---
+    // Each alternative prerequisite condition is one atomic value of a
+    // compound domain: we intern the whole set "{c1,c2}" as a single
+    // atom, exactly because Def. 2 must not apply inside it.
+    let cp_schema = Schema::new("CP", &["Course", "Condition"])?;
+    let cp_flat = FlatRelation::from_rows(
+        cp_schema,
+        [
+            ("c0", "{c1,c2}"),
+            ("c0", "{c1,c3}"),
+            ("c4", "{c0}"),
+        ]
+        .iter()
+        .map(|(c, p)| vec![dict.intern(c), dict.intern(p)]),
+    )?;
+    let cp = canonical_of_flat(&cp_flat, &NestOrder::identity(2));
+    println!("CP — alternative prerequisite conditions (power-set values, atomic):");
+    println!("{}", render_nf(&cp, &dict));
+    println!(
+        "Note: c0 legitimately nests to [Course(c0) Condition({{c1,c2}}, {{c1,c3}})] — the\n\
+         *conditions* collapse as alternatives, but no condition is ever split apart.\n"
+    );
+
+    // --- Algebra: which students face which prerequisite conditions? ---
+    let joined = natural_join(&sc, &cp)?;
+    println!("SC ⋈ CP on Course:");
+    println!("{}", render_nf(&joined, &dict));
+
+    // Selection stays on the rectangle level (no expansion).
+    let c0 = dict.lookup("c0").expect("interned above");
+    let only_c0 = select_box(&joined, &[(1, ValueSet::singleton(c0))])?;
+    println!("σ Course=c0 (rectangle-level selection):");
+    println!("{}", render_nf(&only_c0, &dict));
+
+    // Sanity: flat semantics agree with the 1NF join.
+    let expected = 2 /* a,b × c0 */ * 2 /* two conditions */ + 3 /* a,b,d × c4 */;
+    assert_eq!(joined.expand().len(), expected);
+    println!("Join cardinality matches 1NF semantics: {expected} rows.");
+    Ok(())
+}

@@ -1,0 +1,98 @@
+//! An interactive shell for the NF² data-manipulation language.
+//!
+//! Run with: `cargo run --example query_shell`
+//! Pipe a script: `cargo run --example query_shell < setup.sql`
+//!
+//! Statements: CREATE TABLE / DROP TABLE / INSERT / DELETE / UPDATE /
+//! SELECT (multi-way JOIN, IN lists, COUNT aggregates) / NEST / UNNEST /
+//! SHOW [FLAT] / TABLES / STATS / BEGIN / COMMIT / ROLLBACK /
+//! EXPLAIN [OPTIMIZED]. End each with `;` or a newline.
+
+use std::io::{BufRead, Write};
+
+use nf2::query::Database;
+
+fn main() {
+    let mut db = Database::new();
+    // Seed a demo table so SHOW works immediately.
+    db.run_script(
+        "CREATE TABLE sc (Student, Course, Club) NEST ORDER (Course, Student, Club);
+         INSERT INTO sc VALUES
+           ('s1','c1','b1'), ('s1','c2','b1'), ('s1','c3','b1'),
+           ('s2','c1','b2'), ('s2','c2','b2'), ('s2','c3','b2'),
+           ('s3','c1','b1'), ('s3','c2','b1'), ('s3','c3','b1');",
+    )
+    .expect("demo seed script is valid");
+
+    let interactive = is_tty();
+    if interactive {
+        println!("nf2 query shell — seeded with table `sc` (Fig. 1 R1). Try:");
+        println!("  SHOW sc;");
+        println!("  SELECT Course FROM sc WHERE Student = 's1';");
+        println!("  DELETE FROM sc WHERE Student = 's1' AND Course = 'c1';");
+        println!("  SELECT COUNT(DISTINCT Student) FROM sc;");
+        println!("  BEGIN; DELETE FROM sc; ROLLBACK;");
+        println!("  EXPLAIN OPTIMIZED SELECT Club FROM sc WHERE Student IN ('s1','s2');");
+        println!("  TABLES;   SHOW FLAT sc;   STATS sc;   (Ctrl-D to quit)\n");
+    }
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if interactive {
+            print!("nf2> ");
+            std::io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        buffer.push_str(&line);
+        // Execute once the statement terminates (`;`) or on a bare line.
+        if buffer.trim_end().ends_with(';') || !line.contains(';') {
+            let script = buffer.trim();
+            if script.is_empty() {
+                buffer.clear();
+                continue;
+            }
+            match db.run_script(script) {
+                Ok(outputs) => {
+                    for out in outputs {
+                        println!("{}", out.to_text());
+                    }
+                }
+                Err(e) => eprintln!("error: {e}"),
+            }
+            buffer.clear();
+        }
+    }
+}
+
+/// Best-effort TTY detection without extra dependencies: honours the
+/// common CI/pipe cases by checking whether stdin is the terminal device.
+fn is_tty() -> bool {
+    #[cfg(unix)]
+    {
+        use std::os::unix::io::AsRawFd;
+        // SAFETY: isatty is a pure query on a file descriptor we own.
+        unsafe { libc_isatty(std::io::stdin().as_raw_fd()) }
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}
+
+#[cfg(unix)]
+unsafe fn libc_isatty(fd: i32) -> bool {
+    // Minimal FFI shim to avoid pulling in the libc crate.
+    extern "C" {
+        fn isatty(fd: i32) -> i32;
+    }
+    isatty(fd) == 1
+}

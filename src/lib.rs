@@ -1,0 +1,45 @@
+//! # nf2 — Non-First-Normal-Form relational databases
+//!
+//! A full implementation of Arisawa, Moriya & Miura, *"Operations and the
+//! Properties on Non-First-Normal-Form Relational Databases"* (VLDB
+//! 1983), as a workspace of focused crates re-exported here:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `nf2-core` | the NF² model: composition, nest, canonical forms, fixedness, §4 incremental maintenance |
+//! | [`deps`] | `nf2-deps` | FDs, MVDs, 3NF synthesis, dependency mining, Theorems 3–5 |
+//! | [`algebra`] | `nf2-algebra` | NF² relational algebra with NEST/UNNEST |
+//! | [`storage`] | `nf2-storage` | realization-view storage: pages, heap files, WAL, tables |
+//! | [`query`] | `nf2-query` | the NF² data-manipulation language |
+//! | [`workload`] | `nf2-workload` | deterministic experiment workloads |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nf2::query::Database;
+//!
+//! let mut db = Database::new();
+//! db.run_script(
+//!     "CREATE TABLE sc (Student, Course) NEST ORDER (Student, Course);
+//!      INSERT INTO sc VALUES ('s1','c1'), ('s2','c1'), ('s1','c2');",
+//! ).unwrap();
+//! let out = db.run("SHOW sc").unwrap();
+//! // Students taking c1 are stored as ONE NF² tuple: [Student(s1,s2) Course(c1)].
+//! assert!(out.to_text().contains("s1, s2"));
+//! ```
+
+pub use nf2_algebra as algebra;
+pub use nf2_core as core;
+pub use nf2_deps as deps;
+pub use nf2_query as query;
+pub use nf2_storage as storage;
+pub use nf2_workload as workload;
+
+/// The most commonly used items across the workspace.
+pub mod prelude {
+    pub use nf2_algebra::{Env, Expr};
+    pub use nf2_core::prelude::*;
+    pub use nf2_deps::{Fd, Mvd};
+    pub use nf2_query::{Database, Output};
+    pub use nf2_storage::{FlatTable, NfTable, SharedDictionary};
+}

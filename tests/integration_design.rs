@@ -1,0 +1,105 @@
+//! Integration: the §3.4 schema-design pipeline across crates.
+//!
+//! workload → deps (mining, basis, 4NF decomposition, chase) → core
+//! (canonical forms, fixedness): dependencies are *mined* from the
+//! instance, drive both the classical 4NF design and the paper's
+//! nest-order suggestion, and the two designs are compared on the same
+//! data.
+
+use std::collections::BTreeSet;
+
+use nf2::core::nest::canonical_of_flat;
+use nf2::core::properties::is_fixed_on;
+use nf2::deps::{
+    decompose_4nf, dependency_basis, holds_mvd, is_lossless_join, mine_fds, mine_mvds,
+    suggest_nest_order, AttrSet, Mvd,
+};
+use nf2::prelude::*;
+use nf2::workload;
+
+#[test]
+fn mined_mvd_drives_both_designs() {
+    // University data satisfies Student ->-> Course | Club by construction.
+    let w = workload::university(60, 3, 20, 2, 6, 5);
+    let student_mvd = Mvd::new([0], [1]);
+    assert!(holds_mvd(&w.flat, &student_mvd), "generator guarantees the MVD");
+
+    // Mining must rediscover it.
+    let mined = mine_mvds(&w.flat, &mine_fds(&w.flat));
+    assert!(
+        mined.iter().any(|m| m.lhs == student_mvd.lhs
+            && (m.rhs == student_mvd.rhs || m.complement(3).rhs == student_mvd.rhs)),
+        "mined MVDs {mined:?} must include Student ->-> Course (or its complement)"
+    );
+
+    // The dependency basis of {Student} splits Course from Club.
+    let blocks = dependency_basis(AttrSet::single(0), 3, &[], &[student_mvd]);
+    assert_eq!(blocks, vec![AttrSet::single(1), AttrSet::single(2)]);
+
+    // Classical design: 4NF decomposition into SC and SB, lossless.
+    let d = decompose_4nf(3, &[], &[student_mvd]);
+    assert_eq!(d.fragments, vec![AttrSet::from_attrs([0, 1]), AttrSet::from_attrs([0, 2])]);
+    assert!(is_lossless_join(3, &[], &[student_mvd], &d.fragments));
+
+    // Paper's design: keep one relation, nest on the dependents, fixed on
+    // the determinant.
+    let order = suggest_nest_order(3, &[], &[student_mvd]);
+    let nfr = canonical_of_flat(&w.flat, &order);
+    assert!(is_fixed_on(&nfr, &[0]), "suggested order yields fixedness on Student");
+    assert_eq!(nfr.expand(), w.flat, "Theorem 1");
+
+    // The NFR needs no join: one tuple per student carries the full
+    // entity; the 4NF design splits it across two fragment rowsets.
+    let students: BTreeSet<Atom> = w.flat.rows().map(|r| r[0]).collect();
+    assert_eq!(nfr.tuple_count(), students.len(), "one NF² tuple per student entity");
+    let sc_rows: BTreeSet<(Atom, Atom)> = w.flat.rows().map(|r| (r[0], r[1])).collect();
+    let sb_rows: BTreeSet<(Atom, Atom)> = w.flat.rows().map(|r| (r[0], r[2])).collect();
+    assert!(
+        nfr.tuple_count() < sc_rows.len() + sb_rows.len(),
+        "the nested design stores fewer units than the 4NF fragments"
+    );
+}
+
+#[test]
+fn relationship_data_supports_neither_design() {
+    // Fig. 1's R2 analogue: no MVD holds, so 4NF keeps the relation whole
+    // and no nest order achieves fixedness on Student with compression.
+    let w = workload::relationship(150, 20, 20, 4, 11);
+    let student_mvd = Mvd::new([0], [1]);
+    if holds_mvd(&w.flat, &student_mvd) {
+        // Astronomically unlikely with these parameters; regenerate the
+        // workload if it ever trips.
+        panic!("random relationship data accidentally satisfies the MVD");
+    }
+    let mined = mine_mvds(&w.flat, &mine_fds(&w.flat));
+    assert!(
+        !mined.iter().any(|m| m.lhs == AttrSet::single(0)),
+        "no Student-determined MVD should be mined: {mined:?}"
+    );
+    let d = decompose_4nf(3, &[], &mined);
+    assert_eq!(d.fragments, vec![AttrSet::full(3)], "already in 4NF");
+}
+
+#[test]
+fn every_nest_order_preserves_information_on_mined_schemas() {
+    let w = workload::university(25, 2, 10, 2, 4, 3);
+    for order in NestOrder::all(3) {
+        let nfr = canonical_of_flat(&w.flat, &order);
+        assert_eq!(nfr.expand(), w.flat, "order {order}");
+    }
+}
+
+#[test]
+fn chase_validates_mined_dependencies() {
+    use nf2::deps::chase_implies_mvd;
+    // Everything mined from the instance must be self-consistent: the
+    // set of mined MVDs implies each of its members (trivially), and the
+    // complement of each mined MVD holds on the instance (Fagin).
+    let w = workload::university(30, 2, 12, 2, 5, 9);
+    let mined = mine_mvds(&w.flat, &mine_fds(&w.flat));
+    for m in &mined {
+        assert!(holds_mvd(&w.flat, m), "mined MVD {m} must hold");
+        assert!(holds_mvd(&w.flat, &m.complement(3)), "complement of {m} must hold");
+        assert!(chase_implies_mvd(3, &[], &mined, m));
+    }
+}

@@ -1,0 +1,146 @@
+//! Integration: the optimizer inside the full query pipeline.
+//!
+//! The executor always optimizes SELECT plans in structural mode; these
+//! tests check end-to-end results against hand-computed oracles on the
+//! flat realization, and that EXPLAIN OPTIMIZED reports plans whose
+//! evaluation matches the executed statement.
+
+use std::collections::BTreeSet;
+
+use nf2::prelude::*;
+
+fn seeded_db() -> Database {
+    let mut db = Database::new();
+    db.run_script(
+        "CREATE TABLE enroll (Student, Course, Term) NEST ORDER (Student, Course, Term);
+         INSERT INTO enroll VALUES
+           ('s1','c1','t1'), ('s2','c1','t1'), ('s3','c1','t2'),
+           ('s1','c2','t1'), ('s2','c2','t2'), ('s4','c3','t2'),
+           ('s1','c3','t2'), ('s4','c1','t1');
+         CREATE TABLE teach (Course, Prof);
+         INSERT INTO teach VALUES ('c1','p1'), ('c2','p1'), ('c3','p2');
+         CREATE TABLE dept (Prof, Dept);
+         INSERT INTO dept VALUES ('p1','d1'), ('p2','d2');",
+    )
+    .unwrap();
+    db
+}
+
+/// Flat-side oracle for σ+π over enroll ⋈ teach ⋈ dept.
+fn oracle(
+    db: &Database,
+    pred: impl Fn(&str, &str, &str, &str, &str) -> bool,
+) -> BTreeSet<Vec<String>> {
+    let dict = db.dict();
+    let enroll = db.table("enroll").unwrap().relation().expand();
+    let teach = db.table("teach").unwrap().relation().expand();
+    let dept = db.table("dept").unwrap().relation().expand();
+    let name = |a: Atom| dict.resolve(a).unwrap();
+    let mut out = BTreeSet::new();
+    for e in enroll.rows() {
+        for t in teach.rows() {
+            if e[1] != t[0] {
+                continue;
+            }
+            for d in dept.rows() {
+                if t[1] != d[0] {
+                    continue;
+                }
+                let (s, c, term, p, dp) =
+                    (name(e[0]), name(e[1]), name(e[2]), name(t[1]), name(d[1]));
+                if pred(&s, &c, &term, &p, &dp) {
+                    out.insert(vec![s.clone(), dp.clone()]);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn result_rows(db: &Database, out: &Output) -> BTreeSet<Vec<String>> {
+    match out {
+        Output::Relation { relation, .. } => relation
+            .expand()
+            .rows()
+            .map(|r| r.iter().map(|&a| db.dict().resolve(a).unwrap()).collect())
+            .collect(),
+        other => panic!("expected a relation, got {other:?}"),
+    }
+}
+
+#[test]
+fn three_way_join_with_pushdown_matches_oracle() {
+    let mut db = seeded_db();
+    let out = db
+        .run("SELECT Student, Dept FROM enroll JOIN teach JOIN dept WHERE Prof = 'p1' AND Term = 't1'")
+        .unwrap();
+    let got = result_rows(&db, &out);
+    let want = oracle(&db, |_, _, term, p, _| p == "p1" && term == "t1");
+    assert_eq!(got, want);
+}
+
+#[test]
+fn in_list_over_join_matches_oracle() {
+    let mut db = seeded_db();
+    let out = db
+        .run("SELECT Student, Dept FROM enroll JOIN teach JOIN dept WHERE Student IN ('s1','s4')")
+        .unwrap();
+    let got = result_rows(&db, &out);
+    let want = oracle(&db, |s, _, _, _, _| s == "s1" || s == "s4");
+    assert_eq!(got, want);
+}
+
+#[test]
+fn explain_optimized_plan_is_faithful() {
+    let mut db = seeded_db();
+    let text = db
+        .run("EXPLAIN OPTIMIZED SELECT Student FROM enroll JOIN teach WHERE Prof = 'p2'")
+        .unwrap()
+        .to_text();
+    // The selection must sink below the join in the reported plan.
+    assert!(text.contains("select-into-join"), "{text}");
+    let optimized_section = text.split("optimized plan:").nth(1).expect("section present");
+    let join_pos = optimized_section.find("natural-join").expect("join in plan");
+    let select_pos = optimized_section.find("select [").expect("select in plan");
+    assert!(
+        select_pos > join_pos,
+        "selection should appear below the join in the optimized tree:\n{optimized_section}"
+    );
+    // And the executed statement agrees with the oracle.
+    let out = db.run("SELECT Student FROM enroll JOIN teach WHERE Prof = 'p2'").unwrap();
+    let got = result_rows(&db, &out);
+    let want: BTreeSet<Vec<String>> =
+        [vec!["s1".to_string()], vec!["s4".to_string()]].into_iter().collect();
+    assert_eq!(got, want, "s1 and s4 take c3, taught by p2");
+}
+
+#[test]
+fn aggregates_after_optimization() {
+    let mut db = seeded_db();
+    match db.run("SELECT COUNT(*) FROM enroll JOIN teach WHERE Prof = 'p1'").unwrap() {
+        Output::Count(n) => assert_eq!(n, 6, "c1 has 4 enrollments, c2 has 2"),
+        other => panic!("unexpected {other:?}"),
+    }
+    match db
+        .run("SELECT COUNT(DISTINCT Student) FROM enroll JOIN teach WHERE Prof = 'p1'")
+        .unwrap()
+    {
+        Output::Count(n) => assert_eq!(n, 4, "s1..s4 all touch a p1 course"),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn mutations_then_queries_stay_consistent() {
+    let mut db = seeded_db();
+    db.run("DELETE FROM enroll WHERE Course = 'c1'").unwrap();
+    db.run("UPDATE teach SET Prof = 'p2' WHERE Course = 'c2'").unwrap();
+    let out = db.run("SELECT Student, Dept FROM enroll JOIN teach JOIN dept").unwrap();
+    let got = result_rows(&db, &out);
+    let want = oracle(&db, |_, _, _, _, _| true);
+    assert_eq!(got, want);
+    // The stored tables remain canonical for their orders after the DML.
+    let t = db.table("enroll").unwrap();
+    let fresh = nf2::core::nest::canonical_of_flat(&t.relation().expand(), t.order());
+    assert_eq!(t.relation(), &fresh);
+}
