@@ -114,8 +114,8 @@ impl Expr {
                     .iter()
                     .map(|(name, values)| {
                         let attr = rel.schema().attr_id(name)?;
-                        let set = ValueSet::new(values.clone())
-                            .ok_or(NfError::EmptyValueSet { attr })?;
+                        let set =
+                            ValueSet::new(values.clone()).ok_or(NfError::EmptyValueSet { attr })?;
                         Ok((attr, set))
                     })
                     .collect::<Result<Vec<_>>>()?;
@@ -240,14 +240,23 @@ mod tests {
         };
         let out = expr.eval(&env).unwrap();
         assert_eq!(out.expand().len(), 2);
-        assert_eq!(out.schema().attr_names().collect::<Vec<_>>(), vec!["Course"]);
+        assert_eq!(
+            out.schema().attr_names().collect::<Vec<_>>(),
+            vec!["Course"]
+        );
     }
 
     #[test]
     fn eval_nest_then_unnest_round_trips() {
         let env = env_with_sc();
-        let nested = Expr::Nest { input: Box::new(Expr::rel("sc")), attr: "Student".into() };
-        let round = Expr::Unnest { input: Box::new(nested.clone()), attr: "Student".into() };
+        let nested = Expr::Nest {
+            input: Box::new(Expr::rel("sc")),
+            attr: "Student".into(),
+        };
+        let round = Expr::Unnest {
+            input: Box::new(nested.clone()),
+            attr: "Student".into(),
+        };
         let base = env.get("sc").unwrap().expand();
         assert_eq!(round.eval(&env).unwrap().expand(), base);
         assert!(nested.eval(&env).unwrap().tuple_count() < 3);
@@ -261,16 +270,16 @@ mod tests {
             order: vec!["Student".into(), "Course".into()],
         };
         let out = expr.eval(&env).unwrap();
-        assert!(nf2_core::nest::is_canonical(
-            &out,
-            &NestOrder::identity(2)
-        ));
+        assert!(nf2_core::nest::is_canonical(&out, &NestOrder::identity(2)));
     }
 
     #[test]
     fn eval_unknown_attr_errors() {
         let env = env_with_sc();
-        let expr = Expr::Nest { input: Box::new(Expr::rel("sc")), attr: "Nope".into() };
+        let expr = Expr::Nest {
+            input: Box::new(Expr::rel("sc")),
+            attr: "Nope".into(),
+        };
         assert!(expr.eval(&env).is_err());
     }
 

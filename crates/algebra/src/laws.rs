@@ -58,7 +58,10 @@ impl LawOutcome {
         if left == right {
             LawOutcome::Holds
         } else {
-            LawOutcome::Violated { left: Box::new(left), right: Box::new(right) }
+            LawOutcome::Violated {
+                left: Box::new(left),
+                right: Box::new(right),
+            }
         }
     }
 
@@ -66,7 +69,10 @@ impl LawOutcome {
         if left.expand() == right.expand() {
             LawOutcome::Holds
         } else {
-            LawOutcome::Violated { left: Box::new(left), right: Box::new(right) }
+            LawOutcome::Violated {
+                left: Box::new(left),
+                right: Box::new(right),
+            }
         }
     }
 
@@ -120,7 +126,8 @@ pub fn example1_counterexample() -> NfRelation {
     let rows = [[1u32, 11], [2, 11], [2, 12], [3, 12]];
     let flat = FlatRelation::from_rows(
         schema,
-        rows.iter().map(|r| r.iter().map(|&v| nf2_core::value::Atom(v)).collect()),
+        rows.iter()
+            .map(|r| r.iter().map(|&v| nf2_core::value::Atom(v)).collect()),
     )
     .expect("valid rows");
     NfRelation::from_flat(&flat)
@@ -146,7 +153,10 @@ pub fn law_select_nest_same_attr(rel: &NfRelation, attr: AttrId, allow: &ValueSe
         Ok(r) => r,
         Err(_) => return LawOutcome::Holds, // out-of-bounds attr: vacuous
     };
-    let rhs = nest(&ops::select_box(rel, &constraint).expect("attr checked above"), attr);
+    let rhs = nest(
+        &ops::select_box(rel, &constraint).expect("attr checked above"),
+        attr,
+    );
     LawOutcome::of_structural(lhs, rhs)
 }
 
@@ -167,7 +177,10 @@ pub fn law_select_nest_other_attr(
         Ok(r) => r,
         Err(_) => return LawOutcome::Holds,
     };
-    let rhs = nest(&ops::select_box(rel, &constraint).expect("attr checked above"), nest_attr);
+    let rhs = nest(
+        &ops::select_box(rel, &constraint).expect("attr checked above"),
+        nest_attr,
+    );
     LawOutcome::of_realization(lhs, rhs)
 }
 
@@ -236,7 +249,10 @@ pub fn law_join_realization(left: &NfRelation, right: &NfRelation) -> LawOutcome
         let oracle = NfRelation::from_flat(
             &FlatRelation::from_rows(joined.schema().clone(), oracle_rows).expect("oracle rows"),
         );
-        LawOutcome::Violated { left: Box::new(joined), right: Box::new(oracle) }
+        LawOutcome::Violated {
+            left: Box::new(joined),
+            right: Box::new(oracle),
+        }
     }
 }
 
@@ -274,7 +290,10 @@ pub fn law_select_distributes(
         match (lhs, rhs) {
             (Ok(l), Ok(r)) => {
                 if l.expand() != r.expand() {
-                    return LawOutcome::Violated { left: Box::new(l), right: Box::new(r) };
+                    return LawOutcome::Violated {
+                        left: Box::new(l),
+                        right: Box::new(r),
+                    };
                 }
             }
             (Err(_), Err(_)) => continue, // both reject (schema mismatch): vacuous
@@ -485,10 +504,7 @@ mod tests {
 
     #[test]
     fn l8_join_matches_flat_oracle() {
-        let sc = rel(
-            &["S", "C"],
-            vec![t(&[&[1], &[10, 11]]), t(&[&[2], &[11]])],
-        );
+        let sc = rel(&["S", "C"], vec![t(&[&[1], &[10, 11]]), t(&[&[2], &[11]])]);
         let cp = NfRelation::from_tuples(
             Schema::new("CP", &["C", "P"]).unwrap(),
             vec![t(&[&[10], &[90]]), t(&[&[11], &[91, 92]])],

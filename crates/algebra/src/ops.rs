@@ -40,7 +40,10 @@ pub use nf2_core::nest::unnest;
 pub fn select_box(rel: &NfRelation, constraints: &[(AttrId, ValueSet)]) -> Result<NfRelation> {
     for (attr, _) in constraints {
         if *attr >= rel.arity() {
-            return Err(NfError::AttrOutOfBounds { attr: *attr, arity: rel.arity() });
+            return Err(NfError::AttrOutOfBounds {
+                attr: *attr,
+                arity: rel.arity(),
+            });
         }
     }
     let mut tuples = Vec::new();
@@ -276,7 +279,11 @@ mod tests {
         let sel = select_box(&r, &[(0, vs(&[2, 3]))]).unwrap();
         assert_eq!(
             flat_of(&sel),
-            BTreeSet::from([vec![Atom(2), Atom(10)], vec![Atom(2), Atom(11)], vec![Atom(3), Atom(10)]])
+            BTreeSet::from([
+                vec![Atom(2), Atom(10)],
+                vec![Atom(2), Atom(11)],
+                vec![Atom(3), Atom(10)]
+            ])
         );
     }
 
@@ -290,11 +297,12 @@ mod tests {
 
     #[test]
     fn select_where_matches_flat_semantics() {
-        let r = rel(
-            schema("R", &["A", "B"]),
-            vec![t(&[&[1, 2], &[10, 11]])],
+        let r = rel(schema("R", &["A", "B"]), vec![t(&[&[1, 2], &[10, 11]])]);
+        let sel = select_where(
+            &r,
+            |row| row[0] == Atom(1) || row[1] == Atom(11),
+            &NestOrder::identity(2),
         );
-        let sel = select_where(&r, |row| row[0] == Atom(1) || row[1] == Atom(11), &NestOrder::identity(2));
         assert_eq!(sel.expand().len(), 3);
         assert!(sel.validate().is_ok());
     }
@@ -343,10 +351,7 @@ mod tests {
     fn union_difference_intersect_flat_semantics() {
         let s = schema("R", &["A", "B"]);
         let l = rel(s.clone(), vec![t(&[&[1, 2], &[10]])]);
-        let r = rel(
-            schema("S", &["A", "B"]),
-            vec![t(&[&[2, 3], &[10]])],
-        );
+        let r = rel(schema("S", &["A", "B"]), vec![t(&[&[2, 3], &[10]])]);
         let order = NestOrder::identity(2);
         let u = union(&l, &r, &order).unwrap();
         assert_eq!(u.expand().len(), 3);

@@ -151,18 +151,28 @@ pub fn optimize(expr: &Expr, catalog: &SchemaCatalog, mode: RewriteMode) -> Opti
     for _ in 0..MAX_PASSES {
         match rewrite(&current, catalog, mode) {
             Some((next, rule)) => {
-                trace.push(Applied { rule, result: next.to_string() });
+                trace.push(Applied {
+                    rule,
+                    result: next.to_string(),
+                });
                 current = next;
             }
             None => break,
         }
     }
-    Optimized { expr: current, trace }
+    Optimized {
+        expr: current,
+        trace,
+    }
 }
 
 /// Tries to apply one rule anywhere in the tree (root first, then
 /// children, left to right). Returns the rewritten tree and rule name.
-fn rewrite(expr: &Expr, catalog: &SchemaCatalog, mode: RewriteMode) -> Option<(Expr, &'static str)> {
+fn rewrite(
+    expr: &Expr,
+    catalog: &SchemaCatalog,
+    mode: RewriteMode,
+) -> Option<(Expr, &'static str)> {
     if let Some(hit) = rewrite_root(expr, catalog, mode) {
         return Some(hit);
     }
@@ -178,27 +188,42 @@ fn rewrite(expr: &Expr, catalog: &SchemaCatalog, mode: RewriteMode) -> Option<(E
         Expr::Rel(_) => None,
         Expr::SelectBox { input, constraints } => {
             let constraints = constraints.clone();
-            descend1!(input, |i| Expr::SelectBox { input: i, constraints: constraints.clone() });
+            descend1!(input, |i| Expr::SelectBox {
+                input: i,
+                constraints: constraints.clone()
+            });
             None
         }
         Expr::Project { input, attrs } => {
             let attrs = attrs.clone();
-            descend1!(input, |i| Expr::Project { input: i, attrs: attrs.clone() });
+            descend1!(input, |i| Expr::Project {
+                input: i,
+                attrs: attrs.clone()
+            });
             None
         }
         Expr::Nest { input, attr } => {
             let attr = attr.clone();
-            descend1!(input, |i| Expr::Nest { input: i, attr: attr.clone() });
+            descend1!(input, |i| Expr::Nest {
+                input: i,
+                attr: attr.clone()
+            });
             None
         }
         Expr::Unnest { input, attr } => {
             let attr = attr.clone();
-            descend1!(input, |i| Expr::Unnest { input: i, attr: attr.clone() });
+            descend1!(input, |i| Expr::Unnest {
+                input: i,
+                attr: attr.clone()
+            });
             None
         }
         Expr::Canonicalize { input, order } => {
             let order = order.clone();
-            descend1!(input, |i| Expr::Canonicalize { input: i, order: order.clone() });
+            descend1!(input, |i| Expr::Canonicalize {
+                input: i,
+                order: order.clone()
+            });
             None
         }
         Expr::Union(l, r) | Expr::Difference(l, r) | Expr::Intersect(l, r) | Expr::Join(l, r) => {
@@ -227,13 +252,17 @@ fn rewrite_root(
     mode: RewriteMode,
 ) -> Option<(Expr, &'static str)> {
     match expr {
-        Expr::SelectBox { input, constraints } => {
-            rewrite_select(input, constraints, catalog, mode)
-        }
+        Expr::SelectBox { input, constraints } => rewrite_select(input, constraints, catalog, mode),
         Expr::Unnest { input, attr } => match input.as_ref() {
             // L1: μa(νa(X)) → μa(X).
-            Expr::Nest { input: inner, attr: na } if na == attr => Some((
-                Expr::Unnest { input: inner.clone(), attr: attr.clone() },
+            Expr::Nest {
+                input: inner,
+                attr: na,
+            } if na == attr => Some((
+                Expr::Unnest {
+                    input: inner.clone(),
+                    attr: attr.clone(),
+                },
                 "elim-unnest-nest",
             )),
             // μ idempotent: μa(μa(X)) → μa(X).
@@ -244,8 +273,14 @@ fn rewrite_root(
         },
         Expr::Nest { input, attr } => match input.as_ref() {
             // L2: νa(μa(X)) → νa(X).
-            Expr::Unnest { input: inner, attr: ua } if ua == attr => Some((
-                Expr::Nest { input: inner.clone(), attr: attr.clone() },
+            Expr::Unnest {
+                input: inner,
+                attr: ua,
+            } if ua == attr => Some((
+                Expr::Nest {
+                    input: inner.clone(),
+                    attr: attr.clone(),
+                },
                 "elim-nest-unnest",
             )),
             // L5: νa(νa(X)) → νa(X).
@@ -256,16 +291,19 @@ fn rewrite_root(
         },
         Expr::Canonicalize { input, order } => match input.as_ref() {
             // Theorem-5 fixpoint: νP(νP(X)) → νP(X).
-            Expr::Canonicalize { order: inner_order, .. } if inner_order == order => {
-                Some((input.as_ref().clone(), "elim-canon-canon"))
-            }
+            Expr::Canonicalize {
+                order: inner_order, ..
+            } if inner_order == order => Some((input.as_ref().clone(), "elim-canon-canon")),
             _ => None,
         },
         Expr::Project { input, attrs } => match input.as_ref() {
             // Classical cascade: π2(π1(X)) → π2(X); R*-preserving only,
             // because the fixedness fast path may differ.
             Expr::Project { input: inner, .. } if mode == RewriteMode::Realization => Some((
-                Expr::Project { input: inner.clone(), attrs: attrs.clone() },
+                Expr::Project {
+                    input: inner.clone(),
+                    attrs: attrs.clone(),
+                },
                 "merge-projects",
             )),
             _ => None,
@@ -289,10 +327,19 @@ fn rewrite_select(
         // σc2(σc1(X)) → σ[c1 ∧ c2](X): conjuncts concatenate; repeated
         // attributes intersect inside `select_box`, so plain
         // concatenation is exact.
-        Expr::SelectBox { input: inner, constraints: inner_c } => {
+        Expr::SelectBox {
+            input: inner,
+            constraints: inner_c,
+        } => {
             let mut merged = inner_c.clone();
             merged.extend(constraints.iter().cloned());
-            Some((Expr::SelectBox { input: inner.clone(), constraints: merged }, "merge-selects"))
+            Some((
+                Expr::SelectBox {
+                    input: inner.clone(),
+                    constraints: merged,
+                },
+                "merge-selects",
+            ))
         }
         // σ(L ⋈ R) → σL ⋈ σR, each conjunct routed to every side that
         // owns the attribute. Rectangle intersection is commutative and
@@ -322,18 +369,27 @@ fn rewrite_select(
             let new_l: Expr = if to_l.is_empty() {
                 l.as_ref().clone()
             } else {
-                Expr::SelectBox { input: l.clone(), constraints: to_l }
+                Expr::SelectBox {
+                    input: l.clone(),
+                    constraints: to_l,
+                }
             };
             let new_r: Expr = if to_r.is_empty() {
                 r.as_ref().clone()
             } else {
-                Expr::SelectBox { input: r.clone(), constraints: to_r }
+                Expr::SelectBox {
+                    input: r.clone(),
+                    constraints: to_r,
+                }
             };
             let joined = Expr::Join(Box::new(new_l), Box::new(new_r));
             let out = if residual.is_empty() {
                 joined
             } else {
-                Expr::SelectBox { input: Box::new(joined), constraints: residual }
+                Expr::SelectBox {
+                    input: Box::new(joined),
+                    constraints: residual,
+                }
             };
             Some((out, "select-into-join"))
         }
@@ -343,7 +399,10 @@ fn rewrite_select(
                 input: Box::new(side.clone()),
                 constraints: constraints.to_vec(),
             };
-            Some((Expr::Intersect(Box::new(sel(l)), Box::new(sel(r))), "select-into-intersect"))
+            Some((
+                Expr::Intersect(Box::new(sel(l)), Box::new(sel(r))),
+                "select-into-intersect",
+            ))
         }
         // σ(μa(X)) → μa(σ(X)) — structural for every conjunct: unnest
         // only splits the `a` component and selection only intersects
@@ -382,13 +441,19 @@ fn rewrite_select(
                 return None;
             }
             let pushed = Expr::Nest {
-                input: Box::new(Expr::SelectBox { input: inner.clone(), constraints: on_attr }),
+                input: Box::new(Expr::SelectBox {
+                    input: inner.clone(),
+                    constraints: on_attr,
+                }),
                 attr: attr.clone(),
             };
             let out = if rest.is_empty() {
                 pushed
             } else {
-                Expr::SelectBox { input: Box::new(pushed), constraints: rest }
+                Expr::SelectBox {
+                    input: Box::new(pushed),
+                    constraints: rest,
+                }
             };
             Some((out, "select-through-nest"))
         }
@@ -400,7 +465,10 @@ fn rewrite_select(
                 input: Box::new(side.clone()),
                 constraints: constraints.to_vec(),
             };
-            Some((Expr::Union(Box::new(sel(l)), Box::new(sel(r))), "select-into-union"))
+            Some((
+                Expr::Union(Box::new(sel(l)), Box::new(sel(r))),
+                "select-into-union",
+            ))
         }
         Expr::Difference(l, r) if mode == RewriteMode::Realization => {
             let sel = |side: &Expr| Expr::SelectBox {
@@ -484,7 +552,10 @@ pub fn estimate(expr: &Expr, sizes: &HashMap<String, usize>) -> CostEstimate {
     }
     let mut work = 0.0;
     let out_tuples = walk(expr, sizes, &mut work);
-    CostEstimate { out_tuples, total_work: work }
+    CostEstimate {
+        out_tuples,
+        total_work: work,
+    }
 }
 
 #[cfg(test)]
@@ -510,7 +581,11 @@ mod tests {
         let cp = Schema::new("CP", &["Course", "Prereq"]).unwrap();
         let flat = FlatRelation::from_rows(
             cp,
-            vec![vec![Atom(10), Atom(90)], vec![Atom(11), Atom(91)], vec![Atom(12), Atom(91)]],
+            vec![
+                vec![Atom(10), Atom(90)],
+                vec![Atom(11), Atom(91)],
+                vec![Atom(12), Atom(91)],
+            ],
         )
         .unwrap();
         env.insert("cp", NfRelation::from_flat(&flat));
@@ -569,7 +644,10 @@ mod tests {
 
     #[test]
     fn empty_select_eliminated() {
-        let expr = Expr::SelectBox { input: Box::new(Expr::rel("sc")), constraints: vec![] };
+        let expr = Expr::SelectBox {
+            input: Box::new(Expr::rel("sc")),
+            constraints: vec![],
+        };
         let catalog = SchemaCatalog::from_env(&env());
         let opt = optimize(&expr, &catalog, RewriteMode::Structural);
         assert_eq!(opt.expr, Expr::rel("sc"));
@@ -591,8 +669,14 @@ mod tests {
         // Both conjuncts must end up below the join.
         match &opt.expr {
             Expr::Join(l, r) => {
-                assert!(matches!(l.as_ref(), Expr::SelectBox { .. }), "left got Student");
-                assert!(matches!(r.as_ref(), Expr::SelectBox { .. }), "right got Prereq");
+                assert!(
+                    matches!(l.as_ref(), Expr::SelectBox { .. }),
+                    "left got Student"
+                );
+                assert!(
+                    matches!(r.as_ref(), Expr::SelectBox { .. }),
+                    "right got Prereq"
+                );
             }
             other => panic!("expected Join at root, got {other}"),
         }
@@ -627,7 +711,10 @@ mod tests {
         );
         let catalog = SchemaCatalog::from_env(&env());
         let opt = optimize(&expr, &catalog, RewriteMode::Structural);
-        assert_eq!(opt.expr, expr, "unknown attribute must not be silently dropped");
+        assert_eq!(
+            opt.expr, expr,
+            "unknown attribute must not be silently dropped"
+        );
         // Both plans error identically.
         assert!(expr.eval(&env()).is_err());
         assert!(opt.expr.eval(&env()).is_err());
@@ -636,20 +723,30 @@ mod tests {
     #[test]
     fn select_through_nest_same_attr_structural() {
         let expr = sel(
-            Expr::Nest { input: Box::new(Expr::rel("sc")), attr: "Student".into() },
+            Expr::Nest {
+                input: Box::new(Expr::rel("sc")),
+                attr: "Student".into(),
+            },
             "Student",
             &[1, 2],
         );
         let catalog = SchemaCatalog::from_env(&env());
         let opt = optimize(&expr, &catalog, RewriteMode::Structural);
-        assert!(matches!(opt.expr, Expr::Nest { .. }), "select sank below nest: {}", opt.expr);
+        assert!(
+            matches!(opt.expr, Expr::Nest { .. }),
+            "select sank below nest: {}",
+            opt.expr
+        );
         assert_structural_equiv(&expr);
     }
 
     #[test]
     fn select_through_nest_other_attr_needs_realization_mode() {
         let expr = sel(
-            Expr::Nest { input: Box::new(Expr::rel("sc")), attr: "Student".into() },
+            Expr::Nest {
+                input: Box::new(Expr::rel("sc")),
+                attr: "Student".into(),
+            },
             "Course",
             &[10],
         );
@@ -664,7 +761,10 @@ mod tests {
     #[test]
     fn select_through_unnest_structural() {
         let expr = sel(
-            Expr::Unnest { input: Box::new(Expr::rel("sc")), attr: "Course".into() },
+            Expr::Unnest {
+                input: Box::new(Expr::rel("sc")),
+                attr: "Course".into(),
+            },
             "Student",
             &[1],
         );
@@ -676,8 +776,14 @@ mod tests {
 
     #[test]
     fn nest_unnest_pairs_eliminated() {
-        let nest = |e: Expr, a: &str| Expr::Nest { input: Box::new(e), attr: a.into() };
-        let unnest = |e: Expr, a: &str| Expr::Unnest { input: Box::new(e), attr: a.into() };
+        let nest = |e: Expr, a: &str| Expr::Nest {
+            input: Box::new(e),
+            attr: a.into(),
+        };
+        let unnest = |e: Expr, a: &str| Expr::Unnest {
+            input: Box::new(e),
+            attr: a.into(),
+        };
         let catalog = SchemaCatalog::from_env(&env());
 
         let e1 = unnest(nest(Expr::rel("sc"), "Student"), "Student");
@@ -775,8 +881,14 @@ mod tests {
     fn output_attrs_infers_join_schema() {
         let catalog = SchemaCatalog::from_env(&env());
         let j = Expr::Join(Box::new(Expr::rel("sc")), Box::new(Expr::rel("cp")));
-        assert_eq!(output_attrs(&j, &catalog).unwrap(), vec!["Student", "Course", "Prereq"]);
-        let p = Expr::Project { input: Box::new(j), attrs: vec!["Prereq".into()] };
+        assert_eq!(
+            output_attrs(&j, &catalog).unwrap(),
+            vec!["Student", "Course", "Prereq"]
+        );
+        let p = Expr::Project {
+            input: Box::new(j),
+            attrs: vec!["Prereq".into()],
+        };
         assert_eq!(output_attrs(&p, &catalog).unwrap(), vec!["Prereq"]);
         assert!(output_attrs(&Expr::rel("nope"), &catalog).is_err());
     }
@@ -812,7 +924,10 @@ mod tests {
             Expr::Union(Box::new(r.clone()), Box::new(r.clone())),
             Expr::Difference(Box::new(r.clone()), Box::new(r.clone())),
             Expr::Intersect(Box::new(r.clone()), Box::new(r.clone())),
-            Expr::Project { input: Box::new(r.clone()), attrs: vec!["Student".into()] },
+            Expr::Project {
+                input: Box::new(r.clone()),
+                attrs: vec!["Student".into()],
+            },
             Expr::Canonicalize {
                 input: Box::new(r.clone()),
                 order: vec!["Student".into(), "Course".into()],

@@ -57,7 +57,11 @@ fn arb_nfr(name: &'static str) -> impl Strategy<Value = NfRelation> {
 fn arb_expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![Just(Expr::rel("r")), Just(Expr::rel("s"))];
     leaf.prop_recursive(4, 24, 3, |inner| {
-        let attr = prop_oneof![Just("A".to_string()), Just("B".to_string()), Just("C".to_string())];
+        let attr = prop_oneof![
+            Just("A".to_string()),
+            Just("B".to_string()),
+            Just("C".to_string())
+        ];
         let values = proptest::collection::vec(0u32..4, 1..3);
         prop_oneof![
             (inner.clone(), attr.clone(), values).prop_map(|(e, a, vs)| {
@@ -85,10 +89,14 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                     attrs: perms[p].iter().map(|s| s.to_string()).collect(),
                 }
             }),
-            (inner.clone(), attr.clone())
-                .prop_map(|(e, a)| Expr::Nest { input: Box::new(e), attr: a }),
-            (inner.clone(), attr.clone())
-                .prop_map(|(e, a)| Expr::Unnest { input: Box::new(e), attr: a }),
+            (inner.clone(), attr.clone()).prop_map(|(e, a)| Expr::Nest {
+                input: Box::new(e),
+                attr: a
+            }),
+            (inner.clone(), attr.clone()).prop_map(|(e, a)| Expr::Unnest {
+                input: Box::new(e),
+                attr: a
+            }),
             (inner.clone(), 0usize..6).prop_map(|(e, p)| {
                 let perms: [[&str; 3]; 6] = [
                     ["A", "B", "C"],
@@ -103,12 +111,10 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                     order: perms[p].iter().map(|s| s.to_string()).collect(),
                 }
             }),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Expr::Union(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Union(Box::new(l), Box::new(r))),
             (inner.clone(), inner.clone())
                 .prop_map(|(l, r)| Expr::Difference(Box::new(l), Box::new(r))),
-            (inner.clone(), inner)
-                .prop_map(|(l, r)| Expr::Intersect(Box::new(l), Box::new(r))),
+            (inner.clone(), inner).prop_map(|(l, r)| Expr::Intersect(Box::new(l), Box::new(r))),
         ]
     })
 }

@@ -20,7 +20,12 @@ fn bench_selection(c: &mut Criterion) {
     let course = w.flat.rows().next().unwrap()[1];
 
     group.bench_function("select_box_rectangle", |b| {
-        b.iter(|| select_box(std::hint::black_box(&canon), &[(1, ValueSet::singleton(course))]))
+        b.iter(|| {
+            select_box(
+                std::hint::black_box(&canon),
+                &[(1, ValueSet::singleton(course))],
+            )
+        })
     });
     group.bench_function("select_where_expansion", |b| {
         b.iter(|| {
@@ -46,7 +51,12 @@ fn bench_projection(c: &mut Criterion) {
     });
     group.bench_function("project_fixed_fast_path", |b| {
         b.iter(|| {
-            project(std::hint::black_box(&canon), &[0, 1, 2], &NestOrder::identity(3)).unwrap()
+            project(
+                std::hint::black_box(&canon),
+                &[0, 1, 2],
+                &NestOrder::identity(3),
+            )
+            .unwrap()
         })
     });
     group.finish();

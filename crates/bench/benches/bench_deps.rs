@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use nf2_deps::{
-    candidate_keys, chase_implies_fd, chase_implies_mvd, closure, decompose_4nf,
-    dependency_basis, implies_mvd_basis, mine_fds, synthesize_3nf, AttrSet, Fd, Mvd,
+    candidate_keys, chase_implies_fd, chase_implies_mvd, closure, decompose_4nf, dependency_basis,
+    implies_mvd_basis, mine_fds, synthesize_3nf, AttrSet, Fd, Mvd,
 };
 use nf2_workload as workload;
 

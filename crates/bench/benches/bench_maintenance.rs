@@ -21,20 +21,24 @@ fn bench_incremental_insert_delete(c: &mut Criterion) {
         let order = NestOrder::identity(3);
         let canon = CanonicalRelation::from_flat(&flat, order).unwrap();
         let rows: Vec<FlatTuple> = flat.rows().cloned().collect();
-        group.bench_with_input(BenchmarkId::new("delete_insert_pair", size), &size, |b, _| {
-            let mut i = 0usize;
-            b.iter_batched(
-                || canon.clone(),
-                |mut canon| {
-                    let row = rows[(i * 7919) % rows.len()].clone();
-                    i += 1;
-                    canon.delete(&row).unwrap();
-                    canon.insert(row).unwrap();
-                    canon
-                },
-                BatchSize::LargeInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::new("delete_insert_pair", size),
+            &size,
+            |b, _| {
+                let mut i = 0usize;
+                b.iter_batched(
+                    || canon.clone(),
+                    |mut canon| {
+                        let row = rows[(i * 7919) % rows.len()].clone();
+                        i += 1;
+                        canon.delete(&row).unwrap();
+                        canon.insert(row).unwrap();
+                        canon
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
     }
     group.finish();
 }
@@ -57,7 +61,12 @@ fn bench_degree_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("update_vs_degree");
     for n in 2..=5usize {
         let domains: Vec<u32> = vec![14; n];
-        let flat = workload::uniform(1_500.min(14usize.pow(n as u32) / 2), &domains, 90 + n as u64).flat;
+        let flat = workload::uniform(
+            1_500.min(14usize.pow(n as u32) / 2),
+            &domains,
+            90 + n as u64,
+        )
+        .flat;
         let order = NestOrder::identity(n);
         let canon = CanonicalRelation::from_flat(&flat, order).unwrap();
         let rows: Vec<FlatTuple> = flat.rows().cloned().collect();
@@ -88,8 +97,7 @@ fn bench_indexed_ablation(c: &mut Criterion) {
         let flat = sized_relation(size, 7);
         let order = NestOrder::identity(3);
         let scan = CanonicalRelation::from_flat(&flat, order.clone()).unwrap();
-        let indexed =
-            nf2_core::indexed::IndexedCanonicalRelation::from_flat(&flat, order).unwrap();
+        let indexed = nf2_core::indexed::IndexedCanonicalRelation::from_flat(&flat, order).unwrap();
         let rows: Vec<FlatTuple> = flat.rows().cloned().collect();
 
         group.bench_with_input(BenchmarkId::new("scan_engine", size), &size, |b, _| {

@@ -58,5 +58,10 @@ fn bench_order_sensitivity(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_single_nest, bench_canonicalize, bench_order_sensitivity);
+criterion_group!(
+    benches,
+    bench_single_nest,
+    bench_canonicalize,
+    bench_order_sensitivity
+);
 criterion_main!(benches);

@@ -11,8 +11,13 @@ use std::collections::BTreeSet;
 
 fn setup(students: usize) -> (NfTable, FlatTable, Vec<Atom>) {
     let w = workload::university(students, 4, 50, 2, 10, 21);
-    let nf = NfTable::from_flat("r1", &w.flat, NestOrder::identity(3), SharedDictionary::new())
-        .unwrap();
+    let nf = NfTable::from_flat(
+        "r1",
+        &w.flat,
+        NestOrder::identity(3),
+        SharedDictionary::new(),
+    )
+    .unwrap();
     let flat = FlatTable::from_flat("r1f", &w.flat).unwrap();
     let courses: Vec<Atom> = w
         .flat
@@ -36,14 +41,18 @@ fn bench_scan_lookup(c: &mut Criterion) {
                 nf.lookup_scan(1, std::hint::black_box(course))
             });
         });
-        group.bench_with_input(BenchmarkId::new("flat_table", students), &flat, |b, flat| {
-            let mut i = 0usize;
-            b.iter(|| {
-                let course = courses[i % courses.len()];
-                i += 1;
-                flat.lookup_scan(1, std::hint::black_box(course))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("flat_table", students),
+            &flat,
+            |b, flat| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let course = courses[i % courses.len()];
+                    i += 1;
+                    flat.lookup_scan(1, std::hint::black_box(course))
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -15,8 +15,12 @@ fn sample_tuple(width: usize) -> NfTuple {
     NfTuple::new(vec![
         ValueSet::new((0..width as u32).map(Atom).collect()).unwrap(),
         ValueSet::singleton(Atom(1_000_000)),
-        ValueSet::new((0..(width as u32 / 2).max(1)).map(|v| Atom(2_000_000 + v)).collect())
-            .unwrap(),
+        ValueSet::new(
+            (0..(width as u32 / 2).max(1))
+                .map(|v| Atom(2_000_000 + v))
+                .collect(),
+        )
+        .unwrap(),
     ])
 }
 
@@ -58,7 +62,9 @@ fn bench_page_ops(c: &mut Criterion) {
     while full.fits(record.len()) {
         full.insert(&record).unwrap();
     }
-    group.bench_function("serialize_page", |b| b.iter(|| std::hint::black_box(&full).to_bytes()));
+    group.bench_function("serialize_page", |b| {
+        b.iter(|| std::hint::black_box(&full).to_bytes())
+    });
     let bytes = full.to_bytes();
     group.bench_function("deserialize_page", |b| {
         b.iter(|| Page::from_bytes(std::hint::black_box(&bytes)).unwrap())
@@ -101,9 +107,13 @@ fn bench_checkpoint_open(c: &mut Criterion) {
         })
     });
     // Prepare a checkpoint for the open benchmark.
-    let mut t =
-        NfTable::from_flat("bench", &w.flat, NestOrder::identity(3), SharedDictionary::new())
-            .unwrap();
+    let mut t = NfTable::from_flat(
+        "bench",
+        &w.flat,
+        NestOrder::identity(3),
+        SharedDictionary::new(),
+    )
+    .unwrap();
     t.checkpoint(&dir).unwrap();
     group.bench_function("open_1000_rows", |b| {
         b.iter(|| NfTable::open(&dir, "bench", SharedDictionary::new()).unwrap())
@@ -111,5 +121,11 @@ fn bench_checkpoint_open(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_codec, bench_page_ops, bench_heap, bench_checkpoint_open);
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_page_ops,
+    bench_heap,
+    bench_checkpoint_open
+);
 criterion_main!(benches);

@@ -1,39 +1,94 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro            # all experiments, ASCII
-//! repro --md       # all experiments, Markdown (EXPERIMENTS.md format)
-//! repro E3 E7      # a subset
+//! repro                 # all experiments, ASCII
+//! repro --md            # all experiments, Markdown (EXPERIMENTS.md format)
+//! repro E3 E7           # a subset
+//! repro --json          # also write a timed BENCH_seed.json baseline
+//! repro --json=out.json # same, custom path
 //! ```
 
-use nf2_bench::{run_all, run_one};
+use std::time::Instant;
+
+use nf2_bench::{experiment_ids, run_all, run_one, Report};
+
+/// Default path of the machine-readable baseline.
+const DEFAULT_JSON_PATH: &str = "BENCH_seed.json";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let markdown = args.iter().any(|a| a == "--md");
+    let json_path: Option<String> = args.iter().find_map(|a| {
+        if a == "--json" {
+            Some(DEFAULT_JSON_PATH.to_owned())
+        } else {
+            a.strip_prefix("--json=").map(str::to_owned)
+        }
+    });
     let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
-    let reports = if ids.is_empty() {
-        run_all()
+    // The default baseline path is the committed full-suite baseline; a
+    // partial run must name its own file so it cannot clobber it.
+    if json_path.as_deref() == Some(DEFAULT_JSON_PATH) && !ids.is_empty() {
+        eprintln!(
+            "refusing to write the partial run {:?} to the full-suite baseline \
+             {DEFAULT_JSON_PATH}; pass --json=PATH to choose a different file",
+            ids
+        );
+        std::process::exit(2);
+    }
+
+    let selected: Vec<String> = if ids.is_empty() {
+        experiment_ids().iter().map(|s| (*s).to_owned()).collect()
     } else {
+        ids.iter().map(|s| (*s).clone()).collect()
+    };
+
+    // The JSON baseline needs per-experiment wall-clock times, so that
+    // path runs sequentially; the plain path runs all experiments on
+    // scoped threads via `run_all`.
+    let reports: Vec<(Report, f64)> = if json_path.is_some() || !ids.is_empty() {
         let mut out = Vec::new();
-        for id in ids {
+        for id in &selected {
+            let start = Instant::now();
             match run_one(id) {
-                Some(r) => out.push(r),
+                Some(r) => out.push((r, start.elapsed().as_secs_f64() * 1e3)),
                 None => {
-                    eprintln!("unknown experiment id: {id} (valid: E1..E15)");
+                    eprintln!(
+                        "unknown experiment id: {id} (valid: {})",
+                        experiment_ids().join(", ")
+                    );
                     std::process::exit(2);
                 }
             }
         }
         out
+    } else {
+        run_all().into_iter().map(|r| (r, f64::NAN)).collect()
     };
 
-    for r in &reports {
+    for (r, _) in &reports {
         if markdown {
             println!("{}", r.to_markdown());
         } else {
             println!("{}", r.to_ascii());
+        }
+    }
+
+    if let Some(path) = json_path {
+        let total: f64 = reports.iter().map(|(_, ms)| ms).sum();
+        let body: Vec<String> = reports.iter().map(|(r, ms)| r.to_json(*ms)).collect();
+        let json = format!(
+            "{{\"schema_version\":1,\"total_millis\":{:.3},\"experiments\":[\n{}\n]}}\n",
+            total,
+            body.join(",\n")
+        );
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("wrote baseline: {path} ({:.1} ms total)", total),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

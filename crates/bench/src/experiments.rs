@@ -9,6 +9,7 @@ use std::collections::BTreeSet;
 
 use std::time::Instant;
 
+use nf2_core::decompose;
 use nf2_core::display::render_nf;
 use nf2_core::irreducible::{
     enumerate_partitions, is_irreducible, minimum_partition, reduce, ReduceStrategy,
@@ -20,7 +21,6 @@ use nf2_core::relation::{FlatRelation, NfRelation};
 use nf2_core::schema::{NestOrder, Schema};
 use nf2_core::tuple::{FlatTuple, NfTuple, ValueSet};
 use nf2_core::value::{Atom, Dictionary};
-use nf2_core::decompose;
 use nf2_deps::{check_theorem3, check_theorem4, check_theorem5, suggest_nest_order, Fd, Mvd};
 use nf2_storage::{FlatTable, NfTable, SharedDictionary};
 use nf2_workload as workload;
@@ -111,8 +111,18 @@ pub fn e01_fig1_2() -> Report {
         "Figs. 1–2: drop (s1, c1, ·) from R1 and R2",
         &["relation", "stage", "nf-tuples", "flat rows"],
     );
-    report.push_row(vec!["R1".into(), "Fig. 1 (before)".into(), r1.tuple_count().to_string(), r1.expand().len().to_string()]);
-    report.push_row(vec!["R2".into(), "Fig. 1 (before)".into(), r2.tuple_count().to_string(), r2.expand().len().to_string()]);
+    report.push_row(vec![
+        "R1".into(),
+        "Fig. 1 (before)".into(),
+        r1.tuple_count().to_string(),
+        r1.expand().len().to_string(),
+    ]);
+    report.push_row(vec![
+        "R2".into(),
+        "Fig. 1 (before)".into(),
+        r2.tuple_count().to_string(),
+        r2.expand().len().to_string(),
+    ]);
 
     // R1 hand edit: remove c1 from the first tuple's Course set
     // (decompose on Course(c1), drop the isolated part).
@@ -127,7 +137,12 @@ pub fn e01_fig1_2() -> Report {
         r1_tuples.push(rest);
     }
     let r1_after = NfRelation::from_tuples(r1.schema().clone(), r1_tuples).unwrap();
-    report.push_row(vec!["R1".into(), "Fig. 2 (hand edit)".into(), r1_after.tuple_count().to_string(), r1_after.expand().len().to_string()]);
+    report.push_row(vec![
+        "R1".into(),
+        "Fig. 2 (hand edit)".into(),
+        r1_after.tuple_count().to_string(),
+        r1_after.expand().len().to_string(),
+    ]);
 
     // R2 hand edit (§2): split the first tuple, drop (s1, c1, t1), keep
     // [s2,s3|c1,c2|t1] and [s1|c2|t1].
@@ -147,13 +162,22 @@ pub fn e01_fig1_2() -> Report {
     }
     // by_course.isolated == [s1 | c1 | t1]: dropped.
     let r2_after = NfRelation::from_tuples(r2.schema().clone(), r2_tuples).unwrap();
-    report.push_row(vec!["R2".into(), "Fig. 2 (hand edit)".into(), r2_after.tuple_count().to_string(), r2_after.expand().len().to_string()]);
+    report.push_row(vec![
+        "R2".into(),
+        "Fig. 2 (hand edit)".into(),
+        r2_after.tuple_count().to_string(),
+        r2_after.expand().len().to_string(),
+    ]);
 
     // §4 canonical maintenance on R2 for comparison (order: Student first,
     // Semester last — the order Fig. 1's R2 is canonical for).
     let order = NestOrder::identity(3);
     let mut canon = CanonicalRelation::from_flat(&r2.expand(), order).unwrap();
-    assert_eq!(canon.relation(), &r2, "Fig. 1 R2 is canonical for Student->Course->Semester");
+    assert_eq!(
+        canon.relation(),
+        &r2,
+        "Fig. 1 R2 is canonical for Student->Course->Semester"
+    );
     let mut cost = CostCounter::new();
     canon.delete_counted(&[s1, c1, t1], &mut cost).unwrap();
     report.push_row(vec![
@@ -169,8 +193,14 @@ pub fn e01_fig1_2() -> Report {
         cost.compositions, cost.decompositions
     ));
     report.note(format!("R1 after:\n{}", render_nf(&r1_after, &dict)));
-    report.note(format!("R2 after (hand edit):\n{}", render_nf(&r2_after, &dict)));
-    report.note(format!("R2 after (canonical):\n{}", render_nf(canon.relation(), &dict)));
+    report.note(format!(
+        "R2 after (hand edit):\n{}",
+        render_nf(&r2_after, &dict)
+    ));
+    report.note(format!(
+        "R2 after (canonical):\n{}",
+        render_nf(canon.relation(), &dict)
+    ));
     report
 }
 
@@ -262,10 +292,16 @@ pub fn e03_example2() -> Report {
     );
     for order in NestOrder::all(3) {
         let c = canonical_of_flat(&flat, &order);
-        report.push_row(vec![format!("canonical ν_P, P = {order}"), c.tuple_count().to_string()]);
+        report.push_row(vec![
+            format!("canonical ν_P, P = {order}"),
+            c.tuple_count().to_string(),
+        ]);
     }
     let min = minimum_partition(&flat);
-    report.push_row(vec!["minimum partition (branch & bound)".into(), min.tuple_count().to_string()]);
+    report.push_row(vec![
+        "minimum partition (branch & bound)".into(),
+        min.tuple_count().to_string(),
+    ]);
     report.note(
         "Paper: the 6-tuple R3 has an irreducible form with 3 tuples, while \"every canonical \
          form contains 4 tuples\". Both reproduced exactly.",
@@ -319,7 +355,13 @@ pub fn e05_theorem3_4() -> Report {
     let mut report = Report::new(
         "E5",
         "Theorems 3–4: fixedness of irreducible forms under FD vs MVD",
-        &["instance", "dependency", "holds", "forms sampled", "fixed on LHS"],
+        &[
+            "instance",
+            "dependency",
+            "holds",
+            "forms sampled",
+            "fixed on LHS",
+        ],
     );
     // FD instance on a 3NF fragment: U = F ∪ E exactly (the §3.4 setting:
     // "we suppose all the relations are in 3NF").
@@ -338,16 +380,26 @@ pub fn e05_theorem3_4() -> Report {
         "FD A -> B".into(),
         t3.fd_holds.to_string(),
         t3.forms_sampled.to_string(),
-        format!("{} of {}", if t3.all_fixed { t3.forms_sampled } else { 0 }, t3.forms_sampled),
+        format!(
+            "{} of {}",
+            if t3.all_fixed { t3.forms_sampled } else { 0 },
+            t3.forms_sampled
+        ),
     ]);
     // The same FD with a free attribute C outside F ∪ E: Theorem 3's
     // conclusion fails, which is why §3.4 assumes 3NF fragments (D9).
     let schema = Schema::new("RFDC", &["A", "B", "C"]).unwrap();
     let free_flat = FlatRelation::from_rows(
         schema,
-        [[1u32, 11, 21], [1, 11, 22], [2, 12, 21], [3, 11, 23], [3, 11, 21]]
-            .iter()
-            .map(|r| r.iter().map(|&v| Atom(v)).collect::<FlatTuple>()),
+        [
+            [1u32, 11, 21],
+            [1, 11, 22],
+            [2, 12, 21],
+            [3, 11, 23],
+            [3, 11, 21],
+        ]
+        .iter()
+        .map(|r| r.iter().map(|&v| Atom(v)).collect::<FlatTuple>()),
     )
     .unwrap();
     let t3_free = check_theorem3(&free_flat, &fd, 32);
@@ -358,7 +410,11 @@ pub fn e05_theorem3_4() -> Report {
         t3_free.forms_sampled.to_string(),
         format!(
             "{} of {}",
-            if t3_free.all_fixed { t3_free.forms_sampled } else { 0 },
+            if t3_free.all_fixed {
+                t3_free.forms_sampled
+            } else {
+                0
+            },
             t3_free.forms_sampled
         ),
     ]);
@@ -421,7 +477,15 @@ pub fn e07_theorem_a4() -> Report {
     let mut report = Report::new(
         "E7",
         "Theorem A-4: update cost vs relation size and degree",
-        &["sweep", "parameter", "|R*|", "avg ops/insert", "max ops/insert", "avg ops/delete", "max ops/delete"],
+        &[
+            "sweep",
+            "parameter",
+            "|R*|",
+            "avg ops/insert",
+            "max ops/insert",
+            "avg ops/delete",
+            "max ops/delete",
+        ],
     );
 
     // (a) Fix degree 3, sweep |R*|.
@@ -475,7 +539,9 @@ fn probe_costs(flat: &FlatRelation, probes: usize, seed: u64) -> ((f64, u64), (f
     let rows: Vec<FlatTuple> = flat.rows().cloned().collect();
     let mut state = seed | 1;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 17) as usize
     };
     let mut ins = (0.0f64, 0u64);
@@ -509,7 +575,13 @@ pub fn e08_compression() -> Report {
     let mut report = Report::new(
         "E8",
         "Compression: NF² tuple count vs 1NF rows across workloads",
-        &["workload", "|R*| rows", "best canonical", "worst canonical", "best ratio"],
+        &[
+            "workload",
+            "|R*| rows",
+            "best canonical",
+            "worst canonical",
+            "best ratio",
+        ],
     );
     let workloads = vec![
         workload::university(400, 4, 60, 2, 12, 11),
@@ -548,7 +620,12 @@ pub fn e09_search_space() -> Report {
     let mut report = Report::new(
         "E9",
         "Search space: probes and bytes, NF² table vs 1NF table",
-        &["metric", "NF² (realization view)", "1NF baseline", "reduction"],
+        &[
+            "metric",
+            "NF² (realization view)",
+            "1NF baseline",
+            "reduction",
+        ],
     );
     let w = workload::university(300, 4, 50, 2, 10, 21);
     let dict = SharedDictionary::new();
@@ -572,8 +649,14 @@ pub fn e09_search_space() -> Report {
     let flat_stats = flat_table.stats();
     report.push_row(vec![
         "units probed / lookup".into(),
-        format!("{:.0}", nf_stats.units_probed as f64 / nf_stats.lookups as f64),
-        format!("{:.0}", flat_stats.units_probed as f64 / flat_stats.lookups as f64),
+        format!(
+            "{:.0}",
+            nf_stats.units_probed as f64 / nf_stats.lookups as f64
+        ),
+        format!(
+            "{:.0}",
+            flat_stats.units_probed as f64 / flat_stats.lookups as f64
+        ),
         format!(
             "{:.2}x",
             flat_stats.units_probed as f64 / nf_stats.units_probed.max(1) as f64
@@ -586,7 +669,9 @@ pub fn e09_search_space() -> Report {
     std::fs::create_dir_all(&dir).unwrap();
     let mut nf_mut = nf;
     nf_mut.checkpoint(&dir).unwrap();
-    let nf_bytes = std::fs::metadata(dir.join("r1.pages")).map(|m| m.len()).unwrap_or(0);
+    let nf_bytes = std::fs::metadata(dir.join("r1.pages"))
+        .map(|m| m.len())
+        .unwrap_or(0);
     let flat_bytes = flat_table.size_bytes() as u64;
     report.push_row(vec![
         "page bytes".into(),
@@ -623,7 +708,10 @@ pub fn e09_search_space() -> Report {
         "logical units".into(),
         nf_mut.tuple_count().to_string(),
         flat_table.row_count().to_string(),
-        format!("{:.2}x", flat_table.row_count() as f64 / nf_mut.tuple_count().max(1) as f64),
+        format!(
+            "{:.2}x",
+            flat_table.row_count() as f64 / nf_mut.tuple_count().max(1) as f64
+        ),
     ]);
     report.note(
         "The NF² realization view scans and stores one unit per NF² tuple; the 1NF baseline \
@@ -638,7 +726,12 @@ pub fn e10_update_cost() -> Report {
     let mut report = Report::new(
         "E10",
         "Update cost: §4 incremental maintenance vs re-nest baseline",
-        &["|R*|", "incremental avg µs/op", "re-nest avg µs/op", "speedup"],
+        &[
+            "|R*|",
+            "incremental avg µs/op",
+            "re-nest avg µs/op",
+            "speedup",
+        ],
     );
     for &size in &[500usize, 2_000, 8_000] {
         let w = workload::relationship(size, (size as u32 / 4).max(8), 40, 6, 31);
@@ -730,10 +823,22 @@ pub fn e11_fig3() -> Report {
         total.to_string(),
     ]);
     report.push_row(vec!["irreducible (Def. 3)".into(), irreducible.to_string()]);
-    report.push_row(vec!["canonical for ≥1 order (Def. 5)".into(), canonical.to_string()]);
-    report.push_row(vec!["fixed on some n−1 attrs (Def. 7)".into(), fixed_proper.to_string()]);
-    report.push_row(vec!["canonical ∧ fixed".into(), canonical_and_fixed.to_string()]);
-    report.push_row(vec!["irreducible ∧ ¬canonical".into(), irreducible_not_canonical.to_string()]);
+    report.push_row(vec![
+        "canonical for ≥1 order (Def. 5)".into(),
+        canonical.to_string(),
+    ]);
+    report.push_row(vec![
+        "fixed on some n−1 attrs (Def. 7)".into(),
+        fixed_proper.to_string(),
+    ]);
+    report.push_row(vec![
+        "canonical ∧ fixed".into(),
+        canonical_and_fixed.to_string(),
+    ]);
+    report.push_row(vec![
+        "irreducible ∧ ¬canonical".into(),
+        irreducible_not_canonical.to_string(),
+    ]);
     report.note(format!(
         "Fig. 3's containments hold on this census: canonical ({canonical}) ⊆ irreducible \
          ({irreducible}) ⊆ all ({total}); the gap irreducible ∧ ¬canonical = \
@@ -748,7 +853,12 @@ pub fn e12_permutation_choice() -> Report {
     let mut report = Report::new(
         "E12",
         "§3.4: dependency-driven permutation vs all orders",
-        &["order (application)", "tuples", "fixed on determinant {Student}", "suggested"],
+        &[
+            "order (application)",
+            "tuples",
+            "fixed on determinant {Student}",
+            "suggested",
+        ],
     );
     // University data with MVD Student ->-> Course | Club.
     let w = workload::university(120, 3, 25, 2, 8, 77);
@@ -784,7 +894,14 @@ pub fn e13_optimizer() -> Report {
     let mut report = Report::new(
         "E13",
         "§5 optimization strategy: plan rewriting on σ(sc ⋈ cp)",
-        &["selectivity", "rewrites", "est. work before", "est. work after", "µs before", "µs after"],
+        &[
+            "selectivity",
+            "rewrites",
+            "est. work before",
+            "est. work after",
+            "µs before",
+            "µs after",
+        ],
     );
 
     // sc(Student, Course) from the university workload; cp(Course, Prof).
@@ -793,7 +910,10 @@ pub fn e13_optimizer() -> Report {
         let schema = Schema::new("sc", &["Student", "Course"]).unwrap();
         FlatRelation::from_rows(
             schema,
-            w.flat.rows().map(|r| vec![r[0], r[1]]).collect::<BTreeSet<_>>(),
+            w.flat
+                .rows()
+                .map(|r| vec![r[0], r[1]])
+                .collect::<BTreeSet<_>>(),
         )
         .unwrap()
     };
@@ -816,7 +936,12 @@ pub fn e13_optimizer() -> Report {
     let sizes: std::collections::HashMap<String, usize> = env
         .names()
         .iter()
-        .map(|n| (n.to_string(), env.get(n).map(|r| r.tuple_count()).unwrap_or(0)))
+        .map(|n| {
+            (
+                n.to_string(),
+                env.get(n).map(|r| r.tuple_count()).unwrap_or(0),
+            )
+        })
         .collect();
 
     // One Prof value selects ~1/7 of courses; stacking Student narrows more.
@@ -861,7 +986,11 @@ pub fn e13_optimizer() -> Report {
 
         report.push_row(vec![
             (*label).to_string(),
-            opt.trace.iter().map(|s| s.rule).collect::<Vec<_>>().join(", "),
+            opt.trace
+                .iter()
+                .map(|s| s.rule)
+                .collect::<Vec<_>>()
+                .join(", "),
             format!("{:.0}", before.total_work),
             format!("{:.0}", after.total_work),
             t_before.to_string(),
@@ -884,7 +1013,13 @@ pub fn e14_batch_crossover() -> Report {
     let mut report = Report::new(
         "E14",
         "Batch updates: incremental §4 maintenance vs re-nest, by batch size",
-        &["batch (% of |R*|)", "incremental µs", "re-nest µs", "faster", "auto picks"],
+        &[
+            "batch (% of |R*|)",
+            "incremental µs",
+            "re-nest µs",
+            "faster",
+            "auto picks",
+        ],
     );
     let w = workload::university(150, 3, 30, 2, 8, 91);
     let base_rows = w.flat.len();
@@ -905,7 +1040,11 @@ pub fn e14_batch_crossover() -> Report {
         let t_re = start.elapsed().as_micros();
         assert_eq!(inc.relation(), rebuilt.relation(), "strategies must agree");
 
-        let faster = if t_inc <= t_re { "incremental" } else { "re-nest" };
+        let faster = if t_inc <= t_re {
+            "incremental"
+        } else {
+            "re-nest"
+        };
         let auto = if should_rebuild(ops.len(), base.flat_count()) {
             "re-nest"
         } else {
@@ -937,7 +1076,13 @@ pub fn e15_4nf_vs_nfr() -> Report {
     let mut report = Report::new(
         "E15",
         "§2: one NFR vs the 4NF decomposition (Student ->-> Course | Club)",
-        &["design", "relations", "stored units", "payload bytes", "probes: s's full profile"],
+        &[
+            "design",
+            "relations",
+            "stored units",
+            "payload bytes",
+            "probes: s's full profile",
+        ],
     );
     let w = workload::university(200, 3, 40, 2, 10, 17);
     let mvds = vec![Mvd::new([0], [1])];
@@ -1014,69 +1159,63 @@ pub fn e15_4nf_vs_nfr() -> Report {
     report
 }
 
+/// An experiment registry entry: id plus the function reproducing it.
+type Experiment = (&'static str, fn() -> Report);
+
+/// The experiment registry, in id order: the single source of truth for
+/// `run_all`, `run_one`, and the `repro` binary's id listing.
+const EXPERIMENTS: &[Experiment] = &[
+    ("E1", e01_fig1_2),
+    ("E2", e02_example1),
+    ("E3", e03_example2),
+    ("E4", e04_theorem2),
+    ("E5", e05_theorem3_4),
+    ("E6", e06_theorem5),
+    ("E7", e07_theorem_a4),
+    ("E8", e08_compression),
+    ("E9", e09_search_space),
+    ("E10", e10_update_cost),
+    ("E11", e11_fig3),
+    ("E12", e12_permutation_choice),
+    ("E13", e13_optimizer),
+    ("E14", e14_batch_crossover),
+    ("E15", e15_4nf_vs_nfr),
+];
+
+/// All experiment ids, in run order.
+pub fn experiment_ids() -> Vec<&'static str> {
+    EXPERIMENTS.iter().map(|(id, _)| *id).collect()
+}
+
 /// Runs every experiment in id order.
 pub fn run_all() -> Vec<Report> {
-    // Experiments are independent; run them on a small crossbeam-scoped
-    // pool to keep the repro binary snappy.
-    #[allow(clippy::type_complexity)]
-    let jobs: Vec<(&str, fn() -> Report)> = vec![
-        ("E1", e01_fig1_2),
-        ("E2", e02_example1),
-        ("E3", e03_example2),
-        ("E4", e04_theorem2),
-        ("E5", e05_theorem3_4),
-        ("E6", e06_theorem5),
-        ("E7", e07_theorem_a4),
-        ("E8", e08_compression),
-        ("E9", e09_search_space),
-        ("E10", e10_update_cost),
-        ("E11", e11_fig3),
-        ("E12", e12_permutation_choice),
-        ("E13", e13_optimizer),
-        ("E14", e14_batch_crossover),
-        ("E15", e15_4nf_vs_nfr),
-    ];
-    let mut results: Vec<Option<Report>> = (0..jobs.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    // Experiments are independent; run them on scoped threads to keep
+    // the repro binary snappy.
+    let mut results: Vec<Option<Report>> = (0..EXPERIMENTS.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for (slot, (_, f)) in results.iter_mut().zip(jobs.iter()) {
+        for (slot, (_, f)) in results.iter_mut().zip(EXPERIMENTS.iter()) {
             let f = *f;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 *slot = Some(f());
             }));
         }
         for h in handles {
             h.join().expect("experiment thread panicked");
         }
-    })
-    .expect("crossbeam scope");
+    });
     results.into_iter().map(|r| r.expect("filled")).collect()
 }
 
 /// Looks up one experiment by id (case-insensitive).
 pub fn run_one(id: &str) -> Option<Report> {
     let id = id.to_ascii_uppercase();
-    let f: fn() -> Report = match id.as_str() {
-        "E1" => e01_fig1_2,
-        "E2" => e02_example1,
-        "E3" => e03_example2,
-        "E4" => e04_theorem2,
-        "E5" => e05_theorem3_4,
-        "E6" => e06_theorem5,
-        "E7" => e07_theorem_a4,
-        "E8" => e08_compression,
-        "E9" => e09_search_space,
-        "E10" => e10_update_cost,
-        "E11" => e11_fig3,
-        "E12" => e12_permutation_choice,
-        "E13" => e13_optimizer,
-        "E14" => e14_batch_crossover,
-        "E15" => e15_4nf_vs_nfr,
-        _ => return None,
-    };
+    let f = EXPERIMENTS
+        .iter()
+        .find(|(eid, _)| *eid == id)
+        .map(|(_, f)| *f)?;
     Some(f())
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -1095,12 +1234,30 @@ mod tests {
     fn e01_reproduces_fig2_shapes() {
         let r = e01_fig1_2();
         // R1 keeps 3 tuples; R2's hand edit has 4.
-        let r1_after: usize = r.rows.iter().find(|row| row[1].contains("Fig. 2 (hand edit)") && row[0] == "R1").unwrap()[2].parse().unwrap();
-        let r2_after: usize = r.rows.iter().find(|row| row[1].contains("Fig. 2 (hand edit)") && row[0] == "R2").unwrap()[2].parse().unwrap();
+        let r1_after: usize = r
+            .rows
+            .iter()
+            .find(|row| row[1].contains("Fig. 2 (hand edit)") && row[0] == "R1")
+            .unwrap()[2]
+            .parse()
+            .unwrap();
+        let r2_after: usize = r
+            .rows
+            .iter()
+            .find(|row| row[1].contains("Fig. 2 (hand edit)") && row[0] == "R2")
+            .unwrap()[2]
+            .parse()
+            .unwrap();
         assert_eq!(r1_after, 3, "Fig. 2 R1 still has 3 tuples");
         assert_eq!(r2_after, 4, "Fig. 2 R2 has 4 tuples");
         // Flat counts drop by 1 (R1: 9->8) and 1 (R2: 9->8).
-        let r1_flat: usize = r.rows.iter().find(|row| row[1].contains("Fig. 2 (hand edit)") && row[0] == "R1").unwrap()[3].parse().unwrap();
+        let r1_flat: usize = r
+            .rows
+            .iter()
+            .find(|row| row[1].contains("Fig. 2 (hand edit)") && row[0] == "R1")
+            .unwrap()[3]
+            .parse()
+            .unwrap();
         assert_eq!(r1_flat, 8);
     }
 
@@ -1122,7 +1279,10 @@ mod tests {
             .map(|row| row[1].parse().unwrap())
             .collect();
         assert_eq!(canon_sizes.len(), 6);
-        assert!(canon_sizes.iter().all(|&s| s == 4), "every canonical form has 4 tuples");
+        assert!(
+            canon_sizes.iter().all(|&s| s == 4),
+            "every canonical form has 4 tuples"
+        );
         let min: usize = r.rows.last().unwrap()[1].parse().unwrap();
         assert_eq!(min, 3, "the 3-tuple irreducible form");
     }
@@ -1146,7 +1306,10 @@ mod tests {
             "the free-attribute counterexample must appear: {note}"
         );
         assert!(note.contains("a fixed form exists = true"), "{note}");
-        assert!(note.contains("an unfixed form also exists = true"), "{note}");
+        assert!(
+            note.contains("an unfixed form also exists = true"),
+            "{note}"
+        );
     }
 
     #[test]
@@ -1161,8 +1324,11 @@ mod tests {
     #[test]
     fn e07_cost_flat_in_relation_size() {
         let r = e07_theorem_a4();
-        let size_rows: Vec<&Vec<String>> =
-            r.rows.iter().filter(|row| row[0].starts_with("|R*|")).collect();
+        let size_rows: Vec<&Vec<String>> = r
+            .rows
+            .iter()
+            .filter(|row| row[0].starts_with("|R*|"))
+            .collect();
         let first: f64 = size_rows.first().unwrap()[3].parse().unwrap();
         let last: f64 = size_rows.last().unwrap()[3].parse().unwrap();
         // 100x more rows must not mean even 3x more compositions.
@@ -1179,7 +1345,10 @@ mod tests {
             let row = r.rows.iter().find(|row| row[0].starts_with(label)).unwrap();
             row[4].trim_end_matches('x').parse().unwrap()
         };
-        assert!(ratio("university") > ratio("uniform"), "structured >> random");
+        assert!(
+            ratio("university") > ratio("uniform"),
+            "structured >> random"
+        );
         assert!(ratio("block_product") > 2.0);
     }
 
@@ -1196,14 +1365,19 @@ mod tests {
     fn e11_fig3_containments() {
         let r = e11_fig3();
         let count = |label: &str| -> usize {
-            r.rows.iter().find(|row| row[0].starts_with(label)).unwrap()[1].parse().unwrap()
+            r.rows.iter().find(|row| row[0].starts_with(label)).unwrap()[1]
+                .parse()
+                .unwrap()
         };
         let total = count("all NFRs");
         let irr = count("irreducible (");
         let canon = count("canonical for");
         assert!(canon <= irr, "canonical ⊆ irreducible");
         assert!(irr <= total);
-        assert!(count("irreducible ∧ ¬canonical") > 0, "Example 2's gap exists already here");
+        assert!(
+            count("irreducible ∧ ¬canonical") > 0,
+            "Example 2's gap exists already here"
+        );
     }
 
     #[test]
@@ -1224,7 +1398,10 @@ mod tests {
     fn e13_pushdown_reduces_estimated_work() {
         let r = e13_optimizer();
         for row in &r.rows {
-            assert!(row[1].contains("select-into-join"), "pushdown fired: {row:?}");
+            assert!(
+                row[1].contains("select-into-join"),
+                "pushdown fired: {row:?}"
+            );
             let before: f64 = row[2].parse().unwrap();
             let after: f64 = row[3].parse().unwrap();
             assert!(after < before, "estimate must drop: {row:?}");
@@ -1238,9 +1415,15 @@ mod tests {
         // every op); pin just the deterministic threshold column.
         let r = e14_batch_crossover();
         let first = r.rows.first().unwrap();
-        assert_eq!(first[4], "incremental", "tiny batches stay incremental: {first:?}");
+        assert_eq!(
+            first[4], "incremental",
+            "tiny batches stay incremental: {first:?}"
+        );
         let last = r.rows.last().unwrap();
-        assert_eq!(last[4], "re-nest", "full-relation batches rebuild: {last:?}");
+        assert_eq!(
+            last[4], "re-nest",
+            "full-relation batches rebuild: {last:?}"
+        );
     }
 
     #[test]
@@ -1251,7 +1434,10 @@ mod tests {
             row[2].split_whitespace().next().unwrap().parse().unwrap()
         };
         let (four_nf, nfr) = (&r.rows[0], &r.rows[1]);
-        assert!(units(nfr) < units(four_nf), "fewer stored units for the NFR");
+        assert!(
+            units(nfr) < units(four_nf),
+            "fewer stored units for the NFR"
+        );
         assert!(four_nf[4].contains("join"), "4NF pays a join");
         assert!(nfr[4].contains("no join"));
     }

@@ -12,5 +12,5 @@
 pub mod experiments;
 pub mod report;
 
-pub use experiments::{run_all, run_one};
+pub use experiments::{experiment_ids, run_all, run_one};
 pub use report::Report;

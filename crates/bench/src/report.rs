@@ -53,6 +53,32 @@ impl Report {
         out
     }
 
+    /// JSON rendering for machine-readable baselines (`BENCH_seed.json`).
+    ///
+    /// `elapsed_millis` is the wall-clock time the experiment took; it is
+    /// part of the baseline so future PRs can track the perf trajectory.
+    pub fn to_json(&self, elapsed_millis: f64) -> String {
+        let headers: Vec<String> = self.headers.iter().map(|h| json_string(h)).collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let cells: Vec<String> = row.iter().map(|c| json_string(c)).collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        let notes: Vec<String> = self.notes.iter().map(|n| json_string(n)).collect();
+        format!(
+            "{{\"id\":{},\"title\":{},\"elapsed_millis\":{:.3},\"headers\":[{}],\"rows\":[{}],\"notes\":[{}]}}",
+            json_string(&self.id),
+            json_string(&self.title),
+            elapsed_millis,
+            headers.join(","),
+            rows.join(","),
+            notes.join(",")
+        )
+    }
+
     /// Markdown rendering for EXPERIMENTS.md.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
@@ -60,7 +86,11 @@ impl Report {
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
         out.push_str(&format!(
             "|{}|\n",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
@@ -72,6 +102,25 @@ impl Report {
         }
         out
     }
+}
+
+/// Escapes a string as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]
@@ -92,6 +141,17 @@ mod tests {
         assert!(text.contains("Sample"));
         assert!(text.contains("| a "));
         assert!(text.contains("a note"));
+    }
+
+    #[test]
+    fn json_escapes_and_carries_timing() {
+        let mut r = sample();
+        r.note("quote \" backslash \\ newline\nend");
+        let json = r.to_json(12.5);
+        assert!(json.contains("\"id\":\"E0\""));
+        assert!(json.contains("\"elapsed_millis\":12.500"));
+        assert!(json.contains("[\"a\",\"1\"]"));
+        assert!(json.contains("quote \\\" backslash \\\\ newline\\nend"));
     }
 
     #[test]

@@ -182,7 +182,9 @@ mod tests {
     fn seeded() -> CanonicalRelation {
         let flat = FlatRelation::from_rows(
             schema(),
-            [&[1u32, 11], &[2, 11], &[2, 12], &[3, 12]].iter().map(|r| row(*r)),
+            [&[1u32, 11], &[2, 11], &[2, 12], &[3, 12]]
+                .iter()
+                .map(|r| row(*r)),
         )
         .unwrap();
         CanonicalRelation::from_flat(&flat, NestOrder::identity(2)).unwrap()
@@ -203,7 +205,14 @@ mod tests {
         let mut canon = seeded();
         let mut cost = CostCounter::new();
         let summary = apply_batch(&mut canon, &mixed_ops(), &mut cost).unwrap();
-        assert_eq!(summary, BatchSummary { inserted: 2, deleted: 1, noops: 2 });
+        assert_eq!(
+            summary,
+            BatchSummary {
+                inserted: 2,
+                deleted: 1,
+                noops: 2
+            }
+        );
         assert_eq!(canon.flat_count(), 5);
         canon.verify().unwrap();
         assert!(cost.recons_calls > 0);

@@ -25,7 +25,8 @@ pub fn compose(r: &NfTuple, s: &NfTuple, attr: usize) -> Result<NfTuple> {
         return Err(NfError::NotComposable { attr });
     }
     debug_assert!(
-        r.component(attr).is_disjoint_from(s.component(attr)) || r.component(attr) == s.component(attr),
+        r.component(attr).is_disjoint_from(s.component(attr))
+            || r.component(attr) == s.component(attr),
         "composition inside a valid NFR merges disjoint {attr}-components"
     );
     Ok(r.with_component(attr, r.component(attr).union(s.component(attr))))
@@ -91,7 +92,10 @@ pub fn decompose_set(t: &NfTuple, attr: usize, values: &ValueSet) -> Result<Spli
     let remainder = comp
         .difference(values)
         .map(|rest| t.with_component(attr, rest));
-    Ok(Split { isolated, remainder })
+    Ok(Split {
+        isolated,
+        remainder,
+    })
 }
 
 /// Scans a slice of tuples for the first composable pair, returning
@@ -151,7 +155,10 @@ mod tests {
     fn composition_requires_agreement_elsewhere() {
         let t1 = t(&[&[1], &[11]]);
         let t2 = t(&[&[2], &[12]]);
-        assert_eq!(compose(&t1, &t2, 0), Err(NfError::NotComposable { attr: 0 }));
+        assert_eq!(
+            compose(&t1, &t2, 0),
+            Err(NfError::NotComposable { attr: 0 })
+        );
         assert!(!composable(&t1, &t2, 0));
     }
 

@@ -40,7 +40,10 @@ impl fmt::Display for NfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NfError::ArityMismatch { expected, got } => {
-                write!(f, "arity mismatch: schema has {expected} attributes, tuple has {got}")
+                write!(
+                    f,
+                    "arity mismatch: schema has {expected} attributes, tuple has {got}"
+                )
             }
             NfError::EmptyValueSet { attr } => {
                 write!(f, "empty value set for attribute #{attr}")
@@ -59,7 +62,10 @@ impl fmt::Display for NfError {
                 write!(f, "value not present in component of attribute #{attr}")
             }
             NfError::OverlappingTuples => {
-                write!(f, "tuple expansions overlap: relation is not a partition of R*")
+                write!(
+                    f,
+                    "tuple expansions overlap: relation is not a partition of R*"
+                )
             }
             NfError::DuplicateFlatTuple => write!(f, "flat tuple already present in R*"),
             NfError::FlatTupleNotFound => write!(f, "flat tuple not found in R*"),
@@ -80,14 +86,26 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         let cases: Vec<(NfError, &str)> = vec![
-            (NfError::ArityMismatch { expected: 3, got: 2 }, "arity mismatch"),
+            (
+                NfError::ArityMismatch {
+                    expected: 3,
+                    got: 2,
+                },
+                "arity mismatch",
+            ),
             (NfError::EmptyValueSet { attr: 1 }, "empty value set"),
             (
-                NfError::SchemaMismatch { left: "R".into(), right: "S".into() },
+                NfError::SchemaMismatch {
+                    left: "R".into(),
+                    right: "S".into(),
+                },
                 "schema mismatch",
             ),
             (NfError::UnknownAttribute("X".into()), "unknown attribute"),
-            (NfError::AttrOutOfBounds { attr: 9, arity: 3 }, "out of bounds"),
+            (
+                NfError::AttrOutOfBounds { attr: 9, arity: 3 },
+                "out of bounds",
+            ),
             (NfError::NotComposable { attr: 0 }, "not composable"),
             (NfError::ValueNotInComponent { attr: 0 }, "not present"),
             (NfError::OverlappingTuples, "overlap"),

@@ -97,7 +97,10 @@ impl IndexedCanonicalRelation {
     /// §4.2 insertion; returns `true` if the row was new.
     pub fn insert(&mut self, flat: FlatTuple, cost: &mut CostCounter) -> Result<bool> {
         if flat.len() != self.schema.arity() {
-            return Err(NfError::ArityMismatch { expected: self.schema.arity(), got: flat.len() });
+            return Err(NfError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: flat.len(),
+            });
         }
         if self.searcht(&flat).is_some() {
             return Ok(false);
@@ -110,7 +113,10 @@ impl IndexedCanonicalRelation {
     /// §4.3 deletion; returns `true` if the row existed.
     pub fn delete(&mut self, flat: &[Atom], cost: &mut CostCounter) -> Result<bool> {
         if flat.len() != self.schema.arity() {
-            return Err(NfError::ArityMismatch { expected: self.schema.arity(), got: flat.len() });
+            return Err(NfError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: flat.len(),
+            });
         }
         let Some(slot) = self.searcht(flat) else {
             return Ok(false);
@@ -180,7 +186,9 @@ impl IndexedCanonicalRelation {
 
         let mut best: Option<(Slot, usize)> = None;
         for slot in pool {
-            let Some(s) = self.arena[slot].as_ref() else { continue };
+            let Some(s) = self.arena[slot].as_ref() else {
+                continue;
+            };
             cost.candidate_probes += 1;
             for m in 0..n {
                 if best.is_some_and(|(_, bm)| bm <= m) {
@@ -301,8 +309,7 @@ mod tests {
     #[test]
     fn indexed_matches_scan_engine_on_random_streams() {
         for order in NestOrder::all(3) {
-            let mut indexed =
-                IndexedCanonicalRelation::new(schema3(), order.clone()).unwrap();
+            let mut indexed = IndexedCanonicalRelation::new(schema3(), order.clone()).unwrap();
             let mut scan = CanonicalRelation::new(schema3(), order.clone()).unwrap();
             let mut state = 0xabcdefu64;
             for _ in 0..400 {
@@ -399,13 +406,18 @@ mod tests {
         let mut idx = IndexedCanonicalRelation::new(schema3(), NestOrder::identity(3)).unwrap();
         let mut cost = CostCounter::new();
         for i in 0..30u32 {
-            idx.insert(row(&[i % 3, 10 + i % 3, 20 + i % 2]), &mut cost).unwrap();
+            idx.insert(row(&[i % 3, 10 + i % 3, 20 + i % 2]), &mut cost)
+                .unwrap();
         }
         for i in 0..30u32 {
-            idx.delete(&row(&[i % 3, 10 + i % 3, 20 + i % 2]), &mut cost).unwrap();
+            idx.delete(&row(&[i % 3, 10 + i % 3, 20 + i % 2]), &mut cost)
+                .unwrap();
         }
         assert_eq!(idx.tuple_count(), 0);
-        assert!(idx.postings.is_empty(), "no stale postings after full teardown");
+        assert!(
+            idx.postings.is_empty(),
+            "no stale postings after full teardown"
+        );
         // Rebuild after teardown works.
         idx.insert(row(&[9, 19, 29]), &mut cost).unwrap();
         assert!(idx.contains(&row(&[9, 19, 29])));

@@ -8,7 +8,7 @@
 //! we provide greedy/random reduction strategies plus an exact
 //! branch-and-bound search for small relations.
 
-use crate::compose::{compose, composable_over, find_composable_pair};
+use crate::compose::{composable_over, compose, find_composable_pair};
 use crate::relation::{FlatRelation, NfRelation};
 use crate::tuple::{FlatTuple, NfTuple, ValueSet};
 
@@ -64,14 +64,14 @@ pub fn reduce(rel: &NfRelation, strategy: ReduceStrategy) -> NfRelation {
         let (i, j, attr) = match strategy {
             ReduceStrategy::FirstFit => pairs[0],
             ReduceStrategy::Random(_) => {
-                rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                rng_state = rng_state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 pairs[(rng_state >> 33) as usize % pairs.len()]
             }
             ReduceStrategy::GreedyLargest => *pairs
                 .iter()
-                .max_by_key(|(i, j, _)| {
-                    tuples[*i].expansion_count() + tuples[*j].expansion_count()
-                })
+                .max_by_key(|(i, j, _)| tuples[*i].expansion_count() + tuples[*j].expansion_count())
                 .expect("pairs is non-empty"),
         };
         let merged = compose(&tuples[i], &tuples[j], attr).expect("pair pre-checked");
@@ -97,7 +97,12 @@ fn rect_mask(tuple: &NfTuple, rows: &[FlatTuple]) -> Option<u32> {
 
 /// All rectangles inside `rows` that contain the pivot row, avoid already
 /// covered rows, sorted largest first.
-fn rectangles_through(rows: &[FlatTuple], covered: u32, pivot: usize, n: usize) -> Vec<(NfTuple, u32)> {
+fn rectangles_through(
+    rows: &[FlatTuple],
+    covered: u32,
+    pivot: usize,
+    n: usize,
+) -> Vec<(NfTuple, u32)> {
     let pivot_row = &rows[pivot];
     // Candidate values per attribute among uncovered rows.
     let mut per_attr: Vec<Vec<crate::value::Atom>> = vec![Vec::new(); n];
@@ -154,11 +159,31 @@ fn rectangles_through(rows: &[FlatTuple], covered: u32, pivot: usize, n: usize) 
                 }
             }
             choice[k] = set;
-            rec(k + 1, n, pivot_row, per_attr, choice, rows, covered, pivot, out);
+            rec(
+                k + 1,
+                n,
+                pivot_row,
+                per_attr,
+                choice,
+                rows,
+                covered,
+                pivot,
+                out,
+            );
         }
         choice[k].clear();
     }
-    rec(0, n, pivot_row, &per_attr, &mut choice, rows, covered, pivot, &mut result);
+    rec(
+        0,
+        n,
+        pivot_row,
+        &per_attr,
+        &mut choice,
+        rows,
+        covered,
+        pivot,
+        &mut result,
+    );
     result.sort_by_key(|(_, mask)| std::cmp::Reverse(mask.count_ones()));
     result
 }
@@ -270,7 +295,10 @@ pub fn enumerate_partitions(flat: &FlatRelation, limit: usize) -> Vec<NfRelation
     let mut partitions = Vec::new();
     dfs(&rows, n, 0, full, &mut current, &mut partitions, limit);
     for tuples in partitions {
-        out.push(NfRelation::from_tuples_unchecked(flat.schema().clone(), tuples));
+        out.push(NfRelation::from_tuples_unchecked(
+            flat.schema().clone(),
+            tuples,
+        ));
     }
     out
 }
@@ -296,7 +324,10 @@ mod tests {
 
     /// The Example 1 instance: rl..r4 over A, B.
     fn example1() -> FlatRelation {
-        flat(schema(&["A", "B"]), &[&[1, 11], &[2, 11], &[2, 12], &[3, 12]])
+        flat(
+            schema(&["A", "B"]),
+            &[&[1, 11], &[2, 11], &[2, 12], &[3, 12]],
+        )
     }
 
     /// The Example 2 instance: 6 tuples over A, B, C.
@@ -335,8 +366,14 @@ mod tests {
             assert_eq!(r.expand(), example1());
             sizes.insert(r.tuple_count());
         }
-        assert!(sizes.contains(&2), "some order reaches the 2-tuple form: {sizes:?}");
-        assert!(sizes.contains(&3), "some order reaches the 3-tuple form: {sizes:?}");
+        assert!(
+            sizes.contains(&2),
+            "some order reaches the 2-tuple form: {sizes:?}"
+        );
+        assert!(
+            sizes.contains(&3),
+            "some order reaches the 3-tuple form: {sizes:?}"
+        );
     }
 
     #[test]
@@ -375,7 +412,10 @@ mod tests {
 
     #[test]
     fn minimum_partition_of_full_grid_is_one_tuple() {
-        let f = flat(schema(&["A", "B"]), &[&[1, 11], &[1, 12], &[2, 11], &[2, 12]]);
+        let f = flat(
+            schema(&["A", "B"]),
+            &[&[1, 11], &[1, 12], &[2, 11], &[2, 12]],
+        );
         let min = minimum_partition(&f);
         assert_eq!(min.tuple_count(), 1);
     }

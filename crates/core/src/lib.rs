@@ -52,8 +52,10 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
-pub use bulk::{apply_batch, apply_batch_auto, modify, rebuild_batch, should_rebuild, BatchSummary, Op};
-pub use compose::{compose, composable, composable_over, decompose, decompose_set, Split};
+pub use bulk::{
+    apply_batch, apply_batch_auto, modify, rebuild_batch, should_rebuild, BatchSummary, Op,
+};
+pub use compose::{composable, composable_over, compose, decompose, decompose_set, Split};
 pub use error::{NfError, Result};
 pub use indexed::IndexedCanonicalRelation;
 pub use maintenance::{CanonicalRelation, CostCounter};

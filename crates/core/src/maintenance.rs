@@ -78,7 +78,10 @@ impl CanonicalRelation {
                 schema.arity()
             )));
         }
-        Ok(Self { rel: NfRelation::new(schema), order })
+        Ok(Self {
+            rel: NfRelation::new(schema),
+            order,
+        })
     }
 
     /// Builds the canonical form of an existing 1NF relation by nesting
@@ -135,7 +138,10 @@ impl CanonicalRelation {
     /// [`insert`](Self::insert) with operation counting.
     pub fn insert_counted(&mut self, flat: FlatTuple, cost: &mut CostCounter) -> Result<bool> {
         if flat.len() != self.rel.arity() {
-            return Err(NfError::ArityMismatch { expected: self.rel.arity(), got: flat.len() });
+            return Err(NfError::ArityMismatch {
+                expected: self.rel.arity(),
+                got: flat.len(),
+            });
         }
         if self.rel.contains_flat(&flat) {
             return Ok(false);
@@ -160,7 +166,10 @@ impl CanonicalRelation {
         cost: &mut CostCounter,
     ) -> Result<bool> {
         if flat.len() != self.rel.arity() {
-            return Err(NfError::ArityMismatch { expected: self.rel.arity(), got: flat.len() });
+            return Err(NfError::ArityMismatch {
+                expected: self.rel.arity(),
+                got: flat.len(),
+            });
         }
         // searcht: the unique tuple containing `flat` (unique by the
         // partition invariant).
@@ -173,12 +182,8 @@ impl CanonicalRelation {
         // every remainder.
         for pos in (0..self.order.arity()).rev() {
             let attr = self.order.attr_at(pos);
-            let split = decompose_set(
-                &q,
-                attr,
-                &crate::tuple::ValueSet::singleton(flat[attr]),
-            )
-            .expect("searcht guarantees membership on every attribute");
+            let split = decompose_set(&q, attr, &crate::tuple::ValueSet::singleton(flat[attr]))
+                .expect("searcht guarantees membership on every attribute");
             if let Some(rem) = split.remainder {
                 cost.decompositions += 1;
                 self.recons(rem, cost);
@@ -449,7 +454,10 @@ mod tests {
         canon.insert_counted(row(&[2, 11]), &mut cost).unwrap();
         assert!(cost.compositions >= 1, "second insert composes over A");
         assert!(cost.recons_calls >= 2);
-        assert_eq!(cost.structural_ops(), cost.compositions + cost.decompositions);
+        assert_eq!(
+            cost.structural_ops(),
+            cost.compositions + cost.decompositions
+        );
     }
 
     #[test]
@@ -467,7 +475,9 @@ mod tests {
             let mut flat = FlatRelation::new(s.clone());
             let mut state = 0xdeadbeefu64;
             for step in 0..300 {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let a = (state >> 13) % 4;
                 let b = 10 + (state >> 29) % 4;
                 let c = 20 + (state >> 47) % 3;
@@ -510,7 +520,9 @@ mod tests {
             }
             // Measure a probe insertion on the grown relation.
             let mut cost = CostCounter::new();
-            let _ = canon.insert_counted(row(&[41, 141, 211]), &mut cost).unwrap();
+            let _ = canon
+                .insert_counted(row(&[41, 141, 211]), &mut cost)
+                .unwrap();
             max_ops.push(cost.structural_ops());
         }
         // Structural ops for a fresh value combination must not scale with

@@ -172,7 +172,10 @@ mod tests {
     #[test]
     fn nest_preserves_expansion() {
         let s = schema(&["A", "B", "C"]);
-        let f = flat(s, &[&[1, 10, 100], &[2, 10, 100], &[1, 20, 100], &[2, 20, 200]]);
+        let f = flat(
+            s,
+            &[&[1, 10, 100], &[2, 10, 100], &[1, 20, 100], &[2, 20, 200]],
+        );
         let nested = nest(&NfRelation::from_flat(&f), 1);
         assert_eq!(nested.expand(), f);
     }
@@ -223,11 +226,7 @@ mod tests {
         let r2 = canonical_of_flat(&f, &b_first);
         let expected = NfRelation::from_tuples(
             f.schema().clone(),
-            vec![
-                t(&[&[1], &[11]]),
-                t(&[&[2], &[11, 12]]),
-                t(&[&[3], &[12]]),
-            ],
+            vec![t(&[&[1], &[11]]), t(&[&[2], &[11, 12]]), t(&[&[3], &[12]])],
         )
         .unwrap();
         assert_eq!(r2, expected);
@@ -240,7 +239,13 @@ mod tests {
         let s = schema(&["A", "B", "C"]);
         let f = flat(
             s,
-            &[&[1, 11, 21], &[1, 12, 21], &[2, 11, 22], &[2, 12, 21], &[1, 11, 22]],
+            &[
+                &[1, 11, 21],
+                &[1, 12, 21],
+                &[2, 11, 22],
+                &[2, 12, 21],
+                &[1, 11, 22],
+            ],
         );
         for order in NestOrder::all(3) {
             let c = canonical_of_flat(&f, &order);
@@ -256,7 +261,13 @@ mod tests {
         let s = schema(&["A", "B", "C"]);
         let f = flat(
             s,
-            &[&[1, 11, 21], &[2, 11, 21], &[3, 11, 21], &[1, 12, 21], &[2, 12, 22]],
+            &[
+                &[1, 11, 21],
+                &[2, 11, 21],
+                &[3, 11, 21],
+                &[1, 12, 21],
+                &[2, 12, 22],
+            ],
         );
         let base = NfRelation::from_flat(&f);
         let expected = nest(&base, 0);

@@ -87,9 +87,9 @@ pub fn is_fixed_on(rel: &NfRelation, attrs: &[AttrId]) -> bool {
     let ts = rel.tuples();
     for i in 0..ts.len() {
         for j in (i + 1)..ts.len() {
-            let share_all = attrs.iter().all(|&a| {
-                !ts[i].component(a).is_disjoint_from(ts[j].component(a))
-            });
+            let share_all = attrs
+                .iter()
+                .all(|&a| !ts[i].component(a).is_disjoint_from(ts[j].component(a)));
             if share_all {
                 return false;
             }
@@ -105,7 +105,10 @@ pub fn is_fixed_on(rel: &NfRelation, attrs: &[AttrId]) -> bool {
 /// fixed.
 pub fn minimal_fixed_sets(rel: &NfRelation) -> Vec<Vec<AttrId>> {
     let n = rel.arity();
-    assert!(n <= 16, "minimal_fixed_sets enumerates 2^n subsets; arity {n} too large");
+    assert!(
+        n <= 16,
+        "minimal_fixed_sets enumerates 2^n subsets; arity {n} too large"
+    );
     let mut fixed_masks: Vec<u32> = Vec::new();
     for mask in 1u32..(1 << n) {
         let attrs: Vec<AttrId> = (0..n).filter(|&a| mask & (1 << a) != 0).collect();
@@ -213,10 +216,7 @@ mod tests {
     #[test]
     fn cardinality_m_to_n() {
         // b11 appears in two tuples, once inside a compound set.
-        let r = rel(
-            &["A", "B"],
-            vec![t(&[&[1], &[11, 12]]), t(&[&[2], &[11]])],
-        );
+        let r = rel(&["A", "B"], vec![t(&[&[1], &[11, 12]]), t(&[&[2], &[11]])]);
         assert_eq!(cardinality_class(&r, 1), CardinalityClass::MToN);
     }
 
@@ -246,7 +246,10 @@ mod tests {
         assert!(!is_fixed_on(&r, &[0]));
         assert!(!is_fixed_on(&r, &[1]));
 
-        let r1 = rel(&["A", "B"], vec![t(&[&[1, 2], &[11]]), t(&[&[2, 3], &[12]])]);
+        let r1 = rel(
+            &["A", "B"],
+            vec![t(&[&[1, 2], &[11]]), t(&[&[2, 3], &[12]])],
+        );
         assert!(is_fixed_on(&r1, &[1]), "R1 (nested on A) is fixed on B");
         assert!(!is_fixed_on(&r1, &[0]), "a2 appears in both tuples of R1");
 
@@ -264,10 +267,7 @@ mod tests {
         // per-value reading of Def. 7.
         let r7 = rel(
             &["A", "B", "C"],
-            vec![
-                t(&[&[1], &[11, 12], &[21]]),
-                t(&[&[2], &[11], &[21, 22]]),
-            ],
+            vec![t(&[&[1], &[11, 12], &[21]]), t(&[&[2], &[11], &[21, 22]])],
         );
         assert!(is_fixed_on(&r7, &[0]), "R7 is fixed on A");
 
@@ -303,7 +303,10 @@ mod tests {
         // R1 from Example 1: A-sets {a1,a2} and {a2,a3} share a2, so {A}
         // is not fixed; B-sets {b1} and {b2} are disjoint, so {B} is the
         // unique minimal fixed set. {A,B} is fixed but not minimal.
-        let r1 = rel(&["A", "B"], vec![t(&[&[1, 2], &[11]]), t(&[&[2, 3], &[12]])]);
+        let r1 = rel(
+            &["A", "B"],
+            vec![t(&[&[1, 2], &[11]]), t(&[&[2, 3], &[12]])],
+        );
         let sets = minimal_fixed_sets(&r1);
         assert_eq!(sets, vec![vec![1]]);
     }
@@ -311,13 +314,14 @@ mod tests {
     #[test]
     fn classify_canonical_and_irreducible() {
         // Example 1's R1 = ν_{B}(ν_{A}(R)): canonical for A-first order.
-        let r1 = rel(&["A", "B"], vec![t(&[&[1, 2], &[11]]), t(&[&[2, 3], &[12]])]);
+        let r1 = rel(
+            &["A", "B"],
+            vec![t(&[&[1, 2], &[11]]), t(&[&[2, 3], &[12]])],
+        );
         let c = classify(&r1);
         assert!(c.irreducible);
         assert!(c.is_canonical());
-        assert!(c
-            .canonical_for
-            .contains(&NestOrder::identity(2)));
+        assert!(c.canonical_for.contains(&NestOrder::identity(2)));
         assert!(c.is_fixed());
     }
 
@@ -342,6 +346,9 @@ mod tests {
         let min = crate::irreducible::minimum_partition(&f);
         let c = classify(&min);
         assert!(c.irreducible);
-        assert!(!c.is_canonical(), "the 3-tuple form is reachable by no nest order");
+        assert!(
+            !c.is_canonical(),
+            "the 3-tuple form is reachable by no nest order"
+        );
     }
 }

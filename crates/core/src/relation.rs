@@ -25,7 +25,10 @@ pub struct FlatRelation {
 impl FlatRelation {
     /// An empty 1NF relation.
     pub fn new(schema: Arc<Schema>) -> Self {
-        Self { schema, rows: BTreeSet::new() }
+        Self {
+            schema,
+            rows: BTreeSet::new(),
+        }
     }
 
     /// Builds from rows, validating arity. Duplicate rows collapse (set
@@ -49,7 +52,10 @@ impl FlatRelation {
     /// Inserts a row. Returns `true` if it was new.
     pub fn insert(&mut self, row: FlatTuple) -> Result<bool> {
         if row.len() != self.schema.arity() {
-            return Err(NfError::ArityMismatch { expected: self.schema.arity(), got: row.len() });
+            return Err(NfError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
         }
         Ok(self.rows.insert(row))
     }
@@ -99,7 +105,10 @@ pub struct NfRelation {
 impl NfRelation {
     /// An empty NFR.
     pub fn new(schema: Arc<Schema>) -> Self {
-        Self { schema, tuples: Vec::new() }
+        Self {
+            schema,
+            tuples: Vec::new(),
+        }
     }
 
     /// Builds an NFR from tuples, validating the partition invariant.
@@ -113,7 +122,10 @@ impl NfRelation {
     /// by operations that preserve the invariant by construction.
     pub(crate) fn from_tuples_unchecked(schema: Arc<Schema>, tuples: Vec<NfTuple>) -> Self {
         let rel = Self { schema, tuples };
-        debug_assert!(rel.validate().is_ok(), "internal operation broke the NFR invariant");
+        debug_assert!(
+            rel.validate().is_ok(),
+            "internal operation broke the NFR invariant"
+        );
         rel
     }
 
@@ -121,7 +133,10 @@ impl NfRelation {
     /// point of every composition sequence (§3.2).
     pub fn from_flat(flat: &FlatRelation) -> Self {
         let tuples = flat.rows().map(|r| NfTuple::from_flat(r)).collect();
-        Self { schema: flat.schema().clone(), tuples }
+        Self {
+            schema: flat.schema().clone(),
+            tuples,
+        }
     }
 
     /// The schema.
@@ -164,7 +179,10 @@ impl NfRelation {
                 debug_assert!(fresh, "partition invariant: expansions are disjoint");
             }
         }
-        FlatRelation { schema: self.schema.clone(), rows }
+        FlatRelation {
+            schema: self.schema.clone(),
+            rows,
+        }
     }
 
     /// Whether some tuple's expansion contains `flat`.
@@ -208,7 +226,10 @@ impl NfRelation {
     /// tuples.
     pub fn push_tuple(&mut self, tuple: NfTuple) -> Result<()> {
         if tuple.arity() != self.schema.arity() {
-            return Err(NfError::ArityMismatch { expected: self.schema.arity(), got: tuple.arity() });
+            return Err(NfError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: tuple.arity(),
+            });
         }
         for t in &self.tuples {
             if t.overlaps(&tuple) {
@@ -311,20 +332,15 @@ mod tests {
         // Composition preserves R*: any NFR expands back to the original
         // 1NF relation, and that expansion is unique.
         let f = flat(&[&[1, 10], &[2, 10], &[1, 20]]);
-        let nfr = NfRelation::from_tuples(
-            schema2(),
-            vec![t(&[&[1, 2], &[10]]), t(&[&[1], &[20]])],
-        )
-        .unwrap();
+        let nfr = NfRelation::from_tuples(schema2(), vec![t(&[&[1, 2], &[10]]), t(&[&[1], &[20]])])
+            .unwrap();
         assert_eq!(nfr.expand(), f);
     }
 
     #[test]
     fn validate_rejects_overlap() {
-        let bad = NfRelation::from_tuples(
-            schema2(),
-            vec![t(&[&[1, 2], &[10]]), t(&[&[2, 3], &[10]])],
-        );
+        let bad =
+            NfRelation::from_tuples(schema2(), vec![t(&[&[1, 2], &[10]]), t(&[&[2, 3], &[10]])]);
         assert_eq!(bad.unwrap_err(), NfError::OverlappingTuples);
     }
 
@@ -337,7 +353,13 @@ mod tests {
     #[test]
     fn validate_rejects_wrong_arity() {
         let bad = NfRelation::from_tuples(schema2(), vec![NfTuple::from_flat(&[Atom(1)])]);
-        assert_eq!(bad.unwrap_err(), NfError::ArityMismatch { expected: 2, got: 1 });
+        assert_eq!(
+            bad.unwrap_err(),
+            NfError::ArityMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]
@@ -354,11 +376,9 @@ mod tests {
 
     #[test]
     fn find_containing_locates_the_unique_tuple() {
-        let r = NfRelation::from_tuples(
-            schema2(),
-            vec![t(&[&[1, 2], &[10]]), t(&[&[3], &[10, 20]])],
-        )
-        .unwrap();
+        let r =
+            NfRelation::from_tuples(schema2(), vec![t(&[&[1, 2], &[10]]), t(&[&[3], &[10, 20]])])
+                .unwrap();
         assert_eq!(r.find_containing(&[Atom(2), Atom(10)]), Some(0));
         assert_eq!(r.find_containing(&[Atom(3), Atom(20)]), Some(1));
         assert_eq!(r.find_containing(&[Atom(9), Atom(10)]), None);
@@ -367,16 +387,10 @@ mod tests {
 
     #[test]
     fn equality_ignores_tuple_order() {
-        let a = NfRelation::from_tuples(
-            schema2(),
-            vec![t(&[&[1], &[10]]), t(&[&[2], &[20]])],
-        )
-        .unwrap();
-        let b = NfRelation::from_tuples(
-            schema2(),
-            vec![t(&[&[2], &[20]]), t(&[&[1], &[10]])],
-        )
-        .unwrap();
+        let a =
+            NfRelation::from_tuples(schema2(), vec![t(&[&[1], &[10]]), t(&[&[2], &[20]])]).unwrap();
+        let b =
+            NfRelation::from_tuples(schema2(), vec![t(&[&[2], &[20]]), t(&[&[1], &[10]])]).unwrap();
         assert_eq!(a, b);
     }
 

@@ -31,7 +31,9 @@ impl Schema {
                 return Err(NfError::UnknownAttribute("<empty>".into()));
             }
             if !seen.insert(*a) {
-                return Err(NfError::UnknownAttribute(format!("duplicate attribute {a}")));
+                return Err(NfError::UnknownAttribute(format!(
+                    "duplicate attribute {a}"
+                )));
             }
         }
         Ok(Arc::new(Self {
@@ -68,7 +70,10 @@ impl Schema {
         self.attrs
             .get(id)
             .map(String::as_str)
-            .ok_or(NfError::AttrOutOfBounds { attr: id, arity: self.arity() })
+            .ok_or(NfError::AttrOutOfBounds {
+                attr: id,
+                arity: self.arity(),
+            })
     }
 
     /// Whether two schemas describe the same attribute list (names may
@@ -117,7 +122,9 @@ impl NestOrder {
                 )));
             }
             if seen[a] {
-                return Err(NfError::InvalidNestOrder(format!("attribute {a} listed twice")));
+                return Err(NfError::InvalidNestOrder(format!(
+                    "attribute {a} listed twice"
+                )));
             }
             seen[a] = true;
         }

@@ -133,7 +133,12 @@ impl ValueSet {
 
     /// Set difference `self \ other`. `None` when empty.
     pub fn difference(&self, other: &ValueSet) -> Option<ValueSet> {
-        let out: Vec<Atom> = self.0.iter().copied().filter(|v| !other.contains(*v)).collect();
+        let out: Vec<Atom> = self
+            .0
+            .iter()
+            .copied()
+            .filter(|v| !other.contains(*v))
+            .collect();
         if out.is_empty() {
             None
         } else {

@@ -59,7 +59,10 @@ impl Derivation {
             Derivation::Given { fd, .. } | Derivation::Reflexivity { fd } => *fd,
             Derivation::Augmentation { base, with } => {
                 let b = base.conclusion();
-                Fd { lhs: b.lhs.union(*with), rhs: b.rhs.union(*with) }
+                Fd {
+                    lhs: b.lhs.union(*with),
+                    rhs: b.rhs.union(*with),
+                }
             }
             Derivation::Transitivity { first, second } => Fd {
                 lhs: first.conclusion().lhs,
@@ -67,7 +70,10 @@ impl Derivation {
             },
             Derivation::Union { left, right } => {
                 let l = left.conclusion();
-                Fd { lhs: l.lhs, rhs: l.rhs.union(right.conclusion().rhs) }
+                Fd {
+                    lhs: l.lhs,
+                    rhs: l.rhs.union(right.conclusion().rhs),
+                }
             }
         }
     }
@@ -98,9 +104,10 @@ impl Derivation {
             Derivation::Given { .. } | Derivation::Reflexivity { .. } => 1,
             Derivation::Augmentation { base, .. } => 1 + base.len(),
             Derivation::Transitivity { first, second }
-            | Derivation::Union { left: first, right: second } => {
-                1 + first.len() + second.len()
-            }
+            | Derivation::Union {
+                left: first,
+                right: second,
+            } => 1 + first.len() + second.len(),
         }
     }
 
@@ -129,7 +136,10 @@ impl Derivation {
             Derivation::Given { .. } | Derivation::Reflexivity { .. } => {}
             Derivation::Augmentation { base, .. } => base.render(depth + 1, out),
             Derivation::Transitivity { first, second }
-            | Derivation::Union { left: first, right: second } => {
+            | Derivation::Union {
+                left: first,
+                right: second,
+            } => {
                 first.render(depth + 1, out);
                 second.render(depth + 1, out);
             }
@@ -157,7 +167,9 @@ pub fn derive(given: &[Fd], target: &Fd) -> Option<Derivation> {
     let x = target.lhs;
     // proof : X → closed
     let mut closed = x;
-    let mut proof = Derivation::Reflexivity { fd: Fd { lhs: x, rhs: x } };
+    let mut proof = Derivation::Reflexivity {
+        fd: Fd { lhs: x, rhs: x },
+    };
     loop {
         let mut progressed = false;
         for (index, fd) in given.iter().enumerate() {
@@ -166,7 +178,10 @@ pub fn derive(given: &[Fd], target: &Fd) -> Option<Derivation> {
                 let to_v = Derivation::Transitivity {
                     first: Box::new(proof.clone()),
                     second: Box::new(Derivation::Reflexivity {
-                        fd: Fd { lhs: closed, rhs: fd.lhs },
+                        fd: Fd {
+                            lhs: closed,
+                            rhs: fd.lhs,
+                        },
                     }),
                 };
                 // X → W via the hypothesis.
@@ -175,7 +190,10 @@ pub fn derive(given: &[Fd], target: &Fd) -> Option<Derivation> {
                     second: Box::new(Derivation::Given { index, fd: *fd }),
                 };
                 // X → closed ∪ W by union.
-                proof = Derivation::Union { left: Box::new(proof), right: Box::new(to_w) };
+                proof = Derivation::Union {
+                    left: Box::new(proof),
+                    right: Box::new(to_w),
+                };
                 closed = closed.union(fd.rhs);
                 progressed = true;
             }
@@ -190,7 +208,12 @@ pub fn derive(given: &[Fd], target: &Fd) -> Option<Derivation> {
     // Prune: X → target.rhs from X → closed, closed → target.rhs.
     Some(Derivation::Transitivity {
         first: Box::new(proof),
-        second: Box::new(Derivation::Reflexivity { fd: Fd { lhs: closed, rhs: target.rhs } }),
+        second: Box::new(Derivation::Reflexivity {
+            fd: Fd {
+                lhs: closed,
+                rhs: target.rhs,
+            },
+        }),
     })
 }
 
@@ -267,18 +290,29 @@ mod tests {
     fn verify_rejects_tampered_trees() {
         let given = [fd(&[0], &[1])];
         // A "Given" pointing at the wrong index.
-        let bogus = Derivation::Given { index: 3, fd: fd(&[0], &[1]) };
+        let bogus = Derivation::Given {
+            index: 3,
+            fd: fd(&[0], &[1]),
+        };
         assert!(!bogus.verify(&given));
         // A "Given" whose FD does not match the hypothesis at the index.
-        let bogus = Derivation::Given { index: 0, fd: fd(&[0], &[2]) };
+        let bogus = Derivation::Given {
+            index: 0,
+            fd: fd(&[0], &[2]),
+        };
         assert!(!bogus.verify(&given));
         // Fake reflexivity (rhs ⊄ lhs).
         let bogus = Derivation::Reflexivity { fd: fd(&[0], &[1]) };
         assert!(!bogus.verify(&[]));
         // Transitivity with mismatched middle.
         let bogus = Derivation::Transitivity {
-            first: Box::new(Derivation::Given { index: 0, fd: fd(&[0], &[1]) }),
-            second: Box::new(Derivation::Reflexivity { fd: fd(&[0, 2], &[2]) }),
+            first: Box::new(Derivation::Given {
+                index: 0,
+                fd: fd(&[0], &[1]),
+            }),
+            second: Box::new(Derivation::Reflexivity {
+                fd: fd(&[0, 2], &[2]),
+            }),
         };
         assert!(!bogus.verify(&given));
         // Union with different left sides.
@@ -293,7 +327,10 @@ mod tests {
     fn augmentation_is_sound_when_built_by_hand() {
         let given = [fd(&[0], &[1])];
         let aug = Derivation::Augmentation {
-            base: Box::new(Derivation::Given { index: 0, fd: given[0] }),
+            base: Box::new(Derivation::Given {
+                index: 0,
+                fd: given[0],
+            }),
             with: AttrSet::single(2),
         };
         assert!(aug.verify(&given));

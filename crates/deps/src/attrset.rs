@@ -99,7 +99,11 @@ impl AttrSet {
         let mut cur: Option<u32> = Some(0);
         std::iter::from_fn(move || {
             let m = cur?;
-            cur = if m == full { None } else { Some(((m | !full).wrapping_add(1)) & full) };
+            cur = if m == full {
+                None
+            } else {
+                Some(((m | !full).wrapping_add(1)) & full)
+            };
             Some(AttrSet(m))
         })
     }

@@ -28,7 +28,10 @@ use crate::mvd::Mvd;
 pub fn dependency_basis(x: AttrSet, arity: usize, fds: &[Fd], mvds: &[Mvd]) -> Vec<AttrSet> {
     let full = AttrSet::full(arity);
     let mut deps: Vec<Mvd> = mvds.to_vec();
-    deps.extend(fds.iter().map(|fd| Mvd { lhs: fd.lhs, rhs: fd.rhs }));
+    deps.extend(fds.iter().map(|fd| Mvd {
+        lhs: fd.lhs,
+        rhs: fd.rhs,
+    }));
     // Each dependency also acts through its complement (Fagin's rule);
     // adding complements up front lets the loop body stay a pure split.
     let with_complements: Vec<Mvd> = deps
@@ -201,7 +204,12 @@ mod tests {
     #[test]
     fn complementation_is_built_in() {
         // A ->-> B over ABC implies A ->-> C.
-        assert!(implies_mvd_basis(3, &[], &[mvd(&[0], &[1])], &mvd(&[0], &[2])));
+        assert!(implies_mvd_basis(
+            3,
+            &[],
+            &[mvd(&[0], &[1])],
+            &mvd(&[0], &[2])
+        ));
     }
 
     #[test]

@@ -135,7 +135,13 @@ impl Tableau {
 fn two_row_start(arity: usize, lhs: AttrSet) -> Tableau {
     let row0: Vec<u32> = (0..arity).map(|c| c as u32).collect();
     let row1: Vec<u32> = (0..arity)
-        .map(|c| if lhs.contains(c) { c as u32 } else { (arity + c) as u32 })
+        .map(|c| {
+            if lhs.contains(c) {
+                c as u32
+            } else {
+                (arity + c) as u32
+            }
+        })
         .collect();
     Tableau::new(arity, vec![row0, row1])
 }
@@ -339,7 +345,11 @@ mod tests {
         // agree on every small instance.
         use crate::basis::implies_mvd_basis;
         let all_mvds: Vec<Mvd> = (0..3)
-            .flat_map(|a| (0..3).filter(move |&b| b != a).map(move |b| mvd(&[a], &[b])))
+            .flat_map(|a| {
+                (0..3)
+                    .filter(move |&b| b != a)
+                    .map(move |b| mvd(&[a], &[b]))
+            })
             .collect();
         for i in 0..all_mvds.len() {
             for j in 0..all_mvds.len() {

@@ -65,9 +65,17 @@ impl fmt::Display for Decomposition {
 /// Whether `x` is a superkey of the fragment `s`: every attribute of
 /// `s − x` is functionally determined (in the mixed FD+MVD theory).
 pub fn is_superkey_in(arity: usize, fds: &[Fd], mvds: &[Mvd], x: AttrSet, s: AttrSet) -> bool {
-    s.minus(x)
-        .iter()
-        .all(|a| chase_implies_fd(arity, fds, mvds, &Fd { lhs: x, rhs: AttrSet::single(a) }))
+    s.minus(x).iter().all(|a| {
+        chase_implies_fd(
+            arity,
+            fds,
+            mvds,
+            &Fd {
+                lhs: x,
+                rhs: AttrSet::single(a),
+            },
+        )
+    })
 }
 
 /// Finds a 4NF violation inside fragment `s`: a non-trivial projected
@@ -123,7 +131,13 @@ pub fn decompose_4nf(arity: usize, fds: &[Fd], mvds: &[Mvd]) -> Decomposition {
             Some((x, b)) => {
                 let left = x.union(b);
                 let right = s.minus(b);
-                steps.push(SplitStep { fragment: s, lhs: x, rhs: b, left, right });
+                steps.push(SplitStep {
+                    fragment: s,
+                    lhs: x,
+                    rhs: b,
+                    left,
+                    right,
+                });
                 worklist.push(left);
                 worklist.push(right);
             }
@@ -140,7 +154,10 @@ pub fn decompose_4nf(arity: usize, fds: &[Fd], mvds: &[Mvd]) -> Decomposition {
         }
     }
     kept.sort_by_key(|f| f.mask());
-    Decomposition { fragments: kept, steps }
+    Decomposition {
+        fragments: kept,
+        steps,
+    }
 }
 
 #[cfg(test)]
@@ -230,14 +247,22 @@ mod tests {
                 "lossy: arity={arity} fds={fds:?} mvds={mvds:?} → {d}"
             );
             for f in &d.fragments {
-                assert!(is_4nf_fragment(arity, &fds, &mvds, *f), "{f} not 4NF in {d}");
+                assert!(
+                    is_4nf_fragment(arity, &fds, &mvds, *f),
+                    "{f} not 4NF in {d}"
+                );
             }
         }
     }
 
     #[test]
     fn binary_fragments_never_split() {
-        assert!(is_4nf_fragment(2, &[], &[mvd(&[0], &[1])], AttrSet::full(2)));
+        assert!(is_4nf_fragment(
+            2,
+            &[],
+            &[mvd(&[0], &[1])],
+            AttrSet::full(2)
+        ));
     }
 
     #[test]
@@ -246,9 +271,21 @@ mod tests {
         // A is then a superkey.
         let fds = [fd(&[2], &[1])];
         let mvds = [mvd(&[0], &[1])];
-        assert!(is_superkey_in(3, &fds, &mvds, AttrSet::single(0), AttrSet::from_attrs([0, 1])));
+        assert!(is_superkey_in(
+            3,
+            &fds,
+            &mvds,
+            AttrSet::single(0),
+            AttrSet::from_attrs([0, 1])
+        ));
         // Without the MVD the coalescence rule has no premise.
-        assert!(!is_superkey_in(3, &fds, &[], AttrSet::single(0), AttrSet::from_attrs([0, 1])));
+        assert!(!is_superkey_in(
+            3,
+            &fds,
+            &[],
+            AttrSet::single(0),
+            AttrSet::from_attrs([0, 1])
+        ));
     }
 
     /// Instance-level losslessness: project a satisfying instance onto
@@ -301,10 +338,17 @@ mod tests {
         }
         let joined: BTreeSet<Vec<Atom>> = acc
             .into_iter()
-            .map(|r| r.into_iter().map(|v| v.expect("all attrs covered")).collect())
+            .map(|r| {
+                r.into_iter()
+                    .map(|v| v.expect("all attrs covered"))
+                    .collect()
+            })
             .collect();
         let original: BTreeSet<Vec<Atom>> = rel.rows().cloned().collect();
-        assert_eq!(joined, original, "4NF decomposition must be lossless on instances");
+        assert_eq!(
+            joined, original,
+            "4NF decomposition must be lossless on instances"
+        );
     }
 
     #[test]

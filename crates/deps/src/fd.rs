@@ -28,7 +28,10 @@ impl Fd {
         L: IntoIterator<Item = usize>,
         R: IntoIterator<Item = usize>,
     {
-        Fd { lhs: AttrSet::from_attrs(lhs), rhs: AttrSet::from_attrs(rhs) }
+        Fd {
+            lhs: AttrSet::from_attrs(lhs),
+            rhs: AttrSet::from_attrs(rhs),
+        }
     }
 
     /// Whether the FD is trivial (`rhs ⊆ lhs`).
@@ -96,7 +99,10 @@ pub fn minimal_cover(fds: &[Fd]) -> Vec<Fd> {
     let mut cover: Vec<Fd> = Vec::new();
     for fd in fds {
         for a in fd.rhs.minus(fd.lhs).iter() {
-            cover.push(Fd { lhs: fd.lhs, rhs: AttrSet::single(a) });
+            cover.push(Fd {
+                lhs: fd.lhs,
+                rhs: AttrSet::single(a),
+            });
         }
     }
     // 2. Remove extraneous LHS attributes.

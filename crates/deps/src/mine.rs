@@ -19,7 +19,10 @@ use crate::mvd::{holds_mvd, Mvd};
 /// subsets of `U − {a}`. Exponential in arity (bounded to ≤ 12).
 pub fn mine_fds(rel: &FlatRelation) -> Vec<Fd> {
     let arity = rel.schema().arity();
-    assert!(arity <= 12, "mine_fds enumerates subsets; arity {arity} too large");
+    assert!(
+        arity <= 12,
+        "mine_fds enumerates subsets; arity {arity} too large"
+    );
     let mut found = Vec::new();
     for target in 0..arity {
         let candidates = AttrSet::full(arity).minus(AttrSet::single(target));
@@ -30,7 +33,10 @@ pub fn mine_fds(rel: &FlatRelation) -> Vec<Fd> {
             if minimal.iter().any(|m| m.is_subset_of(lhs)) {
                 continue; // a smaller determinant already works
             }
-            let fd = Fd { lhs, rhs: AttrSet::single(target) };
+            let fd = Fd {
+                lhs,
+                rhs: AttrSet::single(target),
+            };
             if holds_fd(rel, &fd) {
                 minimal.push(lhs);
                 found.push(fd);
@@ -45,7 +51,10 @@ pub fn mine_fds(rel: &FlatRelation) -> Vec<Fd> {
 /// (`X → Y` implies `X →→ Y`).
 pub fn mine_mvds(rel: &FlatRelation, fds: &[Fd]) -> Vec<Mvd> {
     let arity = rel.schema().arity();
-    assert!(arity <= 8, "mine_mvds enumerates subset pairs; arity {arity} too large");
+    assert!(
+        arity <= 8,
+        "mine_mvds enumerates subset pairs; arity {arity} too large"
+    );
     let full = AttrSet::full(arity);
     let mut found = Vec::new();
     let mut lhs_sets: Vec<AttrSet> = full.subsets().collect();
@@ -68,7 +77,10 @@ pub fn mine_mvds(rel: &FlatRelation, fds: &[Fd]) -> Vec<Mvd> {
                 continue;
             }
             // Skip complements of already-found MVDs for the same lhs.
-            if found.iter().any(|m: &Mvd| m.lhs == lhs && m.complement(arity).rhs == rhs) {
+            if found
+                .iter()
+                .any(|m: &Mvd| m.lhs == lhs && m.complement(arity).rhs == rhs)
+            {
                 continue;
             }
             if holds_mvd(rel, &mvd) {
@@ -100,7 +112,10 @@ mod tests {
         // B is a function of A.
         let r = rel3(&[[1, 10, 21], [1, 10, 22], [2, 11, 21]]);
         let fds = mine_fds(&r);
-        assert!(fds.contains(&Fd::new([0], [1])), "A -> B should be mined: {fds:?}");
+        assert!(
+            fds.contains(&Fd::new([0], [1])),
+            "A -> B should be mined: {fds:?}"
+        );
         assert!(!fds.contains(&Fd::new([0], [2])), "A does not determine C");
     }
 

@@ -30,7 +30,10 @@ impl Mvd {
         L: IntoIterator<Item = usize>,
         R: IntoIterator<Item = usize>,
     {
-        Mvd { lhs: AttrSet::from_attrs(lhs), rhs: AttrSet::from_attrs(rhs) }
+        Mvd {
+            lhs: AttrSet::from_attrs(lhs),
+            rhs: AttrSet::from_attrs(rhs),
+        }
     }
 
     /// The complement side `U − lhs − rhs` for a given arity.
@@ -40,7 +43,10 @@ impl Mvd {
 
     /// The complementation rule: `X →→ Y` implies `X →→ U − X − Y`.
     pub fn complement(&self, arity: usize) -> Mvd {
-        Mvd { lhs: self.lhs, rhs: self.complement_side(arity) }
+        Mvd {
+            lhs: self.lhs,
+            rhs: self.complement_side(arity),
+        }
     }
 
     /// Whether the MVD is trivial for the given arity
@@ -88,11 +94,7 @@ pub fn holds_mvd(rel: &FlatRelation, mvd: &Mvd) -> bool {
 
 /// Whether `rel` is in 4NF with respect to `mvds` and `fds`: every
 /// non-trivial MVD's determinant is a superkey.
-pub fn is_4nf(
-    arity: usize,
-    fds: &[crate::fd::Fd],
-    mvds: &[Mvd],
-) -> bool {
+pub fn is_4nf(arity: usize, fds: &[crate::fd::Fd], mvds: &[Mvd]) -> bool {
     mvds.iter()
         .filter(|m| !m.is_trivial(arity))
         .all(|m| crate::fd::is_superkey(m.lhs, arity, fds))
@@ -147,7 +149,13 @@ mod tests {
     #[test]
     fn complement_satisfaction_mirrors() {
         // Fagin: X ->-> Y holds iff X ->-> U-X-Y holds.
-        let r = rel(&[[1, 11, 21], [1, 12, 21], [1, 11, 22], [1, 12, 22], [2, 13, 23]]);
+        let r = rel(&[
+            [1, 11, 21],
+            [1, 12, 21],
+            [1, 11, 22],
+            [1, 12, 22],
+            [2, 13, 23],
+        ]);
         let m = Mvd::new([0], [1]);
         assert_eq!(holds_mvd(&r, &m), holds_mvd(&r, &m.complement(3)));
     }

@@ -48,7 +48,11 @@ pub fn synthesize_3nf(arity: usize, fds: &[Fd]) -> Synthesis {
         .into_iter()
         .map(|(lhs, list)| {
             let attrs = list.iter().fold(lhs, |acc, fd| acc.union(fd.rhs));
-            Fragment { attrs, fds: list, is_key_fragment: false }
+            Fragment {
+                attrs,
+                fds: list,
+                is_key_fragment: false,
+            }
         })
         .collect();
 
@@ -66,7 +70,11 @@ pub fn synthesize_3nf(arity: usize, fds: &[Fd]) -> Synthesis {
         .any(|f| keys.iter().any(|k| k.is_subset_of(f.attrs)));
     if !has_key {
         if let Some(k) = keys.first() {
-            fragments.push(Fragment { attrs: *k, fds: Vec::new(), is_key_fragment: true });
+            fragments.push(Fragment {
+                attrs: *k,
+                fds: Vec::new(),
+                is_key_fragment: true,
+            });
         }
     }
 

@@ -45,7 +45,11 @@ pub fn check_theorem3(flat: &FlatRelation, fd: &Fd, random_samples: u64) -> Theo
     let lhs: Vec<AttrId> = fd.lhs.iter().collect();
     let forms = sample_irreducible_forms(flat, random_samples);
     let all_fixed = forms.iter().all(|r| is_fixed_on(r, &lhs));
-    Theorem3Report { fd_holds, forms_sampled: forms.len(), all_fixed }
+    Theorem3Report {
+        fd_holds,
+        forms_sampled: forms.len(),
+        all_fixed,
+    }
 }
 
 /// Evidence for Theorem 4 on an instance.
@@ -78,7 +82,11 @@ pub fn check_theorem4(flat: &FlatRelation, mvd: &Mvd, random_samples: u64) -> Th
     let lhs: Vec<AttrId> = mvd.lhs.iter().collect();
     let forms = sample_irreducible_forms(flat, random_samples);
     let fixed_count = forms.iter().filter(|r| is_fixed_on(r, &lhs)).count();
-    Theorem4Report { mvd_holds, forms_sampled: forms.len(), fixed_count }
+    Theorem4Report {
+        mvd_holds,
+        forms_sampled: forms.len(),
+        fixed_count,
+    }
 }
 
 /// Theorem 5 check: the canonical form for `order` is fixed on the
@@ -174,7 +182,10 @@ mod tests {
         let report = check_theorem3(&r, &fd, 24);
         assert!(report.fd_holds);
         assert!(report.forms_sampled >= 1);
-        assert!(report.all_fixed, "Theorem 3: every irreducible form fixed on A");
+        assert!(
+            report.all_fixed,
+            "Theorem 3: every irreducible form fixed on A"
+        );
     }
 
     #[test]
@@ -183,7 +194,13 @@ mod tests {
         // (1,11,21) and (3,11,21) compose over A, after which a1 and a3
         // share a tuple while (1,11,22) still holds a1 — not fixed on A.
         // This is why §3.4 assumes 3NF fragments (DESIGN.md D9).
-        let r = rel3(&[[1, 11, 21], [1, 11, 22], [2, 12, 21], [3, 11, 23], [3, 11, 21]]);
+        let r = rel3(&[
+            [1, 11, 21],
+            [1, 11, 22],
+            [2, 12, 21],
+            [3, 11, 23],
+            [3, 11, 21],
+        ]);
         let fd = Fd::new([0], [1]);
         let report = check_theorem3(&r, &fd, 48);
         assert!(report.fd_holds, "the FD itself holds");
@@ -209,7 +226,10 @@ mod tests {
         let mvd = Mvd::new([0], [1]);
         let report = check_theorem4(&r, &mvd, 32);
         assert!(report.mvd_holds, "Example 3 assumes A ->-> B|C");
-        assert!(report.exists_fixed(), "Theorem 4: some irreducible form is fixed on A");
+        assert!(
+            report.exists_fixed(),
+            "Theorem 4: some irreducible form is fixed on A"
+        );
         assert!(
             report.exists_unfixed(),
             "Example 3: R8 is an irreducible form not fixed on A ({} of {} fixed)",
@@ -236,7 +256,10 @@ mod tests {
 
         let r = rel3(&[[1, 11, 21], [1, 11, 22], [2, 12, 21], [3, 11, 23]]);
         let canon = canonical_of_flat(&r, &order);
-        assert!(is_fixed_on(&canon, &[0]), "canonical under suggested order fixed on A");
+        assert!(
+            is_fixed_on(&canon, &[0]),
+            "canonical under suggested order fixed on A"
+        );
     }
 
     #[test]

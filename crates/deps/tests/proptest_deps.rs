@@ -16,11 +16,14 @@ use nf2_deps::{
 
 fn arb_fds(arity: usize) -> impl Strategy<Value = Vec<Fd>> {
     let attr_set = move || {
-        proptest::collection::btree_set(0usize..arity, 1..=arity)
-            .prop_map(AttrSet::from_attrs)
+        proptest::collection::btree_set(0usize..arity, 1..=arity).prop_map(AttrSet::from_attrs)
     };
-    proptest::collection::vec((attr_set(), attr_set()), 0..6)
-        .prop_map(|pairs| pairs.into_iter().map(|(lhs, rhs)| Fd { lhs, rhs }).collect())
+    proptest::collection::vec((attr_set(), attr_set()), 0..6).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(lhs, rhs)| Fd { lhs, rhs })
+            .collect()
+    })
 }
 
 fn arb_flat() -> impl Strategy<Value = FlatRelation> {

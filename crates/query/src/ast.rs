@@ -175,26 +175,44 @@ mod tests {
 
     #[test]
     fn ast_nodes_are_comparable() {
-        let a = Statement::Show { table: "t".into(), flat: false };
-        let b = Statement::Show { table: "t".into(), flat: false };
+        let a = Statement::Show {
+            table: "t".into(),
+            flat: false,
+        };
+        let b = Statement::Show {
+            table: "t".into(),
+            flat: false,
+        };
         assert_eq!(a, b);
-        let c = Statement::Show { table: "t".into(), flat: true };
+        let c = Statement::Show {
+            table: "t".into(),
+            flat: true,
+        };
         assert_ne!(a, c);
     }
 
     #[test]
     fn predicates_carry_attr_and_value() {
-        let p = EqPredicate { attr: "Student".into(), value: "s1".into() };
+        let p = EqPredicate {
+            attr: "Student".into(),
+            value: "s1".into(),
+        };
         assert_eq!(p.attr, "Student");
         assert_eq!(p.value, "s1");
     }
 
     #[test]
     fn predicate_accessors_unify_eq_and_in() {
-        let eq = Predicate::Eq(EqPredicate { attr: "A".into(), value: "x".into() });
+        let eq = Predicate::Eq(EqPredicate {
+            attr: "A".into(),
+            value: "x".into(),
+        });
         assert_eq!(eq.attr(), "A");
         assert_eq!(eq.values(), vec!["x"]);
-        let inp = Predicate::In { attr: "B".into(), values: vec!["y".into(), "z".into()] };
+        let inp = Predicate::In {
+            attr: "B".into(),
+            values: vec!["y".into(), "z".into()],
+        };
         assert_eq!(inp.attr(), "B");
         assert_eq!(inp.values(), vec!["y", "z"]);
     }

@@ -100,15 +100,9 @@ impl Output {
 #[derive(Debug, Clone)]
 enum Undo {
     /// A delete (or the delete half of an update) removed this row.
-    Reinsert {
-        table: String,
-        row: Vec<Atom>,
-    },
+    Reinsert { table: String, row: Vec<Atom> },
     /// An insert added this row.
-    Remove {
-        table: String,
-        row: Vec<Atom>,
-    },
+    Remove { table: String, row: Vec<Atom> },
 }
 
 /// An in-memory database: a dictionary shared by all tables plus a
@@ -162,7 +156,11 @@ impl Database {
     /// Executes a parsed statement.
     pub fn execute(&mut self, stmt: Statement) -> Result<Output, QueryError> {
         match stmt {
-            Statement::CreateTable { name, attrs, nest_order } => {
+            Statement::CreateTable {
+                name,
+                attrs,
+                nest_order,
+            } => {
                 if self.txn.is_some() {
                     return Err(QueryError::Semantic(
                         "DDL inside a transaction is not supported".into(),
@@ -204,7 +202,10 @@ impl Database {
                     let atoms = t.row_from_strs(&refs)?;
                     if t.insert_atoms(atoms.clone())? {
                         affected += 1;
-                        undo.push(Undo::Remove { table: table.clone(), row: atoms });
+                        undo.push(Undo::Remove {
+                            table: table.clone(),
+                            row: atoms,
+                        });
                     }
                 }
                 self.log_undo(undo);
@@ -232,13 +233,20 @@ impl Database {
                 for row in &victims {
                     if t.delete_atoms(row)? {
                         affected += 1;
-                        undo.push(Undo::Reinsert { table: table.clone(), row: row.clone() });
+                        undo.push(Undo::Reinsert {
+                            table: table.clone(),
+                            row: row.clone(),
+                        });
                     }
                 }
                 self.log_undo(undo);
                 Ok(Output::Affected(affected))
             }
-            Statement::Update { table, assignments, predicates } => {
+            Statement::Update {
+                table,
+                assignments,
+                predicates,
+            } => {
                 let dict = self.dict.clone();
                 let t = self.table_mut(&table)?;
                 // Resolve assignment targets (values are interned on use).
@@ -269,29 +277,46 @@ impl Database {
                         continue; // no-op rewrite
                     }
                     t.delete_atoms(row)?;
-                    undo.push(Undo::Reinsert { table: table.clone(), row: row.clone() });
+                    undo.push(Undo::Reinsert {
+                        table: table.clone(),
+                        row: row.clone(),
+                    });
                     // The rewritten row may collide with an existing one —
                     // set semantics absorb it (and then there is nothing to
                     // undo for the insert half).
                     if t.insert_atoms(updated.clone())? {
-                        undo.push(Undo::Remove { table: table.clone(), row: updated });
+                        undo.push(Undo::Remove {
+                            table: table.clone(),
+                            row: updated,
+                        });
                     }
                     affected += 1;
                 }
                 self.log_undo(undo);
                 Ok(Output::Affected(affected))
             }
-            Statement::Select { projection, table, joins, predicates } => {
+            Statement::Select {
+                projection,
+                table,
+                joins,
+                predicates,
+            } => {
                 let (expr, env) = self.plan_select(&table, &joins, &projection, &predicates)?;
                 let Some(expr) = expr else {
                     // Unknown predicate value: empty result.
-                    if matches!(projection, Projection::CountStar | Projection::CountDistinct(_)) {
+                    if matches!(
+                        projection,
+                        Projection::CountStar | Projection::CountDistinct(_)
+                    ) {
                         return Ok(Output::Count(0));
                     }
                     let t = self.table(&table)?;
                     let empty = NfRelation::new(t.schema().clone());
                     let rendered = render_nf(&empty, &self.dict.snapshot());
-                    return Ok(Output::Relation { relation: empty, rendered });
+                    return Ok(Output::Relation {
+                        relation: empty,
+                        rendered,
+                    });
                 };
                 // Structural-mode optimization is always sound: the result
                 // is tuple-identical to the unoptimized plan's.
@@ -309,7 +334,13 @@ impl Database {
                 }
             }
             Statement::Explain { inner, optimized } => {
-                let Statement::Select { projection, table, joins, predicates } = *inner else {
+                let Statement::Select {
+                    projection,
+                    table,
+                    joins,
+                    predicates,
+                } = *inner
+                else {
                     return Err(QueryError::Semantic(
                         "EXPLAIN supports SELECT statements only".into(),
                     ));
@@ -328,7 +359,10 @@ impl Database {
                         .names()
                         .iter()
                         .map(|n| {
-                            (n.to_string(), env.get(n).map(|r| r.tuple_count()).unwrap_or(0))
+                            (
+                                n.to_string(),
+                                env.get(n).map(|r| r.tuple_count()).unwrap_or(0),
+                            )
                         })
                         .collect();
                     let before = estimate(&expr, &sizes);
@@ -340,7 +374,10 @@ impl Database {
                     for step in &opt.trace {
                         text.push_str(&format!("\n  [{}] {}", step.rule, step.result));
                     }
-                    text.push_str(&format!("\noptimized plan:\n{}", explain_expr(&opt.expr, 0)));
+                    text.push_str(&format!(
+                        "\noptimized plan:\n{}",
+                        explain_expr(&opt.expr, 0)
+                    ));
                     text.push_str(&format!(
                         "\nestimated work: {:.0} -> {:.0}",
                         before.total_work, after.total_work
@@ -368,10 +405,16 @@ impl Database {
                 if flat {
                     let f = t.relation().expand();
                     let rendered = render_flat(&f, &dict);
-                    Ok(Output::Relation { relation: NfRelation::from_flat(&f), rendered })
+                    Ok(Output::Relation {
+                        relation: NfRelation::from_flat(&f),
+                        rendered,
+                    })
                 } else {
                     let rendered = render_nf(t.relation(), &dict);
-                    Ok(Output::Relation { relation: t.relation().clone(), rendered })
+                    Ok(Output::Relation {
+                        relation: t.relation().clone(),
+                        rendered,
+                    })
                 }
             }
             Statement::Begin => {
@@ -392,7 +435,9 @@ impl Database {
             },
             Statement::Rollback => {
                 let Some(log) = self.txn.take() else {
-                    return Err(QueryError::Semantic("no open transaction to ROLLBACK".into()));
+                    return Err(QueryError::Semantic(
+                        "no open transaction to ROLLBACK".into(),
+                    ));
                 };
                 let n = log.len();
                 for entry in log.into_iter().rev() {
@@ -411,7 +456,11 @@ impl Database {
                 let t = self.table(&table)?;
                 let tuples = t.tuple_count();
                 let flats = t.flat_count();
-                let ratio = if tuples == 0 { 1.0 } else { flats as f64 / tuples as f64 };
+                let ratio = if tuples == 0 {
+                    1.0
+                } else {
+                    flats as f64 / tuples as f64
+                };
                 let cost = t.maintenance_cost();
                 let stats = t.stats();
                 Ok(Output::Message(format!(
@@ -482,21 +531,33 @@ impl Database {
             // known values; a predicate with none is statically empty.
             let mut constraints = Vec::with_capacity(predicates.len());
             for p in predicates {
-                let atoms: Vec<Atom> =
-                    p.values().iter().filter_map(|v| self.dict.lookup(v)).collect();
+                let atoms: Vec<Atom> = p
+                    .values()
+                    .iter()
+                    .filter_map(|v| self.dict.lookup(v))
+                    .collect();
                 if atoms.is_empty() {
                     return Ok((None, env));
                 }
                 constraints.push((p.attr().to_owned(), atoms));
             }
-            expr = Expr::SelectBox { input: Box::new(expr), constraints };
+            expr = Expr::SelectBox {
+                input: Box::new(expr),
+                constraints,
+            };
         }
         match projection {
             Projection::Attrs(attrs) => {
-                expr = Expr::Project { input: Box::new(expr), attrs: attrs.clone() };
+                expr = Expr::Project {
+                    input: Box::new(expr),
+                    attrs: attrs.clone(),
+                };
             }
             Projection::CountDistinct(attr) => {
-                expr = Expr::Project { input: Box::new(expr), attrs: vec![attr.clone()] };
+                expr = Expr::Project {
+                    input: Box::new(expr),
+                    attrs: vec![attr.clone()],
+                };
             }
             Projection::All | Projection::CountStar => {}
         }
@@ -535,10 +596,18 @@ fn explain_expr(expr: &Expr, depth: usize) -> String {
                 .iter()
                 .map(|(a, vs)| format!("{a} IN {vs:?}"))
                 .collect();
-            format!("{pad}select [{}]\n{}", preds.join(" AND "), explain_expr(input, depth + 1))
+            format!(
+                "{pad}select [{}]\n{}",
+                preds.join(" AND "),
+                explain_expr(input, depth + 1)
+            )
         }
         Expr::Project { input, attrs } => {
-            format!("{pad}project [{}]\n{}", attrs.join(", "), explain_expr(input, depth + 1))
+            format!(
+                "{pad}project [{}]\n{}",
+                attrs.join(", "),
+                explain_expr(input, depth + 1)
+            )
         }
         Expr::Join(l, r) => format!(
             "{pad}natural-join\n{}\n{}",
@@ -567,7 +636,11 @@ fn explain_expr(expr: &Expr, depth: usize) -> String {
             format!("{pad}unnest [{attr}]\n{}", explain_expr(input, depth + 1))
         }
         Expr::Canonicalize { input, order } => {
-            format!("{pad}canonicalize [{}]\n{}", order.join(" -> "), explain_expr(input, depth + 1))
+            format!(
+                "{pad}canonicalize [{}]\n{}",
+                order.join(" -> "),
+                explain_expr(input, depth + 1)
+            )
         }
     }
 }
@@ -607,14 +680,18 @@ mod tests {
     #[test]
     fn insert_counts_new_rows_only() {
         let mut db = seeded_db();
-        let out = db.run("INSERT INTO sc VALUES ('s1','c1','b1'), ('s9','c9','b9')").unwrap();
+        let out = db
+            .run("INSERT INTO sc VALUES ('s1','c1','b1'), ('s9','c9','b9')")
+            .unwrap();
         assert!(matches!(out, Output::Affected(1)));
     }
 
     #[test]
     fn select_with_predicate_and_projection() {
         let mut db = seeded_db();
-        let out = db.run("SELECT Course FROM sc WHERE Student = 's1'").unwrap();
+        let out = db
+            .run("SELECT Course FROM sc WHERE Student = 's1'")
+            .unwrap();
         match out {
             Output::Relation { relation, .. } => {
                 assert_eq!(relation.expand().len(), 2, "s1 takes c1 and c2");
@@ -703,7 +780,10 @@ mod tests {
     #[test]
     fn drop_missing_table_errors() {
         let mut db = Database::new();
-        assert!(matches!(db.run("DROP TABLE ghost"), Err(QueryError::NoSuchTable(_))));
+        assert!(matches!(
+            db.run("DROP TABLE ghost"),
+            Err(QueryError::NoSuchTable(_))
+        ));
     }
 
     #[test]
@@ -782,7 +862,9 @@ mod join_explain_tests {
     #[test]
     fn explain_of_impossible_predicate() {
         let mut db = db_with_two_tables();
-        let out = db.run("EXPLAIN SELECT * FROM sc WHERE Student = 'ghost'").unwrap();
+        let out = db
+            .run("EXPLAIN SELECT * FROM sc WHERE Student = 'ghost'")
+            .unwrap();
         assert!(out.to_text().contains("empty result"));
     }
 
@@ -816,13 +898,19 @@ mod transaction_tests {
         let mut db = db();
         let before = snapshot(&db);
         db.run("BEGIN").unwrap();
-        db.run("INSERT INTO sc VALUES ('s9','c9'), ('s9','c1')").unwrap();
+        db.run("INSERT INTO sc VALUES ('s9','c9'), ('s9','c1')")
+            .unwrap();
         db.run("DELETE FROM sc WHERE Student = 's1'").unwrap();
-        db.run("UPDATE sc SET Course = 'c7' WHERE Student = 's2'").unwrap();
+        db.run("UPDATE sc SET Course = 'c7' WHERE Student = 's2'")
+            .unwrap();
         assert_ne!(snapshot(&db), before, "mutations visible inside the txn");
         let out = db.run("ROLLBACK").unwrap();
         assert!(out.to_text().contains("rolled back"), "{}", out.to_text());
-        assert_eq!(snapshot(&db), before, "rollback restores the canonical form");
+        assert_eq!(
+            snapshot(&db),
+            before,
+            "rollback restores the canonical form"
+        );
         // And the restored relation is still canonical for its order.
         let t = db.table("sc").unwrap();
         let fresh = nf2_core::nest::canonical_of_flat(&t.relation().expand(), t.order());
@@ -846,7 +934,8 @@ mod transaction_tests {
         let before = snapshot(&db);
         db.run("BEGIN").unwrap();
         // (s1,c1) → (s1,c2) collides with the existing (s1,c2).
-        db.run("UPDATE sc SET Course = 'c2' WHERE Course = 'c1'").unwrap();
+        db.run("UPDATE sc SET Course = 'c2' WHERE Course = 'c1'")
+            .unwrap();
         db.run("ROLLBACK").unwrap();
         assert_eq!(snapshot(&db), before);
     }
@@ -856,8 +945,10 @@ mod transaction_tests {
         let mut db = db();
         let before = snapshot(&db);
         db.run("BEGIN").unwrap();
-        db.run("UPDATE sc SET Course = 'cX' WHERE Course = 'c1'").unwrap();
-        db.run("UPDATE sc SET Course = 'cY' WHERE Course = 'cX'").unwrap();
+        db.run("UPDATE sc SET Course = 'cX' WHERE Course = 'c1'")
+            .unwrap();
+        db.run("UPDATE sc SET Course = 'cY' WHERE Course = 'cX'")
+            .unwrap();
         db.run("ROLLBACK").unwrap();
         assert_eq!(snapshot(&db), before);
     }
@@ -869,7 +960,10 @@ mod transaction_tests {
         assert!(db.run("ROLLBACK").is_err());
         db.run("BEGIN").unwrap();
         assert!(db.run("BEGIN").is_err(), "nested BEGIN rejected");
-        assert!(db.run("CREATE TABLE t2 (A)").is_err(), "DDL in txn rejected");
+        assert!(
+            db.run("CREATE TABLE t2 (A)").is_err(),
+            "DDL in txn rejected"
+        );
         assert!(db.run("DROP TABLE sc").is_err(), "DDL in txn rejected");
         db.run("COMMIT").unwrap();
         db.run("CREATE TABLE t2 (A)").unwrap();
@@ -881,7 +975,11 @@ mod transaction_tests {
         db.run("INSERT INTO sc VALUES ('s9','c9')").unwrap();
         db.run("BEGIN").unwrap();
         let out = db.run("COMMIT").unwrap();
-        assert!(out.to_text().contains("(0 row mutation(s))"), "{}", out.to_text());
+        assert!(
+            out.to_text().contains("(0 row mutation(s))"),
+            "{}",
+            out.to_text()
+        );
     }
 
     #[test]
@@ -921,7 +1019,9 @@ mod extended_select_tests {
     #[test]
     fn in_predicate_selects_value_set() {
         let mut db = db();
-        let out = db.run("SELECT * FROM sc WHERE Student IN ('s1', 's3')").unwrap();
+        let out = db
+            .run("SELECT * FROM sc WHERE Student IN ('s1', 's3')")
+            .unwrap();
         match out {
             Output::Relation { relation, .. } => assert_eq!(relation.expand().len(), 3),
             other => panic!("unexpected {other:?}"),
@@ -932,13 +1032,17 @@ mod extended_select_tests {
     fn in_predicate_with_partially_unknown_values() {
         let mut db = db();
         // 'ghost' was never interned; the IN degrades to {s1}.
-        let out = db.run("SELECT * FROM sc WHERE Student IN ('s1', 'ghost')").unwrap();
+        let out = db
+            .run("SELECT * FROM sc WHERE Student IN ('s1', 'ghost')")
+            .unwrap();
         match out {
             Output::Relation { relation, .. } => assert_eq!(relation.expand().len(), 2),
             other => panic!("unexpected {other:?}"),
         }
         // All unknown: statically empty.
-        let out = db.run("SELECT * FROM sc WHERE Student IN ('ghostA', 'ghostB')").unwrap();
+        let out = db
+            .run("SELECT * FROM sc WHERE Student IN ('ghostA', 'ghostB')")
+            .unwrap();
         match out {
             Output::Relation { relation, .. } => assert!(relation.is_empty()),
             other => panic!("unexpected {other:?}"),
@@ -948,10 +1052,14 @@ mod extended_select_tests {
     #[test]
     fn delete_and_update_accept_in_predicates() {
         let mut db = db();
-        let out = db.run("DELETE FROM sc WHERE Student IN ('s1','s2')").unwrap();
+        let out = db
+            .run("DELETE FROM sc WHERE Student IN ('s1','s2')")
+            .unwrap();
         assert!(matches!(out, Output::Affected(3)));
         assert_eq!(db.table("sc").unwrap().flat_count(), 1);
-        let out = db.run("UPDATE cp SET Prof = 'p9' WHERE Course IN ('c1','c2')").unwrap();
+        let out = db
+            .run("UPDATE cp SET Prof = 'p9' WHERE Course IN ('c1','c2')")
+            .unwrap();
         assert!(matches!(out, Output::Affected(2)));
     }
 
@@ -962,11 +1070,17 @@ mod extended_select_tests {
             Output::Count(n) => assert_eq!(n, 4),
             other => panic!("unexpected {other:?}"),
         }
-        match db.run("SELECT COUNT(*) FROM sc WHERE Course = 'c1'").unwrap() {
+        match db
+            .run("SELECT COUNT(*) FROM sc WHERE Course = 'c1'")
+            .unwrap()
+        {
             Output::Count(n) => assert_eq!(n, 2),
             other => panic!("unexpected {other:?}"),
         }
-        match db.run("SELECT COUNT(*) FROM sc WHERE Course = 'ghost'").unwrap() {
+        match db
+            .run("SELECT COUNT(*) FROM sc WHERE Course = 'ghost'")
+            .unwrap()
+        {
             Output::Count(n) => assert_eq!(n, 0),
             other => panic!("unexpected {other:?}"),
         }
@@ -979,7 +1093,10 @@ mod extended_select_tests {
             Output::Count(n) => assert_eq!(n, 3, "s1, s2, s3"),
             other => panic!("unexpected {other:?}"),
         }
-        match db.run("SELECT COUNT(DISTINCT Course) FROM sc WHERE Student = 's1'").unwrap() {
+        match db
+            .run("SELECT COUNT(DISTINCT Course) FROM sc WHERE Student = 's1'")
+            .unwrap()
+        {
             Output::Count(n) => assert_eq!(n, 2, "c1 and c2"),
             other => panic!("unexpected {other:?}"),
         }
@@ -990,7 +1107,9 @@ mod extended_select_tests {
     fn three_way_join_chains_naturally() {
         let mut db = db();
         // sc ⋈ cp ⋈ pd: Student-Course-Prof-Dept.
-        let out = db.run("SELECT Student, Dept FROM sc JOIN cp JOIN pd").unwrap();
+        let out = db
+            .run("SELECT Student, Dept FROM sc JOIN cp JOIN pd")
+            .unwrap();
         match out {
             Output::Relation { relation, .. } => {
                 assert_eq!(relation.arity(), 2);
@@ -1017,7 +1136,10 @@ mod extended_select_tests {
     #[test]
     fn explain_optimized_with_nothing_to_do() {
         let mut db = db();
-        let text = db.run("EXPLAIN OPTIMIZED SELECT * FROM sc").unwrap().to_text();
+        let text = db
+            .run("EXPLAIN OPTIMIZED SELECT * FROM sc")
+            .unwrap()
+            .to_text();
         assert!(text.contains("(none applicable)"), "{text}");
     }
 
@@ -1056,7 +1178,9 @@ mod update_tests {
     #[test]
     fn update_rewrites_matching_rows() {
         let mut db = db();
-        let out = db.run("UPDATE sc SET Course = 'c9' WHERE Student = 's1'").unwrap();
+        let out = db
+            .run("UPDATE sc SET Course = 'c9' WHERE Student = 's1'")
+            .unwrap();
         assert!(matches!(out, Output::Affected(2)));
         // Both of s1's rows map to (s1, c9): set semantics collapse them.
         let t = db.table("sc").unwrap();
@@ -1071,15 +1195,23 @@ mod update_tests {
         let mut db = db();
         // Rewriting s2's course to c2 creates (s2,c2); rewriting s1's c1
         // to c2 collides with the existing (s1,c2) and collapses.
-        let out = db.run("UPDATE sc SET Course = 'c2' WHERE Course = 'c1'").unwrap();
+        let out = db
+            .run("UPDATE sc SET Course = 'c2' WHERE Course = 'c1'")
+            .unwrap();
         assert!(matches!(out, Output::Affected(2)));
-        assert_eq!(db.table("sc").unwrap().flat_count(), 2, "(s1,c2) and (s2,c2)");
+        assert_eq!(
+            db.table("sc").unwrap().flat_count(),
+            2,
+            "(s1,c2) and (s2,c2)"
+        );
     }
 
     #[test]
     fn update_with_unknown_value_is_noop() {
         let mut db = db();
-        let out = db.run("UPDATE sc SET Course = 'c9' WHERE Student = 'ghost'").unwrap();
+        let out = db
+            .run("UPDATE sc SET Course = 'c9' WHERE Student = 'ghost'")
+            .unwrap();
         assert!(matches!(out, Output::Affected(0)));
         assert_eq!(db.table("sc").unwrap().flat_count(), 3);
     }
@@ -1087,7 +1219,9 @@ mod update_tests {
     #[test]
     fn update_identity_assignment_is_noop() {
         let mut db = db();
-        let out = db.run("UPDATE sc SET Course = 'c1' WHERE Course = 'c1'").unwrap();
+        let out = db
+            .run("UPDATE sc SET Course = 'c1' WHERE Course = 'c1'")
+            .unwrap();
         assert!(matches!(out, Output::Affected(0)));
     }
 

@@ -22,7 +22,9 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.to_string() }
+        ParseError {
+            message: e.to_string(),
+        }
     }
 }
 
@@ -31,8 +33,12 @@ pub fn parse(input: &str) -> Result<Statement, ParseError> {
     let mut stmts = parse_script(input)?;
     match stmts.len() {
         1 => Ok(stmts.remove(0)),
-        0 => Err(ParseError { message: "empty input".into() }),
-        n => Err(ParseError { message: format!("expected one statement, found {n}") }),
+        0 => Err(ParseError {
+            message: "empty input".into(),
+        }),
+        n => Err(ParseError {
+            message: format!("expected one statement, found {n}"),
+        }),
     }
 }
 
@@ -69,7 +75,9 @@ impl Parser {
             .tokens
             .get(self.pos)
             .cloned()
-            .ok_or_else(|| ParseError { message: "unexpected end of input".into() })?;
+            .ok_or_else(|| ParseError {
+                message: "unexpected end of input".into(),
+            })?;
         self.pos += 1;
         Ok(t)
     }
@@ -88,7 +96,9 @@ impl Parser {
         if got == *t {
             Ok(())
         } else {
-            Err(ParseError { message: format!("expected {t}, found {got}") })
+            Err(ParseError {
+                message: format!("expected {t}, found {got}"),
+            })
         }
     }
 
@@ -96,7 +106,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String, ParseError> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
-            other => Err(ParseError { message: format!("expected identifier, found {other}") }),
+            other => Err(ParseError {
+                message: format!("expected identifier, found {other}"),
+            }),
         }
     }
 
@@ -106,7 +118,9 @@ impl Parser {
         if got.eq_ignore_ascii_case(kw) {
             Ok(())
         } else {
-            Err(ParseError { message: format!("expected keyword {kw}, found {got}") })
+            Err(ParseError {
+                message: format!("expected keyword {kw}, found {got}"),
+            })
         }
     }
 
@@ -124,7 +138,9 @@ impl Parser {
     fn string(&mut self) -> Result<String, ParseError> {
         match self.next()? {
             Token::Str(s) => Ok(s),
-            other => Err(ParseError { message: format!("expected string literal, found {other}") }),
+            other => Err(ParseError {
+                message: format!("expected string literal, found {other}"),
+            }),
         }
     }
 
@@ -151,11 +167,17 @@ impl Parser {
                 } else {
                     None
                 };
-                Ok(Statement::CreateTable { name, attrs, nest_order })
+                Ok(Statement::CreateTable {
+                    name,
+                    attrs,
+                    nest_order,
+                })
             }
             "drop" => {
                 self.keyword("table")?;
-                Ok(Statement::DropTable { name: self.ident()? })
+                Ok(Statement::DropTable {
+                    name: self.ident()?,
+                })
             }
             "insert" => {
                 self.keyword("into")?;
@@ -182,7 +204,12 @@ impl Parser {
                     joins.push(self.ident()?);
                 }
                 let predicates = self.where_clause()?;
-                Ok(Statement::Select { projection, table, joins, predicates })
+                Ok(Statement::Select {
+                    projection,
+                    table,
+                    joins,
+                    predicates,
+                })
             }
             "update" => {
                 let table = self.ident()?;
@@ -192,27 +219,45 @@ impl Parser {
                     assignments.push(self.predicate()?);
                 }
                 let predicates = self.where_clause()?;
-                Ok(Statement::Update { table, assignments, predicates })
+                Ok(Statement::Update {
+                    table,
+                    assignments,
+                    predicates,
+                })
             }
             "nest" => {
                 let table = self.ident()?;
                 self.keyword("on")?;
-                Ok(Statement::Nest { table, attr: self.ident()? })
+                Ok(Statement::Nest {
+                    table,
+                    attr: self.ident()?,
+                })
             }
             "unnest" => {
                 let table = self.ident()?;
                 self.keyword("on")?;
-                Ok(Statement::Unnest { table, attr: self.ident()? })
+                Ok(Statement::Unnest {
+                    table,
+                    attr: self.ident()?,
+                })
             }
             "show" => {
                 if self.eat_keyword("flat") {
-                    Ok(Statement::Show { table: self.ident()?, flat: true })
+                    Ok(Statement::Show {
+                        table: self.ident()?,
+                        flat: true,
+                    })
                 } else {
-                    Ok(Statement::Show { table: self.ident()?, flat: false })
+                    Ok(Statement::Show {
+                        table: self.ident()?,
+                        flat: false,
+                    })
                 }
             }
             "tables" => Ok(Statement::Tables),
-            "stats" => Ok(Statement::Stats { table: self.ident()? }),
+            "stats" => Ok(Statement::Stats {
+                table: self.ident()?,
+            }),
             "begin" => Ok(Statement::Begin),
             "commit" => Ok(Statement::Commit),
             "rollback" => Ok(Statement::Rollback),
@@ -224,9 +269,14 @@ impl Parser {
                         message: "EXPLAIN supports SELECT statements only".into(),
                     });
                 }
-                Ok(Statement::Explain { inner: Box::new(inner), optimized })
+                Ok(Statement::Explain {
+                    inner: Box::new(inner),
+                    optimized,
+                })
             }
-            other => Err(ParseError { message: format!("unknown statement: {other}") }),
+            other => Err(ParseError {
+                message: format!("unknown statement: {other}"),
+            }),
         }
     }
 
@@ -322,7 +372,13 @@ mod tests {
     #[test]
     fn parses_create_without_nest_order() {
         let s = parse("create table t (a, b)").unwrap();
-        assert!(matches!(s, Statement::CreateTable { nest_order: None, .. }));
+        assert!(matches!(
+            s,
+            Statement::CreateTable {
+                nest_order: None,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -361,24 +417,39 @@ mod tests {
             Statement::Select { predicates, .. } => {
                 assert_eq!(
                     predicates[0],
-                    Predicate::In { attr: "Student".into(), values: vec!["s1".into(), "s2".into()] }
+                    Predicate::In {
+                        attr: "Student".into(),
+                        values: vec!["s1".into(), "s2".into()]
+                    }
                 );
                 assert_eq!(predicates[1].values(), vec!["c1"]);
             }
             other => panic!("unexpected: {other:?}"),
         }
-        assert!(parse("SELECT * FROM sc WHERE Student IN ()").is_err(), "empty IN list");
-        assert!(parse("SELECT * FROM sc WHERE Student IN ('s1'").is_err(), "unclosed IN list");
+        assert!(
+            parse("SELECT * FROM sc WHERE Student IN ()").is_err(),
+            "empty IN list"
+        );
+        assert!(
+            parse("SELECT * FROM sc WHERE Student IN ('s1'").is_err(),
+            "unclosed IN list"
+        );
     }
 
     #[test]
     fn parses_count_aggregates() {
         assert!(matches!(
             parse("SELECT COUNT(*) FROM sc").unwrap(),
-            Statement::Select { projection: Projection::CountStar, .. }
+            Statement::Select {
+                projection: Projection::CountStar,
+                ..
+            }
         ));
         match parse("SELECT COUNT(DISTINCT Student) FROM sc").unwrap() {
-            Statement::Select { projection: Projection::CountDistinct(a), .. } => {
+            Statement::Select {
+                projection: Projection::CountDistinct(a),
+                ..
+            } => {
                 assert_eq!(a, "Student")
             }
             other => panic!("unexpected: {other:?}"),
@@ -386,9 +457,15 @@ mod tests {
         // COUNT without parens is a plain attribute.
         assert!(matches!(
             parse("SELECT Count FROM sc").unwrap(),
-            Statement::Select { projection: Projection::Attrs(_), .. }
+            Statement::Select {
+                projection: Projection::Attrs(_),
+                ..
+            }
         ));
-        assert!(parse("SELECT COUNT(Student) FROM sc").is_err(), "only * or DISTINCT attr");
+        assert!(
+            parse("SELECT COUNT(Student) FROM sc").is_err(),
+            "only * or DISTINCT attr"
+        );
     }
 
     #[test]
@@ -405,11 +482,17 @@ mod tests {
     fn parses_explain_optimized() {
         assert!(matches!(
             parse("EXPLAIN SELECT * FROM t").unwrap(),
-            Statement::Explain { optimized: false, .. }
+            Statement::Explain {
+                optimized: false,
+                ..
+            }
         ));
         assert!(matches!(
             parse("EXPLAIN OPTIMIZED SELECT * FROM t").unwrap(),
-            Statement::Explain { optimized: true, .. }
+            Statement::Explain {
+                optimized: true,
+                ..
+            }
         ));
     }
 
@@ -417,11 +500,18 @@ mod tests {
     fn parses_select_star_and_attrs() {
         assert!(matches!(
             parse("SELECT * FROM sc").unwrap(),
-            Statement::Select { projection: Projection::All, .. }
+            Statement::Select {
+                projection: Projection::All,
+                ..
+            }
         ));
         let s = parse("SELECT Course, Student FROM sc WHERE Club='b1'").unwrap();
         match s {
-            Statement::Select { projection: Projection::Attrs(attrs), predicates, .. } => {
+            Statement::Select {
+                projection: Projection::Attrs(attrs),
+                predicates,
+                ..
+            } => {
                 assert_eq!(attrs, vec!["Course".to_owned(), "Student".to_owned()]);
                 assert_eq!(predicates.len(), 1);
             }
@@ -433,25 +523,32 @@ mod tests {
     fn parses_nest_unnest_show() {
         assert_eq!(
             parse("NEST sc ON Course").unwrap(),
-            Statement::Nest { table: "sc".into(), attr: "Course".into() }
+            Statement::Nest {
+                table: "sc".into(),
+                attr: "Course".into()
+            }
         );
         assert_eq!(
             parse("UNNEST sc ON Course").unwrap(),
-            Statement::Unnest { table: "sc".into(), attr: "Course".into() }
+            Statement::Unnest {
+                table: "sc".into(),
+                attr: "Course".into()
+            }
         );
         assert_eq!(
             parse("SHOW FLAT sc").unwrap(),
-            Statement::Show { table: "sc".into(), flat: true }
+            Statement::Show {
+                table: "sc".into(),
+                flat: true
+            }
         );
         assert_eq!(parse("TABLES").unwrap(), Statement::Tables);
     }
 
     #[test]
     fn parses_scripts() {
-        let stmts = parse_script(
-            "CREATE TABLE t (a, b); INSERT INTO t VALUES ('x','y'); SHOW t;",
-        )
-        .unwrap();
+        let stmts =
+            parse_script("CREATE TABLE t (a, b); INSERT INTO t VALUES ('x','y'); SHOW t;").unwrap();
         assert_eq!(stmts.len(), 3);
     }
 
@@ -462,7 +559,13 @@ mod tests {
         assert!(parse("CREATE TABLE").is_err());
         assert!(parse("INSERT INTO t VALUES ('a' 'b')").is_err());
         assert!(parse("SELECT FROM t").is_err());
-        assert!(parse("DELETE FROM t WHERE a = b").is_err(), "value must be a string literal");
-        assert!(parse("SHOW t; SHOW u").is_err(), "parse() wants exactly one statement");
+        assert!(
+            parse("DELETE FROM t WHERE a = b").is_err(),
+            "value must be a string literal"
+        );
+        assert!(
+            parse("SHOW t; SHOW u").is_err(),
+            "parse() wants exactly one statement"
+        );
     }
 }

@@ -134,7 +134,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 tokens.push(Token::Ident(input[start..i].to_owned()));
             }
             other => {
-                return Err(LexError { pos: i, message: format!("unexpected character {other:?}") })
+                return Err(LexError {
+                    pos: i,
+                    message: format!("unexpected character {other:?}"),
+                })
             }
         }
     }
@@ -174,7 +177,10 @@ mod tests {
     #[test]
     fn skips_comments_and_whitespace() {
         let toks = lex("a -- a comment\n b").unwrap();
-        assert_eq!(toks, vec![Token::Ident("a".into()), Token::Ident("b".into())]);
+        assert_eq!(
+            toks,
+            vec![Token::Ident("a".into()), Token::Ident("b".into())]
+        );
     }
 
     #[test]

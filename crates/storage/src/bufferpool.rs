@@ -33,7 +33,10 @@ impl PagedFile {
             .create(true)
             .truncate(true)
             .open(path)?;
-        Ok(Self { file, page_count: 0 })
+        Ok(Self {
+            file,
+            page_count: 0,
+        })
     }
 
     /// Opens an existing paged file, validating its geometry.
@@ -45,7 +48,10 @@ impl PagedFile {
                 "paged file length {len} is not a multiple of the page size"
             )));
         }
-        Ok(Self { file, page_count: (len / PAGE_SIZE as u64) as u32 })
+        Ok(Self {
+            file,
+            page_count: (len / PAGE_SIZE as u64) as u32,
+        })
     }
 
     /// Number of pages in the file.
@@ -65,9 +71,12 @@ impl PagedFile {
     /// Reads and checksum-verifies one page.
     pub fn read_page(&mut self, id: u32) -> Result<Page> {
         if id >= self.page_count {
-            return Err(StorageError::InvalidRecord(format!("page {id} out of range")));
+            return Err(StorageError::InvalidRecord(format!(
+                "page {id} out of range"
+            )));
         }
-        self.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        self.file
+            .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
         let mut frame = vec![0u8; PAGE_SIZE];
         self.file.read_exact(&mut frame)?;
         Page::from_bytes(&frame)
@@ -75,7 +84,8 @@ impl PagedFile {
 
     /// Writes one page at its id's offset.
     pub fn write_page(&mut self, page: &Page) -> Result<()> {
-        self.file.seek(SeekFrom::Start(page.id() as u64 * PAGE_SIZE as u64))?;
+        self.file
+            .seek(SeekFrom::Start(page.id() as u64 * PAGE_SIZE as u64))?;
         self.file.write_all(&page.to_bytes())?;
         Ok(())
     }
@@ -182,13 +192,14 @@ impl BufferPool {
     /// Releases one pin. Unpinning a non-resident or unpinned page is an
     /// error (it indicates a caller bookkeeping bug).
     pub fn unpin(&mut self, id: u32) -> Result<()> {
-        let idx = *self
-            .resident
-            .get(&id)
-            .ok_or_else(|| StorageError::InvalidRecord(format!("unpin of non-resident page {id}")))?;
+        let idx = *self.resident.get(&id).ok_or_else(|| {
+            StorageError::InvalidRecord(format!("unpin of non-resident page {id}"))
+        })?;
         let frame = self.frames[idx].as_mut().expect("resident frame");
         if frame.pins == 0 {
-            return Err(StorageError::InvalidRecord(format!("page {id} is not pinned")));
+            return Err(StorageError::InvalidRecord(format!(
+                "page {id} is not pinned"
+            )));
         }
         frame.pins -= 1;
         Ok(())
@@ -249,7 +260,12 @@ impl BufferPool {
             self.resident.remove(&old.page.id());
             self.stats.evictions += 1;
         }
-        self.frames[idx] = Some(Frame { page, dirty: false, pins: 0, referenced: true });
+        self.frames[idx] = Some(Frame {
+            page,
+            dirty: false,
+            pins: 0,
+            referenced: true,
+        });
         self.resident.insert(id, idx);
         Ok(idx)
     }
@@ -275,7 +291,9 @@ impl BufferPool {
                 return Ok(idx);
             }
         }
-        Err(StorageError::PoolExhausted { capacity: self.frames.len() })
+        Err(StorageError::PoolExhausted {
+            capacity: self.frames.len(),
+        })
     }
 }
 
@@ -367,8 +385,14 @@ mod tests {
         // Second chance: faulting 3 must pass over referenced page 2 and
         // evict page 1, whose bit was cleared and never re-set.
         pool.fetch(3).unwrap();
-        assert!(pool.resident.contains_key(&2), "referenced frame survived the scan");
-        assert!(!pool.resident.contains_key(&1), "unreferenced frame evicted");
+        assert!(
+            pool.resident.contains_key(&2),
+            "referenced frame survived the scan"
+        );
+        assert!(
+            !pool.resident.contains_key(&1),
+            "unreferenced frame evicted"
+        );
         assert_eq!(pool.stats().evictions, 2);
     }
 
@@ -482,7 +506,9 @@ mod tests {
         // Deterministic pseudo-random access pattern.
         let mut state = 0xdead_beefu64;
         for _ in 0..200 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let id = (state >> 33) as u32 % pages;
             let page = pool.fetch(id).unwrap();
             assert_eq!(
@@ -492,6 +518,9 @@ mod tests {
         }
         let s = pool.stats();
         assert_eq!(s.hits + s.misses, 200);
-        assert!(s.misses > 0 && s.hits > 0, "3-frame pool over 8 pages must mix");
+        assert!(
+            s.misses > 0 && s.hits > 0,
+            "3-frame pool over 8 pages must mix"
+        );
     }
 }

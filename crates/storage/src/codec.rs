@@ -64,7 +64,9 @@ pub fn decode_nf_tuple(buf: &mut &[u8], arity: usize) -> Result<NfTuple> {
     for attr in 0..arity {
         let count = get_varint(buf)? as usize;
         if count == 0 {
-            return Err(StorageError::Corrupt(format!("empty component for attribute {attr}")));
+            return Err(StorageError::Corrupt(format!(
+                "empty component for attribute {attr}"
+            )));
         }
         let mut values = Vec::with_capacity(count);
         let mut prev = 0u32;
@@ -72,7 +74,12 @@ pub fn decode_nf_tuple(buf: &mut &[u8], arity: usize) -> Result<NfTuple> {
             let raw = get_varint(buf)?;
             let delta = u32::try_from(raw)
                 .map_err(|_| StorageError::Corrupt("atom id exceeds u32".into()))?;
-            let v = if i == 0 { delta } else { prev.checked_add(delta).ok_or_else(|| StorageError::Corrupt("atom id overflow".into()))? };
+            let v = if i == 0 {
+                delta
+            } else {
+                prev.checked_add(delta)
+                    .ok_or_else(|| StorageError::Corrupt("atom id overflow".into()))?
+            };
             values.push(Atom(v));
             prev = v;
         }
@@ -96,8 +103,8 @@ pub fn decode_flat_tuple(buf: &mut &[u8], arity: usize) -> Result<FlatTuple> {
     let mut t = Vec::with_capacity(arity);
     for _ in 0..arity {
         let raw = get_varint(buf)?;
-        let v = u32::try_from(raw)
-            .map_err(|_| StorageError::Corrupt("atom id exceeds u32".into()))?;
+        let v =
+            u32::try_from(raw).map_err(|_| StorageError::Corrupt("atom id exceeds u32".into()))?;
         t.push(Atom(v));
     }
     Ok(t)
@@ -165,7 +172,11 @@ mod tests {
         let t = NfTuple::new(vec![vs(&(0..64).collect::<Vec<u32>>())]);
         let mut buf = BytesMut::new();
         encode_nf_tuple(&t, &mut buf);
-        assert!(buf.len() <= 66, "64 dense values should fit ~66 bytes, got {}", buf.len());
+        assert!(
+            buf.len() <= 66,
+            "64 dense values should fit ~66 bytes, got {}",
+            buf.len()
+        );
     }
 
     #[test]

@@ -111,7 +111,10 @@ mod tests {
         for h in handles {
             for (name, atom) in h.join().unwrap() {
                 let prev = seen.entry(name).or_insert(atom);
-                assert_eq!(*prev, atom, "same name must intern to the same atom everywhere");
+                assert_eq!(
+                    *prev, atom,
+                    "same name must intern to the same atom everywhere"
+                );
             }
         }
         assert_eq!(d.len(), 10);

@@ -42,7 +42,10 @@ impl fmt::Display for StorageError {
             StorageError::InvalidRecord(msg) => write!(f, "invalid record: {msg}"),
             StorageError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
             StorageError::RecordTooLarge { size, max } => {
-                write!(f, "record of {size} bytes exceeds page payload capacity {max}")
+                write!(
+                    f,
+                    "record of {size} bytes exceeds page payload capacity {max}"
+                )
             }
             StorageError::Io(e) => write!(f, "io error: {e}"),
             StorageError::PoolExhausted { capacity } => {
@@ -84,11 +87,20 @@ mod tests {
     #[test]
     fn display_covers_variants() {
         let cases: Vec<(StorageError, &str)> = vec![
-            (StorageError::Model(nf2_core::NfError::OverlappingTuples), "model error"),
+            (
+                StorageError::Model(nf2_core::NfError::OverlappingTuples),
+                "model error",
+            ),
             (StorageError::ChecksumMismatch { page_id: 3 }, "checksum"),
             (StorageError::InvalidRecord("x".into()), "invalid record"),
             (StorageError::Corrupt("y".into()), "corrupt"),
-            (StorageError::RecordTooLarge { size: 9999, max: 100 }, "exceeds"),
+            (
+                StorageError::RecordTooLarge {
+                    size: 9999,
+                    max: 100,
+                },
+                "exceeds",
+            ),
         ];
         for (e, needle) in cases {
             assert!(e.to_string().contains(needle));

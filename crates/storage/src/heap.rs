@@ -47,19 +47,28 @@ impl HeapFile {
     /// page when none fits.
     pub fn insert(&mut self, record: &[u8]) -> Result<RecordId> {
         if record.len() > MAX_RECORD {
-            return Err(StorageError::RecordTooLarge { size: record.len(), max: MAX_RECORD });
+            return Err(StorageError::RecordTooLarge {
+                size: record.len(),
+                max: MAX_RECORD,
+            });
         }
         // First-fit over existing pages (small files; fine for our scale).
         for (i, page) in self.pages.iter_mut().enumerate() {
             if page.fits(record.len()) {
                 let slot = page.insert(record)?;
-                return Ok(RecordId { page: i as u32, slot });
+                return Ok(RecordId {
+                    page: i as u32,
+                    slot,
+                });
             }
         }
         let mut page = Page::new(self.pages.len() as u32);
         let slot = page.insert(record)?;
         self.pages.push(page);
-        Ok(RecordId { page: (self.pages.len() - 1) as u32, slot })
+        Ok(RecordId {
+            page: (self.pages.len() - 1) as u32,
+            slot,
+        })
     }
 
     /// Reads a record.
@@ -69,18 +78,24 @@ impl HeapFile {
 
     /// Deletes a record.
     pub fn delete(&mut self, rid: RecordId) -> Result<()> {
-        let page = self
-            .pages
-            .get_mut(rid.page as usize)
-            .ok_or_else(|| StorageError::InvalidRecord(format!("page {} out of range", rid.page)))?;
+        let page = self.pages.get_mut(rid.page as usize).ok_or_else(|| {
+            StorageError::InvalidRecord(format!("page {} out of range", rid.page))
+        })?;
         page.delete(rid.slot)
     }
 
     /// Iterates `(rid, record)` over all live records.
     pub fn iter(&self) -> impl Iterator<Item = (RecordId, &[u8])> {
         self.pages.iter().enumerate().flat_map(|(i, page)| {
-            page.iter()
-                .map(move |(slot, rec)| (RecordId { page: i as u32, slot }, rec))
+            page.iter().map(move |(slot, rec)| {
+                (
+                    RecordId {
+                        page: i as u32,
+                        slot,
+                    },
+                    rec,
+                )
+            })
         })
     }
 
@@ -142,7 +157,10 @@ mod tests {
         for _ in 0..10 {
             h.insert(&rec).unwrap();
         }
-        assert!(h.page_count() >= 4, "10 x 3KB records need several 8KB pages");
+        assert!(
+            h.page_count() >= 4,
+            "10 x 3KB records need several 8KB pages"
+        );
         assert_eq!(h.record_count(), 10);
     }
 

@@ -29,7 +29,10 @@ pub struct HashIndex {
 impl HashIndex {
     /// An empty index on `attr`.
     pub fn new(attr: AttrId) -> Self {
-        Self { attr, postings: HashMap::new() }
+        Self {
+            attr,
+            postings: HashMap::new(),
+        }
     }
 
     /// The indexed attribute.
@@ -225,7 +228,10 @@ mod tests {
         let (heap, _) = heap_of(&[[1, 10]]);
         let mut idx = HashIndex::build_flat(&heap, 2, 0).unwrap();
         idx.insert(Atom(1), RecordId { page: 9, slot: 0 });
-        assert!(matches!(idx.verify_against_flat(&heap, 2), Err(StorageError::Corrupt(_))));
+        assert!(matches!(
+            idx.verify_against_flat(&heap, 2),
+            Err(StorageError::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -233,14 +239,20 @@ mod tests {
         let (heap, rids) = heap_of(&[[1, 10]]);
         let mut idx = HashIndex::new(0);
         idx.insert(Atom(42), rids[0]); // wrong value
-        assert!(matches!(idx.verify_against_flat(&heap, 2), Err(StorageError::Corrupt(_))));
+        assert!(matches!(
+            idx.verify_against_flat(&heap, 2),
+            Err(StorageError::Corrupt(_))
+        ));
     }
 
     #[test]
     fn verify_detects_missing_coverage() {
         let (heap, _) = heap_of(&[[1, 10], [2, 11]]);
         let idx = HashIndex::new(0); // indexes nothing
-        assert!(matches!(idx.verify_against_flat(&heap, 2), Err(StorageError::Corrupt(_))));
+        assert!(matches!(
+            idx.verify_against_flat(&heap, 2),
+            Err(StorageError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -44,7 +44,12 @@ pub struct Page {
 impl Page {
     /// A fresh empty page.
     pub fn new(id: u32) -> Self {
-        Self { id, slots: Vec::new(), data: Box::new([0u8; PAGE_SIZE]), free_end: PAGE_SIZE }
+        Self {
+            id,
+            slots: Vec::new(),
+            data: Box::new([0u8; PAGE_SIZE]),
+            free_end: PAGE_SIZE,
+        }
     }
 
     /// The page id.
@@ -74,10 +79,15 @@ impl Page {
     /// encoding, and no tuple codec produces empty records.
     pub fn insert(&mut self, record: &[u8]) -> Result<SlotId> {
         if record.is_empty() {
-            return Err(StorageError::InvalidRecord("empty records are not storable".into()));
+            return Err(StorageError::InvalidRecord(
+                "empty records are not storable".into(),
+            ));
         }
         if record.len() > MAX_RECORD {
-            return Err(StorageError::RecordTooLarge { size: record.len(), max: MAX_RECORD });
+            return Err(StorageError::RecordTooLarge {
+                size: record.len(),
+                max: MAX_RECORD,
+            });
         }
         if !self.fits(record.len()) {
             return Err(StorageError::RecordTooLarge {
@@ -104,7 +114,9 @@ impl Page {
             .get(slot as usize)
             .ok_or_else(|| StorageError::InvalidRecord(format!("slot {slot} out of range")))?;
         if len == 0 {
-            return Err(StorageError::InvalidRecord(format!("slot {slot} is deleted")));
+            return Err(StorageError::InvalidRecord(format!(
+                "slot {slot} is deleted"
+            )));
         }
         Ok(&self.data[off as usize..off as usize + len as usize])
     }
@@ -117,7 +129,9 @@ impl Page {
             .get_mut(slot as usize)
             .ok_or_else(|| StorageError::InvalidRecord(format!("slot {slot} out of range")))?;
         if entry.1 == 0 {
-            return Err(StorageError::InvalidRecord(format!("slot {slot} already deleted")));
+            return Err(StorageError::InvalidRecord(format!(
+                "slot {slot} already deleted"
+            )));
         }
         entry.1 = 0;
         Ok(())
@@ -129,7 +143,10 @@ impl Page {
             if *len == 0 {
                 None
             } else {
-                Some((i as SlotId, &self.data[*off as usize..(*off + *len) as usize]))
+                Some((
+                    i as SlotId,
+                    &self.data[*off as usize..(*off + *len) as usize],
+                ))
             }
         })
     }
@@ -211,7 +228,8 @@ impl Page {
         for _ in 0..slot_count {
             let off = buf.get_u16();
             let len = buf.get_u16();
-            if len > 0 && (usize::from(off) < free_end || usize::from(off) + usize::from(len) > PAGE_SIZE)
+            if len > 0
+                && (usize::from(off) < free_end || usize::from(off) + usize::from(len) > PAGE_SIZE)
             {
                 return Err(StorageError::Corrupt("slot points outside payload".into()));
             }
@@ -219,7 +237,12 @@ impl Page {
         }
         let mut data = Box::new([0u8; PAGE_SIZE]);
         data[free_end..].copy_from_slice(&buf[..PAGE_SIZE - free_end]);
-        Ok(Self { id, slots, data, free_end })
+        Ok(Self {
+            id,
+            slots,
+            data,
+            free_end,
+        })
     }
 }
 
@@ -260,7 +283,10 @@ mod tests {
     fn rejects_oversized_records() {
         let mut p = Page::new(0);
         let big = vec![0u8; PAGE_SIZE];
-        assert!(matches!(p.insert(&big), Err(StorageError::RecordTooLarge { .. })));
+        assert!(matches!(
+            p.insert(&big),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
     }
 
     #[test]
@@ -322,7 +348,10 @@ mod tests {
         let p = Page::new(1);
         let mut bytes = p.to_bytes();
         bytes[0] = 0;
-        assert!(matches!(Page::from_bytes(&bytes), Err(StorageError::Corrupt(_))));
+        assert!(matches!(
+            Page::from_bytes(&bytes),
+            Err(StorageError::Corrupt(_))
+        ));
     }
 
     #[test]

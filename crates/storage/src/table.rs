@@ -324,8 +324,7 @@ impl NfTable {
         let refs: Vec<&str> = attr_names.iter().map(String::as_str).collect();
         let schema = Schema::new(name, &refs)?;
         let arity = schema.arity();
-        let order = NestOrder::new(order_attrs, arity)
-            .map_err(StorageError::Model)?;
+        let order = NestOrder::new(order_attrs, arity).map_err(StorageError::Model)?;
         let heap = HeapFile::load(&pages_path(dir, name))?;
         let mut tuples = Vec::with_capacity(heap.record_count());
         for (_, rec) in heap.iter() {
@@ -613,13 +612,8 @@ mod tests {
 
     fn sample_table() -> NfTable {
         let dict = SharedDictionary::new();
-        let mut t = NfTable::create(
-            "sc",
-            &["Student", "Course"],
-            NestOrder::identity(2),
-            dict,
-        )
-        .unwrap();
+        let mut t =
+            NfTable::create("sc", &["Student", "Course"], NestOrder::identity(2), dict).unwrap();
         for (s, c) in [("s1", "c1"), ("s2", "c1"), ("s1", "c2"), ("s3", "c3")] {
             assert!(t.insert_row(&[s, c]).unwrap());
         }
@@ -728,7 +722,9 @@ mod tests {
     fn flat_table_baseline_probes_every_row() {
         let mut ft = FlatTable::create("sc", &["Student", "Course"]).unwrap();
         for row in [[0u32, 10], [1, 10], [0, 11], [2, 12]] {
-            assert!(ft.insert_atoms(row.iter().map(|&v| Atom(v)).collect()).unwrap());
+            assert!(ft
+                .insert_atoms(row.iter().map(|&v| Atom(v)).collect())
+                .unwrap());
         }
         assert_eq!(ft.row_count(), 4);
         let hits = ft.lookup_scan(1, Atom(10));
@@ -743,7 +739,8 @@ mod tests {
     fn flat_table_maintained_index_survives_mutations() {
         let mut ft = FlatTable::create("sc", &["Student", "Course"]).unwrap();
         for row in [[0u32, 10], [1, 10], [0, 11]] {
-            ft.insert_atoms(row.iter().map(|&v| Atom(v)).collect()).unwrap();
+            ft.insert_atoms(row.iter().map(|&v| Atom(v)).collect())
+                .unwrap();
         }
         assert!(ft.lookup_indexed(1, Atom(10)).is_err(), "no index yet");
         ft.create_index(1).unwrap();
@@ -769,11 +766,9 @@ mod tests {
     #[test]
     fn flat_table_round_trips_relation() {
         let schema = Schema::new("r", &["A", "B"]).unwrap();
-        let flat = FlatRelation::from_rows(
-            schema,
-            vec![vec![Atom(1), Atom(2)], vec![Atom(3), Atom(4)]],
-        )
-        .unwrap();
+        let flat =
+            FlatRelation::from_rows(schema, vec![vec![Atom(1), Atom(2)], vec![Atom(3), Atom(4)]])
+                .unwrap();
         let ft = FlatTable::from_flat("r", &flat).unwrap();
         assert_eq!(ft.to_flat_relation(), flat);
         assert!(ft.size_bytes() >= crate::page::PAGE_SIZE);

@@ -14,18 +14,16 @@ use nf2_storage::codec::{
 use nf2_storage::{BufferPool, HashIndex, HeapFile, NfTable, Page, PagedFile, SharedDictionary};
 
 fn arb_nf_tuple() -> impl Strategy<Value = NfTuple> {
-    proptest::collection::vec(
-        proptest::collection::btree_set(0u32..10_000, 1..12),
-        1..5,
+    proptest::collection::vec(proptest::collection::btree_set(0u32..10_000, 1..12), 1..5).prop_map(
+        |comps| {
+            NfTuple::new(
+                comps
+                    .into_iter()
+                    .map(|s| ValueSet::new(s.into_iter().map(Atom).collect()).unwrap())
+                    .collect(),
+            )
+        },
     )
-    .prop_map(|comps| {
-        NfTuple::new(
-            comps
-                .into_iter()
-                .map(|s| ValueSet::new(s.into_iter().map(Atom).collect()).unwrap())
-                .collect(),
-        )
-    })
 }
 
 proptest! {

@@ -214,7 +214,10 @@ pub fn zipf(rows_target: usize, domain_sizes: &[u32], s_exp: f64, seed: u64) -> 
         rows.insert(row);
     }
     Workload {
-        label: format!("zipf(rows={}, s={s_exp}, domains={domain_sizes:?})", rows.len()),
+        label: format!(
+            "zipf(rows={}, s={s_exp}, domains={domain_sizes:?})",
+            rows.len()
+        ),
         flat: FlatRelation::from_rows(s, rows).expect("uniform arity"),
     }
 }
@@ -288,7 +291,12 @@ pub fn anti_correlated(domain: u32, width: u32, seed: u64) -> Workload {
 /// `delete_pct` percent of the `ops` delete a current row, the rest
 /// insert fresh or re-insert deleted rows. Drives experiment E10 and the
 /// maintenance benches.
-pub fn op_trace(base: &Workload, ops: usize, delete_pct: u32, seed: u64) -> Vec<nf2_core::bulk::Op> {
+pub fn op_trace(
+    base: &Workload,
+    ops: usize,
+    delete_pct: u32,
+    seed: u64,
+) -> Vec<nf2_core::bulk::Op> {
     use nf2_core::bulk::Op;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut present: Vec<Vec<Atom>> = base.flat.rows().cloned().collect();
@@ -296,7 +304,7 @@ pub fn op_trace(base: &Workload, ops: usize, delete_pct: u32, seed: u64) -> Vec<
     let arity = base.flat.schema().arity();
     let mut trace = Vec::with_capacity(ops);
     for i in 0..ops {
-        let do_delete = !present.is_empty() && rng.gen_range(0..100) < delete_pct;
+        let do_delete = !present.is_empty() && rng.gen_range(0..100u32) < delete_pct;
         if do_delete {
             let idx = rng.gen_range(0..present.len());
             let row = present.swap_remove(idx);
@@ -309,8 +317,9 @@ pub fn op_trace(base: &Workload, ops: usize, delete_pct: u32, seed: u64) -> Vec<
             trace.push(Op::Insert(row));
         } else {
             // A fresh row outside every generator's value ranges.
-            let row: Vec<Atom> =
-                (0..arity).map(|a| Atom(9_000_000 + a as u32 * 100_000 + i as u32)).collect();
+            let row: Vec<Atom> = (0..arity)
+                .map(|a| Atom(9_000_000 + a as u32 * 100_000 + i as u32))
+                .collect();
             present.push(row.clone());
             trace.push(Op::Insert(row));
         }
@@ -380,10 +389,8 @@ mod tests {
         let w = block_product(5, &[3, 4], 0);
         assert_eq!(w.flat.len(), 5 * 12);
         // Blocks are disjoint: nesting recovers exactly 5 tuples.
-        let nfr = nf2_core::nest::canonical_of_flat(
-            &w.flat,
-            &nf2_core::schema::NestOrder::identity(2),
-        );
+        let nfr =
+            nf2_core::nest::canonical_of_flat(&w.flat, &nf2_core::schema::NestOrder::identity(2));
         assert_eq!(nfr.tuple_count(), 5);
     }
 
@@ -441,7 +448,10 @@ mod tests {
         for row in w.flat.rows() {
             *per_course.entry(row[0]).or_insert(0usize) += 1;
         }
-        assert!(per_course.values().any(|&n| n > 1), "some course has alternatives");
+        assert!(
+            per_course.values().any(|&n| n > 1),
+            "some course has alternatives"
+        );
     }
 
     #[test]
@@ -456,10 +466,8 @@ mod tests {
     fn anti_correlated_resists_nesting() {
         let w = anti_correlated(30, 3, 0);
         assert_eq!(w.flat.len(), 90);
-        let nfr = nf2_core::nest::canonical_of_flat(
-            &w.flat,
-            &nf2_core::schema::NestOrder::identity(2),
-        );
+        let nfr =
+            nf2_core::nest::canonical_of_flat(&w.flat, &nf2_core::schema::NestOrder::identity(2));
         // Every A-value has a distinct B-window: nesting A collapses
         // nothing (tuples = rows after νA ∘ νB ≥ domain).
         assert!(

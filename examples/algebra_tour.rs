@@ -73,7 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cp = Schema::new("cp", &["Course", "Prof"])?;
     let cp_flat = FlatRelation::from_rows(
         cp,
-        (0..20u32).map(|c| vec![Atom(1000 + c), Atom(2000 + c % 4)]).collect::<Vec<_>>(),
+        (0..20u32)
+            .map(|c| vec![Atom(1000 + c), Atom(2000 + c % 4)])
+            .collect::<Vec<_>>(),
     )?;
     env.insert("cp", canonical_of_flat(&cp_flat, &NestOrder::identity(2)));
 
@@ -91,8 +93,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for step in &optimized.trace {
         println!("  applied [{}]", step.rule);
     }
-    let sizes: HashMap<String, usize> =
-        [("sc".to_string(), 60), ("cp".to_string(), 20)].into();
+    let sizes: HashMap<String, usize> = [("sc".to_string(), 60), ("cp".to_string(), 20)].into();
     println!(
         "estimated work: {:.0} -> {:.0}",
         estimate(&plan, &sizes).total_work,

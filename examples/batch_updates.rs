@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         base_rows,
         base.tuple_count()
     );
-    println!("{:>6} | {:>12} | {:>10} | {:>11} | heuristic", "batch", "incremental", "re-nest", "faster");
+    println!(
+        "{:>6} | {:>12} | {:>10} | {:>11} | heuristic",
+        "batch", "incremental", "re-nest", "faster"
+    );
     println!("{}", "-".repeat(62));
 
     for pct in [1usize, 5, 20, 50, 100] {
@@ -40,9 +43,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let start = Instant::now();
         let rebuilt = rebuild_batch(&base, &ops)?;
         let t_re = start.elapsed();
-        assert_eq!(incremental.relation(), rebuilt.relation(), "strategies agree");
+        assert_eq!(
+            incremental.relation(),
+            rebuilt.relation(),
+            "strategies agree"
+        );
 
-        let faster = if t_inc <= t_re { "incremental" } else { "re-nest" };
+        let faster = if t_inc <= t_re {
+            "incremental"
+        } else {
+            "re-nest"
+        };
         let heuristic = if should_rebuild(ops.len(), base.flat_count()) {
             "re-nest"
         } else {

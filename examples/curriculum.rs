@@ -42,13 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cp_schema = Schema::new("CP", &["Course", "Condition"])?;
     let cp_flat = FlatRelation::from_rows(
         cp_schema,
-        [
-            ("c0", "{c1,c2}"),
-            ("c0", "{c1,c3}"),
-            ("c4", "{c0}"),
-        ]
-        .iter()
-        .map(|(c, p)| vec![dict.intern(c), dict.intern(p)]),
+        [("c0", "{c1,c2}"), ("c0", "{c1,c3}"), ("c4", "{c0}")]
+            .iter()
+            .map(|(c, p)| vec![dict.intern(c), dict.intern(p)]),
     )?;
     let cp = canonical_of_flat(&cp_flat, &NestOrder::identity(2));
     println!("CP — alternative prerequisite conditions (power-set values, atomic):");

@@ -27,10 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let c0 = dict.intern("c0");
     let set_a = dict.intern("{c1,c2}"); // one atom: the conjunction c1∧c2
     let set_b = dict.intern("{c1,c3}");
-    let cp = FlatRelation::from_rows(
-        schema,
-        vec![vec![c0, set_a], vec![c0, set_b]],
-    )?;
+    let cp = FlatRelation::from_rows(schema, vec![vec![c0, set_a], vec![c0, set_b]])?;
     println!("CP with set-valued prerequisites (each set is ONE atom):");
     println!("{}", render_nf(&NfRelation::from_flat(&cp), &dict));
     println!(

@@ -24,7 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let flat = FlatRelation::from_rows(
         schema.clone(),
-        pairs.iter().map(|(s, c)| vec![dict.intern(s), dict.intern(c)]),
+        pairs
+            .iter()
+            .map(|(s, c)| vec![dict.intern(s), dict.intern(c)]),
     )?;
     println!("1NF relation: {} rows", flat.len());
 

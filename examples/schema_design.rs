@@ -37,12 +37,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3NF synthesis from the mined FDs (reference [13]).
     let syn = synthesize_3nf(w.flat.schema().arity(), &fds);
-    println!("\n3NF synthesis: {} fragment(s), keys {:?}", syn.fragments.len(), syn.keys.len());
+    println!(
+        "\n3NF synthesis: {} fragment(s), keys {:?}",
+        syn.fragments.len(),
+        syn.keys.len()
+    );
     for frag in &syn.fragments {
         println!(
             "  fragment {} ({})",
             frag.attrs,
-            if frag.is_key_fragment { "key fragment" } else { "FD group" }
+            if frag.is_key_fragment {
+                "key fragment"
+            } else {
+                "FD group"
+            }
         );
     }
 
@@ -56,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for order in NestOrder::all(w.flat.schema().arity()) {
         let canon = canonical_of_flat(&w.flat, &order);
         let fixed = is_fixed_on(&canon, &[0]);
-        let marker = if order == suggested { "  <= suggested" } else { "" };
+        let marker = if order == suggested {
+            "  <= suggested"
+        } else {
+            ""
+        };
         println!(
             "  {order}: {} tuples, fixed={fixed}{marker}",
             canon.tuple_count(),

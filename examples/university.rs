@@ -19,7 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for student in ["s1", "s2", "s3"] {
         let club = if student == "s2" { "b2" } else { "b1" };
         for course in ["c1", "c2", "c3"] {
-            db.run(&format!("INSERT INTO r1 VALUES ('{student}','{course}','{club}')"))?;
+            db.run(&format!(
+                "INSERT INTO r1 VALUES ('{student}','{course}','{club}')"
+            ))?;
         }
     }
 
@@ -57,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // R1's edit stayed local because of the MVD; inspect the structure.
     println!("=== Why R1 was easy: Student ->-> Course | Club ===\n");
     println!("Courses of s1 after the update:");
-    println!("{}", db.run("SELECT Course FROM r1 WHERE Student = 's1'")?.to_text());
+    println!(
+        "{}",
+        db.run("SELECT Course FROM r1 WHERE Student = 's1'")?
+            .to_text()
+    );
 
     // The maintenance cost the §4 algorithms paid, straight from the
     // storage engine.

@@ -22,7 +22,10 @@ fn mined_mvd_drives_both_designs() {
     // University data satisfies Student ->-> Course | Club by construction.
     let w = workload::university(60, 3, 20, 2, 6, 5);
     let student_mvd = Mvd::new([0], [1]);
-    assert!(holds_mvd(&w.flat, &student_mvd), "generator guarantees the MVD");
+    assert!(
+        holds_mvd(&w.flat, &student_mvd),
+        "generator guarantees the MVD"
+    );
 
     // Mining must rediscover it.
     let mined = mine_mvds(&w.flat, &mine_fds(&w.flat));
@@ -38,20 +41,30 @@ fn mined_mvd_drives_both_designs() {
 
     // Classical design: 4NF decomposition into SC and SB, lossless.
     let d = decompose_4nf(3, &[], &[student_mvd]);
-    assert_eq!(d.fragments, vec![AttrSet::from_attrs([0, 1]), AttrSet::from_attrs([0, 2])]);
+    assert_eq!(
+        d.fragments,
+        vec![AttrSet::from_attrs([0, 1]), AttrSet::from_attrs([0, 2])]
+    );
     assert!(is_lossless_join(3, &[], &[student_mvd], &d.fragments));
 
     // Paper's design: keep one relation, nest on the dependents, fixed on
     // the determinant.
     let order = suggest_nest_order(3, &[], &[student_mvd]);
     let nfr = canonical_of_flat(&w.flat, &order);
-    assert!(is_fixed_on(&nfr, &[0]), "suggested order yields fixedness on Student");
+    assert!(
+        is_fixed_on(&nfr, &[0]),
+        "suggested order yields fixedness on Student"
+    );
     assert_eq!(nfr.expand(), w.flat, "Theorem 1");
 
     // The NFR needs no join: one tuple per student carries the full
     // entity; the 4NF design splits it across two fragment rowsets.
     let students: BTreeSet<Atom> = w.flat.rows().map(|r| r[0]).collect();
-    assert_eq!(nfr.tuple_count(), students.len(), "one NF² tuple per student entity");
+    assert_eq!(
+        nfr.tuple_count(),
+        students.len(),
+        "one NF² tuple per student entity"
+    );
     let sc_rows: BTreeSet<(Atom, Atom)> = w.flat.rows().map(|r| (r[0], r[1])).collect();
     let sb_rows: BTreeSet<(Atom, Atom)> = w.flat.rows().map(|r| (r[0], r[2])).collect();
     assert!(
@@ -99,7 +112,10 @@ fn chase_validates_mined_dependencies() {
     let mined = mine_mvds(&w.flat, &mine_fds(&w.flat));
     for m in &mined {
         assert!(holds_mvd(&w.flat, m), "mined MVD {m} must hold");
-        assert!(holds_mvd(&w.flat, &m.complement(3)), "complement of {m} must hold");
+        assert!(
+            holds_mvd(&w.flat, &m.complement(3)),
+            "complement of {m} must hold"
+        );
         assert!(chase_implies_mvd(3, &[], &mined, m));
     }
 }

@@ -16,7 +16,13 @@ fn temp_dir(tag: &str) -> PathBuf {
 
 fn build_table(rows: usize, seed: u64) -> NfTable {
     let w = workload::relationship(rows, 20, 15, 3, seed);
-    NfTable::from_flat("facts", &w.flat, NestOrder::identity(3), SharedDictionary::new()).unwrap()
+    NfTable::from_flat(
+        "facts",
+        &w.flat,
+        NestOrder::identity(3),
+        SharedDictionary::new(),
+    )
+    .unwrap()
 }
 
 #[test]
@@ -98,7 +104,11 @@ fn reopen_then_update_then_reopen_again() {
     assert_eq!(t3.flat_count(), 121);
     // The new value must resolve by name after reopen.
     let zz = t3.dict().lookup("zz").expect("dictionary persisted");
-    assert!(t3.relation().tuples().iter().any(|tp| tp.component(0).contains(zz)));
+    assert!(t3
+        .relation()
+        .tuples()
+        .iter()
+        .any(|tp| tp.component(0).contains(zz)));
 }
 
 #[test]
@@ -107,7 +117,11 @@ fn lookup_probe_accounting_survives_reopen() {
     let mut t = build_table(200, 9);
     t.checkpoint(&dir).unwrap();
     let reopened = NfTable::open(&dir, "facts", SharedDictionary::new()).unwrap();
-    let some_atom = reopened.relation().tuples()[0].component(0).iter().next().unwrap();
+    let some_atom = reopened.relation().tuples()[0]
+        .component(0)
+        .iter()
+        .next()
+        .unwrap();
     let hits = reopened.lookup_scan(0, some_atom);
     assert!(!hits.is_empty());
     let stats = reopened.stats();

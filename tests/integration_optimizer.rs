@@ -99,25 +99,36 @@ fn explain_optimized_plan_is_faithful() {
         .to_text();
     // The selection must sink below the join in the reported plan.
     assert!(text.contains("select-into-join"), "{text}");
-    let optimized_section = text.split("optimized plan:").nth(1).expect("section present");
-    let join_pos = optimized_section.find("natural-join").expect("join in plan");
+    let optimized_section = text
+        .split("optimized plan:")
+        .nth(1)
+        .expect("section present");
+    let join_pos = optimized_section
+        .find("natural-join")
+        .expect("join in plan");
     let select_pos = optimized_section.find("select [").expect("select in plan");
     assert!(
         select_pos > join_pos,
         "selection should appear below the join in the optimized tree:\n{optimized_section}"
     );
     // And the executed statement agrees with the oracle.
-    let out = db.run("SELECT Student FROM enroll JOIN teach WHERE Prof = 'p2'").unwrap();
+    let out = db
+        .run("SELECT Student FROM enroll JOIN teach WHERE Prof = 'p2'")
+        .unwrap();
     let got = result_rows(&db, &out);
-    let want: BTreeSet<Vec<String>> =
-        [vec!["s1".to_string()], vec!["s4".to_string()]].into_iter().collect();
+    let want: BTreeSet<Vec<String>> = [vec!["s1".to_string()], vec!["s4".to_string()]]
+        .into_iter()
+        .collect();
     assert_eq!(got, want, "s1 and s4 take c3, taught by p2");
 }
 
 #[test]
 fn aggregates_after_optimization() {
     let mut db = seeded_db();
-    match db.run("SELECT COUNT(*) FROM enroll JOIN teach WHERE Prof = 'p1'").unwrap() {
+    match db
+        .run("SELECT COUNT(*) FROM enroll JOIN teach WHERE Prof = 'p1'")
+        .unwrap()
+    {
         Output::Count(n) => assert_eq!(n, 6, "c1 has 4 enrollments, c2 has 2"),
         other => panic!("unexpected {other:?}"),
     }
@@ -134,8 +145,11 @@ fn aggregates_after_optimization() {
 fn mutations_then_queries_stay_consistent() {
     let mut db = seeded_db();
     db.run("DELETE FROM enroll WHERE Course = 'c1'").unwrap();
-    db.run("UPDATE teach SET Prof = 'p2' WHERE Course = 'c2'").unwrap();
-    let out = db.run("SELECT Student, Dept FROM enroll JOIN teach JOIN dept").unwrap();
+    db.run("UPDATE teach SET Prof = 'p2' WHERE Course = 'c2'")
+        .unwrap();
+    let out = db
+        .run("SELECT Student, Dept FROM enroll JOIN teach JOIN dept")
+        .unwrap();
     let got = result_rows(&db, &out);
     let want = oracle(&db, |_, _, _, _, _| true);
     assert_eq!(got, want);

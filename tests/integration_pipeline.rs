@@ -14,7 +14,10 @@ fn workload_to_canonical_to_algebra_pipeline() {
     let w = workload::university(40, 3, 12, 2, 5, 7);
     let order = NestOrder::identity(3);
     let nfr = canonical_of_flat(&w.flat, &order);
-    assert!(nfr.tuple_count() < w.flat.len(), "entity data must compress");
+    assert!(
+        nfr.tuple_count() < w.flat.len(),
+        "entity data must compress"
+    );
 
     // Selection on a student, rectangle level.
     let some_student = *w.flat.rows().next().unwrap().first().unwrap();
@@ -100,7 +103,8 @@ fn query_engine_matches_direct_core_updates() {
         ("x2", "y2"),
     ];
     for (a, b) in pairs {
-        db.run(&format!("INSERT INTO t VALUES ('{a}','{b}')")).unwrap();
+        db.run(&format!("INSERT INTO t VALUES ('{a}','{b}')"))
+            .unwrap();
         let aa = db.dict().lookup(a).unwrap();
         let bb = db.dict().lookup(b).unwrap();
         canon.insert(vec![aa, bb]).unwrap();
@@ -121,7 +125,9 @@ fn select_statement_matches_algebra_directly() {
          INSERT INTO sc VALUES ('s1','c1'), ('s2','c1'), ('s1','c2'), ('s3','c3');",
     )
     .unwrap();
-    let out = db.run("SELECT Student FROM sc WHERE Course = 'c1'").unwrap();
+    let out = db
+        .run("SELECT Student FROM sc WHERE Course = 'c1'")
+        .unwrap();
     let rel = match out {
         nf2::query::Output::Relation { relation, .. } => relation,
         other => panic!("expected relation, got {other:?}"),

@@ -10,7 +10,10 @@ use nf2::workload;
 #[test]
 fn university_data_satisfies_its_designed_mvd() {
     let w = workload::university(25, 3, 10, 2, 4, 31);
-    assert!(holds_mvd(&w.flat, &Mvd::new([0], [1])), "Student ->-> Course");
+    assert!(
+        holds_mvd(&w.flat, &Mvd::new([0], [1])),
+        "Student ->-> Course"
+    );
     assert!(holds_mvd(&w.flat, &Mvd::new([0], [2])), "Student ->-> Club");
 }
 

@@ -1,0 +1,139 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Size specifications accepted by collection strategies: an exact
+/// `usize`, a half-open `Range<usize>`, or a `RangeInclusive<usize>`.
+pub trait SizeBounds {
+    /// Inclusive `(min, max)` element counts.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeBounds for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl SizeBounds for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SizeBounds for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty size range");
+        (*self.start(), *self.end())
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a random length in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl SizeBounds) -> VecStrategy<S> {
+    let (min, max) = size.bounds();
+    VecStrategy { element, min, max }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.size_in(self.min, self.max);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with a cardinality in `size`
+/// (best-effort: generation retries until the target count of distinct
+/// elements is reached, and panics if the element domain cannot even
+/// supply the minimum).
+pub fn btree_set<S>(element: S, size: impl SizeBounds) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    let (min, max) = size.bounds();
+    BTreeSetStrategy { element, min, max }
+}
+
+/// See [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = rng.size_in(self.min, self.max);
+        let mut set = BTreeSet::new();
+        // Generous cap: covers coupon-collector behavior on domains
+        // whose size equals the target.
+        let max_attempts = 100 * target + 100;
+        let mut attempts = 0;
+        while set.len() < target && attempts < max_attempts {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        assert!(
+            set.len() >= self.min,
+            "btree_set strategy could not reach minimum size {} (domain too small?)",
+            self.min
+        );
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_exact_and_ranged_sizes() {
+        let mut rng = TestRng::from_seed(1);
+        assert_eq!(vec(0u32..10, 4usize).generate(&mut rng).len(), 4);
+        for _ in 0..50 {
+            let v = vec(0u32..10, 1..5).generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_reaches_target_on_tight_domain() {
+        let mut rng = TestRng::from_seed(2);
+        // Domain of exactly 4 values, sizes 1..=4 — must always succeed.
+        for _ in 0..100 {
+            let s = btree_set(0usize..4, 1..=4).generate(&mut rng);
+            assert!((1..=4).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn nested_collections_compose() {
+        let mut rng = TestRng::from_seed(3);
+        let s = vec(vec(0u32..4, 3usize), 0..6);
+        for _ in 0..20 {
+            let rows = s.generate(&mut rng);
+            assert!(rows.len() < 6);
+            assert!(rows.iter().all(|r| r.len() == 3));
+        }
+    }
+}

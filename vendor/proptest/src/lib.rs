@@ -1,0 +1,232 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of proptest its property tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`),
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_flat_map`,
+//!   `prop_recursive`, and `boxed`,
+//! * strategies for integer ranges, tuples, [`strategy::Just`],
+//!   `any::<T>()`, simple regex string patterns, and
+//!   [`collection::vec`] / [`collection::btree_set`],
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!` / `prop_oneof!`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **no shrinking** — a failing case panics with the assertion message
+//!   (which, in this workspace, always embeds the offending inputs);
+//! * **deterministic by default** — every test function derives its RNG
+//!   seed from its own fully-qualified name, so runs are reproducible
+//!   without recording seed files. Set `PROPTEST_RNG_SEED` to explore a
+//!   different universe, and `PROPTEST_CASES` to scale case counts
+//!   (both honored exactly like upstream's config knobs).
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop import for property tests, mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0u32..100, b in 0u32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ [$crate::test_runner::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+/// Internal: expands each `fn name(bindings) { body }` item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases = config.resolved_cases();
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for _case in 0..cases {
+                // One case = one closure call, so `prop_assume!` can skip
+                // the case with an early return.
+                #[allow(clippy::redundant_closure_call)]
+                (|rng: &mut $crate::test_runner::TestRng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), rng);)*
+                    $body
+                })(&mut rng);
+            }
+        }
+        $crate::__proptest_tests!{ [$cfg] $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+///
+/// Only valid at the top level of a `proptest!` body (it returns from
+/// the per-case closure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(u32),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    impl Tree {
+        fn depth(&self) -> u32 {
+            match self {
+                Tree::Leaf(_) => 0,
+                Tree::Node(l, r) => 1 + l.depth().max(r.depth()),
+            }
+        }
+    }
+
+    fn arb_tree() -> impl Strategy<Value = Tree> {
+        let leaf = (0u32..10).prop_map(Tree::Leaf);
+        leaf.prop_recursive(3, 12, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner).prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r))),
+                (0u32..10).prop_map(Tree::Leaf),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u32..17, b in 0usize..=4, c in any::<u8>()) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!(b <= 4);
+            let _ = c;
+        }
+
+        #[test]
+        fn vec_and_btree_set_respect_sizes(
+            v in crate::collection::vec(0u32..100, 2..6),
+            s in crate::collection::btree_set(0u32..1000, 1..8),
+            exact in crate::collection::vec(0u32..4, 3),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!((1..8).contains(&s.len()));
+            prop_assert_eq!(exact.len(), 3);
+        }
+
+        #[test]
+        fn assume_skips_cases(a in 0u32..10, b in 0u32..10) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn flat_map_links_sizes(pair in (1usize..5).prop_flat_map(|n| {
+            crate::collection::vec(0u32..10, n).prop_map(move |v| (n, v))
+        })) {
+            prop_assert_eq!(pair.0, pair.1.len());
+        }
+
+        #[test]
+        fn recursive_trees_are_bounded(t in arb_tree()) {
+            // depth levels applied ≤ 3 times; each level adds ≤ 1 depth.
+            prop_assert!(t.depth() <= 3, "tree too deep: {:?}", t);
+        }
+
+        #[test]
+        fn string_patterns_match_class(s in "[a-c ]{0,20}") {
+            prop_assert!(s.len() <= 20);
+            prop_assert!(s.chars().all(|c| c == ' ' || ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let gen_once = || {
+            let mut rng = TestRng::for_test("determinism_probe");
+            crate::collection::vec(0u32..1000, 10).generate(&mut rng)
+        };
+        assert_eq!(gen_once(), gen_once());
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let s = prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut rng = TestRng::for_test("oneof_probe");
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+}

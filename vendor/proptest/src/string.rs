@@ -1,0 +1,211 @@
+//! String strategies from simple regex patterns.
+//!
+//! `&'static str` implements [`Strategy`], generating strings matching a
+//! small regex subset: literal characters, `.`, character classes like
+//! `[a-z0-9_ ]`, the escapes `\d` `\w` `\s`, and the quantifiers
+//! `{m,n}` `{m,}` `{m}` `*` `+` `?`. Unsupported syntax panics at
+//! generation time with a clear message — extend here as tests need it.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Open-ended quantifiers (`*`, `+`, `{m,}`) cap at this many repeats.
+const UNBOUNDED_CAP: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Element {
+    /// Inclusive character ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    element: Element,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let element = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"))
+                    + i;
+                let inner = &chars[i + 1..close];
+                assert!(
+                    !inner.is_empty() && inner[0] != '^',
+                    "unsupported character class in pattern {pattern:?}"
+                );
+                let mut ranges = Vec::new();
+                let mut j = 0;
+                while j < inner.len() {
+                    if j + 2 < inner.len() && inner[j + 1] == '-' {
+                        ranges.push((inner[j], inner[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((inner[j], inner[j]));
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                Element::Class(ranges)
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 2;
+                match c {
+                    'd' => Element::Class(vec![('0', '9')]),
+                    'w' => Element::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    's' => Element::Class(vec![(' ', ' '), ('\t', '\t')]),
+                    other => Element::Class(vec![(other, other)]),
+                }
+            }
+            '.' => {
+                i += 1;
+                Element::Class(vec![(' ', '~')]) // printable ASCII
+            }
+            c if "(){}*+?|^$".contains(c) => {
+                panic!("unsupported regex syntax {c:?} in pattern {pattern:?}")
+            }
+            c => {
+                i += 1;
+                Element::Class(vec![(c, c)])
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, "")) => {
+                        let m: usize = m.trim().parse().expect("quantifier bound");
+                        (m, m + UNBOUNDED_CAP)
+                    }
+                    Some((m, n)) => (
+                        m.trim().parse().expect("quantifier bound"),
+                        n.trim().parse().expect("quantifier bound"),
+                    ),
+                    None => {
+                        let n: usize = body.trim().parse().expect("quantifier bound");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                i += 1;
+                (1, UNBOUNDED_CAP)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { element, min, max });
+    }
+    pieces
+}
+
+fn generate_char(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u64 = ranges
+        .iter()
+        .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+        .sum();
+    let mut pick = rng.below(total);
+    for &(lo, hi) in ranges {
+        let span = hi as u64 - lo as u64 + 1;
+        if pick < span {
+            return char::from_u32(lo as u32 + pick as u32).expect("valid char range");
+        }
+        pick -= span;
+    }
+    unreachable!("pick always lands inside a range")
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = rng.size_in(piece.min, piece.max);
+            let Element::Class(ranges) = &piece.element;
+            for _ in 0..count {
+                out.push(generate_char(ranges, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_space_and_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..100 {
+            let s = "[a-z ]{0,20}".generate(&mut rng);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn literals_and_escapes() {
+        let mut rng = TestRng::from_seed(2);
+        let s = "ab\\d{3}".generate(&mut rng);
+        assert!(s.starts_with("ab"));
+        assert_eq!(s.len(), 5);
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn quantifiers() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..50 {
+            let s = "x?y+".generate(&mut rng);
+            let ys = s.chars().filter(|&c| c == 'y').count();
+            assert!((1..=UNBOUNDED_CAP).contains(&ys));
+            assert!(s.chars().filter(|&c| c == 'x').count() <= 1);
+        }
+    }
+
+    #[test]
+    fn open_ended_quantifier_explores_past_minimum() {
+        let mut rng = TestRng::from_seed(5);
+        let mut max_len = 0;
+        for _ in 0..200 {
+            let s = "[ab]{10,}".generate(&mut rng);
+            assert!(s.len() >= 10);
+            max_len = max_len.max(s.len());
+        }
+        assert!(max_len > 10, "{{m,}} never generated more than m repeats");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex syntax")]
+    fn groups_are_rejected() {
+        let mut rng = TestRng::from_seed(4);
+        let _ = "(ab)+".generate(&mut rng);
+    }
+}

@@ -1,0 +1,140 @@
+//! Test configuration and the deterministic RNG behind every strategy.
+
+/// Per-test configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+
+    /// The case count actually used: the `PROPTEST_CASES` environment
+    /// variable overrides the compiled-in value, exactly like upstream.
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("PROPTEST_CASES must be an integer, got {v:?}")),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// Deterministic xoshiro256++ generator driving all strategies.
+///
+/// Each test derives its seed from its fully-qualified name (FNV-1a)
+/// mixed with `PROPTEST_RNG_SEED` (default 0), so runs are reproducible
+/// by default and still explorable by varying that variable.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// RNG for the named test, honoring `PROPTEST_RNG_SEED`.
+    pub fn for_test(name: &str) -> Self {
+        let base: u64 = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0);
+        Self::from_seed(fnv1a(name.as_bytes()) ^ base)
+    }
+
+    /// RNG from an explicit seed (SplitMix64 state expansion).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 random bits (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Unbiased uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample an empty range");
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform usize in `[lo, hi]` (inclusive).
+    pub fn size_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "empty size range {lo}..={hi}");
+        lo + self.below((hi - lo + 1) as u64) as usize
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_differ_by_test_name() {
+        let a = TestRng::for_test("a").next_u64();
+        let b = TestRng::for_test("b").next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = TestRng::from_seed(3);
+        let mut seen = [false; 7];
+        for _ in 0..300 {
+            seen[rng.below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn config_default_is_256() {
+        assert_eq!(ProptestConfig::default().cases, 256);
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+    }
+}
