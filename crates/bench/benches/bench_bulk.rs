@@ -4,7 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use nf2_core::bulk::{apply_batch, apply_batch_auto, rebuild_batch, Op};
+use nf2_core::bulk::{apply_batch, apply_batch_auto, rebuild_batch, replay_adaptive_with, Op};
+use nf2_core::kernel::NestKernel;
 use nf2_core::maintenance::{CanonicalRelation, CostCounter};
 use nf2_core::schema::NestOrder;
 use nf2_workload as workload;
@@ -67,5 +68,35 @@ fn bench_modify(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_batch_strategies, bench_modify);
+fn bench_streaming_ingest(c: &mut Criterion) {
+    // E16 in miniature: a shuffled insert stream replayed from empty in
+    // adaptive batches, every one taking the kernel rebuild arm. The
+    // shared-kernel variant measures what scratch reuse is worth.
+    let mut group = c.benchmark_group("streaming_ingest");
+    group.sample_size(10);
+    let w = workload::university(400, 4, 60, 2, 10, 29);
+    let stream: Vec<Op> = w.flat.rows().cloned().map(Op::Insert).collect();
+    let schema = w.flat.schema().clone();
+    let replay = |kernel: &mut NestKernel| {
+        let mut canon = CanonicalRelation::new(schema.clone(), NestOrder::identity(3)).unwrap();
+        let mut cost = CostCounter::new();
+        replay_adaptive_with(kernel, &mut canon, &stream, 256, &mut cost).unwrap();
+        canon
+    };
+    group.bench_function("adaptive_batches/fresh_kernel", |b| {
+        b.iter(|| replay(&mut NestKernel::new()))
+    });
+    group.bench_function("adaptive_batches/shared_kernel", |b| {
+        let mut kernel = NestKernel::new();
+        b.iter(|| replay(&mut kernel))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_strategies,
+    bench_modify,
+    bench_streaming_ingest
+);
 criterion_main!(benches);

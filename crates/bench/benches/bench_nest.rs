@@ -4,7 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use nf2_core::nest::{canonical_of_flat, nest};
+use nf2_core::kernel::NestKernel;
+use nf2_core::nest::{canonical_of_flat, canonical_of_flat_legacy, nest};
 use nf2_core::relation::NfRelation;
 use nf2_core::schema::NestOrder;
 use nf2_workload as workload;
@@ -58,10 +59,50 @@ fn bench_order_sensitivity(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_kernel_vs_legacy(c: &mut Criterion) {
+    // The headline refactor: single-pass kernel vs the n-pass ν cascade,
+    // plus the amortized path reusing one kernel's scratch buffers.
+    let mut group = c.benchmark_group("canonicalize_impl");
+    let order = NestOrder::identity(3);
+    let workloads = vec![
+        workload::university(400, 4, 60, 2, 12, 11),
+        workload::relationship(4_000, 300, 60, 6, 12),
+        workload::uniform(4_000, &[80, 80, 80], 14),
+    ];
+    for w in &workloads {
+        let label = w.label.split('(').next().unwrap_or("w").to_owned();
+        group.throughput(Throughput::Elements(w.flat.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new(format!("kernel/{label}"), w.flat.len()),
+            &w.flat,
+            |b, flat| {
+                b.iter(|| canonical_of_flat(std::hint::black_box(flat), &order));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("kernel_reused/{label}"), w.flat.len()),
+            &w.flat,
+            |b, flat| {
+                let mut kernel = NestKernel::new();
+                b.iter(|| kernel.canonical_of_flat(std::hint::black_box(flat), &order));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("legacy/{label}"), w.flat.len()),
+            &w.flat,
+            |b, flat| {
+                b.iter(|| canonical_of_flat_legacy(std::hint::black_box(flat), &order));
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_single_nest,
     bench_canonicalize,
-    bench_order_sensitivity
+    bench_order_sensitivity,
+    bench_kernel_vs_legacy
 );
 criterion_main!(benches);

@@ -13,4 +13,4 @@ pub mod experiments;
 pub mod report;
 
 pub use experiments::{experiment_ids, run_all, run_one};
-pub use report::Report;
+pub use report::{parse_baseline, Report};

@@ -1,0 +1,107 @@
+//! Property tests pinning the single-pass nest kernel tuple-identical to
+//! the legacy ν cascade — and, through Theorem 2, to literal pairwise
+//! composition under random pick orders — across **all** the `nf2-workload`
+//! generators, under the deterministic proptest seeds (CI pins
+//! `PROPTEST_RNG_SEED=0`).
+//!
+//! This is the safety net behind routing every layer (bulk rebuilds,
+//! storage bulk loads, the query NEST operator, the E8/E10/E14/E16
+//! experiments) through the kernel.
+
+use proptest::prelude::*;
+
+use nf2_core::bulk::{apply_batch, apply_batch_auto_with};
+use nf2_core::kernel::NestKernel;
+use nf2_core::maintenance::{CanonicalRelation, CostCounter};
+use nf2_core::nest::{canonical_of_flat_legacy, nest, nest_pairwise};
+use nf2_core::relation::NfRelation;
+use nf2_core::schema::NestOrder;
+use nf2_workload as workload;
+use nf2_workload::Workload;
+
+/// Instantiates every generator at property-test scale, driven by one
+/// seed so each case explores a different instance of each shape.
+fn all_generators(seed: u64) -> Vec<Workload> {
+    vec![
+        workload::university(8 + (seed % 13) as usize, 3, 10, 2, 4, seed),
+        workload::relationship(40 + (seed % 37) as usize, 12, 10, 3, seed),
+        workload::block_product(2 + (seed % 4) as usize, &[2, 3, 2], seed),
+        workload::uniform(30 + (seed % 21) as usize, &[8, 8, 8], seed),
+        workload::zipf(40, &[16, 16, 16], 1.1, seed),
+        workload::anti_correlated(8 + (seed % 9) as u32, 3, seed),
+        workload::prerequisites(8, 2, 2, seed).0,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The kernel is tuple-identical to the legacy fixpoint cascade on
+    /// every workload generator, for every nest order of the schema.
+    #[test]
+    fn kernel_equals_legacy_on_all_generators(seed in any::<u64>()) {
+        let mut kernel = NestKernel::new();
+        for w in all_generators(seed) {
+            let arity = w.flat.schema().arity();
+            for order in NestOrder::all(arity) {
+                let fast = kernel.canonical_of_flat(&w.flat, &order);
+                let slow = canonical_of_flat_legacy(&w.flat, &order);
+                prop_assert_eq!(&fast, &slow, "{} under {}", w.label, order);
+                // Theorem 1 both ways: no information gained or lost.
+                prop_assert_eq!(fast.expand(), w.flat.clone(), "{}", w.label);
+            }
+        }
+    }
+
+    /// Theorem 2 closes the loop: the kernel's per-attribute fixpoints
+    /// also equal literal pairwise composition under random pick orders.
+    /// (Pairwise composition is quadratic, so this leg runs on the
+    /// smaller generator instances only.)
+    #[test]
+    fn kernel_nest_equals_pairwise_composition(seed in any::<u64>(), pick_seed in any::<u64>()) {
+        let mut kernel = NestKernel::new();
+        let small = vec![
+            workload::university(5, 2, 6, 2, 3, seed),
+            workload::uniform(18, &[5, 5], seed),
+            workload::anti_correlated(6, 2, seed),
+        ];
+        for w in small {
+            let base = NfRelation::from_flat(&w.flat);
+            for attr in 0..w.flat.schema().arity() {
+                let via_kernel = kernel.nest_once(&base, attr);
+                prop_assert_eq!(&via_kernel, &nest(&base, attr), "{}", w.label);
+                let mut state = pick_seed | 1;
+                let pairwise = nest_pairwise(&base, attr, move |k| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 33) as usize % k
+                });
+                prop_assert_eq!(&via_kernel, &pairwise, "{} attr {}", w.label, attr);
+            }
+        }
+    }
+
+    /// The kernel-backed rebuild arm of `apply_batch_auto` agrees with
+    /// pure §4 incremental maintenance on replayed op traces, and one
+    /// kernel instance can serve many batches.
+    #[test]
+    fn kernel_rebuild_arm_matches_incremental(seed in any::<u64>(), ops in 8usize..40) {
+        let w = workload::university(6 + (seed % 7) as usize, 2, 8, 2, 3, seed);
+        let trace = workload::op_trace(&w, ops, 35, seed ^ 0xABCD);
+        let order = NestOrder::identity(3);
+        let base = CanonicalRelation::from_flat(&w.flat, order).unwrap();
+
+        let mut incremental = base.clone();
+        let mut cost = CostCounter::new();
+        apply_batch(&mut incremental, &trace, &mut cost).unwrap();
+
+        let mut kernel = NestKernel::new();
+        for chunk in [trace.len(), 1 + trace.len() / 2] {
+            let mut auto = base.clone();
+            for batch in trace.chunks(chunk.max(1)) {
+                apply_batch_auto_with(&mut kernel, &mut auto, batch, &mut cost).unwrap();
+            }
+            prop_assert_eq!(auto.relation(), incremental.relation());
+            auto.verify().unwrap();
+        }
+    }
+}

@@ -44,6 +44,7 @@ pub mod display;
 pub mod error;
 pub mod indexed;
 pub mod irreducible;
+pub mod kernel;
 pub mod maintenance;
 pub mod nest;
 pub mod properties;
@@ -53,13 +54,17 @@ pub mod tuple;
 pub mod value;
 
 pub use bulk::{
-    apply_batch, apply_batch_auto, modify, rebuild_batch, should_rebuild, BatchSummary, Op,
+    apply_batch, apply_batch_auto, apply_batch_auto_with, modify, rebuild_batch,
+    rebuild_batch_with, replay_adaptive_with, should_rebuild, BatchSummary, Op,
 };
 pub use compose::{composable, composable_over, compose, decompose, decompose_set, Split};
 pub use error::{NfError, Result};
 pub use indexed::IndexedCanonicalRelation;
+pub use kernel::NestKernel;
 pub use maintenance::{CanonicalRelation, CostCounter};
-pub use nest::{canonical_of_flat, canonicalize, is_canonical, nest, unnest};
+pub use nest::{
+    canonical_of_flat, canonical_of_flat_legacy, canonicalize, is_canonical, nest, unnest,
+};
 pub use relation::{FlatRelation, NfRelation};
 pub use schema::{AttrId, NestOrder, Schema};
 pub use tuple::{FlatTuple, NfTuple, ValueSet};
@@ -70,6 +75,7 @@ pub mod prelude {
     pub use crate::compose::{compose, decompose, decompose_set};
     pub use crate::error::{NfError, Result};
     pub use crate::irreducible::{is_irreducible, reduce, ReduceStrategy};
+    pub use crate::kernel::NestKernel;
     pub use crate::maintenance::{CanonicalRelation, CostCounter};
     pub use crate::nest::{canonical_of_flat, canonicalize, is_canonical, nest, unnest};
     pub use crate::properties::{cardinality_class, is_fixed_on, CardinalityClass};

@@ -86,7 +86,21 @@ impl CanonicalRelation {
 
     /// Builds the canonical form of an existing 1NF relation by nesting
     /// from scratch (the §3.3 path; used as the baseline in benchmarks).
+    /// Runs the single-pass nest kernel on a throwaway scratch instance;
+    /// use [`from_flat_with`](Self::from_flat_with) to amortize scratch
+    /// across repeated rebuilds.
     pub fn from_flat(flat: &FlatRelation, order: NestOrder) -> Result<Self> {
+        Self::from_flat_with(&mut crate::kernel::NestKernel::new(), flat, order)
+    }
+
+    /// [`from_flat`](Self::from_flat) reusing a caller-provided kernel, so
+    /// bulk loads and streaming rebuilds (the §4 rebuild arm, E16's ingest
+    /// loop) keep their sort/intern buffers warm across calls.
+    pub fn from_flat_with(
+        kernel: &mut crate::kernel::NestKernel,
+        flat: &FlatRelation,
+        order: NestOrder,
+    ) -> Result<Self> {
         if order.arity() != flat.schema().arity() {
             return Err(NfError::InvalidNestOrder(format!(
                 "order covers {} attributes, schema has {}",
@@ -94,7 +108,7 @@ impl CanonicalRelation {
                 flat.schema().arity()
             )));
         }
-        let rel = crate::nest::canonical_of_flat(flat, &order);
+        let rel = kernel.canonical_of_flat(flat, &order);
         Ok(Self { rel, order })
     }
 

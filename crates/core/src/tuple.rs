@@ -36,6 +36,19 @@ impl ValueSet {
         Self(vec![value])
     }
 
+    /// Builds a set from values that are already strictly ascending (and
+    /// therefore non-empty and duplicate-free). Fast path for the nest
+    /// kernel, whose folds produce sorted runs by construction; checked in
+    /// debug builds.
+    pub(crate) fn from_sorted_unchecked(values: Vec<Atom>) -> Self {
+        debug_assert!(!values.is_empty(), "components must be non-empty");
+        debug_assert!(
+            values.windows(2).all(|w| w[0] < w[1]),
+            "values must be strictly ascending"
+        );
+        Self(values)
+    }
+
     /// Number of values.
     pub fn len(&self) -> usize {
         self.0.len()

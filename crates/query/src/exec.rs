@@ -388,7 +388,10 @@ impl Database {
             Statement::Nest { table, attr } => {
                 let t = self.table(&table)?;
                 let id = t.schema().attr_id(&attr)?;
-                let relation = nf2_core::nest::nest(t.relation(), id);
+                // Ad-hoc ν over one attribute through the interning nest
+                // kernel (tuple-identical to `nest::nest`, which stays as
+                // the Def. 4 reference).
+                let relation = nf2_core::kernel::NestKernel::new().nest_once(t.relation(), id);
                 let rendered = render_nf(&relation, &self.dict.snapshot());
                 Ok(Output::Relation { relation, rendered })
             }

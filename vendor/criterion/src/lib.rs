@@ -6,20 +6,58 @@
 //! `bench_with_input`, [`Bencher::iter`] / `iter_batched`, and the
 //! [`BenchmarkId`] / [`Throughput`] / [`BatchSize`] types.
 //!
-//! Measurement is deliberately simple: each benchmark warms up once,
-//! then doubles its iteration count until it accumulates enough wall
-//! time, and prints mean ns/iter. That is enough to compare hot paths
-//! across commits; swap the real crate back in for rigorous statistics.
+//! Measurement: each benchmark doubles its iteration count until one
+//! batch accumulates enough wall time (calibration), then re-times that
+//! batch size over a fixed number of samples and prints **min / mean /
+//! p95** ns/iter plus the iteration and sample counts. Min bounds the
+//! true cost from below, p95 exposes jitter — enough to defend nest-
+//! kernel claims across commits; swap the real crate back in for
+//! rigorous statistics.
 
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-/// Target accumulated time per benchmark before reporting.
+/// Target accumulated time per calibration batch before sampling.
 const TARGET: Duration = Duration::from_millis(20);
 
 /// Iteration-count ceiling, so trivially fast closures still terminate.
 const MAX_ITERS: u64 = 1 << 20;
+
+/// Timed samples collected at the calibrated iteration count.
+const SAMPLES: usize = 12;
+
+/// Summary statistics of one benchmark, in ns/iter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Fastest sample — the best lower bound on the true cost.
+    pub min_ns: f64,
+    /// Mean over all samples.
+    pub mean_ns: f64,
+    /// 95th-percentile sample (nearest-rank), exposing jitter.
+    pub p95_ns: f64,
+    /// Iterations per sample (calibrated by doubling).
+    pub iters: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+impl Stats {
+    /// Computes nearest-rank order statistics over per-sample ns/iter.
+    fn from_samples(mut per_iter: Vec<f64>, iters: u64) -> Self {
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let n = per_iter.len().max(1);
+        let mean = per_iter.iter().sum::<f64>() / n as f64;
+        let p95_idx = ((n as f64 * 0.95).ceil() as usize).clamp(1, n) - 1;
+        Self {
+            min_ns: per_iter.first().copied().unwrap_or(0.0),
+            mean_ns: mean,
+            p95_ns: per_iter.get(p95_idx).copied().unwrap_or(0.0),
+            iters,
+            samples: n,
+        }
+    }
+}
 
 /// Benchmark driver (subset of `criterion::Criterion`).
 #[derive(Debug, Default)]
@@ -91,12 +129,20 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let stats = measure(f);
+    println!(
+        "bench: {label:<60} min {:>12.0}  mean {:>12.0}  p95 {:>12.0} ns/iter (iters={}, samples={})",
+        stats.min_ns, stats.mean_ns, stats.p95_ns, stats.iters, stats.samples
+    );
+}
+
+/// Calibrates the iteration count (doubling until one batch reaches
+/// [`TARGET`]), then times [`SAMPLES`] batches at that count.
+fn measure(f: &mut dyn FnMut(&mut Bencher)) -> Stats {
     let mut bencher = Bencher {
         iters: 1,
         elapsed: Duration::ZERO,
     };
-    // Grow the iteration count until the measurement is long enough to
-    // be meaningful, then report the last (longest) batch.
     loop {
         bencher.elapsed = Duration::ZERO;
         f(&mut bencher);
@@ -105,11 +151,16 @@ fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
         }
         bencher.iters *= 2;
     }
-    let per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iters.max(1));
-    println!(
-        "bench: {label:<60} {per_iter:>12} ns/iter (n={})",
-        bencher.iters
-    );
+    let iters = bencher.iters.max(1);
+    // The calibration batch is sample 0 (it ran at the final count).
+    let mut per_iter = Vec::with_capacity(SAMPLES);
+    per_iter.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+    for _ in 1..SAMPLES {
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        per_iter.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    Stats::from_samples(per_iter, iters)
 }
 
 /// Timing harness handed to each benchmark closure.
@@ -238,6 +289,30 @@ mod tests {
             })
         });
         assert!(calls > 0);
+    }
+
+    #[test]
+    fn stats_report_min_mean_p95_and_counts() {
+        let stats = Stats::from_samples(vec![30.0, 10.0, 20.0, 40.0], 256);
+        assert_eq!(stats.min_ns, 10.0);
+        assert_eq!(stats.mean_ns, 25.0);
+        assert_eq!(stats.p95_ns, 40.0, "nearest rank on 4 samples is the max");
+        assert_eq!(stats.iters, 256);
+        assert_eq!(stats.samples, 4);
+    }
+
+    #[test]
+    fn measure_collects_all_samples() {
+        let mut calls = 0u64;
+        let stats = measure(&mut |b: &mut Bencher| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert_eq!(stats.samples, SAMPLES);
+        assert!(stats.iters >= 1);
+        assert!(stats.min_ns <= stats.mean_ns && stats.mean_ns <= stats.p95_ns * 1.0001);
+        assert!(calls >= stats.iters * SAMPLES as u64);
     }
 
     #[test]
