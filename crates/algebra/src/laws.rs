@@ -1,6 +1,6 @@
 //! Executable algebraic laws of the NF² operators.
 //!
-//! The paper builds on the Jaeschke–Schek algebra (reference [7]), whose
+//! The paper builds on the Jaeschke–Schek algebra (reference \[7\]), whose
 //! central results are *interaction laws* between NEST, UNNEST and the
 //! classical operators. This module states each law as an executable
 //! checker so that the test suite (and the `repro laws` experiment) can
@@ -15,7 +15,7 @@
 //!
 //! Structural laws license plan rewrites that preserve the user-visible
 //! grouping; realization laws license rewrites whose output is
-//! re-canonicalized afterwards (see [`crate::optimize`]).
+//! re-canonicalized afterwards (see [`crate::optimize`](mod@crate::optimize)).
 //!
 //! | Law | Statement | Strength |
 //! |-----|-----------|----------|

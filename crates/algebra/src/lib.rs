@@ -1,15 +1,17 @@
 //! # nf2-algebra — the NF² relational algebra substrate
 //!
 //! The paper extends the Jaeschke–Schek algebra of non-first-normal-form
-//! relations (reference [7]): the classical operators plus NEST and
+//! relations (reference \[7\]): the classical operators plus NEST and
 //! UNNEST, all defined on the realization view `R*` with rectangle-level
 //! fast paths where the partition invariant provably survives
 //! (see [`ops`]). [`expr`] provides a composable logical expression tree
-//! over named relations, used by `nf2-query` as its plan representation.
+//! over named relations, used by `nf2-query` as its plan representation;
+//! [`stream`] evaluates the same trees as pull-based iterator pipelines
+//! over borrowed relations (this is what query cursors ride on).
 //!
 //! [`laws`] states the algebra's interaction laws (unnest∘nest, nest
 //! order-sensitivity, selection-pushdown strength, …) as executable
-//! checkers, and [`optimize`] turns them into a rule-based plan rewriter
+//! checkers, and [`optimize`](mod@optimize) turns them into a rule-based plan rewriter
 //! with structural vs realization-view guarantees — the "optimization
 //! strategy" §5 of the paper leaves open.
 
@@ -17,6 +19,7 @@ pub mod expr;
 pub mod laws;
 pub mod ops;
 pub mod optimize;
+pub mod stream;
 
 pub use expr::{Env, Expr};
 pub use laws::{check_all, LawOutcome};
@@ -25,3 +28,4 @@ pub use ops::{
     unnest,
 };
 pub use optimize::{estimate, optimize, CostEstimate, Optimized, RewriteMode, SchemaCatalog};
+pub use stream::{eval_stream, JoinLayout, RelStream, StreamEnv, StreamSource, TupleIter};

@@ -1,7 +1,7 @@
 //! NF² relational algebra operators.
 //!
 //! The paper builds on the Jaeschke–Schek algebra of NF² relations
-//! (reference [7]): ordinary relational operators extended with NEST and
+//! (reference \[7\]): ordinary relational operators extended with NEST and
 //! UNNEST. Every operator here is defined by its effect on the underlying
 //! 1NF relation `R*` (the realization view), with fast tuple-level
 //! ("rectangle") implementations used whenever they provably preserve the

@@ -1,0 +1,604 @@
+//! Iterator-driven ("streaming") evaluation of algebra expressions.
+//!
+//! [`Expr::eval`](crate::Expr::eval) materializes the full result of every
+//! node before its parent sees one tuple — fine for the paper repro,
+//! hostile to a serving engine where most consumers want the first rows
+//! fast. This module evaluates the same expressions as pull-based
+//! pipelines over *borrowed* relations:
+//!
+//! * `Rel` scans yield [`TupleView::Borrowed`] straight from the source —
+//!   no clone, no copy;
+//! * box selection intersects components tuple-at-a-time, keeping the
+//!   borrow whenever no component shrinks;
+//! * UNNEST splits each tuple independently;
+//! * natural join materializes only its **build side** (the right input)
+//!   and streams the probe side through it;
+//! * inherently blocking operators — projection (duplicate elimination /
+//!   fixedness check), nest, canonicalize, union, difference, intersect —
+//!   fall back to materializing their inputs and calling the exact same
+//!   [`ops`] functions the strict evaluator uses, so results are
+//!   tuple-identical to `eval` by construction.
+//!
+//! Every pipeline operator preserves the partition invariant (disjoint
+//! rectangles in, disjoint rectangles out), which is what lets
+//! [`RelStream::into_relation`] materialize with the linear-time
+//! [`NfRelation::from_disjoint_tuples`] instead of the quadratic
+//! validating constructor.
+
+use std::sync::Arc;
+
+use nf2_core::error::{NfError, Result};
+use nf2_core::relation::NfRelation;
+use nf2_core::schema::{NestOrder, Schema};
+use nf2_core::tuple::{NfTuple, TupleView, ValueSet};
+
+use crate::expr::Expr;
+use crate::ops;
+
+/// A boxed pull-based tuple pipeline.
+pub type TupleIter<'a> = Box<dyn Iterator<Item = TupleView<'a>> + 'a>;
+
+/// A streamed relation: the schema plus a lazily-evaluated tuple pipeline.
+pub struct RelStream<'a> {
+    schema: Arc<Schema>,
+    iter: TupleIter<'a>,
+}
+
+impl std::fmt::Debug for RelStream<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RelStream")
+            .field("schema", &self.schema)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> RelStream<'a> {
+    /// Wraps an existing pipeline under a schema.
+    pub fn new(schema: Arc<Schema>, iter: TupleIter<'a>) -> Self {
+        Self { schema, iter }
+    }
+
+    /// A stream with no tuples.
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        Self {
+            schema,
+            iter: Box::new(std::iter::empty()),
+        }
+    }
+
+    /// A stream over a borrowed relation's tuples (zero-copy).
+    pub fn scan(rel: &'a NfRelation) -> Self {
+        Self {
+            schema: rel.schema().clone(),
+            iter: Box::new(rel.tuples().iter().map(TupleView::Borrowed)),
+        }
+    }
+
+    /// A stream that owns its tuples (e.g. a materialized intermediate).
+    pub fn from_relation(rel: NfRelation) -> Self {
+        let schema = rel.schema().clone();
+        Self {
+            schema,
+            iter: Box::new(rel.into_tuples().into_iter().map(TupleView::Owned)),
+        }
+    }
+
+    /// The output schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Drains the stream into a relation.
+    ///
+    /// Linear in the number of tuples: the pipeline operators preserve
+    /// pairwise disjointness, so no overlap re-validation is needed.
+    pub fn into_relation(self) -> Result<NfRelation> {
+        let tuples: Vec<NfTuple> = self.iter.map(TupleView::into_owned).collect();
+        NfRelation::from_disjoint_tuples(self.schema, tuples)
+    }
+
+    /// Sums `|R*|` over the stream without materializing any tuple list.
+    pub fn flat_count(self) -> u128 {
+        self.iter.map(|t| t.expansion_count()).sum()
+    }
+}
+
+impl<'a> Iterator for RelStream<'a> {
+    type Item = TupleView<'a>;
+
+    fn next(&mut self) -> Option<TupleView<'a>> {
+        self.iter.next()
+    }
+}
+
+/// One named streaming source: a schema plus a factory producing a fresh
+/// scan on demand (a relation referenced twice in a plan scans twice).
+pub struct StreamSource<'a> {
+    schema: Arc<Schema>,
+    scan: Box<dyn Fn() -> TupleIter<'a> + 'a>,
+}
+
+impl std::fmt::Debug for StreamSource<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamSource")
+            .field("schema", &self.schema)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A named-source environment for streaming evaluation — the borrowing
+/// counterpart of [`Env`](crate::Env). Sources are usually whole borrowed
+/// relations ([`StreamEnv::insert_relation`]), but a storage engine can
+/// plug in instrumented scans via [`StreamEnv::insert_source`] (this is
+/// how `nf2-query` routes cursors through `NfTable`'s counted scans).
+///
+/// Backed by a small vector with linear-scan lookup: environments are
+/// rebuilt per query over the handful of tables a plan touches, so
+/// avoiding hash-map setup matters more than O(1) lookup.
+#[derive(Debug, Default)]
+pub struct StreamEnv<'a> {
+    sources: Vec<(String, StreamSource<'a>)>,
+}
+
+impl<'a> StreamEnv<'a> {
+    /// An empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a borrowed relation under `name`.
+    pub fn insert_relation(&mut self, name: impl Into<String>, rel: &'a NfRelation) {
+        let schema = rel.schema().clone();
+        self.insert_source(name, schema, move || {
+            Box::new(rel.tuples().iter().map(TupleView::Borrowed))
+        });
+    }
+
+    /// Registers an arbitrary scan factory under `name` (replacing any
+    /// previous source of that name).
+    pub fn insert_source(
+        &mut self,
+        name: impl Into<String>,
+        schema: Arc<Schema>,
+        scan: impl Fn() -> TupleIter<'a> + 'a,
+    ) {
+        let name = name.into();
+        let source = StreamSource {
+            schema,
+            scan: Box::new(scan),
+        };
+        match self.sources.iter_mut().find(|(n, _)| *n == name) {
+            Some(slot) => slot.1 = source,
+            None => self.sources.push((name, source)),
+        }
+    }
+
+    fn get(&self, name: &str) -> Result<&StreamSource<'a>> {
+        self.sources
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+            .ok_or_else(|| NfError::UnknownAttribute(format!("relation {name}")))
+    }
+}
+
+/// Evaluates `expr` against `env` as a pull-based pipeline.
+///
+/// The result is tuple-identical to [`Expr::eval`](crate::Expr::eval) on
+/// an [`Env`](crate::Env) holding the same relations (property-tested in
+/// this crate): streaming operators compute the exact per-tuple rewrites
+/// of their strict counterparts, and blocking operators *are* the strict
+/// counterparts, applied to materialized inputs.
+pub fn eval_stream<'a>(expr: &Expr, env: &StreamEnv<'a>) -> Result<RelStream<'a>> {
+    match expr {
+        Expr::Rel(name) => {
+            let source = env.get(name)?;
+            Ok(RelStream::new(source.schema.clone(), (source.scan)()))
+        }
+        Expr::SelectBox { input, constraints } => {
+            let child = eval_stream(input, env)?;
+            let schema = child.schema.clone();
+            let resolved = constraints
+                .iter()
+                .map(|(name, values)| {
+                    let attr = schema.attr_id(name)?;
+                    let set =
+                        ValueSet::new(values.clone()).ok_or(NfError::EmptyValueSet { attr })?;
+                    Ok((attr, set))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            let iter = child.iter.filter_map(move |t| filter_box(t, &resolved));
+            Ok(RelStream::new(schema, Box::new(iter)))
+        }
+        Expr::Unnest { input, attr } => {
+            let child = eval_stream(input, env)?;
+            let schema = child.schema.clone();
+            let attr = schema.attr_id(attr)?;
+            let iter = child.iter.flat_map(move |t| {
+                if t.component(attr).is_singleton() {
+                    // Already flat on `attr`: pass the view through.
+                    vec![t]
+                } else {
+                    t.component(attr)
+                        .iter()
+                        .map(|v| TupleView::Owned(t.with_component(attr, ValueSet::singleton(v))))
+                        .collect()
+                }
+            });
+            Ok(RelStream::new(schema, Box::new(iter)))
+        }
+        Expr::Join(l, r) => {
+            let left = eval_stream(l, env)?;
+            let right = eval_stream(r, env)?;
+            stream_join(left, right)
+        }
+        // Blocking operators: materialize the inputs and delegate to the
+        // strict implementations (identical results by construction).
+        Expr::Project { input, attrs } => {
+            let rel = eval_stream(input, env)?.into_relation()?;
+            let ids = attrs
+                .iter()
+                .map(|n| rel.schema().attr_id(n))
+                .collect::<Result<Vec<_>>>()?;
+            let out = ops::project(&rel, &ids, &NestOrder::identity(ids.len()))?;
+            Ok(RelStream::from_relation(out))
+        }
+        Expr::Union(l, r) => {
+            let (l, r) = (
+                eval_stream(l, env)?.into_relation()?,
+                eval_stream(r, env)?.into_relation()?,
+            );
+            let order = NestOrder::identity(l.arity());
+            Ok(RelStream::from_relation(ops::union(&l, &r, &order)?))
+        }
+        Expr::Difference(l, r) => {
+            let (l, r) = (
+                eval_stream(l, env)?.into_relation()?,
+                eval_stream(r, env)?.into_relation()?,
+            );
+            let order = NestOrder::identity(l.arity());
+            Ok(RelStream::from_relation(ops::difference(&l, &r, &order)?))
+        }
+        Expr::Intersect(l, r) => {
+            let (l, r) = (
+                eval_stream(l, env)?.into_relation()?,
+                eval_stream(r, env)?.into_relation()?,
+            );
+            Ok(RelStream::from_relation(ops::intersect(&l, &r)?))
+        }
+        Expr::Nest { input, attr } => {
+            let rel = eval_stream(input, env)?.into_relation()?;
+            let id = rel.schema().attr_id(attr)?;
+            Ok(RelStream::from_relation(ops::nest(&rel, id)))
+        }
+        Expr::Canonicalize { input, order } => {
+            let rel = eval_stream(input, env)?.into_relation()?;
+            let names: Vec<&str> = order.iter().map(String::as_str).collect();
+            let order = NestOrder::from_names(rel.schema(), &names)?;
+            Ok(RelStream::from_relation(nf2_core::nest::canonicalize(
+                &rel, &order,
+            )))
+        }
+    }
+}
+
+/// Applies box-selection constraints to one tuple. `None` drops the
+/// tuple; an unchanged tuple keeps its (possibly borrowed) view.
+///
+/// Public so physical executors built on this pipeline (the query
+/// layer's compiled prepared plans) apply exactly the same per-tuple
+/// selection semantics.
+pub fn filter_box<'a>(
+    t: TupleView<'a>,
+    constraints: &[(usize, ValueSet)],
+) -> Option<TupleView<'a>> {
+    // First pass: compute the narrowed components, bailing early on an
+    // empty intersection. Constraints fold progressively — a second
+    // conjunct on the same attribute intersects the already-narrowed
+    // component, exactly like the strict [`ops::select_box`].
+    let mut narrowed: Vec<(usize, ValueSet)> = Vec::new();
+    'conjunct: for (attr, set) in constraints {
+        for entry in narrowed.iter_mut() {
+            if entry.0 == *attr {
+                entry.1 = entry.1.intersection(set)?;
+                continue 'conjunct;
+            }
+        }
+        let reduced = t.component(*attr).intersection(set)?;
+        if reduced.len() != t.component(*attr).len() {
+            narrowed.push((*attr, reduced));
+        }
+    }
+    if narrowed.is_empty() {
+        return Some(t); // every component survived intact — zero-copy
+    }
+    let mut out = t.into_owned();
+    for (attr, set) in narrowed {
+        out = out.with_component(attr, set);
+    }
+    Some(TupleView::Owned(out))
+}
+
+/// Natural join with a streamed probe (left) side and a materialized
+/// build (right) side — the per-pair rectangle intersection of
+/// [`ops::natural_join`], reordered so left tuples flow through.
+/// The precomputed shape of a natural join: which right-side components
+/// intersect which left-side components, which are appended, and the
+/// output schema. Public so physical executors (the query layer's
+/// compiled prepared plans) share one copy of the join semantics with
+/// the streaming evaluator.
+#[derive(Debug, Clone)]
+pub struct JoinLayout {
+    /// `(right attr, left attr)` pairs of shared attribute names.
+    pub shared: Vec<(usize, usize)>,
+    /// Right-side attributes appended after the left schema.
+    pub right_only: Vec<usize>,
+    /// Output schema: left attributes then right-only attributes
+    /// (mirrors [`ops::natural_join`]).
+    pub schema: Arc<Schema>,
+}
+
+impl JoinLayout {
+    /// Computes the join layout of two input schemas.
+    pub fn of(lschema: &Schema, rschema: &Schema) -> Result<JoinLayout> {
+        let mut shared: Vec<(usize, usize)> = Vec::new(); // (right, left)
+        let mut right_only: Vec<usize> = Vec::new();
+        for (r_id, r_name) in rschema.attr_names().enumerate() {
+            match lschema.attr_id(r_name) {
+                Ok(l_id) => shared.push((r_id, l_id)),
+                Err(_) => right_only.push(r_id),
+            }
+        }
+        let mut names: Vec<&str> = lschema.attr_names().collect();
+        let right_names: Vec<&str> = rschema.attr_names().collect();
+        for &r_id in &right_only {
+            names.push(right_names[r_id]);
+        }
+        let schema = Schema::new(
+            format!("{}_join_{}", lschema.name(), rschema.name()),
+            &names,
+        )?;
+        Ok(JoinLayout {
+            shared,
+            right_only,
+            schema,
+        })
+    }
+
+    /// Joins one probe tuple against the whole build side, appending the
+    /// surviving combined rectangles to `out` — the per-pair rectangle
+    /// intersection of [`ops::natural_join`].
+    pub fn probe<'a>(
+        &self,
+        l: &TupleView<'a>,
+        build: &[TupleView<'a>],
+        out: &mut Vec<TupleView<'a>>,
+    ) {
+        'pair: for r in build {
+            let mut comps: Vec<ValueSet> = l.components().to_vec();
+            for &(r_id, l_id) in &self.shared {
+                match comps[l_id].intersection(r.component(r_id)) {
+                    Some(c) => comps[l_id] = c,
+                    None => continue 'pair,
+                }
+            }
+            for &r_id in &self.right_only {
+                comps.push(r.component(r_id).clone());
+            }
+            out.push(TupleView::Owned(NfTuple::new(comps)));
+        }
+    }
+}
+
+fn stream_join<'a>(left: RelStream<'a>, right: RelStream<'a>) -> Result<RelStream<'a>> {
+    let layout = JoinLayout::of(&left.schema, &right.schema)?;
+    let schema = layout.schema.clone();
+    // The build side stays as views: borrowed tuples are not cloned,
+    // only held until the probe side finishes.
+    let build: Vec<TupleView<'a>> = right.iter.collect();
+    let iter = left.iter.flat_map(move |l| {
+        let mut out = Vec::new();
+        layout.probe(&l, &build, &mut out);
+        out
+    });
+    Ok(RelStream::new(schema, Box::new(iter)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Env;
+    use nf2_core::relation::FlatRelation;
+    use nf2_core::value::Atom;
+
+    fn sc() -> NfRelation {
+        let schema = Schema::new("SC", &["Student", "Course"]).unwrap();
+        let flat = FlatRelation::from_rows(
+            schema,
+            vec![
+                vec![Atom(1), Atom(10)],
+                vec![Atom(1), Atom(11)],
+                vec![Atom(2), Atom(10)],
+                vec![Atom(3), Atom(12)],
+            ],
+        )
+        .unwrap();
+        nf2_core::nest::canonical_of_flat(&flat, &NestOrder::identity(2))
+    }
+
+    fn cp() -> NfRelation {
+        let schema = Schema::new("CP", &["Course", "Prof"]).unwrap();
+        let flat = FlatRelation::from_rows(
+            schema,
+            vec![
+                vec![Atom(10), Atom(90)],
+                vec![Atom(11), Atom(91)],
+                vec![Atom(12), Atom(90)],
+            ],
+        )
+        .unwrap();
+        NfRelation::from_flat(&flat)
+    }
+
+    /// Strict and streaming evaluation over the same relations.
+    fn both(expr: &Expr) -> (NfRelation, NfRelation) {
+        let (sc, cp) = (sc(), cp());
+        let mut env = Env::new();
+        env.insert("sc", sc.clone());
+        env.insert("cp", cp.clone());
+        let strict = expr.eval(&env).unwrap();
+        let mut senv = StreamEnv::new();
+        senv.insert_relation("sc", &sc);
+        senv.insert_relation("cp", &cp);
+        let streamed = eval_stream(expr, &senv).unwrap().into_relation().unwrap();
+        (strict, streamed)
+    }
+
+    #[test]
+    fn scan_is_zero_copy() {
+        let rel = sc();
+        let mut stream = RelStream::scan(&rel);
+        let first = stream.next().unwrap();
+        assert!(first.is_borrowed());
+        assert_eq!(stream.count() + 1, rel.tuple_count());
+    }
+
+    #[test]
+    fn select_keeps_borrow_when_nothing_shrinks() {
+        let rel = sc();
+        // Student ∈ {1, 2, 3} keeps every component intact.
+        let all = ValueSet::new(vec![Atom(1), Atom(2), Atom(3)]).unwrap();
+        let kept = filter_box(
+            TupleView::Borrowed(&rel.tuples()[0]),
+            &[(0usize, all.clone())],
+        )
+        .unwrap();
+        assert!(kept.is_borrowed(), "no narrowing → zero-copy");
+        // Student ∈ {1} must narrow multi-student tuples into owned ones.
+        let narrow = ValueSet::singleton(Atom(1));
+        for t in rel.tuples() {
+            if let Some(out) = filter_box(TupleView::Borrowed(t), &[(0usize, narrow.clone())]) {
+                assert!(out.component(0).is_singleton());
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_attr_conjuncts_fold_progressively() {
+        // σ[Student∈{1}](σ[Student∈{1,2}]-style conjuncts on ONE select
+        // node: the second constraint must intersect the already-narrowed
+        // component, not the original (last-write-wins would wrongly keep
+        // a tuple here).
+        let expr = Expr::SelectBox {
+            input: Box::new(Expr::rel("sc")),
+            constraints: vec![
+                ("Student".into(), vec![Atom(1)]),
+                ("Student".into(), vec![Atom(2)]),
+            ],
+        };
+        let (strict, streamed) = both(&expr);
+        assert!(strict.is_empty(), "{{1}} ∩ {{2}} = ∅");
+        assert_eq!(strict, streamed);
+        // And a satisfiable pair narrows to the common value.
+        let expr = Expr::SelectBox {
+            input: Box::new(Expr::rel("sc")),
+            constraints: vec![
+                ("Student".into(), vec![Atom(1), Atom(2)]),
+                ("Student".into(), vec![Atom(2), Atom(3)]),
+            ],
+        };
+        let (strict, streamed) = both(&expr);
+        assert_eq!(strict, streamed);
+        for t in streamed.tuples() {
+            assert!(t.component(0).as_slice() == [Atom(2)]);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_strict_select_project() {
+        let expr = Expr::Project {
+            input: Box::new(Expr::SelectBox {
+                input: Box::new(Expr::rel("sc")),
+                constraints: vec![("Student".into(), vec![Atom(1)])],
+            }),
+            attrs: vec!["Course".into()],
+        };
+        let (strict, streamed) = both(&expr);
+        assert_eq!(strict, streamed);
+    }
+
+    #[test]
+    fn streaming_matches_strict_join() {
+        let expr = Expr::Join(Box::new(Expr::rel("sc")), Box::new(Expr::rel("cp")));
+        let (strict, streamed) = both(&expr);
+        assert_eq!(strict, streamed);
+        assert_eq!(strict.expand(), streamed.expand());
+    }
+
+    #[test]
+    fn streaming_matches_strict_blocking_ops() {
+        for expr in [
+            Expr::Union(Box::new(Expr::rel("sc")), Box::new(Expr::rel("sc"))),
+            Expr::Difference(Box::new(Expr::rel("sc")), Box::new(Expr::rel("sc"))),
+            Expr::Intersect(Box::new(Expr::rel("sc")), Box::new(Expr::rel("sc"))),
+            Expr::Nest {
+                input: Box::new(Expr::rel("sc")),
+                attr: "Student".into(),
+            },
+            Expr::Canonicalize {
+                input: Box::new(Expr::rel("sc")),
+                order: vec!["Student".into(), "Course".into()],
+            },
+        ] {
+            let (strict, streamed) = both(&expr);
+            assert_eq!(strict, streamed, "expr {expr}");
+        }
+    }
+
+    #[test]
+    fn streaming_unnest_splits_lazily() {
+        let expr = Expr::Unnest {
+            input: Box::new(Expr::rel("sc")),
+            attr: "Student".into(),
+        };
+        let (strict, streamed) = both(&expr);
+        assert_eq!(strict, streamed);
+    }
+
+    #[test]
+    fn flat_count_streams_without_materializing() {
+        let rel = sc();
+        let mut env = StreamEnv::new();
+        env.insert_relation("sc", &rel);
+        let stream = eval_stream(&Expr::rel("sc"), &env).unwrap();
+        assert_eq!(stream.flat_count(), rel.flat_count());
+    }
+
+    #[test]
+    fn unknown_relation_and_attr_error() {
+        let rel = sc();
+        let mut env = StreamEnv::new();
+        env.insert_relation("sc", &rel);
+        assert!(eval_stream(&Expr::rel("ghost"), &env).is_err());
+        let bad = Expr::SelectBox {
+            input: Box::new(Expr::rel("sc")),
+            constraints: vec![("Nope".into(), vec![Atom(1)])],
+        };
+        assert!(eval_stream(&bad, &env).is_err());
+    }
+
+    #[test]
+    fn custom_source_scans_are_used() {
+        let rel = sc();
+        let scans = std::cell::Cell::new(0usize);
+        let mut env = StreamEnv::new();
+        let (rel_ref, scans_ref) = (&rel, &scans);
+        env.insert_source("sc", rel.schema().clone(), move || {
+            scans_ref.set(scans_ref.get() + 1);
+            Box::new(rel_ref.tuples().iter().map(TupleView::Borrowed))
+        });
+        let stream = eval_stream(&Expr::rel("sc"), &env).unwrap();
+        assert_eq!(stream.count(), rel.tuple_count());
+        assert_eq!(scans.get(), 1, "one Rel node → one scan");
+    }
+}

@@ -137,4 +137,50 @@ proptest! {
             .iter()
             .all(|t| t.component(attr).is_singleton()));
     }
+
+    /// Streaming evaluation == strict evaluation, tuple for tuple, on
+    /// random expression shapes over random relations (pipeline
+    /// operators and blocking fallbacks alike).
+    #[test]
+    fn eval_stream_matches_eval(
+        a in arb_flat("R"),
+        b in arb_flat("S"),
+        seed in any::<u64>(),
+        v in 0u32..4,
+        shape in 0usize..8,
+    ) {
+        use nf2_algebra::{eval_stream, Env, Expr, StreamEnv};
+        let (ra, rb) = (nested(&a, seed), nested(&b, seed / 3));
+        let sel = |input: Expr| Expr::SelectBox {
+            input: Box::new(input),
+            constraints: vec![("B".into(), vec![Atom(v + 10), Atom(10)])],
+        };
+        let same_attr_twice = |input: Expr| Expr::SelectBox {
+            input: Box::new(input),
+            constraints: vec![
+                ("B".into(), vec![Atom(v + 10), Atom(10), Atom(11)]),
+                ("B".into(), vec![Atom(10), Atom(12)]),
+            ],
+        };
+        let expr = match shape {
+            0 => Expr::rel("r"),
+            1 => sel(Expr::rel("r")),
+            2 => Expr::Project { input: Box::new(sel(Expr::rel("r"))), attrs: vec!["C".into(), "A".into()] },
+            3 => sel(Expr::Join(Box::new(Expr::rel("r")), Box::new(Expr::rel("s")))),
+            4 => Expr::Union(Box::new(Expr::rel("r")), Box::new(sel(Expr::rel("s")))),
+            5 => Expr::Unnest { input: Box::new(Expr::rel("r")), attr: "A".into() },
+            6 => Expr::Nest { input: Box::new(sel(Expr::rel("r"))), attr: "C".into() },
+            _ => same_attr_twice(Expr::rel("r")),
+        };
+        let mut env = Env::new();
+        env.insert("r", ra.clone());
+        env.insert("s", rb.clone());
+        let strict = expr.eval(&env).unwrap();
+        let mut senv = StreamEnv::new();
+        senv.insert_relation("r", &ra);
+        senv.insert_relation("s", &rb);
+        let streamed = eval_stream(&expr, &senv).unwrap().into_relation().unwrap();
+        prop_assert_eq!(&strict, &streamed, "shape {}: {}", shape, expr);
+        prop_assert!(streamed.validate().is_ok(), "pipeline preserved the invariant");
+    }
 }

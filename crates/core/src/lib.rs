@@ -5,12 +5,12 @@
 //! Non-First-Normal-Form Relational Databases"*, VLDB 1983:
 //!
 //! * tuples with **set-valued components** and their expansion semantics
-//!   ([`tuple`]);
+//!   ([`tuple`](mod@tuple));
 //! * **composition** and **decomposition** of tuples, Defs. 1–2
-//!   ([`compose`]);
+//!   ([`compose`](mod@compose));
 //! * the `R ↔ R*` correspondence, Theorem 1 ([`relation`]);
 //! * **nest** operations and **canonical forms**, Defs. 4–5 and Theorem 2
-//!   ([`nest`]);
+//!   ([`nest`](mod@nest));
 //! * **irreducible forms**, Def. 3 and minimal-partition search
 //!   ([`irreducible`]);
 //! * cardinality classes and **fixedness**, Defs. 6–7 ([`properties`]);
@@ -67,7 +67,7 @@ pub use nest::{
 };
 pub use relation::{FlatRelation, NfRelation};
 pub use schema::{AttrId, NestOrder, Schema};
-pub use tuple::{FlatTuple, NfTuple, ValueSet};
+pub use tuple::{FlatTuple, NfTuple, TupleView, ValueSet};
 pub use value::{Atom, Dictionary};
 
 /// Convenience re-exports for downstream crates and examples.
@@ -81,6 +81,6 @@ pub mod prelude {
     pub use crate::properties::{cardinality_class, is_fixed_on, CardinalityClass};
     pub use crate::relation::{FlatRelation, NfRelation};
     pub use crate::schema::{AttrId, NestOrder, Schema};
-    pub use crate::tuple::{FlatTuple, NfTuple, ValueSet};
+    pub use crate::tuple::{FlatTuple, NfTuple, TupleView, ValueSet};
     pub use crate::value::{Atom, Dictionary};
 }

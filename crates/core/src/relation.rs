@@ -118,6 +118,36 @@ impl NfRelation {
         Ok(rel)
     }
 
+    /// Builds an NFR from tuples that are known to be pairwise disjoint.
+    ///
+    /// Only the arity of each tuple is checked; the partition invariant is
+    /// the **caller's contract**. Streaming pipelines use this to
+    /// materialize intermediate results in linear time: every operator in
+    /// [`nf2-algebra`'s streaming evaluator] preserves disjointness by
+    /// construction, so re-running the `O(T²)` overlap scan of
+    /// [`NfRelation::from_tuples`] per operator would turn evaluation
+    /// quadratic.
+    ///
+    /// [`nf2-algebra`'s streaming evaluator]: https://docs.rs/nf2-algebra
+    pub fn from_disjoint_tuples(schema: Arc<Schema>, tuples: Vec<NfTuple>) -> Result<Self> {
+        for t in &tuples {
+            if t.arity() != schema.arity() {
+                return Err(NfError::ArityMismatch {
+                    expected: schema.arity(),
+                    got: t.arity(),
+                });
+            }
+        }
+        let rel = Self { schema, tuples };
+        // Debug builds verify the caller's contract; release builds pay
+        // only the arity scan above.
+        debug_assert!(
+            rel.validate().is_ok(),
+            "from_disjoint_tuples caller violated the partition invariant"
+        );
+        Ok(rel)
+    }
+
     /// Builds an NFR from tuples **without** validating. For internal use
     /// by operations that preserve the invariant by construction.
     pub(crate) fn from_tuples_unchecked(schema: Arc<Schema>, tuples: Vec<NfTuple>) -> Self {
@@ -359,6 +389,28 @@ mod tests {
                 expected: 2,
                 got: 1
             }
+        );
+    }
+
+    #[test]
+    fn from_disjoint_tuples_checks_arity_only() {
+        let ok =
+            NfRelation::from_disjoint_tuples(schema2(), vec![t(&[&[1], &[10]]), t(&[&[2], &[20]])])
+                .unwrap();
+        assert_eq!(ok.tuple_count(), 2);
+        assert!(ok.validate().is_ok());
+        let bad = NfRelation::from_disjoint_tuples(schema2(), vec![NfTuple::from_flat(&[Atom(1)])]);
+        assert!(bad.is_err(), "arity is still enforced");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "partition invariant")]
+    fn from_disjoint_tuples_debug_asserts_disjointness() {
+        // Release builds trust the caller; debug builds catch the lie.
+        let _ = NfRelation::from_disjoint_tuples(
+            schema2(),
+            vec![t(&[&[1, 2], &[10]]), t(&[&[2], &[10]])],
         );
     }
 

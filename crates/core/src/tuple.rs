@@ -346,6 +346,74 @@ impl Iterator for ExpansionIter<'_> {
     }
 }
 
+/// A possibly-borrowed NF² tuple — the item type of streaming cursors.
+///
+/// Iterator pipelines over stored relations yield tuples straight out of
+/// the table (`Borrowed`, zero-copy) until an operator has to rewrite a
+/// component (selection narrowing a value set, a join combining two
+/// rectangles), at which point the tuple becomes `Owned`. Consumers that
+/// only *read* never pay for a clone; [`TupleView::into_owned`] converts
+/// on demand.
+#[derive(Debug, Clone)]
+pub enum TupleView<'a> {
+    /// A tuple borrowed from its relation — no copy was made.
+    Borrowed(&'a NfTuple),
+    /// A tuple computed by the pipeline (selection, join, …).
+    Owned(NfTuple),
+}
+
+impl<'a> TupleView<'a> {
+    /// A shared reference to the underlying tuple.
+    pub fn as_tuple(&self) -> &NfTuple {
+        match self {
+            TupleView::Borrowed(t) => t,
+            TupleView::Owned(t) => t,
+        }
+    }
+
+    /// Converts into an owned tuple, cloning only if still borrowed.
+    pub fn into_owned(self) -> NfTuple {
+        match self {
+            TupleView::Borrowed(t) => t.clone(),
+            TupleView::Owned(t) => t,
+        }
+    }
+
+    /// Whether this view still borrows from the source relation.
+    pub fn is_borrowed(&self) -> bool {
+        matches!(self, TupleView::Borrowed(_))
+    }
+}
+
+impl PartialEq for TupleView<'_> {
+    /// Equality on the underlying tuple, ignoring ownership.
+    fn eq(&self, other: &Self) -> bool {
+        self.as_tuple() == other.as_tuple()
+    }
+}
+
+impl Eq for TupleView<'_> {}
+
+impl std::ops::Deref for TupleView<'_> {
+    type Target = NfTuple;
+
+    fn deref(&self) -> &NfTuple {
+        self.as_tuple()
+    }
+}
+
+impl<'a> From<&'a NfTuple> for TupleView<'a> {
+    fn from(t: &'a NfTuple) -> Self {
+        TupleView::Borrowed(t)
+    }
+}
+
+impl From<NfTuple> for TupleView<'_> {
+    fn from(t: NfTuple) -> Self {
+        TupleView::Owned(t)
+    }
+}
+
 impl fmt::Display for NfTuple {
     /// Paper notation: `[E0(a, b) E1(c)]` with numeric atom ids.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -371,6 +439,20 @@ mod tests {
 
     fn vs(ids: &[u32]) -> ValueSet {
         ValueSet::new(ids.iter().map(|&i| Atom(i)).collect()).unwrap()
+    }
+
+    #[test]
+    fn tuple_view_borrow_and_own() {
+        let t = NfTuple::new(vec![vs(&[1, 2]), vs(&[10])]);
+        let borrowed = TupleView::from(&t);
+        assert!(borrowed.is_borrowed());
+        assert_eq!(borrowed.arity(), 2, "Deref reaches NfTuple methods");
+        assert_eq!(borrowed.as_tuple(), &t);
+        let owned = TupleView::from(t.clone());
+        assert!(!owned.is_borrowed());
+        assert_eq!(borrowed, owned, "equality compares the tuples");
+        assert_eq!(owned.into_owned(), t);
+        assert_eq!(TupleView::from(&t).into_owned(), t);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! 4NF decomposition (Fagin 1977, the paper's reference [2]).
+//! 4NF decomposition (Fagin 1977, the paper's reference \[2\]).
 //!
 //! §2 of the paper argues NFRs "may throw away the 4NF concept": instead
 //! of decomposing `R1(Student, Course, Club)` on its MVD, one nests it.

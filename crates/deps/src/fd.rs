@@ -2,8 +2,8 @@
 //! satisfaction checking on instances.
 //!
 //! The paper assumes "all the relations are in 3NF, which are mechanically
-//! obtained [13]" (§3.4); this module supplies the machinery reference
-//! [13] (Bernstein 1976) relies on.
+//! obtained \[13\]" (§3.4); this module supplies the machinery reference
+//! \[13\] (Bernstein 1976) relies on.
 
 use std::collections::HashMap;
 

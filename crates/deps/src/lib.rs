@@ -16,7 +16,7 @@
 //! * [`decompose`] — classical 4NF decomposition (the thing §2 says NFRs
 //!   "may throw away" — implemented so experiment E12 can measure the
 //!   trade);
-//! * [`synthesis`] — Bernstein 3NF synthesis (reference [13]);
+//! * [`synthesis`] — Bernstein 3NF synthesis (reference \[13\]);
 //! * [`mine`] — FD/MVD discovery on instances (§2: dependencies are a
 //!   property of the data, not an assumption);
 //! * [`theorems`] — executable Theorems 3–5 and the §3.4 nest-order

@@ -1,4 +1,4 @@
-//! Multivalued dependencies (Fagin 1977, the paper's reference [2]).
+//! Multivalued dependencies (Fagin 1977, the paper's reference \[2\]).
 //!
 //! `X →→ Y | Z` (with `Z = U − X − Y`) holds when, within each `X`-group,
 //! the set of `(Y, Z)` combinations is the Cartesian product of the

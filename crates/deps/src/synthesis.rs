@@ -1,4 +1,4 @@
-//! Bernstein's 3NF synthesis (the paper's reference [13]).
+//! Bernstein's 3NF synthesis (the paper's reference \[13\]).
 //!
 //! §3.4 assumes "all the relations are in 3NF, which are mechanically
 //! obtained" — this module performs that mechanical step: from a set of

@@ -1,13 +1,68 @@
 //! Abstract syntax of the NF² DML.
+//!
+//! Every literal position in the grammar holds a [`Value`], which is
+//! either an inline string literal or a `?` parameter placeholder bound
+//! later through a prepared statement. [`Statement`] implements
+//! [`std::fmt::Display`] as a SQL printer whose output re-parses to the
+//! same tree (property-tested), which is what makes plans, logs and
+//! prepared-statement templates round-trippable.
 
-/// An equality predicate `attr = 'value'` (also used for `SET`
-/// assignments in UPDATE).
+use std::fmt;
+
+/// A literal position in a statement: an inline string or a positional
+/// `?` parameter (0-based, numbered left to right in the statement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// An inline string literal.
+    Lit(String),
+    /// The `n`-th `?` placeholder, bound at execute time.
+    Param(usize),
+}
+
+impl Value {
+    /// The literal string, or `None` for an unbound parameter.
+    pub fn as_lit(&self) -> Option<&str> {
+        match self {
+            Value::Lit(s) => Some(s),
+            Value::Param(_) => None,
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Lit(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Lit(s)
+    }
+}
+
+impl fmt::Display for Value {
+    /// SQL form: `'literal'` (with `''` escaping) or `?`.
+    ///
+    /// Placeholders print as bare `?` — their index is positional in
+    /// SQL. See [`Statement`]'s `Display` impl for the round-trip
+    /// precondition this implies.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Lit(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Value::Param(_) => write!(f, "?"),
+        }
+    }
+}
+
+/// An equality pair `attr = value` (a WHERE conjunct or a `SET`
+/// assignment in UPDATE).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EqPredicate {
     /// Attribute name.
     pub attr: String,
-    /// String value (interned at execution time).
-    pub value: String,
+    /// String value (interned at execution time) or parameter.
+    pub value: Value,
 }
 
 /// A WHERE-clause conjunct.
@@ -22,7 +77,7 @@ pub enum Predicate {
         /// Attribute name.
         attr: String,
         /// Allowed values.
-        values: Vec<String>,
+        values: Vec<Value>,
     },
 }
 
@@ -35,12 +90,26 @@ impl Predicate {
         }
     }
 
-    /// The allowed values (one for equality).
-    pub fn values(&self) -> Vec<&str> {
+    /// The allowed value slots (one for equality), literal or parameter.
+    pub fn value_slots(&self) -> Vec<&Value> {
         match self {
-            Predicate::Eq(p) => vec![p.value.as_str()],
-            Predicate::In { values, .. } => values.iter().map(String::as_str).collect(),
+            Predicate::Eq(p) => vec![&p.value],
+            Predicate::In { values, .. } => values.iter().collect(),
         }
+    }
+
+    /// The allowed literal values (one for equality).
+    ///
+    /// # Panics
+    ///
+    /// If any slot is an unbound `?` parameter — callers must bind the
+    /// statement first (the executor rejects unbound statements before
+    /// reaching this).
+    pub fn values(&self) -> Vec<&str> {
+        self.value_slots()
+            .into_iter()
+            .map(|v| v.as_lit().expect("unbound parameter in predicate"))
+            .collect()
     }
 }
 
@@ -55,6 +124,17 @@ pub enum Projection {
     CountStar,
     /// `SELECT COUNT(DISTINCT attr)` — distinct values of one attribute.
     CountDistinct(String),
+}
+
+impl fmt::Display for Projection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Projection::All => write!(f, "*"),
+            Projection::Attrs(attrs) => write!(f, "{}", attrs.join(", ")),
+            Projection::CountStar => write!(f, "COUNT(*)"),
+            Projection::CountDistinct(a) => write!(f, "COUNT(DISTINCT {a})"),
+        }
+    }
 }
 
 /// One parsed statement.
@@ -77,12 +157,12 @@ pub enum Statement {
         /// Table name.
         name: String,
     },
-    /// `INSERT INTO name VALUES ('a','b'), ('c','d')`
+    /// `INSERT INTO name VALUES ('a','b'), ('c',?)`
     Insert {
         /// Table name.
         table: String,
-        /// Rows of string values.
-        rows: Vec<Vec<String>>,
+        /// Rows of values (literals or parameters).
+        rows: Vec<Vec<Value>>,
     },
     /// `DELETE FROM name WHERE a='x' AND b IN ('y','z')`
     ///
@@ -158,15 +238,228 @@ pub enum Statement {
     /// `ROLLBACK` — undo every row mutation since BEGIN, in reverse
     /// order, through the same §4 maintenance the forward path used.
     Rollback,
-    /// `EXPLAIN [OPTIMIZED] SELECT …` — show the algebra plan without
-    /// executing it; `OPTIMIZED` additionally runs the rule-based
-    /// rewriter and prints the applied rules and cost estimates.
+    /// `EXPLAIN [OPTIMIZED] SELECT …` — show the algebra plan (with its
+    /// cost estimate) without executing it; `OPTIMIZED` additionally runs
+    /// the rule-based rewriter and prints the applied rules and the
+    /// optimized plan's estimate.
     Explain {
         /// The SELECT being explained.
         inner: Box<Statement>,
         /// Whether to run and report the optimizer.
         optimized: bool,
     },
+}
+
+/// Binding a parameter list to a statement failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindError {
+    /// Number of parameters the statement declares.
+    pub expected: usize,
+    /// Number of values supplied.
+    pub got: usize,
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "statement declares {} parameter(s), {} value(s) bound",
+            self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for BindError {}
+
+impl Statement {
+    /// Number of `?` parameters the statement declares (highest index
+    /// plus one; the parser always numbers them densely left to right).
+    pub fn param_count(&self) -> usize {
+        let mut max: Option<usize> = None;
+        self.for_each_value(&mut |v| {
+            if let Value::Param(i) = v {
+                max = Some(max.map_or(*i, |m: usize| m.max(*i)));
+            }
+        });
+        max.map_or(0, |m| m + 1)
+    }
+
+    /// Substitutes every `?` parameter with the corresponding literal,
+    /// returning a fully-bound copy of the statement.
+    pub fn bind(&self, params: &[&str]) -> Result<Statement, BindError> {
+        let expected = self.param_count();
+        if params.len() != expected {
+            return Err(BindError {
+                expected,
+                got: params.len(),
+            });
+        }
+        let mut bound = self.clone();
+        bound.for_each_value_mut(&mut |v| {
+            if let Value::Param(i) = v {
+                *v = Value::Lit(params[*i].to_owned());
+            }
+        });
+        Ok(bound)
+    }
+
+    /// Visits every [`Value`] position, in the statement's textual order.
+    fn for_each_value(&self, f: &mut impl FnMut(&Value)) {
+        match self {
+            Statement::Insert { rows, .. } => rows.iter().flatten().for_each(&mut *f),
+            Statement::Delete { predicates, .. } | Statement::Select { predicates, .. } => {
+                for p in predicates {
+                    p.value_slots().into_iter().for_each(&mut *f);
+                }
+            }
+            Statement::Update {
+                assignments,
+                predicates,
+                ..
+            } => {
+                for a in assignments {
+                    f(&a.value);
+                }
+                for p in predicates {
+                    p.value_slots().into_iter().for_each(&mut *f);
+                }
+            }
+            Statement::Explain { inner, .. } => inner.for_each_value(f),
+            _ => {}
+        }
+    }
+
+    /// Mutable [`Value`] visitor, same order as [`Self::for_each_value`].
+    fn for_each_value_mut(&mut self, f: &mut impl FnMut(&mut Value)) {
+        match self {
+            Statement::Insert { rows, .. } => rows.iter_mut().flatten().for_each(&mut *f),
+            Statement::Delete { predicates, .. } | Statement::Select { predicates, .. } => {
+                for p in predicates {
+                    predicate_values_mut(p, f);
+                }
+            }
+            Statement::Update {
+                assignments,
+                predicates,
+                ..
+            } => {
+                for a in assignments {
+                    f(&mut a.value);
+                }
+                for p in predicates {
+                    predicate_values_mut(p, f);
+                }
+            }
+            Statement::Explain { inner, .. } => inner.for_each_value_mut(f),
+            _ => {}
+        }
+    }
+}
+
+fn predicate_values_mut(p: &mut Predicate, f: &mut impl FnMut(&mut Value)) {
+    match p {
+        Predicate::Eq(e) => f(&mut e.value),
+        Predicate::In { values, .. } => values.iter_mut().for_each(f),
+    }
+}
+
+fn write_where(f: &mut fmt::Formatter<'_>, predicates: &[Predicate]) -> fmt::Result {
+    for (i, p) in predicates.iter().enumerate() {
+        write!(f, "{} ", if i == 0 { " WHERE" } else { " AND" })?;
+        match p {
+            Predicate::Eq(e) => write!(f, "{} = {}", e.attr, e.value)?,
+            Predicate::In { attr, values } => {
+                let vals: Vec<String> = values.iter().map(Value::to_string).collect();
+                write!(f, "{attr} IN ({})", vals.join(", "))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for Statement {
+    /// Prints the statement as SQL that re-parses to the same tree.
+    ///
+    /// Precondition: `?` placeholders must be numbered densely in
+    /// textual order (`Param(0)` first, then `Param(1)`, …) — which is
+    /// exactly what the parser produces and what [`Statement::bind`]
+    /// preserves. A hand-built tree that numbers placeholders out of
+    /// textual order renders as bare `?`s and re-parses with the
+    /// indices reassigned to textual order, i.e. to a *different* tree.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::CreateTable {
+                name,
+                attrs,
+                nest_order,
+            } => {
+                write!(f, "CREATE TABLE {name} ({})", attrs.join(", "))?;
+                if let Some(order) = nest_order {
+                    write!(f, " NEST ORDER ({})", order.join(", "))?;
+                }
+                Ok(())
+            }
+            Statement::DropTable { name } => write!(f, "DROP TABLE {name}"),
+            Statement::Insert { table, rows } => {
+                write!(f, "INSERT INTO {table} VALUES ")?;
+                for (i, row) in rows.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    let vals: Vec<String> = row.iter().map(Value::to_string).collect();
+                    write!(f, "({})", vals.join(", "))?;
+                }
+                Ok(())
+            }
+            Statement::Delete { table, predicates } => {
+                write!(f, "DELETE FROM {table}")?;
+                write_where(f, predicates)
+            }
+            Statement::Select {
+                projection,
+                table,
+                joins,
+                predicates,
+            } => {
+                write!(f, "SELECT {projection} FROM {table}")?;
+                for j in joins {
+                    write!(f, " JOIN {j}")?;
+                }
+                write_where(f, predicates)
+            }
+            Statement::Nest { table, attr } => write!(f, "NEST {table} ON {attr}"),
+            Statement::Unnest { table, attr } => write!(f, "UNNEST {table} ON {attr}"),
+            Statement::Show { table, flat } => {
+                write!(f, "SHOW {}{table}", if *flat { "FLAT " } else { "" })
+            }
+            Statement::Update {
+                table,
+                assignments,
+                predicates,
+            } => {
+                write!(f, "UPDATE {table} SET ")?;
+                for (i, a) in assignments.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{} = {}", a.attr, a.value)?;
+                }
+                write_where(f, predicates)
+            }
+            Statement::Tables => write!(f, "TABLES"),
+            Statement::Stats { table } => write!(f, "STATS {table}"),
+            Statement::Begin => write!(f, "BEGIN"),
+            Statement::Commit => write!(f, "COMMIT"),
+            Statement::Rollback => write!(f, "ROLLBACK"),
+            Statement::Explain { inner, optimized } => {
+                write!(
+                    f,
+                    "EXPLAIN {}{inner}",
+                    if *optimized { "OPTIMIZED " } else { "" }
+                )
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -198,7 +491,7 @@ mod tests {
             value: "s1".into(),
         };
         assert_eq!(p.attr, "Student");
-        assert_eq!(p.value, "s1");
+        assert_eq!(p.value, Value::Lit("s1".into()));
     }
 
     #[test]
@@ -223,6 +516,120 @@ mod tests {
         assert_eq!(
             Projection::CountDistinct("A".into()),
             Projection::CountDistinct("A".into())
+        );
+    }
+
+    #[test]
+    fn param_count_and_bind() {
+        let stmt = Statement::Select {
+            projection: Projection::All,
+            table: "t".into(),
+            joins: vec![],
+            predicates: vec![
+                Predicate::Eq(EqPredicate {
+                    attr: "A".into(),
+                    value: Value::Param(0),
+                }),
+                Predicate::In {
+                    attr: "B".into(),
+                    values: vec!["lit".into(), Value::Param(1)],
+                },
+            ],
+        };
+        assert_eq!(stmt.param_count(), 2);
+        assert_eq!(
+            stmt.bind(&["x"]).unwrap_err(),
+            BindError {
+                expected: 2,
+                got: 1
+            }
+        );
+        let bound = stmt.bind(&["x", "y"]).unwrap();
+        assert_eq!(bound.param_count(), 0);
+        match bound {
+            Statement::Select { predicates, .. } => {
+                assert_eq!(predicates[0].values(), vec!["x"]);
+                assert_eq!(predicates[1].values(), vec!["lit", "y"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(Statement::Tables.param_count(), 0);
+        assert!(Statement::Tables.bind(&[]).is_ok());
+    }
+
+    #[test]
+    fn bind_reaches_inserts_updates_and_explain() {
+        let stmt = Statement::Insert {
+            table: "t".into(),
+            rows: vec![
+                vec![Value::Param(0), "b".into()],
+                vec![Value::Param(1), Value::Param(2)],
+            ],
+        };
+        assert_eq!(stmt.param_count(), 3);
+        let bound = stmt.bind(&["p", "q", "r"]).unwrap();
+        assert_eq!(
+            bound.to_string(),
+            "INSERT INTO t VALUES ('p', 'b'), ('q', 'r')"
+        );
+
+        let upd = Statement::Update {
+            table: "t".into(),
+            assignments: vec![EqPredicate {
+                attr: "A".into(),
+                value: Value::Param(0),
+            }],
+            predicates: vec![Predicate::Eq(EqPredicate {
+                attr: "B".into(),
+                value: Value::Param(1),
+            })],
+        };
+        assert_eq!(upd.param_count(), 2);
+        let explained = Statement::Explain {
+            inner: Box::new(upd),
+            optimized: false,
+        };
+        assert_eq!(explained.param_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound parameter")]
+    fn values_panics_on_unbound_param() {
+        let p = Predicate::Eq(EqPredicate {
+            attr: "A".into(),
+            value: Value::Param(0),
+        });
+        let _ = p.values();
+    }
+
+    #[test]
+    fn display_prints_sql() {
+        let stmt = Statement::Select {
+            projection: Projection::Attrs(vec!["Course".into()]),
+            table: "sc".into(),
+            joins: vec!["cp".into()],
+            predicates: vec![
+                Predicate::Eq(EqPredicate {
+                    attr: "Student".into(),
+                    value: Value::Param(0),
+                }),
+                Predicate::In {
+                    attr: "Prof".into(),
+                    values: vec!["it's".into()],
+                },
+            ],
+        };
+        assert_eq!(
+            stmt.to_string(),
+            "SELECT Course FROM sc JOIN cp WHERE Student = ? AND Prof IN ('it''s')"
+        );
+        assert_eq!(
+            Statement::Show {
+                table: "t".into(),
+                flat: true
+            }
+            .to_string(),
+            "SHOW FLAT t"
         );
     }
 }

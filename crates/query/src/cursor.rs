@@ -1,0 +1,164 @@
+//! Streaming result cursors.
+//!
+//! A [`Cursor`] is what SELECT execution hands back on the new API: an
+//! iterator of NF² tuples pulled through `nf2-algebra`'s streaming
+//! evaluator over the engine's tables. Tuples surface as soon as the
+//! scan reaches them — the first tuple of a full-table SELECT costs one
+//! probe, not a materialized result relation (the storage scans count
+//! probes, which is how the tests pin this down). Only inherently
+//! blocking operators (projection's duplicate elimination, nest,
+//! difference, a join's build side) buffer anything.
+
+use std::sync::Arc;
+
+use nf2_algebra::stream::RelStream;
+use nf2_core::relation::NfRelation;
+use nf2_core::schema::Schema;
+use nf2_core::tuple::{FlatTuple, TupleView};
+
+use crate::exec::QueryError;
+
+/// A streaming SELECT result: yields [`TupleView`]s (borrowed from
+/// storage whenever no operator had to rewrite them) in pipeline order.
+///
+/// The cursor borrows the session's engine for its lifetime `'s`; drop
+/// it to issue further statements on the session.
+#[derive(Debug)]
+pub struct Cursor<'s> {
+    stream: RelStream<'s>,
+}
+
+impl<'s> Cursor<'s> {
+    /// Wraps a stream (crate-internal: cursors are produced by sessions
+    /// and prepared statements).
+    pub(crate) fn new(stream: RelStream<'s>) -> Self {
+        Cursor { stream }
+    }
+
+    /// The result schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        self.stream.schema()
+    }
+
+    /// Adapts the cursor into a stream of **flat** (1NF) rows: each NF²
+    /// tuple is expanded as it arrives, one rectangle at a time.
+    pub fn flat_rows(self) -> FlatRows<'s> {
+        FlatRows {
+            stream: self.stream,
+            current: Vec::new().into_iter(),
+        }
+    }
+
+    /// Drains the cursor into a materialized relation (what the
+    /// compatibility `run()` path does before rendering).
+    pub fn into_relation(self) -> Result<NfRelation, QueryError> {
+        Ok(self.stream.into_relation()?)
+    }
+
+    /// Counts the flat rows (`|R*|`) the cursor represents without
+    /// materializing any of them.
+    pub fn flat_count(self) -> u128 {
+        self.stream.flat_count()
+    }
+}
+
+impl<'s> Iterator for Cursor<'s> {
+    type Item = TupleView<'s>;
+
+    fn next(&mut self) -> Option<TupleView<'s>> {
+        self.stream.next()
+    }
+}
+
+/// Flat-row adapter over a [`Cursor`]; see [`Cursor::flat_rows`].
+///
+/// Buffers exactly one NF² tuple's expansion at a time.
+#[derive(Debug)]
+pub struct FlatRows<'s> {
+    stream: RelStream<'s>,
+    current: std::vec::IntoIter<FlatTuple>,
+}
+
+impl Iterator for FlatRows<'_> {
+    type Item = FlatTuple;
+
+    fn next(&mut self) -> Option<FlatTuple> {
+        loop {
+            if let Some(row) = self.current.next() {
+                return Some(row);
+            }
+            let tuple = self.stream.next()?;
+            self.current = tuple
+                .as_tuple()
+                .expand()
+                .collect::<Vec<FlatTuple>>()
+                .into_iter();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+
+    fn engine() -> Engine {
+        let mut engine = Engine::new();
+        engine
+            .session()
+            .run_script(
+                "CREATE TABLE sc (Student, Course);
+                 INSERT INTO sc VALUES ('s1','c1'), ('s2','c1'), ('s1','c2');",
+            )
+            .unwrap();
+        engine
+    }
+
+    #[test]
+    fn cursor_yields_borrowed_tuples_on_full_scans() {
+        let mut engine = engine();
+        let session = engine.session();
+        let mut cursor = session.query("SELECT * FROM sc").unwrap();
+        assert_eq!(
+            cursor.schema().attr_names().collect::<Vec<_>>(),
+            vec!["Student", "Course"]
+        );
+        let first = cursor.next().unwrap();
+        assert!(first.is_borrowed(), "full scans are zero-copy");
+    }
+
+    #[test]
+    fn flat_rows_expand_tuple_by_tuple() {
+        let mut engine = engine();
+        let session = engine.session();
+        let rows: Vec<FlatTuple> = session
+            .query("SELECT * FROM sc")
+            .unwrap()
+            .flat_rows()
+            .collect();
+        assert_eq!(rows.len(), 3);
+        let counted = session.query("SELECT * FROM sc").unwrap().flat_count();
+        assert_eq!(counted, 3);
+    }
+
+    #[test]
+    fn cursor_matches_materialized_relation() {
+        let mut engine = engine();
+        let collected = {
+            let session = engine.session();
+            session
+                .query("SELECT Course FROM sc WHERE Student = 's1'")
+                .unwrap()
+                .into_relation()
+                .unwrap()
+        };
+        let mut session = engine.session();
+        match session
+            .run("SELECT Course FROM sc WHERE Student = 's1'")
+            .unwrap()
+        {
+            crate::exec::Output::Relation { relation, .. } => assert_eq!(relation, collected),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,954 @@
+//! The embedded engine and its sessions.
+//!
+//! The public surface is three-staged, separating what the paper's
+//! operator algebra leaves implicit — *how* relations are consumed:
+//!
+//! 1. [`Engine`] owns the durable state: the shared dictionary, the
+//!    catalog of [`NfTable`]s, and the persistence configuration
+//!    (set through [`Engine::builder`]).
+//! 2. [`Session`] issues statements against one engine. It carries the
+//!    transaction state (BEGIN/COMMIT/ROLLBACK undo log) and hands out
+//!    [`crate::Prepared`] statements and streaming cursors
+//!    ([`crate::Cursor`]).
+//! 3. [`crate::Prepared`] re-executes a parsed + optimized plan
+//!    with `?` parameters bound per call — no re-lex, no re-parse, no
+//!    re-optimize.
+//!
+//! The original string-in/string-out [`Database`](crate::Database) API
+//! survives as a thin shim over an `Engine` plus one implicit session.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use nf2_algebra::{Expr, RewriteMode};
+use nf2_core::display::{render_flat, render_nf};
+use nf2_core::relation::NfRelation;
+use nf2_core::schema::NestOrder;
+use nf2_core::value::Atom;
+use nf2_storage::{NfTable, SharedDictionary};
+
+use crate::ast::{Predicate, Statement};
+use crate::cursor::Cursor;
+use crate::exec::{Output, QueryError};
+use crate::prepare::{execute_select, Param, Prepared, SelectPlan};
+
+/// Configures and builds an [`Engine`].
+///
+/// ```
+/// use nf2_query::Engine;
+///
+/// let engine = Engine::builder()
+///     .wal_autoflush(false)
+///     .build();
+/// assert_eq!(engine.ddl_epoch(), 0);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct EngineBuilder {
+    data_dir: Option<PathBuf>,
+    wal_autoflush: bool,
+    rewrite_mode: Option<RewriteMode>,
+}
+
+impl EngineBuilder {
+    /// Directory for checkpoints and write-ahead logs. Without one the
+    /// engine is purely in-memory ([`Engine::checkpoint`] errors).
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// Flush each table's WAL to the data directory after every mutating
+    /// statement (default: off — WALs are written on checkpoint only).
+    pub fn wal_autoflush(mut self, on: bool) -> Self {
+        self.wal_autoflush = on;
+        self
+    }
+
+    /// The rewrite strength the planner may use
+    /// (default: [`RewriteMode::Structural`], which guarantees results
+    /// tuple-identical to the unoptimized plan).
+    pub fn rewrite_mode(mut self, mode: RewriteMode) -> Self {
+        self.rewrite_mode = Some(mode);
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> Engine {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+        Engine {
+            dict: SharedDictionary::new(),
+            tables: BTreeMap::new(),
+            instance_id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            ddl_epoch: 0,
+            data_dir: self.data_dir,
+            wal_autoflush: self.wal_autoflush,
+            rewrite_mode: self.rewrite_mode.unwrap_or(RewriteMode::Structural),
+        }
+    }
+}
+
+/// The embedded NF² engine: dictionary + table catalog + persistence
+/// configuration. Create sessions with [`Engine::session`] to run
+/// statements.
+#[derive(Debug)]
+pub struct Engine {
+    dict: SharedDictionary,
+    tables: BTreeMap<String, NfTable>,
+    /// Process-unique identity, so prepared handles can tell engines
+    /// apart (a plan compiled on one engine must not execute its cached
+    /// attribute ids against another's tables).
+    instance_id: u64,
+    /// Bumped by every DDL statement; prepared plans check it to know
+    /// when to re-plan.
+    ddl_epoch: u64,
+    data_dir: Option<PathBuf>,
+    wal_autoflush: bool,
+    rewrite_mode: RewriteMode,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::builder().build()
+    }
+}
+
+impl Engine {
+    /// An in-memory engine with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts configuring an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Opens a session. The session borrows the engine exclusively for
+    /// its lifetime; drop it (or let it fall out of scope) to open
+    /// another.
+    pub fn session(&mut self) -> Session<'_> {
+        Session {
+            engine: self,
+            txn: None,
+        }
+    }
+
+    /// The shared dictionary.
+    pub fn dict(&self) -> &SharedDictionary {
+        &self.dict
+    }
+
+    /// The DDL epoch: incremented by CREATE/DROP TABLE and
+    /// [`attach_table`](Self::attach_table). Prepared statements compare
+    /// it to decide whether their cached plan is stale.
+    pub fn ddl_epoch(&self) -> u64 {
+        self.ddl_epoch
+    }
+
+    /// This engine's process-unique identity (prepared handles re-plan
+    /// when moved across engines).
+    pub fn instance_id(&self) -> u64 {
+        self.instance_id
+    }
+
+    /// The planner's rewrite strength.
+    pub fn rewrite_mode(&self) -> RewriteMode {
+        self.rewrite_mode
+    }
+
+    /// Immutable access to a table.
+    pub fn table(&self, name: &str) -> Result<&NfTable, QueryError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| QueryError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Mutable access to a table.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut NfTable, QueryError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| QueryError::NoSuchTable(name.to_owned()))
+    }
+
+    /// Iterates the catalog in name order.
+    pub fn tables(&self) -> impl Iterator<Item = (&str, &NfTable)> {
+        self.tables.iter().map(|(n, t)| (n.as_str(), t))
+    }
+
+    /// Registers a table built outside the DML (e.g. via
+    /// [`NfTable::bulk_load_strs`]). The table must share this engine's
+    /// dictionary for query literals to resolve against its values.
+    /// Counts as DDL: bumps the epoch.
+    pub fn attach_table(&mut self, table: NfTable) -> Result<(), QueryError> {
+        let name = table.name().to_owned();
+        if self.tables.contains_key(&name) {
+            return Err(QueryError::TableExists(name));
+        }
+        self.tables.insert(name, table);
+        self.ddl_epoch += 1;
+        Ok(())
+    }
+
+    /// Checkpoints every table (pages + meta, truncating WALs) into the
+    /// configured data directory.
+    pub fn checkpoint(&mut self) -> Result<(), QueryError> {
+        let dir = self.data_dir.clone().ok_or_else(|| {
+            QueryError::Semantic("no data_dir configured (Engine::builder().data_dir(…))".into())
+        })?;
+        for table in self.tables.values_mut() {
+            table.checkpoint(&dir)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes one table's WAL if autoflush is configured.
+    fn autoflush(&self, name: &str) -> Result<(), QueryError> {
+        if self.wal_autoflush {
+            if let (Some(dir), Ok(table)) = (&self.data_dir, self.table(name)) {
+                table.flush_wal(dir)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One reverse operation in a transaction's undo log.
+#[derive(Debug, Clone)]
+pub(crate) enum Undo {
+    /// A delete (or the delete half of an update) removed this row.
+    Reinsert { table: String, row: Vec<Atom> },
+    /// An insert added this row.
+    Remove { table: String, row: Vec<Atom> },
+}
+
+/// A statement-issuing handle on an [`Engine`].
+///
+/// Sessions hold the transaction state: mutations between `BEGIN` and
+/// `COMMIT`/`ROLLBACK` are undo-logged here, not in the engine. Prepared
+/// statements are created through [`Session::prepare`] and owned by the
+/// caller — they stay valid across sessions of the same engine
+/// (re-planning themselves when DDL changes the catalog underneath).
+#[derive(Debug)]
+pub struct Session<'e> {
+    engine: &'e mut Engine,
+    /// Undo log of the open transaction, if any.
+    txn: Option<Vec<Undo>>,
+}
+
+impl<'e> Session<'e> {
+    /// Re-opens a session with saved transaction state (the `Database`
+    /// shim persists its txn across per-call sessions).
+    pub(crate) fn resume(engine: &'e mut Engine, txn: Option<Vec<Undo>>) -> Self {
+        Session { engine, txn }
+    }
+
+    /// Detaches the transaction state (shim plumbing).
+    pub(crate) fn take_txn(&mut self) -> Option<Vec<Undo>> {
+        self.txn.take()
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        self.engine
+    }
+
+    /// Whether a transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Parses and executes a whole script, returning one output per
+    /// statement.
+    pub fn run_script(&mut self, script: &str) -> Result<Vec<Output>, QueryError> {
+        let stmts = crate::parser::parse_script(script)?;
+        stmts.into_iter().map(|s| self.execute(s)).collect()
+    }
+
+    /// Parses and executes a single statement.
+    pub fn run(&mut self, statement: &str) -> Result<Output, QueryError> {
+        self.execute(crate::parser::parse(statement)?)
+    }
+
+    /// Compiles a statement into a [`Prepared`] handle: parsed once,
+    /// SELECTs planned and optimized once, executed many times with
+    /// `?` parameters bound per call.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared, QueryError> {
+        Prepared::compile(self.engine, sql)
+    }
+
+    /// Parses and streams a one-shot SELECT: returns a [`Cursor`] that
+    /// yields NF² tuples as the scan progresses instead of materializing
+    /// the result relation. Only SELECT statements (without `?`
+    /// parameters) are accepted; use [`Session::prepare`] for parameters.
+    pub fn query(&self, sql: &str) -> Result<Cursor<'_>, QueryError> {
+        let stmt = crate::parser::parse(sql)?;
+        let unbound = stmt.param_count();
+        if unbound > 0 {
+            return Err(QueryError::Unbound { count: unbound });
+        }
+        let Statement::Select {
+            projection,
+            table,
+            joins,
+            predicates,
+        } = stmt
+        else {
+            return Err(QueryError::Semantic(
+                "query() accepts SELECT statements only; use run() for the rest".into(),
+            ));
+        };
+        let mut plan = SelectPlan::build(self.engine, projection, table, joins, &predicates)?;
+        plan.cursor::<Param>(self.engine, &[])
+    }
+
+    /// Executes a parsed statement. The statement must be fully bound
+    /// (no `?` placeholders).
+    pub fn execute(&mut self, stmt: Statement) -> Result<Output, QueryError> {
+        let unbound = stmt.param_count();
+        if unbound > 0 {
+            return Err(QueryError::Unbound { count: unbound });
+        }
+        match stmt {
+            Statement::CreateTable {
+                name,
+                attrs,
+                nest_order,
+            } => {
+                if self.txn.is_some() {
+                    return Err(QueryError::Semantic(
+                        "DDL inside a transaction is not supported".into(),
+                    ));
+                }
+                if self.engine.tables.contains_key(&name) {
+                    return Err(QueryError::TableExists(name));
+                }
+                let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+                let schema = nf2_core::Schema::new(name.clone(), &attr_refs)?;
+                let order = match nest_order {
+                    Some(names) => {
+                        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                        NestOrder::from_names(&schema, &refs)?
+                    }
+                    None => NestOrder::identity(attrs.len()),
+                };
+                let table = NfTable::create(&name, &attr_refs, order, self.engine.dict.clone())?;
+                self.engine.tables.insert(name.clone(), table);
+                self.engine.ddl_epoch += 1;
+                Ok(Output::Message(format!("created table {name}")))
+            }
+            Statement::DropTable { name } => {
+                if self.txn.is_some() {
+                    return Err(QueryError::Semantic(
+                        "DDL inside a transaction is not supported".into(),
+                    ));
+                }
+                if self.engine.tables.remove(&name).is_none() {
+                    return Err(QueryError::NoSuchTable(name));
+                }
+                self.engine.ddl_epoch += 1;
+                Ok(Output::Message(format!("dropped table {name}")))
+            }
+            // The three row-mutation arms share one error discipline: the
+            // mutation body runs first, then — error or not — whatever
+            // undo entries it accumulated are logged (so ROLLBACK can
+            // compensate a partially-applied statement) and the WAL is
+            // autoflushed (so whatever landed is durable).
+            Statement::Insert { table, rows } => {
+                let mut undo = Vec::new();
+                let result = apply_insert(self.engine, &table, &rows, &mut undo);
+                self.log_undo(undo);
+                self.engine.autoflush(&table)?;
+                Ok(Output::Affected(result?))
+            }
+            Statement::Delete { table, predicates } => {
+                let mut undo = Vec::new();
+                let result = apply_delete(self.engine, &table, &predicates, &mut undo);
+                self.log_undo(undo);
+                self.engine.autoflush(&table)?;
+                Ok(Output::Affected(result?))
+            }
+            Statement::Update {
+                table,
+                assignments,
+                predicates,
+            } => {
+                let mut undo = Vec::new();
+                let result =
+                    apply_update(self.engine, &table, &assignments, &predicates, &mut undo);
+                self.log_undo(undo);
+                self.engine.autoflush(&table)?;
+                Ok(Output::Affected(result?))
+            }
+            Statement::Select {
+                projection,
+                table,
+                joins,
+                predicates,
+            } => {
+                let mut plan =
+                    SelectPlan::build(self.engine, projection, table, joins, &predicates)?;
+                execute_select::<Param>(self.engine, &mut plan, &[])
+            }
+            Statement::Explain { inner, optimized } => {
+                let Statement::Select {
+                    projection,
+                    table,
+                    joins,
+                    predicates,
+                } = *inner
+                else {
+                    return Err(QueryError::Semantic(
+                        "EXPLAIN supports SELECT statements only".into(),
+                    ));
+                };
+                let plan = SelectPlan::build(self.engine, projection, table, joins, &predicates)?;
+                let Some(text) = plan.explain::<Param>(self.engine, &[], optimized)? else {
+                    return Ok(Output::Message(
+                        "plan: <empty result — predicate value never interned>".to_owned(),
+                    ));
+                };
+                Ok(Output::Message(text))
+            }
+            Statement::Nest { table, attr } => {
+                let t = self.engine.table(&table)?;
+                let id = t.schema().attr_id(&attr)?;
+                // Ad-hoc ν over one attribute through the interning nest
+                // kernel (tuple-identical to `nest::nest`, which stays as
+                // the Def. 4 reference).
+                let relation = nf2_core::kernel::NestKernel::new().nest_once(t.relation(), id);
+                let rendered = render_nf(&relation, &self.engine.dict.snapshot());
+                Ok(Output::Relation { relation, rendered })
+            }
+            Statement::Unnest { table, attr } => {
+                let t = self.engine.table(&table)?;
+                let id = t.schema().attr_id(&attr)?;
+                let relation = nf2_core::nest::unnest(t.relation(), id);
+                let rendered = render_nf(&relation, &self.engine.dict.snapshot());
+                Ok(Output::Relation { relation, rendered })
+            }
+            Statement::Show { table, flat } => {
+                let t = self.engine.table(&table)?;
+                let dict = self.engine.dict.snapshot();
+                if flat {
+                    let f = t.relation().expand();
+                    let rendered = render_flat(&f, &dict);
+                    Ok(Output::Relation {
+                        relation: NfRelation::from_flat(&f),
+                        rendered,
+                    })
+                } else {
+                    let rendered = render_nf(t.relation(), &dict);
+                    Ok(Output::Relation {
+                        relation: t.relation().clone(),
+                        rendered,
+                    })
+                }
+            }
+            Statement::Begin => {
+                if self.txn.is_some() {
+                    return Err(QueryError::Semantic(
+                        "a transaction is already open (nested BEGIN is not supported)".into(),
+                    ));
+                }
+                self.txn = Some(Vec::new());
+                Ok(Output::Message("transaction started".into()))
+            }
+            Statement::Commit => match self.txn.take() {
+                Some(log) => Ok(Output::Message(format!(
+                    "committed ({} row mutation(s))",
+                    log.len()
+                ))),
+                None => Err(QueryError::Semantic("no open transaction to COMMIT".into())),
+            },
+            Statement::Rollback => {
+                let Some(log) = self.txn.take() else {
+                    return Err(QueryError::Semantic(
+                        "no open transaction to ROLLBACK".into(),
+                    ));
+                };
+                let n = log.len();
+                let mut touched = std::collections::BTreeSet::new();
+                for entry in log.into_iter().rev() {
+                    match entry {
+                        Undo::Reinsert { table, row } => {
+                            self.engine.table_mut(&table)?.insert_atoms(row)?;
+                            touched.insert(table);
+                        }
+                        Undo::Remove { table, row } => {
+                            self.engine.table_mut(&table)?.delete_atoms(&row)?;
+                            touched.insert(table);
+                        }
+                    }
+                }
+                // The compensating mutations are WAL entries like any
+                // others: persist them, or a crash would replay the
+                // rolled-back half of the log only.
+                for table in &touched {
+                    self.engine.autoflush(table)?;
+                }
+                Ok(Output::Message(format!("rolled back {n} row mutation(s)")))
+            }
+            Statement::Stats { table } => {
+                let t = self.engine.table(&table)?;
+                let tuples = t.tuple_count();
+                let flats = t.flat_count();
+                let ratio = if tuples == 0 {
+                    1.0
+                } else {
+                    flats as f64 / tuples as f64
+                };
+                let cost = t.maintenance_cost();
+                let stats = t.stats();
+                Ok(Output::Message(format!(
+                    "table {table}: {tuples} nf-tuples / {flats} flat rows (compression {ratio:.2}x)\n\
+                     nest order: {}\n\
+                     maintenance: {} compositions, {} decompositions, {} candidate probes, {} recons calls\n\
+                     access: {} lookups probing {} units; {} inserts, {} deletes",
+                    t.order(),
+                    cost.compositions,
+                    cost.decompositions,
+                    cost.candidate_probes,
+                    cost.recons_calls,
+                    stats.lookups,
+                    stats.units_probed,
+                    stats.inserts,
+                    stats.deletes,
+                )))
+            }
+            Statement::Tables => {
+                let mut lines: Vec<String> = Vec::new();
+                for (name, t) in self.engine.tables() {
+                    lines.push(format!(
+                        "{name}: {} nf-tuples / {} flat rows, order {}",
+                        t.tuple_count(),
+                        t.flat_count(),
+                        t.order()
+                    ));
+                }
+                if lines.is_empty() {
+                    lines.push("(no tables)".into());
+                }
+                Ok(Output::Message(lines.join("\n")))
+            }
+        }
+    }
+
+    /// Appends undo entries to the open transaction's log (no-op when
+    /// running in autocommit).
+    fn log_undo(&mut self, entries: Vec<Undo>) {
+        if let Some(log) = self.txn.as_mut() {
+            log.extend(entries);
+        }
+    }
+}
+
+/// Inserts literal rows, recording one undo entry per fresh row **as it
+/// lands** — on a mid-statement error the caller still receives the undo
+/// entries of every row already applied.
+fn apply_insert(
+    engine: &mut Engine,
+    table: &str,
+    rows: &[Vec<crate::ast::Value>],
+    undo: &mut Vec<Undo>,
+) -> Result<usize, QueryError> {
+    let t = engine.table_mut(table)?;
+    let mut affected = 0;
+    for row in rows {
+        let refs: Vec<&str> = row
+            .iter()
+            .map(|v| v.as_lit().expect("statement checked bound"))
+            .collect();
+        let atoms = t.row_from_strs(&refs)?;
+        if t.insert_atoms(atoms.clone())? {
+            affected += 1;
+            undo.push(Undo::Remove {
+                table: table.to_owned(),
+                row: atoms,
+            });
+        }
+    }
+    Ok(affected)
+}
+
+/// Deletes every flat row matching the conjunction (see
+/// [`apply_insert`] for the undo discipline).
+fn apply_delete(
+    engine: &mut Engine,
+    table: &str,
+    predicates: &[Predicate],
+    undo: &mut Vec<Undo>,
+) -> Result<usize, QueryError> {
+    let dict = engine.dict.clone();
+    let t = engine.table_mut(table)?;
+    // Resolve predicates; a predicate with no known value matches
+    // nothing.
+    let Some(bound) = resolve_bound(t, &dict, predicates)? else {
+        return Ok(0);
+    };
+    // Collect matching flat rows, then delete them one by one through §4
+    // maintenance.
+    let victims: Vec<Vec<Atom>> = t
+        .relation()
+        .expand()
+        .rows()
+        .filter(|row| bound.iter().all(|(a, vs)| vs.contains(&row[*a])))
+        .cloned()
+        .collect();
+    let mut affected = 0;
+    for row in &victims {
+        if t.delete_atoms(row)? {
+            affected += 1;
+            undo.push(Undo::Reinsert {
+                table: table.to_owned(),
+                row: row.clone(),
+            });
+        }
+    }
+    Ok(affected)
+}
+
+/// Rewrites every matching flat row as delete + insert through §4
+/// maintenance (see [`apply_insert`] for the undo discipline).
+fn apply_update(
+    engine: &mut Engine,
+    table: &str,
+    assignments: &[crate::ast::EqPredicate],
+    predicates: &[Predicate],
+    undo: &mut Vec<Undo>,
+) -> Result<usize, QueryError> {
+    let dict = engine.dict.clone();
+    let t = engine.table_mut(table)?;
+    // Resolve assignment targets (values are interned on use).
+    let mut sets: Vec<(usize, Atom)> = Vec::new();
+    for a in assignments {
+        let attr = t.schema().attr_id(&a.attr)?;
+        let lit = a.value.as_lit().expect("statement checked bound");
+        sets.push((attr, dict.intern(lit)));
+    }
+    // Resolve the selection; unknown values match nothing.
+    let Some(bound) = resolve_bound(t, &dict, predicates)? else {
+        return Ok(0);
+    };
+    let victims: Vec<Vec<Atom>> = t
+        .relation()
+        .expand()
+        .rows()
+        .filter(|row| bound.iter().all(|(a, vs)| vs.contains(&row[*a])))
+        .cloned()
+        .collect();
+    let mut affected = 0;
+    for row in &victims {
+        let mut updated = row.clone();
+        for &(attr, v) in &sets {
+            updated[attr] = v;
+        }
+        if updated == *row {
+            continue; // no-op rewrite
+        }
+        t.delete_atoms(row)?;
+        undo.push(Undo::Reinsert {
+            table: table.to_owned(),
+            row: row.clone(),
+        });
+        // The rewritten row may collide with an existing one — set
+        // semantics absorb it (and then there is nothing to undo for the
+        // insert half).
+        if t.insert_atoms(updated.clone())? {
+            undo.push(Undo::Remove {
+                table: table.to_owned(),
+                row: updated,
+            });
+        }
+        affected += 1;
+    }
+    Ok(affected)
+}
+
+/// Resolves WHERE predicates to `(attr id, allowed atoms)` pairs against
+/// one table. `None` when some predicate has no known value (nothing can
+/// match).
+#[allow(clippy::type_complexity)]
+fn resolve_bound(
+    table: &NfTable,
+    dict: &SharedDictionary,
+    predicates: &[Predicate],
+) -> Result<Option<Vec<(usize, Vec<Atom>)>>, QueryError> {
+    let mut bound = Vec::with_capacity(predicates.len());
+    for p in predicates {
+        let attr = table.schema().attr_id(p.attr())?;
+        let atoms: Vec<Atom> = p.values().iter().filter_map(|v| dict.lookup(v)).collect();
+        if atoms.is_empty() {
+            return Ok(None);
+        }
+        bound.push((attr, atoms));
+    }
+    Ok(Some(bound))
+}
+
+/// Renders an algebra expression as an indented plan tree for EXPLAIN.
+/// `fmt_value` controls how selection atoms print (prepared plans show
+/// `?` and literals; bound plans show raw atoms).
+pub(crate) fn explain_expr(
+    expr: &Expr,
+    depth: usize,
+    fmt_value: &dyn Fn(Atom) -> String,
+) -> String {
+    let pad = "  ".repeat(depth);
+    match expr {
+        Expr::Rel(name) => format!("{pad}scan {name}"),
+        Expr::SelectBox { input, constraints } => {
+            let preds: Vec<String> = constraints
+                .iter()
+                .map(|(a, vs)| {
+                    let rendered: Vec<String> = vs.iter().map(|&v| fmt_value(v)).collect();
+                    format!("{a} IN [{}]", rendered.join(", "))
+                })
+                .collect();
+            format!(
+                "{pad}select [{}]\n{}",
+                preds.join(" AND "),
+                explain_expr(input, depth + 1, fmt_value)
+            )
+        }
+        Expr::Project { input, attrs } => {
+            format!(
+                "{pad}project [{}]\n{}",
+                attrs.join(", "),
+                explain_expr(input, depth + 1, fmt_value)
+            )
+        }
+        Expr::Join(l, r) => format!(
+            "{pad}natural-join\n{}\n{}",
+            explain_expr(l, depth + 1, fmt_value),
+            explain_expr(r, depth + 1, fmt_value)
+        ),
+        Expr::Union(l, r) => format!(
+            "{pad}union\n{}\n{}",
+            explain_expr(l, depth + 1, fmt_value),
+            explain_expr(r, depth + 1, fmt_value)
+        ),
+        Expr::Difference(l, r) => format!(
+            "{pad}difference\n{}\n{}",
+            explain_expr(l, depth + 1, fmt_value),
+            explain_expr(r, depth + 1, fmt_value)
+        ),
+        Expr::Intersect(l, r) => format!(
+            "{pad}intersect\n{}\n{}",
+            explain_expr(l, depth + 1, fmt_value),
+            explain_expr(r, depth + 1, fmt_value)
+        ),
+        Expr::Nest { input, attr } => {
+            format!(
+                "{pad}nest [{attr}]\n{}",
+                explain_expr(input, depth + 1, fmt_value)
+            )
+        }
+        Expr::Unnest { input, attr } => {
+            format!(
+                "{pad}unnest [{attr}]\n{}",
+                explain_expr(input, depth + 1, fmt_value)
+            )
+        }
+        Expr::Canonicalize { input, order } => {
+            format!(
+                "{pad}canonicalize [{}]\n{}",
+                order.join(" -> "),
+                explain_expr(input, depth + 1, fmt_value)
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded_engine() -> Engine {
+        let mut engine = Engine::new();
+        engine
+            .session()
+            .run_script(
+                "CREATE TABLE sc (Student, Course) NEST ORDER (Student, Course);
+                 INSERT INTO sc VALUES ('s1','c1'), ('s2','c1'), ('s1','c2');",
+            )
+            .unwrap();
+        engine
+    }
+
+    #[test]
+    fn builder_configures_engine() {
+        let engine = Engine::builder()
+            .rewrite_mode(RewriteMode::Structural)
+            .wal_autoflush(true)
+            .build();
+        assert_eq!(engine.rewrite_mode(), RewriteMode::Structural);
+        assert_eq!(engine.ddl_epoch(), 0);
+        assert!(engine.table("sc").is_err());
+    }
+
+    #[test]
+    fn ddl_bumps_epoch() {
+        let mut engine = seeded_engine();
+        let epoch = engine.ddl_epoch();
+        engine.session().run("CREATE TABLE t2 (A)").unwrap();
+        assert_eq!(engine.ddl_epoch(), epoch + 1);
+        engine.session().run("DROP TABLE t2").unwrap();
+        assert_eq!(engine.ddl_epoch(), epoch + 2);
+        // Mutations do not.
+        engine
+            .session()
+            .run("INSERT INTO sc VALUES ('s9','c9')")
+            .unwrap();
+        assert_eq!(engine.ddl_epoch(), epoch + 2);
+    }
+
+    #[test]
+    fn sessions_share_engine_state() {
+        let mut engine = seeded_engine();
+        engine
+            .session()
+            .run("INSERT INTO sc VALUES ('s3','c3')")
+            .unwrap();
+        let mut s2 = engine.session();
+        match s2.run("SELECT COUNT(*) FROM sc").unwrap() {
+            Output::Count(n) => assert_eq!(n, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!s2.in_transaction());
+    }
+
+    #[test]
+    fn attach_table_registers_bulk_loads() {
+        let mut engine = Engine::new();
+        let table = NfTable::bulk_load_strs(
+            "bulk",
+            &["A", "B"],
+            vec![vec!["a1", "b1"], vec!["a2", "b1"]],
+            NestOrder::identity(2),
+            engine.dict().clone(),
+        )
+        .unwrap();
+        engine.attach_table(table).unwrap();
+        assert_eq!(engine.ddl_epoch(), 1);
+        let mut session = engine.session();
+        match session.run("SELECT COUNT(*) FROM bulk").unwrap() {
+            Output::Count(n) => assert_eq!(n, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Duplicate names are rejected.
+        let dup = NfTable::create(
+            "bulk",
+            &["A"],
+            NestOrder::identity(1),
+            engine.dict().clone(),
+        )
+        .unwrap();
+        assert!(matches!(
+            engine.attach_table(dup),
+            Err(QueryError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn executing_unbound_statements_is_rejected() {
+        let mut engine = seeded_engine();
+        let mut session = engine.session();
+        let err = session.run("SELECT * FROM sc WHERE Student = ?");
+        assert!(matches!(err, Err(QueryError::Unbound { count: 1 })));
+        assert!(session.run("INSERT INTO sc VALUES (?, 'c9')").is_err());
+    }
+
+    #[test]
+    fn session_query_streams_selects_only() {
+        let mut engine = seeded_engine();
+        let session = engine.session();
+        let cursor = session
+            .query("SELECT * FROM sc WHERE Student = 's1'")
+            .unwrap();
+        let tuples: Vec<_> = cursor.collect();
+        assert_eq!(tuples.iter().map(|t| t.expansion_count()).sum::<u128>(), 2);
+        assert!(session.query("SHOW sc").is_err());
+        assert!(session.query("SELECT * FROM ghost").is_err());
+        // Placeholders are rejected with the dedicated variant, pointing
+        // the caller at prepare().
+        assert!(matches!(
+            session.query("SELECT * FROM sc WHERE Student = ?"),
+            Err(QueryError::Unbound { count: 1 })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_requires_data_dir() {
+        let mut engine = seeded_engine();
+        assert!(matches!(engine.checkpoint(), Err(QueryError::Semantic(_))));
+    }
+
+    #[test]
+    fn partial_statement_failures_stay_undoable() {
+        let mut engine = seeded_engine();
+        let mut session = engine.session();
+        let before = session.engine().table("sc").unwrap().relation().clone();
+        session.run("BEGIN").unwrap();
+        // Row 1 lands, row 2 fails the arity check mid-statement.
+        let err = session.run("INSERT INTO sc VALUES ('x9','y9'), ('only-one')");
+        assert!(err.is_err());
+        assert!(
+            session.engine().table("sc").unwrap().flat_count() > before.flat_count(),
+            "the partial row did land"
+        );
+        // ROLLBACK must know about the partially-applied statement.
+        session.run("ROLLBACK").unwrap();
+        assert_eq!(session.engine().table("sc").unwrap().relation(), &before);
+    }
+
+    #[test]
+    fn rollback_autoflushes_compensating_mutations() {
+        let dir = std::env::temp_dir().join("nf2_engine_rollback_wal");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut engine = Engine::builder().data_dir(&dir).wal_autoflush(true).build();
+        let mut session = engine.session();
+        session.run("CREATE TABLE t (A, B)").unwrap();
+        session.run("BEGIN").unwrap();
+        session.run("INSERT INTO t VALUES ('a','b')").unwrap();
+        let after_insert = std::fs::metadata(dir.join("t.wal")).unwrap().len();
+        assert!(after_insert > 0, "autoflush persisted the insert");
+        session.run("ROLLBACK").unwrap();
+        let after_rollback = std::fs::metadata(dir.join("t.wal")).unwrap().len();
+        assert!(
+            after_rollback > after_insert,
+            "the compensating delete must reach the on-disk WAL \
+             ({after_insert} -> {after_rollback} bytes), or a crash would \
+             replay only the rolled-back insert"
+        );
+    }
+
+    #[test]
+    fn data_dir_checkpoint_and_autoflush_roundtrip() {
+        let dir = std::env::temp_dir().join("nf2_engine_ckpt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut engine = Engine::builder().data_dir(&dir).wal_autoflush(true).build();
+        {
+            let mut session = engine.session();
+            session
+                .run_script(
+                    "CREATE TABLE sc (Student, Course);
+                     INSERT INTO sc VALUES ('s1','c1'), ('s2','c1');",
+                )
+                .unwrap();
+        }
+        engine.checkpoint().unwrap();
+        {
+            let mut session = engine.session();
+            // Autoflush writes the WAL after each mutation.
+            session.run("INSERT INTO sc VALUES ('s3','c2')").unwrap();
+        }
+        let wal = std::fs::read(dir.join("sc.wal")).unwrap();
+        assert!(
+            !wal.is_empty(),
+            "autoflush persisted the post-checkpoint op"
+        );
+    }
+}

@@ -1,25 +1,27 @@
-//! Statement execution against a database of NF² tables.
+//! Outputs, errors, and the `Database` compatibility shim.
 //!
-//! SELECT statements compile into `nf2-algebra` expressions evaluated on
-//! the stored canonical relations; INSERT/DELETE drive the §4 incremental
-//! maintenance inside [`NfTable`].
+//! Statement execution itself lives in [`crate::engine`] (the
+//! [`crate::Session`] type); this module keeps the pieces every
+//! layer shares — [`Output`], [`QueryError`] — plus [`Database`], the
+//! original string-in/string-out API, now a thin wrapper over an
+//! [`crate::Engine`] with one implicit session.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
-use nf2_algebra::optimize::{estimate, optimize, RewriteMode, SchemaCatalog};
-use nf2_algebra::{Env, Expr};
-use nf2_core::display::{render_flat, render_nf};
-use nf2_core::relation::NfRelation;
-use nf2_core::schema::NestOrder;
-use nf2_core::value::Atom;
 use nf2_storage::{NfTable, SharedDictionary};
 
-use crate::ast::{Predicate, Projection, Statement};
-use crate::parser::{parse_script, ParseError};
+use crate::ast::Statement;
+use crate::engine::{Engine, Session, Undo};
+use crate::parser::ParseError;
 
 /// Errors from statement execution.
+///
+/// Marked `#[non_exhaustive]`: new failure modes (parameter binding,
+/// plan invalidation, …) may be added without a breaking release —
+/// match with a wildcard arm. Wrapped layer errors are chained through
+/// [`std::error::Error::source`].
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum QueryError {
     /// Parsing failed.
     Parse(ParseError),
@@ -31,8 +33,22 @@ pub enum QueryError {
     Storage(nf2_storage::StorageError),
     /// The model layer rejected the operation.
     Model(nf2_core::NfError),
-    /// A predicate referenced an unknown value, so nothing can match.
+    /// A statement was semantically invalid in context.
     Semantic(String),
+    /// A statement with `?` placeholders was executed without binding
+    /// them (prepare it instead).
+    Unbound {
+        /// Number of unbound placeholders.
+        count: usize,
+    },
+    /// A prepared statement was executed with the wrong number of
+    /// parameters.
+    ParamCount {
+        /// Number of parameters the statement declares.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -44,11 +60,28 @@ impl fmt::Display for QueryError {
             QueryError::Storage(e) => write!(f, "{e}"),
             QueryError::Model(e) => write!(f, "{e}"),
             QueryError::Semantic(m) => write!(f, "{m}"),
+            QueryError::Unbound { count } => write!(
+                f,
+                "statement has {count} unbound ?-parameter(s); prepare and bind it"
+            ),
+            QueryError::ParamCount { expected, got } => write!(
+                f,
+                "statement declares {expected} parameter(s), {got} value(s) bound"
+            ),
         }
     }
 }
 
-impl std::error::Error for QueryError {}
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Parse(e) => Some(e),
+            QueryError::Storage(e) => Some(e),
+            QueryError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<ParseError> for QueryError {
     fn from(e: ParseError) -> Self {
@@ -67,7 +100,11 @@ impl From<nf2_core::NfError> for QueryError {
 }
 
 /// Result of executing one statement.
-#[derive(Debug)]
+///
+/// Compares structurally (`PartialEq`) — relation outputs compare as
+/// sets of NF² tuples plus their rendering — and displays as its
+/// [`to_text`](Output::to_text) form.
+#[derive(Debug, PartialEq, Eq)]
 pub enum Output {
     /// A message (DDL acknowledgements, table lists).
     Message(String),
@@ -78,7 +115,7 @@ pub enum Output {
     /// A query result relation (with a rendered table).
     Relation {
         /// The result relation.
-        relation: NfRelation,
+        relation: nf2_core::relation::NfRelation,
         /// ASCII rendering using the database dictionary.
         rendered: String,
     },
@@ -96,23 +133,33 @@ impl Output {
     }
 }
 
-/// One reverse operation in a transaction's undo log.
-#[derive(Debug, Clone)]
-enum Undo {
-    /// A delete (or the delete half of an update) removed this row.
-    Reinsert { table: String, row: Vec<Atom> },
-    /// An insert added this row.
-    Remove { table: String, row: Vec<Atom> },
+impl fmt::Display for Output {
+    /// Same text as [`Output::to_text`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Output::Message(m) => f.write_str(m),
+            Output::Affected(n) => write!(f, "{n} row(s) affected"),
+            Output::Count(n) => write!(f, "{n}"),
+            Output::Relation { rendered, .. } => f.write_str(rendered),
+        }
+    }
 }
 
-/// An in-memory database: a dictionary shared by all tables plus a
-/// catalog of NF² tables, with single-level transactions (BEGIN /
-/// COMMIT / ROLLBACK) over the row-mutation statements.
+/// The original embedded-database API — **deprecated but stable**.
+///
+/// `Database` predates the [`Engine`]/[`Session`]/
+/// [`Prepared`](crate::Prepared) split and re-parses every statement it
+/// runs. It is kept as a thin shim (an `Engine` plus one implicit
+/// session whose transaction state persists across calls) so existing
+/// code and scripts keep working unchanged; new code should use
+/// [`Engine::builder`] — see the crate docs for the migration shape.
+/// No functionality will be removed from this type, but new features
+/// (parameters, cursors, plan caching) land on the engine surface only.
 #[derive(Debug, Default)]
 pub struct Database {
-    dict: SharedDictionary,
-    tables: BTreeMap<String, NfTable>,
-    /// Undo log of the open transaction, if any.
+    engine: Engine,
+    /// Undo log of the open transaction, carried across per-call
+    /// sessions.
     txn: Option<Vec<Undo>>,
 }
 
@@ -124,530 +171,65 @@ impl Database {
 
     /// The shared dictionary.
     pub fn dict(&self) -> &SharedDictionary {
-        &self.dict
+        self.engine.dict()
+    }
+
+    /// The underlying engine (read-only; open a [`Session`] through
+    /// [`Database::engine_mut`] for the full new API).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable access to the underlying engine.
+    ///
+    /// Note: sessions opened on it do **not** see this shim's open
+    /// transaction (the undo log stays here until the next
+    /// `run`/`execute` call).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Unwraps into the underlying engine, discarding any open
+    /// transaction's undo log.
+    pub fn into_engine(self) -> Engine {
+        self.engine
     }
 
     /// Immutable access to a table.
     pub fn table(&self, name: &str) -> Result<&NfTable, QueryError> {
-        self.tables
-            .get(name)
-            .ok_or_else(|| QueryError::NoSuchTable(name.to_owned()))
+        self.engine.table(name)
     }
 
     /// Mutable access to a table.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut NfTable, QueryError> {
-        self.tables
-            .get_mut(name)
-            .ok_or_else(|| QueryError::NoSuchTable(name.to_owned()))
+        self.engine.table_mut(name)
+    }
+
+    /// Runs `f` in a session that resumes (and then re-saves) the shim's
+    /// transaction state.
+    fn with_session<R>(&mut self, f: impl FnOnce(&mut Session<'_>) -> R) -> R {
+        let mut session = Session::resume(&mut self.engine, self.txn.take());
+        let out = f(&mut session);
+        self.txn = session.take_txn();
+        out
     }
 
     /// Parses and executes a whole script, returning one output per
     /// statement.
     pub fn run_script(&mut self, script: &str) -> Result<Vec<Output>, QueryError> {
-        let stmts = parse_script(script)?;
-        stmts.into_iter().map(|s| self.execute(s)).collect()
+        self.with_session(|s| s.run_script(script))
     }
 
     /// Parses and executes a single statement.
     pub fn run(&mut self, statement: &str) -> Result<Output, QueryError> {
-        self.execute(crate::parser::parse(statement)?)
+        self.with_session(|s| s.run(statement))
     }
 
     /// Executes a parsed statement.
     pub fn execute(&mut self, stmt: Statement) -> Result<Output, QueryError> {
-        match stmt {
-            Statement::CreateTable {
-                name,
-                attrs,
-                nest_order,
-            } => {
-                if self.txn.is_some() {
-                    return Err(QueryError::Semantic(
-                        "DDL inside a transaction is not supported".into(),
-                    ));
-                }
-                if self.tables.contains_key(&name) {
-                    return Err(QueryError::TableExists(name));
-                }
-                let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
-                let schema = nf2_core::Schema::new(name.clone(), &attr_refs)?;
-                let order = match nest_order {
-                    Some(names) => {
-                        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-                        NestOrder::from_names(&schema, &refs)?
-                    }
-                    None => NestOrder::identity(attrs.len()),
-                };
-                let table = NfTable::create(&name, &attr_refs, order, self.dict.clone())?;
-                self.tables.insert(name.clone(), table);
-                Ok(Output::Message(format!("created table {name}")))
-            }
-            Statement::DropTable { name } => {
-                if self.txn.is_some() {
-                    return Err(QueryError::Semantic(
-                        "DDL inside a transaction is not supported".into(),
-                    ));
-                }
-                if self.tables.remove(&name).is_none() {
-                    return Err(QueryError::NoSuchTable(name));
-                }
-                Ok(Output::Message(format!("dropped table {name}")))
-            }
-            Statement::Insert { table, rows } => {
-                let t = self.table_mut(&table)?;
-                let mut affected = 0;
-                let mut undo = Vec::new();
-                for row in rows {
-                    let refs: Vec<&str> = row.iter().map(String::as_str).collect();
-                    let atoms = t.row_from_strs(&refs)?;
-                    if t.insert_atoms(atoms.clone())? {
-                        affected += 1;
-                        undo.push(Undo::Remove {
-                            table: table.clone(),
-                            row: atoms,
-                        });
-                    }
-                }
-                self.log_undo(undo);
-                Ok(Output::Affected(affected))
-            }
-            Statement::Delete { table, predicates } => {
-                let dict = self.dict.clone();
-                let t = self.table_mut(&table)?;
-                // Resolve predicates; a predicate with no known value
-                // matches nothing.
-                let Some(bound) = resolve_bound(t, &dict, &predicates)? else {
-                    return Ok(Output::Affected(0));
-                };
-                // Collect matching flat rows, then delete them one by one
-                // through §4 maintenance.
-                let victims: Vec<Vec<Atom>> = t
-                    .relation()
-                    .expand()
-                    .rows()
-                    .filter(|row| bound.iter().all(|(a, vs)| vs.contains(&row[*a])))
-                    .cloned()
-                    .collect();
-                let mut affected = 0;
-                let mut undo = Vec::new();
-                for row in &victims {
-                    if t.delete_atoms(row)? {
-                        affected += 1;
-                        undo.push(Undo::Reinsert {
-                            table: table.clone(),
-                            row: row.clone(),
-                        });
-                    }
-                }
-                self.log_undo(undo);
-                Ok(Output::Affected(affected))
-            }
-            Statement::Update {
-                table,
-                assignments,
-                predicates,
-            } => {
-                let dict = self.dict.clone();
-                let t = self.table_mut(&table)?;
-                // Resolve assignment targets (values are interned on use).
-                let mut sets: Vec<(usize, Atom)> = Vec::new();
-                for a in &assignments {
-                    let attr = t.schema().attr_id(&a.attr)?;
-                    sets.push((attr, dict.intern(&a.value)));
-                }
-                // Resolve the selection; unknown values match nothing.
-                let Some(bound) = resolve_bound(t, &dict, &predicates)? else {
-                    return Ok(Output::Affected(0));
-                };
-                let victims: Vec<Vec<Atom>> = t
-                    .relation()
-                    .expand()
-                    .rows()
-                    .filter(|row| bound.iter().all(|(a, vs)| vs.contains(&row[*a])))
-                    .cloned()
-                    .collect();
-                let mut affected = 0;
-                let mut undo = Vec::new();
-                for row in &victims {
-                    let mut updated = row.clone();
-                    for &(attr, v) in &sets {
-                        updated[attr] = v;
-                    }
-                    if updated == *row {
-                        continue; // no-op rewrite
-                    }
-                    t.delete_atoms(row)?;
-                    undo.push(Undo::Reinsert {
-                        table: table.clone(),
-                        row: row.clone(),
-                    });
-                    // The rewritten row may collide with an existing one —
-                    // set semantics absorb it (and then there is nothing to
-                    // undo for the insert half).
-                    if t.insert_atoms(updated.clone())? {
-                        undo.push(Undo::Remove {
-                            table: table.clone(),
-                            row: updated,
-                        });
-                    }
-                    affected += 1;
-                }
-                self.log_undo(undo);
-                Ok(Output::Affected(affected))
-            }
-            Statement::Select {
-                projection,
-                table,
-                joins,
-                predicates,
-            } => {
-                let (expr, env) = self.plan_select(&table, &joins, &projection, &predicates)?;
-                let Some(expr) = expr else {
-                    // Unknown predicate value: empty result.
-                    if matches!(
-                        projection,
-                        Projection::CountStar | Projection::CountDistinct(_)
-                    ) {
-                        return Ok(Output::Count(0));
-                    }
-                    let t = self.table(&table)?;
-                    let empty = NfRelation::new(t.schema().clone());
-                    let rendered = render_nf(&empty, &self.dict.snapshot());
-                    return Ok(Output::Relation {
-                        relation: empty,
-                        rendered,
-                    });
-                };
-                // Structural-mode optimization is always sound: the result
-                // is tuple-identical to the unoptimized plan's.
-                let catalog = SchemaCatalog::from_env(&env);
-                let expr = optimize(&expr, &catalog, RewriteMode::Structural).expr;
-                let relation = expr.eval(&env)?;
-                match projection {
-                    Projection::CountStar | Projection::CountDistinct(_) => {
-                        Ok(Output::Count(relation.flat_count()))
-                    }
-                    _ => {
-                        let rendered = render_nf(&relation, &self.dict.snapshot());
-                        Ok(Output::Relation { relation, rendered })
-                    }
-                }
-            }
-            Statement::Explain { inner, optimized } => {
-                let Statement::Select {
-                    projection,
-                    table,
-                    joins,
-                    predicates,
-                } = *inner
-                else {
-                    return Err(QueryError::Semantic(
-                        "EXPLAIN supports SELECT statements only".into(),
-                    ));
-                };
-                let (expr, env) = self.plan_select(&table, &joins, &projection, &predicates)?;
-                let Some(expr) = expr else {
-                    return Ok(Output::Message(
-                        "plan: <empty result — predicate value never interned>".to_owned(),
-                    ));
-                };
-                let mut text = format!("plan:\n{}", explain_expr(&expr, 0));
-                if optimized {
-                    let catalog = SchemaCatalog::from_env(&env);
-                    let opt = optimize(&expr, &catalog, RewriteMode::Structural);
-                    let sizes: std::collections::HashMap<String, usize> = env
-                        .names()
-                        .iter()
-                        .map(|n| {
-                            (
-                                n.to_string(),
-                                env.get(n).map(|r| r.tuple_count()).unwrap_or(0),
-                            )
-                        })
-                        .collect();
-                    let before = estimate(&expr, &sizes);
-                    let after = estimate(&opt.expr, &sizes);
-                    text.push_str("\nrewrites:");
-                    if opt.trace.is_empty() {
-                        text.push_str("\n  (none applicable)");
-                    }
-                    for step in &opt.trace {
-                        text.push_str(&format!("\n  [{}] {}", step.rule, step.result));
-                    }
-                    text.push_str(&format!(
-                        "\noptimized plan:\n{}",
-                        explain_expr(&opt.expr, 0)
-                    ));
-                    text.push_str(&format!(
-                        "\nestimated work: {:.0} -> {:.0}",
-                        before.total_work, after.total_work
-                    ));
-                }
-                Ok(Output::Message(text))
-            }
-            Statement::Nest { table, attr } => {
-                let t = self.table(&table)?;
-                let id = t.schema().attr_id(&attr)?;
-                // Ad-hoc ν over one attribute through the interning nest
-                // kernel (tuple-identical to `nest::nest`, which stays as
-                // the Def. 4 reference).
-                let relation = nf2_core::kernel::NestKernel::new().nest_once(t.relation(), id);
-                let rendered = render_nf(&relation, &self.dict.snapshot());
-                Ok(Output::Relation { relation, rendered })
-            }
-            Statement::Unnest { table, attr } => {
-                let t = self.table(&table)?;
-                let id = t.schema().attr_id(&attr)?;
-                let relation = nf2_core::nest::unnest(t.relation(), id);
-                let rendered = render_nf(&relation, &self.dict.snapshot());
-                Ok(Output::Relation { relation, rendered })
-            }
-            Statement::Show { table, flat } => {
-                let t = self.table(&table)?;
-                let dict = self.dict.snapshot();
-                if flat {
-                    let f = t.relation().expand();
-                    let rendered = render_flat(&f, &dict);
-                    Ok(Output::Relation {
-                        relation: NfRelation::from_flat(&f),
-                        rendered,
-                    })
-                } else {
-                    let rendered = render_nf(t.relation(), &dict);
-                    Ok(Output::Relation {
-                        relation: t.relation().clone(),
-                        rendered,
-                    })
-                }
-            }
-            Statement::Begin => {
-                if self.txn.is_some() {
-                    return Err(QueryError::Semantic(
-                        "a transaction is already open (nested BEGIN is not supported)".into(),
-                    ));
-                }
-                self.txn = Some(Vec::new());
-                Ok(Output::Message("transaction started".into()))
-            }
-            Statement::Commit => match self.txn.take() {
-                Some(log) => Ok(Output::Message(format!(
-                    "committed ({} row mutation(s))",
-                    log.len()
-                ))),
-                None => Err(QueryError::Semantic("no open transaction to COMMIT".into())),
-            },
-            Statement::Rollback => {
-                let Some(log) = self.txn.take() else {
-                    return Err(QueryError::Semantic(
-                        "no open transaction to ROLLBACK".into(),
-                    ));
-                };
-                let n = log.len();
-                for entry in log.into_iter().rev() {
-                    match entry {
-                        Undo::Reinsert { table, row } => {
-                            self.table_mut(&table)?.insert_atoms(row)?;
-                        }
-                        Undo::Remove { table, row } => {
-                            self.table_mut(&table)?.delete_atoms(&row)?;
-                        }
-                    }
-                }
-                Ok(Output::Message(format!("rolled back {n} row mutation(s)")))
-            }
-            Statement::Stats { table } => {
-                let t = self.table(&table)?;
-                let tuples = t.tuple_count();
-                let flats = t.flat_count();
-                let ratio = if tuples == 0 {
-                    1.0
-                } else {
-                    flats as f64 / tuples as f64
-                };
-                let cost = t.maintenance_cost();
-                let stats = t.stats();
-                Ok(Output::Message(format!(
-                    "table {table}: {tuples} nf-tuples / {flats} flat rows (compression {ratio:.2}x)\n\
-                     nest order: {}\n\
-                     maintenance: {} compositions, {} decompositions, {} candidate probes, {} recons calls\n\
-                     access: {} lookups probing {} units; {} inserts, {} deletes",
-                    t.order(),
-                    cost.compositions,
-                    cost.decompositions,
-                    cost.candidate_probes,
-                    cost.recons_calls,
-                    stats.lookups,
-                    stats.units_probed,
-                    stats.inserts,
-                    stats.deletes,
-                )))
-            }
-            Statement::Tables => {
-                let mut lines: Vec<String> = Vec::new();
-                for (name, t) in &self.tables {
-                    lines.push(format!(
-                        "{name}: {} nf-tuples / {} flat rows, order {}",
-                        t.tuple_count(),
-                        t.flat_count(),
-                        t.order()
-                    ));
-                }
-                if lines.is_empty() {
-                    lines.push("(no tables)".into());
-                }
-                Ok(Output::Message(lines.join("\n")))
-            }
-        }
-    }
-
-    /// Appends undo entries to the open transaction's log (no-op when
-    /// running in autocommit).
-    fn log_undo(&mut self, entries: Vec<Undo>) {
-        if let Some(log) = self.txn.as_mut() {
-            log.extend(entries);
-        }
-    }
-
-    /// Compiles a SELECT into an algebra expression plus the evaluation
-    /// environment. Returns `Ok((None, env))` when some predicate has no
-    /// interned value at all (the result is statically empty).
-    #[allow(clippy::type_complexity)]
-    fn plan_select(
-        &self,
-        table: &str,
-        joins: &[String],
-        projection: &Projection,
-        predicates: &[Predicate],
-    ) -> Result<(Option<Expr>, Env), QueryError> {
-        let t = self.table(table)?;
-        let mut env = Env::new();
-        env.insert(table.to_owned(), t.relation().clone());
-        let mut expr = Expr::rel(table);
-        for other in joins {
-            let o = self.table(other)?;
-            env.insert(other.to_owned(), o.relation().clone());
-            expr = Expr::Join(Box::new(expr), Box::new(Expr::rel(other)));
-        }
-        if !predicates.is_empty() {
-            // Predicate attributes are resolved against the joined shape
-            // at eval time; here we only resolve values. An IN keeps its
-            // known values; a predicate with none is statically empty.
-            let mut constraints = Vec::with_capacity(predicates.len());
-            for p in predicates {
-                let atoms: Vec<Atom> = p
-                    .values()
-                    .iter()
-                    .filter_map(|v| self.dict.lookup(v))
-                    .collect();
-                if atoms.is_empty() {
-                    return Ok((None, env));
-                }
-                constraints.push((p.attr().to_owned(), atoms));
-            }
-            expr = Expr::SelectBox {
-                input: Box::new(expr),
-                constraints,
-            };
-        }
-        match projection {
-            Projection::Attrs(attrs) => {
-                expr = Expr::Project {
-                    input: Box::new(expr),
-                    attrs: attrs.clone(),
-                };
-            }
-            Projection::CountDistinct(attr) => {
-                expr = Expr::Project {
-                    input: Box::new(expr),
-                    attrs: vec![attr.clone()],
-                };
-            }
-            Projection::All | Projection::CountStar => {}
-        }
-        Ok((Some(expr), env))
+        self.with_session(|s| s.execute(stmt))
     }
 }
-
-/// Resolves WHERE predicates to `(attr id, allowed atoms)` pairs against
-/// one table. `None` when some predicate has no known value (nothing can
-/// match).
-#[allow(clippy::type_complexity)]
-fn resolve_bound(
-    table: &NfTable,
-    dict: &SharedDictionary,
-    predicates: &[Predicate],
-) -> Result<Option<Vec<(usize, Vec<Atom>)>>, QueryError> {
-    let mut bound = Vec::with_capacity(predicates.len());
-    for p in predicates {
-        let attr = table.schema().attr_id(p.attr())?;
-        let atoms: Vec<Atom> = p.values().iter().filter_map(|v| dict.lookup(v)).collect();
-        if atoms.is_empty() {
-            return Ok(None);
-        }
-        bound.push((attr, atoms));
-    }
-    Ok(Some(bound))
-}
-
-/// Renders an algebra expression as an indented plan tree for EXPLAIN.
-fn explain_expr(expr: &Expr, depth: usize) -> String {
-    let pad = "  ".repeat(depth);
-    match expr {
-        Expr::Rel(name) => format!("{pad}scan {name}"),
-        Expr::SelectBox { input, constraints } => {
-            let preds: Vec<String> = constraints
-                .iter()
-                .map(|(a, vs)| format!("{a} IN {vs:?}"))
-                .collect();
-            format!(
-                "{pad}select [{}]\n{}",
-                preds.join(" AND "),
-                explain_expr(input, depth + 1)
-            )
-        }
-        Expr::Project { input, attrs } => {
-            format!(
-                "{pad}project [{}]\n{}",
-                attrs.join(", "),
-                explain_expr(input, depth + 1)
-            )
-        }
-        Expr::Join(l, r) => format!(
-            "{pad}natural-join\n{}\n{}",
-            explain_expr(l, depth + 1),
-            explain_expr(r, depth + 1)
-        ),
-        Expr::Union(l, r) => format!(
-            "{pad}union\n{}\n{}",
-            explain_expr(l, depth + 1),
-            explain_expr(r, depth + 1)
-        ),
-        Expr::Difference(l, r) => format!(
-            "{pad}difference\n{}\n{}",
-            explain_expr(l, depth + 1),
-            explain_expr(r, depth + 1)
-        ),
-        Expr::Intersect(l, r) => format!(
-            "{pad}intersect\n{}\n{}",
-            explain_expr(l, depth + 1),
-            explain_expr(r, depth + 1)
-        ),
-        Expr::Nest { input, attr } => {
-            format!("{pad}nest [{attr}]\n{}", explain_expr(input, depth + 1))
-        }
-        Expr::Unnest { input, attr } => {
-            format!("{pad}unnest [{attr}]\n{}", explain_expr(input, depth + 1))
-        }
-        Expr::Canonicalize { input, order } => {
-            format!(
-                "{pad}canonicalize [{}]\n{}",
-                order.join(" -> "),
-                explain_expr(input, depth + 1)
-            )
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -881,6 +463,7 @@ mod join_explain_tests {
 #[cfg(test)]
 mod transaction_tests {
     use super::*;
+    use nf2_core::relation::NfRelation;
 
     fn db() -> Database {
         let mut db = Database::new();

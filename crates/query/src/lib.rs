@@ -22,11 +22,17 @@
 //! §4's incremental canonical maintenance).
 
 pub mod ast;
+pub mod cursor;
+pub mod engine;
 pub mod exec;
 pub mod parser;
+pub mod prepare;
 pub mod token;
 
-pub use ast::{EqPredicate, Projection, Statement};
+pub use ast::{EqPredicate, Projection, Statement, Value};
+pub use cursor::{Cursor, FlatRows};
+pub use engine::{Engine, EngineBuilder, Session};
 pub use exec::{Database, Output, QueryError};
 pub use parser::{parse, parse_script, ParseError};
+pub use prepare::{Param, Prepared, NO_PARAMS};
 pub use token::{lex, LexError, Token};

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::ast::{EqPredicate, Predicate, Projection, Statement};
+use crate::ast::{EqPredicate, Predicate, Projection, Statement, Value};
 use crate::token::{lex, LexError, Token};
 
 /// A parse error.
@@ -45,13 +45,19 @@ pub fn parse(input: &str) -> Result<Statement, ParseError> {
 /// Parses a semicolon-separated script.
 pub fn parse_script(input: &str) -> Result<Vec<Statement>, ParseError> {
     let tokens = lex(input)?;
-    let mut parser = Parser { tokens, pos: 0 };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
     let mut stmts = Vec::new();
     loop {
         while parser.eat(&Token::Semicolon) {}
         if parser.at_end() {
             return Ok(stmts);
         }
+        // `?` placeholders are numbered per statement, left to right.
+        parser.params = 0;
         stmts.push(parser.statement()?);
     }
 }
@@ -59,6 +65,8 @@ pub fn parse_script(input: &str) -> Result<Vec<Statement>, ParseError> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Number of `?` placeholders seen so far in the current statement.
+    params: usize,
 }
 
 impl Parser {
@@ -135,11 +143,18 @@ impl Parser {
         false
     }
 
-    fn string(&mut self) -> Result<String, ParseError> {
+    /// Consumes a value position: a string literal or a `?` placeholder
+    /// (numbered left to right within the statement).
+    fn value(&mut self) -> Result<Value, ParseError> {
         match self.next()? {
-            Token::Str(s) => Ok(s),
+            Token::Str(s) => Ok(Value::Lit(s)),
+            Token::Question => {
+                let idx = self.params;
+                self.params += 1;
+                Ok(Value::Param(idx))
+            }
             other => Err(ParseError {
-                message: format!("expected string literal, found {other}"),
+                message: format!("expected string literal or ?, found {other}"),
             }),
         }
     }
@@ -280,11 +295,11 @@ impl Parser {
         }
     }
 
-    fn value_row(&mut self) -> Result<Vec<String>, ParseError> {
+    fn value_row(&mut self) -> Result<Vec<Value>, ParseError> {
         self.expect(&Token::LParen)?;
-        let mut vals = vec![self.string()?];
+        let mut vals = vec![self.value()?];
         while self.eat(&Token::Comma) {
-            vals.push(self.string()?);
+            vals.push(self.value()?);
         }
         self.expect(&Token::RParen)?;
         Ok(vals)
@@ -326,28 +341,29 @@ impl Parser {
         Ok(preds)
     }
 
-    /// `attr = 'value'` or `attr IN ('v1', 'v2', …)`.
+    /// `attr = 'value'` or `attr IN ('v1', ?, …)`; `?` placeholders are
+    /// accepted anywhere a value is.
     fn where_predicate(&mut self) -> Result<Predicate, ParseError> {
         let attr = self.ident()?;
         if self.eat_keyword("in") {
             self.expect(&Token::LParen)?;
-            let mut values = vec![self.string()?];
+            let mut values = vec![self.value()?];
             while self.eat(&Token::Comma) {
-                values.push(self.string()?);
+                values.push(self.value()?);
             }
             self.expect(&Token::RParen)?;
             return Ok(Predicate::In { attr, values });
         }
         self.expect(&Token::Equals)?;
-        let value = self.string()?;
+        let value = self.value()?;
         Ok(Predicate::Eq(EqPredicate { attr, value }))
     }
 
-    /// A SET assignment: always `attr = 'value'`.
+    /// A SET assignment: always `attr = value`.
     fn predicate(&mut self) -> Result<EqPredicate, ParseError> {
         let attr = self.ident()?;
         self.expect(&Token::Equals)?;
-        let value = self.string()?;
+        let value = self.value()?;
         Ok(EqPredicate { attr, value })
     }
 }
@@ -434,6 +450,59 @@ mod tests {
             parse("SELECT * FROM sc WHERE Student IN ('s1'").is_err(),
             "unclosed IN list"
         );
+    }
+
+    #[test]
+    fn parses_parameter_placeholders_in_order() {
+        use crate::ast::Value;
+        let s = parse("SELECT * FROM t WHERE A = ? AND B IN ('x', ?, ?)").unwrap();
+        assert_eq!(s.param_count(), 3);
+        match &s {
+            Statement::Select { predicates, .. } => {
+                assert_eq!(
+                    predicates[0],
+                    Predicate::Eq(EqPredicate {
+                        attr: "A".into(),
+                        value: Value::Param(0),
+                    })
+                );
+                assert_eq!(
+                    predicates[1],
+                    Predicate::In {
+                        attr: "B".into(),
+                        values: vec!["x".into(), Value::Param(1), Value::Param(2)],
+                    }
+                );
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // Numbering restarts per statement in a script.
+        let script =
+            parse_script("INSERT INTO t VALUES (?, ?); DELETE FROM t WHERE A = ?").unwrap();
+        assert_eq!(script[0].param_count(), 2);
+        assert_eq!(script[1].param_count(), 1);
+        // UPDATE accepts placeholders in SET and WHERE.
+        let upd = parse("UPDATE t SET A = ? WHERE B = ?").unwrap();
+        assert_eq!(upd.param_count(), 2);
+        // A placeholder is not an identifier.
+        assert!(parse("SELECT ? FROM t").is_err());
+    }
+
+    #[test]
+    fn statements_round_trip_through_display() {
+        for sql in [
+            "CREATE TABLE sc (Student, Course) NEST ORDER (Course, Student)",
+            "INSERT INTO sc VALUES ('s1', 'c1'), (?, ?)",
+            "SELECT COUNT(DISTINCT Student) FROM sc JOIN cp WHERE Prof = 'p1'",
+            "SELECT * FROM sc WHERE Student IN ('s1', ?)",
+            "UPDATE sc SET Course = ? WHERE Student = 's1'",
+            "DELETE FROM sc",
+            "EXPLAIN OPTIMIZED SELECT Student FROM sc WHERE Course = ?",
+            "SHOW FLAT sc",
+        ] {
+            let stmt = parse(sql).unwrap();
+            assert_eq!(parse(&stmt.to_string()).unwrap(), stmt, "{sql}");
+        }
     }
 
     #[test]

@@ -1,0 +1,985 @@
+//! Prepared statements: parse once, plan once, execute many times.
+//!
+//! A [`Prepared`] handle owns the parsed statement and, for SELECTs, a
+//! `SelectPlan`: the optimized algebra expression in which **every**
+//! predicate value — inline literal or `?` parameter — is a late-bound
+//! *slot*. Executing binds the slots against the dictionary of the
+//! moment and streams the result, so:
+//!
+//! * the lexer, parser and rule-based optimizer run exactly once per
+//!   statement text (the hot loop pays only dictionary lookups and
+//!   evaluation — see bench experiment E17);
+//! * literals are resolved at execute time, exactly like the one-shot
+//!   path — a value interned *after* `prepare()` is still found;
+//! * DDL invalidates nothing by hand: plans remember the engine's
+//!   [`ddl_epoch`](crate::Engine::ddl_epoch) and transparently re-plan
+//!   when the catalog changed underneath them.
+//!
+//! Slots ride through the optimizer as reserved atom ids (the dictionary
+//! interns atoms densely from zero and would need ~4 billion distinct
+//! values to collide), which keeps `nf2-algebra` entirely ignorant of
+//! parameters.
+
+use std::sync::Arc;
+
+use nf2_algebra::optimize::Applied;
+use nf2_algebra::stream::{filter_box, JoinLayout, RelStream, TupleIter};
+use nf2_algebra::{estimate, optimize, Expr, SchemaCatalog};
+use nf2_core::display::render_nf;
+use nf2_core::relation::NfRelation;
+use nf2_core::schema::{NestOrder, Schema};
+use nf2_core::tuple::{NfTuple, TupleView, ValueSet};
+use nf2_core::value::Atom;
+use nf2_storage::{NfTable, SharedDictionary};
+
+use crate::ast::{Predicate, Projection, Statement, Value};
+use crate::cursor::Cursor;
+use crate::engine::{explain_expr, Engine, Session};
+use crate::exec::{Output, QueryError};
+
+/// A parameter value bound to one `?` placeholder at execute time.
+///
+/// Anything string-like binds (`Param` implements `From<&str>` /
+/// `From<String>`, and the execute methods accept any `AsRef<str>`, so
+/// `&["s1"]` works directly). Use [`NO_PARAMS`] for statements without
+/// placeholders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param(String);
+
+impl Param {
+    /// The bound string value.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Param {
+    fn from(s: &str) -> Self {
+        Param(s.to_owned())
+    }
+}
+
+impl From<String> for Param {
+    fn from(s: String) -> Self {
+        Param(s)
+    }
+}
+
+impl AsRef<str> for Param {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// The empty parameter list, for executing parameterless prepared
+/// statements without type-annotating an empty slice.
+pub const NO_PARAMS: &[Param] = &[];
+
+/// First atom id reserved for plan slots (the top 2²⁴ ids). The
+/// dictionary interns ids densely from 0, so real data would need ~4.3
+/// billion distinct values to reach this range; [`SelectPlan::build`]
+/// checks both sides anyway — the dictionary must stay below the range
+/// and a statement may not declare more value slots than the range
+/// holds.
+const SLOT_BASE: u32 = u32::MAX - 0x00FF_FFFF;
+
+/// What a slot resolves to at bind time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Slot {
+    /// An inline literal: looked up in the dictionary per execution.
+    Lit(String),
+    /// The `n`-th `?` parameter.
+    Param(usize),
+}
+
+/// One node of a compiled physical pipeline. Table indices, attribute
+/// ids, join layouts and output schemas are resolved **once**, at
+/// prepare time, so an execution only binds values and flows tuples —
+/// no name resolution, schema construction or plan traversal per call.
+#[derive(Debug, Clone)]
+enum Phys {
+    /// Counted scan of the `n`-th table of [`SelectPlan::tables`].
+    Scan {
+        /// Index into the plan's table list.
+        table: usize,
+    },
+    /// Box selection; constraint `k` reads its per-call atoms from the
+    /// bound-value store at `flat` index `k`.
+    Select {
+        /// Upstream node.
+        input: Box<Phys>,
+        /// `(attribute id, bound-store index)` conjuncts.
+        constraints: Vec<(usize, usize)>,
+    },
+    /// Blocking projection (delegates to [`nf2_algebra::project`]).
+    Project {
+        /// Upstream node.
+        input: Box<Phys>,
+        /// The upstream schema (for materialization).
+        input_schema: Arc<Schema>,
+        /// Kept attribute ids, in output order.
+        attrs: Arc<Vec<usize>>,
+    },
+    /// Natural join: streamed probe (left), materialized build (right).
+    Join {
+        /// Probe side.
+        left: Box<Phys>,
+        /// Build side.
+        right: Box<Phys>,
+        /// The shared/appended attribute layout and output schema —
+        /// computed by (and executed through) the algebra's
+        /// [`JoinLayout`], so the join semantics live in one place.
+        layout: Arc<JoinLayout>,
+    },
+}
+
+/// A compiled pipeline plus its output schema.
+#[derive(Debug, Clone)]
+struct PhysPlan {
+    root: Phys,
+    schema: Arc<Schema>,
+}
+
+impl PhysPlan {
+    /// Compiles an optimized planner expression. `Ok(None)` when the
+    /// expression contains a node shape the physical executor does not
+    /// cover (execution then falls back to [`eval_stream`]).
+    ///
+    /// The `flat` constraint numbering follows the same traversal as
+    /// `SelectPlan::bind_flat`: each `SelectBox`'s own entries first,
+    /// then its input; joins left before right.
+    fn compile(
+        expr: &Expr,
+        tables: &[String],
+        engine: &Engine,
+        next_flat: &mut usize,
+    ) -> Result<Option<PhysPlan>, QueryError> {
+        match expr {
+            Expr::Rel(name) => {
+                let Some(idx) = tables.iter().position(|t| t == name) else {
+                    return Ok(None);
+                };
+                Ok(Some(PhysPlan {
+                    root: Phys::Scan { table: idx },
+                    schema: engine.table(name)?.schema().clone(),
+                }))
+            }
+            Expr::SelectBox { input, constraints } => {
+                let own_base = *next_flat;
+                *next_flat += constraints.len();
+                let Some(child) = Self::compile(input, tables, engine, next_flat)? else {
+                    return Ok(None);
+                };
+                let resolved = constraints
+                    .iter()
+                    .enumerate()
+                    .map(|(k, (name, _))| Ok((child.schema.attr_id(name)?, own_base + k)))
+                    .collect::<Result<Vec<_>, nf2_core::NfError>>()?;
+                Ok(Some(PhysPlan {
+                    root: Phys::Select {
+                        input: Box::new(child.root),
+                        constraints: resolved,
+                    },
+                    schema: child.schema,
+                }))
+            }
+            Expr::Project { input, attrs } => {
+                let Some(child) = Self::compile(input, tables, engine, next_flat)? else {
+                    return Ok(None);
+                };
+                let ids = attrs
+                    .iter()
+                    .map(|n| child.schema.attr_id(n))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let names = ids
+                    .iter()
+                    .map(|&a| child.schema.attr_name(a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                // Mirror ops::project's output schema exactly.
+                let schema = Schema::new(format!("{}_proj", child.schema.name()), &names)?;
+                Ok(Some(PhysPlan {
+                    root: Phys::Project {
+                        input: Box::new(child.root),
+                        input_schema: child.schema,
+                        attrs: Arc::new(ids),
+                    },
+                    schema,
+                }))
+            }
+            Expr::Join(l, r) => {
+                let Some(left) = Self::compile(l, tables, engine, next_flat)? else {
+                    return Ok(None);
+                };
+                let Some(right) = Self::compile(r, tables, engine, next_flat)? else {
+                    return Ok(None);
+                };
+                let layout = Arc::new(JoinLayout::of(&left.schema, &right.schema)?);
+                let schema = layout.schema.clone();
+                Ok(Some(PhysPlan {
+                    root: Phys::Join {
+                        left: Box::new(left.root),
+                        right: Box::new(right.root),
+                        layout,
+                    },
+                    schema,
+                }))
+            }
+            // Nest/Unnest/Union/… never come out of the planner today;
+            // let the general evaluator handle them if a rewrite mode
+            // ever introduces one.
+            _ => Ok(None),
+        }
+    }
+
+    /// Builds the per-call pipeline over the resolved tables and bound
+    /// constraint values.
+    fn stream<'s>(&self, tables: &[&'s NfTable], bound: &[ValueSet]) -> TupleIter<'s> {
+        fn go<'s>(node: &Phys, tables: &[&'s NfTable], bound: &[ValueSet]) -> TupleIter<'s> {
+            match node {
+                Phys::Scan { table } => Box::new(tables[*table].scan().map(TupleView::Borrowed)),
+                Phys::Select { input, constraints } => {
+                    let resolved: Vec<(usize, ValueSet)> = constraints
+                        .iter()
+                        .map(|&(attr, flat)| (attr, bound[flat].clone()))
+                        .collect();
+                    Box::new(go(input, tables, bound).filter_map(move |t| filter_box(t, &resolved)))
+                }
+                Phys::Project {
+                    input,
+                    input_schema,
+                    attrs,
+                } => {
+                    let tuples: Vec<NfTuple> = go(input, tables, bound)
+                        .map(TupleView::into_owned)
+                        .collect();
+                    let rel = NfRelation::from_disjoint_tuples(input_schema.clone(), tuples)
+                        .expect("pipeline tuples match their schema");
+                    let out = nf2_algebra::project(&rel, attrs, &NestOrder::identity(attrs.len()))
+                        .expect("attribute ids resolved at compile time");
+                    Box::new(out.into_tuples().into_iter().map(TupleView::Owned))
+                }
+                Phys::Join {
+                    left,
+                    right,
+                    layout,
+                } => {
+                    let build: Vec<TupleView<'s>> = go(right, tables, bound).collect();
+                    let layout = layout.clone();
+                    Box::new(go(left, tables, bound).flat_map(move |l| {
+                        let mut out = Vec::new();
+                        layout.probe(&l, &build, &mut out);
+                        out
+                    }))
+                }
+            }
+        }
+        go(&self.root, tables, bound)
+    }
+}
+
+/// A compiled SELECT: the optimized expression with late-bound value
+/// slots, plus everything needed to execute or explain it.
+#[derive(Debug, Clone)]
+pub(crate) struct SelectPlan {
+    /// The plan before optimization (EXPLAIN shows both).
+    raw: Expr,
+    /// The optimized plan template, values encoded as slot atoms.
+    expr: Expr,
+    /// The compiled physical pipeline (attr ids, join layouts, schemas
+    /// resolved once). Mandatory: the planner and the structural rewrite
+    /// rules only ever produce scan/select/project/join shapes, and
+    /// [`SelectPlan::build`] fails loudly if that ever stops holding —
+    /// a silently-degraded fallback would be worse than an error.
+    phys: PhysPlan,
+    /// Slot table: `Atom(SLOT_BASE + i)` ↔ `slots[i]`.
+    slots: Vec<Slot>,
+    /// The applied rewrites, in order (EXPLAIN / plan observability).
+    trace: Vec<Applied>,
+    projection: Projection,
+    /// Every table the plan scans.
+    tables: Vec<String>,
+    /// Number of `?` parameters the plan expects.
+    param_count: usize,
+}
+
+impl SelectPlan {
+    /// Plans and optimizes a SELECT against the engine's catalog.
+    pub(crate) fn build(
+        engine: &Engine,
+        projection: Projection,
+        table: String,
+        joins: Vec<String>,
+        predicates: &[Predicate],
+    ) -> Result<Self, QueryError> {
+        if engine.dict().len() as u64 >= SLOT_BASE as u64 {
+            return Err(QueryError::Semantic(
+                "dictionary exhausted the slot-atom range".into(),
+            ));
+        }
+        let slot_capacity = (u32::MAX - SLOT_BASE) as usize + 1;
+        let slot_count: usize = predicates.iter().map(|p| p.value_slots().len()).sum();
+        if slot_count > slot_capacity {
+            return Err(QueryError::Semantic(format!(
+                "statement declares {slot_count} predicate values; at most {slot_capacity} \
+                 are supported per statement"
+            )));
+        }
+        // Validate tables up front and register them with the catalog.
+        let mut catalog = SchemaCatalog::new();
+        let mut tables = vec![table.clone()];
+        tables.extend(joins.iter().cloned());
+        let mut expr = Expr::rel(&table);
+        for name in &tables {
+            let t = engine.table(name)?;
+            catalog.insert(
+                name.clone(),
+                t.schema().attr_names().map(str::to_owned).collect(),
+            );
+        }
+        for other in &joins {
+            expr = Expr::Join(Box::new(expr), Box::new(Expr::rel(other)));
+        }
+        // Every predicate value becomes a slot, resolved per execution.
+        let mut slots: Vec<Slot> = Vec::new();
+        let mut param_count = 0usize;
+        if !predicates.is_empty() {
+            let mut constraints = Vec::with_capacity(predicates.len());
+            for p in predicates {
+                let mut atoms = Vec::new();
+                for v in p.value_slots() {
+                    let slot = match v {
+                        Value::Lit(s) => Slot::Lit(s.clone()),
+                        Value::Param(i) => {
+                            param_count = param_count.max(i + 1);
+                            Slot::Param(*i)
+                        }
+                    };
+                    atoms.push(Atom(SLOT_BASE + slots.len() as u32));
+                    slots.push(slot);
+                }
+                constraints.push((p.attr().to_owned(), atoms));
+            }
+            expr = Expr::SelectBox {
+                input: Box::new(expr),
+                constraints,
+            };
+        }
+        match &projection {
+            Projection::Attrs(attrs) => {
+                expr = Expr::Project {
+                    input: Box::new(expr),
+                    attrs: attrs.clone(),
+                };
+            }
+            Projection::CountDistinct(attr) => {
+                expr = Expr::Project {
+                    input: Box::new(expr),
+                    attrs: vec![attr.clone()],
+                };
+            }
+            Projection::All | Projection::CountStar => {}
+        }
+        let optimized = optimize(&expr, &catalog, engine.rewrite_mode());
+        let phys =
+            PhysPlan::compile(&optimized.expr, &tables, engine, &mut 0)?.ok_or_else(|| {
+                QueryError::Semantic(
+                    "internal error: the optimizer produced a plan shape outside \
+                 scan/select/project/join"
+                        .into(),
+                )
+            })?;
+        Ok(SelectPlan {
+            raw: expr,
+            expr: optimized.expr,
+            phys,
+            slots,
+            trace: optimized.trace,
+            projection,
+            tables,
+            param_count,
+        })
+    }
+
+    /// The projection the plan computes.
+    pub(crate) fn projection(&self) -> &Projection {
+        &self.projection
+    }
+
+    /// Binds slots straight into the flat constraint store the compiled
+    /// pipeline reads — one template traversal, no tree mutation.
+    /// `Ok(None)` means some conjunct has no known value at all: the
+    /// result is statically empty (see [`Self::bind_in_place`] for why
+    /// that propagates to an empty result). Store order matches
+    /// [`PhysPlan::compile`]'s flat numbering.
+    fn bind_flat<P: AsRef<str>>(
+        &self,
+        dict: &SharedDictionary,
+        params: &[P],
+    ) -> Result<Option<Vec<ValueSet>>, QueryError> {
+        if params.len() != self.param_count {
+            return Err(QueryError::ParamCount {
+                expected: self.param_count,
+                got: params.len(),
+            });
+        }
+        fn walk<F: Fn(Atom) -> Option<Atom>>(
+            template: &Expr,
+            out: &mut Vec<ValueSet>,
+            resolve: &F,
+        ) -> bool {
+            match template {
+                Expr::SelectBox { input, constraints } => {
+                    for (_, atoms) in constraints {
+                        let vals: Vec<Atom> = atoms.iter().filter_map(|&a| resolve(a)).collect();
+                        match ValueSet::new(vals) {
+                            Some(set) => out.push(set),
+                            None => return false, // unsatisfiable conjunct
+                        }
+                    }
+                    walk(input, out, resolve)
+                }
+                Expr::Project { input, .. } => walk(input, out, resolve),
+                Expr::Join(l, r) => walk(l, out, resolve) && walk(r, out, resolve),
+                _ => true,
+            }
+        }
+        let snap = dict.snapshot();
+        let slots = &self.slots;
+        let resolve = |atom: Atom| -> Option<Atom> {
+            if atom.id() < SLOT_BASE {
+                return Some(atom);
+            }
+            match &slots[(atom.id() - SLOT_BASE) as usize] {
+                Slot::Lit(s) => snap.lookup(s),
+                Slot::Param(i) => snap.lookup(params[*i].as_ref()),
+            }
+        };
+        let mut out = Vec::new();
+        Ok(walk(&self.expr, &mut out, &resolve).then_some(out))
+    }
+
+    /// Binds and streams the plan as a [`Cursor`] borrowing the engine's
+    /// tables. A statically-empty result yields an empty cursor carrying
+    /// the plan's output schema.
+    pub(crate) fn cursor<'s, P: AsRef<str>>(
+        &mut self,
+        engine: &'s Engine,
+        params: &[P],
+    ) -> Result<Cursor<'s>, QueryError> {
+        // One template traversal binds the flat constraint store;
+        // everything else was resolved at prepare time.
+        let Some(bound) = self.bind_flat(engine.dict(), params)? else {
+            // Statically empty: keep the plan's *output* schema, so a
+            // cursor's shape does not depend on which value was bound.
+            return Ok(Cursor::new(RelStream::empty(self.phys.schema.clone())));
+        };
+        let tables = self
+            .tables
+            .iter()
+            .map(|n| engine.table(n))
+            .collect::<Result<Vec<_>, _>>()?;
+        let iter = self.phys.stream(&tables, &bound);
+        Ok(Cursor::new(RelStream::new(self.phys.schema.clone(), iter)))
+    }
+
+    /// Renders the plan for EXPLAIN: the unoptimized tree with its cost
+    /// estimate, plus (for `optimized`) the rewrite trace, the optimized
+    /// tree and the estimate delta. `Ok(None)` when binding finds a
+    /// statically-empty result.
+    pub(crate) fn explain<P: AsRef<str>>(
+        &self,
+        engine: &Engine,
+        params: &[P],
+        optimized: bool,
+    ) -> Result<Option<String>, QueryError> {
+        // Both trees render from the template — literals as `'lit'`,
+        // parameters as `?n` — so the text is identical to what
+        // `Prepared::explain` shows for the cached plan. Binding is
+        // still attempted (when every parameter is supplied) to detect
+        // statically-empty results.
+        if params.len() == self.param_count && self.bind_flat(engine.dict(), params)?.is_none() {
+            return Ok(None);
+        }
+        let fmt_value = |a: Atom| -> String {
+            if a.id() >= SLOT_BASE {
+                match &self.slots[(a.id() - SLOT_BASE) as usize] {
+                    Slot::Lit(s) => format!("'{s}'"),
+                    Slot::Param(i) => format!("?{i}"),
+                }
+            } else {
+                format!("{a:?}")
+            }
+        };
+        let sizes: std::collections::HashMap<String, usize> = self
+            .tables
+            .iter()
+            .map(|n| {
+                (
+                    n.clone(),
+                    engine.table(n).map(|t| t.tuple_count()).unwrap_or(0),
+                )
+            })
+            .collect();
+        let before = estimate(&self.raw, &sizes);
+        let mut text = format!("plan:\n{}", explain_expr(&self.raw, 0, &fmt_value));
+        text.push_str(&format!(
+            "\nestimated work: {:.0} ({:.0} tuples out)",
+            before.total_work, before.out_tuples
+        ));
+        if optimized {
+            let after = estimate(&self.expr, &sizes);
+            text.push_str("\nrewrites:");
+            if self.trace.is_empty() {
+                text.push_str("\n  (none applicable)");
+            }
+            for step in &self.trace {
+                text.push_str(&format!("\n  [{}] {}", step.rule, step.result));
+            }
+            text.push_str(&format!(
+                "\noptimized plan:\n{}",
+                explain_expr(&self.expr, 0, &fmt_value)
+            ));
+            text.push_str(&format!(
+                "\nestimated work: {:.0} -> {:.0}",
+                before.total_work, after.total_work
+            ));
+        }
+        Ok(Some(text))
+    }
+}
+
+/// Executes a bound select plan to a materialized [`Output`] — the
+/// one-shot `run()`/`Database` semantics (aggregates count, everything
+/// else renders a relation).
+pub(crate) fn execute_select<P: AsRef<str>>(
+    engine: &Engine,
+    plan: &mut SelectPlan,
+    params: &[P],
+) -> Result<Output, QueryError> {
+    let cursor = plan.cursor(engine, params)?;
+    match plan.projection() {
+        Projection::CountStar | Projection::CountDistinct(_) => {
+            Ok(Output::Count(cursor.flat_count()))
+        }
+        _ => {
+            let relation = cursor.into_relation()?;
+            let rendered = render_nf(&relation, &engine.dict().snapshot());
+            Ok(Output::Relation { relation, rendered })
+        }
+    }
+}
+
+/// A statement compiled against an [`Engine`]: parsed once, planned and
+/// optimized once (SELECTs), executable any number of times with
+/// per-call parameters.
+///
+/// Handles are owned values, independent of any session: keep them
+/// across sessions of the same engine and they stay valid — a DDL change
+/// underneath is detected through the engine's epoch and triggers a
+/// transparent re-plan (which surfaces errors like a dropped table at
+/// the next execution, same as re-preparing by hand).
+#[derive(Debug)]
+pub struct Prepared {
+    sql: String,
+    stmt: Statement,
+    plan: Option<SelectPlan>,
+    /// Which engine the plan was compiled against.
+    engine_id: u64,
+    /// That engine's DDL epoch at compile (or last re-plan) time.
+    epoch: u64,
+    param_count: usize,
+}
+
+impl Prepared {
+    /// Parses `sql` (one statement) and plans it if it is a SELECT.
+    pub(crate) fn compile(engine: &Engine, sql: &str) -> Result<Self, QueryError> {
+        let stmt = crate::parser::parse(sql)?;
+        let plan = Self::plan_of(engine, &stmt)?;
+        Ok(Prepared {
+            sql: sql.to_owned(),
+            param_count: stmt.param_count(),
+            stmt,
+            plan,
+            engine_id: engine.instance_id(),
+            epoch: engine.ddl_epoch(),
+        })
+    }
+
+    fn plan_of(engine: &Engine, stmt: &Statement) -> Result<Option<SelectPlan>, QueryError> {
+        match stmt {
+            Statement::Select {
+                projection,
+                table,
+                joins,
+                predicates,
+            } => Ok(Some(SelectPlan::build(
+                engine,
+                projection.clone(),
+                table.clone(),
+                joins.clone(),
+                predicates,
+            )?)),
+            _ => Ok(None),
+        }
+    }
+
+    /// The original statement text.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// Number of `?` parameters the statement declares.
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// Whether executing will stream a relation (the statement is a
+    /// SELECT).
+    pub fn is_query(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// Re-plans if DDL changed the catalog since this handle was
+    /// compiled (or last revalidated).
+    fn revalidate(&mut self, engine: &Engine) -> Result<(), QueryError> {
+        if self.engine_id != engine.instance_id() || self.epoch != engine.ddl_epoch() {
+            self.plan = Self::plan_of(engine, &self.stmt)?;
+            self.engine_id = engine.instance_id();
+            self.epoch = engine.ddl_epoch();
+        }
+        Ok(())
+    }
+
+    /// Executes a prepared SELECT, streaming the result as a [`Cursor`]
+    /// that borrows the session's engine. Non-SELECT statements are
+    /// rejected — use [`execute`](Self::execute).
+    pub fn query<'s, P: AsRef<str>>(
+        &mut self,
+        session: &'s Session<'_>,
+        params: &[P],
+    ) -> Result<Cursor<'s>, QueryError> {
+        let engine = session.engine();
+        self.revalidate(engine)?;
+        let sql = &self.sql;
+        let plan = self
+            .plan
+            .as_mut()
+            .ok_or_else(|| QueryError::Semantic(format!("not a SELECT: {sql}")))?;
+        plan.cursor(engine, params)
+    }
+
+    /// Executes the statement with the given parameters, materializing
+    /// an [`Output`] (the same shape `Session::run` produces). SELECTs
+    /// reuse the cached plan; mutations bind the parameters into the
+    /// statement and run through the session (transactions and WAL
+    /// autoflush included).
+    pub fn execute<P: AsRef<str>>(
+        &mut self,
+        session: &mut Session<'_>,
+        params: &[P],
+    ) -> Result<Output, QueryError> {
+        self.revalidate(session.engine())?;
+        if let Some(plan) = &mut self.plan {
+            return execute_select(session.engine(), plan, params);
+        }
+        let lits: Vec<&str> = params.iter().map(AsRef::as_ref).collect();
+        let bound = self.stmt.bind(&lits).map_err(|e| QueryError::ParamCount {
+            expected: e.expected,
+            got: e.got,
+        })?;
+        session.execute(bound)
+    }
+
+    /// Renders the cached plan — tree, cost estimate, applied rewrites —
+    /// without executing. Parameters may be unbound; their slots print
+    /// as `?n`. This is how prepared-plan reuse is observable: the text
+    /// is stable across executions until DDL forces a re-plan.
+    pub fn explain(&mut self, session: &Session<'_>) -> Result<String, QueryError> {
+        let engine = session.engine();
+        self.revalidate(engine)?;
+        let sql = &self.sql;
+        let plan = self
+            .plan
+            .as_mut()
+            .ok_or_else(|| QueryError::Semantic(format!("not a SELECT: {sql}")))?;
+        match plan.explain(engine, NO_PARAMS, true)? {
+            Some(text) => Ok(text),
+            None => Ok("plan: <empty result — predicate value never interned>".to_owned()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        let mut engine = Engine::new();
+        engine
+            .session()
+            .run_script(
+                "CREATE TABLE sc (Student, Course);
+                 INSERT INTO sc VALUES ('s1','c1'), ('s2','c1'), ('s1','c2'), ('s3','c3');
+                 CREATE TABLE cp (Course, Prof);
+                 INSERT INTO cp VALUES ('c1','p1'), ('c2','p2'), ('c3','p1');",
+            )
+            .unwrap();
+        engine
+    }
+
+    fn rows_of(out: &Output) -> usize {
+        match out {
+            Output::Relation { relation, .. } => relation.expand().len(),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prepared_select_binds_params_per_call() {
+        let mut engine = engine();
+        let mut session = engine.session();
+        let mut stmt = session
+            .prepare("SELECT Course FROM sc WHERE Student = ?")
+            .unwrap();
+        assert_eq!(stmt.param_count(), 1);
+        assert!(stmt.is_query());
+        let s1 = stmt.execute(&mut session, &["s1"]).unwrap();
+        assert_eq!(rows_of(&s1), 2);
+        let s2 = stmt.execute(&mut session, &["s2"]).unwrap();
+        assert_eq!(rows_of(&s2), 1);
+        // Unknown value: empty, not an error.
+        let ghost = stmt.execute(&mut session, &["ghost"]).unwrap();
+        assert_eq!(rows_of(&ghost), 0);
+        // Wrong arity is an error.
+        assert!(matches!(
+            stmt.execute(&mut session, NO_PARAMS),
+            Err(QueryError::ParamCount {
+                expected: 1,
+                got: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn prepared_matches_one_shot_run() {
+        let mut engine = engine();
+        let mut session = engine.session();
+        let mut stmt = session
+            .prepare("SELECT Student FROM sc JOIN cp WHERE Prof = ? AND Student IN ('s1', ?)")
+            .unwrap();
+        for (prof, student) in [("p1", "s2"), ("p2", "s3"), ("p1", "s1")] {
+            let prepared = stmt.execute(&mut session, &[prof, student]).unwrap();
+            let one_shot = session
+                .run(&format!(
+                    "SELECT Student FROM sc JOIN cp WHERE Prof = '{prof}' AND Student IN ('s1', '{student}')"
+                ))
+                .unwrap();
+            assert_eq!(prepared, one_shot, "{prof}/{student}");
+        }
+    }
+
+    #[test]
+    fn wide_in_lists_stay_within_the_slot_range() {
+        // 70k values would have overflowed a 16-bit slot range; the
+        // reserved range is 2^24 ids with an explicit guard.
+        let mut engine = engine();
+        let mut session = engine.session();
+        let values: Vec<String> = (0..70_000).map(|i| format!("'v{i}'")).collect();
+        let sql = format!(
+            "SELECT COUNT(*) FROM sc WHERE Student = 's1' AND Course IN ({}, 'c1')",
+            values.join(", ")
+        );
+        assert_eq!(session.run(&sql).unwrap(), Output::Count(1));
+    }
+
+    #[test]
+    fn literals_resolve_late() {
+        let mut engine = engine();
+        let mut session = engine.session();
+        // 'c9' is not interned yet: the plan must not freeze the miss.
+        let mut stmt = session
+            .prepare("SELECT COUNT(*) FROM sc WHERE Course = 'c9'")
+            .unwrap();
+        assert_eq!(
+            stmt.execute(&mut session, NO_PARAMS).unwrap(),
+            Output::Count(0)
+        );
+        session.run("INSERT INTO sc VALUES ('s9','c9')").unwrap();
+        assert_eq!(
+            stmt.execute(&mut session, NO_PARAMS).unwrap(),
+            Output::Count(1)
+        );
+    }
+
+    #[test]
+    fn ddl_triggers_replan() {
+        let mut engine = engine();
+        let mut session = engine.session();
+        let mut stmt = session.prepare("SELECT COUNT(*) FROM sc").unwrap();
+        assert_eq!(
+            stmt.execute(&mut session, NO_PARAMS).unwrap(),
+            Output::Count(4)
+        );
+        // Unrelated DDL: still works (re-planned transparently).
+        session.run("CREATE TABLE other (A)").unwrap();
+        assert_eq!(
+            stmt.execute(&mut session, NO_PARAMS).unwrap(),
+            Output::Count(4)
+        );
+        // Dropping the table surfaces at the next execution.
+        session.run("DROP TABLE sc").unwrap();
+        assert!(matches!(
+            stmt.execute(&mut session, NO_PARAMS),
+            Err(QueryError::NoSuchTable(_))
+        ));
+    }
+
+    #[test]
+    fn prepared_dml_binds_and_mutates() {
+        let mut engine = engine();
+        let mut session = engine.session();
+        let mut ins = session.prepare("INSERT INTO sc VALUES (?, ?)").unwrap();
+        assert!(!ins.is_query());
+        assert_eq!(
+            ins.execute(&mut session, &["s7", "c7"]).unwrap(),
+            Output::Affected(1)
+        );
+        assert_eq!(
+            ins.execute(&mut session, &["s7", "c7"]).unwrap(),
+            Output::Affected(0),
+            "set semantics"
+        );
+        let mut del = session.prepare("DELETE FROM sc WHERE Student = ?").unwrap();
+        assert_eq!(
+            del.execute(&mut session, &[Param::from("s7")]).unwrap(),
+            Output::Affected(1)
+        );
+        // Cursors are for queries only.
+        assert!(ins.query(&session, &["x", "y"]).is_err());
+    }
+
+    #[test]
+    fn prepared_query_streams() {
+        let mut engine = engine();
+        let session = engine.session();
+        let mut stmt = session
+            .prepare("SELECT * FROM sc WHERE Student = ?")
+            .unwrap();
+        let cursor = stmt.query(&session, &["s1"]).unwrap();
+        let flat: Vec<_> = cursor.flat_rows().collect();
+        assert_eq!(flat.len(), 2);
+    }
+
+    #[test]
+    fn prepared_handles_replan_across_engines() {
+        // A handle compiled on one engine must not execute its cached
+        // attribute ids against another engine's tables.
+        let mut a = Engine::new();
+        a.session()
+            .run_script(
+                "CREATE TABLE t (A, B, C);
+                 INSERT INTO t VALUES ('x','y','z');",
+            )
+            .unwrap();
+        let mut stmt = a.session().prepare("SELECT C FROM t WHERE A = ?").unwrap();
+        // Engine B: same table name and epoch history, different shape.
+        let mut b = Engine::new();
+        b.session()
+            .run_script(
+                "CREATE TABLE t (C, A);
+                 INSERT INTO t VALUES ('z2','x'), ('z3','w');",
+            )
+            .unwrap();
+        assert_eq!(
+            a.ddl_epoch(),
+            b.ddl_epoch(),
+            "epochs alone cannot tell them apart"
+        );
+        let mut session = b.session();
+        match stmt.execute(&mut session, &["x"]).unwrap() {
+            Output::Relation { relation, .. } => {
+                assert_eq!(relation.arity(), 1);
+                let rows: Vec<_> = relation.expand().into_rows().into_iter().collect();
+                assert_eq!(rows.len(), 1, "engine B's (C='z2', A='x') row");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // And back on engine A it re-plans again.
+        let mut session = a.session();
+        match stmt.execute(&mut session, &["x"]).unwrap() {
+            Output::Relation { relation, .. } => assert_eq!(relation.flat_count(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_attr_conjuncts_fold_like_the_legacy_path() {
+        let mut engine = engine();
+        let mut session = engine.session();
+        // {s1} ∩ {s2} = ∅: contradictory equalities on one attribute
+        // must yield nothing, on every execution path.
+        let sql = "SELECT * FROM sc WHERE Student = 's1' AND Student = 's2'";
+        match session.run(sql).unwrap() {
+            Output::Relation { relation, .. } => assert!(relation.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+        let mut stmt = session
+            .prepare("SELECT * FROM sc WHERE Student = ? AND Student = ?")
+            .unwrap();
+        match stmt.execute(&mut session, &["s1", "s2"]).unwrap() {
+            Output::Relation { relation, .. } => assert!(relation.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+        // And a satisfiable overlap narrows instead of replacing.
+        let narrowed = stmt.execute(&mut session, &["s1", "s1"]).unwrap();
+        let expected = session
+            .run("SELECT * FROM sc WHERE Student = 's1'")
+            .unwrap();
+        assert_eq!(narrowed, expected);
+    }
+
+    #[test]
+    fn empty_result_cursor_keeps_output_schema() {
+        let mut engine = engine();
+        let session = engine.session();
+        let mut stmt = session
+            .prepare("SELECT Course FROM sc WHERE Student = ?")
+            .unwrap();
+        // A hit and a statically-empty miss must report the same
+        // (projected) schema.
+        let hit = stmt.query(&session, &["s1"]).unwrap();
+        let hit_names: Vec<String> = hit.schema().attr_names().map(str::to_owned).collect();
+        assert_eq!(hit_names, vec!["Course"]);
+        let miss = stmt.query(&session, &["never-interned"]).unwrap();
+        let miss_names: Vec<String> = miss.schema().attr_names().map(str::to_owned).collect();
+        assert_eq!(
+            miss_names, hit_names,
+            "schema must not depend on the bound value"
+        );
+        assert_eq!(miss.count(), 0);
+        // Same for joins: the miss carries the joined schema.
+        let mut stmt = session
+            .prepare("SELECT * FROM sc JOIN cp WHERE Prof = ?")
+            .unwrap();
+        let miss = stmt.query(&session, &["never-interned"]).unwrap();
+        let names: Vec<String> = miss.schema().attr_names().map(str::to_owned).collect();
+        assert_eq!(names, vec!["Student", "Course", "Prof"]);
+    }
+
+    #[test]
+    fn explain_shows_template_and_estimates() {
+        let mut engine = engine();
+        let session = engine.session();
+        let mut stmt = session
+            .prepare("SELECT Student FROM sc JOIN cp WHERE Prof = ? AND Course = 'c1'")
+            .unwrap();
+        let text = stmt.explain(&session).unwrap();
+        assert!(text.contains("plan:"), "{text}");
+        assert!(text.contains("?0"), "param slot rendered: {text}");
+        assert!(text.contains("'c1'"), "literal slot rendered: {text}");
+        assert!(text.contains("estimated work:"), "{text}");
+        assert!(text.contains("rewrites:"), "{text}");
+        let again = stmt.explain(&session).unwrap();
+        assert_eq!(text, again, "cached plan is stable across calls");
+    }
+}

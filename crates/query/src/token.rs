@@ -22,6 +22,8 @@ pub enum Token {
     Equals,
     /// `*`
     Star,
+    /// `?` — a positional parameter placeholder (prepared statements).
+    Question,
 }
 
 impl fmt::Display for Token {
@@ -35,6 +37,7 @@ impl fmt::Display for Token {
             Token::Semicolon => write!(f, ";"),
             Token::Equals => write!(f, "="),
             Token::Star => write!(f, "*"),
+            Token::Question => write!(f, "?"),
         }
     }
 }
@@ -88,6 +91,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
             }
             '*' => {
                 tokens.push(Token::Star);
+                i += 1;
+            }
+            '?' => {
+                tokens.push(Token::Question);
                 i += 1;
             }
             '-' if bytes.get(i + 1) == Some(&b'-') => {
@@ -188,6 +195,13 @@ mod tests {
         let toks = lex("SELECT * WHERE a = 'x'").unwrap();
         assert!(toks.contains(&Token::Star));
         assert!(toks.contains(&Token::Equals));
+    }
+
+    #[test]
+    fn lexes_parameter_placeholders() {
+        let toks = lex("WHERE a = ? AND b IN (?, 'x')").unwrap();
+        assert_eq!(toks.iter().filter(|t| **t == Token::Question).count(), 2);
+        assert_eq!(Token::Question.to_string(), "?");
     }
 
     #[test]

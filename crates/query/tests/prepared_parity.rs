@@ -1,0 +1,159 @@
+//! Prepared re-execution is tuple-identical to one-shot `run` across the
+//! workload generators.
+//!
+//! Each generator's flat relation is loaded into an engine (values
+//! interned as `v<atom>` strings), then the same point/projection/count
+//! queries are issued twice per value: once as freshly-parsed one-shot
+//! statements, once through a single [`Prepared`] handle re-executed
+//! with bound parameters. The [`Output`]s must be equal — relations
+//! compare as NF² tuple sets *and* as rendered text, so any drift in
+//! planning, binding or streaming shows up.
+
+use nf2_core::schema::NestOrder;
+use nf2_query::{Engine, Output, Session};
+use nf2_storage::NfTable;
+use nf2_workload::{block_product, relationship, uniform, university, zipf, Workload};
+
+/// Loads a workload into the engine under `name`, interning each atom as
+/// the string `v<id>`.
+fn load(engine: &mut Engine, name: &str, w: &Workload) -> Vec<String> {
+    let attrs: Vec<&str> = w.flat.schema().attr_names().collect();
+    let rows: Vec<Vec<String>> = w
+        .flat
+        .rows()
+        .map(|row| row.iter().map(|a| format!("v{}", a.id())).collect())
+        .collect();
+    let refs: Vec<Vec<&str>> = rows
+        .iter()
+        .map(|r| r.iter().map(String::as_str).collect())
+        .collect();
+    let table = NfTable::bulk_load_strs(
+        name,
+        &attrs,
+        refs,
+        NestOrder::identity(attrs.len()),
+        engine.dict().clone(),
+    )
+    .unwrap();
+    engine.attach_table(table).unwrap();
+    // Probe values: a handful of present attr-0 values plus a miss.
+    let mut values: Vec<String> = w
+        .flat
+        .rows()
+        .map(|row| format!("v{}", row[0].id()))
+        .take(300)
+        .collect();
+    values.dedup();
+    values.truncate(5);
+    values.push("ghost".to_owned());
+    values
+}
+
+/// One-shot vs prepared for point selects, a projection, and COUNT(*),
+/// re-executing each prepared handle across every probe value.
+fn assert_parity(
+    session: &mut Session<'_>,
+    table: &str,
+    attr0: &str,
+    attr1: &str,
+    values: &[String],
+) {
+    let mut point = session
+        .prepare(&format!("SELECT * FROM {table} WHERE {attr0} = ?"))
+        .unwrap();
+    let mut project = session
+        .prepare(&format!("SELECT {attr1} FROM {table} WHERE {attr0} = ?"))
+        .unwrap();
+    let mut count = session
+        .prepare(&format!("SELECT COUNT(*) FROM {table} WHERE {attr0} = ?"))
+        .unwrap();
+    for v in values {
+        let lit = format!("'{v}'");
+        let one_shot = session
+            .run(&format!("SELECT * FROM {table} WHERE {attr0} = {lit}"))
+            .unwrap();
+        let prepared = point.execute(session, &[v.as_str()]).unwrap();
+        assert_eq!(prepared, one_shot, "{table} point {v}");
+
+        let one_shot = session
+            .run(&format!(
+                "SELECT {attr1} FROM {table} WHERE {attr0} = {lit}"
+            ))
+            .unwrap();
+        let prepared = project.execute(session, &[v.as_str()]).unwrap();
+        assert_eq!(prepared, one_shot, "{table} project {v}");
+
+        let one_shot = session
+            .run(&format!(
+                "SELECT COUNT(*) FROM {table} WHERE {attr0} = {lit}"
+            ))
+            .unwrap();
+        let prepared = count.execute(session, &[v.as_str()]).unwrap();
+        assert_eq!(prepared, one_shot, "{table} count {v}");
+
+        // The streaming cursor agrees with the materialized output.
+        let streamed = point
+            .query(session, &[v.as_str()])
+            .unwrap()
+            .into_relation()
+            .unwrap();
+        match point.execute(session, &[v.as_str()]).unwrap() {
+            Output::Relation { relation, .. } => {
+                assert_eq!(relation, streamed, "{table} cursor {v}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn prepared_matches_run_across_generators() {
+    let workloads: Vec<(&str, Workload)> = vec![
+        ("uni", university(40, 3, 25, 2, 8, 7)),
+        ("rel", relationship(250, 25, 25, 4, 9)),
+        ("blk", block_product(12, &[4, 5], 0)),
+        ("unf", uniform(200, &[40, 40], 3)),
+        ("zpf", zipf(250, &[60, 60], 1.2, 5)),
+    ];
+    let mut engine = Engine::new();
+    let mut probes = Vec::new();
+    for (name, w) in &workloads {
+        let values = load(&mut engine, name, w);
+        let attrs: Vec<String> = w.flat.schema().attr_names().map(str::to_owned).collect();
+        probes.push((name.to_owned(), attrs, values));
+    }
+    let mut session = engine.session();
+    for (name, attrs, values) in &probes {
+        assert_parity(&mut session, name, &attrs[0], &attrs[1], values);
+    }
+}
+
+#[test]
+fn prepared_join_parity_on_university_split() {
+    // Split the university workload into SC(Student, Course) and
+    // CB(Course, Club) projections and exercise a prepared join.
+    let w = university(25, 3, 20, 2, 6, 11);
+    let mut engine = Engine::new();
+    let values = load(&mut engine, "uni", &w);
+    let mut session = engine.session();
+    session.run("CREATE TABLE marks (Student, Grade)").unwrap();
+    // Give every third student a mark so the join is selective.
+    let students: Vec<String> = values.iter().filter(|v| *v != "ghost").cloned().collect();
+    for (i, s) in students.iter().enumerate() {
+        session
+            .run(&format!("INSERT INTO marks VALUES ('{s}', 'g{}')", i % 3))
+            .unwrap();
+    }
+    let mut joined = session
+        .prepare("SELECT Student, Grade FROM uni JOIN marks WHERE Grade = ?")
+        .unwrap();
+    for g in ["g0", "g1", "g2", "g9"] {
+        let one_shot = session
+            .run(&format!(
+                "SELECT Student, Grade FROM uni JOIN marks WHERE Grade = '{g}'"
+            ))
+            .unwrap();
+        let prepared = joined.execute(&mut session, &[g]).unwrap();
+        assert_eq!(prepared, one_shot, "join grade {g}");
+    }
+}

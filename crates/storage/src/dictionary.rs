@@ -1,6 +1,6 @@
 //! A concurrent, shareable interning dictionary.
 //!
-//! Wraps the core [`Dictionary`](nf2_core::value::Dictionary) in a
+//! Wraps the core [`nf2_core::value::Dictionary`] in a
 //! `parking_lot::RwLock` behind an `Arc`, so storage tables, query
 //! sessions and benchmark threads can share one value space.
 
@@ -10,10 +10,19 @@ use parking_lot::RwLock;
 
 use nf2_core::value::{Atom, Dictionary};
 
+#[derive(Debug, Default)]
+struct Inner {
+    dict: RwLock<Dictionary>,
+    /// Cached point-in-time snapshot. The dictionary is append-only, so
+    /// a cached snapshot is valid exactly while its length matches the
+    /// live dictionary's — no other invalidation is needed.
+    snap: RwLock<Option<Arc<Dictionary>>>,
+}
+
 /// A thread-safe interning dictionary.
 #[derive(Debug, Default, Clone)]
 pub struct SharedDictionary {
-    inner: Arc<RwLock<Dictionary>>,
+    inner: Arc<Inner>,
 }
 
 impl SharedDictionary {
@@ -25,10 +34,10 @@ impl SharedDictionary {
     /// Interns `name`, returning its atom.
     pub fn intern(&self, name: &str) -> Atom {
         // Fast path: read lock only.
-        if let Some(atom) = self.inner.read().lookup(name) {
+        if let Some(atom) = self.inner.dict.read().lookup(name) {
             return atom;
         }
-        self.inner.write().intern(name)
+        self.inner.dict.write().intern(name)
     }
 
     /// Interns a whole row of names.
@@ -38,33 +47,46 @@ impl SharedDictionary {
 
     /// Looks up without interning.
     pub fn lookup(&self, name: &str) -> Option<Atom> {
-        self.inner.read().lookup(name)
+        self.inner.dict.read().lookup(name)
     }
 
     /// Resolves an atom to its name (owned, since the lock cannot escape).
     pub fn resolve(&self, atom: Atom) -> Option<String> {
-        self.inner.read().resolve(atom).map(str::to_owned)
+        self.inner.dict.read().resolve(atom).map(str::to_owned)
     }
 
     /// Resolves with a numeric fallback.
     pub fn resolve_or_id(&self, atom: Atom) -> String {
-        self.inner.read().resolve_or_id(atom)
+        self.inner.dict.read().resolve_or_id(atom)
     }
 
     /// Number of interned values.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.dict.read().len()
     }
 
     /// Whether nothing has been interned.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.inner.dict.read().is_empty()
     }
 
-    /// A point-in-time copy of the underlying dictionary, for use with
-    /// core display helpers that take `&Dictionary`.
-    pub fn snapshot(&self) -> Dictionary {
-        self.inner.read().clone()
+    /// A point-in-time view of the underlying dictionary, for use with
+    /// core display helpers that take `&Dictionary` (auto-deref from the
+    /// returned `Arc`).
+    ///
+    /// Cheap on the hot path: because interning is append-only, the copy
+    /// is cached and reused until the dictionary grows — result
+    /// rendering in a query loop clones an `Arc`, not every string.
+    pub fn snapshot(&self) -> Arc<Dictionary> {
+        let len = self.inner.dict.read().len();
+        if let Some(s) = self.inner.snap.read().as_ref() {
+            if s.len() == len {
+                return s.clone();
+            }
+        }
+        let fresh = Arc::new(self.inner.dict.read().clone());
+        *self.inner.snap.write() = Some(fresh.clone());
+        fresh
     }
 }
 
@@ -128,5 +150,18 @@ mod tests {
         d.intern("y");
         assert_eq!(snap.resolve(a), Some("x"));
         assert_eq!(snap.len(), 1, "snapshot does not see later interns");
+    }
+
+    #[test]
+    fn snapshot_is_cached_until_growth() {
+        let d = SharedDictionary::new();
+        d.intern("x");
+        let s1 = d.snapshot();
+        let s2 = d.snapshot();
+        assert!(Arc::ptr_eq(&s1, &s2), "no growth → same cached snapshot");
+        d.intern("y");
+        let s3 = d.snapshot();
+        assert!(!Arc::ptr_eq(&s1, &s3), "growth invalidates the cache");
+        assert_eq!(s3.len(), 2);
     }
 }

@@ -13,9 +13,9 @@
 //! * [`index`] — secondary hash indexes (value → record ids) with
 //!   persistence and integrity verification;
 //! * [`dictionary`] — a concurrent interning dictionary;
-//! * [`table`] — [`NfTable`](table::NfTable), the NF²-native engine
+//! * [`table`] — [`table::NfTable`], the NF²-native engine
 //!   (canonical maintenance + WAL + checkpoints + probe-counted lookups),
-//!   and [`FlatTable`](table::FlatTable), the 1NF baseline it is measured
+//!   and [`table::FlatTable`], the 1NF baseline it is measured
 //!   against — including maintained secondary indexes, so the comparison
 //!   is not against a strawman.
 
@@ -34,4 +34,4 @@ pub use error::{Result, StorageError};
 pub use heap::{HeapFile, RecordId};
 pub use index::HashIndex;
 pub use page::{Page, PAGE_SIZE};
-pub use table::{FlatTable, NfTable, TableStats};
+pub use table::{FlatTable, NfTable, TableScan, TableStats};

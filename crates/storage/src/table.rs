@@ -336,6 +336,23 @@ impl NfTable {
         self.canon.contains(row)
     }
 
+    /// A borrowing, probe-counted scan over the stored NF² tuples.
+    ///
+    /// The iterator yields `&NfTuple` straight out of the canonical
+    /// relation — no clone — and counts every yielded tuple, flushing the
+    /// total into [`stats`](Self::stats) (`lookups += 1`,
+    /// `units_probed += yielded`) when dropped. Streaming query cursors
+    /// ride on this: a cursor that stops after the first tuple is charged
+    /// one probe, not a full relation's worth — which is also how tests
+    /// assert that a cursor did *not* materialize its input.
+    pub fn scan(&self) -> TableScan<'_> {
+        TableScan {
+            inner: self.canon.relation().tuples().iter(),
+            stats: &self.stats,
+            yielded: 0,
+        }
+    }
+
     /// Scan lookup: NF² tuples whose `attr` component contains `value`.
     /// Probes every tuple (counted) — the realization-view win is that
     /// there are far fewer tuples than rows.
@@ -522,6 +539,40 @@ fn read_meta(path: &Path) -> Result<(Vec<String>, Vec<usize>, Vec<String>)> {
         dict_entries.push(read_string(&mut slice)?);
     }
     Ok((attr_names, order, dict_entries))
+}
+
+/// A lazy scan over an [`NfTable`]'s tuples; see [`NfTable::scan`].
+///
+/// Probe accounting is batched: the scan keeps a local counter and
+/// settles it into the table's [`TableStats`] exactly once, on drop, so
+/// the per-tuple hot path takes no lock.
+#[derive(Debug)]
+pub struct TableScan<'a> {
+    inner: std::slice::Iter<'a, NfTuple>,
+    stats: &'a Mutex<TableStats>,
+    yielded: u64,
+}
+
+impl<'a> Iterator for TableScan<'a> {
+    type Item = &'a NfTuple;
+
+    fn next(&mut self) -> Option<&'a NfTuple> {
+        let t = self.inner.next()?;
+        self.yielded += 1;
+        Some(t)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl Drop for TableScan<'_> {
+    fn drop(&mut self) {
+        let mut stats = self.stats.lock();
+        stats.lookups += 1;
+        stats.units_probed += self.yielded;
+    }
 }
 
 fn meta_path(dir: &Path, name: &str) -> PathBuf {
@@ -753,6 +804,24 @@ mod tests {
         let stats = t.stats();
         assert_eq!(stats.lookups, 1);
         assert_eq!(stats.units_probed, t.tuple_count() as u64);
+    }
+
+    #[test]
+    fn scan_counts_only_what_it_yields() {
+        let t = sample_table();
+        let tuples = t.tuple_count();
+        assert!(tuples >= 2);
+        // A partial scan charges exactly the tuples pulled.
+        {
+            let mut scan = t.scan();
+            assert!(scan.next().is_some());
+        }
+        let stats = t.stats();
+        assert_eq!(stats.lookups, 1);
+        assert_eq!(stats.units_probed, 1, "one tuple yielded → one probe");
+        // A full drain charges the whole relation.
+        assert_eq!(t.scan().count(), tuples);
+        assert_eq!(t.stats().units_probed, 1 + tuples as u64);
     }
 
     #[test]

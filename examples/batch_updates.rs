@@ -71,10 +71,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The same trade is visible through the DML: STATS exposes the
     // accumulated §4 costs.
-    let mut db = Database::new();
-    db.run("CREATE TABLE sc (Student, Course) NEST ORDER (Student, Course)")?;
-    db.run("INSERT INTO sc VALUES ('s1','c1'), ('s2','c1'), ('s1','c2'), ('s3','c3')")?;
-    db.run("DELETE FROM sc WHERE Student = 's3'")?;
-    println!("\n{}", db.run("STATS sc")?.to_text());
+    let mut engine = nf2::query::Engine::new();
+    let mut session = engine.session();
+    session.run("CREATE TABLE sc (Student, Course) NEST ORDER (Student, Course)")?;
+    let mut insert = session.prepare("INSERT INTO sc VALUES (?, ?)")?;
+    for (s, c) in [("s1", "c1"), ("s2", "c1"), ("s1", "c2"), ("s3", "c3")] {
+        insert.execute(&mut session, &[s, c])?;
+    }
+    session.run("DELETE FROM sc WHERE Student = 's3'")?;
+    println!("\n{}", session.run("STATS sc")?.to_text());
     Ok(())
 }

@@ -10,10 +10,11 @@
 
 use std::io::{BufRead, Write};
 
-use nf2::query::Database;
+use nf2::query::Engine;
 
 fn main() {
-    let mut db = Database::new();
+    let mut engine = Engine::builder().build();
+    let mut db = engine.session();
     // Seed a demo table so SHOW works immediately.
     db.run_script(
         "CREATE TABLE sc (Student, Course, Club) NEST ORDER (Course, Student, Club);

@@ -9,10 +9,11 @@
 //!
 //! Run with: `cargo run --example university`
 
-use nf2::query::Database;
+use nf2::query::Engine;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut db = Database::new();
+    let mut engine = Engine::builder().build();
+    let mut db = engine.session();
 
     // Fig. 1 R1: every student takes c1, c2, c3; clubs per student.
     db.run("CREATE TABLE r1 (Student, Course, Club) NEST ORDER (Course, Student, Club)")?;
@@ -68,7 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The maintenance cost the §4 algorithms paid, straight from the
     // storage engine.
     for name in ["r1", "r2"] {
-        let cost = db.table(name)?.maintenance_cost();
+        let cost = db.engine().table(name)?.maintenance_cost();
         println!(
             "{name}: lifetime maintenance cost = {} compositions, {} decompositions",
             cost.compositions, cost.decompositions

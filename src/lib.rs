@@ -8,25 +8,49 @@
 //! |---|---|---|
 //! | [`core`] | `nf2-core` | the NF² model: composition, nest, canonical forms, fixedness, §4 incremental maintenance |
 //! | [`deps`] | `nf2-deps` | FDs, MVDs, 3NF synthesis, dependency mining, Theorems 3–5 |
-//! | [`algebra`] | `nf2-algebra` | NF² relational algebra with NEST/UNNEST |
+//! | [`algebra`] | `nf2-algebra` | NF² relational algebra with NEST/UNNEST, plus streaming evaluation |
 //! | [`storage`] | `nf2-storage` | realization-view storage: pages, heap files, WAL, tables |
-//! | [`query`] | `nf2-query` | the NF² data-manipulation language |
+//! | [`query`] | `nf2-query` | the NF² engine: SQL-ish DML, sessions, prepared statements, cursors |
 //! | [`workload`] | `nf2-workload` | deterministic experiment workloads |
 //!
 //! ## Quickstart
 //!
-//! ```
-//! use nf2::query::Database;
+//! The engine surface is three-staged: an [`Engine`](query::Engine)
+//! owns the tables and dictionary (configure persistence through
+//! [`Engine::builder`](query::Engine::builder)), a
+//! [`Session`](query::Session) issues statements, and
+//! [`prepare`](query::Session::prepare) compiles a statement once for
+//! repeated execution with `?` parameters:
 //!
-//! let mut db = Database::new();
-//! db.run_script(
+//! ```
+//! use nf2::query::{Engine, Output};
+//!
+//! let mut engine = Engine::builder().build();
+//! let mut session = engine.session();
+//! session.run_script(
 //!     "CREATE TABLE sc (Student, Course) NEST ORDER (Student, Course);
 //!      INSERT INTO sc VALUES ('s1','c1'), ('s2','c1'), ('s1','c2');",
 //! ).unwrap();
-//! let out = db.run("SHOW sc").unwrap();
+//!
 //! // Students taking c1 are stored as ONE NF² tuple: [Student(s1,s2) Course(c1)].
+//! let out = session.run("SHOW sc").unwrap();
 //! assert!(out.to_text().contains("s1, s2"));
+//!
+//! // Prepared: parsed + planned once, bound per call — no re-parse.
+//! let mut courses = session.prepare("SELECT COUNT(*) FROM sc WHERE Student = ?").unwrap();
+//! assert_eq!(courses.execute(&mut session, &["s1"]).unwrap(), Output::Count(2));
+//! assert_eq!(courses.execute(&mut session, &["s2"]).unwrap(), Output::Count(1));
+//!
+//! // Streaming: cursors yield NF² tuples as the scan reaches them.
+//! let first = session.query("SELECT * FROM sc").unwrap().next().unwrap();
+//! assert!(first.is_borrowed(), "zero-copy straight out of storage");
 //! ```
+//!
+//! The original [`Database`](query::Database) type (string in, rendered
+//! string out) remains available as a deprecated-but-stable shim over an
+//! engine with one implicit session — existing scripts keep working, but
+//! parameters, cursors and plan caching only exist on the engine
+//! surface.
 
 pub use nf2_algebra as algebra;
 pub use nf2_core as core;
@@ -40,6 +64,6 @@ pub mod prelude {
     pub use nf2_algebra::{Env, Expr};
     pub use nf2_core::prelude::*;
     pub use nf2_deps::{Fd, Mvd};
-    pub use nf2_query::{Database, Output};
+    pub use nf2_query::{Cursor, Database, Engine, Output, Param, Prepared, Session, NO_PARAMS};
     pub use nf2_storage::{FlatTable, NfTable, SharedDictionary};
 }

@@ -1,40 +1,43 @@
 //! Integration: the optimizer inside the full query pipeline.
 //!
-//! The executor always optimizes SELECT plans in structural mode; these
+//! The planner always optimizes SELECT plans in structural mode; these
 //! tests check end-to-end results against hand-computed oracles on the
-//! flat realization, and that EXPLAIN OPTIMIZED reports plans whose
-//! evaluation matches the executed statement.
+//! flat realization — through one-shot runs, prepared statements and
+//! streaming cursors alike — and that EXPLAIN OPTIMIZED reports plans
+//! whose evaluation matches the executed statement.
 
 use std::collections::BTreeSet;
 
 use nf2::prelude::*;
 
-fn seeded_db() -> Database {
-    let mut db = Database::new();
-    db.run_script(
-        "CREATE TABLE enroll (Student, Course, Term) NEST ORDER (Student, Course, Term);
-         INSERT INTO enroll VALUES
-           ('s1','c1','t1'), ('s2','c1','t1'), ('s3','c1','t2'),
-           ('s1','c2','t1'), ('s2','c2','t2'), ('s4','c3','t2'),
-           ('s1','c3','t2'), ('s4','c1','t1');
-         CREATE TABLE teach (Course, Prof);
-         INSERT INTO teach VALUES ('c1','p1'), ('c2','p1'), ('c3','p2');
-         CREATE TABLE dept (Prof, Dept);
-         INSERT INTO dept VALUES ('p1','d1'), ('p2','d2');",
-    )
-    .unwrap();
-    db
+fn seeded_engine() -> Engine {
+    let mut engine = Engine::builder().build();
+    engine
+        .session()
+        .run_script(
+            "CREATE TABLE enroll (Student, Course, Term) NEST ORDER (Student, Course, Term);
+             INSERT INTO enroll VALUES
+               ('s1','c1','t1'), ('s2','c1','t1'), ('s3','c1','t2'),
+               ('s1','c2','t1'), ('s2','c2','t2'), ('s4','c3','t2'),
+               ('s1','c3','t2'), ('s4','c1','t1');
+             CREATE TABLE teach (Course, Prof);
+             INSERT INTO teach VALUES ('c1','p1'), ('c2','p1'), ('c3','p2');
+             CREATE TABLE dept (Prof, Dept);
+             INSERT INTO dept VALUES ('p1','d1'), ('p2','d2');",
+        )
+        .unwrap();
+    engine
 }
 
 /// Flat-side oracle for σ+π over enroll ⋈ teach ⋈ dept.
 fn oracle(
-    db: &Database,
+    engine: &Engine,
     pred: impl Fn(&str, &str, &str, &str, &str) -> bool,
 ) -> BTreeSet<Vec<String>> {
-    let dict = db.dict();
-    let enroll = db.table("enroll").unwrap().relation().expand();
-    let teach = db.table("teach").unwrap().relation().expand();
-    let dept = db.table("dept").unwrap().relation().expand();
+    let dict = engine.dict();
+    let enroll = engine.table("enroll").unwrap().relation().expand();
+    let teach = engine.table("teach").unwrap().relation().expand();
+    let dept = engine.table("dept").unwrap().relation().expand();
     let name = |a: Atom| dict.resolve(a).unwrap();
     let mut out = BTreeSet::new();
     for e in enroll.rows() {
@@ -57,46 +60,71 @@ fn oracle(
     out
 }
 
-fn result_rows(db: &Database, out: &Output) -> BTreeSet<Vec<String>> {
+fn relation_rows(engine: &Engine, relation: &NfRelation) -> BTreeSet<Vec<String>> {
+    relation
+        .expand()
+        .rows()
+        .map(|r| {
+            r.iter()
+                .map(|&a| engine.dict().resolve(a).unwrap())
+                .collect()
+        })
+        .collect()
+}
+
+fn result_rows(engine: &Engine, out: &Output) -> BTreeSet<Vec<String>> {
     match out {
-        Output::Relation { relation, .. } => relation
-            .expand()
-            .rows()
-            .map(|r| r.iter().map(|&a| db.dict().resolve(a).unwrap()).collect())
-            .collect(),
+        Output::Relation { relation, .. } => relation_rows(engine, relation),
         other => panic!("expected a relation, got {other:?}"),
     }
 }
 
 #[test]
 fn three_way_join_with_pushdown_matches_oracle() {
-    let mut db = seeded_db();
-    let out = db
+    let mut engine = seeded_engine();
+    let out = engine
+        .session()
         .run("SELECT Student, Dept FROM enroll JOIN teach JOIN dept WHERE Prof = 'p1' AND Term = 't1'")
         .unwrap();
-    let got = result_rows(&db, &out);
-    let want = oracle(&db, |_, _, term, p, _| p == "p1" && term == "t1");
+    let got = result_rows(&engine, &out);
+    let want = oracle(&engine, |_, _, term, p, _| p == "p1" && term == "t1");
     assert_eq!(got, want);
 }
 
 #[test]
-fn in_list_over_join_matches_oracle() {
-    let mut db = seeded_db();
-    let out = db
+fn in_list_over_join_matches_oracle_prepared_and_streamed() {
+    let mut engine = seeded_engine();
+    let want = oracle(&engine, |s, _, _, _, _| s == "s1" || s == "s4");
+    let mut session = engine.session();
+    // One-shot, prepared, and cursor paths must agree with the oracle.
+    let one_shot = session
         .run("SELECT Student, Dept FROM enroll JOIN teach JOIN dept WHERE Student IN ('s1','s4')")
         .unwrap();
-    let got = result_rows(&db, &out);
-    let want = oracle(&db, |s, _, _, _, _| s == "s1" || s == "s4");
-    assert_eq!(got, want);
+    let mut prepared = session
+        .prepare("SELECT Student, Dept FROM enroll JOIN teach JOIN dept WHERE Student IN (?, ?)")
+        .unwrap();
+    let via_prepared = prepared.execute(&mut session, &["s1", "s4"]).unwrap();
+    assert_eq!(one_shot, via_prepared);
+    let streamed = prepared
+        .query(&session, &["s1", "s4"])
+        .unwrap()
+        .into_relation()
+        .unwrap();
+    let engine = session.engine();
+    assert_eq!(result_rows(engine, &one_shot), want);
+    assert_eq!(relation_rows(engine, &streamed), want);
 }
 
 #[test]
 fn explain_optimized_plan_is_faithful() {
-    let mut db = seeded_db();
-    let text = db
+    let mut engine = seeded_engine();
+    let mut session = engine.session();
+    let text = session
         .run("EXPLAIN OPTIMIZED SELECT Student FROM enroll JOIN teach WHERE Prof = 'p2'")
         .unwrap()
         .to_text();
+    // EXPLAIN carries the cost estimate next to the plan tree.
+    assert!(text.contains("estimated work:"), "{text}");
     // The selection must sink below the join in the reported plan.
     assert!(text.contains("select-into-join"), "{text}");
     let optimized_section = text
@@ -112,10 +140,10 @@ fn explain_optimized_plan_is_faithful() {
         "selection should appear below the join in the optimized tree:\n{optimized_section}"
     );
     // And the executed statement agrees with the oracle.
-    let out = db
+    let out = session
         .run("SELECT Student FROM enroll JOIN teach WHERE Prof = 'p2'")
         .unwrap();
-    let got = result_rows(&db, &out);
+    let got = result_rows(session.engine(), &out);
     let want: BTreeSet<Vec<String>> = [vec!["s1".to_string()], vec!["s4".to_string()]]
         .into_iter()
         .collect();
@@ -124,37 +152,49 @@ fn explain_optimized_plan_is_faithful() {
 
 #[test]
 fn aggregates_after_optimization() {
-    let mut db = seeded_db();
-    match db
+    let mut engine = seeded_engine();
+    let mut session = engine.session();
+    match session
         .run("SELECT COUNT(*) FROM enroll JOIN teach WHERE Prof = 'p1'")
         .unwrap()
     {
         Output::Count(n) => assert_eq!(n, 6, "c1 has 4 enrollments, c2 has 2"),
         other => panic!("unexpected {other:?}"),
     }
-    match db
+    match session
         .run("SELECT COUNT(DISTINCT Student) FROM enroll JOIN teach WHERE Prof = 'p1'")
         .unwrap()
     {
         Output::Count(n) => assert_eq!(n, 4, "s1..s4 all touch a p1 course"),
         other => panic!("unexpected {other:?}"),
     }
+    // The streaming counterpart counts without materializing.
+    let n = session
+        .query("SELECT COUNT(*) FROM enroll JOIN teach WHERE Prof = 'p1'")
+        .unwrap()
+        .flat_count();
+    assert_eq!(n, 6);
 }
 
 #[test]
 fn mutations_then_queries_stay_consistent() {
-    let mut db = seeded_db();
-    db.run("DELETE FROM enroll WHERE Course = 'c1'").unwrap();
-    db.run("UPDATE teach SET Prof = 'p2' WHERE Course = 'c2'")
+    let mut engine = seeded_engine();
+    let mut session = engine.session();
+    session
+        .run("DELETE FROM enroll WHERE Course = 'c1'")
         .unwrap();
-    let out = db
+    session
+        .run("UPDATE teach SET Prof = 'p2' WHERE Course = 'c2'")
+        .unwrap();
+    let out = session
         .run("SELECT Student, Dept FROM enroll JOIN teach JOIN dept")
         .unwrap();
-    let got = result_rows(&db, &out);
-    let want = oracle(&db, |_, _, _, _, _| true);
+    let engine = session.engine();
+    let got = result_rows(engine, &out);
+    let want = oracle(engine, |_, _, _, _, _| true);
     assert_eq!(got, want);
     // The stored tables remain canonical for their orders after the DML.
-    let t = db.table("enroll").unwrap();
+    let t = engine.table("enroll").unwrap();
     let fresh = nf2::core::nest::canonical_of_flat(&t.relation().expand(), t.order());
     assert_eq!(t.relation(), &fresh);
 }

@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 use nf2::algebra::{natural_join, project, select_box, union};
 use nf2::core::nest::canonical_of_flat;
 use nf2::core::prelude::*;
-use nf2::query::Database;
+use nf2::query::Engine;
 use nf2::workload;
 
 #[test]
@@ -89,7 +89,8 @@ fn union_against_flat_oracle() {
 fn query_engine_matches_direct_core_updates() {
     // The same operation stream through (a) the DML engine and (b) direct
     // core maintenance must give identical relations.
-    let mut db = Database::new();
+    let mut engine = Engine::new();
+    let mut db = engine.session();
     db.run("CREATE TABLE t (A, B) NEST ORDER (A, B)").unwrap();
 
     let schema = Schema::new("t", &["A", "B"]).unwrap();
@@ -105,21 +106,22 @@ fn query_engine_matches_direct_core_updates() {
     for (a, b) in pairs {
         db.run(&format!("INSERT INTO t VALUES ('{a}','{b}')"))
             .unwrap();
-        let aa = db.dict().lookup(a).unwrap();
-        let bb = db.dict().lookup(b).unwrap();
+        let aa = db.engine().dict().lookup(a).unwrap();
+        let bb = db.engine().dict().lookup(b).unwrap();
         canon.insert(vec![aa, bb]).unwrap();
     }
     db.run("DELETE FROM t WHERE A = 'x1' AND B = 'y1'").unwrap();
-    let x1 = db.dict().lookup("x1").unwrap();
-    let y1 = db.dict().lookup("y1").unwrap();
+    let x1 = db.engine().dict().lookup("x1").unwrap();
+    let y1 = db.engine().dict().lookup("y1").unwrap();
     canon.delete(&[x1, y1]).unwrap();
 
-    assert_eq!(db.table("t").unwrap().relation(), canon.relation());
+    assert_eq!(db.engine().table("t").unwrap().relation(), canon.relation());
 }
 
 #[test]
 fn select_statement_matches_algebra_directly() {
-    let mut db = Database::new();
+    let mut engine = Engine::new();
+    let mut db = engine.session();
     db.run_script(
         "CREATE TABLE sc (Student, Course);
          INSERT INTO sc VALUES ('s1','c1'), ('s2','c1'), ('s1','c2'), ('s3','c3');",
@@ -132,10 +134,10 @@ fn select_statement_matches_algebra_directly() {
         nf2::query::Output::Relation { relation, .. } => relation,
         other => panic!("expected relation, got {other:?}"),
     };
-    let c1 = db.dict().lookup("c1").unwrap();
+    let c1 = db.engine().dict().lookup("c1").unwrap();
     let direct = project(
         &select_box(
-            db.table("sc").unwrap().relation(),
+            db.engine().table("sc").unwrap().relation(),
             &[(1, ValueSet::singleton(c1))],
         )
         .unwrap(),

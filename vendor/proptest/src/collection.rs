@@ -39,7 +39,7 @@ pub fn vec<S: Strategy>(element: S, size: impl SizeBounds) -> VecStrategy<S> {
     VecStrategy { element, min, max }
 }
 
-/// See [`vec`].
+/// See [`vec`](fn@vec).
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
