@@ -83,6 +83,21 @@ impl<'a> RelStream<'a> {
         }
     }
 
+    /// Concatenates several streams under one schema — the shape a
+    /// sharded table presents to a pipeline: per-shard tuple streams,
+    /// back-to-back, still fully lazy (a consumer that stops early never
+    /// pulls the later shards at all).
+    ///
+    /// Correctness requirement (the sharded store guarantees it by
+    /// value-routing): the parts' expansions must be pairwise disjoint,
+    /// so the concatenation is a valid NFR over the same `R*`.
+    pub fn concat(schema: Arc<Schema>, parts: Vec<RelStream<'a>>) -> Self {
+        Self {
+            schema,
+            iter: Box::new(parts.into_iter().flat_map(|p| p.iter)),
+        }
+    }
+
     /// The output schema.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
@@ -151,6 +166,32 @@ impl<'a> StreamEnv<'a> {
         let schema = rel.schema().clone();
         self.insert_source(name, schema, move || {
             Box::new(rel.tuples().iter().map(TupleView::Borrowed))
+        });
+    }
+
+    /// Registers a **sharded** relation under `name`: every scan yields
+    /// the shards' borrowed tuples back-to-back (shard order), exactly
+    /// like [`RelStream::concat`] of per-shard scans. This is how a
+    /// partitioned store (`nf2-storage`'s sharded `NfTable`) plugs into
+    /// streaming evaluation without merging shards first — the
+    /// concatenation carries the same `R*`, so selections, joins and
+    /// counts are unaffected.
+    ///
+    /// The shards' expansions must be pairwise disjoint (guaranteed by
+    /// value-based routing).
+    pub fn insert_sharded_relations(
+        &mut self,
+        name: impl Into<String>,
+        schema: Arc<Schema>,
+        shards: Vec<&'a NfRelation>,
+    ) {
+        self.insert_source(name, schema, move || {
+            let shards = shards.clone();
+            Box::new(
+                shards
+                    .into_iter()
+                    .flat_map(|rel| rel.tuples().iter().map(TupleView::Borrowed)),
+            )
         });
     }
 
@@ -585,6 +626,58 @@ mod tests {
             constraints: vec![("Nope".into(), vec![Atom(1)])],
         };
         assert!(eval_stream(&bad, &env).is_err());
+    }
+
+    #[test]
+    fn concat_streams_lazily_in_order() {
+        let rel = sc();
+        let (a, b) = (RelStream::scan(&rel), RelStream::scan(&rel));
+        let cat = RelStream::concat(rel.schema().clone(), vec![a, b]);
+        assert_eq!(cat.count(), 2 * rel.tuple_count());
+        // Laziness: taking one tuple pulls one tuple.
+        let (a, b) = (RelStream::scan(&rel), RelStream::scan(&rel));
+        let mut cat = RelStream::concat(rel.schema().clone(), vec![a, b]);
+        assert!(cat.next().unwrap().is_borrowed());
+    }
+
+    #[test]
+    fn sharded_sources_evaluate_like_the_whole_relation() {
+        // Split sc() into two disjoint parts (by first student value)
+        // and register them as one sharded source.
+        let rel = sc();
+        let tuples = rel.tuples();
+        let part = |keep: &dyn Fn(usize) -> bool| {
+            NfRelation::from_disjoint_tuples(
+                rel.schema().clone(),
+                tuples
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| keep(*i))
+                    .map(|(_, t)| t.clone())
+                    .collect(),
+            )
+            .unwrap()
+        };
+        let (even, odd) = (part(&|i| i % 2 == 0), part(&|i| i % 2 == 1));
+        let mut env = StreamEnv::new();
+        env.insert_sharded_relations("sc", rel.schema().clone(), vec![&even, &odd]);
+        // Scan covers both shards.
+        let scanned = eval_stream(&Expr::rel("sc"), &env).unwrap();
+        assert_eq!(scanned.flat_count(), rel.flat_count());
+        // Selections and projections see the same R* as the unsharded
+        // relation (NFR shapes may differ; expansions may not).
+        let expr = Expr::Project {
+            input: Box::new(Expr::SelectBox {
+                input: Box::new(Expr::rel("sc")),
+                constraints: vec![("Student".into(), vec![Atom(1)])],
+            }),
+            attrs: vec!["Course".into()],
+        };
+        let mut whole = Env::new();
+        whole.insert("sc", rel.clone());
+        let strict = expr.eval(&whole).unwrap();
+        let streamed = eval_stream(&expr, &env).unwrap().into_relation().unwrap();
+        assert_eq!(strict.expand(), streamed.expand());
     }
 
     #[test]

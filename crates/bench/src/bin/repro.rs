@@ -6,13 +6,13 @@
 //! repro E3 E7                       # a subset
 //! repro --json                      # also write a timed BENCH_seed.json baseline
 //! repro --json=out.json             # same, custom path
-//! repro --json --baseline           # diff against BENCH_seed.json, write BENCH_pr3.json
+//! repro --json --baseline           # diff against BENCH_seed.json, write BENCH_pr4.json
 //! repro --baseline=old.json         # diff against a named baseline
 //! ```
 //!
 //! With `--baseline`, the run is timed, a per-experiment delta table is
 //! printed against the baseline file, and the JSON report defaults to
-//! `BENCH_pr3.json` — so perf work can be tracked without ever touching
+//! `BENCH_pr4.json` — so perf work can be tracked without ever touching
 //! the committed `BENCH_seed.json`.
 
 use std::time::Instant;
@@ -23,7 +23,7 @@ use nf2_bench::{experiment_ids, parse_baseline, run_all, run_one, Report};
 const DEFAULT_JSON_PATH: &str = "BENCH_seed.json";
 
 /// Default output path when diffing against a baseline.
-const DELTA_JSON_PATH: &str = "BENCH_pr3.json";
+const DELTA_JSON_PATH: &str = "BENCH_pr4.json";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -1,0 +1,135 @@
+//! Property tests pinning the sharded canonical store tuple-identical to
+//! the unsharded canonical form — across **all** the `nf2-workload`
+//! generators, shard counts {1, 2, 7}, and both routing modes (hash and
+//! range), under the deterministic proptest seeds (CI pins
+//! `PROPTEST_RNG_SEED=0`).
+//!
+//! This is the safety net behind `nf2-core::shard`'s claim that
+//! value-routing on the outermost nest attribute `P(n−1)` is exact:
+//! stages `0…n−2` of the canonical fold never cross `P(n−1)` values, and
+//! the final `ν_{P(n−1)}` merge is associative, so per-shard canonical
+//! forms always merge back to `ν_P(R*)` — whatever the data shape, the
+//! shard count, or the routing function.
+
+use proptest::prelude::*;
+
+use nf2_core::bulk::{apply_batch, Op};
+use nf2_core::maintenance::{CanonicalRelation, CostCounter};
+use nf2_core::nest::canonical_of_flat;
+use nf2_core::schema::NestOrder;
+use nf2_core::shard::{MaintenanceCost, ShardSpec, ShardedCanonical};
+use nf2_core::value::Atom;
+use nf2_workload as workload;
+use nf2_workload::Workload;
+
+/// Instantiates every generator at property-test scale, driven by one
+/// seed so each case explores a different instance of each shape.
+fn all_generators(seed: u64) -> Vec<Workload> {
+    vec![
+        workload::university(8 + (seed % 13) as usize, 3, 10, 2, 4, seed),
+        workload::relationship(40 + (seed % 37) as usize, 12, 10, 3, seed),
+        workload::block_product(2 + (seed % 4) as usize, &[2, 3, 2], seed),
+        workload::uniform(30 + (seed % 21) as usize, &[8, 8, 8], seed),
+        workload::zipf(40, &[16, 16, 16], 1.1, seed),
+        workload::anti_correlated(8 + (seed % 9) as u32, 3, seed),
+        workload::prerequisites(8, 2, 2, seed).0,
+    ]
+}
+
+/// Every spec under test for one workload: shard counts {1, 2, 7} for
+/// hash routing, plus range routing with boundaries drawn from the
+/// workload's own outermost-attribute values (so several range shards
+/// are actually populated).
+fn specs_for(w: &Workload, order: &NestOrder) -> Vec<ShardSpec> {
+    let mut specs = vec![
+        ShardSpec::hash(1).unwrap(),
+        ShardSpec::hash(2).unwrap(),
+        ShardSpec::hash(7).unwrap(),
+    ];
+    let outer = order.attr_at(order.arity() - 1);
+    let mut values: Vec<Atom> = w.flat.rows().map(|r| r[outer]).collect();
+    values.sort_unstable();
+    values.dedup();
+    if values.len() >= 3 {
+        let lo = values[values.len() / 3];
+        let hi = values[2 * values.len() / 3];
+        if lo < hi {
+            specs.push(ShardSpec::range(vec![lo, hi]).unwrap());
+        }
+    }
+    if let (Some(first), Some(last)) = (values.first(), values.last()) {
+        // A deliberately skewed range: everything below/above the data.
+        specs.push(ShardSpec::range(vec![Atom(first.id().saturating_sub(1))]).unwrap());
+        specs.push(ShardSpec::range(vec![Atom(last.id().saturating_add(1))]).unwrap());
+    }
+    specs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sharded ≡ unsharded canonical relation (tuple-identical) on every
+    /// generator, for the identity order and a rotated order, across all
+    /// shard counts and routing modes.
+    #[test]
+    fn sharded_equals_unsharded_on_all_generators(seed in any::<u64>()) {
+        for w in all_generators(seed) {
+            let arity = w.flat.schema().arity();
+            let mut rotated: Vec<usize> = (0..arity).collect();
+            rotated.rotate_left(1.min(arity.saturating_sub(1)));
+            let orders = [
+                NestOrder::identity(arity),
+                NestOrder::new(rotated, arity).unwrap(),
+            ];
+            for order in &orders {
+                let unsharded = canonical_of_flat(&w.flat, order);
+                for spec in specs_for(&w, order) {
+                    let sharded =
+                        ShardedCanonical::from_flat(&w.flat, order.clone(), spec.clone())
+                            .unwrap();
+                    prop_assert_eq!(
+                        &sharded.to_relation(),
+                        &unsharded,
+                        "{} under {} with {:?}",
+                        w.label,
+                        order,
+                        spec
+                    );
+                    prop_assert_eq!(sharded.flat_count(), w.flat.len() as u128);
+                }
+            }
+        }
+    }
+
+    /// Routed §4 maintenance and parallel batches agree with the
+    /// unsharded incremental path on replayed op streams.
+    #[test]
+    fn sharded_batches_match_unsharded_maintenance(seed in any::<u64>()) {
+        for w in all_generators(seed) {
+            let arity = w.flat.schema().arity();
+            let order = NestOrder::identity(arity);
+            let ops: Vec<Op> = workload::op_trace(&w, 40, 40, seed ^ 0x18);
+            let mut oracle = CanonicalRelation::from_flat(&w.flat, order.clone()).unwrap();
+            let mut oracle_cost = CostCounter::new();
+            let oracle_summary = apply_batch(&mut oracle, &ops, &mut oracle_cost).unwrap();
+            for spec in specs_for(&w, &order) {
+                let mut sharded =
+                    ShardedCanonical::from_flat(&w.flat, order.clone(), spec.clone()).unwrap();
+                let mut cost = MaintenanceCost::new(sharded.shard_count());
+                let (summary, _) = sharded.apply_batch_auto(&ops, &mut cost).unwrap();
+                prop_assert_eq!(summary, oracle_summary, "{} {:?}", w.label, spec);
+                prop_assert_eq!(
+                    &sharded.to_relation(),
+                    oracle.relation(),
+                    "{} {:?}",
+                    w.label,
+                    spec
+                );
+                // The aggregate cost is exactly the per-shard sum.
+                let probe_sum: u64 =
+                    cost.per_shard.iter().map(|c| c.candidate_probes).sum();
+                prop_assert_eq!(probe_sum, cost.total.candidate_probes);
+            }
+        }
+    }
+}

@@ -34,6 +34,9 @@ pub enum NfError {
     FlatTupleNotFound,
     /// A permutation/nest order did not cover the schema exactly once.
     InvalidNestOrder(String),
+    /// A shard specification was malformed, or a sharded relation's
+    /// routing invariant was found violated.
+    InvalidShardSpec(String),
 }
 
 impl fmt::Display for NfError {
@@ -70,6 +73,7 @@ impl fmt::Display for NfError {
             NfError::DuplicateFlatTuple => write!(f, "flat tuple already present in R*"),
             NfError::FlatTupleNotFound => write!(f, "flat tuple not found in R*"),
             NfError::InvalidNestOrder(msg) => write!(f, "invalid nest order: {msg}"),
+            NfError::InvalidShardSpec(msg) => write!(f, "invalid shard spec: {msg}"),
         }
     }
 }
@@ -112,6 +116,7 @@ mod tests {
             (NfError::DuplicateFlatTuple, "already present"),
             (NfError::FlatTupleNotFound, "not found"),
             (NfError::InvalidNestOrder("dup".into()), "nest order"),
+            (NfError::InvalidShardSpec("zero".into()), "shard spec"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -54,6 +54,16 @@ impl CostCounter {
     pub fn structural_ops(&self) -> u64 {
         self.compositions + self.decompositions
     }
+
+    /// Adds another counter's totals into this one (used by batch drivers
+    /// and the sharded [`MaintenanceCost`](crate::shard::MaintenanceCost)
+    /// aggregation).
+    pub fn accumulate(&mut self, other: &CostCounter) {
+        self.compositions += other.compositions;
+        self.decompositions += other.decompositions;
+        self.candidate_probes += other.candidate_probes;
+        self.recons_calls += other.recons_calls;
+    }
 }
 
 /// An NFR kept permanently in canonical form `ν_P(R*)` for a fixed nest

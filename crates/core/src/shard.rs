@@ -1,0 +1,897 @@
+//! Sharded canonical storage: partitioning `ν_P(R*)` on the outermost
+//! nest attribute.
+//!
+//! E16's incremental probe exposed the §4 scale wall: every `recons`
+//! pays a candidate scan (`candt`) over *all* NF² tuples, so point
+//! maintenance cost grows linearly with the relation. This module breaks
+//! the wall by partitioning the canonical relation on the values of the
+//! **outermost** nest attribute `P(n−1)` — the attribute nested *last*.
+//!
+//! Why that attribute, and why the partition is exact: the canonical
+//! fold (see [`NestKernel`]) sorts flat rows with `P(n−1)` outermost, so
+//! every ν stage before the last groups rows that agree on `P(n−1)` —
+//! stages `0…n−2` never combine rows with different `P(n−1)` values.
+//! Only the final `ν_{P(n−1)}` merges across values, and that merge is
+//! *associative*: it groups tuples by set-equality of the other `n−1`
+//! positions and unions the `P(n−1)` sets. Therefore
+//!
+//! ```text
+//! ν_P(R*)  =  merge_{P(n−1)} ( ⋃_s ν_P(R*_s) )
+//! ```
+//!
+//! for **any** value-based partition `R* = ⊎_s R*_s` on `P(n−1)`: each
+//! shard maintains the full canonical form of its own rows (all §4
+//! invariants hold per shard), and [`ShardedCanonical::to_relation`]
+//! recovers the exact global canonical form with one grouping pass
+//! ([`NestKernel::nest_once`] over the concatenated shards). Property
+//! tests pin sharded ≡ unsharded across every workload generator, shard
+//! count and routing mode.
+//!
+//! The payoff is twofold:
+//!
+//! * **point maintenance** — `candt`/`searcht`/`recons` run against one
+//!   shard, so candidate probes drop by roughly the shard count;
+//! * **batch rebuilds** — the rebuild arm of
+//!   [`apply_batch_auto`](ShardedCanonical::apply_batch_auto) re-nests
+//!   each shard independently on its own [`NestKernel`] scratch, fanned
+//!   out across [`std::thread::scope`] threads.
+
+use std::sync::Arc;
+
+use crate::bulk::{apply_batch_auto_with, BatchSummary, Op};
+use crate::error::{NfError, Result};
+use crate::kernel::NestKernel;
+use crate::maintenance::{CanonicalRelation, CostCounter};
+use crate::relation::{FlatRelation, NfRelation};
+use crate::schema::{AttrId, NestOrder, Schema};
+use crate::tuple::{FlatTuple, NfTuple};
+use crate::value::Atom;
+
+/// How the outermost-attribute value space is split into shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardSpec {
+    /// `shards` buckets by a mixed hash of the atom id — the default,
+    /// balanced without knowing the value distribution.
+    Hash {
+        /// Number of shards (≥ 1).
+        shards: usize,
+    },
+    /// Range partitioning: `boundaries` (strictly ascending) split the
+    /// atom id space into `boundaries.len() + 1` shards; a value `v`
+    /// routes to the number of boundaries `≤ v`. Right for workloads
+    /// where the outer attribute has a known, locality-friendly order.
+    Range {
+        /// Strictly ascending shard boundaries.
+        boundaries: Vec<Atom>,
+    },
+}
+
+impl ShardSpec {
+    /// The degenerate single-shard spec (sharding disabled).
+    pub fn single() -> Self {
+        ShardSpec::Hash { shards: 1 }
+    }
+
+    /// Hash partitioning over `shards` buckets.
+    pub fn hash(shards: usize) -> Result<Self> {
+        if shards == 0 {
+            return Err(NfError::InvalidShardSpec(
+                "shard count must be at least 1".into(),
+            ));
+        }
+        Ok(ShardSpec::Hash { shards })
+    }
+
+    /// Range partitioning with the given strictly ascending boundaries.
+    pub fn range(boundaries: Vec<Atom>) -> Result<Self> {
+        if boundaries.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(NfError::InvalidShardSpec(
+                "range boundaries must be strictly ascending".into(),
+            ));
+        }
+        Ok(ShardSpec::Range { boundaries })
+    }
+
+    /// Number of shards the spec produces.
+    pub fn shard_count(&self) -> usize {
+        match self {
+            ShardSpec::Hash { shards } => *shards,
+            ShardSpec::Range { boundaries } => boundaries.len() + 1,
+        }
+    }
+
+    /// The shard a single outer-attribute value routes to.
+    pub fn route_value(&self, v: Atom) -> usize {
+        match self {
+            ShardSpec::Hash { shards } => (mix64(u64::from(v.id())) % *shards as u64) as usize,
+            ShardSpec::Range { boundaries } => boundaries.partition_point(|b| *b <= v),
+        }
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed value → bucket map (atom
+/// ids are dense small integers, so modulo without mixing would stripe).
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A [`ShardSpec`] bound to the routing attribute of one nest order: the
+/// outermost (last-nested) attribute `P(n−1)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRouter {
+    spec: ShardSpec,
+    /// The routing attribute (`P(n−1)`), or `None` for the degenerate
+    /// zero-arity schema (everything routes to shard 0).
+    attr: Option<AttrId>,
+}
+
+impl ShardRouter {
+    /// Binds a spec to a nest order's outermost attribute.
+    pub fn new(spec: ShardSpec, order: &NestOrder) -> Self {
+        let attr = order.arity().checked_sub(1).map(|last| order.attr_at(last));
+        ShardRouter { spec, attr }
+    }
+
+    /// The spec being routed on.
+    pub fn spec(&self) -> &ShardSpec {
+        &self.spec
+    }
+
+    /// The routing attribute (`P(n−1)`), if the schema has one.
+    pub fn attr(&self) -> Option<AttrId> {
+        self.attr
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.spec.shard_count()
+    }
+
+    /// The shard a flat row routes to.
+    pub fn route_row(&self, row: &[Atom]) -> usize {
+        match self.attr {
+            Some(a) => self.spec.route_value(row[a]),
+            None => 0,
+        }
+    }
+}
+
+/// §4 maintenance cost aggregated across shards, with the per-shard
+/// breakdown preserved (E18 reports both).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaintenanceCost {
+    /// Sum over all shards.
+    pub total: CostCounter,
+    /// Per-shard counters, indexed by shard id.
+    pub per_shard: Vec<CostCounter>,
+}
+
+impl MaintenanceCost {
+    /// Zeroed counters for `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        MaintenanceCost {
+            total: CostCounter::new(),
+            per_shard: vec![CostCounter::new(); shards],
+        }
+    }
+
+    /// Records a cost against one shard (and the total).
+    pub fn record(&mut self, shard: usize, cost: &CostCounter) {
+        self.total.accumulate(cost);
+        self.per_shard[shard].accumulate(cost);
+    }
+
+    /// Folds another aggregate into this one (shard counts must match).
+    pub fn merge(&mut self, other: &MaintenanceCost) {
+        debug_assert_eq!(self.per_shard.len(), other.per_shard.len());
+        self.total.accumulate(&other.total);
+        for (mine, theirs) in self.per_shard.iter_mut().zip(&other.per_shard) {
+            mine.accumulate(theirs);
+        }
+    }
+}
+
+/// A canonical NFR partitioned on the outermost nest attribute: one
+/// [`CanonicalRelation`] (plus one [`NestKernel`] rebuild scratch) per
+/// shard, with every §4 operation routed to exactly one shard and batch
+/// rebuilds fanned out across shards on scoped threads.
+///
+/// Invariant: shard `s` holds `ν_P(R*_s)` where `R*_s` is exactly the
+/// set of flat rows whose `P(n−1)` value routes to `s` — checked
+/// exhaustively by [`verify`](Self::verify) and the property suite.
+#[derive(Debug)]
+pub struct ShardedCanonical {
+    schema: Arc<Schema>,
+    order: NestOrder,
+    router: ShardRouter,
+    shards: Vec<CanonicalRelation>,
+    /// Per-shard nest-kernel scratch: rebuild arms re-use their shard's
+    /// sort/intern buffers across batches (and threads never share one).
+    kernels: Vec<NestKernel>,
+}
+
+impl ShardedCanonical {
+    /// An empty sharded canonical relation.
+    pub fn new(schema: Arc<Schema>, order: NestOrder, spec: ShardSpec) -> Result<Self> {
+        if order.arity() != schema.arity() {
+            return Err(NfError::InvalidNestOrder(format!(
+                "order covers {} attributes, schema has {}",
+                order.arity(),
+                schema.arity()
+            )));
+        }
+        let router = ShardRouter::new(spec, &order);
+        let n = router.shard_count();
+        let shards = (0..n)
+            .map(|_| CanonicalRelation::new(schema.clone(), order.clone()))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ShardedCanonical {
+            schema,
+            order,
+            router,
+            shards,
+            kernels: (0..n).map(|_| NestKernel::new()).collect(),
+        })
+    }
+
+    /// Builds the sharded form of an existing 1NF relation: rows are
+    /// routed first, then every shard nests its own rows — in parallel
+    /// on scoped threads when there is more than one shard.
+    pub fn from_flat(flat: &FlatRelation, order: NestOrder, spec: ShardSpec) -> Result<Self> {
+        let mut sharded = Self::new(flat.schema().clone(), order, spec)?;
+        let n = sharded.shard_count();
+        let mut per_shard: Vec<Vec<FlatTuple>> = vec![Vec::new(); n];
+        for row in flat.rows() {
+            per_shard[sharded.router.route_row(row)].push(row.clone());
+        }
+        let order = &sharded.order;
+        let schema = &sharded.schema;
+        let mut built: Vec<Result<Option<CanonicalRelation>>> = (0..n).map(|_| Ok(None)).collect();
+        std::thread::scope(|scope| {
+            for ((slot, kernel), rows) in built
+                .iter_mut()
+                .zip(sharded.kernels.iter_mut())
+                .zip(per_shard)
+            {
+                if rows.is_empty() {
+                    continue; // keep the empty shard created by new()
+                }
+                let task = move || -> Result<Option<CanonicalRelation>> {
+                    let flat = FlatRelation::from_rows(schema.clone(), rows)?;
+                    CanonicalRelation::from_flat_with(kernel, &flat, order.clone()).map(Some)
+                };
+                if n == 1 {
+                    *slot = task();
+                } else {
+                    scope.spawn(move || *slot = task());
+                }
+            }
+        });
+        for (shard, result) in sharded.shards.iter_mut().zip(built) {
+            if let Some(canon) = result? {
+                *shard = canon;
+            }
+        }
+        Ok(sharded)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The nest order every shard is canonical for.
+    pub fn order(&self) -> &NestOrder {
+        &self.order
+    }
+
+    /// The value router.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's canonical relation.
+    pub fn shard(&self, idx: usize) -> &CanonicalRelation {
+        &self.shards[idx]
+    }
+
+    /// All shards, in shard order.
+    pub fn shards(&self) -> &[CanonicalRelation] {
+        &self.shards
+    }
+
+    /// Total NF² tuples across shards. For more than one shard this can
+    /// exceed the unsharded canonical count: a global tuple whose
+    /// `P(n−1)` set spans shards is held split (see
+    /// [`to_relation`](Self::to_relation)).
+    pub fn tuple_count(&self) -> usize {
+        self.shards.iter().map(CanonicalRelation::tuple_count).sum()
+    }
+
+    /// Total flat rows (`|R*|`) across shards.
+    pub fn flat_count(&self) -> u128 {
+        self.shards.iter().map(CanonicalRelation::flat_count).sum()
+    }
+
+    /// Whether no shard holds any row.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.relation().is_empty())
+    }
+
+    /// Whether `R*` contains `row` — `searcht` against exactly one
+    /// shard. A row of the wrong arity is contained in nothing.
+    pub fn contains(&self, row: &[Atom]) -> bool {
+        if row.len() != self.schema.arity() {
+            return false;
+        }
+        self.shards[self.router.route_row(row)].contains(row)
+    }
+
+    /// §4.2 insertion, routed to one shard. Returns `true` if new.
+    pub fn insert(&mut self, row: FlatTuple) -> Result<bool> {
+        let mut cost = MaintenanceCost::new(self.shard_count());
+        self.insert_counted(row, &mut cost)
+    }
+
+    /// [`insert`](Self::insert) with per-shard cost accounting.
+    pub fn insert_counted(&mut self, row: FlatTuple, cost: &mut MaintenanceCost) -> Result<bool> {
+        self.check_arity(row.len())?;
+        let shard = self.router.route_row(&row);
+        let mut c = CostCounter::new();
+        let fresh = self.shards[shard].insert_counted(row, &mut c)?;
+        cost.record(shard, &c);
+        Ok(fresh)
+    }
+
+    /// §4.3 deletion, routed to one shard. Returns `true` if present.
+    pub fn delete(&mut self, row: &[Atom]) -> Result<bool> {
+        let mut cost = MaintenanceCost::new(self.shard_count());
+        self.delete_counted(row, &mut cost)
+    }
+
+    /// [`delete`](Self::delete) with per-shard cost accounting.
+    pub fn delete_counted(&mut self, row: &[Atom], cost: &mut MaintenanceCost) -> Result<bool> {
+        self.check_arity(row.len())?;
+        let shard = self.router.route_row(row);
+        let mut c = CostCounter::new();
+        let hit = self.shards[shard].delete_counted(row, &mut c)?;
+        cost.record(shard, &c);
+        Ok(hit)
+    }
+
+    fn check_arity(&self, got: usize) -> Result<()> {
+        if got != self.schema.arity() {
+            return Err(NfError::ArityMismatch {
+                expected: self.schema.arity(),
+                got,
+            });
+        }
+        Ok(())
+    }
+
+    /// Splits a batch into per-shard sub-batches (order preserved within
+    /// each shard; ops on different shards touch disjoint row sets, so
+    /// cross-shard order is immaterial). Also validates arity up front so
+    /// the parallel application cannot fail halfway through.
+    fn partition_ops(&self, ops: &[Op]) -> Result<Vec<Vec<Op>>> {
+        let mut per_shard: Vec<Vec<Op>> = vec![Vec::new(); self.shard_count()];
+        for op in ops {
+            self.check_arity(op.row().len())?;
+            per_shard[self.router.route_row(op.row())].push(op.clone());
+        }
+        Ok(per_shard)
+    }
+
+    /// Applies a batch through the auto strategy **per shard** — each
+    /// shard independently picks §4 incremental maintenance or a kernel
+    /// rebuild for its own sub-batch, and sub-batches run concurrently
+    /// under [`std::thread::scope`]. Returns the combined summary and
+    /// the number of shards that took the rebuild arm.
+    pub fn apply_batch_auto(
+        &mut self,
+        ops: &[Op],
+        cost: &mut MaintenanceCost,
+    ) -> Result<(BatchSummary, usize)> {
+        let per_shard = self.partition_ops(ops)?;
+        let busy = per_shard.iter().filter(|b| !b.is_empty()).count();
+        type ShardOutcome = Result<(BatchSummary, bool, CostCounter)>;
+        let mut outcomes: Vec<Option<ShardOutcome>> =
+            (0..self.shard_count()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (((canon, kernel), batch), slot) in self
+                .shards
+                .iter_mut()
+                .zip(self.kernels.iter_mut())
+                .zip(&per_shard)
+                .zip(outcomes.iter_mut())
+            {
+                if batch.is_empty() {
+                    continue;
+                }
+                let mut task = move || -> ShardOutcome {
+                    let mut c = CostCounter::new();
+                    let (summary, rebuilt) = apply_batch_auto_with(kernel, canon, batch, &mut c)?;
+                    Ok((summary, rebuilt, c))
+                };
+                if busy == 1 {
+                    *slot = Some(task()); // no thread overhead for one shard
+                } else {
+                    scope.spawn(move || *slot = Some(task()));
+                }
+            }
+        });
+        let mut summary = BatchSummary::default();
+        let mut rebuilds = 0usize;
+        for (shard, outcome) in outcomes.into_iter().enumerate() {
+            let Some(outcome) = outcome else { continue };
+            let (s, rebuilt, c) = outcome?;
+            summary.inserted += s.inserted;
+            summary.deleted += s.deleted;
+            summary.noops += s.noops;
+            rebuilds += usize::from(rebuilt);
+            cost.record(shard, &c);
+        }
+        Ok((summary, rebuilds))
+    }
+
+    /// Forces the rebuild arm on every shard a batch touches: each shard
+    /// expands its rows, applies its sub-batch, and re-nests through its
+    /// own kernel — concurrently across shards. Shards the batch does not
+    /// touch are left untouched entirely.
+    pub fn rebuild_batch(&mut self, ops: &[Op]) -> Result<BatchSummary> {
+        let per_shard = self.partition_ops(ops)?;
+        let busy = per_shard.iter().filter(|b| !b.is_empty()).count();
+        type ShardOutcome = Result<BatchSummary>;
+        let mut outcomes: Vec<Option<ShardOutcome>> =
+            (0..self.shard_count()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (((canon, kernel), batch), slot) in self
+                .shards
+                .iter_mut()
+                .zip(self.kernels.iter_mut())
+                .zip(&per_shard)
+                .zip(outcomes.iter_mut())
+            {
+                if batch.is_empty() {
+                    continue;
+                }
+                let mut task = move || -> ShardOutcome {
+                    let mut summary = BatchSummary::default();
+                    let mut flat = canon.relation().expand();
+                    for op in batch {
+                        match op {
+                            Op::Insert(row) => {
+                                if flat.insert(row.clone())? {
+                                    summary.inserted += 1;
+                                } else {
+                                    summary.noops += 1;
+                                }
+                            }
+                            Op::Delete(row) => {
+                                if flat.remove(row) {
+                                    summary.deleted += 1;
+                                } else {
+                                    summary.noops += 1;
+                                }
+                            }
+                        }
+                    }
+                    *canon =
+                        CanonicalRelation::from_flat_with(kernel, &flat, canon.order().clone())?;
+                    Ok(summary)
+                };
+                if busy == 1 {
+                    *slot = Some(task());
+                } else {
+                    scope.spawn(move || *slot = Some(task()));
+                }
+            }
+        });
+        let mut summary = BatchSummary::default();
+        for outcome in outcomes.into_iter().flatten() {
+            let s = outcome?;
+            summary.inserted += s.inserted;
+            summary.deleted += s.deleted;
+            summary.noops += s.noops;
+        }
+        Ok(summary)
+    }
+
+    /// Replays a long op stream in adaptive batches (each batch grows
+    /// with the relation, mirroring
+    /// [`replay_adaptive_with`](crate::bulk::replay_adaptive_with)), with
+    /// every batch applied through the parallel
+    /// [`apply_batch_auto`](Self::apply_batch_auto). Returns
+    /// `(batches, shard rebuilds)`.
+    pub fn replay_adaptive(
+        &mut self,
+        stream: &[Op],
+        min_batch: usize,
+        cost: &mut MaintenanceCost,
+    ) -> Result<(usize, usize)> {
+        let min_batch = min_batch.max(1);
+        let (mut batches, mut rebuilds) = (0usize, 0usize);
+        let mut pos = 0usize;
+        while pos < stream.len() {
+            let flat = self.flat_count().min(usize::MAX as u128) as usize;
+            let target = flat.max(min_batch);
+            let remaining = stream.len() - pos;
+            let take = if remaining < 2 * target {
+                remaining
+            } else {
+                target
+            };
+            let (_, r) = self.apply_batch_auto(&stream[pos..pos + take], cost)?;
+            batches += 1;
+            rebuilds += r;
+            pos += take;
+        }
+        Ok((batches, rebuilds))
+    }
+
+    /// The exact global canonical form `ν_P(R*)`: concatenates the
+    /// per-shard tuples (disjoint by routing) and runs the final
+    /// `ν_{P(n−1)}` grouping once, merging tuples whose `P(n−1)` sets
+    /// were split across shards. One shard needs no merge at all.
+    pub fn to_relation(&self) -> NfRelation {
+        if self.shards.len() == 1 {
+            return self.shards[0].relation().clone();
+        }
+        let tuples: Vec<NfTuple> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.relation().tuples().iter().cloned())
+            .collect();
+        if tuples.is_empty() {
+            return NfRelation::new(self.schema.clone());
+        }
+        let Some(attr) = self.router.attr() else {
+            // Zero-arity schemas route everything to shard 0 above.
+            unreachable!("multi-shard relations have a routing attribute");
+        };
+        // Shards partition the P(n−1) value space, so cross-shard
+        // expansions are disjoint and the concatenation is a valid NFR.
+        let concat = NfRelation::from_disjoint_tuples(self.schema.clone(), tuples)
+            .expect("per-shard tuples carry the shared schema arity");
+        NestKernel::new().nest_once(&concat, attr)
+    }
+
+    /// Re-derives every invariant from scratch: each shard is canonical
+    /// for its own rows, every row lives in the shard it routes to, and
+    /// the merged relation equals the unsharded canonical form.
+    /// Test/diagnostic helper.
+    pub fn verify(&self) -> Result<()> {
+        let mut all_rows = FlatRelation::new(self.schema.clone());
+        for (idx, shard) in self.shards.iter().enumerate() {
+            shard.verify()?;
+            for row in shard.relation().expand().rows() {
+                if self.router.route_row(row) != idx {
+                    return Err(NfError::InvalidShardSpec(format!(
+                        "row routed to shard {} but stored in shard {idx}",
+                        self.router.route_row(row)
+                    )));
+                }
+                all_rows.insert(row.clone())?;
+            }
+        }
+        let unsharded = crate::nest::canonical_of_flat(&all_rows, &self.order);
+        if self.to_relation() == unsharded {
+            Ok(())
+        } else {
+            Err(NfError::InvalidShardSpec(
+                "merged sharded relation differs from the unsharded canonical form".into(),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema(attrs: &[&str]) -> Arc<Schema> {
+        Schema::new("R", attrs).unwrap()
+    }
+
+    fn row(vals: &[u32]) -> FlatTuple {
+        vals.iter().map(|&v| Atom(v)).collect()
+    }
+
+    /// A deterministic pseudo-random flat relation.
+    fn random_flat(arity: usize, rows: usize, domain: u32, seed: u64) -> FlatRelation {
+        let names: Vec<String> = (0..arity).map(|i| format!("E{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let s = Schema::new("RND", &refs).unwrap();
+        let mut state = seed | 1;
+        let mut out = Vec::new();
+        for _ in 0..rows {
+            let row: Vec<Atom> = (0..arity)
+                .map(|a| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    Atom(100 * a as u32 + (state >> 33) as u32 % domain)
+                })
+                .collect();
+            out.push(row);
+        }
+        FlatRelation::from_rows(s, out).unwrap()
+    }
+
+    fn specs(domain_hint: u32) -> Vec<ShardSpec> {
+        vec![
+            ShardSpec::single(),
+            ShardSpec::hash(2).unwrap(),
+            ShardSpec::hash(7).unwrap(),
+            ShardSpec::range(vec![Atom(domain_hint / 3), Atom(2 * domain_hint / 3)]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn spec_validation_and_counts() {
+        assert!(ShardSpec::hash(0).is_err());
+        assert_eq!(ShardSpec::hash(4).unwrap().shard_count(), 4);
+        assert!(ShardSpec::range(vec![Atom(5), Atom(5)]).is_err());
+        assert!(ShardSpec::range(vec![Atom(9), Atom(2)]).is_err());
+        let r = ShardSpec::range(vec![Atom(10), Atom(20)]).unwrap();
+        assert_eq!(r.shard_count(), 3);
+        assert_eq!(r.route_value(Atom(3)), 0);
+        assert_eq!(r.route_value(Atom(10)), 1);
+        assert_eq!(r.route_value(Atom(19)), 1);
+        assert_eq!(r.route_value(Atom(20)), 2);
+        assert_eq!(ShardSpec::single().shard_count(), 1);
+    }
+
+    #[test]
+    fn hash_routing_is_deterministic_and_in_bounds() {
+        let spec = ShardSpec::hash(5).unwrap();
+        for v in 0..1000u32 {
+            let s = spec.route_value(Atom(v));
+            assert!(s < 5);
+            assert_eq!(s, spec.route_value(Atom(v)));
+        }
+        // The mixer spreads dense ids: no shard hogs everything.
+        let mut counts = [0usize; 5];
+        for v in 0..1000u32 {
+            counts[spec.route_value(Atom(v))] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 100), "balanced-ish: {counts:?}");
+    }
+
+    #[test]
+    fn router_targets_the_outermost_attribute() {
+        let order = NestOrder::new(vec![2, 0, 1], 3).unwrap();
+        let router = ShardRouter::new(ShardSpec::hash(4).unwrap(), &order);
+        assert_eq!(router.attr(), Some(1), "P(n-1) is the last-applied attr");
+        let r = row(&[7, 9, 11]);
+        assert_eq!(
+            router.route_row(&r),
+            router.spec().route_value(Atom(9)),
+            "rows route on the outermost attribute's value"
+        );
+    }
+
+    #[test]
+    fn sharded_from_flat_merges_back_to_unsharded() {
+        for arity in 1..=3usize {
+            for seed in 0..4u64 {
+                let flat = random_flat(arity, 60, 5, 0xC0FFEE ^ seed);
+                for order in NestOrder::all(arity) {
+                    let unsharded = crate::nest::canonical_of_flat(&flat, &order);
+                    for spec in specs(100 * (arity as u32 - 1) + 3) {
+                        let sharded =
+                            ShardedCanonical::from_flat(&flat, order.clone(), spec.clone())
+                                .unwrap();
+                        assert_eq!(
+                            sharded.to_relation(),
+                            unsharded,
+                            "arity {arity} seed {seed} order {order} spec {spec:?}"
+                        );
+                        assert_eq!(sharded.flat_count(), flat.len() as u128);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routed_point_maintenance_matches_unsharded() {
+        let flat = random_flat(3, 50, 4, 0xFEED);
+        let order = NestOrder::identity(3);
+        let mut unsharded = CanonicalRelation::from_flat(&flat, order.clone()).unwrap();
+        let mut sharded =
+            ShardedCanonical::from_flat(&flat, order.clone(), ShardSpec::hash(4).unwrap()).unwrap();
+        let mut state = 0x5EEDu64;
+        for _ in 0..120 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let r = row(&[
+                (state >> 13) as u32 % 5,
+                100 + (state >> 29) as u32 % 5,
+                200 + (state >> 47) as u32 % 4,
+            ]);
+            if state.is_multiple_of(3) {
+                assert_eq!(sharded.delete(&r).unwrap(), unsharded.delete(&r).unwrap());
+            } else {
+                assert_eq!(
+                    sharded.insert(r.clone()).unwrap(),
+                    unsharded.insert(r).unwrap()
+                );
+            }
+        }
+        assert_eq!(sharded.to_relation(), *unsharded.relation());
+        sharded.verify().unwrap();
+    }
+
+    #[test]
+    fn contains_routes_to_one_shard() {
+        let flat = random_flat(2, 40, 6, 1);
+        let sharded =
+            ShardedCanonical::from_flat(&flat, NestOrder::identity(2), ShardSpec::hash(3).unwrap())
+                .unwrap();
+        for r in flat.rows() {
+            assert!(sharded.contains(r));
+        }
+        assert!(!sharded.contains(&row(&[999, 999])));
+    }
+
+    #[test]
+    fn batches_agree_with_unsharded_bulk() {
+        use crate::bulk::apply_batch;
+        let flat = random_flat(3, 40, 4, 7);
+        let order = NestOrder::identity(3);
+        let mut ops = Vec::new();
+        let mut state = 0xABCDu64;
+        for _ in 0..80 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let r = row(&[
+                (state >> 11) as u32 % 6,
+                100 + (state >> 31) as u32 % 5,
+                200 + (state >> 49) as u32 % 4,
+            ]);
+            if state.is_multiple_of(4) {
+                ops.push(Op::Delete(r));
+            } else {
+                ops.push(Op::Insert(r));
+            }
+        }
+        let mut oracle = CanonicalRelation::from_flat(&flat, order.clone()).unwrap();
+        let mut oracle_cost = CostCounter::new();
+        let oracle_summary = apply_batch(&mut oracle, &ops, &mut oracle_cost).unwrap();
+        for spec in specs(5) {
+            // Auto strategy.
+            let mut auto = ShardedCanonical::from_flat(&flat, order.clone(), spec.clone()).unwrap();
+            let mut cost = MaintenanceCost::new(auto.shard_count());
+            let (summary, _) = auto.apply_batch_auto(&ops, &mut cost).unwrap();
+            assert_eq!(summary, oracle_summary, "{spec:?}");
+            assert_eq!(auto.to_relation(), *oracle.relation(), "{spec:?}");
+            // Forced rebuild.
+            let mut rebuilt = ShardedCanonical::from_flat(&flat, order.clone(), spec).unwrap();
+            let summary = rebuilt.rebuild_batch(&ops).unwrap();
+            assert_eq!(summary, oracle_summary);
+            assert_eq!(rebuilt.to_relation(), *oracle.relation());
+        }
+    }
+
+    #[test]
+    fn replay_adaptive_ingests_everything() {
+        let flat = random_flat(3, 120, 6, 21);
+        let order = NestOrder::identity(3);
+        let stream: Vec<Op> = flat.rows().cloned().map(Op::Insert).collect();
+        let mut sharded = ShardedCanonical::new(
+            flat.schema().clone(),
+            order.clone(),
+            ShardSpec::hash(4).unwrap(),
+        )
+        .unwrap();
+        let mut cost = MaintenanceCost::new(4);
+        let (batches, rebuilds) = sharded.replay_adaptive(&stream, 8, &mut cost).unwrap();
+        assert!(batches >= 2);
+        assert!(rebuilds >= batches, "pure inserts rebuild on every shard");
+        assert_eq!(sharded.flat_count(), flat.len() as u128);
+        assert_eq!(
+            sharded.to_relation(),
+            crate::nest::canonical_of_flat(&flat, &order)
+        );
+    }
+
+    #[test]
+    fn candidate_probes_drop_with_shard_count() {
+        // The point of the subsystem: candt scans one shard, so per-op
+        // probes fall roughly by the shard count.
+        let flat = random_flat(3, 400, 12, 4242);
+        let order = NestOrder::identity(3);
+        let probes_of = |spec: ShardSpec| -> u64 {
+            let mut c = ShardedCanonical::from_flat(&flat, order.clone(), spec).unwrap();
+            let mut cost = MaintenanceCost::new(c.shard_count());
+            let mut state = 0x1234u64;
+            for i in 0..32 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let r = row(&[
+                    (state >> 11) as u32 % 13,
+                    100 + (state >> 31) as u32 % 13,
+                    200 + i as u32 % 12,
+                ]);
+                let _ = c.insert_counted(r.clone(), &mut cost).unwrap();
+                let _ = c.delete_counted(&r, &mut cost).unwrap();
+            }
+            cost.total.candidate_probes
+        };
+        let p1 = probes_of(ShardSpec::single());
+        let p4 = probes_of(ShardSpec::hash(4).unwrap());
+        assert!(
+            p4 * 2 <= p1,
+            "4 shards must cut candidate probes at least in half: {p1} -> {p4}"
+        );
+    }
+
+    #[test]
+    fn maintenance_cost_breaks_down_per_shard() {
+        let flat = random_flat(2, 60, 8, 77);
+        let mut sharded =
+            ShardedCanonical::from_flat(&flat, NestOrder::identity(2), ShardSpec::hash(3).unwrap())
+                .unwrap();
+        let mut cost = MaintenanceCost::new(3);
+        for i in 0..20u32 {
+            sharded.insert(row(&[500 + i, 600 + i])).unwrap();
+        }
+        let mut state = 9u64;
+        for _ in 0..20 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let r = row(&[(state >> 13) as u32 % 8, 100 + (state >> 33) as u32 % 8]);
+            let _ = sharded.insert_counted(r, &mut cost).unwrap();
+        }
+        let sum: u64 = cost.per_shard.iter().map(|c| c.candidate_probes).sum();
+        assert_eq!(sum, cost.total.candidate_probes, "breakdown sums to total");
+        assert!(cost.per_shard.iter().filter(|c| c.recons_calls > 0).count() >= 2);
+        let mut merged = MaintenanceCost::new(3);
+        merged.merge(&cost);
+        merged.merge(&cost);
+        assert_eq!(
+            merged.total.candidate_probes,
+            2 * cost.total.candidate_probes
+        );
+    }
+
+    #[test]
+    fn arity_and_order_mismatches_are_rejected() {
+        let s = schema(&["A", "B"]);
+        assert!(
+            ShardedCanonical::new(s.clone(), NestOrder::identity(3), ShardSpec::single()).is_err()
+        );
+        let mut c =
+            ShardedCanonical::new(s, NestOrder::identity(2), ShardSpec::hash(2).unwrap()).unwrap();
+        assert!(c.insert(row(&[1])).is_err());
+        assert!(c.delete(&row(&[1, 2, 3])).is_err());
+        assert!(c
+            .apply_batch_auto(&[Op::Insert(row(&[1]))], &mut MaintenanceCost::new(2))
+            .is_err());
+    }
+
+    #[test]
+    fn empty_and_single_row_relations() {
+        let s = schema(&["A", "B"]);
+        let c = ShardedCanonical::new(
+            s.clone(),
+            NestOrder::identity(2),
+            ShardSpec::hash(4).unwrap(),
+        )
+        .unwrap();
+        assert!(c.is_empty());
+        assert!(c.to_relation().is_empty());
+        c.verify().unwrap();
+        let f = FlatRelation::from_rows(s, vec![row(&[1, 2])]).unwrap();
+        let c =
+            ShardedCanonical::from_flat(&f, NestOrder::identity(2), ShardSpec::hash(4).unwrap())
+                .unwrap();
+        assert_eq!(c.tuple_count(), 1);
+        assert_eq!(c.to_relation().tuple_count(), 1);
+    }
+}

@@ -174,7 +174,7 @@ pub enum Statement {
         /// Conjunctive predicates.
         predicates: Vec<Predicate>,
     },
-    /// `SELECT a, b FROM name [JOIN t1 [JOIN t2 …]] [WHERE …]`
+    /// `SELECT a, b FROM name [JOIN t1 [JOIN t2 …]] [WHERE …] [LIMIT n]`
     Select {
         /// Projection list (attributes or an aggregate).
         projection: Projection,
@@ -185,6 +185,14 @@ pub enum Statement {
         joins: Vec<String>,
         /// Conjunctive predicates.
         predicates: Vec<Predicate>,
+        /// `LIMIT n`: stop the cursor pipeline after `n` NF² tuples —
+        /// upstream operators stop being pulled, so a satisfied limit
+        /// never scans the rest of its inputs. As in SQL without an
+        /// `ORDER BY`, *which* prefix is returned is unspecified (it
+        /// follows physical tuple order, which varies with the table's
+        /// shard layout). Aggregate projections ignore the limit: they
+        /// produce one logical value, which a row limit cannot truncate.
+        limit: Option<usize>,
     },
     /// `NEST name ON attr` — ad-hoc query returning the nested relation.
     Nest {
@@ -420,12 +428,17 @@ impl fmt::Display for Statement {
                 table,
                 joins,
                 predicates,
+                limit,
             } => {
                 write!(f, "SELECT {projection} FROM {table}")?;
                 for j in joins {
                     write!(f, " JOIN {j}")?;
                 }
-                write_where(f, predicates)
+                write_where(f, predicates)?;
+                if let Some(n) = limit {
+                    write!(f, " LIMIT {n}")?;
+                }
+                Ok(())
             }
             Statement::Nest { table, attr } => write!(f, "NEST {table} ON {attr}"),
             Statement::Unnest { table, attr } => write!(f, "UNNEST {table} ON {attr}"),
@@ -535,6 +548,7 @@ mod tests {
                     values: vec!["lit".into(), Value::Param(1)],
                 },
             ],
+            limit: None,
         };
         assert_eq!(stmt.param_count(), 2);
         assert_eq!(
@@ -618,6 +632,7 @@ mod tests {
                     values: vec!["it's".into()],
                 },
             ],
+            limit: None,
         };
         assert_eq!(
             stmt.to_string(),

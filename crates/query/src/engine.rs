@@ -47,6 +47,7 @@ pub struct EngineBuilder {
     data_dir: Option<PathBuf>,
     wal_autoflush: bool,
     rewrite_mode: Option<RewriteMode>,
+    shards: Option<usize>,
 }
 
 impl EngineBuilder {
@@ -54,6 +55,15 @@ impl EngineBuilder {
     /// engine is purely in-memory ([`Engine::checkpoint`] errors).
     pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// Number of shards `CREATE TABLE` partitions new tables into
+    /// (hash-partitioned on the outermost nest attribute). Defaults to
+    /// the `NF2_SHARDS` environment variable, or 1 (unsharded). Values
+    /// below 1 are clamped to 1.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
         self
     }
 
@@ -76,6 +86,15 @@ impl EngineBuilder {
     pub fn build(self) -> Engine {
         use std::sync::atomic::{AtomicU64, Ordering};
         static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+        let shards = self
+            .shards
+            .or_else(|| {
+                std::env::var("NF2_SHARDS")
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+            })
+            .unwrap_or(1)
+            .max(1);
         Engine {
             dict: SharedDictionary::new(),
             tables: BTreeMap::new(),
@@ -84,6 +103,7 @@ impl EngineBuilder {
             data_dir: self.data_dir,
             wal_autoflush: self.wal_autoflush,
             rewrite_mode: self.rewrite_mode.unwrap_or(RewriteMode::Structural),
+            default_shards: shards,
         }
     }
 }
@@ -105,6 +125,8 @@ pub struct Engine {
     data_dir: Option<PathBuf>,
     wal_autoflush: bool,
     rewrite_mode: RewriteMode,
+    /// Shard count `CREATE TABLE` partitions new tables into.
+    default_shards: usize,
 }
 
 impl Default for Engine {
@@ -155,6 +177,12 @@ impl Engine {
     /// The planner's rewrite strength.
     pub fn rewrite_mode(&self) -> RewriteMode {
         self.rewrite_mode
+    }
+
+    /// The shard count new tables are created with (see
+    /// [`EngineBuilder::shards`]).
+    pub fn default_shards(&self) -> usize {
+        self.default_shards
     }
 
     /// Immutable access to a table.
@@ -292,13 +320,15 @@ impl<'e> Session<'e> {
             table,
             joins,
             predicates,
+            limit,
         } = stmt
         else {
             return Err(QueryError::Semantic(
                 "query() accepts SELECT statements only; use run() for the rest".into(),
             ));
         };
-        let mut plan = SelectPlan::build(self.engine, projection, table, joins, &predicates)?;
+        let mut plan =
+            SelectPlan::build(self.engine, projection, table, joins, &predicates, limit)?;
         plan.cursor::<Param>(self.engine, &[])
     }
 
@@ -332,7 +362,15 @@ impl<'e> Session<'e> {
                     }
                     None => NestOrder::identity(attrs.len()),
                 };
-                let table = NfTable::create(&name, &attr_refs, order, self.engine.dict.clone())?;
+                let spec = nf2_core::shard::ShardSpec::hash(self.engine.default_shards)
+                    .expect("builder clamps the shard count to >= 1");
+                let table = NfTable::create_sharded(
+                    &name,
+                    &attr_refs,
+                    order,
+                    spec,
+                    self.engine.dict.clone(),
+                )?;
                 self.engine.tables.insert(name.clone(), table);
                 self.engine.ddl_epoch += 1;
                 Ok(Output::Message(format!("created table {name}")))
@@ -385,9 +423,10 @@ impl<'e> Session<'e> {
                 table,
                 joins,
                 predicates,
+                limit,
             } => {
                 let mut plan =
-                    SelectPlan::build(self.engine, projection, table, joins, &predicates)?;
+                    SelectPlan::build(self.engine, projection, table, joins, &predicates, limit)?;
                 execute_select::<Param>(self.engine, &mut plan, &[])
             }
             Statement::Explain { inner, optimized } => {
@@ -396,13 +435,15 @@ impl<'e> Session<'e> {
                     table,
                     joins,
                     predicates,
+                    limit,
                 } = *inner
                 else {
                     return Err(QueryError::Semantic(
                         "EXPLAIN supports SELECT statements only".into(),
                     ));
                 };
-                let plan = SelectPlan::build(self.engine, projection, table, joins, &predicates)?;
+                let plan =
+                    SelectPlan::build(self.engine, projection, table, joins, &predicates, limit)?;
                 let Some(text) = plan.explain::<Param>(self.engine, &[], optimized)? else {
                     return Ok(Output::Message(
                         "plan: <empty result — predicate value never interned>".to_owned(),
@@ -785,6 +826,47 @@ mod tests {
         assert_eq!(engine.rewrite_mode(), RewriteMode::Structural);
         assert_eq!(engine.ddl_epoch(), 0);
         assert!(engine.table("sc").is_err());
+    }
+
+    #[test]
+    fn builder_shards_partition_created_tables() {
+        let mut engine = Engine::builder().shards(4).build();
+        assert_eq!(engine.default_shards(), 4);
+        let mut session = engine.session();
+        session
+            .run_script(
+                "CREATE TABLE sc (Student, Course);
+                 INSERT INTO sc VALUES ('s1','c1'), ('s2','c1'), ('s1','c2'), ('s3','c3');",
+            )
+            .unwrap();
+        let table = session.engine().table("sc").unwrap();
+        assert_eq!(table.shard_count(), 4);
+        // Query semantics are unchanged by sharding.
+        match session.run("SELECT COUNT(*) FROM sc").unwrap() {
+            Output::Count(n) => assert_eq!(n, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        match session
+            .run("SELECT Course FROM sc WHERE Student = 's1'")
+            .unwrap()
+        {
+            Output::Relation { relation, .. } => assert_eq!(relation.flat_count(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        // relation() serves the exact canonical form: identical to an
+        // unsharded engine fed the same script.
+        let mut plain = Engine::builder().shards(1).build();
+        plain
+            .session()
+            .run_script(
+                "CREATE TABLE sc (Student, Course);
+                 INSERT INTO sc VALUES ('s1','c1'), ('s2','c1'), ('s1','c2'), ('s3','c3');",
+            )
+            .unwrap();
+        assert_eq!(
+            session.engine().table("sc").unwrap().relation(),
+            plain.table("sc").unwrap().relation()
+        );
     }
 
     #[test]

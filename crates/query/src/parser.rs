@@ -219,11 +219,13 @@ impl Parser {
                     joins.push(self.ident()?);
                 }
                 let predicates = self.where_clause()?;
+                let limit = self.limit_clause()?;
                 Ok(Statement::Select {
                     projection,
                     table,
                     joins,
                     predicates,
+                    limit,
                 })
             }
             "update" => {
@@ -328,6 +330,20 @@ impl Parser {
             attrs.push(self.ident()?);
         }
         Ok(Projection::Attrs(attrs))
+    }
+
+    /// An optional `LIMIT n` tail (n a decimal integer literal).
+    fn limit_clause(&mut self) -> Result<Option<usize>, ParseError> {
+        if !self.eat_keyword("limit") {
+            return Ok(None);
+        }
+        let word = self.ident()?;
+        match word.parse::<usize>() {
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(ParseError {
+                message: format!("LIMIT expects a non-negative integer, found {word}"),
+            }),
+        }
     }
 
     fn where_clause(&mut self) -> Result<Vec<Predicate>, ParseError> {
@@ -535,6 +551,29 @@ mod tests {
             parse("SELECT COUNT(Student) FROM sc").is_err(),
             "only * or DISTINCT attr"
         );
+    }
+
+    #[test]
+    fn parses_limit_clause() {
+        match parse("SELECT * FROM sc WHERE A = 'x' LIMIT 10").unwrap() {
+            Statement::Select { limit, .. } => assert_eq!(limit, Some(10)),
+            other => panic!("unexpected: {other:?}"),
+        }
+        match parse("SELECT * FROM sc LIMIT 0").unwrap() {
+            Statement::Select { limit, .. } => assert_eq!(limit, Some(0)),
+            other => panic!("unexpected: {other:?}"),
+        }
+        match parse("SELECT * FROM sc").unwrap() {
+            Statement::Select { limit, .. } => assert_eq!(limit, None),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(parse("SELECT * FROM sc LIMIT").is_err());
+        assert!(parse("SELECT * FROM sc LIMIT many").is_err());
+        assert!(parse("SELECT * FROM sc LIMIT 'x'").is_err());
+        // The printer round-trips the clause.
+        let stmt = parse("SELECT Course FROM sc LIMIT 7").unwrap();
+        assert_eq!(stmt.to_string(), "SELECT Course FROM sc LIMIT 7");
+        assert_eq!(parse(&stmt.to_string()).unwrap(), stmt);
     }
 
     #[test]

@@ -300,6 +300,9 @@ pub(crate) struct SelectPlan {
     tables: Vec<String>,
     /// Number of `?` parameters the plan expects.
     param_count: usize,
+    /// `LIMIT n`: the cursor pipeline stops pulling after `n` NF²
+    /// tuples, so upstream scans terminate early.
+    limit: Option<usize>,
 }
 
 impl SelectPlan {
@@ -310,6 +313,7 @@ impl SelectPlan {
         table: String,
         joins: Vec<String>,
         predicates: &[Predicate],
+        limit: Option<usize>,
     ) -> Result<Self, QueryError> {
         if engine.dict().len() as u64 >= SLOT_BASE as u64 {
             return Err(QueryError::Semantic(
@@ -364,6 +368,14 @@ impl SelectPlan {
                 constraints,
             };
         }
+        // LIMIT constrains *result* rows. Aggregates produce one logical
+        // value, so a limit must never truncate the stream feeding them
+        // (COUNT(*) ... LIMIT 1 is the full count, and must not depend
+        // on the physical shard layout).
+        let limit = match &projection {
+            Projection::CountStar | Projection::CountDistinct(_) => None,
+            _ => limit,
+        };
         match &projection {
             Projection::Attrs(attrs) => {
                 expr = Expr::Project {
@@ -397,6 +409,7 @@ impl SelectPlan {
             projection,
             tables,
             param_count,
+            limit,
         })
     }
 
@@ -479,6 +492,13 @@ impl SelectPlan {
             .map(|n| engine.table(n))
             .collect::<Result<Vec<_>, _>>()?;
         let iter = self.phys.stream(&tables, &bound);
+        // LIMIT rides the pull pipeline: `take` stops calling upstream
+        // `next()` once satisfied, so scans terminate early (the
+        // probe-counted cursor test pins this).
+        let iter: TupleIter<'s> = match self.limit {
+            Some(n) => Box::new(iter.take(n)),
+            None => iter,
+        };
         Ok(Cursor::new(RelStream::new(self.phys.schema.clone(), iter)))
     }
 
@@ -612,12 +632,14 @@ impl Prepared {
                 table,
                 joins,
                 predicates,
+                limit,
             } => Ok(Some(SelectPlan::build(
                 engine,
                 projection.clone(),
                 table.clone(),
                 joins.clone(),
                 predicates,
+                *limit,
             )?)),
             _ => Ok(None),
         }

@@ -56,13 +56,17 @@ fn select() -> impl Strategy<Value = Statement> {
         ident(),
         proptest::collection::vec(ident(), 0..3),
         proptest::collection::vec(predicate(), 0..3),
+        prop_oneof![Just(None), (0usize..10_000).prop_map(Some)],
     )
-        .prop_map(|(projection, table, joins, predicates)| Statement::Select {
-            projection,
-            table,
-            joins,
-            predicates,
-        })
+        .prop_map(
+            |(projection, table, joins, predicates, limit)| Statement::Select {
+                projection,
+                table,
+                joins,
+                predicates,
+                limit,
+            },
+        )
 }
 
 /// Every statement kind the grammar knows.

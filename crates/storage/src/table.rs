@@ -15,11 +15,11 @@ use std::sync::Arc;
 use bytes::{BufMut, BytesMut};
 use parking_lot::Mutex;
 
-use nf2_core::bulk::{apply_batch_auto_with, BatchSummary, Op};
-use nf2_core::kernel::NestKernel;
-use nf2_core::maintenance::{CanonicalRelation, CostCounter};
+use nf2_core::bulk::{BatchSummary, Op};
+use nf2_core::maintenance::CostCounter;
 use nf2_core::relation::{FlatRelation, NfRelation};
 use nf2_core::schema::{AttrId, NestOrder, Schema};
+use nf2_core::shard::{MaintenanceCost, ShardSpec, ShardedCanonical};
 use nf2_core::tuple::{FlatTuple, NfTuple};
 use nf2_core::value::Atom;
 
@@ -76,71 +76,91 @@ impl WalEntry {
     }
 }
 
-/// An NF² table: canonical NFR as the physical representation, with WAL +
-/// checkpoint durability and an optional value index.
+/// An NF² table: canonical NFR as the physical representation — held as
+/// a [`ShardedCanonical`] partitioned on the outermost nest attribute
+/// (one shard by default) — with WAL + checkpoint durability and an
+/// optional value index.
+///
+/// With more than one shard, §4 point maintenance routes to a single
+/// shard (candidate probes drop by the shard count), batch appends
+/// rebuild shards in parallel, [`scan`](NfTable::scan) concatenates the
+/// per-shard tuple streams, and [`relation`](NfTable::relation) serves
+/// the exact global canonical form from a lazily-merged cache
+/// (invalidated by mutations, rebuilt on first read — a write-heavy
+/// stream never pays for merges nobody reads).
 #[derive(Debug)]
 pub struct NfTable {
     name: String,
     dict: SharedDictionary,
-    canon: CanonicalRelation,
+    canon: ShardedCanonical,
+    /// Lazily-merged global canonical form for multi-shard tables:
+    /// mutations reset the cell ([`invalidate_merged`](Self::invalidate_merged)),
+    /// [`relation`](Self::relation) fills it on demand. Single-shard
+    /// tables borrow shard 0 directly and never touch it.
+    merged: std::sync::OnceLock<NfRelation>,
     wal: Vec<WalEntry>,
     /// (attr, value) → tuple positions at index-build time; dropped on any
     /// mutation.
     index: Option<HashMap<(AttrId, Atom), Vec<usize>>>,
     stats: Mutex<TableStats>,
-    /// Accumulated §4 maintenance costs across all updates.
-    maintenance_cost: CostCounter,
-    /// Nest-kernel scratch shared by bulk loads and batch appends, so a
-    /// stream of rebuilds keeps its sort/intern buffers warm.
-    kernel: NestKernel,
+    /// Accumulated §4 maintenance costs across all updates, with the
+    /// per-shard breakdown.
+    maintenance: MaintenanceCost,
 }
 
 impl NfTable {
-    /// Creates an empty table.
+    /// Creates an empty single-shard table.
     pub fn create(
         name: &str,
         attr_names: &[&str],
         order: NestOrder,
         dict: SharedDictionary,
     ) -> Result<Self> {
-        let schema = Schema::new(name, attr_names)?;
-        let canon = CanonicalRelation::new(schema, order)?;
-        Ok(Self {
-            name: name.to_owned(),
-            dict,
-            canon,
-            wal: Vec::new(),
-            index: None,
-            stats: Mutex::new(TableStats::default()),
-            maintenance_cost: CostCounter::new(),
-            kernel: NestKernel::new(),
-        })
+        Self::create_sharded(name, attr_names, order, ShardSpec::single(), dict)
     }
 
-    /// Builds a table from an existing 1NF relation by nesting from
-    /// scratch.
+    /// Creates an empty table partitioned by `spec` on the outermost
+    /// nest attribute.
+    pub fn create_sharded(
+        name: &str,
+        attr_names: &[&str],
+        order: NestOrder,
+        spec: ShardSpec,
+        dict: SharedDictionary,
+    ) -> Result<Self> {
+        let schema = Schema::new(name, attr_names)?;
+        let canon = ShardedCanonical::new(schema, order, spec)?;
+        Ok(Self::wrap(name, dict, canon, TableStats::default()))
+    }
+
+    /// Builds a single-shard table from an existing 1NF relation by
+    /// nesting from scratch.
     pub fn from_flat(
         name: &str,
         flat: &FlatRelation,
         order: NestOrder,
         dict: SharedDictionary,
     ) -> Result<Self> {
-        let canon = CanonicalRelation::from_flat(flat, order)?;
-        Ok(Self {
-            name: name.to_owned(),
-            dict,
-            canon,
-            wal: Vec::new(),
-            index: None,
-            stats: Mutex::new(TableStats::default()),
-            maintenance_cost: CostCounter::new(),
-            kernel: NestKernel::new(),
-        })
+        Self::from_flat_sharded(name, flat, order, ShardSpec::single(), dict)
+    }
+
+    /// Builds a sharded table from an existing 1NF relation: rows are
+    /// routed, then every shard nests its own rows (in parallel).
+    pub fn from_flat_sharded(
+        name: &str,
+        flat: &FlatRelation,
+        order: NestOrder,
+        spec: ShardSpec,
+        dict: SharedDictionary,
+    ) -> Result<Self> {
+        let canon = ShardedCanonical::from_flat(flat, order, spec)?;
+        Ok(Self::wrap(name, dict, canon, TableStats::default()))
     }
 
     /// Bulk-loads rows of atoms through the single-pass nest kernel: one
-    /// sort-group pass instead of per-row §4 maintenance. The fast path
-    /// for cold loads; `repro` E16 measures it against batch appends.
+    /// sort-group pass per shard instead of per-row §4 maintenance. The
+    /// fast path for cold loads; `repro` E16 measures it against batch
+    /// appends.
     pub fn bulk_load_atoms<I>(
         name: &str,
         attr_names: &[&str],
@@ -151,25 +171,36 @@ impl NfTable {
     where
         I: IntoIterator<Item = FlatTuple>,
     {
+        Self::bulk_load_atoms_sharded(name, attr_names, rows, order, ShardSpec::single(), dict)
+    }
+
+    /// [`bulk_load_atoms`](Self::bulk_load_atoms) into a sharded table:
+    /// rows are routed first and every shard runs its own kernel pass,
+    /// in parallel across shards.
+    pub fn bulk_load_atoms_sharded<I>(
+        name: &str,
+        attr_names: &[&str],
+        rows: I,
+        order: NestOrder,
+        spec: ShardSpec,
+        dict: SharedDictionary,
+    ) -> Result<Self>
+    where
+        I: IntoIterator<Item = FlatTuple>,
+    {
         let schema = Schema::new(name, attr_names)?;
         let flat = FlatRelation::from_rows(schema, rows).map_err(StorageError::Model)?;
-        let mut kernel = NestKernel::new();
-        let canon = CanonicalRelation::from_flat_with(&mut kernel, &flat, order)?;
+        let canon = ShardedCanonical::from_flat(&flat, order, spec)?;
         let loaded = flat.len() as u64;
-        let table = Self {
-            name: name.to_owned(),
+        Ok(Self::wrap(
+            name,
             dict,
             canon,
-            wal: Vec::new(),
-            index: None,
-            stats: Mutex::new(TableStats {
+            TableStats {
                 inserts: loaded,
                 ..TableStats::default()
-            }),
-            maintenance_cost: CostCounter::new(),
-            kernel,
-        };
-        Ok(table)
+            },
+        ))
     }
 
     /// Bulk-loads rows of string values, interning every value into the
@@ -185,17 +216,60 @@ impl NfTable {
     where
         I: IntoIterator<Item = Vec<&'a str>>,
     {
+        Self::bulk_load_strs_sharded(name, attr_names, rows, order, ShardSpec::single(), dict)
+    }
+
+    /// [`bulk_load_strs`](Self::bulk_load_strs) into a sharded table.
+    pub fn bulk_load_strs_sharded<'a, I>(
+        name: &str,
+        attr_names: &[&str],
+        rows: I,
+        order: NestOrder,
+        spec: ShardSpec,
+        dict: SharedDictionary,
+    ) -> Result<Self>
+    where
+        I: IntoIterator<Item = Vec<&'a str>>,
+    {
         let atoms: Vec<FlatTuple> = rows.into_iter().map(|row| dict.intern_row(&row)).collect();
-        Self::bulk_load_atoms(name, attr_names, atoms, order, dict)
+        Self::bulk_load_atoms_sharded(name, attr_names, atoms, order, spec, dict)
+    }
+
+    /// Assembles a table around a sharded canonical relation.
+    fn wrap(
+        name: &str,
+        dict: SharedDictionary,
+        canon: ShardedCanonical,
+        stats: TableStats,
+    ) -> Self {
+        let shards = canon.shard_count();
+        Self {
+            name: name.to_owned(),
+            dict,
+            maintenance: MaintenanceCost::new(shards),
+            canon,
+            merged: std::sync::OnceLock::new(),
+            wal: Vec::new(),
+            index: None,
+            stats: Mutex::new(stats),
+        }
+    }
+
+    /// Drops the merged-relation cache after a mutation; the next
+    /// [`relation`](Self::relation) read re-merges. Cheap — an empty
+    /// cell swap, no merge work on the write path.
+    fn invalidate_merged(&mut self) {
+        self.merged = std::sync::OnceLock::new();
     }
 
     /// Applies a batch of flat-row operations through the auto strategy
-    /// (§4 incremental below the rebuild threshold, one kernel re-nest
-    /// above it), logging every operation to the WAL. Returns the batch
-    /// summary and whether the rebuild arm ran.
+    /// **per shard** (§4 incremental below the rebuild threshold, a
+    /// kernel re-nest above it — shards rebuild concurrently on scoped
+    /// threads), logging every operation to the WAL. Returns the batch
+    /// summary and whether any shard took the rebuild arm.
     ///
-    /// The table's kernel scratch is reused across appends, so a long
-    /// ingest stream pays the rebuild arm's allocations once.
+    /// Each shard's kernel scratch is reused across appends, so a long
+    /// ingest stream pays the rebuild arm's allocations once per shard.
     pub fn append_batch(&mut self, ops: &[Op]) -> Result<(BatchSummary, bool)> {
         // Validate the whole batch up front: arity errors are the only
         // failure mode below, so rejecting them here keeps the batch
@@ -209,12 +283,11 @@ impl NfTable {
                 }));
             }
         }
-        let mut cost = CostCounter::new();
-        let (summary, rebuilt) =
-            apply_batch_auto_with(&mut self.kernel, &mut self.canon, ops, &mut cost)?;
-        self.accumulate(cost);
+        let (summary, rebuilds) = self.canon.apply_batch_auto(ops, &mut self.maintenance)?;
+        let rebuilt = rebuilds > 0;
         if summary.inserted + summary.deleted > 0 {
             self.index = None;
+            self.invalidate_merged();
         }
         // WAL replay tolerates no-ops (insert/delete return false), so the
         // whole batch is logged verbatim and replays to the same state.
@@ -237,7 +310,7 @@ impl NfTable {
 
     /// The schema.
     pub fn schema(&self) -> &Arc<Schema> {
-        self.canon.relation().schema()
+        self.canon.schema()
     }
 
     /// The nest order the table is canonical for.
@@ -245,19 +318,42 @@ impl NfTable {
         self.canon.order()
     }
 
+    /// The shard specification the table is partitioned by.
+    pub fn shard_spec(&self) -> &ShardSpec {
+        self.canon.router().spec()
+    }
+
+    /// Number of shards (1 unless created through a `_sharded`
+    /// constructor).
+    pub fn shard_count(&self) -> usize {
+        self.canon.shard_count()
+    }
+
+    /// The sharded canonical store backing the table.
+    pub fn sharded(&self) -> &ShardedCanonical {
+        &self.canon
+    }
+
     /// The shared dictionary.
     pub fn dict(&self) -> &SharedDictionary {
         &self.dict
     }
 
-    /// The current NFR.
+    /// The current NFR — always the exact global canonical form
+    /// `ν_P(R*)`, regardless of shard count. Multi-shard tables merge
+    /// lazily on first read after a mutation; single-shard tables borrow
+    /// shard 0 at zero cost.
     pub fn relation(&self) -> &NfRelation {
-        self.canon.relation()
+        if self.canon.shard_count() == 1 {
+            return self.canon.shard(0).relation();
+        }
+        self.merged.get_or_init(|| self.canon.to_relation())
     }
 
-    /// NF² tuple count (the logical search space size).
+    /// NF² tuple count of the global canonical form (the logical search
+    /// space size).
     pub fn tuple_count(&self) -> usize {
-        self.canon.tuple_count()
+        self.relation().tuple_count()
     }
 
     /// Flat row count (`|R*|`).
@@ -270,9 +366,15 @@ impl NfTable {
         *self.stats.lock()
     }
 
-    /// Accumulated §4 maintenance cost over the table's lifetime.
+    /// Accumulated §4 maintenance cost over the table's lifetime
+    /// (summed across shards).
     pub fn maintenance_cost(&self) -> CostCounter {
-        self.maintenance_cost
+        self.maintenance.total
+    }
+
+    /// The per-shard maintenance-cost breakdown.
+    pub fn maintenance_breakdown(&self) -> &MaintenanceCost {
+        &self.maintenance
     }
 
     /// Interns string values into a flat row for this schema.
@@ -292,14 +394,16 @@ impl NfTable {
         self.insert_atoms(row)
     }
 
-    /// Inserts a flat row of atoms via §4 maintenance, logging to the WAL.
+    /// Inserts a flat row of atoms via §4 maintenance (routed to one
+    /// shard), logging to the WAL.
     pub fn insert_atoms(&mut self, row: FlatTuple) -> Result<bool> {
-        let mut cost = CostCounter::new();
-        let fresh = self.canon.insert_counted(row.clone(), &mut cost)?;
-        self.accumulate(cost);
+        let fresh = self
+            .canon
+            .insert_counted(row.clone(), &mut self.maintenance)?;
         if fresh {
             self.wal.push(WalEntry::Insert(row));
             self.index = None;
+            self.invalidate_merged();
             self.stats.lock().inserts += 1;
         }
         Ok(fresh)
@@ -311,43 +415,50 @@ impl NfTable {
         self.delete_atoms(&row)
     }
 
-    /// Deletes a flat row of atoms via §4 maintenance, logging to the WAL.
+    /// Deletes a flat row of atoms via §4 maintenance (routed to one
+    /// shard), logging to the WAL.
     pub fn delete_atoms(&mut self, row: &[Atom]) -> Result<bool> {
-        let mut cost = CostCounter::new();
-        let hit = self.canon.delete_counted(row, &mut cost)?;
-        self.accumulate(cost);
+        let hit = self.canon.delete_counted(row, &mut self.maintenance)?;
         if hit {
             self.wal.push(WalEntry::Delete(row.to_vec()));
             self.index = None;
+            self.invalidate_merged();
             self.stats.lock().deletes += 1;
         }
         Ok(hit)
     }
 
-    fn accumulate(&mut self, cost: CostCounter) {
-        self.maintenance_cost.compositions += cost.compositions;
-        self.maintenance_cost.decompositions += cost.decompositions;
-        self.maintenance_cost.candidate_probes += cost.candidate_probes;
-        self.maintenance_cost.recons_calls += cost.recons_calls;
-    }
-
-    /// Whether the table contains the flat row.
+    /// Whether the table contains the flat row (`searcht` against
+    /// exactly one shard).
     pub fn contains(&self, row: &[Atom]) -> bool {
         self.canon.contains(row)
     }
 
-    /// A borrowing, probe-counted scan over the stored NF² tuples.
+    /// A borrowing, probe-counted scan over the stored NF² tuples — the
+    /// per-shard tuple streams, concatenated in shard order.
     ///
     /// The iterator yields `&NfTuple` straight out of the canonical
-    /// relation — no clone — and counts every yielded tuple, flushing the
-    /// total into [`stats`](Self::stats) (`lookups += 1`,
+    /// shards — no clone, no merge — and counts every yielded tuple,
+    /// flushing the total into [`stats`](Self::stats) (`lookups += 1`,
     /// `units_probed += yielded`) when dropped. Streaming query cursors
     /// ride on this: a cursor that stops after the first tuple is charged
     /// one probe, not a full relation's worth — which is also how tests
     /// assert that a cursor did *not* materialize its input.
+    ///
+    /// On a multi-shard table a global canonical tuple whose outermost
+    /// set spans shards streams as one tuple per shard; the concatenation
+    /// is a valid NFR with the same `R*`, so query semantics (selections,
+    /// joins, counts, expansions) are unchanged.
     pub fn scan(&self) -> TableScan<'_> {
         TableScan {
-            inner: self.canon.relation().tuples().iter(),
+            shards: self
+                .canon
+                .shards()
+                .iter()
+                .map(|s| s.relation().tuples())
+                .collect(),
+            shard: 0,
+            idx: 0,
             stats: &self.stats,
             yielded: 0,
         }
@@ -360,7 +471,7 @@ impl NfTable {
         let mut stats = self.stats.lock();
         stats.lookups += 1;
         let mut hits = Vec::new();
-        for t in self.canon.relation().tuples() {
+        for t in self.relation().tuples() {
             stats.units_probed += 1;
             if t.component(attr).contains(value) {
                 hits.push(t.clone());
@@ -372,7 +483,7 @@ impl NfTable {
     /// Builds the (attr, value) → tuples index over the current state.
     pub fn build_index(&mut self) {
         let mut index: HashMap<(AttrId, Atom), Vec<usize>> = HashMap::new();
-        for (pos, t) in self.canon.relation().tuples().iter().enumerate() {
+        for (pos, t) in self.relation().tuples().iter().enumerate() {
             for attr in 0..self.schema().arity() {
                 for v in t.component(attr).iter() {
                     index.entry((attr, v)).or_default().push(pos);
@@ -390,7 +501,7 @@ impl NfTable {
         })?;
         let mut stats = self.stats.lock();
         stats.lookups += 1;
-        let tuples = self.canon.relation().tuples();
+        let tuples = self.relation().tuples();
         Ok(index
             .get(&(attr, value))
             .map(|positions| {
@@ -400,14 +511,14 @@ impl NfTable {
             .unwrap_or_default())
     }
 
-    /// Checkpoints to `dir`: meta + page file of NF² tuples; truncates the
-    /// WAL.
+    /// Checkpoints to `dir`: meta + page file of NF² tuples (the merged
+    /// global canonical form); truncates the WAL.
     pub fn checkpoint(&mut self, dir: &Path) -> Result<()> {
         std::fs::create_dir_all(dir)?;
         self.write_meta(&meta_path(dir, &self.name))?;
         let mut heap = HeapFile::new();
         let mut buf = BytesMut::new();
-        for t in self.canon.relation().tuples() {
+        for t in self.relation().tuples() {
             buf.clear();
             encode_nf_tuple(t, &mut buf);
             heap.insert(&buf)?;
@@ -429,10 +540,11 @@ impl NfTable {
         Ok(())
     }
 
-    /// Opens a table from `dir`: loads the checkpoint pages, then replays
-    /// the WAL.
+    /// Opens a table from `dir`: loads the checkpoint pages, restores the
+    /// persisted shard spec, then replays the WAL (every entry routed
+    /// through the sharded store like a live mutation).
     pub fn open(dir: &Path, name: &str, dict: SharedDictionary) -> Result<Self> {
-        let (attr_names, order_attrs, dict_entries) = read_meta(&meta_path(dir, name))?;
+        let (attr_names, order_attrs, dict_entries, spec) = read_meta(&meta_path(dir, name))?;
         // Restore dictionary contents (atom ids are dense from 0).
         for entry in &dict_entries {
             dict.intern(entry);
@@ -449,7 +561,7 @@ impl NfTable {
         }
         let rel = NfRelation::from_tuples(schema.clone(), tuples)?;
         let flat = rel.expand();
-        let mut canon = CanonicalRelation::from_flat(&flat, order)?;
+        let mut canon = ShardedCanonical::from_flat(&flat, order, spec)?;
         // Replay WAL.
         let wal_bytes = std::fs::read(wal_path(dir, name)).unwrap_or_default();
         let mut slice: &[u8] = &wal_bytes;
@@ -463,16 +575,7 @@ impl NfTable {
                 }
             }
         }
-        Ok(Self {
-            name: name.to_owned(),
-            dict,
-            canon,
-            wal: Vec::new(),
-            index: None,
-            stats: Mutex::new(TableStats::default()),
-            maintenance_cost: CostCounter::new(),
-            kernel: NestKernel::new(),
-        })
+        Ok(Self::wrap(name, dict, canon, TableStats::default()))
     }
 
     fn write_meta(&self, path: &Path) -> Result<()> {
@@ -494,6 +597,20 @@ impl NfTable {
             put_varint(&mut buf, name.len() as u64);
             buf.extend_from_slice(name.as_bytes());
         }
+        // Shard spec: tag byte, then the spec parameters.
+        match self.shard_spec() {
+            ShardSpec::Hash { shards } => {
+                buf.put_u8(0);
+                put_varint(&mut buf, *shards as u64);
+            }
+            ShardSpec::Range { boundaries } => {
+                buf.put_u8(1);
+                put_varint(&mut buf, boundaries.len() as u64);
+                for b in boundaries {
+                    put_varint(&mut buf, u64::from(b.id()));
+                }
+            }
+        }
         let checksum = crate::codec::fnv1a64(&buf);
         let mut out = BytesMut::with_capacity(buf.len() + 8);
         out.put_u64(checksum);
@@ -503,7 +620,11 @@ impl NfTable {
     }
 }
 
-fn read_meta(path: &Path) -> Result<(Vec<String>, Vec<usize>, Vec<String>)> {
+/// Parsed meta contents: attribute names, nest order, dictionary
+/// entries, and the shard spec.
+type MetaContents = (Vec<String>, Vec<usize>, Vec<String>, ShardSpec);
+
+fn read_meta(path: &Path) -> Result<MetaContents> {
     let bytes = std::fs::read(path)?;
     if bytes.len() < 8 {
         return Err(StorageError::Corrupt("meta file truncated".into()));
@@ -538,17 +659,45 @@ fn read_meta(path: &Path) -> Result<(Vec<String>, Vec<usize>, Vec<String>)> {
     for _ in 0..dict_len {
         dict_entries.push(read_string(&mut slice)?);
     }
-    Ok((attr_names, order, dict_entries))
+    if slice.is_empty() {
+        // Meta written before sharding existed: those tables were all
+        // single-shard, so that is exactly what the missing spec means.
+        return Ok((attr_names, order, dict_entries, ShardSpec::single()));
+    }
+    let tag = slice[0];
+    slice = &slice[1..];
+    let spec = match tag {
+        0 => ShardSpec::hash(get_varint(&mut slice)? as usize),
+        1 => {
+            let len = get_varint(&mut slice)? as usize;
+            let mut boundaries = Vec::with_capacity(len);
+            for _ in 0..len {
+                boundaries.push(Atom(get_varint(&mut slice)? as u32));
+            }
+            ShardSpec::range(boundaries)
+        }
+        t => {
+            return Err(StorageError::Corrupt(format!("unknown shard spec tag {t}")));
+        }
+    }
+    .map_err(StorageError::Model)?;
+    Ok((attr_names, order, dict_entries, spec))
 }
 
-/// A lazy scan over an [`NfTable`]'s tuples; see [`NfTable::scan`].
+/// A lazy scan over an [`NfTable`]'s tuples — the shards' tuple slices,
+/// streamed back-to-back; see [`NfTable::scan`].
 ///
 /// Probe accounting is batched: the scan keeps a local counter and
 /// settles it into the table's [`TableStats`] exactly once, on drop, so
 /// the per-tuple hot path takes no lock.
 #[derive(Debug)]
 pub struct TableScan<'a> {
-    inner: std::slice::Iter<'a, NfTuple>,
+    /// Per-shard tuple slices, in shard order.
+    shards: Vec<&'a [NfTuple]>,
+    /// Current shard index.
+    shard: usize,
+    /// Next tuple within the current shard.
+    idx: usize,
     stats: &'a Mutex<TableStats>,
     yielded: u64,
 }
@@ -557,13 +706,25 @@ impl<'a> Iterator for TableScan<'a> {
     type Item = &'a NfTuple;
 
     fn next(&mut self) -> Option<&'a NfTuple> {
-        let t = self.inner.next()?;
-        self.yielded += 1;
-        Some(t)
+        loop {
+            let slice = self.shards.get(self.shard)?;
+            if let Some(t) = slice.get(self.idx) {
+                self.idx += 1;
+                self.yielded += 1;
+                return Some(t);
+            }
+            self.shard += 1;
+            self.idx = 0;
+        }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.inner.size_hint()
+        let remaining: usize = self.shards[self.shard.min(self.shards.len())..]
+            .iter()
+            .map(|s| s.len())
+            .sum::<usize>()
+            .saturating_sub(self.idx);
+        (remaining, Some(remaining))
     }
 }
 
@@ -965,6 +1126,101 @@ mod tests {
         let t = sample_table();
         let cost = t.maintenance_cost();
         assert!(cost.recons_calls >= 4, "one recons per insert at least");
+    }
+
+    /// A sharded twin of [`sample_table`] plus extra rows so several
+    /// shards are populated.
+    fn sharded_table(shards: usize) -> NfTable {
+        let dict = SharedDictionary::new();
+        let mut t = NfTable::create_sharded(
+            "sc",
+            &["Student", "Course"],
+            NestOrder::identity(2),
+            ShardSpec::hash(shards).unwrap(),
+            dict,
+        )
+        .unwrap();
+        for (s, c) in [
+            ("s1", "c1"),
+            ("s2", "c1"),
+            ("s1", "c2"),
+            ("s3", "c3"),
+            ("s2", "c4"),
+            ("s3", "c5"),
+        ] {
+            assert!(t.insert_row(&[s, c]).unwrap());
+        }
+        t
+    }
+
+    #[test]
+    fn sharded_table_serves_the_global_canonical_form() {
+        let sharded = sharded_table(4);
+        assert_eq!(sharded.shard_count(), 4);
+        // relation() must equal the canonical form of the same rows on a
+        // single-shard table.
+        let dict = SharedDictionary::new();
+        let mut plain =
+            NfTable::create("sc", &["Student", "Course"], NestOrder::identity(2), dict).unwrap();
+        for (s, c) in [
+            ("s1", "c1"),
+            ("s2", "c1"),
+            ("s1", "c2"),
+            ("s3", "c3"),
+            ("s2", "c4"),
+            ("s3", "c5"),
+        ] {
+            plain.insert_row(&[s, c]).unwrap();
+        }
+        assert_eq!(sharded.relation(), plain.relation());
+        assert_eq!(sharded.flat_count(), 6);
+        // The concatenated scan yields every shard's tuples (possibly
+        // more than the merged count, never fewer).
+        let scanned = sharded.scan().count();
+        assert!(scanned >= sharded.tuple_count());
+        assert_eq!(
+            sharded.scan().map(|t| t.expansion_count()).sum::<u128>(),
+            6,
+            "same R* through the concatenated stream"
+        );
+    }
+
+    #[test]
+    fn sharded_append_batch_and_deletes_stay_canonical() {
+        let mut t = sharded_table(3);
+        let big: Vec<Op> = (0..12)
+            .map(|i| {
+                Op::Insert(
+                    t.row_from_strs(&[&format!("x{i}"), &format!("c{}", i % 5)])
+                        .unwrap(),
+                )
+            })
+            .collect();
+        let (summary, _) = t.append_batch(&big).unwrap();
+        assert_eq!(summary.inserted, 12);
+        assert!(t.delete_row(&["s1", "c1"]).unwrap());
+        let fresh = nf2_core::nest::canonical_of_flat(&t.relation().expand(), t.order());
+        assert_eq!(&fresh, t.relation(), "merge cache tracks every mutation");
+        t.sharded().verify().unwrap();
+        // Per-shard cost breakdown sums to the total.
+        let breakdown = t.maintenance_breakdown();
+        let sum: u64 = breakdown.per_shard.iter().map(|c| c.candidate_probes).sum();
+        assert_eq!(sum, breakdown.total.candidate_probes);
+    }
+
+    #[test]
+    fn sharded_checkpoint_restores_spec_and_state() {
+        let dir = temp_dir("sharded_ckpt");
+        let mut t = sharded_table(3);
+        t.checkpoint(&dir).unwrap();
+        t.insert_row(&["s9", "c9"]).unwrap();
+        t.flush_wal(&dir).unwrap();
+        t.write_meta(&meta_path(&dir, "sc")).unwrap();
+        let reopened = NfTable::open(&dir, "sc", SharedDictionary::new()).unwrap();
+        assert_eq!(reopened.shard_count(), 3, "spec survives the round trip");
+        assert_eq!(reopened.shard_spec(), t.shard_spec());
+        assert_eq!(reopened.relation(), t.relation());
+        reopened.sharded().verify().unwrap();
     }
 
     #[test]

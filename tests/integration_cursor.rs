@@ -86,6 +86,63 @@ fn flat_rows_adapter_is_lazy_too() {
 }
 
 #[test]
+fn limit_terminates_the_pipeline_early() {
+    let mut engine = big_engine();
+    let mut session = engine.session();
+
+    // LIMIT 3 over a 1000-tuple table: the pull pipeline must stop
+    // asking the scan for tuples once the limit is satisfied, so the
+    // probe counter — charged per tuple actually yielded — stays at 3.
+    let before = session.engine().table("big").unwrap().stats();
+    let tuples: Vec<_> = session
+        .query("SELECT * FROM big LIMIT 3")
+        .unwrap()
+        .collect();
+    assert_eq!(tuples.len(), 3);
+    let after = session.engine().table("big").unwrap().stats();
+    assert_eq!(
+        after.units_probed - before.units_probed,
+        3,
+        "LIMIT 3 must pull exactly 3 tuples off the scan, not the whole \
+         relation"
+    );
+
+    // The one-shot run() path applies the same limit.
+    match session.run("SELECT * FROM big LIMIT 5").unwrap() {
+        nf2::query::Output::Relation { relation, .. } => {
+            assert_eq!(relation.tuple_count(), 5);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    let ran = session.engine().table("big").unwrap().stats();
+    assert_eq!(ran.units_probed - after.units_probed, 5);
+
+    // Aggregates are never truncated by LIMIT: COUNT(*) is one logical
+    // value, and its answer must not depend on the physical tuple
+    // layout (unsharded and sharded engines must agree).
+    match session.run("SELECT COUNT(*) FROM big LIMIT 1").unwrap() {
+        nf2::query::Output::Count(n) => assert_eq!(n, 100_000),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Prepared statements carry the limit in the cached plan.
+    let mut stmt = session
+        .prepare("SELECT * FROM big WHERE A = 'missing-value' LIMIT 2")
+        .unwrap();
+    let miss = stmt.query(&session, nf2::query::NO_PARAMS).unwrap();
+    assert_eq!(miss.count(), 0, "limit does not resurrect empty results");
+
+    // LIMIT 0 yields nothing and probes nothing.
+    let base = session.engine().table("big").unwrap().stats();
+    assert_eq!(
+        session.query("SELECT * FROM big LIMIT 0").unwrap().count(),
+        0
+    );
+    let zero = session.engine().table("big").unwrap().stats();
+    assert_eq!(zero.units_probed - base.units_probed, 0);
+}
+
+#[test]
 fn selective_cursor_streams_matches_and_counts() {
     let mut engine = big_engine();
     // Intern the predicate literal: bulk-loaded atoms are raw ids, so
