@@ -28,4 +28,7 @@ pub use ops::{
     unnest,
 };
 pub use optimize::{estimate, optimize, CostEstimate, Optimized, RewriteMode, SchemaCatalog};
-pub use stream::{eval_stream, JoinLayout, RelStream, StreamEnv, StreamSource, TupleIter};
+pub use stream::{
+    eval_stream, lazy_iter, AtomCmp, JoinLayout, RelStream, SortDir, StreamEnv, StreamSource,
+    TopKStats, TupleIter, TupleOrder,
+};

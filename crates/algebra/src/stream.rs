@@ -25,18 +25,158 @@
 //! [`NfRelation::from_disjoint_tuples`] instead of the quadratic
 //! validating constructor.
 
+use std::cmp::Ordering;
+use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
 
 use nf2_core::error::{NfError, Result};
 use nf2_core::relation::NfRelation;
 use nf2_core::schema::{NestOrder, Schema};
 use nf2_core::tuple::{NfTuple, TupleView, ValueSet};
+use nf2_core::value::Atom;
 
 use crate::expr::Expr;
 use crate::ops;
 
 /// A boxed pull-based tuple pipeline.
 pub type TupleIter<'a> = Box<dyn Iterator<Item = TupleView<'a>> + 'a>;
+
+/// Wraps a pipeline factory so the inner pipeline is built on the
+/// **first pull**, not when the enclosing plan is assembled.
+///
+/// Blocking operators (a join's build side, projection's input, a
+/// top-k's drain) do real work — scans included — the moment they are
+/// constructed. Deferring construction behind this adapter keeps the
+/// whole plan pull-driven end to end: a consumer that never asks for a
+/// tuple (`LIMIT 0`, an early-dropped cursor) never pays a single scan
+/// probe, whatever the plan shape.
+pub fn lazy_iter<'a>(make: impl FnOnce() -> TupleIter<'a> + 'a) -> TupleIter<'a> {
+    enum Lazy<'a> {
+        Pending(Option<Box<dyn FnOnce() -> TupleIter<'a> + 'a>>),
+        Running(TupleIter<'a>),
+    }
+    impl<'a> Iterator for Lazy<'a> {
+        type Item = TupleView<'a>;
+        fn next(&mut self) -> Option<TupleView<'a>> {
+            loop {
+                match self {
+                    Lazy::Running(iter) => return iter.next(),
+                    Lazy::Pending(make) => {
+                        let make = make.take().expect("pending state holds the factory");
+                        *self = Lazy::Running(make());
+                    }
+                }
+            }
+        }
+    }
+    Box::new(Lazy::Pending(Some(Box::new(make))))
+}
+
+/// Sort direction of an `ORDER BY` / top-k operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortDir {
+    /// Smallest key first.
+    Asc,
+    /// Largest key first.
+    Desc,
+}
+
+/// An atom comparator: how two attribute values rank against each other.
+///
+/// The algebra itself only sees opaque [`Atom`]s; a storage layer with a
+/// dictionary plugs in a comparator that ranks atoms by their *resolved*
+/// values (this is how `nf2-query` gives `ORDER BY` lexicographic string
+/// semantics instead of intern-order semantics).
+pub type AtomCmp = Arc<dyn Fn(Atom, Atom) -> Ordering + Send + Sync>;
+
+/// A total order on NF² tuples over one attribute — the key of the
+/// [`sorted`](RelStream::sorted) and [`top_k`](RelStream::top_k)
+/// operators.
+///
+/// An NF² tuple's component on the attribute is a *set*; the tuple's
+/// sort key is the set's **extreme member under the direction** — the
+/// minimum for [`SortDir::Asc`], the maximum for [`SortDir::Desc`] — so
+/// "top-k groups" ranks each group by its best value. Tuples with equal
+/// keys compare equal; both operators break such ties by stream
+/// position (stable), which is what makes `top_k(k)` tuple-identical to
+/// a stable full sort followed by `take(k)`.
+#[derive(Clone)]
+pub struct TupleOrder {
+    attr: usize,
+    dir: SortDir,
+    cmp: AtomCmp,
+}
+
+impl std::fmt::Debug for TupleOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TupleOrder")
+            .field("attr", &self.attr)
+            .field("dir", &self.dir)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TupleOrder {
+    /// Orders by raw atom id (dictionary intern order) — the right
+    /// choice when atoms *are* the values, as in the workload benches.
+    pub fn by_atom_id(attr: usize, dir: SortDir) -> Self {
+        Self::with_cmp(attr, dir, Arc::new(|a: Atom, b: Atom| a.id().cmp(&b.id())))
+    }
+
+    /// Orders with a caller-supplied atom comparator (`cmp` must be a
+    /// total order).
+    pub fn with_cmp(attr: usize, dir: SortDir, cmp: AtomCmp) -> Self {
+        TupleOrder { attr, dir, cmp }
+    }
+
+    /// The attribute being ordered on.
+    pub fn attr(&self) -> usize {
+        self.attr
+    }
+
+    /// The direction.
+    pub fn dir(&self) -> SortDir {
+        self.dir
+    }
+
+    /// The tuple's sort key: the extreme member of its component under
+    /// the direction (min for ASC, max for DESC).
+    pub fn key_of(&self, t: &NfTuple) -> Atom {
+        let comp = t.component(self.attr).as_slice();
+        let mut best = comp[0];
+        for &v in &comp[1..] {
+            let better = match self.dir {
+                SortDir::Asc => (self.cmp)(v, best) == Ordering::Less,
+                SortDir::Desc => (self.cmp)(v, best) == Ordering::Greater,
+            };
+            if better {
+                best = v;
+            }
+        }
+        best
+    }
+
+    /// Compares two already-extracted keys in *emission* order (the
+    /// direction folded in): `Less` means "emitted first".
+    pub fn cmp_keys(&self, a: Atom, b: Atom) -> Ordering {
+        match self.dir {
+            SortDir::Asc => (self.cmp)(a, b),
+            SortDir::Desc => (self.cmp)(b, a),
+        }
+    }
+}
+
+/// Observable counters of one [`top_k`](RelStream::top_k) execution:
+/// how many tuples the operator pulled from its input and the largest
+/// number it ever held at once (`≤ k` by construction — this is the
+/// bounded-memory claim, pinned by tests and the E19 experiment).
+#[derive(Debug, Default)]
+pub struct TopKStats {
+    /// Tuples pulled from the input stream.
+    pub pulled: AtomicUsize,
+    /// Peak number of tuples retained in the heap.
+    pub peak_retained: AtomicUsize,
+}
 
 /// A streamed relation: the schema plus a lazily-evaluated tuple pipeline.
 pub struct RelStream<'a> {
@@ -116,6 +256,102 @@ impl<'a> RelStream<'a> {
     pub fn flat_count(self) -> u128 {
         self.iter.map(|t| t.expansion_count()).sum()
     }
+
+    /// Blocking sort by `order` (stable: equal keys keep their stream
+    /// order). The input is drained on the **first pull**, not at
+    /// construction, so an unconsumed sorted stream costs nothing.
+    pub fn sorted(self, order: TupleOrder) -> RelStream<'a> {
+        let RelStream { schema, iter } = self;
+        let out = lazy_iter(move || {
+            let mut entries: Vec<(Atom, usize, TupleView<'a>)> = iter
+                .enumerate()
+                .map(|(seq, t)| (order.key_of(t.as_tuple()), seq, t))
+                .collect();
+            entries.sort_by(|(ka, sa, _), (kb, sb, _)| order.cmp_keys(*ka, *kb).then(sa.cmp(sb)));
+            Box::new(entries.into_iter().map(|(_, _, t)| t)) as TupleIter<'a>
+        });
+        RelStream::new(schema, out)
+    }
+
+    /// Streaming top-k: the first `k` tuples of [`sorted`](Self::sorted)
+    /// — tuple-identical, ties included — computed with a **bounded
+    /// binary heap** that pulls the input exactly once and retains at
+    /// most `k` tuples at any moment (never the full input). `k = 0`
+    /// yields nothing and pulls nothing. Work happens on the first pull.
+    pub fn top_k(self, order: TupleOrder, k: usize) -> RelStream<'a> {
+        self.top_k_with_stats(order, k, Arc::new(TopKStats::default()))
+    }
+
+    /// [`top_k`](Self::top_k) with shared counters: `stats` records the
+    /// tuples pulled and the peak heap occupancy (`≤ k`), which is how
+    /// tests and the E19 experiment pin the bounded-memory claim.
+    pub fn top_k_with_stats(
+        self,
+        order: TupleOrder,
+        k: usize,
+        stats: Arc<TopKStats>,
+    ) -> RelStream<'a> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let RelStream { schema, iter } = self;
+        if k == 0 {
+            // Nothing can survive the limit: do not even build the
+            // upstream pipeline (no scan probes — the LIMIT 0 tests pin
+            // this across plan shapes).
+            return RelStream::empty(schema);
+        }
+        let out = lazy_iter(move || {
+            // Max-heap with the *worst* retained entry at the root
+            // ("worst" = latest in emission order), so a better incoming
+            // tuple evicts it in O(log k).
+            let mut heap: Vec<(Atom, usize, TupleView<'a>)> = Vec::with_capacity(k.min(1024));
+            let worse = |a: &(Atom, usize, TupleView<'a>), b: &(Atom, usize, TupleView<'a>)| {
+                order.cmp_keys(a.0, b.0).then(a.1.cmp(&b.1)) == Ordering::Greater
+            };
+            for (seq, t) in iter.enumerate() {
+                stats.pulled.fetch_add(1, Relaxed);
+                let entry = (order.key_of(t.as_tuple()), seq, t);
+                if heap.len() < k {
+                    // Sift up.
+                    heap.push(entry);
+                    let mut i = heap.len() - 1;
+                    while i > 0 {
+                        let parent = (i - 1) / 2;
+                        if worse(&heap[i], &heap[parent]) {
+                            heap.swap(i, parent);
+                            i = parent;
+                        } else {
+                            break;
+                        }
+                    }
+                    stats.peak_retained.fetch_max(heap.len(), Relaxed);
+                } else if worse(&heap[0], &entry) {
+                    // Replace the root and sift down. (A later tuple with
+                    // an equal key is *worse* — larger seq — so ties
+                    // never evict, exactly like a stable sort.)
+                    heap[0] = entry;
+                    let mut i = 0;
+                    loop {
+                        let (l, r) = (2 * i + 1, 2 * i + 2);
+                        let mut biggest = i;
+                        if l < heap.len() && worse(&heap[l], &heap[biggest]) {
+                            biggest = l;
+                        }
+                        if r < heap.len() && worse(&heap[r], &heap[biggest]) {
+                            biggest = r;
+                        }
+                        if biggest == i {
+                            break;
+                        }
+                        heap.swap(i, biggest);
+                        i = biggest;
+                    }
+                }
+            }
+            heap.sort_by(|(ka, sa, _), (kb, sb, _)| order.cmp_keys(*ka, *kb).then(sa.cmp(sb)));
+            Box::new(heap.into_iter().map(|(_, _, t)| t)) as TupleIter<'a>
+        });
+        RelStream::new(schema, out)
+    }
 }
 
 impl<'a> Iterator for RelStream<'a> {
@@ -128,9 +364,16 @@ impl<'a> Iterator for RelStream<'a> {
 
 /// One named streaming source: a schema plus a factory producing a fresh
 /// scan on demand (a relation referenced twice in a plan scans twice).
+/// Sharded sources may additionally carry a **pruned**-scan factory
+/// (see [`StreamEnv::insert_sharded_relations_routed`]).
 pub struct StreamSource<'a> {
     schema: Arc<Schema>,
     scan: Box<dyn Fn() -> TupleIter<'a> + 'a>,
+    /// `(routing attribute, factory)`: given the selection's allowed
+    /// value set on that attribute, produce a scan covering only the
+    /// shards those values route to.
+    #[allow(clippy::type_complexity)]
+    pruned: Option<(usize, Box<dyn Fn(&ValueSet) -> TupleIter<'a> + 'a>)>,
 }
 
 impl std::fmt::Debug for StreamSource<'_> {
@@ -195,6 +438,53 @@ impl<'a> StreamEnv<'a> {
         });
     }
 
+    /// [`insert_sharded_relations`](Self::insert_sharded_relations) plus
+    /// the router the shards were partitioned by — which unlocks **shard
+    /// pruning**: when [`eval_stream`] meets a box selection directly
+    /// over this source whose conjunct constrains the routing attribute,
+    /// the scan covers only the shards the allowed values route to, and
+    /// the other shards are never touched at all.
+    ///
+    /// `shards[i]` must hold exactly the rows `router` sends to shard
+    /// `i` (the invariant the sharded store maintains by construction).
+    pub fn insert_sharded_relations_routed(
+        &mut self,
+        name: impl Into<String>,
+        schema: Arc<Schema>,
+        shards: Vec<&'a NfRelation>,
+        router: nf2_core::shard::ShardRouter,
+    ) {
+        let name = name.into();
+        let all = shards.clone();
+        self.insert_source(name.clone(), schema, move || {
+            let all = all.clone();
+            Box::new(
+                all.into_iter()
+                    .flat_map(|rel| rel.tuples().iter().map(TupleView::Borrowed)),
+            )
+        });
+        if let Some(attr) = router.attr() {
+            let slot = self
+                .sources
+                .iter_mut()
+                .rev()
+                .find(|(n, _)| *n == name)
+                .expect("just inserted");
+            slot.1.pruned = Some((
+                attr,
+                Box::new(move |values: &ValueSet| {
+                    let keep = router.shards_for_values(values.as_slice());
+                    let shards = shards.clone();
+                    Box::new(
+                        keep.into_iter()
+                            .filter_map(move |i| shards.get(i).copied())
+                            .flat_map(|rel| rel.tuples().iter().map(TupleView::Borrowed)),
+                    )
+                }),
+            ));
+        }
+    }
+
     /// Registers an arbitrary scan factory under `name` (replacing any
     /// previous source of that name).
     pub fn insert_source(
@@ -207,6 +497,7 @@ impl<'a> StreamEnv<'a> {
         let source = StreamSource {
             schema,
             scan: Box::new(scan),
+            pruned: None,
         };
         match self.sources.iter_mut().find(|(n, _)| *n == name) {
             Some(slot) => slot.1 = source,
@@ -237,7 +528,31 @@ pub fn eval_stream<'a>(expr: &Expr, env: &StreamEnv<'a>) -> Result<RelStream<'a>
             Ok(RelStream::new(source.schema.clone(), (source.scan)()))
         }
         Expr::SelectBox { input, constraints } => {
-            let child = eval_stream(input, env)?;
+            let child = match input.as_ref() {
+                // Selection directly over a routed sharded source: let
+                // the source skip the shards no allowed value routes to.
+                // The selection below still filters tuple-by-tuple, so
+                // this only removes provably-empty work.
+                Expr::Rel(name) => {
+                    let source = env.get(name)?;
+                    let schema = source.schema.clone();
+                    let pruned = source.pruned.as_ref().and_then(|(attr, make)| {
+                        constraints
+                            .iter()
+                            .find(|(name, _)| schema.attr_id(name) == Ok(*attr))
+                            .map(|(_, values)| {
+                                let set = ValueSet::new(values.clone())
+                                    .ok_or(NfError::EmptyValueSet { attr: *attr })?;
+                                Ok(make(&set))
+                            })
+                    });
+                    match pruned {
+                        Some(iter) => RelStream::new(schema, iter?),
+                        None => eval_stream(input, env)?,
+                    }
+                }
+                _ => eval_stream(input, env)?,
+            };
             let schema = child.schema.clone();
             let resolved = constraints
                 .iter()
@@ -678,6 +993,220 @@ mod tests {
         let strict = expr.eval(&whole).unwrap();
         let streamed = eval_stream(&expr, &env).unwrap().into_relation().unwrap();
         assert_eq!(strict.expand(), streamed.expand());
+    }
+
+    /// Sort-then-truncate oracle for the top-k operator, sharing the
+    /// exact key/tie rules.
+    fn sort_truncate(rel: &NfRelation, order: &TupleOrder, k: usize) -> Vec<NfTuple> {
+        let mut keyed: Vec<(Atom, usize, NfTuple)> = rel
+            .tuples()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (order.key_of(t), i, t.clone()))
+            .collect();
+        keyed.sort_by(|(ka, sa, _), (kb, sb, _)| order.cmp_keys(*ka, *kb).then(sa.cmp(sb)));
+        keyed.into_iter().take(k).map(|(_, _, t)| t).collect()
+    }
+
+    #[test]
+    fn sorted_is_a_stable_full_sort() {
+        let rel = sc();
+        for dir in [SortDir::Asc, SortDir::Desc] {
+            for attr in 0..2 {
+                let order = TupleOrder::by_atom_id(attr, dir);
+                let got: Vec<NfTuple> = RelStream::scan(&rel)
+                    .sorted(order.clone())
+                    .map(TupleView::into_owned)
+                    .collect();
+                assert_eq!(
+                    got,
+                    sort_truncate(&rel, &order, usize::MAX),
+                    "{attr} {dir:?}"
+                );
+                // Keys are monotone in emission order.
+                for w in got.windows(2) {
+                    assert_ne!(
+                        order.cmp_keys(order.key_of(&w[0]), order.key_of(&w[1])),
+                        std::cmp::Ordering::Greater
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_equals_sort_then_truncate_and_stays_bounded() {
+        let rel = sc();
+        for dir in [SortDir::Asc, SortDir::Desc] {
+            for attr in 0..2 {
+                for k in 0..=rel.tuple_count() + 1 {
+                    let order = TupleOrder::by_atom_id(attr, dir);
+                    let stats = Arc::new(TopKStats::default());
+                    let got: Vec<NfTuple> = RelStream::scan(&rel)
+                        .top_k_with_stats(order.clone(), k, stats.clone())
+                        .map(TupleView::into_owned)
+                        .collect();
+                    assert_eq!(got, sort_truncate(&rel, &order, k), "attr {attr} k {k}");
+                    let peak = stats
+                        .peak_retained
+                        .load(std::sync::atomic::Ordering::Relaxed);
+                    assert!(peak <= k, "heap bound: retained {peak} > k {k}");
+                    let pulled = stats.pulled.load(std::sync::atomic::Ordering::Relaxed);
+                    if k == 0 {
+                        assert_eq!(pulled, 0, "k = 0 must not pull the input at all");
+                    } else {
+                        assert_eq!(pulled, rel.tuple_count(), "input pulled exactly once");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_ties_are_stable() {
+        // Three tuples share Course=10 on attr 1 after a custom build:
+        // the kept prefix must preserve stream order among equal keys.
+        let schema = Schema::new("T", &["A", "B"]).unwrap();
+        let tuples: Vec<NfTuple> = [(1u32, 10u32), (2, 10), (3, 10), (4, 5)]
+            .iter()
+            .map(|&(a, b)| NfTuple::from_flat(&[Atom(a), Atom(b)]))
+            .collect();
+        let rel = NfRelation::from_disjoint_tuples(schema, tuples).unwrap();
+        let order = TupleOrder::by_atom_id(1, SortDir::Asc);
+        let got: Vec<NfTuple> = RelStream::scan(&rel)
+            .top_k(order.clone(), 3)
+            .map(TupleView::into_owned)
+            .collect();
+        assert_eq!(got, sort_truncate(&rel, &order, 3));
+        // (4,5) first (smallest B), then (1,10) and (2,10) in stream order.
+        assert_eq!(got[0].component(0).as_slice(), [Atom(4)]);
+        assert_eq!(got[1].component(0).as_slice(), [Atom(1)]);
+        assert_eq!(got[2].component(0).as_slice(), [Atom(2)]);
+    }
+
+    #[test]
+    fn tuple_order_keys_use_the_set_extreme() {
+        // A set-valued component ranks by its min (ASC) / max (DESC).
+        let t = NfTuple::new(vec![
+            ValueSet::new(vec![Atom(5), Atom(2), Atom(9)]).unwrap(),
+            ValueSet::singleton(Atom(1)),
+        ]);
+        assert_eq!(TupleOrder::by_atom_id(0, SortDir::Asc).key_of(&t), Atom(2));
+        assert_eq!(TupleOrder::by_atom_id(0, SortDir::Desc).key_of(&t), Atom(9));
+    }
+
+    #[test]
+    fn custom_comparator_reorders_atoms() {
+        // Reverse-id comparator: ASC under it is DESC by id.
+        let rel = sc();
+        let cmp: AtomCmp = Arc::new(|a: Atom, b: Atom| b.id().cmp(&a.id()));
+        let order = TupleOrder::with_cmp(0, SortDir::Asc, cmp);
+        let got: Vec<NfTuple> = RelStream::scan(&rel)
+            .sorted(order)
+            .map(TupleView::into_owned)
+            .collect();
+        let by_id_desc: Vec<NfTuple> = RelStream::scan(&rel)
+            .sorted(TupleOrder::by_atom_id(0, SortDir::Desc))
+            .map(TupleView::into_owned)
+            .collect();
+        assert_eq!(got, by_id_desc);
+    }
+
+    #[test]
+    fn lazy_iter_defers_construction_until_first_pull() {
+        let built = std::cell::Cell::new(false);
+        let mut it = lazy_iter(|| {
+            built.set(true);
+            Box::new(std::iter::empty())
+        });
+        assert!(!built.get(), "construction must not run the factory");
+        assert!(it.next().is_none());
+        assert!(built.get());
+        // And an unpulled sorted/top-k stream does no work either.
+        let rel = sc();
+        let pulls = std::cell::Cell::new(0usize);
+        let counted: TupleIter<'_> =
+            Box::new(rel.tuples().iter().map(TupleView::Borrowed).inspect(|_| {
+                pulls.set(pulls.get() + 1);
+            }));
+        let stream = RelStream::new(rel.schema().clone(), counted)
+            .sorted(TupleOrder::by_atom_id(0, SortDir::Asc));
+        drop(stream);
+        assert_eq!(pulls.get(), 0, "dropped-before-pull sort reads nothing");
+    }
+
+    #[test]
+    fn routed_sharded_sources_prune_non_matching_shards() {
+        use nf2_core::relation::FlatRelation;
+        use nf2_core::shard::{ShardRouter, ShardSpec};
+
+        // Partition sc() on Course (P(n−1) under the identity order).
+        let rel = sc();
+        let order = NestOrder::identity(2);
+        let router = ShardRouter::new(ShardSpec::hash(3).unwrap(), &order);
+        let mut parts: Vec<Vec<Vec<Atom>>> = vec![Vec::new(); 3];
+        for row in rel.expand().rows() {
+            parts[router.route_row(row)].push(row.clone());
+        }
+        let target = Atom(10); // Course = 10
+        let home = router.spec().route_value(target);
+        // White-box probe: plant a decoy (99, 10) in a shard the value
+        // does NOT route to. A pruned scan never reaches that shard, so
+        // the decoy stays invisible — which is exactly the claim that
+        // non-matching shards are skipped entirely, not filtered.
+        let decoy_shard = (home + 1) % 3;
+        parts[decoy_shard].push(vec![Atom(99), target]);
+        let shards: Vec<NfRelation> = parts
+            .into_iter()
+            .map(|rows| {
+                let flat = FlatRelation::from_rows(rel.schema().clone(), rows).unwrap();
+                nf2_core::nest::canonical_of_flat(&flat, &order)
+            })
+            .collect();
+        let expr = Expr::SelectBox {
+            input: Box::new(Expr::rel("sc")),
+            constraints: vec![("Course".into(), vec![target])],
+        };
+
+        // Routed source: the decoy's shard is pruned away.
+        let mut env = StreamEnv::new();
+        env.insert_sharded_relations_routed(
+            "sc",
+            rel.schema().clone(),
+            shards.iter().collect(),
+            router.clone(),
+        );
+        let pruned = eval_stream(&expr, &env).unwrap().into_relation().unwrap();
+        assert!(
+            !pruned.expand().rows().any(|r| r[0] == Atom(99)),
+            "the decoy shard must never be scanned"
+        );
+        // On correctly-routed data (no decoy) the pruned result equals
+        // the strict evaluation over the whole relation.
+        let mut whole = Env::new();
+        whole.insert("sc", rel.clone());
+        assert_eq!(
+            pruned.expand().into_rows(),
+            expr.eval(&whole).unwrap().expand().into_rows()
+        );
+
+        // The plain (router-less) sharded source scans everything and
+        // does see the decoy — the difference IS the pruning.
+        let mut env = StreamEnv::new();
+        env.insert_sharded_relations("sc", rel.schema().clone(), shards.iter().collect());
+        let unpruned = eval_stream(&expr, &env).unwrap().into_relation().unwrap();
+        assert!(unpruned.expand().rows().any(|r| r[0] == Atom(99)));
+
+        // A full scan of the routed source still covers every shard.
+        let mut env = StreamEnv::new();
+        env.insert_sharded_relations_routed(
+            "sc",
+            rel.schema().clone(),
+            shards.iter().collect(),
+            router,
+        );
+        let all = eval_stream(&Expr::rel("sc"), &env).unwrap();
+        assert_eq!(all.flat_count(), rel.flat_count() + 1);
     }
 
     #[test]

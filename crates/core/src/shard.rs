@@ -157,6 +157,27 @@ impl ShardRouter {
             None => 0,
         }
     }
+
+    /// The set of shards (sorted, deduplicated) that can hold any row
+    /// whose outermost-attribute value lies in `values` — the predicate
+    /// side of shard pruning: a selection that fixes `P(n−1)` to this
+    /// value set can skip every other shard entirely, because routing is
+    /// value-based and every atom in a shard's tuples routes to that
+    /// shard. An empty value set prunes everything. Works for hash and
+    /// range specs alike (under a range spec a contiguous value interval
+    /// maps to a contiguous shard interval).
+    pub fn shards_for_values(&self, values: &[Atom]) -> Vec<usize> {
+        match self.attr {
+            Some(_) => {
+                let mut out: Vec<usize> =
+                    values.iter().map(|&v| self.spec.route_value(v)).collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+            None => vec![0],
+        }
+    }
 }
 
 /// §4 maintenance cost aggregated across shards, with the per-shard

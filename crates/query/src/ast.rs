@@ -113,6 +113,42 @@ impl Predicate {
     }
 }
 
+/// `ORDER BY` direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderDir {
+    /// Ascending (the default, as in SQL).
+    #[default]
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// An `ORDER BY attr [ASC|DESC]` tail on a SELECT.
+///
+/// NF² result tuples carry *sets*; a tuple ranks by the extreme member
+/// of its `attr` component under the direction (its minimum for `ASC`,
+/// maximum for `DESC`), values compared by their string form. Ties keep
+/// the pipeline's order (stable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderBy {
+    /// The attribute ordered on (must be in the result schema).
+    pub attr: String,
+    /// Direction; defaults to [`OrderDir::Asc`] when unwritten.
+    pub dir: OrderDir,
+}
+
+impl fmt::Display for OrderBy {
+    /// SQL form; `ASC` is the parse default and stays implicit, so the
+    /// round-trip re-parses to the same tree.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ORDER BY {}", self.attr)?;
+        if self.dir == OrderDir::Desc {
+            write!(f, " DESC")?;
+        }
+        Ok(())
+    }
+}
+
 /// Projection target.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Projection {
@@ -174,7 +210,8 @@ pub enum Statement {
         /// Conjunctive predicates.
         predicates: Vec<Predicate>,
     },
-    /// `SELECT a, b FROM name [JOIN t1 [JOIN t2 …]] [WHERE …] [LIMIT n]`
+    /// `SELECT a, b FROM name [JOIN t1 [JOIN t2 …]] [WHERE …]
+    /// [ORDER BY x [ASC|DESC]] [LIMIT n]`
     Select {
         /// Projection list (attributes or an aggregate).
         projection: Projection,
@@ -185,12 +222,19 @@ pub enum Statement {
         joins: Vec<String>,
         /// Conjunctive predicates.
         predicates: Vec<Predicate>,
+        /// `ORDER BY attr [ASC|DESC]`: sorts the result stream. With a
+        /// `LIMIT n` the two fold into one streaming **top-k** operator
+        /// (a bounded heap retaining ≤ n tuples); alone it is a blocking
+        /// sort. Aggregate projections ignore it — their one logical
+        /// value has no order.
+        order_by: Option<OrderBy>,
         /// `LIMIT n`: stop the cursor pipeline after `n` NF² tuples —
         /// upstream operators stop being pulled, so a satisfied limit
-        /// never scans the rest of its inputs. As in SQL without an
-        /// `ORDER BY`, *which* prefix is returned is unspecified (it
+        /// never scans the rest of its inputs. As in SQL, without an
+        /// `ORDER BY` *which* prefix is returned is unspecified (it
         /// follows physical tuple order, which varies with the table's
-        /// shard layout). Aggregate projections ignore the limit: they
+        /// shard layout); with one, it is the top-k prefix of the
+        /// ordered stream. Aggregate projections ignore the limit: they
         /// produce one logical value, which a row limit cannot truncate.
         limit: Option<usize>,
     },
@@ -428,6 +472,7 @@ impl fmt::Display for Statement {
                 table,
                 joins,
                 predicates,
+                order_by,
                 limit,
             } => {
                 write!(f, "SELECT {projection} FROM {table}")?;
@@ -435,6 +480,9 @@ impl fmt::Display for Statement {
                     write!(f, " JOIN {j}")?;
                 }
                 write_where(f, predicates)?;
+                if let Some(order) = order_by {
+                    write!(f, " {order}")?;
+                }
                 if let Some(n) = limit {
                     write!(f, " LIMIT {n}")?;
                 }
@@ -548,6 +596,7 @@ mod tests {
                     values: vec!["lit".into(), Value::Param(1)],
                 },
             ],
+            order_by: None,
             limit: None,
         };
         assert_eq!(stmt.param_count(), 2);
@@ -632,6 +681,7 @@ mod tests {
                     values: vec!["it's".into()],
                 },
             ],
+            order_by: None,
             limit: None,
         };
         assert_eq!(

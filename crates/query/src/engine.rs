@@ -39,7 +39,8 @@ use crate::prepare::{execute_select, Param, Prepared, SelectPlan};
 ///
 /// let engine = Engine::builder()
 ///     .wal_autoflush(false)
-///     .build();
+///     .build()
+///     .expect("valid configuration");
 /// assert_eq!(engine.ddl_epoch(), 0);
 /// ```
 #[derive(Debug, Default, Clone)]
@@ -59,11 +60,15 @@ impl EngineBuilder {
     }
 
     /// Number of shards `CREATE TABLE` partitions new tables into
-    /// (hash-partitioned on the outermost nest attribute). Defaults to
-    /// the `NF2_SHARDS` environment variable, or 1 (unsharded). Values
-    /// below 1 are clamped to 1.
+    /// (hash-partitioned on the outermost nest attribute). Overrides the
+    /// `NF2_SHARDS` environment variable; defaults to 1 (unsharded).
+    ///
+    /// The count is validated by [`build`](Self::build): `shards(0)` is
+    /// an [`NfError::InvalidShardSpec`](nf2_core::NfError::InvalidShardSpec)
+    /// there, not a silent clamp (and not a panic later inside the shard
+    /// router).
     pub fn shards(mut self, shards: usize) -> Self {
-        self.shards = Some(shards.max(1));
+        self.shards = Some(shards);
         self
     }
 
@@ -82,20 +87,27 @@ impl EngineBuilder {
         self
     }
 
-    /// Builds the engine.
-    pub fn build(self) -> Engine {
+    /// Builds the engine, validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// An explicit [`shards(0)`](Self::shards), or an `NF2_SHARDS`
+    /// environment value that is `0` or not a number, surfaces as
+    /// [`NfError::InvalidShardSpec`](nf2_core::NfError::InvalidShardSpec)
+    /// here — at configuration time, where it is actionable — instead of
+    /// being clamped or panicking inside `ShardRouter` at the first
+    /// `CREATE TABLE`.
+    pub fn build(self) -> Result<Engine, QueryError> {
         use std::sync::atomic::{AtomicU64, Ordering};
         static NEXT_ID: AtomicU64 = AtomicU64::new(0);
-        let shards = self
-            .shards
-            .or_else(|| {
-                std::env::var("NF2_SHARDS")
-                    .ok()
-                    .and_then(|s| s.parse().ok())
-            })
-            .unwrap_or(1)
-            .max(1);
-        Engine {
+        let shards = match self.shards {
+            Some(n) => n,
+            None => parse_shards_env(std::env::var("NF2_SHARDS").ok().as_deref())?,
+        };
+        // Validate through the spec constructor itself, so builder-time
+        // and storage-time shard rules cannot drift apart.
+        nf2_core::shard::ShardSpec::hash(shards)?;
+        Ok(Engine {
             dict: SharedDictionary::new(),
             tables: BTreeMap::new(),
             instance_id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
@@ -104,7 +116,23 @@ impl EngineBuilder {
             wal_autoflush: self.wal_autoflush,
             rewrite_mode: self.rewrite_mode.unwrap_or(RewriteMode::Structural),
             default_shards: shards,
-        }
+        })
+    }
+}
+
+/// Parses the `NF2_SHARDS` default shard count. `None` (unset) means 1;
+/// anything set must be a positive integer — garbage and `0` are
+/// configuration errors, not silent fallbacks.
+fn parse_shards_env(raw: Option<&str>) -> Result<usize, QueryError> {
+    let Some(raw) = raw else { return Ok(1) };
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        Ok(n) => Err(QueryError::Model(nf2_core::NfError::InvalidShardSpec(
+            format!("NF2_SHARDS={n}: shard count must be at least 1"),
+        ))),
+        Err(_) => Err(QueryError::Model(nf2_core::NfError::InvalidShardSpec(
+            format!("NF2_SHARDS={raw:?} is not a shard count"),
+        ))),
     }
 }
 
@@ -130,15 +158,25 @@ pub struct Engine {
 }
 
 impl Default for Engine {
+    /// Same as [`Engine::new`], panics included.
     fn default() -> Self {
-        Engine::builder().build()
+        Engine::new()
     }
 }
 
 impl Engine {
     /// An in-memory engine with default configuration.
+    ///
+    /// # Panics
+    ///
+    /// If the `NF2_SHARDS` environment variable holds an invalid shard
+    /// count (`0` or not a number). Use
+    /// `Engine::builder().build()` to handle that configuration error as
+    /// a `Result` instead.
     pub fn new() -> Self {
-        Self::default()
+        Engine::builder()
+            .build()
+            .expect("NF2_SHARDS must be a positive shard count")
     }
 
     /// Starts configuring an engine.
@@ -320,6 +358,7 @@ impl<'e> Session<'e> {
             table,
             joins,
             predicates,
+            order_by,
             limit,
         } = stmt
         else {
@@ -327,8 +366,15 @@ impl<'e> Session<'e> {
                 "query() accepts SELECT statements only; use run() for the rest".into(),
             ));
         };
-        let mut plan =
-            SelectPlan::build(self.engine, projection, table, joins, &predicates, limit)?;
+        let mut plan = SelectPlan::build(
+            self.engine,
+            projection,
+            table,
+            joins,
+            &predicates,
+            order_by,
+            limit,
+        )?;
         plan.cursor::<Param>(self.engine, &[])
     }
 
@@ -423,10 +469,18 @@ impl<'e> Session<'e> {
                 table,
                 joins,
                 predicates,
+                order_by,
                 limit,
             } => {
-                let mut plan =
-                    SelectPlan::build(self.engine, projection, table, joins, &predicates, limit)?;
+                let mut plan = SelectPlan::build(
+                    self.engine,
+                    projection,
+                    table,
+                    joins,
+                    &predicates,
+                    order_by,
+                    limit,
+                )?;
                 execute_select::<Param>(self.engine, &mut plan, &[])
             }
             Statement::Explain { inner, optimized } => {
@@ -435,6 +489,7 @@ impl<'e> Session<'e> {
                     table,
                     joins,
                     predicates,
+                    order_by,
                     limit,
                 } = *inner
                 else {
@@ -442,8 +497,15 @@ impl<'e> Session<'e> {
                         "EXPLAIN supports SELECT statements only".into(),
                     ));
                 };
-                let plan =
-                    SelectPlan::build(self.engine, projection, table, joins, &predicates, limit)?;
+                let plan = SelectPlan::build(
+                    self.engine,
+                    projection,
+                    table,
+                    joins,
+                    &predicates,
+                    order_by,
+                    limit,
+                )?;
                 let Some(text) = plan.explain::<Param>(self.engine, &[], optimized)? else {
                     return Ok(Output::Message(
                         "plan: <empty result — predicate value never interned>".to_owned(),
@@ -822,7 +884,8 @@ mod tests {
         let engine = Engine::builder()
             .rewrite_mode(RewriteMode::Structural)
             .wal_autoflush(true)
-            .build();
+            .build()
+            .unwrap();
         assert_eq!(engine.rewrite_mode(), RewriteMode::Structural);
         assert_eq!(engine.ddl_epoch(), 0);
         assert!(engine.table("sc").is_err());
@@ -830,7 +893,7 @@ mod tests {
 
     #[test]
     fn builder_shards_partition_created_tables() {
-        let mut engine = Engine::builder().shards(4).build();
+        let mut engine = Engine::builder().shards(4).build().unwrap();
         assert_eq!(engine.default_shards(), 4);
         let mut session = engine.session();
         session
@@ -855,7 +918,7 @@ mod tests {
         }
         // relation() serves the exact canonical form: identical to an
         // unsharded engine fed the same script.
-        let mut plain = Engine::builder().shards(1).build();
+        let mut plain = Engine::builder().shards(1).build().unwrap();
         plain
             .session()
             .run_script(
@@ -866,6 +929,45 @@ mod tests {
         assert_eq!(
             session.engine().table("sc").unwrap().relation(),
             plain.table("sc").unwrap().relation()
+        );
+    }
+
+    #[test]
+    fn zero_shards_is_a_builder_error_not_a_clamp() {
+        // shards(0) used to clamp to 1 silently; it must surface the
+        // shard subsystem's own error at configuration time.
+        match Engine::builder().shards(0).build() {
+            Err(QueryError::Model(nf2_core::NfError::InvalidShardSpec(_))) => {}
+            other => panic!("expected InvalidShardSpec, got {other:?}"),
+        }
+        assert!(Engine::builder().shards(1).build().is_ok());
+        assert!(Engine::builder().shards(7).build().is_ok());
+    }
+
+    #[test]
+    fn nf2_shards_env_values_are_validated() {
+        // Hermetic: the parser is exercised with explicit strings so the
+        // test never mutates the process environment other tests read.
+        assert_eq!(super::parse_shards_env(None).unwrap(), 1);
+        assert_eq!(super::parse_shards_env(Some("4")).unwrap(), 4);
+        assert_eq!(super::parse_shards_env(Some(" 2 ")).unwrap(), 2, "trimmed");
+        for garbage in ["0", "", "abc", "-3", "1.5", "4x"] {
+            match super::parse_shards_env(Some(garbage)) {
+                Err(QueryError::Model(nf2_core::NfError::InvalidShardSpec(msg))) => {
+                    assert!(msg.contains("NF2_SHARDS"), "{msg}");
+                }
+                other => panic!("NF2_SHARDS={garbage:?} must error, got {other:?}"),
+            }
+        }
+        // An explicit builder count wins over whatever the env says —
+        // the validated path is the one that reads the env.
+        assert_eq!(
+            Engine::builder()
+                .shards(3)
+                .build()
+                .unwrap()
+                .default_shards(),
+            3
         );
     }
 
@@ -961,6 +1063,46 @@ mod tests {
     }
 
     #[test]
+    fn rollback_refreshes_the_merged_relation_cache() {
+        // Regression: on a multi-shard table, the compensating undo
+        // mutations a ROLLBACK replays must invalidate the lazily-merged
+        // relation() cache like any forward mutation — reading inside
+        // the transaction (which fills the cache with mid-txn state)
+        // must not leave a stale merge behind after the rollback.
+        let mut engine = Engine::builder().shards(4).build().unwrap();
+        let mut session = engine.session();
+        session
+            .run_script(
+                "CREATE TABLE sc (Student, Course);
+                 INSERT INTO sc VALUES ('s1','c1'), ('s2','c1'), ('s1','c2'), ('s3','c3');",
+            )
+            .unwrap();
+        let before = session.engine().table("sc").unwrap().relation().clone();
+        session.run("BEGIN").unwrap();
+        session
+            .run("INSERT INTO sc VALUES ('s9','c9'), ('s9','c1')")
+            .unwrap();
+        session
+            .run("UPDATE sc SET Course = 'c7' WHERE Student = 's1'")
+            .unwrap();
+        session.run("DELETE FROM sc WHERE Student = 's2'").unwrap();
+        // Fill the merged cache with the mid-transaction state.
+        let inside = session.engine().table("sc").unwrap().relation().clone();
+        assert_ne!(inside, before, "txn state visible inside the txn");
+        session.run("ROLLBACK").unwrap();
+        let t = session.engine().table("sc").unwrap();
+        assert_eq!(
+            t.relation(),
+            &before,
+            "relation() after ROLLBACK must re-merge, not serve the \
+             mid-transaction cache"
+        );
+        // And the served form is the exact canonical form of its rows.
+        let fresh = nf2_core::nest::canonical_of_flat(&t.relation().expand(), t.order());
+        assert_eq!(t.relation(), &fresh);
+    }
+
+    #[test]
     fn checkpoint_requires_data_dir() {
         let mut engine = seeded_engine();
         assert!(matches!(engine.checkpoint(), Err(QueryError::Semantic(_))));
@@ -989,7 +1131,11 @@ mod tests {
         let dir = std::env::temp_dir().join("nf2_engine_rollback_wal");
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
-        let mut engine = Engine::builder().data_dir(&dir).wal_autoflush(true).build();
+        let mut engine = Engine::builder()
+            .data_dir(&dir)
+            .wal_autoflush(true)
+            .build()
+            .unwrap();
         let mut session = engine.session();
         session.run("CREATE TABLE t (A, B)").unwrap();
         session.run("BEGIN").unwrap();
@@ -1011,7 +1157,11 @@ mod tests {
         let dir = std::env::temp_dir().join("nf2_engine_ckpt");
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
-        let mut engine = Engine::builder().data_dir(&dir).wal_autoflush(true).build();
+        let mut engine = Engine::builder()
+            .data_dir(&dir)
+            .wal_autoflush(true)
+            .build()
+            .unwrap();
         {
             let mut session = engine.session();
             session

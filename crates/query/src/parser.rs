@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::ast::{EqPredicate, Predicate, Projection, Statement, Value};
+use crate::ast::{EqPredicate, OrderBy, OrderDir, Predicate, Projection, Statement, Value};
 use crate::token::{lex, LexError, Token};
 
 /// A parse error.
@@ -219,12 +219,14 @@ impl Parser {
                     joins.push(self.ident()?);
                 }
                 let predicates = self.where_clause()?;
+                let order_by = self.order_by_clause()?;
                 let limit = self.limit_clause()?;
                 Ok(Statement::Select {
                     projection,
                     table,
                     joins,
                     predicates,
+                    order_by,
                     limit,
                 })
             }
@@ -330,6 +332,24 @@ impl Parser {
             attrs.push(self.ident()?);
         }
         Ok(Projection::Attrs(attrs))
+    }
+
+    /// An optional `ORDER BY attr [ASC|DESC]` tail (before LIMIT, as in
+    /// SQL). A bare `ORDER BY attr` is ascending.
+    fn order_by_clause(&mut self) -> Result<Option<OrderBy>, ParseError> {
+        if !self.eat_keyword("order") {
+            return Ok(None);
+        }
+        self.keyword("by")?;
+        let attr = self.ident()?;
+        let dir = if self.eat_keyword("desc") {
+            OrderDir::Desc
+        } else {
+            // An explicit ASC is accepted and is the default.
+            let _ = self.eat_keyword("asc");
+            OrderDir::Asc
+        };
+        Ok(Some(OrderBy { attr, dir }))
     }
 
     /// An optional `LIMIT n` tail (n a decimal integer literal).
@@ -574,6 +594,60 @@ mod tests {
         let stmt = parse("SELECT Course FROM sc LIMIT 7").unwrap();
         assert_eq!(stmt.to_string(), "SELECT Course FROM sc LIMIT 7");
         assert_eq!(parse(&stmt.to_string()).unwrap(), stmt);
+    }
+
+    #[test]
+    fn parses_order_by_clause() {
+        match parse("SELECT * FROM sc ORDER BY Student").unwrap() {
+            Statement::Select { order_by, .. } => {
+                assert_eq!(
+                    order_by,
+                    Some(OrderBy {
+                        attr: "Student".into(),
+                        dir: OrderDir::Asc
+                    })
+                );
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        match parse("select * from sc where A = 'x' order by B desc limit 3").unwrap() {
+            Statement::Select {
+                order_by, limit, ..
+            } => {
+                assert_eq!(
+                    order_by,
+                    Some(OrderBy {
+                        attr: "B".into(),
+                        dir: OrderDir::Desc
+                    })
+                );
+                assert_eq!(limit, Some(3));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // Explicit ASC parses to the default.
+        match parse("SELECT * FROM sc ORDER BY B ASC").unwrap() {
+            Statement::Select { order_by, .. } => {
+                assert_eq!(order_by.unwrap().dir, OrderDir::Asc)
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // ORDER BY comes before LIMIT, as in SQL.
+        assert!(parse("SELECT * FROM sc LIMIT 3 ORDER BY B").is_err());
+        assert!(
+            parse("SELECT * FROM sc ORDER Student").is_err(),
+            "BY required"
+        );
+        assert!(parse("SELECT * FROM sc ORDER BY").is_err());
+        // The printer round-trips both directions.
+        for sql in [
+            "SELECT * FROM sc ORDER BY Student",
+            "SELECT Course FROM sc WHERE Student = ? ORDER BY Course DESC LIMIT 5",
+        ] {
+            let stmt = parse(sql).unwrap();
+            assert_eq!(stmt.to_string(), sql);
+            assert_eq!(parse(&stmt.to_string()).unwrap(), stmt);
+        }
     }
 
     #[test]

@@ -23,7 +23,9 @@
 use std::sync::Arc;
 
 use nf2_algebra::optimize::Applied;
-use nf2_algebra::stream::{filter_box, JoinLayout, RelStream, TupleIter};
+use nf2_algebra::stream::{
+    filter_box, lazy_iter, AtomCmp, JoinLayout, RelStream, SortDir, TupleIter, TupleOrder,
+};
 use nf2_algebra::{estimate, optimize, Expr, SchemaCatalog};
 use nf2_core::display::render_nf;
 use nf2_core::relation::NfRelation;
@@ -32,7 +34,7 @@ use nf2_core::tuple::{NfTuple, TupleView, ValueSet};
 use nf2_core::value::Atom;
 use nf2_storage::{NfTable, SharedDictionary};
 
-use crate::ast::{Predicate, Projection, Statement, Value};
+use crate::ast::{OrderBy, OrderDir, Predicate, Projection, Statement, Value};
 use crate::cursor::Cursor;
 use crate::engine::{explain_expr, Engine, Session};
 use crate::exec::{Output, QueryError};
@@ -102,6 +104,15 @@ enum Phys {
     Scan {
         /// Index into the plan's table list.
         table: usize,
+        /// **Shard pruning**: bound-store indices of the enclosing
+        /// selection's conjuncts on this table's shard-routing attribute
+        /// (the outermost nest attribute `P(n−1)`). At execute time the
+        /// bound value sets resolve to a shard set through the table's
+        /// router and the scan touches only those shards — an equality
+        /// on the outer attribute over `N` hash shards scans exactly
+        /// one. Empty for unsharded tables or plans without a routable
+        /// conjunct (full scan).
+        prune: Vec<usize>,
     },
     /// Box selection; constraint `k` reads its per-call atoms from the
     /// bound-value store at `flat` index `k`.
@@ -160,14 +171,17 @@ impl PhysPlan {
                     return Ok(None);
                 };
                 Ok(Some(PhysPlan {
-                    root: Phys::Scan { table: idx },
+                    root: Phys::Scan {
+                        table: idx,
+                        prune: Vec::new(),
+                    },
                     schema: engine.table(name)?.schema().clone(),
                 }))
             }
             Expr::SelectBox { input, constraints } => {
                 let own_base = *next_flat;
                 *next_flat += constraints.len();
-                let Some(child) = Self::compile(input, tables, engine, next_flat)? else {
+                let Some(mut child) = Self::compile(input, tables, engine, next_flat)? else {
                     return Ok(None);
                 };
                 let resolved = constraints
@@ -175,6 +189,23 @@ impl PhysPlan {
                     .enumerate()
                     .map(|(k, (name, _))| Ok((child.schema.attr_id(name)?, own_base + k)))
                     .collect::<Result<Vec<_>, nf2_core::NfError>>()?;
+                // Selection directly over a sharded scan: conjuncts on
+                // the routing attribute `P(n−1)` become shard pruners —
+                // the optimizer's pushdown already parks each conjunct
+                // on its owning table, so this catches pushed-down
+                // equalities and IN lists on every join side.
+                if let Phys::Scan { table, prune } = &mut child.root {
+                    let t = engine.table(&tables[*table])?;
+                    if t.shard_count() > 1 {
+                        if let Some(route_attr) = t.routing().attr() {
+                            for (attr, flat) in &resolved {
+                                if *attr == route_attr {
+                                    prune.push(*flat);
+                                }
+                            }
+                        }
+                    }
+                }
                 Ok(Some(PhysPlan {
                     root: Phys::Select {
                         input: Box::new(child.root),
@@ -233,10 +264,32 @@ impl PhysPlan {
 
     /// Builds the per-call pipeline over the resolved tables and bound
     /// constraint values.
+    ///
+    /// The pipeline is **pull-driven end to end**: blocking stages (a
+    /// join's build side, projection's duplicate elimination) defer
+    /// their materialization behind [`lazy_iter`] until the first tuple
+    /// is demanded, so a consumer that never pulls — `LIMIT 0`, a
+    /// dropped cursor — pays zero scan probes on every plan shape.
     fn stream<'s>(&self, tables: &[&'s NfTable], bound: &[ValueSet]) -> TupleIter<'s> {
         fn go<'s>(node: &Phys, tables: &[&'s NfTable], bound: &[ValueSet]) -> TupleIter<'s> {
             match node {
-                Phys::Scan { table } => Box::new(tables[*table].scan().map(TupleView::Borrowed)),
+                Phys::Scan { table, prune } => {
+                    let t = tables[*table];
+                    if prune.is_empty() {
+                        return Box::new(t.scan().map(TupleView::Borrowed));
+                    }
+                    // Every pruning conjunct must be satisfied, so the
+                    // scannable shards are the intersection of the
+                    // per-conjunct shard sets (each sorted ascending).
+                    let mut sets = prune
+                        .iter()
+                        .map(|&flat| t.routing().shards_for_values(bound[flat].as_slice()));
+                    let mut shards = sets.next().expect("prune list is non-empty");
+                    for s in sets {
+                        shards.retain(|idx| s.contains(idx));
+                    }
+                    Box::new(t.scan_shards(&shards).map(TupleView::Borrowed))
+                }
                 Phys::Select { input, constraints } => {
                     let resolved: Vec<(usize, ValueSet)> = constraints
                         .iter()
@@ -249,27 +302,35 @@ impl PhysPlan {
                     input_schema,
                     attrs,
                 } => {
-                    let tuples: Vec<NfTuple> = go(input, tables, bound)
-                        .map(TupleView::into_owned)
-                        .collect();
-                    let rel = NfRelation::from_disjoint_tuples(input_schema.clone(), tuples)
-                        .expect("pipeline tuples match their schema");
-                    let out = nf2_algebra::project(&rel, attrs, &NestOrder::identity(attrs.len()))
-                        .expect("attribute ids resolved at compile time");
-                    Box::new(out.into_tuples().into_iter().map(TupleView::Owned))
+                    let upstream = go(input, tables, bound);
+                    let input_schema = input_schema.clone();
+                    let attrs = attrs.clone();
+                    lazy_iter(move || {
+                        let tuples: Vec<NfTuple> = upstream.map(TupleView::into_owned).collect();
+                        let rel = NfRelation::from_disjoint_tuples(input_schema, tuples)
+                            .expect("pipeline tuples match their schema");
+                        let out =
+                            nf2_algebra::project(&rel, &attrs, &NestOrder::identity(attrs.len()))
+                                .expect("attribute ids resolved at compile time");
+                        Box::new(out.into_tuples().into_iter().map(TupleView::Owned))
+                    })
                 }
                 Phys::Join {
                     left,
                     right,
                     layout,
                 } => {
-                    let build: Vec<TupleView<'s>> = go(right, tables, bound).collect();
+                    let build_side = go(right, tables, bound);
+                    let probe_side = go(left, tables, bound);
                     let layout = layout.clone();
-                    Box::new(go(left, tables, bound).flat_map(move |l| {
-                        let mut out = Vec::new();
-                        layout.probe(&l, &build, &mut out);
-                        out
-                    }))
+                    lazy_iter(move || {
+                        let build: Vec<TupleView<'s>> = build_side.collect();
+                        Box::new(probe_side.flat_map(move |l| {
+                            let mut out = Vec::new();
+                            layout.probe(&l, &build, &mut out);
+                            out
+                        }))
+                    })
                 }
             }
         }
@@ -300,8 +361,14 @@ pub(crate) struct SelectPlan {
     tables: Vec<String>,
     /// Number of `?` parameters the plan expects.
     param_count: usize,
-    /// `LIMIT n`: the cursor pipeline stops pulling after `n` NF²
-    /// tuples, so upstream scans terminate early.
+    /// `ORDER BY`: the clause plus the ordered attribute's id in the
+    /// plan's **output** schema (resolved once at build time). With a
+    /// limit the pair compiles to a streaming top-k (bounded heap);
+    /// alone, to a blocking sort.
+    order: Option<(OrderBy, usize)>,
+    /// `LIMIT n`: without an ORDER BY the cursor pipeline stops pulling
+    /// after `n` NF² tuples, so upstream scans terminate early; with one
+    /// it is the top-k bound.
     limit: Option<usize>,
 }
 
@@ -313,6 +380,7 @@ impl SelectPlan {
         table: String,
         joins: Vec<String>,
         predicates: &[Predicate],
+        order_by: Option<OrderBy>,
         limit: Option<usize>,
     ) -> Result<Self, QueryError> {
         if engine.dict().len() as u64 >= SLOT_BASE as u64 {
@@ -368,13 +436,26 @@ impl SelectPlan {
                 constraints,
             };
         }
-        // LIMIT constrains *result* rows. Aggregates produce one logical
-        // value, so a limit must never truncate the stream feeding them
-        // (COUNT(*) ... LIMIT 1 is the full count, and must not depend
-        // on the physical shard layout).
-        let limit = match &projection {
-            Projection::CountStar | Projection::CountDistinct(_) => None,
-            _ => limit,
+        // LIMIT and ORDER BY constrain *result* rows. Aggregates produce
+        // one logical value, so a limit must never truncate the stream
+        // feeding them (COUNT(*) ... LIMIT 1 is the full count, and must
+        // not depend on the physical shard layout), and an order over
+        // one value is vacuous — but the ordered attribute is still
+        // validated against the pre-aggregate schema first, so a typo
+        // errors identically whether or not the projection aggregates.
+        let (order_by, limit) = match &projection {
+            Projection::CountStar | Projection::CountDistinct(_) => {
+                if let Some(ob) = &order_by {
+                    let source_attrs = nf2_algebra::optimize::output_attrs(&expr, &catalog)?;
+                    if !source_attrs.contains(&ob.attr) {
+                        return Err(QueryError::Model(nf2_core::NfError::UnknownAttribute(
+                            ob.attr.clone(),
+                        )));
+                    }
+                }
+                (None, None)
+            }
+            _ => (order_by, limit),
         };
         match &projection {
             Projection::Attrs(attrs) => {
@@ -400,6 +481,16 @@ impl SelectPlan {
                         .into(),
                 )
             })?;
+        // The ORDER BY attribute must survive into the output schema
+        // (ordering on a projected-away attribute is rejected here, at
+        // prepare time, like any other unknown attribute).
+        let order = match order_by {
+            Some(ob) => {
+                let attr = phys.schema.attr_id(&ob.attr)?;
+                Some((ob, attr))
+            }
+            None => None,
+        };
         Ok(SelectPlan {
             raw: expr,
             expr: optimized.expr,
@@ -409,6 +500,7 @@ impl SelectPlan {
             projection,
             tables,
             param_count,
+            order,
             limit,
         })
     }
@@ -492,14 +584,39 @@ impl SelectPlan {
             .map(|n| engine.table(n))
             .collect::<Result<Vec<_>, _>>()?;
         let iter = self.phys.stream(&tables, &bound);
-        // LIMIT rides the pull pipeline: `take` stops calling upstream
-        // `next()` once satisfied, so scans terminate early (the
-        // probe-counted cursor test pins this).
-        let iter: TupleIter<'s> = match self.limit {
-            Some(n) => Box::new(iter.take(n)),
-            None => iter,
+        let stream = RelStream::new(self.phys.schema.clone(), iter);
+        let stream = match (&self.order, self.limit) {
+            // ORDER BY + LIMIT fold into one streaming top-k: a bounded
+            // heap pulls the pipeline exactly once and retains ≤ n
+            // tuples — never a full sort's worth.
+            // Bare ORDER BY falls back to a blocking (stable) sort.
+            (Some((ob, attr)), limit) => {
+                // Values order by their *resolved strings*, not their
+                // intern-order atom ids — `ORDER BY Student` means
+                // lexicographic, whatever order values arrived in.
+                let snap = engine.dict().snapshot();
+                let cmp: AtomCmp = Arc::new(move |a, b| snap.resolve(a).cmp(&snap.resolve(b)));
+                let dir = match ob.dir {
+                    OrderDir::Asc => SortDir::Asc,
+                    OrderDir::Desc => SortDir::Desc,
+                };
+                let order = TupleOrder::with_cmp(*attr, dir, cmp);
+                match limit {
+                    Some(n) => stream.top_k(order, n),
+                    None => stream.sorted(order),
+                }
+            }
+            // Plain LIMIT rides the pull pipeline: `take` stops calling
+            // upstream `next()` once satisfied, so scans terminate early
+            // (the probe-counted cursor test pins this).
+            (None, Some(n)) => {
+                let schema = stream.schema().clone();
+                let limited: TupleIter<'s> = Box::new(stream.take(n));
+                RelStream::new(schema, limited)
+            }
+            (None, None) => stream,
         };
-        Ok(Cursor::new(RelStream::new(self.phys.schema.clone(), iter)))
+        Ok(Cursor::new(stream))
     }
 
     /// Renders the plan for EXPLAIN: the unoptimized tree with its cost
@@ -542,6 +659,14 @@ impl SelectPlan {
             .collect();
         let before = estimate(&self.raw, &sizes);
         let mut text = format!("plan:\n{}", explain_expr(&self.raw, 0, &fmt_value));
+        if let Some((ob, _)) = &self.order {
+            // The order rides outside the algebra tree (the §3 algebra
+            // is ordered-set-free); report the physical operator chosen.
+            match self.limit {
+                Some(n) => text.push_str(&format!("\norder: {ob} (top-{n} bounded heap)")),
+                None => text.push_str(&format!("\norder: {ob} (blocking sort)")),
+            }
+        }
         text.push_str(&format!(
             "\nestimated work: {:.0} ({:.0} tuples out)",
             before.total_work, before.out_tuples
@@ -632,6 +757,7 @@ impl Prepared {
                 table,
                 joins,
                 predicates,
+                order_by,
                 limit,
             } => Ok(Some(SelectPlan::build(
                 engine,
@@ -639,6 +765,7 @@ impl Prepared {
                 table.clone(),
                 joins.clone(),
                 predicates,
+                order_by.clone(),
                 *limit,
             )?)),
             _ => Ok(None),
@@ -986,6 +1113,147 @@ mod tests {
         let miss = stmt.query(&session, &["never-interned"]).unwrap();
         let names: Vec<String> = miss.schema().attr_names().map(str::to_owned).collect();
         assert_eq!(names, vec!["Student", "Course", "Prof"]);
+    }
+
+    /// Flat rows of an output, as resolved strings (row-major), in
+    /// cursor order.
+    fn ordered_rows(session: &Session<'_>, sql: &str) -> Vec<Vec<String>> {
+        let snap = session.engine().dict().snapshot();
+        session
+            .query(sql)
+            .unwrap()
+            .flat_rows()
+            .map(|row| {
+                row.iter()
+                    .map(|&a| snap.resolve(a).unwrap().to_owned())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn order_by_sorts_by_resolved_value_not_intern_order() {
+        let mut engine = Engine::new();
+        let mut session = engine.session();
+        // Interned in anti-alphabetical order on purpose: atom ids rank
+        // c > b > a, the strings rank a < b < c.
+        session
+            .run_script(
+                "CREATE TABLE t (K, V);
+                 INSERT INTO t VALUES ('c','3'), ('b','2'), ('a','1');",
+            )
+            .unwrap();
+        let asc = ordered_rows(&session, "SELECT K FROM t ORDER BY K");
+        assert_eq!(asc, vec![vec!["a"], vec!["b"], vec!["c"]]);
+        let desc = ordered_rows(&session, "SELECT K FROM t ORDER BY K DESC");
+        assert_eq!(desc, vec![vec!["c"], vec!["b"], vec!["a"]]);
+        // Late-interned values order correctly on the next execution.
+        session.run("INSERT INTO t VALUES ('aa','0')").unwrap();
+        let asc = ordered_rows(&session, "SELECT K FROM t ORDER BY K LIMIT 2");
+        assert_eq!(asc, vec![vec!["a"], vec!["aa"]]);
+    }
+
+    #[test]
+    fn top_k_equals_sort_then_truncate_on_every_path() {
+        let mut engine = engine();
+        let mut session = engine.session();
+        // LIMIT truncates NF² tuples, so the oracle compares ordered
+        // tuple streams (a kept tuple may expand to several flat rows).
+        let tuples = |session: &Session<'_>, sql: &str| -> Vec<nf2_core::tuple::NfTuple> {
+            session
+                .query(sql)
+                .unwrap()
+                .map(|t| t.into_owned())
+                .collect()
+        };
+        for dir in ["", " DESC"] {
+            for k in 0..6 {
+                let all = tuples(
+                    &session,
+                    &format!("SELECT Student, Course FROM sc ORDER BY Course{dir}"),
+                );
+                let truncated: Vec<_> = all.into_iter().take(k).collect();
+                let topk = tuples(
+                    &session,
+                    &format!("SELECT Student, Course FROM sc ORDER BY Course{dir} LIMIT {k}"),
+                );
+                assert_eq!(topk, truncated, "dir {dir:?} k {k}");
+            }
+        }
+        // run() and prepared execution agree with the cursor path.
+        let via_run = session
+            .run("SELECT Course FROM sc WHERE Student = 's1' ORDER BY Course LIMIT 1")
+            .unwrap();
+        let mut stmt = session
+            .prepare("SELECT Course FROM sc WHERE Student = ? ORDER BY Course LIMIT 1")
+            .unwrap();
+        let via_prepared = stmt.execute(&mut session, &["s1"]).unwrap();
+        assert_eq!(via_run, via_prepared);
+        // A prepared cursor streams the ordered prefix.
+        let cursor = stmt.query(&session, &["s1"]).unwrap();
+        assert_eq!(cursor.count(), 1);
+    }
+
+    #[test]
+    fn order_by_rejects_unknown_and_projected_away_attributes() {
+        let mut engine = engine();
+        let session = engine.session();
+        assert!(session.query("SELECT * FROM sc ORDER BY Nope").is_err());
+        // Course is projected away: ordering the output on it is an
+        // error at prepare time, not a silent no-op.
+        assert!(session
+            .prepare("SELECT Student FROM sc ORDER BY Course")
+            .is_err());
+        // On the joined schema, right-side attributes are orderable.
+        assert!(session
+            .prepare("SELECT * FROM sc JOIN cp ORDER BY Prof DESC")
+            .is_ok());
+    }
+
+    #[test]
+    fn aggregates_ignore_order_by_and_limit() {
+        let mut engine = engine();
+        let mut session = engine.session();
+        assert_eq!(
+            session
+                .run("SELECT COUNT(*) FROM sc ORDER BY Student LIMIT 1")
+                .unwrap(),
+            Output::Count(4)
+        );
+        assert_eq!(
+            session
+                .run("SELECT COUNT(DISTINCT Course) FROM sc ORDER BY Course DESC LIMIT 2")
+                .unwrap(),
+            Output::Count(3)
+        );
+        // Ignoring the clause must not skip validating it: a typo'd
+        // attribute errors exactly like it does without the aggregate.
+        assert!(session
+            .run("SELECT COUNT(*) FROM sc ORDER BY Nope LIMIT 2")
+            .is_err());
+        // The pre-aggregate schema is what counts: ordering on an
+        // attribute the COUNT(DISTINCT …) projection drops is fine.
+        assert_eq!(
+            session
+                .run("SELECT COUNT(DISTINCT Course) FROM sc ORDER BY Student")
+                .unwrap(),
+            Output::Count(3)
+        );
+    }
+
+    #[test]
+    fn explain_reports_the_order_operator() {
+        let mut engine = engine();
+        let session = engine.session();
+        let mut stmt = session
+            .prepare("SELECT * FROM sc ORDER BY Course DESC LIMIT 3")
+            .unwrap();
+        let text = stmt.explain(&session).unwrap();
+        assert!(text.contains("ORDER BY Course DESC"), "{text}");
+        assert!(text.contains("top-3 bounded heap"), "{text}");
+        let mut stmt = session.prepare("SELECT * FROM sc ORDER BY Course").unwrap();
+        let text = stmt.explain(&session).unwrap();
+        assert!(text.contains("blocking sort"), "{text}");
     }
 
     #[test]

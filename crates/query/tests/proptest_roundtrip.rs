@@ -10,7 +10,7 @@
 
 use proptest::prelude::*;
 
-use nf2_query::ast::{EqPredicate, Predicate, Projection, Statement, Value};
+use nf2_query::ast::{EqPredicate, OrderBy, OrderDir, Predicate, Projection, Statement, Value};
 use nf2_query::parse;
 
 /// Identifiers start with `x`, which no keyword does, so generated
@@ -50,23 +50,37 @@ fn projection() -> impl Strategy<Value = Projection> {
     ]
 }
 
+fn order_by() -> impl Strategy<Value = Option<OrderBy>> {
+    prop_oneof![
+        Just(None),
+        (ident(), proptest::strategy::any::<bool>()).prop_map(|(attr, desc)| {
+            Some(OrderBy {
+                attr,
+                dir: if desc { OrderDir::Desc } else { OrderDir::Asc },
+            })
+        }),
+    ]
+}
+
 fn select() -> impl Strategy<Value = Statement> {
     (
         projection(),
         ident(),
         proptest::collection::vec(ident(), 0..3),
         proptest::collection::vec(predicate(), 0..3),
+        order_by(),
         prop_oneof![Just(None), (0usize..10_000).prop_map(Some)],
     )
-        .prop_map(
-            |(projection, table, joins, predicates, limit)| Statement::Select {
+        .prop_map(|(projection, table, joins, predicates, order_by, limit)| {
+            Statement::Select {
                 projection,
                 table,
                 joins,
                 predicates,
+                order_by,
                 limit,
-            },
-        )
+            }
+        })
 }
 
 /// Every statement kind the grammar knows.

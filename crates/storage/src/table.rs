@@ -396,6 +396,17 @@ impl NfTable {
 
     /// Inserts a flat row of atoms via §4 maintenance (routed to one
     /// shard), logging to the WAL.
+    ///
+    /// The merged-relation cache is invalidated exactly when the row was
+    /// fresh — a no-op duplicate leaves the canonical shards untouched,
+    /// so the cached merge stays valid (dropping it would force a full
+    /// re-merge for nothing). This conditional form also covers the
+    /// compensating mutations a `ROLLBACK` replays: undo entries are
+    /// recorded only for operations that changed state, and replaying
+    /// them in reverse order re-applies each one against exactly the
+    /// state it inverts, so every compensating call *is* state-changing
+    /// and invalidates here (the table- and session-level rollback
+    /// regression tests pin this).
     pub fn insert_atoms(&mut self, row: FlatTuple) -> Result<bool> {
         let fresh = self
             .canon
@@ -416,7 +427,9 @@ impl NfTable {
     }
 
     /// Deletes a flat row of atoms via §4 maintenance (routed to one
-    /// shard), logging to the WAL.
+    /// shard), logging to the WAL. The merged cache is invalidated when
+    /// the row was present — see [`insert_atoms`](Self::insert_atoms)
+    /// for why this conditional form also covers the rollback/undo path.
     pub fn delete_atoms(&mut self, row: &[Atom]) -> Result<bool> {
         let hit = self.canon.delete_counted(row, &mut self.maintenance)?;
         if hit {
@@ -450,18 +463,46 @@ impl NfTable {
     /// is a valid NFR with the same `R*`, so query semantics (selections,
     /// joins, counts, expansions) are unchanged.
     pub fn scan(&self) -> TableScan<'_> {
-        TableScan {
-            shards: self
-                .canon
-                .shards()
+        self.scan_of(self.canon.shards().iter().map(|s| s.relation().tuples()))
+    }
+
+    /// A borrowing, probe-counted scan restricted to the given shards
+    /// (ascending, deduplicated; out-of-range ids are ignored). This is
+    /// the storage half of **shard pruning**: a selection that fixes the
+    /// outermost nest attribute resolves its shard set through
+    /// [`routing`](Self::routing) and scans only those shards — the
+    /// skipped shards' tuples are never yielded, so they never show up
+    /// in [`stats`](Self::stats) either.
+    ///
+    /// Probe accounting is identical to [`scan`](Self::scan): **one**
+    /// counter across all selected shards, settled once on drop —
+    /// concatenating shard streams must never double-count, even when a
+    /// downstream `take(n)` stops mid-shard.
+    pub fn scan_shards(&self, shards: &[usize]) -> TableScan<'_> {
+        let all = self.canon.shards();
+        self.scan_of(
+            shards
                 .iter()
-                .map(|s| s.relation().tuples())
-                .collect(),
+                .filter_map(|&i| all.get(i))
+                .map(|s| s.relation().tuples()),
+        )
+    }
+
+    fn scan_of<'a>(&'a self, shards: impl Iterator<Item = &'a [NfTuple]>) -> TableScan<'a> {
+        TableScan {
+            shards: shards.collect(),
             shard: 0,
             idx: 0,
             stats: &self.stats,
             yielded: 0,
         }
+    }
+
+    /// The value router the table's shards are partitioned by — what a
+    /// query planner asks to turn an outer-attribute predicate into a
+    /// shard set for [`scan_shards`](Self::scan_shards).
+    pub fn routing(&self) -> &nf2_core::shard::ShardRouter {
+        self.canon.router()
     }
 
     /// Scan lookup: NF² tuples whose `attr` component contains `value`.
@@ -1206,6 +1247,85 @@ mod tests {
         let breakdown = t.maintenance_breakdown();
         let sum: u64 = breakdown.per_shard.iter().map(|c| c.candidate_probes).sum();
         assert_eq!(sum, breakdown.total.candidate_probes);
+    }
+
+    #[test]
+    fn scan_shards_prunes_and_counts_probes_exactly() {
+        let t = sharded_table(4);
+        // Routing attribute is Course (P(n−1) under the identity order).
+        assert_eq!(t.routing().attr(), Some(1));
+        let c1 = t.dict().lookup("c1").unwrap();
+        let shard = t.routing().spec().route_value(c1);
+        let expected = t.sharded().shard(shard).tuple_count();
+        assert!(expected >= 1);
+
+        // The pruned scan yields exactly that shard's tuples and charges
+        // exactly that many probes under exactly one lookup.
+        let before = t.stats();
+        assert_eq!(t.scan_shards(&[shard]).count(), expected);
+        let after = t.stats();
+        assert_eq!(after.units_probed - before.units_probed, expected as u64);
+        assert_eq!(after.lookups - before.lookups, 1, "one scan, one counter");
+
+        // Every yielded tuple can actually hold c1 rows' shard-mates.
+        for tuple in t.scan_shards(&[shard]) {
+            for v in tuple.component(1).iter() {
+                assert_eq!(t.routing().spec().route_value(v), shard);
+            }
+        }
+
+        // Degenerate sets: nothing scanned, out-of-range ignored.
+        assert_eq!(t.scan_shards(&[]).count(), 0);
+        assert_eq!(t.scan_shards(&[99]).count(), 0);
+
+        // A take(1) stopping mid-shard across a multi-shard
+        // concatenation charges exactly one probe — per-shard streams
+        // must never double-count (satellite: concat accounting).
+        let before = t.stats();
+        {
+            let mut scan = t.scan_shards(&[0, 1, 2, 3]);
+            assert!(scan.next().is_some());
+        }
+        let after = t.stats();
+        assert_eq!(after.units_probed - before.units_probed, 1);
+        assert_eq!(after.lookups - before.lookups, 1);
+
+        // scan() over all shards ≡ scan_shards(all).
+        let all: Vec<usize> = (0..t.shard_count()).collect();
+        assert_eq!(t.scan().count(), t.scan_shards(&all).count());
+
+        // The router's value-set API unions, sorts and dedups.
+        let vals: Vec<Atom> = ["c1", "c3", "c1"]
+            .iter()
+            .map(|s| t.dict().lookup(s).unwrap())
+            .collect();
+        let shards = t.routing().shards_for_values(&vals);
+        assert!(shards.windows(2).all(|w| w[0] < w[1]), "{shards:?}");
+        assert!(shards.contains(&shard));
+    }
+
+    #[test]
+    fn merged_cache_refreshes_after_noop_and_compensating_mutations() {
+        // The rollback path replays compensating ops and must never
+        // serve a mid-transaction merge: every state-changing mutation
+        // invalidates the cache, and compensating ops are always
+        // state-changing (undo entries exist only for ops that changed
+        // state, replayed in reverse against exactly the state they
+        // invert). No-op mutations, by contrast, may keep the cache —
+        // the canonical shards did not move.
+        let mut t = sharded_table(3);
+        let before = t.relation().clone(); // fill the cache
+        t.insert_row(&["s9", "c9"]).unwrap();
+        let _ = t.relation(); // re-fill with the mutated state
+        t.delete_row(&["s9", "c9"]).unwrap(); // compensate
+        assert_eq!(t.relation(), &before, "compensation restores the merge");
+        let fresh = nf2_core::nest::canonical_of_flat(&t.relation().expand(), t.order());
+        assert_eq!(t.relation(), &fresh);
+        // No-op duplicate insert / missing delete: the cache stays
+        // exact (and need not be rebuilt — the state is unchanged).
+        assert!(!t.insert_row(&["s1", "c1"]).unwrap());
+        assert!(!t.delete_row(&["zz", "zz"]).unwrap());
+        assert_eq!(t.relation(), &before);
     }
 
     #[test]

@@ -4,16 +4,17 @@
 //! Pipe a script: `cargo run --example query_shell < setup.sql`
 //!
 //! Statements: CREATE TABLE / DROP TABLE / INSERT / DELETE / UPDATE /
-//! SELECT (multi-way JOIN, IN lists, COUNT aggregates) / NEST / UNNEST /
-//! SHOW [FLAT] / TABLES / STATS / BEGIN / COMMIT / ROLLBACK /
-//! EXPLAIN [OPTIMIZED]. End each with `;` or a newline.
+//! SELECT (multi-way JOIN, IN lists, COUNT aggregates, ORDER BY
+//! [ASC|DESC], LIMIT) / NEST / UNNEST / SHOW [FLAT] / TABLES / STATS /
+//! BEGIN / COMMIT / ROLLBACK / EXPLAIN [OPTIMIZED]. End each with `;`
+//! or a newline.
 
 use std::io::{BufRead, Write};
 
 use nf2::query::Engine;
 
 fn main() {
-    let mut engine = Engine::builder().build();
+    let mut engine = Engine::builder().build().unwrap();
     let mut db = engine.session();
     // Seed a demo table so SHOW works immediately.
     db.run_script(
@@ -30,6 +31,7 @@ fn main() {
         println!("nf2 query shell — seeded with table `sc` (Fig. 1 R1). Try:");
         println!("  SHOW sc;");
         println!("  SELECT Course FROM sc WHERE Student = 's1';");
+        println!("  SELECT Student, Course FROM sc ORDER BY Course DESC LIMIT 2;");
         println!("  DELETE FROM sc WHERE Student = 's1' AND Course = 'c1';");
         println!("  SELECT COUNT(DISTINCT Student) FROM sc;");
         println!("  BEGIN; DELETE FROM sc; ROLLBACK;");

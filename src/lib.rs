@@ -25,7 +25,7 @@
 //! ```
 //! use nf2::query::{Engine, Output};
 //!
-//! let mut engine = Engine::builder().build();
+//! let mut engine = Engine::builder().build().unwrap();
 //! let mut session = engine.session();
 //! session.run_script(
 //!     "CREATE TABLE sc (Student, Course) NEST ORDER (Student, Course);

@@ -143,6 +143,86 @@ fn limit_terminates_the_pipeline_early() {
 }
 
 #[test]
+fn limit_zero_probes_nothing_on_every_plan_shape_and_path() {
+    // Regression: blocking stages (projection's input, a join's build
+    // side) used to materialize at pipeline-construction time, so a
+    // `take(0)` still paid the full scan on those plans. Construction is
+    // now lazy end to end: 0 rows AND 0 probes, on every plan shape,
+    // through every execution path.
+    let mut engine = big_engine();
+    {
+        let mut session = engine.session();
+        session.run("CREATE TABLE side (A, C)").unwrap();
+        session
+            .run("INSERT INTO side VALUES ('x1','y1'), ('x2','y2'), ('x1','y3')")
+            .unwrap();
+    }
+
+    let probes = |engine: &Engine, table: &str| engine.table(table).unwrap().stats().units_probed;
+
+    for sql in [
+        // Scan-only plan.
+        "SELECT * FROM big LIMIT 0",
+        // Projection plan (blocking duplicate elimination).
+        "SELECT A FROM big LIMIT 0",
+        // Join plan (blocking build side on both tables).
+        "SELECT * FROM big JOIN side LIMIT 0",
+        // Selection + projection.
+        "SELECT B FROM big WHERE A = 'never-interned' LIMIT 0",
+        // Top-k with k = 0 (ORDER BY + LIMIT 0).
+        "SELECT * FROM big ORDER BY A LIMIT 0",
+        "SELECT A, C FROM side ORDER BY C DESC LIMIT 0",
+    ] {
+        // Cursor path.
+        let (big0, side0) = (probes(&engine, "big"), probes(&engine, "side"));
+        {
+            let session = engine.session();
+            let cursor = session.query(sql).unwrap();
+            assert_eq!(cursor.count(), 0, "{sql}");
+        }
+        assert_eq!(probes(&engine, "big"), big0, "cursor probes: {sql}");
+        assert_eq!(probes(&engine, "side"), side0, "cursor probes: {sql}");
+
+        // One-shot run() path.
+        {
+            let mut session = engine.session();
+            match session.run(sql).unwrap() {
+                nf2::query::Output::Relation { relation, .. } => {
+                    assert!(relation.is_empty(), "{sql}")
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(probes(&engine, "big"), big0, "run probes: {sql}");
+        assert_eq!(probes(&engine, "side"), side0, "run probes: {sql}");
+
+        // Prepared path.
+        {
+            let mut session = engine.session();
+            let mut stmt = session.prepare(sql).unwrap();
+            match stmt.execute(&mut session, nf2::query::NO_PARAMS).unwrap() {
+                nf2::query::Output::Relation { relation, .. } => {
+                    assert!(relation.is_empty(), "{sql}")
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(probes(&engine, "big"), big0, "prepared probes: {sql}");
+        assert_eq!(probes(&engine, "side"), side0, "prepared probes: {sql}");
+    }
+
+    // An early-dropped cursor (never pulled) probes nothing either,
+    // even without any LIMIT — same laziness, different consumer.
+    let big0 = probes(&engine, "big");
+    {
+        let session = engine.session();
+        let cursor = session.query("SELECT A FROM big").unwrap();
+        drop(cursor);
+    }
+    assert_eq!(probes(&engine, "big"), big0, "dropped cursor probes");
+}
+
+#[test]
 fn selective_cursor_streams_matches_and_counts() {
     let mut engine = big_engine();
     // Intern the predicate literal: bulk-loaded atoms are raw ids, so

@@ -11,7 +11,7 @@ use std::collections::BTreeSet;
 use nf2::prelude::*;
 
 fn seeded_engine() -> Engine {
-    let mut engine = Engine::builder().build();
+    let mut engine = Engine::builder().build().unwrap();
     engine
         .session()
         .run_script(
