@@ -202,7 +202,7 @@ pub fn select_nest_structural_counterexample() -> (NfRelation, AttrId, AttrId, V
         ]),
         NfTuple::new(vec![
             ValueSet::singleton(Atom(2)),
-            ValueSet::new(vec![Atom(10), Atom(11)]).expect("non-empty"),
+            ValueSet::new(vec![Atom(10), Atom(11)]).expect("literal value list is non-empty"),
         ]),
     ];
     let rel = NfRelation::from_tuples(schema, tuples).expect("disjoint by construction");

@@ -13,21 +13,32 @@
 //! order-sensitivity, selection-pushdown strength, …) as executable
 //! checkers, and [`optimize`](mod@optimize) turns them into a rule-based plan rewriter
 //! with structural vs realization-view guarantees — the "optimization
-//! strategy" §5 of the paper leaves open.
+//! strategy" §5 of the paper leaves open. [`check`] is the static
+//! verification layer over both: a typed-IR checker that infers nest
+//! structure for every operator and gates each optimizer rewrite on
+//! type preservation (see `README.md` § Plan verification).
 
+pub mod check;
 pub mod expr;
 pub mod laws;
 pub mod ops;
 pub mod optimize;
 pub mod stream;
 
+pub use check::{
+    check_rewrite, infer, AttrType, CheckCatalog, CheckError, CheckReport, NestLevel, RelType,
+    RewriteViolation,
+};
 pub use expr::{Env, Expr};
 pub use laws::{check_all, LawOutcome};
 pub use ops::{
     difference, intersect, natural_join, nest, product, project, select_box, select_where, union,
     unnest,
 };
-pub use optimize::{estimate, optimize, CostEstimate, Optimized, RewriteMode, SchemaCatalog};
+pub use optimize::{
+    estimate, optimize, try_optimize, verify_enabled, CostEstimate, Optimized, RewriteMode,
+    SchemaCatalog,
+};
 pub use stream::{
     eval_stream, lazy_iter, AtomCmp, JoinLayout, RelStream, SortDir, StreamEnv, StreamSource,
     TopKStats, TupleIter, TupleOrder,

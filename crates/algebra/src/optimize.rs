@@ -32,10 +32,12 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 use nf2_core::error::{NfError, Result};
 use nf2_core::value::Atom;
 
+use crate::check::{self, CheckCatalog, RewriteViolation};
 use crate::expr::{Env, Expr};
 
 /// Which equivalence strength the optimizer may exploit.
@@ -80,6 +82,11 @@ impl SchemaCatalog {
             .get(name)
             .map(Vec::as_slice)
             .ok_or_else(|| NfError::UnknownAttribute(format!("relation {name}")))
+    }
+
+    /// Registered relations and their attribute names.
+    pub fn relations(&self) -> impl Iterator<Item = (&str, &[String])> {
+        self.attrs.iter().map(|(n, a)| (n.as_str(), a.as_slice()))
     }
 }
 
@@ -139,18 +146,60 @@ impl fmt::Display for Optimized {
 /// node, so this comfortably exceeds any real fixpoint depth.
 const MAX_PASSES: usize = 64;
 
+/// Whether the rewrite-soundness gate is active for plain [`optimize`]
+/// calls: always in debug builds, and under `NF2_VERIFY=1` in release.
+pub fn verify_enabled() -> bool {
+    if cfg!(debug_assertions) {
+        return true;
+    }
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| matches!(std::env::var("NF2_VERIFY"), Ok(v) if !v.is_empty() && v != "0"))
+}
+
 /// Optimizes `expr` under `mode`, using `catalog` for attribute routing.
 ///
 /// Runs the rule set to fixpoint (top-down, one rule per pass). The
 /// result is guaranteed structurally equivalent in
 /// [`RewriteMode::Structural`] and `R*`-equivalent in
 /// [`RewriteMode::Realization`]; both guarantees are property-tested.
+///
+/// When [`verify_enabled`] (debug builds, or `NF2_VERIFY=1`), every rule
+/// application is additionally vetted by the
+/// [`check`](crate::check::check_rewrite) gate; a violation is a bug in
+/// the rule set and panics with the offending rule and subtree. Use
+/// [`try_optimize`] for a non-panicking, always-gated variant.
 pub fn optimize(expr: &Expr, catalog: &SchemaCatalog, mode: RewriteMode) -> Optimized {
+    match optimize_gated(expr, catalog, mode, verify_enabled()) {
+        Ok(opt) => opt,
+        Err(v) => panic!("optimizer rewrite-soundness gate: {v}"),
+    }
+}
+
+/// Optimizes with the rewrite-soundness gate forced on, reporting the
+/// first unsound rule application instead of panicking.
+pub fn try_optimize(
+    expr: &Expr,
+    catalog: &SchemaCatalog,
+    mode: RewriteMode,
+) -> std::result::Result<Optimized, RewriteViolation> {
+    optimize_gated(expr, catalog, mode, true)
+}
+
+fn optimize_gated(
+    expr: &Expr,
+    catalog: &SchemaCatalog,
+    mode: RewriteMode,
+    verify: bool,
+) -> std::result::Result<Optimized, RewriteViolation> {
+    let check_catalog = verify.then(|| CheckCatalog::from_schema_catalog(catalog));
     let mut current = expr.clone();
     let mut trace = Vec::new();
     for _ in 0..MAX_PASSES {
         match rewrite(&current, catalog, mode) {
             Some((next, rule)) => {
+                if let Some(cat) = &check_catalog {
+                    check::check_rewrite(rule, &current, &next, cat, mode)?;
+                }
                 trace.push(Applied {
                     rule,
                     result: next.to_string(),
@@ -160,10 +209,10 @@ pub fn optimize(expr: &Expr, catalog: &SchemaCatalog, mode: RewriteMode) -> Opti
             None => break,
         }
     }
-    Optimized {
+    Ok(Optimized {
         expr: current,
         trace,
-    }
+    })
 }
 
 /// Tries to apply one rule anywhere in the tree (root first, then
@@ -245,12 +294,60 @@ fn rewrite(
     }
 }
 
+/// A deliberately-unsound rule used to prove the soundness gate fires:
+/// it silently drops the last attribute of a multi-attribute projection,
+/// which the gate must reject as an output-schema change.
+#[cfg(test)]
+pub(crate) mod sabotage {
+    use std::cell::Cell;
+
+    pub(crate) const RULE: &str = "test-drop-projection-attr";
+
+    thread_local! {
+        static ENABLED: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Enables the broken rule for the current thread until dropped.
+    pub(crate) struct Armed;
+
+    impl Armed {
+        pub(crate) fn new() -> Self {
+            ENABLED.with(|f| f.set(true));
+            Armed
+        }
+    }
+
+    impl Drop for Armed {
+        fn drop(&mut self) {
+            ENABLED.with(|f| f.set(false));
+        }
+    }
+
+    pub(crate) fn active() -> bool {
+        ENABLED.with(|f| f.get())
+    }
+}
+
 /// Rule dispatch at a single node.
 fn rewrite_root(
     expr: &Expr,
     catalog: &SchemaCatalog,
     mode: RewriteMode,
 ) -> Option<(Expr, &'static str)> {
+    #[cfg(test)]
+    if sabotage::active() {
+        if let Expr::Project { input, attrs } = expr {
+            if attrs.len() > 1 {
+                return Some((
+                    Expr::Project {
+                        input: input.clone(),
+                        attrs: attrs[..attrs.len() - 1].to_vec(),
+                    },
+                    sabotage::RULE,
+                ));
+            }
+        }
+    }
     match expr {
         Expr::SelectBox { input, constraints } => rewrite_select(input, constraints, catalog, mode),
         Expr::Unnest { input, attr } => match input.as_ref() {
@@ -939,6 +1036,99 @@ mod tests {
         }
         // Unknown relation estimates to zero tuples, not a panic.
         assert_eq!(estimate(&Expr::rel("nope"), &sizes).out_tuples, 0.0);
+    }
+
+    /// The soundness gate must reject the deliberately-broken rule with
+    /// a diagnostic naming the rule and the rewritten subtree.
+    #[test]
+    fn gate_rejects_sabotaged_rule() {
+        let _armed = sabotage::Armed::new();
+        let expr = Expr::Project {
+            input: Box::new(Expr::rel("sc")),
+            attrs: vec!["Student".into(), "Course".into()],
+        };
+        let catalog = SchemaCatalog::from_env(&env());
+        let v = try_optimize(&expr, &catalog, RewriteMode::Structural)
+            .expect_err("broken rule must be caught");
+        assert_eq!(v.rule, sabotage::RULE);
+        let text = v.to_string();
+        assert!(text.contains(sabotage::RULE), "{text}");
+        assert!(text.contains("π[Student](sc)"), "names the subtree: {text}");
+    }
+
+    /// In debug builds the gate is always on, so plain `optimize` panics
+    /// on the broken rule instead of returning a wrong plan.
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "gate is env-driven in release")]
+    #[should_panic(expected = "rewrite-soundness gate")]
+    fn gate_panics_in_optimize_on_sabotaged_rule() {
+        let _armed = sabotage::Armed::new();
+        let expr = Expr::Project {
+            input: Box::new(Expr::rel("sc")),
+            attrs: vec!["Student".into(), "Course".into()],
+        };
+        let catalog = SchemaCatalog::from_env(&env());
+        let _ = optimize(&expr, &catalog, RewriteMode::Structural);
+    }
+
+    /// Every rule in the real rule set passes the gate on representative
+    /// plans (the gate runs inside `try_optimize`).
+    #[test]
+    fn gate_accepts_entire_rule_set() {
+        let catalog = SchemaCatalog::from_env(&env());
+        let nest = |e: Expr, a: &str| Expr::Nest {
+            input: Box::new(e),
+            attr: a.into(),
+        };
+        let unnest = |e: Expr, a: &str| Expr::Unnest {
+            input: Box::new(e),
+            attr: a.into(),
+        };
+        let join = Expr::Join(Box::new(Expr::rel("sc")), Box::new(Expr::rel("cp")));
+        let plans = vec![
+            sel(sel(Expr::rel("sc"), "Student", &[1]), "Course", &[10]),
+            sel(join.clone(), "Course", &[10]),
+            sel(sel(join, "Student", &[1]), "Prereq", &[91]),
+            sel(nest(Expr::rel("sc"), "Student"), "Course", &[10]),
+            sel(unnest(Expr::rel("sc"), "Course"), "Student", &[1]),
+            unnest(nest(Expr::rel("sc"), "Student"), "Student"),
+            nest(unnest(Expr::rel("sc"), "Student"), "Student"),
+            sel(
+                Expr::Union(Box::new(Expr::rel("sc")), Box::new(Expr::rel("sc"))),
+                "Student",
+                &[1],
+            ),
+            sel(
+                Expr::Difference(Box::new(Expr::rel("sc")), Box::new(Expr::rel("sc"))),
+                "Student",
+                &[1],
+            ),
+            sel(
+                Expr::Intersect(Box::new(Expr::rel("sc")), Box::new(Expr::rel("sc"))),
+                "Course",
+                &[10],
+            ),
+            Expr::Project {
+                input: Box::new(Expr::Project {
+                    input: Box::new(Expr::rel("sc")),
+                    attrs: vec!["Student".into(), "Course".into()],
+                }),
+                attrs: vec!["Student".into()],
+            },
+        ];
+        for plan in plans {
+            for mode in [RewriteMode::Structural, RewriteMode::Realization] {
+                let opt = try_optimize(&plan, &catalog, mode)
+                    .unwrap_or_else(|v| panic!("gate rejected a sound plan {plan}: {v}"));
+                if mode == RewriteMode::Structural {
+                    assert_eq!(
+                        plan.eval(&env()).unwrap(),
+                        opt.expr.eval(&env()).unwrap(),
+                        "{plan}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -290,15 +290,20 @@ pub enum Statement {
     /// `ROLLBACK` — undo every row mutation since BEGIN, in reverse
     /// order, through the same §4 maintenance the forward path used.
     Rollback,
-    /// `EXPLAIN [OPTIMIZED] SELECT …` — show the algebra plan (with its
-    /// cost estimate) without executing it; `OPTIMIZED` additionally runs
-    /// the rule-based rewriter and prints the applied rules and the
-    /// optimized plan's estimate.
+    /// `EXPLAIN [VERIFY] [OPTIMIZED] SELECT …` — show the algebra plan
+    /// (with its cost estimate) without executing it; `OPTIMIZED`
+    /// additionally runs the rule-based rewriter and prints the applied
+    /// rules and the optimized plan's estimate; `VERIFY` runs the
+    /// static plan checker and appends its verdict (useful in release
+    /// builds, where the rewrite-soundness gate is off unless
+    /// `NF2_VERIFY` is set).
     Explain {
         /// The SELECT being explained.
         inner: Box<Statement>,
         /// Whether to run and report the optimizer.
         optimized: bool,
+        /// Whether to run and report the static plan checker.
+        verify: bool,
     },
 }
 
@@ -512,10 +517,15 @@ impl fmt::Display for Statement {
             Statement::Begin => write!(f, "BEGIN"),
             Statement::Commit => write!(f, "COMMIT"),
             Statement::Rollback => write!(f, "ROLLBACK"),
-            Statement::Explain { inner, optimized } => {
+            Statement::Explain {
+                inner,
+                optimized,
+                verify,
+            } => {
                 write!(
                     f,
-                    "EXPLAIN {}{inner}",
+                    "EXPLAIN {}{}{inner}",
+                    if *verify { "VERIFY " } else { "" },
                     if *optimized { "OPTIMIZED " } else { "" }
                 )
             }
@@ -651,6 +661,7 @@ mod tests {
         let explained = Statement::Explain {
             inner: Box::new(upd),
             optimized: false,
+            verify: false,
         };
         assert_eq!(explained.param_count(), 2);
     }

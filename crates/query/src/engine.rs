@@ -483,7 +483,11 @@ impl<'e> Session<'e> {
                 )?;
                 execute_select::<Param>(self.engine, &mut plan, &[])
             }
-            Statement::Explain { inner, optimized } => {
+            Statement::Explain {
+                inner,
+                optimized,
+                verify,
+            } => {
                 let Statement::Select {
                     projection,
                     table,
@@ -506,7 +510,7 @@ impl<'e> Session<'e> {
                     order_by,
                     limit,
                 )?;
-                let Some(text) = plan.explain::<Param>(self.engine, &[], optimized)? else {
+                let Some(text) = plan.explain::<Param>(self.engine, &[], optimized, verify)? else {
                     return Ok(Output::Message(
                         "plan: <empty result — predicate value never interned>".to_owned(),
                     ));

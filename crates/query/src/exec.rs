@@ -49,6 +49,10 @@ pub enum QueryError {
         /// Number of values supplied.
         got: usize,
     },
+    /// The static plan checker rejected a compiled plan (see
+    /// `README.md` § Plan verification). This always indicates a planner
+    /// or optimizer bug, never bad user input.
+    Verify(String),
 }
 
 impl fmt::Display for QueryError {
@@ -68,6 +72,7 @@ impl fmt::Display for QueryError {
                 f,
                 "statement declares {expected} parameter(s), {got} value(s) bound"
             ),
+            QueryError::Verify(m) => write!(f, "plan verification failed: {m}"),
         }
     }
 }

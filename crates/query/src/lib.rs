@@ -28,6 +28,7 @@ pub mod exec;
 pub mod parser;
 pub mod prepare;
 pub mod token;
+pub(crate) mod verify;
 
 pub use ast::{EqPredicate, Projection, Statement, Value};
 pub use cursor::{Cursor, FlatRows};

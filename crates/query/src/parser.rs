@@ -281,6 +281,7 @@ impl Parser {
             "commit" => Ok(Statement::Commit),
             "rollback" => Ok(Statement::Rollback),
             "explain" => {
+                let verify = self.eat_keyword("verify");
                 let optimized = self.eat_keyword("optimized");
                 let inner = self.statement()?;
                 if !matches!(inner, Statement::Select { .. }) {
@@ -291,6 +292,7 @@ impl Parser {
                 Ok(Statement::Explain {
                     inner: Box::new(inner),
                     optimized,
+                    verify,
                 })
             }
             other => Err(ParseError {
@@ -673,6 +675,22 @@ mod tests {
             parse("EXPLAIN OPTIMIZED SELECT * FROM t").unwrap(),
             Statement::Explain {
                 optimized: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("EXPLAIN VERIFY SELECT * FROM t").unwrap(),
+            Statement::Explain {
+                optimized: false,
+                verify: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("EXPLAIN VERIFY OPTIMIZED SELECT * FROM t").unwrap(),
+            Statement::Explain {
+                optimized: true,
+                verify: true,
                 ..
             }
         ));

@@ -83,11 +83,11 @@ pub const NO_PARAMS: &[Param] = &[];
 /// checks both sides anyway — the dictionary must stay below the range
 /// and a statement may not declare more value slots than the range
 /// holds.
-const SLOT_BASE: u32 = u32::MAX - 0x00FF_FFFF;
+pub(crate) const SLOT_BASE: u32 = u32::MAX - 0x00FF_FFFF;
 
 /// What a slot resolves to at bind time.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Slot {
+pub(crate) enum Slot {
     /// An inline literal: looked up in the dictionary per execution.
     Lit(String),
     /// The `n`-th `?` parameter.
@@ -99,7 +99,7 @@ enum Slot {
 /// prepare time, so an execution only binds values and flows tuples —
 /// no name resolution, schema construction or plan traversal per call.
 #[derive(Debug, Clone)]
-enum Phys {
+pub(crate) enum Phys {
     /// Counted scan of the `n`-th table of [`SelectPlan::tables`].
     Scan {
         /// Index into the plan's table list.
@@ -146,9 +146,9 @@ enum Phys {
 
 /// A compiled pipeline plus its output schema.
 #[derive(Debug, Clone)]
-struct PhysPlan {
-    root: Phys,
-    schema: Arc<Schema>,
+pub(crate) struct PhysPlan {
+    pub(crate) root: Phys,
+    pub(crate) schema: Arc<Schema>,
 }
 
 impl PhysPlan {
@@ -343,33 +343,33 @@ impl PhysPlan {
 #[derive(Debug, Clone)]
 pub(crate) struct SelectPlan {
     /// The plan before optimization (EXPLAIN shows both).
-    raw: Expr,
+    pub(crate) raw: Expr,
     /// The optimized plan template, values encoded as slot atoms.
-    expr: Expr,
+    pub(crate) expr: Expr,
     /// The compiled physical pipeline (attr ids, join layouts, schemas
     /// resolved once). Mandatory: the planner and the structural rewrite
     /// rules only ever produce scan/select/project/join shapes, and
     /// [`SelectPlan::build`] fails loudly if that ever stops holding —
     /// a silently-degraded fallback would be worse than an error.
-    phys: PhysPlan,
+    pub(crate) phys: PhysPlan,
     /// Slot table: `Atom(SLOT_BASE + i)` ↔ `slots[i]`.
-    slots: Vec<Slot>,
+    pub(crate) slots: Vec<Slot>,
     /// The applied rewrites, in order (EXPLAIN / plan observability).
-    trace: Vec<Applied>,
-    projection: Projection,
+    pub(crate) trace: Vec<Applied>,
+    pub(crate) projection: Projection,
     /// Every table the plan scans.
-    tables: Vec<String>,
+    pub(crate) tables: Vec<String>,
     /// Number of `?` parameters the plan expects.
-    param_count: usize,
+    pub(crate) param_count: usize,
     /// `ORDER BY`: the clause plus the ordered attribute's id in the
     /// plan's **output** schema (resolved once at build time). With a
     /// limit the pair compiles to a streaming top-k (bounded heap);
     /// alone, to a blocking sort.
-    order: Option<(OrderBy, usize)>,
+    pub(crate) order: Option<(OrderBy, usize)>,
     /// `LIMIT n`: without an ORDER BY the cursor pipeline stops pulling
     /// after `n` NF² tuples, so upstream scans terminate early; with one
     /// it is the top-k bound.
-    limit: Option<usize>,
+    pub(crate) limit: Option<usize>,
 }
 
 impl SelectPlan {
@@ -491,7 +491,7 @@ impl SelectPlan {
             }
             None => None,
         };
-        Ok(SelectPlan {
+        let plan = SelectPlan {
             raw: expr,
             expr: optimized.expr,
             phys,
@@ -502,7 +502,16 @@ impl SelectPlan {
             param_count,
             order,
             limit,
-        })
+        };
+        // Static plan verification (debug builds, or `NF2_VERIFY=1`):
+        // the compiled pipeline must satisfy every physical contract —
+        // any violation here is a planner bug, reported before the plan
+        // can produce a wrong answer.
+        if nf2_algebra::verify_enabled() {
+            crate::verify::check_plan(&plan, engine)
+                .map_err(|v| QueryError::Verify(v.to_string()))?;
+        }
+        Ok(plan)
     }
 
     /// The projection the plan computes.
@@ -621,13 +630,15 @@ impl SelectPlan {
 
     /// Renders the plan for EXPLAIN: the unoptimized tree with its cost
     /// estimate, plus (for `optimized`) the rewrite trace, the optimized
-    /// tree and the estimate delta. `Ok(None)` when binding finds a
+    /// tree and the estimate delta, plus (for `verify`) the static
+    /// checker's verdict. `Ok(None)` when binding finds a
     /// statically-empty result.
     pub(crate) fn explain<P: AsRef<str>>(
         &self,
         engine: &Engine,
         params: &[P],
         optimized: bool,
+        verify: bool,
     ) -> Result<Option<String>, QueryError> {
         // Both trees render from the template — literals as `'lit'`,
         // parameters as `?n` — so the text is identical to what
@@ -688,6 +699,14 @@ impl SelectPlan {
                 "\nestimated work: {:.0} -> {:.0}",
                 before.total_work, after.total_work
             ));
+        }
+        text.push_str(&format!(
+            "\nphysical:\n{}",
+            crate::verify::render_phys(&self.phys.root, &self.tables, 1)
+        ));
+        if verify {
+            text.push('\n');
+            text.push_str(&crate::verify::verify_report(self, engine));
         }
         Ok(Some(text))
     }
@@ -851,7 +870,7 @@ impl Prepared {
             .plan
             .as_mut()
             .ok_or_else(|| QueryError::Semantic(format!("not a SELECT: {sql}")))?;
-        match plan.explain(engine, NO_PARAMS, true)? {
+        match plan.explain(engine, NO_PARAMS, true, false)? {
             Some(text) => Ok(text),
             None => Ok("plan: <empty result — predicate value never interned>".to_owned()),
         }

@@ -130,12 +130,16 @@ fn statement() -> impl Strategy<Value = Statement> {
         Just(Statement::Begin),
         Just(Statement::Commit),
         Just(Statement::Rollback),
-        (select(), proptest::strategy::any::<bool>()).prop_map(|(inner, optimized)| {
-            Statement::Explain {
+        (
+            select(),
+            proptest::strategy::any::<bool>(),
+            proptest::strategy::any::<bool>(),
+        )
+            .prop_map(|(inner, optimized, verify)| Statement::Explain {
                 inner: Box::new(inner),
                 optimized,
-            }
-        }),
+                verify,
+            }),
     ]
 }
 

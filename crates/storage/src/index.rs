@@ -150,7 +150,7 @@ impl HashIndex {
         if bytes.len() < 8 {
             return Err(StorageError::Corrupt("index file truncated".into()));
         }
-        let stored = u64::from_be_bytes(bytes[..8].try_into().expect("8 bytes"));
+        let stored = u64::from_be_bytes(bytes[..8].try_into().expect("length checked above"));
         let body = &bytes[8..];
         if fnv1a64(body) != stored {
             return Err(StorageError::ChecksumMismatch { page_id: u32::MAX });

@@ -670,7 +670,7 @@ fn read_meta(path: &Path) -> Result<MetaContents> {
     if bytes.len() < 8 {
         return Err(StorageError::Corrupt("meta file truncated".into()));
     }
-    let stored = u64::from_be_bytes(bytes[..8].try_into().expect("8 bytes"));
+    let stored = u64::from_be_bytes(bytes[..8].try_into().expect("length checked above"));
     let body = &bytes[8..];
     if crate::codec::fnv1a64(body) != stored {
         return Err(StorageError::ChecksumMismatch { page_id: u32::MAX });

@@ -1,0 +1,137 @@
+//! Golden plan snapshots: every query in `tests/plans/*.sql` is run
+//! through `EXPLAIN VERIFY OPTIMIZED` against a fixed fixture catalog
+//! and compared byte-for-byte against its `.snap` neighbor — logical
+//! plan, applied rewrite rules, cost estimates, compiled physical
+//! pipeline (with shard prune lists), and the static checker's verdict
+//! all pinned in one artifact.
+//!
+//! The fixture engine pins `shards(4)` explicitly, so snapshots are
+//! identical under any `NF2_SHARDS` test-matrix leg.
+//!
+//! To regenerate after an intentional planner change:
+//!
+//! ```text
+//! NF2_REGEN_PLANS=1 cargo test --test plan_snapshots
+//! ```
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use nf2_query::engine::Engine;
+use nf2_query::exec::Output;
+
+fn fixture_engine() -> Engine {
+    // Explicit shard count: golden files must not depend on NF2_SHARDS.
+    let mut engine = Engine::builder().shards(4).build().unwrap();
+    engine
+        .session()
+        .run_script(
+            "CREATE TABLE sc (Student, Course);
+             INSERT INTO sc VALUES ('s1','c1'), ('s2','c1'), ('s1','c2'),
+                                   ('s3','c3'), ('s2','c4');
+             CREATE TABLE cp (Course, Prof);
+             INSERT INTO cp VALUES ('c1','p1'), ('c2','p2'), ('c3','p1'),
+                                   ('c4','p3');",
+        )
+        .unwrap();
+    engine
+}
+
+fn plans_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/plans")
+}
+
+fn regen() -> bool {
+    std::env::var("NF2_REGEN_PLANS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn snapshot_for(engine: &mut Engine, query: &str) -> String {
+    let statement = format!("EXPLAIN VERIFY OPTIMIZED {query}");
+    let output = engine
+        .session()
+        .run(&statement)
+        .unwrap_or_else(|e| panic!("{statement}: {e}"));
+    let Output::Message(text) = output else {
+        panic!("{statement}: expected a plan message");
+    };
+    let mut snap = String::new();
+    writeln!(snap, "-- {query}").unwrap();
+    writeln!(snap, "{text}").unwrap();
+    snap
+}
+
+#[test]
+fn golden_plans_match() {
+    let dir = plans_dir();
+    let mut engine = fixture_engine();
+    let mut sql_files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "sql"))
+        .collect();
+    sql_files.sort();
+    assert!(
+        sql_files.len() >= 7,
+        "expected the full plan-shape fixture set in {}",
+        dir.display()
+    );
+
+    let mut mismatches = Vec::new();
+    for sql_path in &sql_files {
+        let query = std::fs::read_to_string(sql_path).unwrap();
+        let query = query.trim();
+        let snap_path = sql_path.with_extension("snap");
+        let actual = snapshot_for(&mut engine, query);
+
+        // Every golden plan must carry a passing checker verdict —
+        // a FAILED snapshot must never be committed, even deliberately.
+        assert!(
+            actual.contains("verify: ok"),
+            "{}: checker rejected the plan:\n{actual}",
+            sql_path.display()
+        );
+
+        if regen() {
+            std::fs::write(&snap_path, &actual).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&snap_path).unwrap_or_else(|_| {
+            panic!(
+                "{} is missing — run `NF2_REGEN_PLANS=1 cargo test --test plan_snapshots`",
+                snap_path.display()
+            )
+        });
+        if actual != expected {
+            mismatches.push(format!(
+                "== {} ==\n--- expected ---\n{expected}\n--- actual ---\n{actual}",
+                sql_path.display()
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{} plan snapshot(s) changed — if intentional, regenerate with \
+         `NF2_REGEN_PLANS=1 cargo test --test plan_snapshots`:\n{}",
+        mismatches.len(),
+        mismatches.join("\n")
+    );
+}
+
+/// The snapshot corpus stays honest: each golden file must mention the
+/// physical pipeline section and the verdict the harness asserts on.
+#[test]
+fn golden_files_contain_physical_and_verdict_sections() {
+    if regen() {
+        return; // files may be mid-rewrite in regen mode
+    }
+    for entry in std::fs::read_dir(plans_dir()).unwrap().flatten() {
+        let path = entry.path();
+        if path.extension().is_none_or(|e| e != "snap") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("physical:"), "{}", path.display());
+        assert!(text.contains("verify: ok"), "{}", path.display());
+    }
+}

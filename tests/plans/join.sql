@@ -1,0 +1,1 @@
+SELECT Student, Prof FROM sc JOIN cp WHERE Course = 'c1'

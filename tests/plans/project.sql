@@ -1,0 +1,1 @@
+SELECT Student FROM sc WHERE Course IN ('c1', 'c2')

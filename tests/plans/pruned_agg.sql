@@ -1,0 +1,1 @@
+SELECT COUNT(*) FROM sc WHERE Course = 'c1'

@@ -1,0 +1,1 @@
+SELECT * FROM sc WHERE Course = 'c1'
