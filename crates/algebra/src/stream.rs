@@ -166,6 +166,26 @@ impl TupleOrder {
     }
 }
 
+/// The compound sort key of a tuple under a multi-attribute order: one
+/// extreme member per [`TupleOrder`], in order-list position. `ORDER BY
+/// a, b` ranks by `a`'s key first and breaks ties with `b`'s.
+pub fn compound_key_of(orders: &[TupleOrder], t: &NfTuple) -> Vec<Atom> {
+    orders.iter().map(|o| o.key_of(t)).collect()
+}
+
+/// Lexicographic comparison of two compound keys in emission order
+/// (each position compared under its own [`TupleOrder`], directions
+/// folded in). Keys must come from [`compound_key_of`] over the same
+/// `orders`.
+pub fn cmp_compound_keys(orders: &[TupleOrder], a: &[Atom], b: &[Atom]) -> Ordering {
+    orders
+        .iter()
+        .zip(a.iter().zip(b))
+        .map(|(o, (&ka, &kb))| o.cmp_keys(ka, kb))
+        .find(|&c| c != Ordering::Equal)
+        .unwrap_or(Ordering::Equal)
+}
+
 /// Observable counters of one [`top_k`](RelStream::top_k) execution:
 /// how many tuples the operator pulled from its input and the largest
 /// number it ever held at once (`≤ k` by construction — this is the
@@ -273,6 +293,92 @@ impl<'a> RelStream<'a> {
         RelStream::new(schema, out)
     }
 
+    /// Blocking sort by a **compound** order (`ORDER BY a, b DESC, …`):
+    /// lexicographic over the orders' keys, stable on full ties. With a
+    /// single order this is exactly [`sorted`](Self::sorted).
+    pub fn sorted_by(self, orders: Vec<TupleOrder>) -> RelStream<'a> {
+        let RelStream { schema, iter } = self;
+        let out = lazy_iter(move || {
+            let mut entries: Vec<(Vec<Atom>, usize, TupleView<'a>)> = iter
+                .enumerate()
+                .map(|(seq, t)| (compound_key_of(&orders, t.as_tuple()), seq, t))
+                .collect();
+            entries.sort_by(|(ka, sa, _), (kb, sb, _)| {
+                cmp_compound_keys(&orders, ka, kb).then(sa.cmp(sb))
+            });
+            Box::new(entries.into_iter().map(|(_, _, t)| t)) as TupleIter<'a>
+        });
+        RelStream::new(schema, out)
+    }
+
+    /// Streaming merge of **already-sorted** parts into one sorted
+    /// stream — the `ORDER BY` fast path over a sharded store whose
+    /// per-shard segments are kernel-sorted on the order key: no shard
+    /// is drained, no heap over the full input, each pull compares the
+    /// parts' current heads and emits the best.
+    ///
+    /// Correctness requirement: every part must already be sorted under
+    /// `orders` (compound keys non-decreasing in emission order). Ties
+    /// across parts go to the lowest part index, and each part is FIFO
+    /// within itself, so the merge is tuple-identical to
+    /// `concat(parts).sorted_by(orders)` — the stable blocking sort —
+    /// whenever the parts arrive in concatenation order.
+    ///
+    /// Head selection is a linear scan over the parts: with shard
+    /// counts in the tens, that beats heap bookkeeping and keeps the
+    /// code obviously correct. Construction is lazy; the first pull
+    /// primes one head per part, after which `LIMIT k` costs about
+    /// `k + parts` input pulls instead of a full drain.
+    pub fn merge_sorted(
+        schema: Arc<Schema>,
+        parts: Vec<RelStream<'a>>,
+        orders: Vec<TupleOrder>,
+    ) -> RelStream<'a> {
+        if parts.len() == 1 {
+            // Single part: already sorted, nothing to merge.
+            let mut parts = parts;
+            let only = parts.pop().expect("one part is present");
+            return RelStream::new(schema, only.iter);
+        }
+        let out = lazy_iter(move || {
+            let mut iters: Vec<TupleIter<'a>> = parts.into_iter().map(|p| p.iter).collect();
+            let mut heads: Vec<Option<(Vec<Atom>, TupleView<'a>)>> = iters
+                .iter_mut()
+                .map(|it| {
+                    it.next()
+                        .map(|t| (compound_key_of(&orders, t.as_tuple()), t))
+                })
+                .collect();
+            let merged = std::iter::from_fn(move || {
+                let mut best: Option<usize> = None;
+                for i in 0..heads.len() {
+                    let Some((ki, _)) = &heads[i] else { continue };
+                    best = match best {
+                        None => Some(i),
+                        Some(b) => {
+                            let (kb, _) = heads[b].as_ref().expect("best head is occupied");
+                            // Strict Less: on equal keys the earlier
+                            // part wins, matching stable concat order.
+                            if cmp_compound_keys(&orders, ki, kb) == Ordering::Less {
+                                Some(i)
+                            } else {
+                                Some(b)
+                            }
+                        }
+                    };
+                }
+                let b = best?;
+                let (_, t) = heads[b].take().expect("best head is occupied");
+                heads[b] = iters[b]
+                    .next()
+                    .map(|t| (compound_key_of(&orders, t.as_tuple()), t));
+                Some(t)
+            });
+            Box::new(merged) as TupleIter<'a>
+        });
+        RelStream::new(schema, out)
+    }
+
     /// Streaming top-k: the first `k` tuples of [`sorted`](Self::sorted)
     /// — tuple-identical, ties included — computed with a **bounded
     /// binary heap** that pulls the input exactly once and retains at
@@ -291,7 +397,6 @@ impl<'a> RelStream<'a> {
         k: usize,
         stats: Arc<TopKStats>,
     ) -> RelStream<'a> {
-        use std::sync::atomic::Ordering::Relaxed;
         let RelStream { schema, iter } = self;
         if k == 0 {
             // Nothing can survive the limit: do not even build the
@@ -299,59 +404,110 @@ impl<'a> RelStream<'a> {
             // this across plan shapes).
             return RelStream::empty(schema);
         }
-        let out = lazy_iter(move || {
-            // Max-heap with the *worst* retained entry at the root
-            // ("worst" = latest in emission order), so a better incoming
-            // tuple evicts it in O(log k).
-            let mut heap: Vec<(Atom, usize, TupleView<'a>)> = Vec::with_capacity(k.min(1024));
-            let worse = |a: &(Atom, usize, TupleView<'a>), b: &(Atom, usize, TupleView<'a>)| {
-                order.cmp_keys(a.0, b.0).then(a.1.cmp(&b.1)) == Ordering::Greater
-            };
-            for (seq, t) in iter.enumerate() {
-                stats.pulled.fetch_add(1, Relaxed);
-                let entry = (order.key_of(t.as_tuple()), seq, t);
-                if heap.len() < k {
-                    // Sift up.
-                    heap.push(entry);
-                    let mut i = heap.len() - 1;
-                    while i > 0 {
-                        let parent = (i - 1) / 2;
-                        if worse(&heap[i], &heap[parent]) {
-                            heap.swap(i, parent);
-                            i = parent;
-                        } else {
-                            break;
-                        }
-                    }
-                    stats.peak_retained.fetch_max(heap.len(), Relaxed);
-                } else if worse(&heap[0], &entry) {
-                    // Replace the root and sift down. (A later tuple with
-                    // an equal key is *worse* — larger seq — so ties
-                    // never evict, exactly like a stable sort.)
-                    heap[0] = entry;
-                    let mut i = 0;
-                    loop {
-                        let (l, r) = (2 * i + 1, 2 * i + 2);
-                        let mut biggest = i;
-                        if l < heap.len() && worse(&heap[l], &heap[biggest]) {
-                            biggest = l;
-                        }
-                        if r < heap.len() && worse(&heap[r], &heap[biggest]) {
-                            biggest = r;
-                        }
-                        if biggest == i {
-                            break;
-                        }
-                        heap.swap(i, biggest);
-                        i = biggest;
-                    }
-                }
-            }
-            heap.sort_by(|(ka, sa, _), (kb, sb, _)| order.cmp_keys(*ka, *kb).then(sa.cmp(sb)));
-            Box::new(heap.into_iter().map(|(_, _, t)| t)) as TupleIter<'a>
-        });
+        let (key_order, cmp_order) = (order.clone(), order);
+        let out = bounded_top_k(
+            iter,
+            k,
+            stats,
+            move |t| key_order.key_of(t),
+            move |&a, &b| cmp_order.cmp_keys(a, b),
+        );
         RelStream::new(schema, out)
     }
+
+    /// [`top_k`](Self::top_k) under a compound order — the first `k`
+    /// tuples of [`sorted_by`](Self::sorted_by), computed with the same
+    /// bounded heap (at most `k` tuples retained).
+    pub fn top_k_by(self, orders: Vec<TupleOrder>, k: usize) -> RelStream<'a> {
+        self.top_k_by_with_stats(orders, k, Arc::new(TopKStats::default()))
+    }
+
+    /// [`top_k_by`](Self::top_k_by) with shared counters.
+    pub fn top_k_by_with_stats(
+        self,
+        orders: Vec<TupleOrder>,
+        k: usize,
+        stats: Arc<TopKStats>,
+    ) -> RelStream<'a> {
+        let RelStream { schema, iter } = self;
+        if k == 0 {
+            return RelStream::empty(schema);
+        }
+        let (key_orders, cmp_orders) = (orders.clone(), orders);
+        let out = bounded_top_k(
+            iter,
+            k,
+            stats,
+            move |t| compound_key_of(&key_orders, t),
+            move |a: &Vec<Atom>, b| cmp_compound_keys(&cmp_orders, a, b),
+        );
+        RelStream::new(schema, out)
+    }
+}
+
+/// The bounded-heap top-k core shared by the single-key and compound
+/// operators: pulls the input exactly once, retains at most `k` entries,
+/// emits the stable-sort prefix. `cmp` ranks extracted keys in emission
+/// order (`Less` = emitted first).
+fn bounded_top_k<'a, K: 'a>(
+    iter: TupleIter<'a>,
+    k: usize,
+    stats: Arc<TopKStats>,
+    key_of: impl Fn(&NfTuple) -> K + 'a,
+    cmp: impl Fn(&K, &K) -> Ordering + 'a,
+) -> TupleIter<'a> {
+    use std::sync::atomic::Ordering::Relaxed;
+    lazy_iter(move || {
+        // Max-heap with the *worst* retained entry at the root
+        // ("worst" = latest in emission order), so a better incoming
+        // tuple evicts it in O(log k).
+        let mut heap: Vec<(K, usize, TupleView<'a>)> = Vec::with_capacity(k.min(1024));
+        let worse = |a: &(K, usize, TupleView<'a>), b: &(K, usize, TupleView<'a>)| {
+            cmp(&a.0, &b.0).then(a.1.cmp(&b.1)) == Ordering::Greater
+        };
+        for (seq, t) in iter.enumerate() {
+            stats.pulled.fetch_add(1, Relaxed);
+            let entry = (key_of(t.as_tuple()), seq, t);
+            if heap.len() < k {
+                // Sift up.
+                heap.push(entry);
+                let mut i = heap.len() - 1;
+                while i > 0 {
+                    let parent = (i - 1) / 2;
+                    if worse(&heap[i], &heap[parent]) {
+                        heap.swap(i, parent);
+                        i = parent;
+                    } else {
+                        break;
+                    }
+                }
+                stats.peak_retained.fetch_max(heap.len(), Relaxed);
+            } else if worse(&heap[0], &entry) {
+                // Replace the root and sift down. (A later tuple with
+                // an equal key is *worse* — larger seq — so ties
+                // never evict, exactly like a stable sort.)
+                heap[0] = entry;
+                let mut i = 0;
+                loop {
+                    let (l, r) = (2 * i + 1, 2 * i + 2);
+                    let mut biggest = i;
+                    if l < heap.len() && worse(&heap[l], &heap[biggest]) {
+                        biggest = l;
+                    }
+                    if r < heap.len() && worse(&heap[r], &heap[biggest]) {
+                        biggest = r;
+                    }
+                    if biggest == i {
+                        break;
+                    }
+                    heap.swap(i, biggest);
+                    i = biggest;
+                }
+            }
+        }
+        heap.sort_by(|(ka, sa, _), (kb, sb, _)| cmp(ka, kb).then(sa.cmp(sb)));
+        Box::new(heap.into_iter().map(|(_, _, t)| t)) as TupleIter<'a>
+    })
 }
 
 impl<'a> Iterator for RelStream<'a> {
@@ -1207,6 +1363,198 @@ mod tests {
         );
         let all = eval_stream(&Expr::rel("sc"), &env).unwrap();
         assert_eq!(all.flat_count(), rel.flat_count() + 1);
+    }
+
+    /// Four tuples with ties on A so a second key matters.
+    fn multi_key_rel() -> NfRelation {
+        let schema = Schema::new("T", &["A", "B"]).unwrap();
+        let tuples: Vec<NfTuple> = [(2u32, 7u32), (1, 9), (2, 3), (1, 4)]
+            .iter()
+            .map(|&(a, b)| NfTuple::from_flat(&[Atom(a), Atom(b)]))
+            .collect();
+        NfRelation::from_disjoint_tuples(schema, tuples).unwrap()
+    }
+
+    #[test]
+    fn sorted_by_orders_lexicographically() {
+        let rel = multi_key_rel();
+        let orders = vec![
+            TupleOrder::by_atom_id(0, SortDir::Asc),
+            TupleOrder::by_atom_id(1, SortDir::Desc),
+        ];
+        let got: Vec<Vec<Atom>> = RelStream::scan(&rel)
+            .sorted_by(orders)
+            .map(|t| vec![t.component(0).as_slice()[0], t.component(1).as_slice()[0]])
+            .collect();
+        // A ascending, B descending within equal A.
+        assert_eq!(
+            got,
+            vec![
+                vec![Atom(1), Atom(9)],
+                vec![Atom(1), Atom(4)],
+                vec![Atom(2), Atom(7)],
+                vec![Atom(2), Atom(3)],
+            ]
+        );
+        // A single compound key degenerates to the plain sort.
+        let single: Vec<NfTuple> = RelStream::scan(&rel)
+            .sorted_by(vec![TupleOrder::by_atom_id(0, SortDir::Asc)])
+            .map(TupleView::into_owned)
+            .collect();
+        let plain: Vec<NfTuple> = RelStream::scan(&rel)
+            .sorted(TupleOrder::by_atom_id(0, SortDir::Asc))
+            .map(TupleView::into_owned)
+            .collect();
+        assert_eq!(single, plain);
+    }
+
+    #[test]
+    fn top_k_by_matches_sorted_by_prefix_and_stays_bounded() {
+        let rel = multi_key_rel();
+        let orders = vec![
+            TupleOrder::by_atom_id(0, SortDir::Asc),
+            TupleOrder::by_atom_id(1, SortDir::Asc),
+        ];
+        for k in 0..=rel.tuple_count() + 1 {
+            let stats = Arc::new(TopKStats::default());
+            let got: Vec<NfTuple> = RelStream::scan(&rel)
+                .top_k_by_with_stats(orders.clone(), k, stats.clone())
+                .map(TupleView::into_owned)
+                .collect();
+            let want: Vec<NfTuple> = RelStream::scan(&rel)
+                .sorted_by(orders.clone())
+                .map(TupleView::into_owned)
+                .take(k)
+                .collect();
+            assert_eq!(got, want, "k {k}");
+            let peak = stats
+                .peak_retained
+                .load(std::sync::atomic::Ordering::Relaxed);
+            assert!(peak <= k, "heap bound: retained {peak} > k {k}");
+        }
+    }
+
+    #[test]
+    fn merge_sorted_equals_blocking_sort_of_concat() {
+        // Split a relation into sorted runs, merge them, compare with
+        // sorting the concatenation — the streaming/blocking agreement
+        // that lets the query layer swap one for the other.
+        let rel = sc();
+        let order = TupleOrder::by_atom_id(1, SortDir::Asc);
+        let sorted_all: Vec<NfTuple> = RelStream::scan(&rel)
+            .sorted(order.clone())
+            .map(TupleView::into_owned)
+            .collect();
+        // Parts = odd/even positions of the sorted list (each sorted).
+        let split = |keep: &dyn Fn(usize) -> bool| {
+            NfRelation::from_disjoint_tuples(
+                rel.schema().clone(),
+                sorted_all
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| keep(*i))
+                    .map(|(_, t)| t.clone())
+                    .collect(),
+            )
+            .unwrap()
+        };
+        let (even, odd) = (split(&|i| i % 2 == 0), split(&|i| i % 2 == 1));
+        let merged: Vec<NfTuple> = RelStream::merge_sorted(
+            rel.schema().clone(),
+            vec![RelStream::scan(&even), RelStream::scan(&odd)],
+            vec![order.clone()],
+        )
+        .map(TupleView::into_owned)
+        .collect();
+        assert_eq!(merged, sorted_all);
+        // Keys are monotone in emission order.
+        for w in merged.windows(2) {
+            assert_ne!(
+                order.cmp_keys(order.key_of(&w[0]), order.key_of(&w[1])),
+                std::cmp::Ordering::Greater
+            );
+        }
+        // Empty parts and a single part are handled.
+        let one: Vec<NfTuple> = RelStream::merge_sorted(
+            rel.schema().clone(),
+            vec![RelStream::scan(&even)],
+            vec![order.clone()],
+        )
+        .map(TupleView::into_owned)
+        .collect();
+        assert_eq!(one.len(), even.tuple_count());
+        let with_empty: Vec<NfTuple> = RelStream::merge_sorted(
+            rel.schema().clone(),
+            vec![
+                RelStream::empty(rel.schema().clone()),
+                RelStream::scan(&even),
+                RelStream::empty(rel.schema().clone()),
+            ],
+            vec![order],
+        )
+        .map(TupleView::into_owned)
+        .collect();
+        assert_eq!(with_empty.len(), even.tuple_count());
+    }
+
+    #[test]
+    fn merge_sorted_breaks_ties_by_part_index() {
+        // Two parts with the same single key: part 0's tuple must come
+        // first, matching stable concat order.
+        let schema = Schema::new("T", &["A", "B"]).unwrap();
+        let mk = |a: u32, b: u32| {
+            NfRelation::from_disjoint_tuples(
+                schema.clone(),
+                vec![NfTuple::from_flat(&[Atom(a), Atom(b)])],
+            )
+            .unwrap()
+        };
+        let (p0, p1) = (mk(1, 10), mk(2, 10));
+        let order = TupleOrder::by_atom_id(1, SortDir::Asc);
+        let got: Vec<NfTuple> = RelStream::merge_sorted(
+            schema.clone(),
+            vec![RelStream::scan(&p0), RelStream::scan(&p1)],
+            vec![order],
+        )
+        .map(TupleView::into_owned)
+        .collect();
+        assert_eq!(got[0].component(0).as_slice(), [Atom(1)]);
+        assert_eq!(got[1].component(0).as_slice(), [Atom(2)]);
+    }
+
+    #[test]
+    fn merge_sorted_pulls_lazily() {
+        // LIMIT-style consumption: taking 1 tuple from a merge of two
+        // parts pulls one head per part plus one refill — never a drain.
+        fn counted<'r>(r: &'r NfRelation, pulls: &'r std::cell::Cell<usize>) -> TupleIter<'r> {
+            Box::new(
+                r.tuples()
+                    .iter()
+                    .map(TupleView::Borrowed)
+                    .inspect(move |_| {
+                        pulls.set(pulls.get() + 1);
+                    }),
+            )
+        }
+        let rel = sc();
+        let pulls = std::cell::Cell::new(0usize);
+        let order = TupleOrder::by_atom_id(0, SortDir::Asc);
+        let merged = RelStream::merge_sorted(
+            rel.schema().clone(),
+            vec![
+                RelStream::new(rel.schema().clone(), counted(&rel, &pulls)),
+                RelStream::new(rel.schema().clone(), counted(&rel, &pulls)),
+            ],
+            vec![order],
+        );
+        assert_eq!(pulls.get(), 0, "construction pulls nothing");
+        let first = merged.take(1).count();
+        assert_eq!(first, 1);
+        assert!(
+            pulls.get() <= 3,
+            "one emission needs at most heads + refill pulls, got {}",
+            pulls.get()
+        );
     }
 
     #[test]

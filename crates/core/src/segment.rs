@@ -1,0 +1,494 @@
+//! Sorted immutable columnar segments over a shard's canonical tuples.
+//!
+//! The nest kernel already pays one global sort per rebuild
+//! ([`NestKernel::canonical_of_flat`](crate::kernel::NestKernel)): with
+//! the last-nested attribute `P(n−1)` outermost, the emitted NF² tuples
+//! come out ordered by the componentwise-minimum representative
+//! `(min P(n−1), min P(n−2), …, min P(0))` — stage-`j` grouping requires
+//! set-equality on every earlier position, so the row carrying the
+//! minimum outer value of a tuple spans the tuple's full inner sets.
+//! Segments make that order *be* the storage order: each shard of a
+//! [`ShardedCanonical`](crate::shard::ShardedCanonical) slices its
+//! freshly rebuilt tuple vector into fixed-size immutable
+//! [`Segment`]s, each carrying
+//!
+//! * **dictionary-coded columns** — components are stored as the
+//!   [`Atom`] codes already interned through the shared dictionary, one
+//!   offsets+values pair per non-outer attribute;
+//! * **run-length encoding on the outer attribute** — consecutive
+//!   tuples sharing the same `P(n−1)` set collapse into one run, which
+//!   is exactly where the canonical form concentrates repetition;
+//! * **zone-map metadata** — per-attribute min/max codes (over all set
+//!   members) and the run count as a distinct-count estimate, so range
+//!   and equality predicates can refute whole segments without probing
+//!   a single tuple.
+//!
+//! Segments are immutable. §4 point maintenance mutates the tuple store
+//! in place and merely marks the shard's segments *stale*
+//! ([`ShardSegments::note_delta`]); the accumulated delta is absorbed
+//! the next time a batch rebuild re-nests the shard, which re-emits
+//! segments from the kernel's sorted output at no extra sorting cost.
+//! Consumers (ordered scans, zone-map skipping) must check
+//! [`ShardSegments::is_fresh`] and fall back to the plain tuple scan
+//! when the delta has broken the sorted order.
+
+use crate::tuple::{NfTuple, ValueSet};
+use crate::value::Atom;
+
+/// Default number of canonical NF² tuples per segment. Small enough
+/// that skipping a segment saves real work at E-scale row counts, large
+/// enough that per-segment metadata stays negligible.
+pub const DEFAULT_SEGMENT_ROWS: usize = 512;
+
+/// A dictionary-coded column for one (non-outer) attribute: the sets of
+/// `rows` consecutive tuples, stored as one concatenated atom vector
+/// with row offsets. Offsets are `u32`: a segment holds at most
+/// [`DEFAULT_SEGMENT_ROWS`] tuples, far below the offset range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrColumn {
+    /// `rows + 1` offsets into `values`; row `i` owns
+    /// `values[offsets[i]..offsets[i+1]]`.
+    offsets: Vec<u32>,
+    /// Concatenated set members, each row's slice strictly ascending.
+    values: Vec<Atom>,
+}
+
+impl AttrColumn {
+    fn encode(tuples: &[NfTuple], attr: usize) -> Self {
+        let mut offsets = Vec::with_capacity(tuples.len() + 1);
+        let mut values = Vec::new();
+        offsets.push(0u32);
+        for t in tuples {
+            values.extend_from_slice(t.component(attr).as_slice());
+            offsets.push(values.len() as u32);
+        }
+        AttrColumn { offsets, values }
+    }
+
+    /// Number of rows encoded.
+    pub fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The set slice of one row (sorted ascending).
+    pub fn set(&self, row: usize) -> &[Atom] {
+        &self.values[self.offsets[row] as usize..self.offsets[row + 1] as usize]
+    }
+
+    /// Total atoms stored.
+    pub fn atom_count(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// The run-length-encoded outer column: consecutive tuples whose
+/// `P(n−1)` sets are identical share one stored copy of the set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RleColumn {
+    /// Tuples per run.
+    run_lens: Vec<u32>,
+    /// `runs + 1` offsets into `values`; run `r` owns
+    /// `values[offsets[r]..offsets[r+1]]`.
+    offsets: Vec<u32>,
+    /// Concatenated run sets, each strictly ascending.
+    values: Vec<Atom>,
+}
+
+impl RleColumn {
+    fn encode(tuples: &[NfTuple], attr: usize) -> Self {
+        let mut run_lens: Vec<u32> = Vec::new();
+        let mut offsets = vec![0u32];
+        let mut values: Vec<Atom> = Vec::new();
+        for t in tuples {
+            let set = t.component(attr).as_slice();
+            let prev = offsets
+                .len()
+                .checked_sub(2)
+                .map(|r| &values[offsets[r] as usize..offsets[r + 1] as usize]);
+            if prev == Some(set) {
+                let last = run_lens
+                    .last_mut()
+                    .expect("a previous run exists whenever prev matched");
+                *last += 1;
+            } else {
+                values.extend_from_slice(set);
+                offsets.push(values.len() as u32);
+                run_lens.push(1);
+            }
+        }
+        RleColumn {
+            run_lens,
+            offsets,
+            values,
+        }
+    }
+
+    /// Number of runs (= distinct consecutive outer sets).
+    pub fn runs(&self) -> usize {
+        self.run_lens.len()
+    }
+
+    /// Tuples in run `r`.
+    pub fn run_len(&self, r: usize) -> usize {
+        self.run_lens[r] as usize
+    }
+
+    /// The shared set slice of run `r` (sorted ascending).
+    pub fn run_set(&self, r: usize) -> &[Atom] {
+        &self.values[self.offsets[r] as usize..self.offsets[r + 1] as usize]
+    }
+
+    /// Total rows across runs.
+    pub fn rows(&self) -> usize {
+        self.run_lens.iter().map(|&l| l as usize).sum()
+    }
+
+    /// Atoms stored after run-length collapsing.
+    pub fn atom_count(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// One sorted immutable columnar segment: a contiguous slice
+/// `[start, start + rows)` of a shard's canonical tuple vector, stored
+/// column-wise with zone-map metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    start: usize,
+    rows: usize,
+    outer_attr: usize,
+    /// Per-attribute minimum atom code over all set members of all rows.
+    mins: Vec<Atom>,
+    /// Per-attribute maximum atom code over all set members of all rows.
+    maxs: Vec<Atom>,
+    /// One dictionary-coded column per attribute; `None` at
+    /// `outer_attr`, whose data lives in `outer`.
+    columns: Vec<Option<AttrColumn>>,
+    /// The run-length-encoded outer (`P(n−1)`) column.
+    outer: RleColumn,
+}
+
+impl Segment {
+    /// Encodes `tuples` (non-empty, all of the same arity ≥ 1) as a
+    /// segment beginning at tuple index `start` of its shard. The
+    /// caller guarantees the slice comes from a kernel rebuild, i.e. is
+    /// in canonical sorted order; encoding itself never re-sorts.
+    pub fn encode(tuples: &[NfTuple], start: usize, outer_attr: usize) -> Self {
+        debug_assert!(!tuples.is_empty(), "segments hold at least one tuple");
+        let arity = tuples[0].arity();
+        debug_assert!(outer_attr < arity, "outer attribute must be in-schema");
+        let mut mins = vec![Atom(u32::MAX); arity];
+        let mut maxs = vec![Atom(0); arity];
+        for t in tuples {
+            for (a, comp) in t.components().iter().enumerate() {
+                let s = comp.as_slice();
+                // invariant: ValueSet slices are non-empty and sorted
+                let lo = *s.first().expect("value sets are non-empty");
+                let hi = *s.last().expect("value sets are non-empty");
+                if lo < mins[a] {
+                    mins[a] = lo;
+                }
+                if hi > maxs[a] {
+                    maxs[a] = hi;
+                }
+            }
+        }
+        let columns = (0..arity)
+            .map(|a| (a != outer_attr).then(|| AttrColumn::encode(tuples, a)))
+            .collect();
+        let seg = Segment {
+            start,
+            rows: tuples.len(),
+            outer_attr,
+            mins,
+            maxs,
+            columns,
+            outer: RleColumn::encode(tuples, outer_attr),
+        };
+        debug_assert_eq!(
+            seg.decode(),
+            tuples,
+            "columnar round-trip must reproduce the encoded tuples"
+        );
+        seg
+    }
+
+    /// First tuple index (within the shard) this segment covers.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of tuples covered.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The covered index range within the shard's tuple vector.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.rows
+    }
+
+    /// The attribute stored run-length encoded (`P(n−1)`).
+    pub fn outer_attr(&self) -> usize {
+        self.outer_attr
+    }
+
+    /// Zone-map minimum code for `attr`.
+    pub fn min(&self, attr: usize) -> Atom {
+        self.mins[attr]
+    }
+
+    /// Zone-map maximum code for `attr`.
+    pub fn max(&self, attr: usize) -> Atom {
+        self.maxs[attr]
+    }
+
+    /// Distinct-count estimate for the outer attribute: the RLE run
+    /// count. Exact when equal outer sets are always adjacent (an upper
+    /// bound otherwise, since ties on the outer minimum can interleave
+    /// distinct sets).
+    pub fn distinct_outer(&self) -> usize {
+        self.outer.runs()
+    }
+
+    /// The run-length-encoded outer column.
+    pub fn outer_column(&self) -> &RleColumn {
+        &self.outer
+    }
+
+    /// The dictionary-coded column of a non-outer attribute.
+    pub fn column(&self, attr: usize) -> Option<&AttrColumn> {
+        self.columns[attr].as_ref()
+    }
+
+    /// Whether any value in `values` falls inside this segment's
+    /// `[min, max]` zone for `attr` — the zone-map test: `false` proves
+    /// no tuple in the segment can intersect `values` on `attr`, so the
+    /// whole segment can be skipped without probing it.
+    pub fn admits(&self, attr: usize, values: &ValueSet) -> bool {
+        let s = values.as_slice();
+        let i = s.partition_point(|&v| v < self.mins[attr]);
+        i < s.len() && s[i] <= self.maxs[attr]
+    }
+
+    /// Atoms stored across all columns after encoding (RLE savings
+    /// included) — the numerator of the compression ratio.
+    pub fn encoded_atoms(&self) -> usize {
+        self.outer.atom_count()
+            + self
+                .columns
+                .iter()
+                .flatten()
+                .map(AttrColumn::atom_count)
+                .sum::<usize>()
+    }
+
+    /// Reconstructs the covered tuples from the columns. Test and
+    /// verification helper: the result must equal the tuple-store slice
+    /// the segment was encoded from.
+    pub fn decode(&self) -> Vec<NfTuple> {
+        let arity = self.columns.len();
+        let mut out = Vec::with_capacity(self.rows);
+        let mut run = 0usize;
+        let mut left_in_run = self.outer.run_len(0);
+        for row in 0..self.rows {
+            if left_in_run == 0 {
+                run += 1;
+                left_in_run = self.outer.run_len(run);
+            }
+            left_in_run -= 1;
+            let comps = (0..arity)
+                .map(|a| {
+                    let slice = match &self.columns[a] {
+                        Some(col) => col.set(row),
+                        None => self.outer.run_set(run),
+                    };
+                    ValueSet::from_sorted_unchecked(slice.to_vec())
+                })
+                .collect();
+            out.push(NfTuple::new(comps));
+        }
+        out
+    }
+}
+
+/// The segment state of one shard: the immutable segment list plus the
+/// mutable-delta bookkeeping that tracks whether the list still
+/// describes the live tuple store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSegments {
+    segments: Vec<Segment>,
+    /// §4 point/incremental ops applied since the last rebuild — the
+    /// size of the mutable delta awaiting absorption.
+    delta_ops: usize,
+    /// `true` while the segments exactly tile the shard's tuple vector
+    /// in canonical sorted order. Point maintenance clears it; only a
+    /// kernel rebuild sets it again.
+    fresh: bool,
+}
+
+impl ShardSegments {
+    /// The segment state of an empty, never-mutated shard: zero
+    /// segments exactly tile zero tuples, so it is fresh.
+    pub fn fresh_empty() -> Self {
+        ShardSegments {
+            segments: Vec::new(),
+            delta_ops: 0,
+            fresh: true,
+        }
+    }
+
+    /// Re-emits segments from a freshly rebuilt (kernel-sorted) tuple
+    /// vector, absorbing any pending delta. `outer_attr` is the routing
+    /// attribute `P(n−1)`; a zero-arity schema has none, and its
+    /// (degenerate) tuples stay unsegmented.
+    pub fn rebuild(&mut self, tuples: &[NfTuple], outer_attr: Option<usize>, target_rows: usize) {
+        self.segments.clear();
+        self.delta_ops = 0;
+        let Some(outer) = outer_attr else {
+            self.fresh = tuples.is_empty();
+            return;
+        };
+        let target = target_rows.max(1);
+        let mut start = 0usize;
+        while start < tuples.len() {
+            let take = target.min(tuples.len() - start);
+            self.segments
+                .push(Segment::encode(&tuples[start..start + take], start, outer));
+            start += take;
+        }
+        self.fresh = true;
+    }
+
+    /// Records `ops` point/incremental maintenance operations: the
+    /// tuple store has diverged from the segments, so ordered scans and
+    /// zone maps must fall back until the next rebuild absorbs the
+    /// delta.
+    pub fn note_delta(&mut self, ops: usize) {
+        self.fresh = false;
+        self.delta_ops += ops;
+    }
+
+    /// Whether the segments still exactly describe the tuple store.
+    pub fn is_fresh(&self) -> bool {
+        self.fresh
+    }
+
+    /// Pending delta operations since the last rebuild.
+    pub fn delta_ops(&self) -> usize {
+        self.delta_ops
+    }
+
+    /// The immutable segments, in tuple order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total tuples the segments cover.
+    pub fn covered_rows(&self) -> usize {
+        self.segments.iter().map(Segment::rows).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(vals: &[u32]) -> ValueSet {
+        ValueSet::new(vals.iter().map(|&v| Atom(v)).collect()).expect("test sets are non-empty")
+    }
+
+    fn tuple(comps: &[&[u32]]) -> NfTuple {
+        NfTuple::new(comps.iter().map(|c| set(c)).collect())
+    }
+
+    fn sample() -> Vec<NfTuple> {
+        vec![
+            tuple(&[&[1, 3], &[10]]),
+            tuple(&[&[2], &[10]]),
+            tuple(&[&[5], &[11, 12]]),
+            tuple(&[&[4, 9], &[11, 12]]),
+            tuple(&[&[7], &[20]]),
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let tuples = sample();
+        let seg = Segment::encode(&tuples, 3, 1);
+        assert_eq!(seg.start(), 3);
+        assert_eq!(seg.rows(), 5);
+        assert_eq!(seg.range(), 3..8);
+        assert_eq!(seg.decode(), tuples);
+    }
+
+    #[test]
+    fn rle_collapses_consecutive_outer_sets() {
+        let tuples = sample();
+        let seg = Segment::encode(&tuples, 0, 1);
+        // Outer sets: {10},{10},{11,12},{11,12},{20} → 3 runs.
+        assert_eq!(seg.distinct_outer(), 3);
+        assert_eq!(seg.outer_column().run_len(0), 2);
+        assert_eq!(seg.outer_column().run_set(1), &[Atom(11), Atom(12)]);
+        // 4 distinct outer atoms stored instead of 7 expanded.
+        assert_eq!(seg.outer_column().atom_count(), 4);
+        assert_eq!(seg.outer_column().rows(), 5);
+        // Column 0 keeps every atom (7), outer stores 4: 11 total.
+        assert_eq!(seg.encoded_atoms(), 11);
+    }
+
+    #[test]
+    fn zone_maps_bound_all_set_members() {
+        let seg = Segment::encode(&sample(), 0, 1);
+        assert_eq!(seg.min(0), Atom(1));
+        assert_eq!(seg.max(0), Atom(9));
+        assert_eq!(seg.min(1), Atom(10));
+        assert_eq!(seg.max(1), Atom(20));
+    }
+
+    #[test]
+    fn admits_refutes_out_of_zone_predicates() {
+        let seg = Segment::encode(&sample(), 0, 1);
+        assert!(seg.admits(0, &set(&[5])));
+        assert!(seg.admits(0, &set(&[0, 9])));
+        assert!(!seg.admits(0, &set(&[0])));
+        assert!(!seg.admits(0, &set(&[10, 99])));
+        assert!(seg.admits(1, &set(&[15])), "zones are ranges, not sets");
+        assert!(!seg.admits(1, &set(&[21])));
+    }
+
+    #[test]
+    fn shard_segments_tile_and_absorb() {
+        let tuples: Vec<NfTuple> = (0..10u32).map(|i| tuple(&[&[i], &[100 + i / 3]])).collect();
+        let mut ss = ShardSegments::fresh_empty();
+        assert!(ss.is_fresh());
+        assert_eq!(ss.segment_count(), 0);
+        ss.rebuild(&tuples, Some(1), 4);
+        assert!(ss.is_fresh());
+        assert_eq!(ss.segment_count(), 3, "10 rows at target 4 → 4+4+2");
+        assert_eq!(ss.covered_rows(), 10);
+        let starts: Vec<usize> = ss.segments().iter().map(Segment::start).collect();
+        assert_eq!(starts, vec![0, 4, 8]);
+        ss.note_delta(2);
+        assert!(!ss.is_fresh());
+        assert_eq!(ss.delta_ops(), 2);
+        ss.rebuild(&tuples, Some(1), DEFAULT_SEGMENT_ROWS);
+        assert!(ss.is_fresh());
+        assert_eq!(ss.delta_ops(), 0);
+        assert_eq!(ss.segment_count(), 1);
+    }
+
+    #[test]
+    fn zero_arity_shards_stay_unsegmented() {
+        let mut ss = ShardSegments::fresh_empty();
+        ss.rebuild(&[], None, DEFAULT_SEGMENT_ROWS);
+        assert!(ss.is_fresh());
+        ss.rebuild(&[NfTuple::new(vec![])], None, DEFAULT_SEGMENT_ROWS);
+        assert!(!ss.is_fresh(), "unsegmentable tuples must read as stale");
+    }
+}

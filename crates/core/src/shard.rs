@@ -44,6 +44,7 @@ use crate::kernel::NestKernel;
 use crate::maintenance::{CanonicalRelation, CostCounter};
 use crate::relation::{FlatRelation, NfRelation};
 use crate::schema::{AttrId, NestOrder, Schema};
+use crate::segment::{ShardSegments, DEFAULT_SEGMENT_ROWS};
 use crate::tuple::{FlatTuple, NfTuple};
 use crate::value::Atom;
 
@@ -232,6 +233,13 @@ pub struct ShardedCanonical {
     /// Per-shard nest-kernel scratch: rebuild arms re-use their shard's
     /// sort/intern buffers across batches (and threads never share one).
     kernels: Vec<NestKernel>,
+    /// Per-shard columnar segment state (see [`crate::segment`]):
+    /// re-emitted from the kernel's sorted output on every rebuild arm,
+    /// marked stale by §4 point/incremental maintenance.
+    segments: Vec<ShardSegments>,
+    /// Target tuples per segment; [`DEFAULT_SEGMENT_ROWS`] unless
+    /// overridden for tests/experiments.
+    segment_rows: usize,
 }
 
 impl ShardedCanonical {
@@ -255,6 +263,8 @@ impl ShardedCanonical {
             router,
             shards,
             kernels: (0..n).map(|_| NestKernel::new()).collect(),
+            segments: (0..n).map(|_| ShardSegments::fresh_empty()).collect(),
+            segment_rows: DEFAULT_SEGMENT_ROWS,
         })
     }
 
@@ -296,7 +306,19 @@ impl ShardedCanonical {
                 *shard = canon;
             }
         }
+        for s in 0..n {
+            sharded.rebuild_segments_for(s);
+        }
         Ok(sharded)
+    }
+
+    /// Re-emits one shard's segments from its (kernel-sorted) tuple
+    /// vector. Only sound right after a rebuild arm, which is the only
+    /// place it is called.
+    fn rebuild_segments_for(&mut self, shard: usize) {
+        let attr = self.router.attr();
+        let rows = self.segment_rows;
+        self.segments[shard].rebuild(self.shards[shard].relation().tuples(), attr, rows);
     }
 
     /// The schema.
@@ -327,6 +349,34 @@ impl ShardedCanonical {
     /// All shards, in shard order.
     pub fn shards(&self) -> &[CanonicalRelation] {
         &self.shards
+    }
+
+    /// One shard's columnar segment state.
+    pub fn shard_segments(&self, idx: usize) -> &ShardSegments {
+        &self.segments[idx]
+    }
+
+    /// Segment state of every shard, in shard order.
+    pub fn segments(&self) -> &[ShardSegments] {
+        &self.segments
+    }
+
+    /// Changes the target tuples-per-segment and re-tiles every shard
+    /// whose tuple vector is still in canonical sorted order (stale
+    /// shards keep their delta until the next rebuild). Test and
+    /// experiment knob.
+    pub fn set_segment_rows(&mut self, rows: usize) {
+        self.segment_rows = rows.max(1);
+        for s in 0..self.shards.len() {
+            if self.segments[s].is_fresh() {
+                self.rebuild_segments_for(s);
+            }
+        }
+    }
+
+    /// The target tuples-per-segment.
+    pub fn segment_rows(&self) -> usize {
+        self.segment_rows
     }
 
     /// Total NF² tuples across shards. For more than one shard this can
@@ -369,6 +419,11 @@ impl ShardedCanonical {
         let mut c = CostCounter::new();
         let fresh = self.shards[shard].insert_counted(row, &mut c)?;
         cost.record(shard, &c);
+        if fresh {
+            // The §4 point path reconstructs tuples in place, breaking
+            // the sorted order the segments describe.
+            self.segments[shard].note_delta(1);
+        }
         Ok(fresh)
     }
 
@@ -385,6 +440,9 @@ impl ShardedCanonical {
         let mut c = CostCounter::new();
         let hit = self.shards[shard].delete_counted(row, &mut c)?;
         cost.record(shard, &c);
+        if hit {
+            self.segments[shard].note_delta(1);
+        }
         Ok(hit)
     }
 
@@ -459,6 +517,14 @@ impl ShardedCanonical {
             summary.noops += s.noops;
             rebuilds += usize::from(rebuilt);
             cost.record(shard, &c);
+            if rebuilt {
+                // The rebuild arm re-nested the shard through the
+                // kernel: its tuple vector is sorted again, so absorb
+                // the delta and re-emit segments (no extra sort).
+                self.rebuild_segments_for(shard);
+            } else if s.inserted + s.deleted > 0 {
+                self.segments[shard].note_delta(s.inserted + s.deleted);
+            }
         }
         Ok((summary, rebuilds))
     }
@@ -517,11 +583,13 @@ impl ShardedCanonical {
             }
         });
         let mut summary = BatchSummary::default();
-        for outcome in outcomes.into_iter().flatten() {
+        for (shard, outcome) in outcomes.into_iter().enumerate() {
+            let Some(outcome) = outcome else { continue };
             let s = outcome?;
             summary.inserted += s.inserted;
             summary.deleted += s.deleted;
             summary.noops += s.noops;
+            self.rebuild_segments_for(shard);
         }
         Ok(summary)
     }
@@ -586,13 +654,15 @@ impl ShardedCanonical {
     }
 
     /// Re-derives every invariant from scratch: each shard is canonical
-    /// for its own rows, every row lives in the shard it routes to, and
-    /// the merged relation equals the unsharded canonical form.
+    /// for its own rows, every row lives in the shard it routes to,
+    /// fresh segments decode back to exactly the tuple store they tile,
+    /// and the merged relation equals the unsharded canonical form.
     /// Test/diagnostic helper.
     pub fn verify(&self) -> Result<()> {
         let mut all_rows = FlatRelation::new(self.schema.clone());
         for (idx, shard) in self.shards.iter().enumerate() {
             shard.verify()?;
+            self.verify_segments(idx)?;
             for row in shard.relation().expand().rows() {
                 if self.router.route_row(row) != idx {
                     return Err(NfError::InvalidShardSpec(format!(
@@ -611,6 +681,42 @@ impl ShardedCanonical {
                 "merged sharded relation differs from the unsharded canonical form".into(),
             ))
         }
+    }
+
+    /// Checks one shard's segment invariants: fresh segments must tile
+    /// the tuple vector contiguously from 0 and decode back to exactly
+    /// the tuples they cover. Stale segments assert nothing — they are
+    /// a dead synopsis awaiting the next rebuild.
+    fn verify_segments(&self, idx: usize) -> Result<()> {
+        let ss = &self.segments[idx];
+        if !ss.is_fresh() {
+            return Ok(());
+        }
+        let tuples = self.shards[idx].relation().tuples();
+        let seg_err = |msg: String| NfError::InvalidShardSpec(format!("shard {idx}: {msg}"));
+        if ss.covered_rows() != tuples.len() {
+            return Err(seg_err(format!(
+                "fresh segments cover {} of {} tuples",
+                ss.covered_rows(),
+                tuples.len()
+            )));
+        }
+        let mut next = 0usize;
+        for seg in ss.segments() {
+            if seg.start() != next {
+                return Err(seg_err(format!(
+                    "segment starts at {} but previous ended at {next}",
+                    seg.start()
+                )));
+            }
+            if seg.decode() != tuples[seg.range()] {
+                return Err(seg_err(format!(
+                    "segment at {next} does not decode to its tuple slice"
+                )));
+            }
+            next = seg.range().end;
+        }
+        Ok(())
     }
 }
 
@@ -894,6 +1000,87 @@ mod tests {
         assert!(c
             .apply_batch_auto(&[Op::Insert(row(&[1]))], &mut MaintenanceCost::new(2))
             .is_err());
+    }
+
+    #[test]
+    fn segments_follow_the_rebuild_and_delta_lifecycle() {
+        let flat = random_flat(3, 200, 9, 0xBEEF);
+        let order = NestOrder::identity(3);
+        let mut sharded =
+            ShardedCanonical::from_flat(&flat, order.clone(), ShardSpec::hash(4).unwrap()).unwrap();
+        // Fresh after a cold build: every shard tiled and decodable.
+        for s in 0..4 {
+            let ss = sharded.shard_segments(s);
+            assert!(ss.is_fresh());
+            assert_eq!(ss.covered_rows(), sharded.shard(s).tuple_count());
+        }
+        sharded.verify().unwrap();
+
+        // A point op marks exactly the routed shard stale.
+        let r = row(&[50, 150, 250]); // outside random_flat's value ranges
+        let shard = sharded.router().route_row(&r);
+        assert!(sharded.insert(r.clone()).unwrap());
+        assert!(!sharded.shard_segments(shard).is_fresh());
+        assert_eq!(sharded.shard_segments(shard).delta_ops(), 1);
+        assert!((0..4)
+            .filter(|&s| s != shard)
+            .all(|s| sharded.shard_segments(s).is_fresh()));
+        sharded.verify().unwrap(); // stale segments assert nothing
+
+        // A no-op (duplicate insert / absent delete) leaves segments alone.
+        assert!(!sharded.insert(r.clone()).unwrap());
+        assert_eq!(sharded.shard_segments(shard).delta_ops(), 1);
+
+        // A forced rebuild absorbs the delta and re-emits segments.
+        sharded.rebuild_batch(&[Op::Delete(r)]).unwrap();
+        assert!(sharded.shard_segments(shard).is_fresh());
+        assert_eq!(sharded.shard_segments(shard).delta_ops(), 0);
+        sharded.verify().unwrap();
+    }
+
+    #[test]
+    fn auto_batches_refresh_on_rebuild_arm_only() {
+        let flat = random_flat(2, 30, 5, 3);
+        let order = NestOrder::identity(2);
+        let mut sharded =
+            ShardedCanonical::from_flat(&flat, order, ShardSpec::hash(2).unwrap()).unwrap();
+        // A big batch (≥ relation size) takes the rebuild arm everywhere
+        // it lands: segments must come back fresh.
+        let big: Vec<Op> = (0..200u32)
+            .map(|i| Op::Insert(row(&[1000 + i, 2000 + i % 7])))
+            .collect();
+        let mut cost = MaintenanceCost::new(2);
+        let (_, rebuilds) = sharded.apply_batch_auto(&big, &mut cost).unwrap();
+        assert!(rebuilds >= 1);
+        for s in 0..2 {
+            assert!(sharded.shard_segments(s).is_fresh());
+        }
+        // A tiny batch goes incremental and leaves a recorded delta.
+        let tiny = [Op::Insert(row(&[5000, 6000]))];
+        let shard = sharded.router().route_row(tiny[0].row());
+        let (_, rebuilds) = sharded.apply_batch_auto(&tiny, &mut cost).unwrap();
+        assert_eq!(rebuilds, 0, "one op against a large shard is incremental");
+        assert!(!sharded.shard_segments(shard).is_fresh());
+        assert_eq!(sharded.shard_segments(shard).delta_ops(), 1);
+        sharded.verify().unwrap();
+    }
+
+    #[test]
+    fn set_segment_rows_retiles_fresh_shards() {
+        let flat = random_flat(2, 300, 40, 11);
+        let mut sharded =
+            ShardedCanonical::from_flat(&flat, NestOrder::identity(2), ShardSpec::single())
+                .unwrap();
+        let one = sharded.shard_segments(0).segment_count();
+        assert_eq!(one, 1, "300 rows fit one default-size segment");
+        sharded.set_segment_rows(16);
+        let tiled = sharded.shard_segments(0).segment_count();
+        assert!(tiled > 1, "16-row target must split the shard");
+        assert_eq!(
+            sharded.shard_segments(0).covered_rows(),
+            sharded.shard(0).tuple_count()
+        );
+        sharded.verify().unwrap();
     }
 
     #[test]

@@ -35,10 +35,25 @@ impl fmt::Display for Atom {
 /// Interning is append-only; an atom, once issued, never changes meaning.
 /// This is the single-threaded dictionary used by the core model and the
 /// examples; `nf2-storage` wraps it in a lock for concurrent use.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct Dictionary {
     names: Vec<String>,
     index: HashMap<String, Atom>,
+    /// Maintained incrementally by [`intern`](Self::intern): `true`
+    /// while every interned name compared strictly greater than its
+    /// predecessor, i.e. atom-id order coincides with lexicographic
+    /// string order.
+    id_ordered: bool,
+}
+
+impl Default for Dictionary {
+    fn default() -> Self {
+        Dictionary {
+            names: Vec::new(),
+            index: HashMap::new(),
+            id_ordered: true,
+        }
+    }
 }
 
 impl Dictionary {
@@ -52,10 +67,25 @@ impl Dictionary {
         if let Some(&atom) = self.index.get(name) {
             return atom;
         }
+        if self.names.last().is_some_and(|last| name < last.as_str()) {
+            self.id_ordered = false;
+        }
         let atom = Atom(self.names.len() as u32);
         self.names.push(name.to_owned());
         self.index.insert(name.to_owned(), atom);
         atom
+    }
+
+    /// Whether atom-id order agrees with lexicographic string order for
+    /// every interned pair — true exactly when names were interned in
+    /// strictly ascending order. While this holds, comparing atoms by
+    /// their dense ids (the segment storage order) ranks values the
+    /// same way the query layer's resolved-string comparator does,
+    /// which is the soundness condition for serving `ORDER BY` straight
+    /// off sorted segments. The flag only ever goes from `true` to
+    /// `false`; interning is append-only.
+    pub fn is_id_ordered(&self) -> bool {
+        self.id_ordered
     }
 
     /// Interns every name in `names`, preserving order.
@@ -136,5 +166,22 @@ mod tests {
     fn atom_ordering_is_by_id() {
         assert!(Atom(1) < Atom(2));
         assert_eq!(Atom(3).id(), 3);
+    }
+
+    #[test]
+    fn id_order_tracks_interning_order() {
+        let mut d = Dictionary::new();
+        assert!(
+            d.is_id_ordered(),
+            "empty dictionaries are trivially ordered"
+        );
+        d.intern_all(["a1", "a2", "b9"]);
+        assert!(d.is_id_ordered());
+        d.intern("a2"); // idempotent re-intern does not break order
+        assert!(d.is_id_ordered());
+        d.intern("a5"); // out of order: a5 < b9
+        assert!(!d.is_id_ordered());
+        d.intern("zz");
+        assert!(!d.is_id_ordered(), "the flag never recovers");
     }
 }

@@ -123,27 +123,61 @@ pub enum OrderDir {
     Desc,
 }
 
-/// An `ORDER BY attr [ASC|DESC]` tail on a SELECT.
-///
-/// NF² result tuples carry *sets*; a tuple ranks by the extreme member
-/// of its `attr` component under the direction (its minimum for `ASC`,
-/// maximum for `DESC`), values compared by their string form. Ties keep
-/// the pipeline's order (stable).
+/// One `attr [ASC|DESC]` key of an ORDER BY list.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct OrderBy {
+pub struct OrderKey {
     /// The attribute ordered on (must be in the result schema).
     pub attr: String,
     /// Direction; defaults to [`OrderDir::Asc`] when unwritten.
     pub dir: OrderDir,
 }
 
+impl fmt::Display for OrderKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.attr)?;
+        if self.dir == OrderDir::Desc {
+            write!(f, " DESC")?;
+        }
+        Ok(())
+    }
+}
+
+/// An `ORDER BY attr [ASC|DESC] [, attr [ASC|DESC] …]` tail on a
+/// SELECT — one or more keys, compared lexicographically left to right.
+///
+/// NF² result tuples carry *sets*; a tuple ranks on each key by the
+/// extreme member of its `attr` component under the direction (its
+/// minimum for `ASC`, maximum for `DESC`), values compared by their
+/// string form; later keys break earlier keys' ties. Full ties keep the
+/// pipeline's order (stable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderBy {
+    /// The keys, leftmost most significant. Never empty.
+    pub keys: Vec<OrderKey>,
+}
+
+impl OrderBy {
+    /// A one-key ORDER BY (the common case; most tests use it).
+    pub fn single(attr: impl Into<String>, dir: OrderDir) -> Self {
+        OrderBy {
+            keys: vec![OrderKey {
+                attr: attr.into(),
+                dir,
+            }],
+        }
+    }
+}
+
 impl fmt::Display for OrderBy {
     /// SQL form; `ASC` is the parse default and stays implicit, so the
     /// round-trip re-parses to the same tree.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ORDER BY {}", self.attr)?;
-        if self.dir == OrderDir::Desc {
-            write!(f, " DESC")?;
+        write!(f, "ORDER BY ")?;
+        for (i, key) in self.keys.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{key}")?;
         }
         Ok(())
     }

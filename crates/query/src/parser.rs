@@ -2,7 +2,9 @@
 
 use std::fmt;
 
-use crate::ast::{EqPredicate, OrderBy, OrderDir, Predicate, Projection, Statement, Value};
+use crate::ast::{
+    EqPredicate, OrderBy, OrderDir, OrderKey, Predicate, Projection, Statement, Value,
+};
 use crate::token::{lex, LexError, Token};
 
 /// A parse error.
@@ -336,13 +338,22 @@ impl Parser {
         Ok(Projection::Attrs(attrs))
     }
 
-    /// An optional `ORDER BY attr [ASC|DESC]` tail (before LIMIT, as in
-    /// SQL). A bare `ORDER BY attr` is ascending.
+    /// An optional `ORDER BY attr [ASC|DESC] [, attr [ASC|DESC] …]`
+    /// tail (before LIMIT, as in SQL). A bare key is ascending.
     fn order_by_clause(&mut self) -> Result<Option<OrderBy>, ParseError> {
         if !self.eat_keyword("order") {
             return Ok(None);
         }
         self.keyword("by")?;
+        let mut keys = vec![self.order_key()?];
+        while self.eat(&Token::Comma) {
+            keys.push(self.order_key()?);
+        }
+        Ok(Some(OrderBy { keys }))
+    }
+
+    /// One `attr [ASC|DESC]` ORDER BY key.
+    fn order_key(&mut self) -> Result<OrderKey, ParseError> {
         let attr = self.ident()?;
         let dir = if self.eat_keyword("desc") {
             OrderDir::Desc
@@ -351,7 +362,7 @@ impl Parser {
             let _ = self.eat_keyword("asc");
             OrderDir::Asc
         };
-        Ok(Some(OrderBy { attr, dir }))
+        Ok(OrderKey { attr, dir })
     }
 
     /// An optional `LIMIT n` tail (n a decimal integer literal).
@@ -602,13 +613,7 @@ mod tests {
     fn parses_order_by_clause() {
         match parse("SELECT * FROM sc ORDER BY Student").unwrap() {
             Statement::Select { order_by, .. } => {
-                assert_eq!(
-                    order_by,
-                    Some(OrderBy {
-                        attr: "Student".into(),
-                        dir: OrderDir::Asc
-                    })
-                );
+                assert_eq!(order_by, Some(OrderBy::single("Student", OrderDir::Asc)));
             }
             other => panic!("unexpected: {other:?}"),
         }
@@ -616,13 +621,7 @@ mod tests {
             Statement::Select {
                 order_by, limit, ..
             } => {
-                assert_eq!(
-                    order_by,
-                    Some(OrderBy {
-                        attr: "B".into(),
-                        dir: OrderDir::Desc
-                    })
-                );
+                assert_eq!(order_by, Some(OrderBy::single("B", OrderDir::Desc)));
                 assert_eq!(limit, Some(3));
             }
             other => panic!("unexpected: {other:?}"),
@@ -630,7 +629,7 @@ mod tests {
         // Explicit ASC parses to the default.
         match parse("SELECT * FROM sc ORDER BY B ASC").unwrap() {
             Statement::Select { order_by, .. } => {
-                assert_eq!(order_by.unwrap().dir, OrderDir::Asc)
+                assert_eq!(order_by.unwrap().keys[0].dir, OrderDir::Asc)
             }
             other => panic!("unexpected: {other:?}"),
         }
@@ -645,6 +644,55 @@ mod tests {
         for sql in [
             "SELECT * FROM sc ORDER BY Student",
             "SELECT Course FROM sc WHERE Student = ? ORDER BY Course DESC LIMIT 5",
+        ] {
+            let stmt = parse(sql).unwrap();
+            assert_eq!(stmt.to_string(), sql);
+            assert_eq!(parse(&stmt.to_string()).unwrap(), stmt);
+        }
+    }
+
+    #[test]
+    fn parses_multi_key_order_by() {
+        match parse("SELECT * FROM sc ORDER BY Course, Student DESC").unwrap() {
+            Statement::Select { order_by, .. } => {
+                assert_eq!(
+                    order_by,
+                    Some(OrderBy {
+                        keys: vec![
+                            OrderKey {
+                                attr: "Course".into(),
+                                dir: OrderDir::Asc
+                            },
+                            OrderKey {
+                                attr: "Student".into(),
+                                dir: OrderDir::Desc
+                            },
+                        ]
+                    })
+                );
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // Per-key directions; a LIMIT still follows the whole list.
+        match parse("SELECT * FROM sc ORDER BY A DESC, B ASC, C LIMIT 2").unwrap() {
+            Statement::Select {
+                order_by, limit, ..
+            } => {
+                let keys = order_by.unwrap().keys;
+                assert_eq!(keys.len(), 3);
+                assert_eq!(keys[0].dir, OrderDir::Desc);
+                assert_eq!(keys[1].dir, OrderDir::Asc);
+                assert_eq!(keys[2].dir, OrderDir::Asc);
+                assert_eq!(limit, Some(2));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // A trailing comma needs another key.
+        assert!(parse("SELECT * FROM sc ORDER BY A,").is_err());
+        // Multi-key lists round-trip through the printer.
+        for sql in [
+            "SELECT * FROM sc ORDER BY Course, Student",
+            "SELECT * FROM sc ORDER BY Course DESC, Student LIMIT 4",
         ] {
             let stmt = parse(sql).unwrap();
             assert_eq!(stmt.to_string(), sql);

@@ -113,6 +113,17 @@ pub(crate) enum Phys {
         /// one. Empty for unsharded tables or plans without a routable
         /// conjunct (full scan).
         prune: Vec<usize>,
+        /// **Zone-map segment skipping**: `(attribute id, bound-store
+        /// index)` for *every* conjunct of the enclosing selection —
+        /// not just routing-attribute ones. At execute time the bound
+        /// value sets are checked against each sorted segment's
+        /// per-attribute min/max codes and non-overlapping segments are
+        /// skipped wholesale (falling back to full shard slices while a
+        /// shard's segments are stale). Sound for any conjunct: a
+        /// skipped segment provably holds no atom of the bound set on
+        /// that attribute, and the enclosing selection re-checks every
+        /// surviving tuple anyway.
+        zone: Vec<(usize, usize)>,
     },
     /// Box selection; constraint `k` reads its per-call atoms from the
     /// bound-value store at `flat` index `k`.
@@ -174,6 +185,7 @@ impl PhysPlan {
                     root: Phys::Scan {
                         table: idx,
                         prune: Vec::new(),
+                        zone: Vec::new(),
                     },
                     schema: engine.table(name)?.schema().clone(),
                 }))
@@ -194,7 +206,7 @@ impl PhysPlan {
                 // the optimizer's pushdown already parks each conjunct
                 // on its owning table, so this catches pushed-down
                 // equalities and IN lists on every join side.
-                if let Phys::Scan { table, prune } = &mut child.root {
+                if let Phys::Scan { table, prune, zone } = &mut child.root {
                     let t = engine.table(&tables[*table])?;
                     if t.shard_count() > 1 {
                         if let Some(route_attr) = t.routing().attr() {
@@ -205,6 +217,9 @@ impl PhysPlan {
                             }
                         }
                     }
+                    // Every conjunct — routing or not — also becomes a
+                    // zone-map check against segment min/max bounds.
+                    zone.extend(resolved.iter().copied());
                 }
                 Ok(Some(PhysPlan {
                     root: Phys::Select {
@@ -271,38 +286,75 @@ impl PhysPlan {
     /// is demanded, so a consumer that never pulls — `LIMIT 0`, a
     /// dropped cursor — pays zero scan probes on every plan shape.
     fn stream<'s>(&self, tables: &[&'s NfTable], bound: &[ValueSet]) -> TupleIter<'s> {
-        fn go<'s>(node: &Phys, tables: &[&'s NfTable], bound: &[ValueSet]) -> TupleIter<'s> {
+        self.stream_restricted(tables, bound, None)
+    }
+
+    /// [`Self::stream`] with an optional shard restriction: when
+    /// `only_shard` is set, every scan touches at most that shard (in
+    /// addition to its prune/zone filtering). The k-way merge path
+    /// builds one such pipeline per shard so each stays in segment
+    /// order.
+    fn stream_restricted<'s>(
+        &self,
+        tables: &[&'s NfTable],
+        bound: &[ValueSet],
+        only_shard: Option<usize>,
+    ) -> TupleIter<'s> {
+        fn go<'s>(
+            node: &Phys,
+            tables: &[&'s NfTable],
+            bound: &[ValueSet],
+            only_shard: Option<usize>,
+        ) -> TupleIter<'s> {
             match node {
-                Phys::Scan { table, prune } => {
+                Phys::Scan { table, prune, zone } => {
                     let t = tables[*table];
-                    if prune.is_empty() {
+                    if prune.is_empty() && zone.is_empty() && only_shard.is_none() {
                         return Box::new(t.scan().map(TupleView::Borrowed));
                     }
                     // Every pruning conjunct must be satisfied, so the
                     // scannable shards are the intersection of the
                     // per-conjunct shard sets (each sorted ascending).
-                    let mut sets = prune
-                        .iter()
-                        .map(|&flat| t.routing().shards_for_values(bound[flat].as_slice()));
-                    let mut shards = sets.next().expect("prune list is non-empty");
-                    for s in sets {
-                        shards.retain(|idx| s.contains(idx));
+                    let mut shards: Vec<usize> = if prune.is_empty() {
+                        (0..t.shard_count()).collect()
+                    } else {
+                        let mut sets = prune
+                            .iter()
+                            .map(|&flat| t.routing().shards_for_values(bound[flat].as_slice()));
+                        let mut shards = sets.next().expect("prune list is non-empty");
+                        for s in sets {
+                            shards.retain(|idx| s.contains(idx));
+                        }
+                        shards
+                    };
+                    if let Some(only) = only_shard {
+                        shards.retain(|&s| s == only);
                     }
-                    Box::new(t.scan_shards(&shards).map(TupleView::Borrowed))
+                    let zones: Vec<(usize, ValueSet)> = zone
+                        .iter()
+                        .map(|&(attr, flat)| (attr, bound[flat].clone()))
+                        .collect();
+                    Box::new(
+                        t.scan_shards_zoned(&shards, &zones)
+                            .map(TupleView::Borrowed),
+                    )
                 }
                 Phys::Select { input, constraints } => {
                     let resolved: Vec<(usize, ValueSet)> = constraints
                         .iter()
                         .map(|&(attr, flat)| (attr, bound[flat].clone()))
                         .collect();
-                    Box::new(go(input, tables, bound).filter_map(move |t| filter_box(t, &resolved)))
+                    Box::new(
+                        go(input, tables, bound, only_shard)
+                            .filter_map(move |t| filter_box(t, &resolved)),
+                    )
                 }
                 Phys::Project {
                     input,
                     input_schema,
                     attrs,
                 } => {
-                    let upstream = go(input, tables, bound);
+                    let upstream = go(input, tables, bound, only_shard);
                     let input_schema = input_schema.clone();
                     let attrs = attrs.clone();
                     lazy_iter(move || {
@@ -320,8 +372,8 @@ impl PhysPlan {
                     right,
                     layout,
                 } => {
-                    let build_side = go(right, tables, bound);
-                    let probe_side = go(left, tables, bound);
+                    let build_side = go(right, tables, bound, only_shard);
+                    let probe_side = go(left, tables, bound, only_shard);
                     let layout = layout.clone();
                     lazy_iter(move || {
                         let build: Vec<TupleView<'s>> = build_side.collect();
@@ -334,7 +386,133 @@ impl PhysPlan {
                 }
             }
         }
-        go(&self.root, tables, bound)
+        go(&self.root, tables, bound, only_shard)
+    }
+}
+
+/// Static half of the k-way-merge eligibility check (see
+/// [`SelectPlan::merge`]). `attrs` are the resolved output-schema ids of
+/// the ORDER BY keys; with `Projection::All` and a scan/select-only
+/// pipeline those coincide with the table's own attribute ids, which is
+/// what makes the nest-order comparison below meaningful.
+pub(crate) fn merge_eligible(t: &NfTable, ob: &OrderBy, attrs: &[usize], root: &Phys) -> bool {
+    fn scan_select_only(node: &Phys, constrained: &mut Vec<usize>) -> bool {
+        match node {
+            Phys::Scan { .. } => true,
+            Phys::Select { input, constraints } => {
+                constrained.extend(constraints.iter().map(|&(attr, _)| attr));
+                scan_select_only(input, constrained)
+            }
+            Phys::Project { .. } | Phys::Join { .. } => false,
+        }
+    }
+    if !ob.keys.iter().all(|k| k.dir == OrderDir::Asc) {
+        // A segment stream ascends by each key's *minimum* set member;
+        // descending needs the maximum, which the stored order does not
+        // provide.
+        return false;
+    }
+    // Kernel rebuilds sort each shard by (min P(n−1), min P(n−2), …) —
+    // the nest order reversed — so only a prefix of that sequence is a
+    // streamable sort key.
+    let nest = t.order();
+    let arity = t.schema().arity();
+    if attrs.len() > arity
+        || !attrs
+            .iter()
+            .enumerate()
+            .all(|(i, &a)| a == nest.attr_at(arity - 1 - i))
+    {
+        return false;
+    }
+    let mut constrained = Vec::new();
+    if !scan_select_only(root, &mut constrained) {
+        return false;
+    }
+    // A conjunct on a key attribute narrows that component's value set,
+    // which can change its minimum — the stored order no longer ranks
+    // the filtered tuples.
+    attrs.iter().all(|a| !constrained.contains(a))
+}
+
+/// One [`TupleOrder`] per ORDER BY key, all sharing a single dictionary
+/// snapshot: values order by their *resolved strings*, not their
+/// intern-order atom ids — `ORDER BY Student` means lexicographic,
+/// whatever order values arrived in.
+fn resolved_orders(dict: &SharedDictionary, ob: &OrderBy, attrs: &[usize]) -> Vec<TupleOrder> {
+    let snap = dict.snapshot();
+    let cmp: AtomCmp = Arc::new(move |a, b| snap.resolve(a).cmp(&snap.resolve(b)));
+    ob.keys
+        .iter()
+        .zip(attrs)
+        .map(|(k, &attr)| {
+            let dir = match k.dir {
+                OrderDir::Asc => SortDir::Asc,
+                OrderDir::Desc => SortDir::Desc,
+            };
+            TupleOrder::with_cmp(attr, dir, cmp.clone())
+        })
+        .collect()
+}
+
+/// Per-scan pruning effect for EXPLAIN, computable only once every
+/// parameter is bound: how many shards the routing conjuncts leave, and
+/// how many segments the zone maps skip in them (reported per shard).
+fn scan_pruning_lines(
+    node: &Phys,
+    plan: &SelectPlan,
+    engine: &Engine,
+    bound: &[ValueSet],
+    out: &mut Vec<String>,
+) -> Result<(), QueryError> {
+    match node {
+        Phys::Scan { table, prune, zone } => {
+            if prune.is_empty() && zone.is_empty() {
+                return Ok(());
+            }
+            let name = &plan.tables[*table];
+            let t = engine.table(name)?;
+            let shards: Vec<usize> = if prune.is_empty() {
+                (0..t.shard_count()).collect()
+            } else {
+                let mut sets = prune
+                    .iter()
+                    .map(|&flat| t.routing().shards_for_values(bound[flat].as_slice()));
+                let mut shards = sets.next().expect("prune list is non-empty");
+                for s in sets {
+                    shards.retain(|idx| s.contains(idx));
+                }
+                shards
+            };
+            let mut line = format!("{name}: {}/{} shard(s)", shards.len(), t.shard_count());
+            if !zone.is_empty() {
+                let zones: Vec<(usize, ValueSet)> = zone
+                    .iter()
+                    .map(|&(attr, flat)| (attr, bound[flat].clone()))
+                    .collect();
+                let counts = t.zone_skip_counts(&shards, &zones);
+                let skipped: usize = counts.iter().map(|&(k, _)| k).sum();
+                let total: usize = counts.iter().map(|&(_, n)| n).sum();
+                let per_shard: Vec<String> = shards
+                    .iter()
+                    .zip(&counts)
+                    .map(|(s, &(k, n))| format!("s{s} {k}/{n}"))
+                    .collect();
+                line.push_str(&format!(
+                    ", segments skipped {skipped}/{total} [{}]",
+                    per_shard.join(", ")
+                ));
+            }
+            out.push(line);
+            Ok(())
+        }
+        Phys::Select { input, .. } | Phys::Project { input, .. } => {
+            scan_pruning_lines(input, plan, engine, bound, out)
+        }
+        Phys::Join { left, right, .. } => {
+            scan_pruning_lines(left, plan, engine, bound, out)?;
+            scan_pruning_lines(right, plan, engine, bound, out)
+        }
     }
 }
 
@@ -361,11 +539,22 @@ pub(crate) struct SelectPlan {
     pub(crate) tables: Vec<String>,
     /// Number of `?` parameters the plan expects.
     pub(crate) param_count: usize,
-    /// `ORDER BY`: the clause plus the ordered attribute's id in the
-    /// plan's **output** schema (resolved once at build time). With a
-    /// limit the pair compiles to a streaming top-k (bounded heap);
-    /// alone, to a blocking sort.
-    pub(crate) order: Option<(OrderBy, usize)>,
+    /// `ORDER BY`: the clause plus each key attribute's id in the
+    /// plan's **output** schema (resolved once at build time, one id
+    /// per key, in clause order). With a limit the pair compiles to a
+    /// streaming top-k (bounded heap); alone, to a blocking sort —
+    /// unless [`Self::merge`] holds and the segments cooperate.
+    pub(crate) order: Option<(OrderBy, Vec<usize>)>,
+    /// Whether the plan is *statically* eligible for the streaming
+    /// k-way segment merge: single table, no projection or join, every
+    /// key ascending, the keys a prefix of the table's reversed nest
+    /// order (the composite sort key of its segments), and no selection
+    /// conjunct on any key attribute (narrowing a key's value set could
+    /// change its ordering extreme). The cursor still checks the
+    /// *dynamic* half — dictionary id-order and per-shard segment
+    /// freshness — and falls back to the heap/sort path when either
+    /// fails.
+    pub(crate) merge: bool,
     /// `LIMIT n`: without an ORDER BY the cursor pipeline stops pulling
     /// after `n` NF² tuples, so upstream scans terminate early; with one
     /// it is the top-k bound.
@@ -447,10 +636,12 @@ impl SelectPlan {
             Projection::CountStar | Projection::CountDistinct(_) => {
                 if let Some(ob) = &order_by {
                     let source_attrs = nf2_algebra::optimize::output_attrs(&expr, &catalog)?;
-                    if !source_attrs.contains(&ob.attr) {
-                        return Err(QueryError::Model(nf2_core::NfError::UnknownAttribute(
-                            ob.attr.clone(),
-                        )));
+                    for key in &ob.keys {
+                        if !source_attrs.contains(&key.attr) {
+                            return Err(QueryError::Model(nf2_core::NfError::UnknownAttribute(
+                                key.attr.clone(),
+                            )));
+                        }
                     }
                 }
                 (None, None)
@@ -481,15 +672,25 @@ impl SelectPlan {
                         .into(),
                 )
             })?;
-        // The ORDER BY attribute must survive into the output schema
+        // Every ORDER BY attribute must survive into the output schema
         // (ordering on a projected-away attribute is rejected here, at
         // prepare time, like any other unknown attribute).
         let order = match order_by {
             Some(ob) => {
-                let attr = phys.schema.attr_id(&ob.attr)?;
-                Some((ob, attr))
+                let attrs = ob
+                    .keys
+                    .iter()
+                    .map(|k| phys.schema.attr_id(&k.attr))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Some((ob, attrs))
             }
             None => None,
+        };
+        let merge = match (&order, &projection) {
+            (Some((ob, attrs)), Projection::All) if tables.len() == 1 => {
+                merge_eligible(engine.table(&tables[0])?, ob, attrs, &phys.root)
+            }
+            _ => false,
         };
         let plan = SelectPlan {
             raw: expr,
@@ -501,6 +702,7 @@ impl SelectPlan {
             tables,
             param_count,
             order,
+            merge,
             limit,
         };
         // Static plan verification (debug builds, or `NF2_VERIFY=1`):
@@ -592,6 +794,40 @@ impl SelectPlan {
             .iter()
             .map(|n| engine.table(n))
             .collect::<Result<Vec<_>, _>>()?;
+        // Streaming k-way segment merge: the plan is statically
+        // eligible (see [`merge_eligible`]) and the dynamic half holds —
+        // the dictionary's atom ids still rank like resolved strings and
+        // every shard's segments are fresh (tuple order is the kernel's
+        // composite sort). Each shard then streams already-ordered and
+        // the merge emits globally ordered tuples without sorting;
+        // `LIMIT n` pulls ≈ n + shards tuples instead of the whole scan.
+        if let Some((ob, attrs)) = &self.order {
+            if self.merge && engine.dict().is_id_ordered() {
+                let t = tables[0];
+                let fresh = (0..t.shard_count()).all(|s| t.sharded().shard_segments(s).is_fresh());
+                if fresh {
+                    let orders = resolved_orders(engine.dict(), ob, attrs);
+                    let parts = (0..t.shard_count())
+                        .map(|s| {
+                            RelStream::new(
+                                self.phys.schema.clone(),
+                                self.phys.stream_restricted(&tables, &bound, Some(s)),
+                            )
+                        })
+                        .collect();
+                    let merged = RelStream::merge_sorted(self.phys.schema.clone(), parts, orders);
+                    let stream = match self.limit {
+                        Some(n) => {
+                            let schema = merged.schema().clone();
+                            let limited: TupleIter<'s> = Box::new(merged.take(n));
+                            RelStream::new(schema, limited)
+                        }
+                        None => merged,
+                    };
+                    return Ok(Cursor::new(stream));
+                }
+            }
+        }
         let iter = self.phys.stream(&tables, &bound);
         let stream = RelStream::new(self.phys.schema.clone(), iter);
         let stream = match (&self.order, self.limit) {
@@ -599,20 +835,11 @@ impl SelectPlan {
             // heap pulls the pipeline exactly once and retains ≤ n
             // tuples — never a full sort's worth.
             // Bare ORDER BY falls back to a blocking (stable) sort.
-            (Some((ob, attr)), limit) => {
-                // Values order by their *resolved strings*, not their
-                // intern-order atom ids — `ORDER BY Student` means
-                // lexicographic, whatever order values arrived in.
-                let snap = engine.dict().snapshot();
-                let cmp: AtomCmp = Arc::new(move |a, b| snap.resolve(a).cmp(&snap.resolve(b)));
-                let dir = match ob.dir {
-                    OrderDir::Asc => SortDir::Asc,
-                    OrderDir::Desc => SortDir::Desc,
-                };
-                let order = TupleOrder::with_cmp(*attr, dir, cmp);
+            (Some((ob, attrs)), limit) => {
+                let orders = resolved_orders(engine.dict(), ob, attrs);
                 match limit {
-                    Some(n) => stream.top_k(order, n),
-                    None => stream.sorted(order),
+                    Some(n) => stream.top_k_by(orders, n),
+                    None => stream.sorted_by(orders),
                 }
             }
             // Plain LIMIT rides the pull pipeline: `take` stops calling
@@ -645,9 +872,14 @@ impl SelectPlan {
         // `Prepared::explain` shows for the cached plan. Binding is
         // still attempted (when every parameter is supplied) to detect
         // statically-empty results.
-        if params.len() == self.param_count && self.bind_flat(engine.dict(), params)?.is_none() {
-            return Ok(None);
-        }
+        let bound = if params.len() == self.param_count {
+            match self.bind_flat(engine.dict(), params)? {
+                Some(b) => Some(b),
+                None => return Ok(None),
+            }
+        } else {
+            None
+        };
         let fmt_value = |a: Atom| -> String {
             if a.id() >= SLOT_BASE {
                 match &self.slots[(a.id() - SLOT_BASE) as usize] {
@@ -673,10 +905,16 @@ impl SelectPlan {
         if let Some((ob, _)) = &self.order {
             // The order rides outside the algebra tree (the §3 algebra
             // is ordered-set-free); report the physical operator chosen.
-            match self.limit {
-                Some(n) => text.push_str(&format!("\norder: {ob} (top-{n} bounded heap)")),
-                None => text.push_str(&format!("\norder: {ob} (blocking sort)")),
-            }
+            // A merge-eligible plan reports the merge (the cursor can
+            // still fall back at run time if the dictionary or segments
+            // stop cooperating — eligibility here is the static half).
+            let op = match (self.merge, self.limit) {
+                (true, Some(n)) => format!("streaming k-way segment merge, limit {n}"),
+                (true, None) => "streaming k-way segment merge".to_owned(),
+                (false, Some(n)) => format!("top-{n} bounded heap"),
+                (false, None) => "blocking sort".to_owned(),
+            };
+            text.push_str(&format!("\norder: {ob} ({op})"));
         }
         text.push_str(&format!(
             "\nestimated work: {:.0} ({:.0} tuples out)",
@@ -702,8 +940,22 @@ impl SelectPlan {
         }
         text.push_str(&format!(
             "\nphysical:\n{}",
-            crate::verify::render_phys(&self.phys.root, &self.tables, 1)
+            crate::verify::render_phys(&self.phys.root, &self.tables, Some(engine), 1)
         ));
+        // With every parameter bound, the pruning effect is computable:
+        // which shards the routing conjuncts leave, and how many
+        // segments the zone maps skip in them.
+        if let Some(bound) = &bound {
+            let mut lines = Vec::new();
+            scan_pruning_lines(&self.phys.root, self, engine, bound, &mut lines)?;
+            if !lines.is_empty() {
+                text.push_str("\npruning:");
+                for line in lines {
+                    text.push_str("\n  ");
+                    text.push_str(&line);
+                }
+            }
+        }
         if verify {
             text.push('\n');
             text.push_str(&crate::verify::verify_report(self, engine));
@@ -1269,8 +1521,28 @@ mod tests {
             .unwrap();
         let text = stmt.explain(&session).unwrap();
         assert!(text.contains("ORDER BY Course DESC"), "{text}");
-        assert!(text.contains("top-3 bounded heap"), "{text}");
+        assert!(
+            text.contains("top-3 bounded heap"),
+            "DESC cannot stream off ascending segments: {text}"
+        );
+        // Course is P(n−1) — the segment sort key — so an ascending
+        // order streams straight off the merge.
         let mut stmt = session.prepare("SELECT * FROM sc ORDER BY Course").unwrap();
+        let text = stmt.explain(&session).unwrap();
+        assert!(text.contains("streaming k-way segment merge"), "{text}");
+        let mut stmt = session
+            .prepare("SELECT * FROM sc ORDER BY Course, Student LIMIT 2")
+            .unwrap();
+        let text = stmt.explain(&session).unwrap();
+        assert!(text.contains("ORDER BY Course, Student"), "{text}");
+        assert!(
+            text.contains("streaming k-way segment merge, limit 2"),
+            "{text}"
+        );
+        // Student is not a prefix of the reversed nest order.
+        let mut stmt = session
+            .prepare("SELECT * FROM sc ORDER BY Student")
+            .unwrap();
         let text = stmt.explain(&session).unwrap();
         assert!(text.contains("blocking sort"), "{text}");
     }

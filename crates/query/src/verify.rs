@@ -11,6 +11,13 @@
 //!   bound by an enclosing selection's conjunct on that table's
 //!   routing attribute `P(n−1)` — pruning on anything else would skip
 //!   shards that hold matching rows;
+//! * **zone-map soundness**: every zone entry (segment min/max skip
+//!   check) must be backed by an enclosing conjunct with the same
+//!   attribute and bound-store index — otherwise a scan could skip
+//!   segments no selection ever filters;
+//! * **merge-flag soundness**: a plan claiming k-way-merge eligibility
+//!   must re-derive it (ascending keys, a prefix of the reversed nest
+//!   order, scan/select-only shape, no conjunct on a key attribute);
 //! * projection and join nodes carry schemas consistent with their
 //!   inputs (the join layout is recomputed and compared);
 //! * slot atoms stay within the reserved range and parameter slots
@@ -68,6 +75,8 @@ pub(crate) struct PlanReport {
     pub phys_nodes: usize,
     /// Scans carrying a non-empty shard prune list.
     pub pruned_scans: usize,
+    /// Scans carrying a non-empty zone-map check list.
+    pub zoned_scans: usize,
     /// Optimizer rule applications re-verified by the soundness gate.
     pub rewrite_steps: usize,
     /// Inferred output type of the optimized template.
@@ -159,6 +168,7 @@ pub(crate) fn check_plan(plan: &SelectPlan, engine: &Engine) -> Result<PlanRepor
     let mut flats = Vec::new();
     let mut phys_nodes = 0usize;
     let mut pruned_scans = 0usize;
+    let mut zoned_scans = 0usize;
     let mut enclosing: Vec<(usize, usize)> = Vec::new();
     let root_schema = walk_phys(
         &plan.phys.root,
@@ -168,6 +178,7 @@ pub(crate) fn check_plan(plan: &SelectPlan, engine: &Engine) -> Result<PlanRepor
         &mut flats,
         &mut phys_nodes,
         &mut pruned_scans,
+        &mut zoned_scans,
     )?;
     let root_names: Vec<&str> = root_schema.attr_names().collect();
     if root_names != phys_names {
@@ -197,25 +208,65 @@ pub(crate) fn check_plan(plan: &SelectPlan, engine: &Engine) -> Result<PlanRepor
         ));
     }
 
-    // ORDER BY resolution and the top-k fold contract.
-    if let Some((ob, attr)) = &plan.order {
-        match plan.phys.schema.attr_name(*attr) {
-            Ok(name) if name == ob.attr => {}
-            Ok(name) => {
-                return Err(violation(
-                    format!("ORDER BY {}", ob.attr),
-                    format!("resolved attribute id {attr} names {name} in the output schema"),
-                ))
+    // ORDER BY resolution and the top-k fold contract: each key's
+    // resolved id must name that key in the output schema, pairwise.
+    if let Some((ob, attrs)) = &plan.order {
+        if attrs.len() != ob.keys.len() {
+            return Err(violation(
+                format!("ORDER BY {ob}"),
+                format!(
+                    "{} keys resolved to {} attribute ids",
+                    ob.keys.len(),
+                    attrs.len()
+                ),
+            ));
+        }
+        for (key, attr) in ob.keys.iter().zip(attrs) {
+            match plan.phys.schema.attr_name(*attr) {
+                Ok(name) if name == key.attr => {}
+                Ok(name) => {
+                    return Err(violation(
+                        format!("ORDER BY {}", key.attr),
+                        format!("resolved attribute id {attr} names {name} in the output schema"),
+                    ))
+                }
+                Err(_) => {
+                    return Err(violation(
+                        format!("ORDER BY {}", key.attr),
+                        format!(
+                            "attribute id {attr} is outside the output schema (arity {})",
+                            plan.phys.schema.arity()
+                        ),
+                    ))
+                }
             }
-            Err(_) => {
-                return Err(violation(
-                    format!("ORDER BY {}", ob.attr),
-                    format!(
-                        "attribute id {attr} is outside the output schema (arity {})",
-                        plan.phys.schema.arity()
-                    ),
-                ))
-            }
+        }
+    }
+    // A claimed merge eligibility must be re-derivable from the plan —
+    // merging unsorted shard streams would silently misorder results.
+    // (`merge == false` is always safe: the cursor falls back to the
+    // heap/sort path.)
+    if plan.merge {
+        let Some((ob, attrs)) = &plan.order else {
+            return Err(violation(
+                "order operator",
+                "merge flag without an ORDER BY",
+            ));
+        };
+        if !matches!(plan.projection, Projection::All) || plan.tables.len() != 1 {
+            return Err(violation(
+                "order operator",
+                "merge flag on a projected or multi-table plan",
+            ));
+        }
+        let t = engine
+            .table(&plan.tables[0])
+            .map_err(|e| violation("order operator", e.to_string()))?;
+        if !crate::prepare::merge_eligible(t, ob, attrs, &plan.phys.root) {
+            return Err(violation(
+                "order operator",
+                "merge flag on a plan that fails static merge eligibility",
+            ));
         }
     }
     if matches!(
@@ -233,6 +284,7 @@ pub(crate) fn check_plan(plan: &SelectPlan, engine: &Engine) -> Result<PlanRepor
         logical_nodes: report.nodes,
         phys_nodes,
         pruned_scans,
+        zoned_scans,
         rewrite_steps: reopt.trace.len(),
         output_type: report.ty,
         warnings: report.warnings,
@@ -253,10 +305,11 @@ fn walk_phys(
     flats: &mut Vec<usize>,
     nodes: &mut usize,
     pruned: &mut usize,
+    zoned: &mut usize,
 ) -> Result<Arc<Schema>, PlanViolation> {
     *nodes += 1;
     match node {
-        Phys::Scan { table, prune } => {
+        Phys::Scan { table, prune, zone } => {
             let Some(name) = plan.tables.get(*table) else {
                 return Err(violation(
                     format!("scan #{table}"),
@@ -299,17 +352,37 @@ fn walk_phys(
                     }
                 }
             }
+            if !zone.is_empty() {
+                *zoned += 1;
+                // A zone entry may skip whole segments, so it must be
+                // backed by a real enclosing conjunct — same attribute,
+                // same bound-store index — or the scan would drop rows
+                // no selection ever asked to drop.
+                for &(attr, flat) in zone {
+                    let backed = enclosing.contains(&(attr, flat));
+                    if !backed {
+                        let attr_name = t.schema().attr_name(attr).unwrap_or("<out of schema>");
+                        return Err(violation(
+                            format!("scan {name}"),
+                            format!(
+                                "zone entry {attr_name}∈#{flat} is not backed by an \
+                                 enclosing selection conjunct"
+                            ),
+                        ));
+                    }
+                }
+            }
             Ok(t.schema().clone())
         }
         Phys::Select { input, constraints } => {
             let depth = enclosing.len();
             enclosing.extend(constraints.iter().copied());
-            let schema = walk_phys(input, plan, engine, enclosing, flats, nodes, pruned)?;
+            let schema = walk_phys(input, plan, engine, enclosing, flats, nodes, pruned, zoned)?;
             enclosing.truncate(depth);
             for &(attr, flat) in constraints {
                 if attr >= schema.arity() {
                     return Err(violation(
-                        render_node(node, &plan.tables),
+                        render_node(node, &plan.tables, None),
                         format!(
                             "constraint on attribute id {attr} exceeds input arity {}",
                             schema.arity()
@@ -326,12 +399,12 @@ fn walk_phys(
             attrs,
         } => {
             let mut inner = Vec::new();
-            let child = walk_phys(input, plan, engine, &mut inner, flats, nodes, pruned)?;
+            let child = walk_phys(input, plan, engine, &mut inner, flats, nodes, pruned, zoned)?;
             let child_names: Vec<&str> = child.attr_names().collect();
             let stored_names: Vec<&str> = input_schema.attr_names().collect();
             if child_names != stored_names {
                 return Err(violation(
-                    render_node(node, &plan.tables),
+                    render_node(node, &plan.tables, None),
                     format!(
                         "stored input schema ({}) does not match the pipeline ({})",
                         stored_names.join(", "),
@@ -343,9 +416,9 @@ fn walk_phys(
                 .iter()
                 .map(|&a| child.attr_name(a))
                 .collect::<Result<Vec<_>, _>>()
-                .map_err(|e| violation(render_node(node, &plan.tables), e.to_string()))?;
+                .map_err(|e| violation(render_node(node, &plan.tables, None), e.to_string()))?;
             Schema::new(format!("{}_proj", child.name()), &names)
-                .map_err(|e| violation(render_node(node, &plan.tables), e.to_string()))
+                .map_err(|e| violation(render_node(node, &plan.tables, None), e.to_string()))
         }
         Phys::Join {
             left,
@@ -353,17 +426,17 @@ fn walk_phys(
             layout,
         } => {
             let mut lctx = Vec::new();
-            let lschema = walk_phys(left, plan, engine, &mut lctx, flats, nodes, pruned)?;
+            let lschema = walk_phys(left, plan, engine, &mut lctx, flats, nodes, pruned, zoned)?;
             let mut rctx = Vec::new();
-            let rschema = walk_phys(right, plan, engine, &mut rctx, flats, nodes, pruned)?;
+            let rschema = walk_phys(right, plan, engine, &mut rctx, flats, nodes, pruned, zoned)?;
             let expected = JoinLayout::of(&lschema, &rschema)
-                .map_err(|e| violation(render_node(node, &plan.tables), e.to_string()))?;
+                .map_err(|e| violation(render_node(node, &plan.tables, None), e.to_string()))?;
             let same = expected.shared == layout.shared
                 && expected.right_only == layout.right_only
                 && expected.schema.attr_names().eq(layout.schema.attr_names());
             if !same {
                 return Err(violation(
-                    render_node(node, &plan.tables),
+                    render_node(node, &plan.tables, None),
                     format!(
                         "stored join layout ({}) disagrees with the input schemas ({})",
                         layout.schema, expected.schema
@@ -432,17 +505,46 @@ fn count_template_conjuncts(template: &Expr, plan: &SelectPlan) -> Result<usize,
     Ok(n)
 }
 
-/// One-line rendering of a physical node (diagnostics).
-fn render_node(node: &Phys, tables: &[String]) -> String {
+/// One-line rendering of a physical node. With an engine, prune and
+/// zone entries render their predicate attribute by name (`prune
+/// Course∈#0`); without one (violation sites) they fall back to bare
+/// bound-store indices.
+fn render_node(node: &Phys, tables: &[String], engine: Option<&Engine>) -> String {
     match node {
-        Phys::Scan { table, prune } => {
+        Phys::Scan { table, prune, zone } => {
             let name = tables.get(*table).map(String::as_str).unwrap_or("?");
-            if prune.is_empty() {
-                format!("scan[{name}]")
-            } else {
-                let ids: Vec<String> = prune.iter().map(|f| format!("#{f}")).collect();
-                format!("scan[{name} | prune {}]", ids.join(","))
+            let t = match engine {
+                Some(e) => tables.get(*table).and_then(|n| e.table(n).ok()),
+                None => None,
+            };
+            let attr_name =
+                |attr: usize| -> Option<&str> { t.and_then(|t| t.schema().attr_name(attr).ok()) };
+            let mut parts = vec![name.to_owned()];
+            if !prune.is_empty() {
+                let route = t
+                    .and_then(|t| t.routing().attr())
+                    .and_then(attr_name)
+                    .map(str::to_owned);
+                let ids: Vec<String> = prune
+                    .iter()
+                    .map(|f| match &route {
+                        Some(r) => format!("{r}∈#{f}"),
+                        None => format!("#{f}"),
+                    })
+                    .collect();
+                parts.push(format!("prune {}", ids.join(",")));
             }
+            if !zone.is_empty() {
+                let ids: Vec<String> = zone
+                    .iter()
+                    .map(|&(attr, flat)| match attr_name(attr) {
+                        Some(n) => format!("{n}∈#{flat}"),
+                        None => format!("@{attr}∈#{flat}"),
+                    })
+                    .collect();
+                parts.push(format!("zone {}", ids.join(",")));
+            }
+            format!("scan[{}]", parts.join(" | "))
         }
         Phys::Select { constraints, .. } => {
             let parts: Vec<String> = constraints
@@ -464,9 +566,16 @@ fn render_node(node: &Phys, tables: &[String]) -> String {
 }
 
 /// Renders the physical pipeline as an indented tree (EXPLAIN output).
-pub(crate) fn render_phys(node: &Phys, tables: &[String], indent: usize) -> String {
+/// The engine, when supplied, resolves prune/zone predicate attribute
+/// names.
+pub(crate) fn render_phys(
+    node: &Phys,
+    tables: &[String],
+    engine: Option<&Engine>,
+    indent: usize,
+) -> String {
     let pad = "  ".repeat(indent);
-    let mut text = format!("{pad}{}", render_node(node, tables));
+    let mut text = format!("{pad}{}", render_node(node, tables, engine));
     let children: Vec<&Phys> = match node {
         Phys::Scan { .. } => vec![],
         Phys::Select { input, .. } | Phys::Project { input, .. } => vec![input],
@@ -474,7 +583,7 @@ pub(crate) fn render_phys(node: &Phys, tables: &[String], indent: usize) -> Stri
     };
     for child in children {
         text.push('\n');
-        text.push_str(&render_phys(child, tables, indent + 1));
+        text.push_str(&render_phys(child, tables, engine, indent + 1));
     }
     text
 }
@@ -486,8 +595,13 @@ pub(crate) fn verify_report(plan: &SelectPlan, engine: &Engine) -> String {
         Ok(r) => {
             let mut text = format!(
                 "verify: ok — {} logical nodes, {} physical nodes, {} pruned scan(s), \
-                 {} rewrite step(s) gated; output type {}",
-                r.logical_nodes, r.phys_nodes, r.pruned_scans, r.rewrite_steps, r.output_type
+                 {} zone-mapped scan(s), {} rewrite step(s) gated; output type {}",
+                r.logical_nodes,
+                r.phys_nodes,
+                r.pruned_scans,
+                r.zoned_scans,
+                r.rewrite_steps,
+                r.output_type
             );
             for w in &r.warnings {
                 text.push_str(&format!("\nverify: warning — {w}"));
@@ -612,26 +726,54 @@ mod tests {
     fn out_of_schema_order_by_is_rejected() {
         let engine = sharded_engine();
         let mut plan = plan_for(&engine, "SELECT * FROM sc ORDER BY Course");
-        plan.order = Some((
-            OrderBy {
-                attr: "Course".into(),
-                dir: OrderDir::Asc,
-            },
-            7,
-        ));
+        plan.order = Some((OrderBy::single("Course", OrderDir::Asc), vec![7]));
         let v = check_plan(&plan, &engine).unwrap_err();
         assert!(v.site.contains("ORDER BY Course"), "{v}");
         assert!(v.reason.contains("outside the output schema"), "{v}");
         // A resolved-but-wrong id (names another attribute) also fails.
-        plan.order = Some((
-            OrderBy {
-                attr: "Course".into(),
-                dir: OrderDir::Asc,
-            },
-            0,
-        ));
+        plan.order = Some((OrderBy::single("Course", OrderDir::Asc), vec![0]));
         let v = check_plan(&plan, &engine).unwrap_err();
         assert!(v.reason.contains("names Student"), "{v}");
+        // And a key-count mismatch is caught before pairwise checks.
+        plan.order = Some((OrderBy::single("Course", OrderDir::Asc), vec![1, 0]));
+        let v = check_plan(&plan, &engine).unwrap_err();
+        assert!(v.reason.contains("resolved to"), "{v}");
+    }
+
+    #[test]
+    fn unbacked_zone_entry_is_rejected() {
+        let engine = sharded_engine();
+        // Conjunct #0 exists (Student = 's1'), but a zone entry claiming
+        // it constrains Course would skip segments no selection filters.
+        let mut plan = plan_for(&engine, "SELECT * FROM sc WHERE Student = 's1'");
+        if let Phys::Scan { zone, .. } = first_scan(&mut plan.phys.root) {
+            zone.push((1, 0));
+        }
+        let v = check_plan(&plan, &engine).unwrap_err();
+        assert!(v.site.contains("scan sc"), "{v}");
+        assert!(v.reason.contains("not backed"), "{v}");
+    }
+
+    #[test]
+    fn unsound_merge_flag_is_rejected() {
+        let engine = sharded_engine();
+        // Student is not a prefix of the reversed nest order (Course,
+        // Student), so a forced merge flag must be called out.
+        let mut plan = plan_for(&engine, "SELECT * FROM sc ORDER BY Student");
+        assert!(!plan.merge);
+        plan.merge = true;
+        let v = check_plan(&plan, &engine).unwrap_err();
+        assert!(v.reason.contains("merge"), "{v}");
+        // A descending key is equally unsound.
+        let mut plan = plan_for(&engine, "SELECT * FROM sc ORDER BY Course DESC");
+        assert!(!plan.merge);
+        plan.merge = true;
+        let v = check_plan(&plan, &engine).unwrap_err();
+        assert!(v.reason.contains("merge"), "{v}");
+        // The legitimately eligible plan passes with the flag set.
+        let plan = plan_for(&engine, "SELECT * FROM sc ORDER BY Course, Student");
+        assert!(plan.merge);
+        check_plan(&plan, &engine).unwrap();
     }
 
     #[test]
@@ -660,10 +802,15 @@ mod tests {
         }
         // Give the Student conjunct (attr id 0) the Course conjunct's
         // flat index: the prune entry still resolves, but the numbering
-        // now has a duplicate and a gap.
+        // now has a duplicate and a gap. The scan's zone list is kept
+        // consistent so the flat-numbering check (not the zone-backing
+        // check) is what trips.
         let constraints = first_select(&mut plan.phys.root).unwrap();
         let course_flat = constraints.iter().find(|(a, _)| *a == 1).unwrap().1;
         constraints.iter_mut().find(|(a, _)| *a == 0).unwrap().1 = course_flat;
+        if let Phys::Scan { zone, .. } = first_scan(&mut plan.phys.root) {
+            zone.iter_mut().find(|(a, _)| *a == 0).unwrap().1 = course_flat;
+        }
         let v = check_plan(&plan, &engine).unwrap_err();
         assert!(v.site.contains("bound-value store"), "{v}");
     }
@@ -674,6 +821,11 @@ mod tests {
         let mut plan = plan_for(&engine, "SELECT * FROM sc WHERE Student = 's1'");
         if let Phys::Select { constraints, .. } = &mut plan.phys.root {
             constraints[0].0 = 9;
+        }
+        // Keep the zone mirror consistent so the arity check trips, not
+        // the zone-backing one.
+        if let Phys::Scan { zone, .. } = first_scan(&mut plan.phys.root) {
+            zone[0].0 = 9;
         }
         let v = check_plan(&plan, &engine).unwrap_err();
         assert!(v.reason.contains("exceeds input arity"), "{v}");
@@ -691,10 +843,21 @@ mod tests {
             .unwrap()
             .unwrap();
         assert!(text.contains("physical:"), "{text}");
-        assert!(text.contains("scan[sc | prune"), "{text}");
+        // The pruning predicate renders by attribute name, and the same
+        // conjunct doubles as a zone-map check.
+        assert!(
+            text.contains("scan[sc | prune Course∈#0 | zone Course∈#0]"),
+            "{text}"
+        );
         assert!(text.contains("⋈[shared=1"), "{text}");
         assert!(text.contains("verify: ok"), "{text}");
         assert!(text.contains("pruned scan"), "{text}");
+        assert!(text.contains("zone-mapped scan"), "{text}");
+        // Fully bound: the dynamic pruning section reports shard and
+        // segment effect.
+        assert!(text.contains("pruning:"), "{text}");
+        assert!(text.contains("sc: 1/4 shard(s)"), "{text}");
+        assert!(text.contains("segments skipped"), "{text}");
     }
 
     #[test]

@@ -10,7 +10,9 @@
 
 use proptest::prelude::*;
 
-use nf2_query::ast::{EqPredicate, OrderBy, OrderDir, Predicate, Projection, Statement, Value};
+use nf2_query::ast::{
+    EqPredicate, OrderBy, OrderDir, OrderKey, Predicate, Projection, Statement, Value,
+};
 use nf2_query::parse;
 
 /// Identifiers start with `x`, which no keyword does, so generated
@@ -51,14 +53,13 @@ fn projection() -> impl Strategy<Value = Projection> {
 }
 
 fn order_by() -> impl Strategy<Value = Option<OrderBy>> {
+    let key = (ident(), proptest::strategy::any::<bool>()).prop_map(|(attr, desc)| OrderKey {
+        attr,
+        dir: if desc { OrderDir::Desc } else { OrderDir::Asc },
+    });
     prop_oneof![
         Just(None),
-        (ident(), proptest::strategy::any::<bool>()).prop_map(|(attr, desc)| {
-            Some(OrderBy {
-                attr,
-                dir: if desc { OrderDir::Desc } else { OrderDir::Asc },
-            })
-        }),
+        proptest::collection::vec(key, 1..4).prop_map(|keys| Some(OrderBy { keys })),
     ]
 }
 

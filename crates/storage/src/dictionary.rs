@@ -70,6 +70,18 @@ impl SharedDictionary {
         self.inner.dict.read().is_empty()
     }
 
+    /// Whether atom-id order agrees with lexicographic string order —
+    /// see [`Dictionary::is_id_ordered`]. While this holds, storage
+    /// order (atom codes ascending) ranks values exactly like the query
+    /// layer's resolved-string comparator, so `ORDER BY` can stream
+    /// straight off sorted segments. Append-only: once `false`, always
+    /// `false`, so a `true` answer can only be invalidated by interns
+    /// that happen after it — callers that bind a plan against a
+    /// dictionary snapshot should consult the snapshot's own flag.
+    pub fn is_id_ordered(&self) -> bool {
+        self.inner.dict.read().is_id_ordered()
+    }
+
     /// A point-in-time view of the underlying dictionary, for use with
     /// core display helpers that take `&Dictionary` (auto-deref from the
     /// returned `Arc`).

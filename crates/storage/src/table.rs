@@ -20,7 +20,7 @@ use nf2_core::maintenance::CostCounter;
 use nf2_core::relation::{FlatRelation, NfRelation};
 use nf2_core::schema::{AttrId, NestOrder, Schema};
 use nf2_core::shard::{MaintenanceCost, ShardSpec, ShardedCanonical};
-use nf2_core::tuple::{FlatTuple, NfTuple};
+use nf2_core::tuple::{FlatTuple, NfTuple, ValueSet};
 use nf2_core::value::Atom;
 
 use crate::codec::{
@@ -42,6 +42,10 @@ pub struct TableStats {
     pub inserts: u64,
     /// Rows deleted since creation.
     pub deletes: u64,
+    /// Whole columnar segments skipped by zone-map refutation
+    /// ([`NfTable::scan_shards_zoned`]) — their tuples were never
+    /// probed, so they are *not* in `units_probed`.
+    pub segments_skipped: u64,
 }
 
 /// A WAL entry: one flat-row mutation.
@@ -488,6 +492,91 @@ impl NfTable {
         )
     }
 
+    /// A borrowing, probe-counted scan over `shards` that additionally
+    /// skips whole columnar segments whose zone maps refute any of the
+    /// `zones` conjuncts — `(attr, values)` pairs meaning "the `attr`
+    /// component must intersect `values`". A segment whose `[min, max]`
+    /// range for `attr` excludes every value in `values` cannot hold a
+    /// matching tuple, so its tuples are never yielded (and never
+    /// probe-counted); the skip itself is tallied in
+    /// [`TableStats::segments_skipped`].
+    ///
+    /// Shards whose segments are stale (point maintenance since the
+    /// last rebuild) fall back to their full tuple slice — zone maps
+    /// are an optimization, never a semantic filter, so callers still
+    /// apply the real predicate downstream.
+    pub fn scan_shards_zoned(
+        &self,
+        shards: &[usize],
+        zones: &[(AttrId, ValueSet)],
+    ) -> TableScan<'_> {
+        let all = self.canon.shards();
+        let segs = self.canon.segments();
+        let mut slices: Vec<&[NfTuple]> = Vec::new();
+        let mut skipped = 0u64;
+        for &i in shards {
+            let Some(shard) = all.get(i) else { continue };
+            let tuples = shard.relation().tuples();
+            let ss = &segs[i];
+            if zones.is_empty() || !ss.is_fresh() {
+                slices.push(tuples);
+                continue;
+            }
+            for seg in ss.segments() {
+                if zones.iter().all(|(attr, vals)| seg.admits(*attr, vals)) {
+                    slices.push(&tuples[seg.range()]);
+                } else {
+                    skipped += 1;
+                }
+            }
+        }
+        TableScan {
+            shards: slices,
+            shard: 0,
+            idx: 0,
+            stats: &self.stats,
+            yielded: 0,
+            skipped,
+        }
+    }
+
+    /// Counts, without scanning anything, how many segments of each
+    /// listed shard the zone conjuncts would skip: `(skipped, total)`
+    /// per shard, in the order given. Stale shards report `(0, n)` —
+    /// they cannot skip. This is the static side of EXPLAIN's pruning
+    /// report; [`scan_shards_zoned`](Self::scan_shards_zoned) is the
+    /// execution side and its [`TableStats::segments_skipped`] tally
+    /// agrees with the sum reported here.
+    pub fn zone_skip_counts(
+        &self,
+        shards: &[usize],
+        zones: &[(AttrId, ValueSet)],
+    ) -> Vec<(usize, usize)> {
+        let segs = self.canon.segments();
+        shards
+            .iter()
+            .filter_map(|&i| segs.get(i))
+            .map(|ss| {
+                let total = ss.segment_count();
+                if zones.is_empty() || !ss.is_fresh() {
+                    return (0, total);
+                }
+                let kept = ss
+                    .segments()
+                    .iter()
+                    .filter(|seg| zones.iter().all(|(attr, vals)| seg.admits(*attr, vals)))
+                    .count();
+                (total - kept, total)
+            })
+            .collect()
+    }
+
+    /// Changes the target tuples-per-segment on the backing store and
+    /// re-tiles every fresh shard. Test and experiment knob.
+    pub fn set_segment_rows(&mut self, rows: usize) {
+        self.canon.set_segment_rows(rows);
+    }
+
     fn scan_of<'a>(&'a self, shards: impl Iterator<Item = &'a [NfTuple]>) -> TableScan<'a> {
         TableScan {
             shards: shards.collect(),
@@ -495,6 +584,7 @@ impl NfTable {
             idx: 0,
             stats: &self.stats,
             yielded: 0,
+            skipped: 0,
         }
     }
 
@@ -585,7 +675,8 @@ impl NfTable {
     /// persisted shard spec, then replays the WAL (every entry routed
     /// through the sharded store like a live mutation).
     pub fn open(dir: &Path, name: &str, dict: SharedDictionary) -> Result<Self> {
-        let (attr_names, order_attrs, dict_entries, spec) = read_meta(&meta_path(dir, name))?;
+        let (attr_names, order_attrs, dict_entries, spec, persisted_segments) =
+            read_meta(&meta_path(dir, name))?;
         // Restore dictionary contents (atom ids are dense from 0).
         for entry in &dict_entries {
             dict.intern(entry);
@@ -603,8 +694,21 @@ impl NfTable {
         let rel = NfRelation::from_tuples(schema.clone(), tuples)?;
         let flat = rel.expand();
         let mut canon = ShardedCanonical::from_flat(&flat, order, spec)?;
-        // Replay WAL.
         let wal_bytes = std::fs::read(wal_path(dir, name)).unwrap_or_default();
+        // Validate the rebuilt segments against the persisted synopsis
+        // *before* WAL replay (replayed point ops legitimately mark
+        // shards stale again). The synopsis describes the table state at
+        // write_meta time, which is only the page state when no WAL
+        // entries are pending — a meta flushed mid-stream (flush_wal +
+        // write_meta) is ahead of the checkpoint pages, so it cannot be
+        // checked against them.
+        if let Some(persisted) = &persisted_segments {
+            canon.set_segment_rows(persisted.segment_rows);
+            if wal_bytes.is_empty() {
+                check_persisted_segments(&canon, persisted)?;
+            }
+        }
+        // Replay WAL.
         let mut slice: &[u8] = &wal_bytes;
         while !slice.is_empty() {
             match WalEntry::decode(&mut slice, arity)? {
@@ -652,6 +756,29 @@ impl NfTable {
                 }
             }
         }
+        // Per-shard segment metadata (the zone-map synopsis): target
+        // tuples-per-segment, then per shard a fresh/stale flag and,
+        // when fresh, each segment's row count, distinct-outer estimate
+        // and per-attribute min/max codes. open() re-derives segments
+        // from the checkpoint pages and validates them against this.
+        put_varint(&mut buf, self.canon.segment_rows() as u64);
+        put_varint(&mut buf, self.canon.shard_count() as u64);
+        for ss in self.canon.segments() {
+            if !ss.is_fresh() {
+                buf.put_u8(0);
+                continue;
+            }
+            buf.put_u8(1);
+            put_varint(&mut buf, ss.segment_count() as u64);
+            for seg in ss.segments() {
+                put_varint(&mut buf, seg.rows() as u64);
+                put_varint(&mut buf, seg.distinct_outer() as u64);
+                for a in 0..schema.arity() {
+                    put_varint(&mut buf, u64::from(seg.min(a).id()));
+                    put_varint(&mut buf, u64::from(seg.max(a).id()));
+                }
+            }
+        }
         let checksum = crate::codec::fnv1a64(&buf);
         let mut out = BytesMut::with_capacity(buf.len() + 8);
         out.put_u64(checksum);
@@ -661,9 +788,34 @@ impl NfTable {
     }
 }
 
+/// One persisted segment's metadata: row count, distinct-outer
+/// estimate, and per-attribute `(min, max)` atom codes.
+#[derive(Debug, PartialEq, Eq)]
+struct PersistedSegment {
+    rows: usize,
+    distinct_outer: usize,
+    bounds: Vec<(u32, u32)>,
+}
+
+/// The persisted segment synopsis of a whole table: the tiling target
+/// plus, per shard, `Some(segments)` if the shard was fresh at
+/// checkpoint time (`None` = stale, nothing to validate against).
+#[derive(Debug)]
+struct PersistedSegments {
+    segment_rows: usize,
+    shards: Vec<Option<Vec<PersistedSegment>>>,
+}
+
 /// Parsed meta contents: attribute names, nest order, dictionary
-/// entries, and the shard spec.
-type MetaContents = (Vec<String>, Vec<usize>, Vec<String>, ShardSpec);
+/// entries, the shard spec, and (absent in pre-segment meta files) the
+/// persisted segment synopsis.
+type MetaContents = (
+    Vec<String>,
+    Vec<usize>,
+    Vec<String>,
+    ShardSpec,
+    Option<PersistedSegments>,
+);
 
 fn read_meta(path: &Path) -> Result<MetaContents> {
     let bytes = std::fs::read(path)?;
@@ -703,7 +855,7 @@ fn read_meta(path: &Path) -> Result<MetaContents> {
     if slice.is_empty() {
         // Meta written before sharding existed: those tables were all
         // single-shard, so that is exactly what the missing spec means.
-        return Ok((attr_names, order, dict_entries, ShardSpec::single()));
+        return Ok((attr_names, order, dict_entries, ShardSpec::single(), None));
     }
     let tag = slice[0];
     slice = &slice[1..];
@@ -722,7 +874,90 @@ fn read_meta(path: &Path) -> Result<MetaContents> {
         }
     }
     .map_err(StorageError::Model)?;
-    Ok((attr_names, order, dict_entries, spec))
+    if slice.is_empty() {
+        // Meta written before columnar segments existed.
+        return Ok((attr_names, order, dict_entries, spec, None));
+    }
+    let segment_rows = get_varint(&mut slice)? as usize;
+    let shard_count = get_varint(&mut slice)? as usize;
+    let mut shards = Vec::with_capacity(shard_count);
+    for _ in 0..shard_count {
+        if slice.is_empty() {
+            return Err(StorageError::Corrupt("segment meta truncated".into()));
+        }
+        let fresh = slice[0];
+        slice = &slice[1..];
+        if fresh == 0 {
+            shards.push(None);
+            continue;
+        }
+        let seg_count = get_varint(&mut slice)? as usize;
+        let mut segs = Vec::with_capacity(seg_count);
+        for _ in 0..seg_count {
+            let rows = get_varint(&mut slice)? as usize;
+            let distinct_outer = get_varint(&mut slice)? as usize;
+            let mut bounds = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                let lo = get_varint(&mut slice)? as u32;
+                let hi = get_varint(&mut slice)? as u32;
+                bounds.push((lo, hi));
+            }
+            segs.push(PersistedSegment {
+                rows,
+                distinct_outer,
+                bounds,
+            });
+        }
+        shards.push(Some(segs));
+    }
+    let persisted = PersistedSegments {
+        segment_rows,
+        shards,
+    };
+    Ok((attr_names, order, dict_entries, spec, Some(persisted)))
+}
+
+/// Validates freshly rebuilt segments against the synopsis persisted at
+/// checkpoint time: shards that were fresh then must re-derive to the
+/// same tiling, distinct-outer estimates and zone bounds now — a
+/// mismatch means the pages or meta were tampered with or corrupted.
+fn check_persisted_segments(canon: &ShardedCanonical, persisted: &PersistedSegments) -> Result<()> {
+    if persisted.shards.len() != canon.shard_count() {
+        return Err(StorageError::Corrupt(format!(
+            "segment meta lists {} shards, store has {}",
+            persisted.shards.len(),
+            canon.shard_count()
+        )));
+    }
+    let arity = canon.schema().arity();
+    for (idx, expected) in persisted.shards.iter().enumerate() {
+        let Some(expected) = expected else { continue };
+        let ss = canon.shard_segments(idx);
+        let mismatch = |what: String| {
+            StorageError::Corrupt(format!(
+                "shard {idx}: rebuilt segments disagree with checkpoint meta ({what})"
+            ))
+        };
+        if ss.segment_count() != expected.len() {
+            return Err(mismatch(format!(
+                "{} segments rebuilt, {} persisted",
+                ss.segment_count(),
+                expected.len()
+            )));
+        }
+        for (n, (seg, want)) in ss.segments().iter().zip(expected).enumerate() {
+            let bounds: Vec<(u32, u32)> = (0..arity)
+                .map(|a| (seg.min(a).id(), seg.max(a).id()))
+                .collect();
+            if seg.rows() != want.rows
+                || seg.distinct_outer() != want.distinct_outer
+                || bounds != want.bounds
+            {
+                return Err(mismatch(format!("segment {n}")));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// A lazy scan over an [`NfTable`]'s tuples — the shards' tuple slices,
@@ -741,6 +976,8 @@ pub struct TableScan<'a> {
     idx: usize,
     stats: &'a Mutex<TableStats>,
     yielded: u64,
+    /// Segments excluded up front by zone maps (settled on drop).
+    skipped: u64,
 }
 
 impl<'a> Iterator for TableScan<'a> {
@@ -774,6 +1011,7 @@ impl Drop for TableScan<'_> {
         let mut stats = self.stats.lock();
         stats.lookups += 1;
         stats.units_probed += self.yielded;
+        stats.segments_skipped += self.skipped;
     }
 }
 
@@ -1341,6 +1579,133 @@ mod tests {
         assert_eq!(reopened.shard_spec(), t.shard_spec());
         assert_eq!(reopened.relation(), t.relation());
         reopened.sharded().verify().unwrap();
+    }
+
+    /// A bulk-loaded table (fresh segments) with clustered values:
+    /// `A` ascends with the `B` group so segment zone maps are tight.
+    fn segmented_table(shards: usize, rows: usize) -> NfTable {
+        let dict = SharedDictionary::new();
+        let data: Vec<Vec<String>> = (0..rows)
+            .map(|i| vec![format!("a{i:05}"), format!("b{:04}", i / 8)])
+            .collect();
+        let refs: Vec<Vec<&str>> = data
+            .iter()
+            .map(|r| r.iter().map(String::as_str).collect())
+            .collect();
+        let mut t = NfTable::bulk_load_strs_sharded(
+            "t",
+            &["A", "B"],
+            refs,
+            NestOrder::identity(2),
+            ShardSpec::hash(shards).unwrap(),
+            dict,
+        )
+        .unwrap();
+        t.set_segment_rows(16);
+        t
+    }
+
+    #[test]
+    fn zoned_scan_skips_segments_and_counts_them() {
+        let t = segmented_table(1, 400);
+        let total_segments = t.sharded().shard_segments(0).segment_count();
+        assert!(total_segments > 3, "400 rows at 16/segment tile widely");
+        // A tight predicate on the non-routing attribute A: values from
+        // one narrow window of the clustered layout.
+        let vals = ValueSet::new(vec![t.dict().lookup("a00007").unwrap()])
+            .expect("looked-up atoms form a set");
+        let zones = vec![(0usize, vals)];
+        let before = t.stats();
+        let full = t.scan_shards(&[0]).count();
+        let zoned = t.scan_shards_zoned(&[0], &zones).count();
+        let after = t.stats();
+        assert!(zoned < full, "zone maps must exclude tuples up front");
+        // Probe accounting: the zoned scan charged only what it yielded,
+        // and tallied the skipped segments.
+        assert_eq!(
+            after.units_probed - before.units_probed,
+            (full + zoned) as u64
+        );
+        let skipped = after.segments_skipped - before.segments_skipped;
+        assert!(
+            skipped as usize * 2 >= total_segments,
+            "a point predicate must skip at least half the segments: {skipped}/{total_segments}"
+        );
+        let counts = t.zone_skip_counts(&[0], &zones);
+        assert_eq!(counts, vec![(skipped as usize, total_segments)]);
+        // Soundness: the zoned scan still yields every actually-matching
+        // tuple (zone maps over-approximate, never under-approximate).
+        let target = t.dict().lookup("a00007").unwrap();
+        let matches_full = t
+            .scan_shards(&[0])
+            .filter(|tp| tp.component(0).contains(target))
+            .count();
+        let zones2 = vec![(
+            0usize,
+            ValueSet::new(vec![target]).expect("one atom forms a set"),
+        )];
+        let matches_zoned = t
+            .scan_shards_zoned(&[0], &zones2)
+            .filter(|tp| tp.component(0).contains(target))
+            .count();
+        assert_eq!(matches_full, matches_zoned);
+    }
+
+    #[test]
+    fn stale_segments_fall_back_to_full_scans() {
+        let mut t = segmented_table(1, 200);
+        let vals = ValueSet::new(vec![t.dict().lookup("a00003").unwrap()])
+            .expect("looked-up atoms form a set");
+        let zones = vec![(0usize, vals)];
+        assert!(t.scan_shards_zoned(&[0], &zones).count() < t.scan_shards(&[0]).count());
+        // A point insert breaks segment freshness: the zoned scan must
+        // degrade to the full shard, never drop tuples.
+        t.insert_row(&["zz", "b0000"]).unwrap();
+        assert!(!t.sharded().shard_segments(0).is_fresh());
+        let before = t.stats().segments_skipped;
+        assert_eq!(
+            t.scan_shards_zoned(&[0], &zones).count(),
+            t.scan_shards(&[0]).count()
+        );
+        assert_eq!(
+            t.stats().segments_skipped,
+            before,
+            "stale shards skip nothing"
+        );
+        assert_eq!(t.zone_skip_counts(&[0], &zones)[0].0, 0);
+    }
+
+    #[test]
+    fn checkpoint_persists_and_validates_segment_meta() {
+        let dir = temp_dir("seg_meta");
+        let mut t = segmented_table(2, 300);
+        t.checkpoint(&dir).unwrap();
+        let reopened = NfTable::open(&dir, "t", SharedDictionary::new()).unwrap();
+        assert_eq!(reopened.relation(), t.relation());
+        for s in 0..2 {
+            let ss = reopened.sharded().shard_segments(s);
+            assert!(ss.is_fresh(), "reopen re-derives fresh segments");
+            assert_eq!(
+                ss.segment_count(),
+                t.sharded().shard_segments(s).segment_count(),
+                "persisted tiling target survives the round trip"
+            );
+        }
+        // Tamper with the pages: the rebuilt segments no longer match
+        // the persisted synopsis and open() must refuse.
+        let pages = pages_path(&dir, "t");
+        let mut heap = HeapFile::new();
+        let mut buf = BytesMut::new();
+        for tuple in t.relation().tuples().iter().skip(1) {
+            buf.clear();
+            encode_nf_tuple(tuple, &mut buf);
+            heap.insert(&buf).unwrap();
+        }
+        heap.save(&pages).unwrap();
+        assert!(
+            NfTable::open(&dir, "t", SharedDictionary::new()).is_err(),
+            "segment synopsis must catch a dropped tuple"
+        );
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! Segment-subsystem acceptance (PR 7): ordered scans over sorted
+//! columnar segments, the k-way merge top-k, and zone-map segment
+//! skipping — all probe-counted through the SQL surface.
+//!
+//! Three acceptance bars:
+//!
+//! * `ORDER BY <sort-key prefix> LIMIT k` over fresh segments runs the
+//!   streaming k-way merge: one probe-counted scan per shard, stopping
+//!   after ~(k + shards) pulls instead of draining the store;
+//! * a §4 point op marks the routed shard's segments stale and the
+//!   *same* SQL silently falls back to the bounded heap — identical
+//!   tuples, full-scan probes;
+//! * an equality on a **non-routing** attribute skips every segment
+//!   whose zone `[min, max]` cannot contain the value, charged to the
+//!   `segments_skipped` counter, without changing any answer.
+
+use nf2::core::schema::NestOrder;
+use nf2::core::shard::ShardSpec;
+use nf2::query::Engine;
+use nf2::storage::NfTable;
+
+/// An engine over `groups` canonical tuples on `shards` shards with
+/// fresh segments: unique zero-padded outer key `b<g>` per group,
+/// `width` inner `a…` values each, the whole universe interned in
+/// sorted order **before** the load so the dictionary is id-ordered
+/// (the merge path's dynamic precondition), then bulk-loaded through
+/// the kernel rebuild path (which emits the segments).
+fn segmented_engine(groups: usize, width: usize, shards: usize) -> Engine {
+    let mut engine = Engine::builder().shards(shards).build().unwrap();
+    let rows: Vec<[String; 2]> = (0..groups)
+        .flat_map(|g| {
+            (0..width).map(move |j| [format!("a{:05}", g * width + j), format!("b{g:04}")])
+        })
+        .collect();
+    for r in &rows {
+        engine.dict().intern(&r[0]);
+    }
+    for g in 0..groups {
+        engine.dict().intern(&format!("b{g:04}"));
+    }
+    let refs: Vec<Vec<&str>> = rows
+        .iter()
+        .map(|r| vec![r[0].as_str(), r[1].as_str()])
+        .collect();
+    let table = NfTable::bulk_load_strs_sharded(
+        "t",
+        &["A", "B"],
+        refs,
+        NestOrder::identity(2),
+        ShardSpec::hash(shards).unwrap(),
+        engine.dict().clone(),
+    )
+    .unwrap();
+    engine.attach_table(table).unwrap();
+    assert_eq!(engine.table("t").unwrap().sharded().tuple_count(), groups);
+    engine
+}
+
+/// Resolves a cursor's tuples to strings, one sorted vec per component.
+fn rows_of(engine: &mut Engine, sql: &str) -> Vec<Vec<Vec<String>>> {
+    let session = engine.session();
+    let snap = session.engine().dict().snapshot();
+    session
+        .query(sql)
+        .unwrap()
+        .map(|t| {
+            t.as_tuple()
+                .components()
+                .iter()
+                .map(|c| {
+                    c.as_slice()
+                        .iter()
+                        .map(|&a| snap.resolve(a).unwrap().to_owned())
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn merge_topk_stops_early_and_matches_the_sorted_oracle() {
+    let mut engine = segmented_engine(500, 3, 4);
+    let sql = "SELECT * FROM t ORDER BY B, A LIMIT 7";
+
+    let before = engine.table("t").unwrap().stats();
+    let merged = rows_of(&mut engine, sql);
+    let after = engine.table("t").unwrap().stats();
+
+    // One probe-counted scan per shard, each stopped after a handful of
+    // pulls — nowhere near the 500 stored tuples.
+    assert_eq!(after.lookups - before.lookups, 4, "one scan per shard");
+    let probed = after.units_probed - before.units_probed;
+    assert!(
+        probed < 50,
+        "the merge must stop early: {probed} of 500 tuples probed"
+    );
+
+    // Oracle: group g surfaces as ({its a's}, {b<g>}) and the unique
+    // zero-padded outer keys sort textually — the top 7 are b0000…b0006.
+    assert_eq!(merged.len(), 7);
+    for (i, t) in merged.iter().enumerate() {
+        assert_eq!(t[1], vec![format!("b{i:04}")]);
+        assert_eq!(t[0].len(), 3, "each group keeps its 3 inner values");
+    }
+}
+
+#[test]
+fn point_maintenance_falls_back_to_the_heap_with_identical_results() {
+    let mut engine = segmented_engine(300, 2, 4);
+    let sql = "SELECT * FROM t ORDER BY B, A LIMIT 5";
+    let merged = rows_of(&mut engine, sql);
+
+    // A §4 point insert (values sorting after the whole universe, so
+    // the dictionary stays id-ordered and the top-5 answer unchanged)
+    // marks exactly the routed shard's segments stale.
+    engine
+        .session()
+        .run("INSERT INTO t VALUES ('zz_a', 'zz_b')")
+        .unwrap();
+    let t = engine.table("t").unwrap();
+    let stale: Vec<usize> = (0..t.shard_count())
+        .filter(|&s| !t.sharded().shard_segments(s).is_fresh())
+        .collect();
+    assert_eq!(stale.len(), 1, "one point op staleness-marks one shard");
+
+    let before = engine.table("t").unwrap().stats();
+    let heaped = rows_of(&mut engine, sql);
+    let after = engine.table("t").unwrap().stats();
+    assert_eq!(heaped, merged, "the fallback changes cost, never answers");
+    assert_eq!(
+        after.units_probed - before.units_probed,
+        301,
+        "the bounded heap drains every stored tuple"
+    );
+    assert_eq!(after.lookups - before.lookups, 1, "one unrestricted scan");
+}
+
+#[test]
+fn zone_maps_skip_segments_on_a_non_routing_equality() {
+    // Clustered data: A values strictly increase over (group, row), so
+    // the canonical (B, A) sort gives each segment a tight A-range and
+    // an A-equality — which cannot shard-prune, A does not route — can
+    // skip every segment whose zone excludes the value.
+    let mut engine = segmented_engine(512, 2, 4);
+    engine.table_mut("t").unwrap().set_segment_rows(16);
+    let t = engine.table("t").unwrap();
+    let total_segments: usize = (0..t.shard_count())
+        .map(|s| t.sharded().shard_segments(s).segment_count())
+        .sum();
+    assert!(total_segments >= 16, "re-tiling produced {total_segments}");
+
+    let before = engine.table("t").unwrap().stats();
+    let n = {
+        let session = engine.session();
+        session
+            .query("SELECT COUNT(*) FROM t WHERE A = 'a00500'")
+            .unwrap()
+            .flat_count()
+    };
+    let after = engine.table("t").unwrap().stats();
+    assert_eq!(n, 1, "A values are unique");
+    let skipped = (after.segments_skipped - before.segments_skipped) as usize;
+    assert!(
+        skipped * 2 >= total_segments,
+        "zone maps must skip at least half the segments: {skipped}/{total_segments}"
+    );
+    let probed = after.units_probed - before.units_probed;
+    assert!(
+        (probed as usize) < 512 / 2,
+        "skipped segments are never probed: {probed} of 512"
+    );
+
+    // Staleness disables skipping on the touched shard but never
+    // changes the answer: the zoned scan falls back to full slices
+    // there and still re-filters through the enclosing selection.
+    engine
+        .session()
+        .run("INSERT INTO t VALUES ('zz_a', 'zz_b')")
+        .unwrap();
+    let before = engine.table("t").unwrap().stats();
+    let n = {
+        let session = engine.session();
+        session
+            .query("SELECT COUNT(*) FROM t WHERE A = 'a00500'")
+            .unwrap()
+            .flat_count()
+    };
+    let after = engine.table("t").unwrap().stats();
+    assert_eq!(n, 1, "stale shards re-filter instead of skipping");
+    let skipped_stale = (after.segments_skipped - before.segments_skipped) as usize;
+    assert!(
+        skipped_stale < skipped,
+        "the stale shard stops zone-skipping: {skipped_stale} < {skipped}"
+    );
+}
+
+#[test]
+fn explain_reports_merge_pruning_and_skip_counts() {
+    let mut engine = segmented_engine(256, 2, 4);
+    engine.table_mut("t").unwrap().set_segment_rows(8);
+    let session = engine.session();
+
+    // The merge-eligible shape names its operator and limit.
+    let mut prep = session
+        .prepare("SELECT * FROM t ORDER BY B, A LIMIT 3")
+        .unwrap();
+    let text = prep.explain(&session).unwrap();
+    assert!(
+        text.contains("streaming k-way segment merge, limit 3"),
+        "{text}"
+    );
+
+    // A routed + zoned scan prints its pruning predicate on the scan
+    // node and the dynamic shard/segment-skip counts per table.
+    let mut prep = session
+        .prepare("SELECT COUNT(*) FROM t WHERE B = 'b0100' AND A = 'a00200'")
+        .unwrap();
+    let text = prep.explain(&session).unwrap();
+    assert!(text.contains("prune B∈#"), "routing predicate: {text}");
+    assert!(text.contains("zone "), "zone predicates: {text}");
+    assert!(text.contains("\npruning:"), "dynamic section: {text}");
+    assert!(text.contains("t: 1/4 shard(s)"), "shard counts: {text}");
+    assert!(text.contains("segments skipped"), "segment counts: {text}");
+
+    // A DESC key breaks merge eligibility: the operator line says so.
+    let mut prep = session
+        .prepare("SELECT * FROM t ORDER BY B DESC, A LIMIT 3")
+        .unwrap();
+    let text = prep.explain(&session).unwrap();
+    assert!(text.contains("top-3 bounded heap"), "{text}");
+}
+
+#[test]
+fn multi_attribute_order_by_ranks_by_both_keys() {
+    // Mixed-direction multi-key ORDER BY through the parser, planner
+    // and executor: B DESC is not merge-eligible, so this pins the
+    // multi-key comparator of the sort/heap path, while B ASC above
+    // pins the merge path — both against the same textual oracle.
+    let mut engine = segmented_engine(40, 2, 4);
+    let desc = rows_of(&mut engine, "SELECT * FROM t ORDER BY B DESC, A LIMIT 4");
+    assert_eq!(desc.len(), 4);
+    for (i, t) in desc.iter().enumerate() {
+        assert_eq!(t[1], vec![format!("b{:04}", 39 - i)]);
+    }
+
+    // Unlimited multi-key ASC: the full ordered stream is the oracle
+    // sequence, whatever path produced it.
+    let asc = rows_of(&mut engine, "SELECT * FROM t ORDER BY B, A");
+    assert_eq!(asc.len(), 40);
+    for (i, t) in asc.iter().enumerate() {
+        assert_eq!(t[1], vec![format!("b{i:04}")]);
+    }
+}

@@ -1,0 +1,1 @@
+SELECT * FROM sc ORDER BY Course, Student LIMIT 3

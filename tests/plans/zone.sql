@@ -1,0 +1,1 @@
+SELECT * FROM sc WHERE Student = 's1' AND Course = 'c1'
