@@ -59,7 +59,7 @@ fn bench_scan_lookup(c: &mut Criterion) {
 
 fn bench_indexed_lookup(c: &mut Criterion) {
     let mut group = c.benchmark_group("lookup_indexed");
-    let (mut nf, _, courses) = setup(400);
+    let (nf, _, courses) = setup(400);
     nf.build_index();
     group.bench_function("nf2_table_indexed", |b| {
         let mut i = 0usize;

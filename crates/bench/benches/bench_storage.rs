@@ -96,7 +96,7 @@ fn bench_checkpoint_open(c: &mut Criterion) {
     std::fs::create_dir_all(&dir).unwrap();
     group.bench_function("checkpoint_1000_rows", |b| {
         b.iter(|| {
-            let mut t = NfTable::from_flat(
+            let t = NfTable::from_flat(
                 "bench",
                 &w.flat,
                 NestOrder::identity(3),
@@ -107,7 +107,7 @@ fn bench_checkpoint_open(c: &mut Criterion) {
         })
     });
     // Prepare a checkpoint for the open benchmark.
-    let mut t = NfTable::from_flat(
+    let t = NfTable::from_flat(
         "bench",
         &w.flat,
         NestOrder::identity(3),

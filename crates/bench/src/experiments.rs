@@ -684,7 +684,7 @@ pub fn e09_search_space() -> Report {
     let dir = std::env::temp_dir().join("nf2_e9");
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
-    let mut nf_mut = nf;
+    let nf_mut = nf;
     nf_mut.checkpoint(&dir).unwrap();
     let nf_bytes = std::fs::metadata(dir.join("r1.pages"))
         .map(|m| m.len())
@@ -1365,7 +1365,7 @@ pub fn e17_with(iters: usize) -> Report {
     // plan-bound, which is exactly the regime prepared statements exist
     // for. 64 students x 3 courses drawn from a 16-course pool, each
     // course taught by one of four profs (the joined dimension table).
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let students = 64u32;
     let sc_rows: Vec<Vec<String>> = (0..students)
         .flat_map(|s| (0..3u32).map(move |c| vec![format!("s{s}"), format!("c{}", (s + c) % 16)]))
@@ -1818,7 +1818,7 @@ pub fn e19_with(total_rows: usize) -> Report {
     // ---- Phase 2: shard-pruned scans through the SQL surface. ----
     const SHARDS: usize = 4;
     const OUTER_VALUES: usize = 64;
-    let mut engine = Engine::builder().shards(SHARDS).build().unwrap();
+    let engine = Engine::builder().shards(SHARDS).build().unwrap();
     let srows: Vec<Vec<String>> = (0..total_rows)
         .map(|i| vec![format!("a{i:07}"), format!("b{:03}", i % OUTER_VALUES)])
         .collect();
@@ -1880,7 +1880,7 @@ pub fn e19_with(total_rows: usize) -> Report {
 
     if total_rows <= 50_000 {
         // Small-scale runs re-verify pruned ≡ unpruned end to end.
-        let mut plain = Engine::builder().shards(1).build().unwrap();
+        let plain = Engine::builder().shards(1).build().unwrap();
         let srefs: Vec<Vec<&str>> = srows
             .iter()
             .map(|r| r.iter().map(String::as_str).collect())
@@ -1987,7 +1987,7 @@ pub fn e20_with(total_rows: usize) -> Report {
     let mut merge_ms_at_4 = f64::NAN;
     let mut heap_ms_at_4 = f64::NAN;
     for shards in [1usize, 4, 16] {
-        let mut engine = Engine::builder().shards(shards).build().unwrap();
+        let engine = Engine::builder().shards(shards).build().unwrap();
         for r in &rows_p1 {
             engine.dict().intern(&r[0]);
         }
@@ -2116,7 +2116,7 @@ pub fn e20_with(total_rows: usize) -> Report {
             (0..per_group).map(move |j| [format!("a{:09}", g * per_group + j), format!("g{g:04}")])
         })
         .collect();
-    let mut engine = Engine::builder().shards(ZSHARDS).build().unwrap();
+    let engine = Engine::builder().shards(ZSHARDS).build().unwrap();
     let srefs: Vec<Vec<&str>> = zrows
         .iter()
         .map(|r| vec![r[0].as_str(), r[1].as_str()])
@@ -2135,7 +2135,7 @@ pub fn e20_with(total_rows: usize) -> Report {
     // CI's reduced scale.
     let tuples_per_shard = (ZGROUPS / ZSHARDS).max(1);
     engine
-        .table_mut("t")
+        .table("t")
         .unwrap()
         .set_segment_rows((tuples_per_shard / 8).max(1));
     let session = engine.session();
@@ -2226,6 +2226,273 @@ pub fn e20_with(total_rows: usize) -> Report {
     report
 }
 
+/// E21 — shard-snapshot MVCC: concurrent readers under a §4 op storm.
+///
+/// The concurrency subsystem's two load-bearing claims, measured:
+///
+/// * **Phase A (scaling)** — N reader threads share one `Arc<Engine>`
+///   and hammer the E17 prepared point lookup while a writer thread
+///   storms single-row INSERT/DELETEs at the same table. Readers pin
+///   epoch snapshots instead of locking the table, so they never wait
+///   on the writer and aggregate throughput grows with threads. Every
+///   lookup's result is asserted against the serial answer — the storm
+///   only touches rows outside the probed students, and snapshot
+///   isolation keeps half-applied states invisible (the full
+///   tuple-identity property is proptested in `tests/proptest_mvcc.rs`).
+/// * **Phase B (per-shard isolation)** — the writer is confined to one
+///   shard (all its rows route there through the Course routing
+///   attribute) while readers run shard-pruned lookups against a
+///   *different* shard. Installing a new shard-B version never touches
+///   the pinned shard-A version, so the readers' probe counts during
+///   the storm are asserted **exactly equal** to the serial baseline —
+///   per query, not on average.
+///
+/// `NF2_E21_ITERS` overrides the per-thread lookup count (default 2000).
+pub fn e21_mvcc_snapshot_readers() -> Report {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    use nf2_query::{Engine, Output};
+
+    let iters = std::env::var("NF2_E21_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000usize)
+        .max(100);
+    let mut report = Report::new(
+        "E21",
+        "Shard-snapshot MVCC: reader scaling and per-shard writer isolation",
+        &["arm", "work", "total ms", "rate", "check"],
+    );
+
+    // The E17 serving instance: 64 students x 3 courses from a 16-course
+    // pool, on a 4-shard table routed by Course.
+    let engine = Arc::new(Engine::builder().shards(4).build().unwrap());
+    let students = 64u32;
+    {
+        let mut session = engine.session();
+        session
+            .run("CREATE TABLE sc (Student, Course) NEST ORDER (Student, Course)")
+            .unwrap();
+        for s in 0..students {
+            for c in 0..3u32 {
+                session
+                    .run(&format!(
+                        "INSERT INTO sc VALUES ('s{s}', 'c{}')",
+                        (s + c) % 16
+                    ))
+                    .unwrap();
+            }
+        }
+    }
+    let student_of = |i: usize| format!("s{}", i as u32 % students);
+
+    // Phase A: N readers + 1 writer. The writer churns rows of students
+    // the readers never probe ('w…'), so every lookup has one correct
+    // answer (3 enrollments per student) at every epoch.
+    let run_phase_a = |n_readers: usize| -> (f64, u64) {
+        let done = AtomicBool::new(false);
+        let writer_ops = AtomicU64::new(0);
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut session = engine.session();
+                let mut i = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let (w, c) = (i % 8, i % 16);
+                    session
+                        .run(&format!("INSERT INTO sc VALUES ('w{w}', 'c{c}')"))
+                        .unwrap();
+                    session
+                        .run(&format!(
+                            "DELETE FROM sc WHERE Student = 'w{w}' AND Course = 'c{c}'"
+                        ))
+                        .unwrap();
+                    writer_ops.fetch_add(2, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+            let readers: Vec<_> = (0..n_readers)
+                .map(|r| {
+                    let engine = Arc::clone(&engine);
+                    scope.spawn(move || {
+                        let mut session = engine.session();
+                        let mut stmt = session
+                            .prepare("SELECT COUNT(*) FROM sc WHERE Student = ?")
+                            .unwrap();
+                        for i in 0..iters {
+                            let s = student_of(r * 17 + i);
+                            let out = stmt.execute(&mut session, &[s.as_str()]).unwrap();
+                            assert_eq!(
+                                out,
+                                Output::Count(3),
+                                "snapshot lookup of {s} under the storm"
+                            );
+                        }
+                    })
+                })
+                .collect();
+            for r in readers {
+                r.join().expect("reader thread panicked");
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        (ms, writer_ops.load(Ordering::Relaxed))
+    };
+
+    let mut base_rate = 0f64;
+    let mut last_rate = 0f64;
+    for n in [1usize, 2, 4] {
+        let (ms, ops) = run_phase_a(n);
+        let rate = (n * iters) as f64 / (ms / 1e3);
+        if n == 1 {
+            base_rate = rate;
+        }
+        last_rate = rate;
+        report.push_row(vec![
+            format!("A: {n} reader(s) + writer storm"),
+            format!("{} lookups", n * iters),
+            format!("{ms:.1}"),
+            format!("{rate:.0}/s"),
+            format!("{:.2}x vs 1 reader, {ops} writer ops", rate / base_rate),
+        ]);
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores >= 4 {
+        assert!(
+            last_rate > 1.2 * base_rate,
+            "snapshot readers must scale: 4 threads {last_rate:.0}/s vs 1 thread {base_rate:.0}/s"
+        );
+    }
+
+    // Phase B: writer confined to one shard, readers pruned to another.
+    // Pick two course values routing to different shards.
+    let t = engine.table("sc").unwrap();
+    let router = t.routing().clone();
+    let course_shard = |c: u32| {
+        let atom = engine
+            .dict()
+            .lookup(&format!("c{c}"))
+            .expect("course interned by the seed");
+        router.shards_for_values(&[atom])[0]
+    };
+    let read_course = 0u32;
+    let read_shard = course_shard(read_course);
+    let write_course = (1..16u32)
+        .find(|&c| course_shard(c) != read_shard)
+        .expect("4 hash shards cannot all coincide");
+    let write_shard = course_shard(write_course);
+
+    let probes_of = |queries: usize, concurrent_writer: bool| -> (u64, u64) {
+        let done = AtomicBool::new(false);
+        let writer_ops = AtomicU64::new(0);
+        let before = engine.table("sc").unwrap().stats();
+        std::thread::scope(|scope| {
+            if concurrent_writer {
+                scope.spawn(|| {
+                    let mut session = engine.session();
+                    let mut i = 0u64;
+                    while !done.load(Ordering::Relaxed) {
+                        session
+                            .run(&format!(
+                                "INSERT INTO sc VALUES ('w{}', 'c{write_course}')",
+                                i % 8
+                            ))
+                            .unwrap();
+                        session
+                            .run(&format!(
+                                "DELETE FROM sc WHERE Student = 'w{}' AND Course = 'c{write_course}'",
+                                i % 8
+                            ))
+                            .unwrap();
+                        writer_ops.fetch_add(2, Ordering::Relaxed);
+                        i += 1;
+                    }
+                });
+            }
+            let readers: Vec<_> = (0..2usize)
+                .map(|_| {
+                    let engine = Arc::clone(&engine);
+                    scope.spawn(move || {
+                        let mut session = engine.session();
+                        let mut stmt = session
+                            .prepare("SELECT COUNT(*) FROM sc WHERE Course = ?")
+                            .unwrap();
+                        let c = format!("c{read_course}");
+                        for _ in 0..queries / 2 {
+                            let out = stmt.execute(&mut session, &[c.as_str()]).unwrap();
+                            assert!(
+                                matches!(out, Output::Count(n) if n > 0),
+                                "pruned lookup must keep finding its rows"
+                            );
+                        }
+                    })
+                })
+                .collect();
+            for r in readers {
+                r.join().expect("reader thread panicked");
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+        let after = engine.table("sc").unwrap().stats();
+        (
+            after.units_probed - before.units_probed,
+            writer_ops.load(Ordering::Relaxed),
+        )
+    };
+
+    let queries = 400usize;
+    let (serial_probes, _) = probes_of(queries, false);
+    let (storm_probes, storm_ops) = probes_of(queries, true);
+    assert!(
+        storm_ops > 0,
+        "the shard-{write_shard} writer must have run"
+    );
+    // The §4 storm never installs a shard-`read_shard` version, so the
+    // pruned readers probed exactly what they probe serially.
+    assert_eq!(
+        storm_probes, serial_probes,
+        "a writer on shard {write_shard} must not change probe counts of \
+         readers pruned to shard {read_shard}"
+    );
+    report.push_row(vec![
+        "B: pruned readers, serial".into(),
+        format!("{queries} lookups on shard {read_shard}"),
+        "-".into(),
+        format!("{} probes/query", serial_probes as usize / queries),
+        format!("{serial_probes} probes total"),
+    ]);
+    report.push_row(vec![
+        format!("B: + writer storm on shard {write_shard}"),
+        format!("{queries} lookups on shard {read_shard}"),
+        "-".into(),
+        format!("{} probes/query", storm_probes as usize / queries),
+        format!("{storm_probes} probes total ({storm_ops} writer ops) — equal"),
+    ]);
+
+    report.note(format!(
+        "One Arc<Engine>, 4 hash shards routed by Course. Phase A: each reader \
+         thread runs the E17 prepared point lookup against snapshots pinned per \
+         statement while a writer storms single-row §4 inserts/deletes; results \
+         asserted correct at every epoch{}. Phase B: the writer's rows all route \
+         to shard {write_shard}, the readers' queries prune to shard \
+         {read_shard}; probe counts under the storm equal the serial baseline \
+         exactly ({serial_probes} probes for {queries} lookups), because \
+         installing a new shard version never disturbs a pinned one. Snapshot ≡ \
+         serial-oracle tuple identity is proptested in tests/proptest_mvcc.rs. \
+         Set NF2_E21_ITERS to rescale.",
+        if cores >= 4 {
+            ", and 4-reader throughput asserted > 1.2x the 1-reader rate"
+        } else {
+            " (scaling assertion skipped: fewer than 4 cores)"
+        },
+    ));
+    report
+}
+
 /// An experiment registry entry: id plus the function reproducing it.
 type Experiment = (&'static str, fn() -> Report);
 
@@ -2252,6 +2519,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("E18", e18_sharded_maintenance),
     ("E19", e19_topk_pruning),
     ("E20", e20_topk_merge_zones),
+    ("E21", e21_mvcc_snapshot_readers),
 ];
 
 /// All experiment ids, in run order.

@@ -218,7 +218,7 @@ proptest! {
 fn ordered_engine(groups: usize, width: usize, shards: usize) -> nf2_query::Engine {
     use nf2_storage::NfTable;
 
-    let mut engine = nf2_query::Engine::builder().shards(shards).build().unwrap();
+    let engine = nf2_query::Engine::builder().shards(shards).build().unwrap();
     let rows: Vec<[String; 2]> = (0..groups)
         .flat_map(|g| (0..width).map(move |j| [format!("a{g:03}x{j}"), format!("b{g:04}")]))
         .collect();

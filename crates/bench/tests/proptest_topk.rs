@@ -74,19 +74,15 @@ proptest! {
                 .unwrap();
                 // The exact stream a table scan yields: per-shard
                 // tuples, back to back.
-                let stream_tuples: Vec<NfTuple> = sharded
-                    .shards()
-                    .iter()
-                    .flat_map(|s| s.relation().tuples().iter().cloned())
+                let stream_tuples: Vec<NfTuple> = (0..sharded.shard_count())
+                    .flat_map(|i| sharded.shard(i).relation().tuples().iter().cloned())
                     .collect();
                 for attr in 0..arity {
                     for dir in [SortDir::Asc, SortDir::Desc] {
                         let tuple_order = TupleOrder::by_atom_id(attr, dir);
                         for k in [0usize, 1, 3, stream_tuples.len(), stream_tuples.len() + 5] {
-                            let parts: Vec<RelStream<'_>> = sharded
-                                .shards()
-                                .iter()
-                                .map(|s| RelStream::scan(s.relation()))
+                            let parts: Vec<RelStream<'_>> = (0..sharded.shard_count())
+                                .map(|i| RelStream::scan(sharded.shard(i).relation()))
                                 .collect();
                             let got: Vec<NfTuple> = RelStream::concat(
                                 w.flat.schema().clone(),
@@ -122,7 +118,7 @@ proptest! {
                 .map(|r| r.iter().map(|a| format!("v{:06}", a.id())).collect())
                 .collect();
             for shards in [1usize, 2, 7] {
-                let mut engine = Engine::builder().shards(shards).build().unwrap();
+                let engine = Engine::builder().shards(shards).build().unwrap();
                 let row_refs: Vec<Vec<&str>> =
                     rows.iter().map(|r| r.iter().map(String::as_str).collect()).collect();
                 let table = NfTable::bulk_load_strs_sharded(
@@ -200,8 +196,9 @@ proptest! {
                     ShardSpec::hash(shards).unwrap(),
                 )
                 .unwrap();
-                let shard_rels: Vec<&NfRelation> =
-                    sharded.shards().iter().map(|s| s.relation()).collect();
+                let shard_rels: Vec<&NfRelation> = (0..sharded.shard_count())
+                    .map(|i| sharded.shard(i).relation())
+                    .collect();
                 let mut env = StreamEnv::new();
                 env.insert_sharded_relations_routed(
                     "t",

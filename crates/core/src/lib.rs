@@ -46,6 +46,7 @@ pub mod indexed;
 pub mod irreducible;
 pub mod kernel;
 pub mod maintenance;
+pub mod mvcc;
 pub mod nest;
 pub mod properties;
 pub mod relation;
@@ -64,6 +65,7 @@ pub use error::{NfError, Result};
 pub use indexed::IndexedCanonicalRelation;
 pub use kernel::NestKernel;
 pub use maintenance::{CanonicalRelation, CostCounter};
+pub use mvcc::{ShardVersion, TableVersion, VersionCell};
 pub use nest::{
     canonical_of_flat, canonical_of_flat_legacy, canonicalize, is_canonical, nest, unnest,
 };
@@ -71,7 +73,7 @@ pub use relation::{FlatRelation, NfRelation};
 pub use schema::{AttrId, NestOrder, Schema};
 pub use segment::{Segment, ShardSegments, DEFAULT_SEGMENT_ROWS};
 pub use shard::{MaintenanceCost, ShardRouter, ShardSpec, ShardedCanonical};
-pub use tuple::{FlatTuple, NfTuple, TupleView, ValueSet};
+pub use tuple::{FlatTuple, NfTuple, TupleStore, TupleView, ValueSet};
 pub use value::{Atom, Dictionary};
 
 /// Convenience re-exports for downstream crates and examples.
@@ -81,12 +83,13 @@ pub mod prelude {
     pub use crate::irreducible::{is_irreducible, reduce, ReduceStrategy};
     pub use crate::kernel::NestKernel;
     pub use crate::maintenance::{CanonicalRelation, CostCounter};
+    pub use crate::mvcc::{ShardVersion, TableVersion, VersionCell};
     pub use crate::nest::{canonical_of_flat, canonicalize, is_canonical, nest, unnest};
     pub use crate::properties::{cardinality_class, is_fixed_on, CardinalityClass};
     pub use crate::relation::{FlatRelation, NfRelation};
     pub use crate::schema::{AttrId, NestOrder, Schema};
     pub use crate::segment::{Segment, ShardSegments, DEFAULT_SEGMENT_ROWS};
     pub use crate::shard::{MaintenanceCost, ShardRouter, ShardSpec, ShardedCanonical};
-    pub use crate::tuple::{FlatTuple, NfTuple, TupleView, ValueSet};
+    pub use crate::tuple::{FlatTuple, NfTuple, TupleStore, TupleView, ValueSet};
     pub use crate::value::{Atom, Dictionary};
 }

@@ -42,6 +42,7 @@ use crate::bulk::{apply_batch_auto_with, BatchSummary, Op};
 use crate::error::{NfError, Result};
 use crate::kernel::NestKernel;
 use crate::maintenance::{CanonicalRelation, CostCounter};
+use crate::mvcc::ShardVersion;
 use crate::relation::{FlatRelation, NfRelation};
 use crate::schema::{AttrId, NestOrder, Schema};
 use crate::segment::{ShardSegments, DEFAULT_SEGMENT_ROWS};
@@ -224,19 +225,22 @@ impl MaintenanceCost {
 /// Invariant: shard `s` holds `ν_P(R*_s)` where `R*_s` is exactly the
 /// set of flat rows whose `P(n−1)` value routes to `s` — checked
 /// exhaustively by [`verify`](Self::verify) and the property suite.
+/// Each shard's state — its [`CanonicalRelation`] *and* the columnar
+/// segment synopsis over it — lives in one [`ShardVersion`] behind an
+/// `Arc`. While the `Arc` is unshared (a never-published engine, a bulk
+/// build) mutations happen in place at zero cost; once a version has
+/// been published to an MVCC [`crate::mvcc::VersionCell`] the first
+/// subsequent mutation on that shard clones it copy-on-write
+/// ([`Arc::make_mut`]) so pinned readers keep streaming the old state.
 #[derive(Debug)]
 pub struct ShardedCanonical {
     schema: Arc<Schema>,
     order: NestOrder,
     router: ShardRouter,
-    shards: Vec<CanonicalRelation>,
+    shards: Vec<Arc<ShardVersion>>,
     /// Per-shard nest-kernel scratch: rebuild arms re-use their shard's
     /// sort/intern buffers across batches (and threads never share one).
     kernels: Vec<NestKernel>,
-    /// Per-shard columnar segment state (see [`crate::segment`]):
-    /// re-emitted from the kernel's sorted output on every rebuild arm,
-    /// marked stale by §4 point/incremental maintenance.
-    segments: Vec<ShardSegments>,
     /// Target tuples per segment; [`DEFAULT_SEGMENT_ROWS`] unless
     /// overridden for tests/experiments.
     segment_rows: usize,
@@ -255,7 +259,13 @@ impl ShardedCanonical {
         let router = ShardRouter::new(spec, &order);
         let n = router.shard_count();
         let shards = (0..n)
-            .map(|_| CanonicalRelation::new(schema.clone(), order.clone()))
+            .map(|_| {
+                let canon = CanonicalRelation::new(schema.clone(), order.clone())?;
+                Ok(Arc::new(ShardVersion::new(
+                    canon,
+                    ShardSegments::fresh_empty(),
+                )))
+            })
             .collect::<Result<Vec<_>>>()?;
         Ok(ShardedCanonical {
             schema,
@@ -263,7 +273,6 @@ impl ShardedCanonical {
             router,
             shards,
             kernels: (0..n).map(|_| NestKernel::new()).collect(),
-            segments: (0..n).map(|_| ShardSegments::fresh_empty()).collect(),
             segment_rows: DEFAULT_SEGMENT_ROWS,
         })
     }
@@ -301,9 +310,9 @@ impl ShardedCanonical {
                 }
             }
         });
-        for (shard, result) in sharded.shards.iter_mut().zip(built) {
+        for (slot, result) in sharded.shards.iter_mut().zip(built) {
             if let Some(canon) = result? {
-                *shard = canon;
+                Arc::make_mut(slot).canon = canon;
             }
         }
         for s in 0..n {
@@ -318,7 +327,8 @@ impl ShardedCanonical {
     fn rebuild_segments_for(&mut self, shard: usize) {
         let attr = self.router.attr();
         let rows = self.segment_rows;
-        self.segments[shard].rebuild(self.shards[shard].relation().tuples(), attr, rows);
+        let ShardVersion { canon, segments } = Arc::make_mut(&mut self.shards[shard]);
+        segments.rebuild(canon.relation().tuples(), attr, rows);
     }
 
     /// The schema.
@@ -343,22 +353,24 @@ impl ShardedCanonical {
 
     /// One shard's canonical relation.
     pub fn shard(&self, idx: usize) -> &CanonicalRelation {
+        self.shards[idx].canon()
+    }
+
+    /// One shard's current version (canonical form + segments).
+    pub fn version(&self, idx: usize) -> &Arc<ShardVersion> {
         &self.shards[idx]
     }
 
-    /// All shards, in shard order.
-    pub fn shards(&self) -> &[CanonicalRelation] {
-        &self.shards
+    /// Cheap `Arc` clones of every shard's current version, in shard
+    /// order — what a table publishes into its MVCC
+    /// [`crate::mvcc::VersionCell`].
+    pub fn versions(&self) -> Vec<Arc<ShardVersion>> {
+        self.shards.iter().map(Arc::clone).collect()
     }
 
     /// One shard's columnar segment state.
     pub fn shard_segments(&self, idx: usize) -> &ShardSegments {
-        &self.segments[idx]
-    }
-
-    /// Segment state of every shard, in shard order.
-    pub fn segments(&self) -> &[ShardSegments] {
-        &self.segments
+        self.shards[idx].segments()
     }
 
     /// Changes the target tuples-per-segment and re-tiles every shard
@@ -368,7 +380,7 @@ impl ShardedCanonical {
     pub fn set_segment_rows(&mut self, rows: usize) {
         self.segment_rows = rows.max(1);
         for s in 0..self.shards.len() {
-            if self.segments[s].is_fresh() {
+            if self.shards[s].segments().is_fresh() {
                 self.rebuild_segments_for(s);
             }
         }
@@ -384,12 +396,12 @@ impl ShardedCanonical {
     /// `P(n−1)` set spans shards is held split (see
     /// [`to_relation`](Self::to_relation)).
     pub fn tuple_count(&self) -> usize {
-        self.shards.iter().map(CanonicalRelation::tuple_count).sum()
+        self.shards.iter().map(|s| s.tuple_count()).sum()
     }
 
     /// Total flat rows (`|R*|`) across shards.
     pub fn flat_count(&self) -> u128 {
-        self.shards.iter().map(CanonicalRelation::flat_count).sum()
+        self.shards.iter().map(|s| s.flat_count()).sum()
     }
 
     /// Whether no shard holds any row.
@@ -417,12 +429,13 @@ impl ShardedCanonical {
         self.check_arity(row.len())?;
         let shard = self.router.route_row(&row);
         let mut c = CostCounter::new();
-        let fresh = self.shards[shard].insert_counted(row, &mut c)?;
+        let v = Arc::make_mut(&mut self.shards[shard]);
+        let fresh = v.canon.insert_counted(row, &mut c)?;
         cost.record(shard, &c);
         if fresh {
             // The §4 point path reconstructs tuples in place, breaking
             // the sorted order the segments describe.
-            self.segments[shard].note_delta(1);
+            v.segments.note_delta(1);
         }
         Ok(fresh)
     }
@@ -438,10 +451,11 @@ impl ShardedCanonical {
         self.check_arity(row.len())?;
         let shard = self.router.route_row(row);
         let mut c = CostCounter::new();
-        let hit = self.shards[shard].delete_counted(row, &mut c)?;
+        let v = Arc::make_mut(&mut self.shards[shard]);
+        let hit = v.canon.delete_counted(row, &mut c)?;
         cost.record(shard, &c);
         if hit {
-            self.segments[shard].note_delta(1);
+            v.segments.note_delta(1);
         }
         Ok(hit)
     }
@@ -485,7 +499,7 @@ impl ShardedCanonical {
         let mut outcomes: Vec<Option<ShardOutcome>> =
             (0..self.shard_count()).map(|_| None).collect();
         std::thread::scope(|scope| {
-            for (((canon, kernel), batch), slot) in self
+            for (((version, kernel), batch), slot) in self
                 .shards
                 .iter_mut()
                 .zip(self.kernels.iter_mut())
@@ -497,7 +511,11 @@ impl ShardedCanonical {
                 }
                 let mut task = move || -> ShardOutcome {
                     let mut c = CostCounter::new();
-                    let (summary, rebuilt) = apply_batch_auto_with(kernel, canon, batch, &mut c)?;
+                    // Copy-on-write: clones the shard only if its version
+                    // is still shared with a published MVCC snapshot.
+                    let v = Arc::make_mut(version);
+                    let (summary, rebuilt) =
+                        apply_batch_auto_with(kernel, &mut v.canon, batch, &mut c)?;
                     Ok((summary, rebuilt, c))
                 };
                 if busy == 1 {
@@ -523,7 +541,9 @@ impl ShardedCanonical {
                 // the delta and re-emit segments (no extra sort).
                 self.rebuild_segments_for(shard);
             } else if s.inserted + s.deleted > 0 {
-                self.segments[shard].note_delta(s.inserted + s.deleted);
+                Arc::make_mut(&mut self.shards[shard])
+                    .segments
+                    .note_delta(s.inserted + s.deleted);
             }
         }
         Ok((summary, rebuilds))
@@ -540,7 +560,7 @@ impl ShardedCanonical {
         let mut outcomes: Vec<Option<ShardOutcome>> =
             (0..self.shard_count()).map(|_| None).collect();
         std::thread::scope(|scope| {
-            for (((canon, kernel), batch), slot) in self
+            for (((version, kernel), batch), slot) in self
                 .shards
                 .iter_mut()
                 .zip(self.kernels.iter_mut())
@@ -551,6 +571,7 @@ impl ShardedCanonical {
                     continue;
                 }
                 let mut task = move || -> ShardOutcome {
+                    let canon = &mut Arc::make_mut(version).canon;
                     let mut summary = BatchSummary::default();
                     let mut flat = canon.relation().expand();
                     for op in batch {
@@ -637,7 +658,7 @@ impl ShardedCanonical {
         let tuples: Vec<NfTuple> = self
             .shards
             .iter()
-            .flat_map(|s| s.relation().tuples().iter().cloned())
+            .flat_map(|s| s.tuples().iter().cloned())
             .collect();
         if tuples.is_empty() {
             return NfRelation::new(self.schema.clone());
@@ -661,7 +682,7 @@ impl ShardedCanonical {
     pub fn verify(&self) -> Result<()> {
         let mut all_rows = FlatRelation::new(self.schema.clone());
         for (idx, shard) in self.shards.iter().enumerate() {
-            shard.verify()?;
+            shard.canon().verify()?;
             self.verify_segments(idx)?;
             for row in shard.relation().expand().rows() {
                 if self.router.route_row(row) != idx {
@@ -688,11 +709,11 @@ impl ShardedCanonical {
     /// the tuples they cover. Stale segments assert nothing — they are
     /// a dead synopsis awaiting the next rebuild.
     fn verify_segments(&self, idx: usize) -> Result<()> {
-        let ss = &self.segments[idx];
+        let ss = self.shards[idx].segments();
         if !ss.is_fresh() {
             return Ok(());
         }
-        let tuples = self.shards[idx].relation().tuples();
+        let tuples = self.shards[idx].tuples();
         let seg_err = |msg: String| NfError::InvalidShardSpec(format!("shard {idx}: {msg}"));
         if ss.covered_rows() != tuples.len() {
             return Err(seg_err(format!(

@@ -9,6 +9,7 @@
 use std::fmt;
 
 use crate::error::{NfError, Result};
+use crate::relation::NfRelation;
 use crate::value::Atom;
 
 /// A flat (1NF) tuple: one atom per attribute.
@@ -346,35 +347,72 @@ impl Iterator for ExpansionIter<'_> {
     }
 }
 
+/// A pinned, immutable tuple store that snapshot scans can hold by
+/// `Arc` — the backing object of [`TupleView::Shared`].
+///
+/// Implementors promise the slice returned by [`tuples`](Self::tuples)
+/// never changes for the lifetime of the value: MVCC shard versions and
+/// materialized relations qualify, mutable buffers do not.
+pub trait TupleStore: Send + Sync + std::fmt::Debug {
+    /// The immutable tuples backing views into this store.
+    fn tuples(&self) -> &[NfTuple];
+}
+
+impl TupleStore for NfRelation {
+    fn tuples(&self) -> &[NfTuple] {
+        NfRelation::tuples(self)
+    }
+}
+
 /// A possibly-borrowed NF² tuple — the item type of streaming cursors.
 ///
 /// Iterator pipelines over stored relations yield tuples straight out of
-/// the table (`Borrowed`, zero-copy) until an operator has to rewrite a
-/// component (selection narrowing a value set, a join combining two
-/// rectangles), at which point the tuple becomes `Owned`. Consumers that
-/// only *read* never pay for a clone; [`TupleView::into_owned`] converts
-/// on demand.
+/// the table (`Borrowed` when the source is a plain reference, `Shared`
+/// when the source is an `Arc`-pinned MVCC snapshot — both zero-copy)
+/// until an operator has to rewrite a component (selection narrowing a
+/// value set, a join combining two rectangles), at which point the tuple
+/// becomes `Owned`. Consumers that only *read* never pay for a clone;
+/// [`TupleView::into_owned`] converts on demand.
 #[derive(Debug, Clone)]
 pub enum TupleView<'a> {
     /// A tuple borrowed from its relation — no copy was made.
     Borrowed(&'a NfTuple),
+    /// A tuple inside an `Arc`-pinned store (an MVCC snapshot) — no
+    /// copy was made; the view keeps the snapshot alive.
+    Shared {
+        /// The pinned store the tuple lives in.
+        store: std::sync::Arc<dyn TupleStore>,
+        /// Index of the tuple within [`TupleStore::tuples`].
+        idx: usize,
+    },
     /// A tuple computed by the pipeline (selection, join, …).
     Owned(NfTuple),
 }
 
 impl<'a> TupleView<'a> {
+    /// A view of tuple `idx` inside a pinned store.
+    ///
+    /// The returned view has an unconstrained lifetime (it owns its
+    /// `Arc`), so it coerces into any `TupleView<'a>` stream.
+    pub fn shared(store: std::sync::Arc<dyn TupleStore>, idx: usize) -> TupleView<'static> {
+        debug_assert!(idx < store.tuples().len(), "shared view out of bounds");
+        TupleView::Shared { store, idx }
+    }
+
     /// A shared reference to the underlying tuple.
     pub fn as_tuple(&self) -> &NfTuple {
         match self {
             TupleView::Borrowed(t) => t,
+            TupleView::Shared { store, idx } => &store.tuples()[*idx],
             TupleView::Owned(t) => t,
         }
     }
 
-    /// Converts into an owned tuple, cloning only if still borrowed.
+    /// Converts into an owned tuple, cloning only if still zero-copy.
     pub fn into_owned(self) -> NfTuple {
         match self {
             TupleView::Borrowed(t) => t.clone(),
+            TupleView::Shared { store, idx } => store.tuples()[idx].clone(),
             TupleView::Owned(t) => t,
         }
     }
@@ -382,6 +420,12 @@ impl<'a> TupleView<'a> {
     /// Whether this view still borrows from the source relation.
     pub fn is_borrowed(&self) -> bool {
         matches!(self, TupleView::Borrowed(_))
+    }
+
+    /// Whether this view reads the stored tuple in place (`Borrowed` or
+    /// `Shared`) rather than a pipeline-built copy.
+    pub fn is_zero_copy(&self) -> bool {
+        !matches!(self, TupleView::Owned(_))
     }
 }
 

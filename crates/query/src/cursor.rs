@@ -18,11 +18,14 @@ use nf2_core::tuple::{FlatTuple, TupleView};
 
 use crate::exec::QueryError;
 
-/// A streaming SELECT result: yields [`TupleView`]s (borrowed from
-/// storage whenever no operator had to rewrite them) in pipeline order.
+/// A streaming SELECT result: yields [`TupleView`]s (shared zero-copy
+/// views into pinned shard snapshots whenever no operator had to
+/// rewrite them) in pipeline order.
 ///
-/// The cursor borrows the session's engine for its lifetime `'s`; drop
-/// it to issue further statements on the session.
+/// The cursor *owns* the shard-version snapshots it streams over (the
+/// statement pinned them at build time), so it is `'static`: it keeps
+/// yielding the epoch-consistent result even while concurrent writers
+/// publish new shard versions — or drop the table outright.
 #[derive(Debug)]
 pub struct Cursor<'s> {
     stream: RelStream<'s>,
@@ -103,7 +106,7 @@ mod tests {
     use crate::engine::Engine;
 
     fn engine() -> Engine {
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         engine
             .session()
             .run_script(
@@ -115,8 +118,8 @@ mod tests {
     }
 
     #[test]
-    fn cursor_yields_borrowed_tuples_on_full_scans() {
-        let mut engine = engine();
+    fn cursor_yields_zero_copy_tuples_on_full_scans() {
+        let engine = engine();
         let session = engine.session();
         let mut cursor = session.query("SELECT * FROM sc").unwrap();
         assert_eq!(
@@ -124,12 +127,33 @@ mod tests {
             vec!["Student", "Course"]
         );
         let first = cursor.next().unwrap();
-        assert!(first.is_borrowed(), "full scans are zero-copy");
+        assert!(
+            first.is_zero_copy(),
+            "full scans share snapshot tuples, no clone"
+        );
+    }
+
+    #[test]
+    fn cursor_survives_concurrent_mutation_and_drop() {
+        let engine = engine();
+        let mut cursor = engine.session().query("SELECT * FROM sc").unwrap();
+        let first = cursor.next().unwrap().into_owned();
+        // Mutate and then drop the table out from under the cursor: the
+        // pinned snapshot keeps the statement's epoch alive.
+        engine
+            .session()
+            .run_script("DELETE FROM sc WHERE Student = 's1'; DROP TABLE sc;")
+            .unwrap();
+        // The 3 flat rows canonicalize to 2 NF² tuples; one was already
+        // consumed, and the pinned epoch still sees the other.
+        let rest: Vec<_> = cursor.collect();
+        assert_eq!(rest.len(), 1, "snapshot unaffected by delete + drop");
+        assert_eq!(first.arity(), 2);
     }
 
     #[test]
     fn flat_rows_expand_tuple_by_tuple() {
-        let mut engine = engine();
+        let engine = engine();
         let session = engine.session();
         let rows: Vec<FlatTuple> = session
             .query("SELECT * FROM sc")
@@ -143,7 +167,7 @@ mod tests {
 
     #[test]
     fn cursor_matches_materialized_relation() {
-        let mut engine = engine();
+        let engine = engine();
         let collected = {
             let session = engine.session();
             session

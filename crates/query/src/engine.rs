@@ -19,6 +19,10 @@
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
 
 use nf2_algebra::{Expr, RewriteMode};
 use nf2_core::display::{render_flat, render_nf};
@@ -98,7 +102,6 @@ impl EngineBuilder {
     /// being clamped or panicking inside `ShardRouter` at the first
     /// `CREATE TABLE`.
     pub fn build(self) -> Result<Engine, QueryError> {
-        use std::sync::atomic::{AtomicU64, Ordering};
         static NEXT_ID: AtomicU64 = AtomicU64::new(0);
         let shards = match self.shards {
             Some(n) => n,
@@ -109,9 +112,9 @@ impl EngineBuilder {
         nf2_core::shard::ShardSpec::hash(shards)?;
         Ok(Engine {
             dict: SharedDictionary::new(),
-            tables: BTreeMap::new(),
+            tables: RwLock::new(BTreeMap::new()),
             instance_id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
-            ddl_epoch: 0,
+            ddl_epoch: AtomicU64::new(0),
             data_dir: self.data_dir,
             wal_autoflush: self.wal_autoflush,
             rewrite_mode: self.rewrite_mode.unwrap_or(RewriteMode::Structural),
@@ -139,17 +142,28 @@ fn parse_shards_env(raw: Option<&str>) -> Result<usize, QueryError> {
 /// The embedded NF² engine: dictionary + table catalog + persistence
 /// configuration. Create sessions with [`Engine::session`] to run
 /// statements.
+///
+/// # Concurrency
+///
+/// Every method takes `&self`: an `Engine` can be shared as
+/// `Arc<Engine>` across threads, with one session per thread. The
+/// catalog map sits behind a [`RwLock`] held only for lookups and DDL;
+/// the tables themselves are internally synchronized — readers pin
+/// shard-snapshot versions (see [`nf2_core::mvcc`]) and never block on
+/// writers, while each table serializes its own writers.
 #[derive(Debug)]
 pub struct Engine {
     dict: SharedDictionary,
-    tables: BTreeMap<String, NfTable>,
+    tables: RwLock<BTreeMap<String, Arc<NfTable>>>,
     /// Process-unique identity, so prepared handles can tell engines
     /// apart (a plan compiled on one engine must not execute its cached
     /// attribute ids against another's tables).
     instance_id: u64,
     /// Bumped by every DDL statement; prepared plans check it to know
-    /// when to re-plan.
-    ddl_epoch: u64,
+    /// when to re-plan. `Relaxed` ordering is enough: the epoch is a
+    /// staleness hint, and the catalog lock provides the real ordering
+    /// for the table map itself.
+    ddl_epoch: AtomicU64,
     data_dir: Option<PathBuf>,
     wal_autoflush: bool,
     rewrite_mode: RewriteMode,
@@ -184,10 +198,10 @@ impl Engine {
         EngineBuilder::default()
     }
 
-    /// Opens a session. The session borrows the engine exclusively for
-    /// its lifetime; drop it (or let it fall out of scope) to open
-    /// another.
-    pub fn session(&mut self) -> Session<'_> {
+    /// Opens a session. Sessions borrow the engine shared — any number
+    /// can be open at once (one per thread under `Arc<Engine>`); each
+    /// carries only its own transaction state.
+    pub fn session(&self) -> Session<'_> {
         Session {
             engine: self,
             txn: None,
@@ -203,7 +217,7 @@ impl Engine {
     /// [`attach_table`](Self::attach_table). Prepared statements compare
     /// it to decide whether their cached plan is stale.
     pub fn ddl_epoch(&self) -> u64 {
-        self.ddl_epoch
+        self.ddl_epoch.load(Ordering::Relaxed)
     }
 
     /// This engine's process-unique identity (prepared handles re-plan
@@ -223,46 +237,50 @@ impl Engine {
         self.default_shards
     }
 
-    /// Immutable access to a table.
-    pub fn table(&self, name: &str) -> Result<&NfTable, QueryError> {
+    /// Shared access to a table. The returned `Arc` is a stable handle:
+    /// it keeps working (and keeps the table alive) even if the table is
+    /// dropped from the catalog concurrently.
+    pub fn table(&self, name: &str) -> Result<Arc<NfTable>, QueryError> {
         self.tables
+            .read()
             .get(name)
+            .cloned()
             .ok_or_else(|| QueryError::NoSuchTable(name.to_owned()))
     }
 
-    /// Mutable access to a table.
-    pub fn table_mut(&mut self, name: &str) -> Result<&mut NfTable, QueryError> {
+    /// A point-in-time snapshot of the catalog in name order. (A
+    /// borrowing iterator cannot escape the catalog lock, so this
+    /// clones the `Arc` handles — the tables themselves are shared.)
+    pub fn tables(&self) -> Vec<(String, Arc<NfTable>)> {
         self.tables
-            .get_mut(name)
-            .ok_or_else(|| QueryError::NoSuchTable(name.to_owned()))
-    }
-
-    /// Iterates the catalog in name order.
-    pub fn tables(&self) -> impl Iterator<Item = (&str, &NfTable)> {
-        self.tables.iter().map(|(n, t)| (n.as_str(), t))
+            .read()
+            .iter()
+            .map(|(n, t)| (n.clone(), Arc::clone(t)))
+            .collect()
     }
 
     /// Registers a table built outside the DML (e.g. via
     /// [`NfTable::bulk_load_strs`]). The table must share this engine's
     /// dictionary for query literals to resolve against its values.
     /// Counts as DDL: bumps the epoch.
-    pub fn attach_table(&mut self, table: NfTable) -> Result<(), QueryError> {
+    pub fn attach_table(&self, table: NfTable) -> Result<(), QueryError> {
         let name = table.name().to_owned();
-        if self.tables.contains_key(&name) {
+        let mut tables = self.tables.write();
+        if tables.contains_key(&name) {
             return Err(QueryError::TableExists(name));
         }
-        self.tables.insert(name, table);
-        self.ddl_epoch += 1;
+        tables.insert(name, Arc::new(table));
+        self.ddl_epoch.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Checkpoints every table (pages + meta, truncating WALs) into the
     /// configured data directory.
-    pub fn checkpoint(&mut self) -> Result<(), QueryError> {
+    pub fn checkpoint(&self) -> Result<(), QueryError> {
         let dir = self.data_dir.clone().ok_or_else(|| {
             QueryError::Semantic("no data_dir configured (Engine::builder().data_dir(…))".into())
         })?;
-        for table in self.tables.values_mut() {
+        for (_, table) in self.tables() {
             table.checkpoint(&dir)?;
         }
         Ok(())
@@ -297,7 +315,7 @@ pub(crate) enum Undo {
 /// (re-planning themselves when DDL changes the catalog underneath).
 #[derive(Debug)]
 pub struct Session<'e> {
-    engine: &'e mut Engine,
+    engine: &'e Engine,
     /// Undo log of the open transaction, if any.
     txn: Option<Vec<Undo>>,
 }
@@ -305,7 +323,7 @@ pub struct Session<'e> {
 impl<'e> Session<'e> {
     /// Re-opens a session with saved transaction state (the `Database`
     /// shim persists its txn across per-call sessions).
-    pub(crate) fn resume(engine: &'e mut Engine, txn: Option<Vec<Undo>>) -> Self {
+    pub(crate) fn resume(engine: &'e Engine, txn: Option<Vec<Undo>>) -> Self {
         Session { engine, txn }
     }
 
@@ -345,9 +363,11 @@ impl<'e> Session<'e> {
 
     /// Parses and streams a one-shot SELECT: returns a [`Cursor`] that
     /// yields NF² tuples as the scan progresses instead of materializing
-    /// the result relation. Only SELECT statements (without `?`
+    /// the result relation. The cursor owns pinned table snapshots, so
+    /// it outlives the session and keeps streaming statement-start state
+    /// under concurrent mutations. Only SELECT statements (without `?`
     /// parameters) are accepted; use [`Session::prepare`] for parameters.
-    pub fn query(&self, sql: &str) -> Result<Cursor<'_>, QueryError> {
+    pub fn query(&self, sql: &str) -> Result<Cursor<'static>, QueryError> {
         let stmt = crate::parser::parse(sql)?;
         let unbound = stmt.param_count();
         if unbound > 0 {
@@ -396,9 +416,6 @@ impl<'e> Session<'e> {
                         "DDL inside a transaction is not supported".into(),
                     ));
                 }
-                if self.engine.tables.contains_key(&name) {
-                    return Err(QueryError::TableExists(name));
-                }
                 let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
                 let schema = nf2_core::Schema::new(name.clone(), &attr_refs)?;
                 let order = match nest_order {
@@ -417,8 +434,15 @@ impl<'e> Session<'e> {
                     spec,
                     self.engine.dict.clone(),
                 )?;
-                self.engine.tables.insert(name.clone(), table);
-                self.engine.ddl_epoch += 1;
+                // Existence is checked under the write lock, so two
+                // concurrent CREATEs of the same name cannot both win.
+                let mut tables = self.engine.tables.write();
+                if tables.contains_key(&name) {
+                    return Err(QueryError::TableExists(name));
+                }
+                tables.insert(name.clone(), Arc::new(table));
+                drop(tables);
+                self.engine.ddl_epoch.fetch_add(1, Ordering::Relaxed);
                 Ok(Output::Message(format!("created table {name}")))
             }
             Statement::DropTable { name } => {
@@ -427,10 +451,10 @@ impl<'e> Session<'e> {
                         "DDL inside a transaction is not supported".into(),
                     ));
                 }
-                if self.engine.tables.remove(&name).is_none() {
+                if self.engine.tables.write().remove(&name).is_none() {
                     return Err(QueryError::NoSuchTable(name));
                 }
-                self.engine.ddl_epoch += 1;
+                self.engine.ddl_epoch.fetch_add(1, Ordering::Relaxed);
                 Ok(Output::Message(format!("dropped table {name}")))
             }
             // The three row-mutation arms share one error discipline: the
@@ -523,31 +547,32 @@ impl<'e> Session<'e> {
                 // Ad-hoc ν over one attribute through the interning nest
                 // kernel (tuple-identical to `nest::nest`, which stays as
                 // the Def. 4 reference).
-                let relation = nf2_core::kernel::NestKernel::new().nest_once(t.relation(), id);
+                let relation = nf2_core::kernel::NestKernel::new().nest_once(&t.relation(), id);
                 let rendered = render_nf(&relation, &self.engine.dict.snapshot());
                 Ok(Output::Relation { relation, rendered })
             }
             Statement::Unnest { table, attr } => {
                 let t = self.engine.table(&table)?;
                 let id = t.schema().attr_id(&attr)?;
-                let relation = nf2_core::nest::unnest(t.relation(), id);
+                let relation = nf2_core::nest::unnest(&t.relation(), id);
                 let rendered = render_nf(&relation, &self.engine.dict.snapshot());
                 Ok(Output::Relation { relation, rendered })
             }
             Statement::Show { table, flat } => {
                 let t = self.engine.table(&table)?;
                 let dict = self.engine.dict.snapshot();
+                let rel = t.relation();
                 if flat {
-                    let f = t.relation().expand();
+                    let f = rel.expand();
                     let rendered = render_flat(&f, &dict);
                     Ok(Output::Relation {
                         relation: NfRelation::from_flat(&f),
                         rendered,
                     })
                 } else {
-                    let rendered = render_nf(t.relation(), &dict);
+                    let rendered = render_nf(&rel, &dict);
                     Ok(Output::Relation {
-                        relation: t.relation().clone(),
+                        relation: (*rel).clone(),
                         rendered,
                     })
                 }
@@ -579,11 +604,11 @@ impl<'e> Session<'e> {
                 for entry in log.into_iter().rev() {
                     match entry {
                         Undo::Reinsert { table, row } => {
-                            self.engine.table_mut(&table)?.insert_atoms(row)?;
+                            self.engine.table(&table)?.insert_atoms(row)?;
                             touched.insert(table);
                         }
                         Undo::Remove { table, row } => {
-                            self.engine.table_mut(&table)?.delete_atoms(&row)?;
+                            self.engine.table(&table)?.delete_atoms(&row)?;
                             touched.insert(table);
                         }
                     }
@@ -654,12 +679,12 @@ impl<'e> Session<'e> {
 /// lands** — on a mid-statement error the caller still receives the undo
 /// entries of every row already applied.
 fn apply_insert(
-    engine: &mut Engine,
+    engine: &Engine,
     table: &str,
     rows: &[Vec<crate::ast::Value>],
     undo: &mut Vec<Undo>,
 ) -> Result<usize, QueryError> {
-    let t = engine.table_mut(table)?;
+    let t = engine.table(table)?;
     let mut affected = 0;
     for row in rows {
         let refs: Vec<&str> = row
@@ -681,16 +706,16 @@ fn apply_insert(
 /// Deletes every flat row matching the conjunction (see
 /// [`apply_insert`] for the undo discipline).
 fn apply_delete(
-    engine: &mut Engine,
+    engine: &Engine,
     table: &str,
     predicates: &[Predicate],
     undo: &mut Vec<Undo>,
 ) -> Result<usize, QueryError> {
     let dict = engine.dict.clone();
-    let t = engine.table_mut(table)?;
+    let t = engine.table(table)?;
     // Resolve predicates; a predicate with no known value matches
     // nothing.
-    let Some(bound) = resolve_bound(t, &dict, predicates)? else {
+    let Some(bound) = resolve_bound(&t, &dict, predicates)? else {
         return Ok(0);
     };
     // Collect matching flat rows, then delete them one by one through §4
@@ -718,14 +743,14 @@ fn apply_delete(
 /// Rewrites every matching flat row as delete + insert through §4
 /// maintenance (see [`apply_insert`] for the undo discipline).
 fn apply_update(
-    engine: &mut Engine,
+    engine: &Engine,
     table: &str,
     assignments: &[crate::ast::EqPredicate],
     predicates: &[Predicate],
     undo: &mut Vec<Undo>,
 ) -> Result<usize, QueryError> {
     let dict = engine.dict.clone();
-    let t = engine.table_mut(table)?;
+    let t = engine.table(table)?;
     // Resolve assignment targets (values are interned on use).
     let mut sets: Vec<(usize, Atom)> = Vec::new();
     for a in assignments {
@@ -734,7 +759,7 @@ fn apply_update(
         sets.push((attr, dict.intern(lit)));
     }
     // Resolve the selection; unknown values match nothing.
-    let Some(bound) = resolve_bound(t, &dict, predicates)? else {
+    let Some(bound) = resolve_bound(&t, &dict, predicates)? else {
         return Ok(0);
     };
     let victims: Vec<Vec<Atom>> = t
@@ -872,7 +897,7 @@ mod tests {
     use super::*;
 
     fn seeded_engine() -> Engine {
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         engine
             .session()
             .run_script(
@@ -897,7 +922,7 @@ mod tests {
 
     #[test]
     fn builder_shards_partition_created_tables() {
-        let mut engine = Engine::builder().shards(4).build().unwrap();
+        let engine = Engine::builder().shards(4).build().unwrap();
         assert_eq!(engine.default_shards(), 4);
         let mut session = engine.session();
         session
@@ -922,7 +947,7 @@ mod tests {
         }
         // relation() serves the exact canonical form: identical to an
         // unsharded engine fed the same script.
-        let mut plain = Engine::builder().shards(1).build().unwrap();
+        let plain = Engine::builder().shards(1).build().unwrap();
         plain
             .session()
             .run_script(
@@ -977,7 +1002,7 @@ mod tests {
 
     #[test]
     fn ddl_bumps_epoch() {
-        let mut engine = seeded_engine();
+        let engine = seeded_engine();
         let epoch = engine.ddl_epoch();
         engine.session().run("CREATE TABLE t2 (A)").unwrap();
         assert_eq!(engine.ddl_epoch(), epoch + 1);
@@ -993,7 +1018,7 @@ mod tests {
 
     #[test]
     fn sessions_share_engine_state() {
-        let mut engine = seeded_engine();
+        let engine = seeded_engine();
         engine
             .session()
             .run("INSERT INTO sc VALUES ('s3','c3')")
@@ -1008,7 +1033,7 @@ mod tests {
 
     #[test]
     fn attach_table_registers_bulk_loads() {
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let table = NfTable::bulk_load_strs(
             "bulk",
             &["A", "B"],
@@ -1040,7 +1065,7 @@ mod tests {
 
     #[test]
     fn executing_unbound_statements_is_rejected() {
-        let mut engine = seeded_engine();
+        let engine = seeded_engine();
         let mut session = engine.session();
         let err = session.run("SELECT * FROM sc WHERE Student = ?");
         assert!(matches!(err, Err(QueryError::Unbound { count: 1 })));
@@ -1049,7 +1074,7 @@ mod tests {
 
     #[test]
     fn session_query_streams_selects_only() {
-        let mut engine = seeded_engine();
+        let engine = seeded_engine();
         let session = engine.session();
         let cursor = session
             .query("SELECT * FROM sc WHERE Student = 's1'")
@@ -1073,7 +1098,7 @@ mod tests {
         // relation() cache like any forward mutation — reading inside
         // the transaction (which fills the cache with mid-txn state)
         // must not leave a stale merge behind after the rollback.
-        let mut engine = Engine::builder().shards(4).build().unwrap();
+        let engine = Engine::builder().shards(4).build().unwrap();
         let mut session = engine.session();
         session
             .run_script(
@@ -1081,7 +1106,7 @@ mod tests {
                  INSERT INTO sc VALUES ('s1','c1'), ('s2','c1'), ('s1','c2'), ('s3','c3');",
             )
             .unwrap();
-        let before = session.engine().table("sc").unwrap().relation().clone();
+        let before = session.engine().table("sc").unwrap().relation();
         session.run("BEGIN").unwrap();
         session
             .run("INSERT INTO sc VALUES ('s9','c9'), ('s9','c1')")
@@ -1091,32 +1116,32 @@ mod tests {
             .unwrap();
         session.run("DELETE FROM sc WHERE Student = 's2'").unwrap();
         // Fill the merged cache with the mid-transaction state.
-        let inside = session.engine().table("sc").unwrap().relation().clone();
+        let inside = session.engine().table("sc").unwrap().relation();
         assert_ne!(inside, before, "txn state visible inside the txn");
         session.run("ROLLBACK").unwrap();
         let t = session.engine().table("sc").unwrap();
         assert_eq!(
             t.relation(),
-            &before,
+            before,
             "relation() after ROLLBACK must re-merge, not serve the \
              mid-transaction cache"
         );
         // And the served form is the exact canonical form of its rows.
         let fresh = nf2_core::nest::canonical_of_flat(&t.relation().expand(), t.order());
-        assert_eq!(t.relation(), &fresh);
+        assert_eq!(*t.relation(), fresh);
     }
 
     #[test]
     fn checkpoint_requires_data_dir() {
-        let mut engine = seeded_engine();
+        let engine = seeded_engine();
         assert!(matches!(engine.checkpoint(), Err(QueryError::Semantic(_))));
     }
 
     #[test]
     fn partial_statement_failures_stay_undoable() {
-        let mut engine = seeded_engine();
+        let engine = seeded_engine();
         let mut session = engine.session();
-        let before = session.engine().table("sc").unwrap().relation().clone();
+        let before = session.engine().table("sc").unwrap().relation();
         session.run("BEGIN").unwrap();
         // Row 1 lands, row 2 fails the arity check mid-statement.
         let err = session.run("INSERT INTO sc VALUES ('x9','y9'), ('only-one')");
@@ -1127,7 +1152,7 @@ mod tests {
         );
         // ROLLBACK must know about the partially-applied statement.
         session.run("ROLLBACK").unwrap();
-        assert_eq!(session.engine().table("sc").unwrap().relation(), &before);
+        assert_eq!(session.engine().table("sc").unwrap().relation(), before);
     }
 
     #[test]
@@ -1135,7 +1160,7 @@ mod tests {
         let dir = std::env::temp_dir().join("nf2_engine_rollback_wal");
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
-        let mut engine = Engine::builder()
+        let engine = Engine::builder()
             .data_dir(&dir)
             .wal_autoflush(true)
             .build()
@@ -1161,7 +1186,7 @@ mod tests {
         let dir = std::env::temp_dir().join("nf2_engine_ckpt");
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
-        let mut engine = Engine::builder()
+        let engine = Engine::builder()
             .data_dir(&dir)
             .wal_autoflush(true)
             .build()

@@ -7,6 +7,7 @@
 //! [`crate::Engine`] with one implicit session.
 
 use std::fmt;
+use std::sync::Arc;
 
 use nf2_storage::{NfTable, SharedDictionary};
 
@@ -200,20 +201,16 @@ impl Database {
         self.engine
     }
 
-    /// Immutable access to a table.
-    pub fn table(&self, name: &str) -> Result<&NfTable, QueryError> {
+    /// Shared access to a table (tables are internally synchronized —
+    /// see [`Engine::table`]).
+    pub fn table(&self, name: &str) -> Result<Arc<NfTable>, QueryError> {
         self.engine.table(name)
-    }
-
-    /// Mutable access to a table.
-    pub fn table_mut(&mut self, name: &str) -> Result<&mut NfTable, QueryError> {
-        self.engine.table_mut(name)
     }
 
     /// Runs `f` in a session that resumes (and then re-saves) the shim's
     /// transaction state.
     fn with_session<R>(&mut self, f: impl FnOnce(&mut Session<'_>) -> R) -> R {
-        let mut session = Session::resume(&mut self.engine, self.txn.take());
+        let mut session = Session::resume(&self.engine, self.txn.take());
         let out = f(&mut session);
         self.txn = session.take_txn();
         out
@@ -481,7 +478,7 @@ mod transaction_tests {
     }
 
     fn snapshot(db: &Database) -> NfRelation {
-        db.table("sc").unwrap().relation().clone()
+        (*db.table("sc").unwrap().relation()).clone()
     }
 
     #[test]
@@ -505,7 +502,7 @@ mod transaction_tests {
         // And the restored relation is still canonical for its order.
         let t = db.table("sc").unwrap();
         let fresh = nf2_core::nest::canonical_of_flat(&t.relation().expand(), t.order());
-        assert_eq!(t.relation(), &fresh);
+        assert_eq!(*t.relation(), fresh);
     }
 
     #[test]
@@ -579,13 +576,13 @@ mod transaction_tests {
         db.run_script("CREATE TABLE cp (Course, Prof); INSERT INTO cp VALUES ('c1','p1');")
             .unwrap();
         let sc_before = snapshot(&db);
-        let cp_before = db.table("cp").unwrap().relation().clone();
+        let cp_before = db.table("cp").unwrap().relation();
         db.run("BEGIN").unwrap();
         db.run("DELETE FROM sc WHERE Course = 'c1'").unwrap();
         db.run("INSERT INTO cp VALUES ('c2','p2')").unwrap();
         db.run("ROLLBACK").unwrap();
         assert_eq!(snapshot(&db), sc_before);
-        assert_eq!(db.table("cp").unwrap().relation(), &cp_before);
+        assert_eq!(db.table("cp").unwrap().relation(), cp_before);
     }
 }
 
@@ -822,7 +819,7 @@ mod update_tests {
         db.run("UPDATE sc SET Student = 's9'").unwrap();
         let t = db.table("sc").unwrap();
         let oracle = nf2_core::nest::canonical_of_flat(&t.relation().expand(), t.order());
-        assert_eq!(t.relation(), &oracle);
+        assert_eq!(*t.relation(), oracle);
     }
 
     #[test]

@@ -32,7 +32,7 @@ use nf2_core::relation::NfRelation;
 use nf2_core::schema::{NestOrder, Schema};
 use nf2_core::tuple::{NfTuple, TupleView, ValueSet};
 use nf2_core::value::Atom;
-use nf2_storage::{NfTable, SharedDictionary};
+use nf2_storage::{NfTable, SharedDictionary, TableSnapshot};
 
 use crate::ast::{OrderBy, OrderDir, Predicate, Projection, Statement, Value};
 use crate::cursor::Cursor;
@@ -285,7 +285,13 @@ impl PhysPlan {
     /// their materialization behind [`lazy_iter`] until the first tuple
     /// is demanded, so a consumer that never pulls — `LIMIT 0`, a
     /// dropped cursor — pays zero scan probes on every plan shape.
-    fn stream<'s>(&self, tables: &[&'s NfTable], bound: &[ValueSet]) -> TupleIter<'s> {
+    ///
+    /// The pipeline reads **pinned snapshots**, not live tables: every
+    /// scan streams the shard versions the snapshot holds, so the
+    /// result is the canonical form as of the statement's epoch no
+    /// matter what concurrent writers install meanwhile — and the
+    /// returned iterator is `'static`, owning its shard `Arc`s.
+    fn stream(&self, tables: &[TableSnapshot], bound: &[ValueSet]) -> TupleIter<'static> {
         self.stream_restricted(tables, bound, None)
     }
 
@@ -294,23 +300,23 @@ impl PhysPlan {
     /// addition to its prune/zone filtering). The k-way merge path
     /// builds one such pipeline per shard so each stays in segment
     /// order.
-    fn stream_restricted<'s>(
+    fn stream_restricted(
         &self,
-        tables: &[&'s NfTable],
+        tables: &[TableSnapshot],
         bound: &[ValueSet],
         only_shard: Option<usize>,
-    ) -> TupleIter<'s> {
-        fn go<'s>(
+    ) -> TupleIter<'static> {
+        fn go(
             node: &Phys,
-            tables: &[&'s NfTable],
+            tables: &[TableSnapshot],
             bound: &[ValueSet],
             only_shard: Option<usize>,
-        ) -> TupleIter<'s> {
+        ) -> TupleIter<'static> {
             match node {
                 Phys::Scan { table, prune, zone } => {
-                    let t = tables[*table];
+                    let t = &tables[*table];
                     if prune.is_empty() && zone.is_empty() && only_shard.is_none() {
-                        return Box::new(t.scan().map(TupleView::Borrowed));
+                        return Box::new(t.scan());
                     }
                     // Every pruning conjunct must be satisfied, so the
                     // scannable shards are the intersection of the
@@ -334,10 +340,7 @@ impl PhysPlan {
                         .iter()
                         .map(|&(attr, flat)| (attr, bound[flat].clone()))
                         .collect();
-                    Box::new(
-                        t.scan_shards_zoned(&shards, &zones)
-                            .map(TupleView::Borrowed),
-                    )
+                    Box::new(t.scan_shards_zoned(&shards, &zones))
                 }
                 Phys::Select { input, constraints } => {
                     let resolved: Vec<(usize, ValueSet)> = constraints
@@ -376,7 +379,7 @@ impl PhysPlan {
                     let probe_side = go(left, tables, bound, only_shard);
                     let layout = layout.clone();
                     lazy_iter(move || {
-                        let build: Vec<TupleView<'s>> = build_side.collect();
+                        let build: Vec<TupleView<'static>> = build_side.collect();
                         Box::new(probe_side.flat_map(move |l| {
                             let mut out = Vec::new();
                             layout.probe(&l, &build, &mut out);
@@ -471,7 +474,10 @@ fn scan_pruning_lines(
                 return Ok(());
             }
             let name = &plan.tables[*table];
-            let t = engine.table(name)?;
+            // Pin a snapshot like execution would: the reported shard and
+            // segment effects (and the epoch shown) describe one
+            // consistent version even while writers install new ones.
+            let t = engine.table(name)?.snapshot();
             let shards: Vec<usize> = if prune.is_empty() {
                 (0..t.shard_count()).collect()
             } else {
@@ -484,7 +490,12 @@ fn scan_pruning_lines(
                 }
                 shards
             };
-            let mut line = format!("{name}: {}/{} shard(s)", shards.len(), t.shard_count());
+            let mut line = format!(
+                "{name}: {}/{} shard(s) @ snapshot epoch {}",
+                shards.len(),
+                t.shard_count(),
+                t.epoch()
+            );
             if !zone.is_empty() {
                 let zones: Vec<(usize, ValueSet)> = zone
                     .iter()
@@ -688,7 +699,8 @@ impl SelectPlan {
         };
         let merge = match (&order, &projection) {
             (Some((ob, attrs)), Projection::All) if tables.len() == 1 => {
-                merge_eligible(engine.table(&tables[0])?, ob, attrs, &phys.root)
+                let t = engine.table(&tables[0])?;
+                merge_eligible(&t, ob, attrs, &phys.root)
             }
             _ => false,
         };
@@ -774,14 +786,17 @@ impl SelectPlan {
         Ok(walk(&self.expr, &mut out, &resolve).then_some(out))
     }
 
-    /// Binds and streams the plan as a [`Cursor`] borrowing the engine's
-    /// tables. A statically-empty result yields an empty cursor carrying
-    /// the plan's output schema.
-    pub(crate) fn cursor<'s, P: AsRef<str>>(
+    /// Binds and streams the plan as a [`Cursor`] over **pinned
+    /// snapshots** of the engine's tables: the cursor owns its shard
+    /// versions (`'static`), takes no locks while streaming, and keeps
+    /// yielding the statement-start state even if the engine mutates —
+    /// or drops the tables — mid-stream. A statically-empty result
+    /// yields an empty cursor carrying the plan's output schema.
+    pub(crate) fn cursor<P: AsRef<str>>(
         &mut self,
-        engine: &'s Engine,
+        engine: &Engine,
         params: &[P],
-    ) -> Result<Cursor<'s>, QueryError> {
+    ) -> Result<Cursor<'static>, QueryError> {
         // One template traversal binds the flat constraint store;
         // everything else was resolved at prepare time.
         let Some(bound) = self.bind_flat(engine.dict(), params)? else {
@@ -789,10 +804,14 @@ impl SelectPlan {
             // cursor's shape does not depend on which value was bound.
             return Ok(Cursor::new(RelStream::empty(self.phys.schema.clone())));
         };
+        // Pin one snapshot per table, once, at statement start: the
+        // whole pipeline — every shard scan, the merge's per-shard
+        // streams, the join's build side — reads exactly these epochs.
+        // Concurrent writers install new versions without disturbing us.
         let tables = self
             .tables
             .iter()
-            .map(|n| engine.table(n))
+            .map(|n| engine.table(n).map(|t| t.snapshot()))
             .collect::<Result<Vec<_>, _>>()?;
         // Streaming k-way segment merge: the plan is statically
         // eligible (see [`merge_eligible`]) and the dynamic half holds —
@@ -803,8 +822,8 @@ impl SelectPlan {
         // `LIMIT n` pulls ≈ n + shards tuples instead of the whole scan.
         if let Some((ob, attrs)) = &self.order {
             if self.merge && engine.dict().is_id_ordered() {
-                let t = tables[0];
-                let fresh = (0..t.shard_count()).all(|s| t.sharded().shard_segments(s).is_fresh());
+                let t = &tables[0];
+                let fresh = (0..t.shard_count()).all(|s| t.shard_segments(s).is_fresh());
                 if fresh {
                     let orders = resolved_orders(engine.dict(), ob, attrs);
                     let parts = (0..t.shard_count())
@@ -819,7 +838,7 @@ impl SelectPlan {
                     let stream = match self.limit {
                         Some(n) => {
                             let schema = merged.schema().clone();
-                            let limited: TupleIter<'s> = Box::new(merged.take(n));
+                            let limited: TupleIter<'static> = Box::new(merged.take(n));
                             RelStream::new(schema, limited)
                         }
                         None => merged,
@@ -847,7 +866,7 @@ impl SelectPlan {
             // (the probe-counted cursor test pins this).
             (None, Some(n)) => {
                 let schema = stream.schema().clone();
-                let limited: TupleIter<'s> = Box::new(stream.take(n));
+                let limited: TupleIter<'static> = Box::new(stream.take(n));
                 RelStream::new(schema, limited)
             }
             (None, None) => stream,
@@ -1071,13 +1090,13 @@ impl Prepared {
     }
 
     /// Executes a prepared SELECT, streaming the result as a [`Cursor`]
-    /// that borrows the session's engine. Non-SELECT statements are
+    /// over snapshots pinned at this call. Non-SELECT statements are
     /// rejected — use [`execute`](Self::execute).
-    pub fn query<'s, P: AsRef<str>>(
+    pub fn query<P: AsRef<str>>(
         &mut self,
-        session: &'s Session<'_>,
+        session: &Session<'_>,
         params: &[P],
-    ) -> Result<Cursor<'s>, QueryError> {
+    ) -> Result<Cursor<'static>, QueryError> {
         let engine = session.engine();
         self.revalidate(engine)?;
         let sql = &self.sql;
@@ -1134,7 +1153,7 @@ mod tests {
     use super::*;
 
     fn engine() -> Engine {
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         engine
             .session()
             .run_script(
@@ -1156,7 +1175,7 @@ mod tests {
 
     #[test]
     fn prepared_select_binds_params_per_call() {
-        let mut engine = engine();
+        let engine = engine();
         let mut session = engine.session();
         let mut stmt = session
             .prepare("SELECT Course FROM sc WHERE Student = ?")
@@ -1182,7 +1201,7 @@ mod tests {
 
     #[test]
     fn prepared_matches_one_shot_run() {
-        let mut engine = engine();
+        let engine = engine();
         let mut session = engine.session();
         let mut stmt = session
             .prepare("SELECT Student FROM sc JOIN cp WHERE Prof = ? AND Student IN ('s1', ?)")
@@ -1202,7 +1221,7 @@ mod tests {
     fn wide_in_lists_stay_within_the_slot_range() {
         // 70k values would have overflowed a 16-bit slot range; the
         // reserved range is 2^24 ids with an explicit guard.
-        let mut engine = engine();
+        let engine = engine();
         let mut session = engine.session();
         let values: Vec<String> = (0..70_000).map(|i| format!("'v{i}'")).collect();
         let sql = format!(
@@ -1214,7 +1233,7 @@ mod tests {
 
     #[test]
     fn literals_resolve_late() {
-        let mut engine = engine();
+        let engine = engine();
         let mut session = engine.session();
         // 'c9' is not interned yet: the plan must not freeze the miss.
         let mut stmt = session
@@ -1233,7 +1252,7 @@ mod tests {
 
     #[test]
     fn ddl_triggers_replan() {
-        let mut engine = engine();
+        let engine = engine();
         let mut session = engine.session();
         let mut stmt = session.prepare("SELECT COUNT(*) FROM sc").unwrap();
         assert_eq!(
@@ -1256,7 +1275,7 @@ mod tests {
 
     #[test]
     fn prepared_dml_binds_and_mutates() {
-        let mut engine = engine();
+        let engine = engine();
         let mut session = engine.session();
         let mut ins = session.prepare("INSERT INTO sc VALUES (?, ?)").unwrap();
         assert!(!ins.is_query());
@@ -1280,7 +1299,7 @@ mod tests {
 
     #[test]
     fn prepared_query_streams() {
-        let mut engine = engine();
+        let engine = engine();
         let session = engine.session();
         let mut stmt = session
             .prepare("SELECT * FROM sc WHERE Student = ?")
@@ -1294,7 +1313,7 @@ mod tests {
     fn prepared_handles_replan_across_engines() {
         // A handle compiled on one engine must not execute its cached
         // attribute ids against another engine's tables.
-        let mut a = Engine::new();
+        let a = Engine::new();
         a.session()
             .run_script(
                 "CREATE TABLE t (A, B, C);
@@ -1303,7 +1322,7 @@ mod tests {
             .unwrap();
         let mut stmt = a.session().prepare("SELECT C FROM t WHERE A = ?").unwrap();
         // Engine B: same table name and epoch history, different shape.
-        let mut b = Engine::new();
+        let b = Engine::new();
         b.session()
             .run_script(
                 "CREATE TABLE t (C, A);
@@ -1334,7 +1353,7 @@ mod tests {
 
     #[test]
     fn repeated_attr_conjuncts_fold_like_the_legacy_path() {
-        let mut engine = engine();
+        let engine = engine();
         let mut session = engine.session();
         // {s1} ∩ {s2} = ∅: contradictory equalities on one attribute
         // must yield nothing, on every execution path.
@@ -1360,7 +1379,7 @@ mod tests {
 
     #[test]
     fn empty_result_cursor_keeps_output_schema() {
-        let mut engine = engine();
+        let engine = engine();
         let session = engine.session();
         let mut stmt = session
             .prepare("SELECT Course FROM sc WHERE Student = ?")
@@ -1404,7 +1423,7 @@ mod tests {
 
     #[test]
     fn order_by_sorts_by_resolved_value_not_intern_order() {
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let mut session = engine.session();
         // Interned in anti-alphabetical order on purpose: atom ids rank
         // c > b > a, the strings rank a < b < c.
@@ -1426,7 +1445,7 @@ mod tests {
 
     #[test]
     fn top_k_equals_sort_then_truncate_on_every_path() {
-        let mut engine = engine();
+        let engine = engine();
         let mut session = engine.session();
         // LIMIT truncates NF² tuples, so the oracle compares ordered
         // tuple streams (a kept tuple may expand to several flat rows).
@@ -1467,7 +1486,7 @@ mod tests {
 
     #[test]
     fn order_by_rejects_unknown_and_projected_away_attributes() {
-        let mut engine = engine();
+        let engine = engine();
         let session = engine.session();
         assert!(session.query("SELECT * FROM sc ORDER BY Nope").is_err());
         // Course is projected away: ordering the output on it is an
@@ -1483,7 +1502,7 @@ mod tests {
 
     #[test]
     fn aggregates_ignore_order_by_and_limit() {
-        let mut engine = engine();
+        let engine = engine();
         let mut session = engine.session();
         assert_eq!(
             session
@@ -1514,7 +1533,7 @@ mod tests {
 
     #[test]
     fn explain_reports_the_order_operator() {
-        let mut engine = engine();
+        let engine = engine();
         let session = engine.session();
         let mut stmt = session
             .prepare("SELECT * FROM sc ORDER BY Course DESC LIMIT 3")
@@ -1549,7 +1568,7 @@ mod tests {
 
     #[test]
     fn explain_shows_template_and_estimates() {
-        let mut engine = engine();
+        let engine = engine();
         let session = engine.session();
         let mut stmt = session
             .prepare("SELECT Student FROM sc JOIN cp WHERE Prof = ? AND Course = 'c1'")

@@ -262,7 +262,7 @@ pub(crate) fn check_plan(plan: &SelectPlan, engine: &Engine) -> Result<PlanRepor
         let t = engine
             .table(&plan.tables[0])
             .map_err(|e| violation("order operator", e.to_string()))?;
-        if !crate::prepare::merge_eligible(t, ob, attrs, &plan.phys.root) {
+        if !crate::prepare::merge_eligible(&t, ob, attrs, &plan.phys.root) {
             return Err(violation(
                 "order operator",
                 "merge flag on a plan that fails static merge eligibility",
@@ -517,14 +517,16 @@ fn render_node(node: &Phys, tables: &[String], engine: Option<&Engine>) -> Strin
                 Some(e) => tables.get(*table).and_then(|n| e.table(n).ok()),
                 None => None,
             };
-            let attr_name =
-                |attr: usize| -> Option<&str> { t.and_then(|t| t.schema().attr_name(attr).ok()) };
+            let attr_name = |attr: usize| -> Option<String> {
+                t.as_ref()
+                    .and_then(|t| t.schema().attr_name(attr).ok().map(str::to_owned))
+            };
             let mut parts = vec![name.to_owned()];
             if !prune.is_empty() {
                 let route = t
+                    .as_ref()
                     .and_then(|t| t.routing().attr())
-                    .and_then(attr_name)
-                    .map(str::to_owned);
+                    .and_then(&attr_name);
                 let ids: Vec<String> = prune
                     .iter()
                     .map(|f| match &route {
@@ -621,7 +623,7 @@ mod tests {
     /// A 4-shard engine; `sc`'s routing attribute is `Course` (the last
     /// nest-applied attribute of the identity order).
     fn sharded_engine() -> Engine {
-        let mut engine = Engine::builder().shards(4).build().unwrap();
+        let engine = Engine::builder().shards(4).build().unwrap();
         engine
             .session()
             .run_script(
@@ -709,7 +711,7 @@ mod tests {
     fn prune_on_unsharded_table_is_rejected() {
         // Pin one shard: Engine::new() would read NF2_SHARDS and make
         // the table shardable (so a prune list could be legal).
-        let mut engine = Engine::builder().shards(1).build().unwrap();
+        let engine = Engine::builder().shards(1).build().unwrap();
         engine
             .session()
             .run_script("CREATE TABLE t (A); INSERT INTO t VALUES ('x');")

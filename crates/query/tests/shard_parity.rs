@@ -51,7 +51,7 @@ fn build_engine(shards: usize, realization: bool, script: &str) -> Engine {
     if realization {
         builder = builder.rewrite_mode(nf2_algebra::RewriteMode::Realization);
     }
-    let mut engine = builder.build().unwrap();
+    let engine = builder.build().unwrap();
     engine.session().run_script(script).unwrap();
     engine
 }

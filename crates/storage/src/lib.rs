@@ -34,4 +34,4 @@ pub use error::{Result, StorageError};
 pub use heap::{HeapFile, RecordId};
 pub use index::HashIndex;
 pub use page::{Page, PAGE_SIZE};
-pub use table::{FlatTable, NfTable, TableScan, TableStats};
+pub use table::{FlatTable, NfTable, TableScan, TableSnapshot, TableStats};

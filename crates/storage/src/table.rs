@@ -9,18 +9,23 @@
 //! (§2, §5) is measurable.
 
 use std::collections::HashMap;
+use std::ops::Range;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::{BufMut, BytesMut};
 use parking_lot::Mutex;
 
 use nf2_core::bulk::{BatchSummary, Op};
+use nf2_core::kernel::NestKernel;
 use nf2_core::maintenance::CostCounter;
+use nf2_core::mvcc::{ShardVersion, TableVersion, VersionCell};
 use nf2_core::relation::{FlatRelation, NfRelation};
 use nf2_core::schema::{AttrId, NestOrder, Schema};
-use nf2_core::shard::{MaintenanceCost, ShardSpec, ShardedCanonical};
-use nf2_core::tuple::{FlatTuple, NfTuple, ValueSet};
+use nf2_core::segment::ShardSegments;
+use nf2_core::shard::{MaintenanceCost, ShardRouter, ShardSpec, ShardedCanonical};
+use nf2_core::tuple::{FlatTuple, NfTuple, TupleStore, TupleView, ValueSet};
 use nf2_core::value::Atom;
 
 use crate::codec::{
@@ -31,7 +36,8 @@ use crate::error::{Result, StorageError};
 use crate::heap::{HeapFile, RecordId};
 use crate::index::HashIndex;
 
-/// Probe and operation counters for the search-space experiments (E9).
+/// Probe and operation counters for the search-space experiments (E9) —
+/// a point-in-time snapshot of [`SharedTableStats`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct TableStats {
     /// Number of lookup calls.
@@ -46,6 +52,52 @@ pub struct TableStats {
     /// ([`NfTable::scan_shards_zoned`]) — their tuples were never
     /// probed, so they are *not* in `units_probed`.
     pub segments_skipped: u64,
+}
+
+/// The live, concurrently-updated counters behind [`TableStats`].
+///
+/// Scan and lookup paths run lock-free under MVCC, so the counters are
+/// atomics. Every access is `Relaxed`: these are statistical tallies —
+/// monotonic counters with no cross-counter invariant readers could
+/// rely on — so no ordering stronger than atomicity is needed.
+#[derive(Debug, Default)]
+pub struct SharedTableStats {
+    lookups: AtomicU64,
+    units_probed: AtomicU64,
+    inserts: AtomicU64,
+    deletes: AtomicU64,
+    segments_skipped: AtomicU64,
+}
+
+impl SharedTableStats {
+    fn with(stats: TableStats) -> Self {
+        Self {
+            lookups: AtomicU64::new(stats.lookups),
+            units_probed: AtomicU64::new(stats.units_probed),
+            inserts: AtomicU64::new(stats.inserts),
+            deletes: AtomicU64::new(stats.deletes),
+            segments_skipped: AtomicU64::new(stats.segments_skipped),
+        }
+    }
+
+    /// A point-in-time copy. Counters are read individually (`Relaxed`),
+    /// so a snapshot taken during a concurrent scan may be mid-settle —
+    /// each counter is still exact once the scans it observed finish.
+    pub fn snapshot(&self) -> TableStats {
+        TableStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            units_probed: self.units_probed.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            segments_skipped: self.segments_skipped.load(Ordering::Relaxed),
+        }
+    }
+
+    fn settle_scan(&self, yielded: u64, skipped: u64) {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.units_probed.fetch_add(yielded, Ordering::Relaxed);
+        self.segments_skipped.fetch_add(skipped, Ordering::Relaxed);
+    }
 }
 
 /// A WAL entry: one flat-row mutation.
@@ -89,24 +141,50 @@ impl WalEntry {
 /// shard (candidate probes drop by the shard count), batch appends
 /// rebuild shards in parallel, [`scan`](NfTable::scan) concatenates the
 /// per-shard tuple streams, and [`relation`](NfTable::relation) serves
-/// the exact global canonical form from a lazily-merged cache
-/// (invalidated by mutations, rebuilt on first read — a write-heavy
-/// stream never pays for merges nobody reads).
+/// the exact global canonical form from an epoch-keyed merge cache.
+///
+/// ## Concurrency (shard-snapshot MVCC)
+///
+/// The table is fully shareable (`&self` for every operation, including
+/// mutations): the canonical store lives behind a writer [`Mutex`], and
+/// every committed state is *published* into a [`VersionCell`] as
+/// immutable `Arc`-held [`ShardVersion`]s. Readers pin a
+/// [`TableSnapshot`] once per statement and stream scans without taking
+/// any lock; a writer installs replacement versions for exactly the
+/// shards it touched behind a single epoch bump, so pinned readers keep
+/// their state and readers pruned to other shards are untouched.
 #[derive(Debug)]
 pub struct NfTable {
     name: String,
     dict: SharedDictionary,
+    /// Immutable table metadata, copied out of the canonical store at
+    /// construction so reads never lock for it.
+    schema: Arc<Schema>,
+    order: NestOrder,
+    routing: ShardRouter,
+    /// The published MVCC state: readers pin, writers install.
+    versions: VersionCell,
+    /// The write half: canonical store, WAL, index and maintenance
+    /// counters. Writers serialize on this lock; readers never take it.
+    writer: Mutex<TableWriter>,
+    /// Epoch-keyed merged-relation cache: `(epoch, merge)` of the last
+    /// merge computed. A read at the same epoch reuses the `Arc`; a
+    /// state-changing mutation bumps the epoch and the next read
+    /// re-merges. No-op mutations leave the epoch — and the warm cache —
+    /// alone, and a reader can never observe a half-invalidated cell
+    /// (the pair is replaced atomically under its own lock).
+    merged: Mutex<Option<(u64, Arc<NfRelation>)>>,
+    stats: Arc<SharedTableStats>,
+}
+
+/// The writer-side state of an [`NfTable`], serialized by one mutex.
+#[derive(Debug)]
+struct TableWriter {
     canon: ShardedCanonical,
-    /// Lazily-merged global canonical form for multi-shard tables:
-    /// mutations reset the cell ([`invalidate_merged`](Self::invalidate_merged)),
-    /// [`relation`](Self::relation) fills it on demand. Single-shard
-    /// tables borrow shard 0 directly and never touch it.
-    merged: std::sync::OnceLock<NfRelation>,
     wal: Vec<WalEntry>,
     /// (attr, value) → tuple positions at index-build time; dropped on any
     /// mutation.
     index: Option<HashMap<(AttrId, Atom), Vec<usize>>>,
-    stats: Mutex<TableStats>,
     /// Accumulated §4 maintenance costs across all updates, with the
     /// per-shard breakdown.
     maintenance: MaintenanceCost,
@@ -239,7 +317,8 @@ impl NfTable {
         Self::bulk_load_atoms_sharded(name, attr_names, atoms, order, spec, dict)
     }
 
-    /// Assembles a table around a sharded canonical relation.
+    /// Assembles a table around a sharded canonical relation and
+    /// publishes its initial versions at epoch 0.
     fn wrap(
         name: &str,
         dict: SharedDictionary,
@@ -250,20 +329,30 @@ impl NfTable {
         Self {
             name: name.to_owned(),
             dict,
-            maintenance: MaintenanceCost::new(shards),
-            canon,
-            merged: std::sync::OnceLock::new(),
-            wal: Vec::new(),
-            index: None,
-            stats: Mutex::new(stats),
+            schema: canon.schema().clone(),
+            order: canon.order().clone(),
+            routing: canon.router().clone(),
+            versions: VersionCell::new(canon.versions()),
+            writer: Mutex::new(TableWriter {
+                canon,
+                wal: Vec::new(),
+                index: None,
+                maintenance: MaintenanceCost::new(shards),
+            }),
+            merged: Mutex::new(None),
+            stats: Arc::new(SharedTableStats::with(stats)),
         }
     }
 
-    /// Drops the merged-relation cache after a mutation; the next
-    /// [`relation`](Self::relation) read re-merges. Cheap — an empty
-    /// cell swap, no merge work on the write path.
-    fn invalidate_merged(&mut self) {
-        self.merged = std::sync::OnceLock::new();
+    /// Publishes the current writer-side versions of `touched` shards
+    /// behind a single epoch bump. Must be called with the writer lock
+    /// held and only after a state-changing mutation.
+    fn publish(&self, w: &TableWriter, touched: impl IntoIterator<Item = usize>) {
+        let versions = touched
+            .into_iter()
+            .map(|s| (s, Arc::clone(w.canon.version(s))))
+            .collect();
+        self.versions.install(versions);
     }
 
     /// Applies a batch of flat-row operations through the auto strategy
@@ -274,11 +363,11 @@ impl NfTable {
     ///
     /// Each shard's kernel scratch is reused across appends, so a long
     /// ingest stream pays the rebuild arm's allocations once per shard.
-    pub fn append_batch(&mut self, ops: &[Op]) -> Result<(BatchSummary, bool)> {
+    pub fn append_batch(&self, ops: &[Op]) -> Result<(BatchSummary, bool)> {
         // Validate the whole batch up front: arity errors are the only
         // failure mode below, so rejecting them here keeps the batch
         // atomic — on Err the relation, WAL and index are all untouched.
-        let arity = self.schema().arity();
+        let arity = self.schema.arity();
         for op in ops {
             if op.row().len() != arity {
                 return Err(StorageError::Model(nf2_core::NfError::ArityMismatch {
@@ -287,23 +376,42 @@ impl NfTable {
                 }));
             }
         }
-        let (summary, rebuilds) = self.canon.apply_batch_auto(ops, &mut self.maintenance)?;
+        let mut w = self.writer.lock();
+        let TableWriter {
+            canon, maintenance, ..
+        } = &mut *w;
+        let (summary, rebuilds) = canon.apply_batch_auto(ops, maintenance)?;
         let rebuilt = rebuilds > 0;
         if summary.inserted + summary.deleted > 0 {
-            self.index = None;
-            self.invalidate_merged();
+            w.index = None;
+            // Publish the shards the batch routed to, all behind one
+            // epoch bump. A shard whose sub-batch turned out to be all
+            // no-ops re-installs its existing Arc — pointer-identical,
+            // so pinned and pruned readers are untouched. A batch with
+            // no state change at all skips the bump entirely, keeping
+            // the epoch-keyed merge cache warm.
+            let mut touched: Vec<usize> = ops
+                .iter()
+                .map(|op| self.routing.route_row(op.row()))
+                .collect();
+            touched.sort_unstable();
+            touched.dedup();
+            self.publish(&w, touched);
         }
         // WAL replay tolerates no-ops (insert/delete return false), so the
         // whole batch is logged verbatim and replays to the same state.
         for op in ops {
             match op {
-                Op::Insert(row) => self.wal.push(WalEntry::Insert(row.clone())),
-                Op::Delete(row) => self.wal.push(WalEntry::Delete(row.clone())),
+                Op::Insert(row) => w.wal.push(WalEntry::Insert(row.clone())),
+                Op::Delete(row) => w.wal.push(WalEntry::Delete(row.clone())),
             }
         }
-        let mut stats = self.stats.lock();
-        stats.inserts += summary.inserted as u64;
-        stats.deletes += summary.deleted as u64;
+        self.stats
+            .inserts
+            .fetch_add(summary.inserted as u64, Ordering::Relaxed);
+        self.stats
+            .deletes
+            .fetch_add(summary.deleted as u64, Ordering::Relaxed);
         Ok((summary, rebuilt))
     }
 
@@ -314,28 +422,35 @@ impl NfTable {
 
     /// The schema.
     pub fn schema(&self) -> &Arc<Schema> {
-        self.canon.schema()
+        &self.schema
     }
 
     /// The nest order the table is canonical for.
     pub fn order(&self) -> &NestOrder {
-        self.canon.order()
+        &self.order
     }
 
     /// The shard specification the table is partitioned by.
     pub fn shard_spec(&self) -> &ShardSpec {
-        self.canon.router().spec()
+        self.routing.spec()
     }
 
     /// Number of shards (1 unless created through a `_sharded`
     /// constructor).
     pub fn shard_count(&self) -> usize {
-        self.canon.shard_count()
+        self.routing.shard_count()
     }
 
-    /// The sharded canonical store backing the table.
-    pub fn sharded(&self) -> &ShardedCanonical {
-        &self.canon
+    /// The writer-side sharded canonical store backing the table.
+    ///
+    /// Takes the writer lock for the lifetime of the returned guard —
+    /// an inspection/verification surface, not a fast path. Do not hold
+    /// two of these guards (or call another writer-locking method while
+    /// holding one) on the same table.
+    pub fn sharded(&self) -> ShardedGuard<'_> {
+        ShardedGuard {
+            guard: self.writer.lock(),
+        }
     }
 
     /// The shared dictionary.
@@ -343,15 +458,39 @@ impl NfTable {
         &self.dict
     }
 
-    /// The current NFR — always the exact global canonical form
-    /// `ν_P(R*)`, regardless of shard count. Multi-shard tables merge
-    /// lazily on first read after a mutation; single-shard tables borrow
-    /// shard 0 at zero cost.
-    pub fn relation(&self) -> &NfRelation {
-        if self.canon.shard_count() == 1 {
-            return self.canon.shard(0).relation();
+    /// Pins the current MVCC snapshot: the epoch and every shard's
+    /// published version, grabbed atomically. All statement-level reads
+    /// go through a snapshot so one statement sees one table state.
+    pub fn snapshot(&self) -> TableSnapshot {
+        TableSnapshot {
+            version: self.versions.pin(),
+            routing: self.routing.clone(),
+            stats: Arc::clone(&self.stats),
         }
-        self.merged.get_or_init(|| self.canon.to_relation())
+    }
+
+    /// The current epoch: bumped exactly once per state-changing
+    /// statement or batch. Epoch 0 is the freshly created/loaded state.
+    pub fn epoch(&self) -> u64 {
+        self.versions.epoch()
+    }
+
+    /// The current NFR — always the exact global canonical form
+    /// `ν_P(R*)`, regardless of shard count, merged from the pinned
+    /// snapshot and cached per epoch: repeated reads at one epoch share
+    /// one `Arc`, and a no-op mutation (which does not bump the epoch)
+    /// keeps the cache warm.
+    pub fn relation(&self) -> Arc<NfRelation> {
+        let pin = self.versions.pin();
+        let mut cache = self.merged.lock();
+        if let Some((epoch, rel)) = &*cache {
+            if *epoch == pin.epoch() {
+                return Arc::clone(rel);
+            }
+        }
+        let rel = Arc::new(merge_version(&self.schema, &self.routing, &pin));
+        *cache = Some((pin.epoch(), Arc::clone(&rel)));
+        rel
     }
 
     /// NF² tuple count of the global canonical form (the logical search
@@ -362,23 +501,24 @@ impl NfTable {
 
     /// Flat row count (`|R*|`).
     pub fn flat_count(&self) -> u128 {
-        self.canon.flat_count()
+        self.versions.pin().flat_count()
     }
 
     /// Point-in-time stats.
     pub fn stats(&self) -> TableStats {
-        *self.stats.lock()
+        self.stats.snapshot()
     }
 
     /// Accumulated §4 maintenance cost over the table's lifetime
     /// (summed across shards).
     pub fn maintenance_cost(&self) -> CostCounter {
-        self.maintenance.total
+        self.writer.lock().maintenance.total
     }
 
-    /// The per-shard maintenance-cost breakdown.
-    pub fn maintenance_breakdown(&self) -> &MaintenanceCost {
-        &self.maintenance
+    /// The per-shard maintenance-cost breakdown (copied out of the
+    /// writer state).
+    pub fn maintenance_breakdown(&self) -> MaintenanceCost {
+        self.writer.lock().maintenance.clone()
     }
 
     /// Interns string values into a flat row for this schema.
@@ -393,7 +533,7 @@ impl NfTable {
     }
 
     /// Inserts a row of string values. Returns `true` if new.
-    pub fn insert_row(&mut self, values: &[&str]) -> Result<bool> {
+    pub fn insert_row(&self, values: &[&str]) -> Result<bool> {
         let row = self.row_from_strs(values)?;
         self.insert_atoms(row)
     }
@@ -401,261 +541,205 @@ impl NfTable {
     /// Inserts a flat row of atoms via §4 maintenance (routed to one
     /// shard), logging to the WAL.
     ///
-    /// The merged-relation cache is invalidated exactly when the row was
-    /// fresh — a no-op duplicate leaves the canonical shards untouched,
-    /// so the cached merge stays valid (dropping it would force a full
-    /// re-merge for nothing). This conditional form also covers the
-    /// compensating mutations a `ROLLBACK` replays: undo entries are
-    /// recorded only for operations that changed state, and replaying
-    /// them in reverse order re-applies each one against exactly the
-    /// state it inverts, so every compensating call *is* state-changing
-    /// and invalidates here (the table- and session-level rollback
-    /// regression tests pin this).
-    pub fn insert_atoms(&mut self, row: FlatTuple) -> Result<bool> {
-        let fresh = self
-            .canon
-            .insert_counted(row.clone(), &mut self.maintenance)?;
+    /// A new version is published — and the epoch bumped — exactly when
+    /// the row was fresh: a no-op duplicate leaves the canonical shards
+    /// untouched, so the cached merge at the current epoch stays valid
+    /// (dropping it would force a full re-merge for nothing). This
+    /// conditional form also covers the compensating mutations a
+    /// `ROLLBACK` replays: undo entries are recorded only for operations
+    /// that changed state, and replaying them in reverse order
+    /// re-applies each one against exactly the state it inverts, so
+    /// every compensating call *is* state-changing and publishes here
+    /// (the table- and session-level rollback regression tests pin
+    /// this).
+    pub fn insert_atoms(&self, row: FlatTuple) -> Result<bool> {
+        let mut w = self.writer.lock();
+        let TableWriter {
+            canon, maintenance, ..
+        } = &mut *w;
+        let fresh = canon.insert_counted(row.clone(), maintenance)?;
         if fresh {
-            self.wal.push(WalEntry::Insert(row));
-            self.index = None;
-            self.invalidate_merged();
-            self.stats.lock().inserts += 1;
+            let shard = self.routing.route_row(&row);
+            w.wal.push(WalEntry::Insert(row));
+            w.index = None;
+            self.publish(&w, [shard]);
+            self.stats.inserts.fetch_add(1, Ordering::Relaxed);
         }
         Ok(fresh)
     }
 
     /// Deletes a row of string values. Returns `true` if it existed.
-    pub fn delete_row(&mut self, values: &[&str]) -> Result<bool> {
+    pub fn delete_row(&self, values: &[&str]) -> Result<bool> {
         let row = self.row_from_strs(values)?;
         self.delete_atoms(&row)
     }
 
     /// Deletes a flat row of atoms via §4 maintenance (routed to one
-    /// shard), logging to the WAL. The merged cache is invalidated when
-    /// the row was present — see [`insert_atoms`](Self::insert_atoms)
-    /// for why this conditional form also covers the rollback/undo path.
-    pub fn delete_atoms(&mut self, row: &[Atom]) -> Result<bool> {
-        let hit = self.canon.delete_counted(row, &mut self.maintenance)?;
+    /// shard), logging to the WAL. A version is published (epoch bump)
+    /// when the row was present — see
+    /// [`insert_atoms`](Self::insert_atoms) for why this conditional
+    /// form also covers the rollback/undo path.
+    pub fn delete_atoms(&self, row: &[Atom]) -> Result<bool> {
+        let mut w = self.writer.lock();
+        let TableWriter {
+            canon, maintenance, ..
+        } = &mut *w;
+        let hit = canon.delete_counted(row, maintenance)?;
         if hit {
-            self.wal.push(WalEntry::Delete(row.to_vec()));
-            self.index = None;
-            self.invalidate_merged();
-            self.stats.lock().deletes += 1;
+            let shard = self.routing.route_row(row);
+            w.wal.push(WalEntry::Delete(row.to_vec()));
+            w.index = None;
+            self.publish(&w, [shard]);
+            self.stats.deletes.fetch_add(1, Ordering::Relaxed);
         }
         Ok(hit)
     }
 
     /// Whether the table contains the flat row (`searcht` against
-    /// exactly one shard).
+    /// exactly one shard of the current snapshot).
     pub fn contains(&self, row: &[Atom]) -> bool {
-        self.canon.contains(row)
+        let pin = self.versions.pin();
+        let shard = self.routing.route_row(row);
+        pin.shard(shard).contains(row)
     }
 
-    /// A borrowing, probe-counted scan over the stored NF² tuples — the
-    /// per-shard tuple streams, concatenated in shard order.
+    /// A zero-copy, probe-counted scan over the stored NF² tuples — the
+    /// per-shard tuple streams of the *current snapshot*, concatenated
+    /// in shard order.
     ///
-    /// The iterator yields `&NfTuple` straight out of the canonical
-    /// shards — no clone, no merge — and counts every yielded tuple,
-    /// flushing the total into [`stats`](Self::stats) (`lookups += 1`,
-    /// `units_probed += yielded`) when dropped. Streaming query cursors
-    /// ride on this: a cursor that stops after the first tuple is charged
-    /// one probe, not a full relation's worth — which is also how tests
-    /// assert that a cursor did *not* materialize its input.
+    /// The iterator yields [`TupleView`]s straight out of the pinned
+    /// shard versions — no clone, no merge, no lock held while
+    /// streaming — and counts every yielded tuple, flushing the total
+    /// into [`stats`](Self::stats) (`lookups += 1`, `units_probed +=
+    /// yielded`) when dropped. Streaming query cursors ride on this: a
+    /// cursor that stops after the first tuple is charged one probe,
+    /// not a full relation's worth — which is also how tests assert
+    /// that a cursor did *not* materialize its input.
     ///
     /// On a multi-shard table a global canonical tuple whose outermost
     /// set spans shards streams as one tuple per shard; the concatenation
     /// is a valid NFR with the same `R*`, so query semantics (selections,
     /// joins, counts, expansions) are unchanged.
-    pub fn scan(&self) -> TableScan<'_> {
-        self.scan_of(self.canon.shards().iter().map(|s| s.relation().tuples()))
+    pub fn scan(&self) -> TableScan {
+        self.snapshot().scan()
     }
 
-    /// A borrowing, probe-counted scan restricted to the given shards
-    /// (ascending, deduplicated; out-of-range ids are ignored). This is
-    /// the storage half of **shard pruning**: a selection that fixes the
-    /// outermost nest attribute resolves its shard set through
-    /// [`routing`](Self::routing) and scans only those shards — the
-    /// skipped shards' tuples are never yielded, so they never show up
-    /// in [`stats`](Self::stats) either.
-    ///
-    /// Probe accounting is identical to [`scan`](Self::scan): **one**
-    /// counter across all selected shards, settled once on drop —
-    /// concatenating shard streams must never double-count, even when a
-    /// downstream `take(n)` stops mid-shard.
-    pub fn scan_shards(&self, shards: &[usize]) -> TableScan<'_> {
-        let all = self.canon.shards();
-        self.scan_of(
-            shards
-                .iter()
-                .filter_map(|&i| all.get(i))
-                .map(|s| s.relation().tuples()),
-        )
+    /// [`TableSnapshot::scan_shards`] against a freshly pinned snapshot.
+    pub fn scan_shards(&self, shards: &[usize]) -> TableScan {
+        self.snapshot().scan_shards(shards)
     }
 
-    /// A borrowing, probe-counted scan over `shards` that additionally
-    /// skips whole columnar segments whose zone maps refute any of the
-    /// `zones` conjuncts — `(attr, values)` pairs meaning "the `attr`
-    /// component must intersect `values`". A segment whose `[min, max]`
-    /// range for `attr` excludes every value in `values` cannot hold a
-    /// matching tuple, so its tuples are never yielded (and never
-    /// probe-counted); the skip itself is tallied in
-    /// [`TableStats::segments_skipped`].
-    ///
-    /// Shards whose segments are stale (point maintenance since the
-    /// last rebuild) fall back to their full tuple slice — zone maps
-    /// are an optimization, never a semantic filter, so callers still
-    /// apply the real predicate downstream.
-    pub fn scan_shards_zoned(
-        &self,
-        shards: &[usize],
-        zones: &[(AttrId, ValueSet)],
-    ) -> TableScan<'_> {
-        let all = self.canon.shards();
-        let segs = self.canon.segments();
-        let mut slices: Vec<&[NfTuple]> = Vec::new();
-        let mut skipped = 0u64;
-        for &i in shards {
-            let Some(shard) = all.get(i) else { continue };
-            let tuples = shard.relation().tuples();
-            let ss = &segs[i];
-            if zones.is_empty() || !ss.is_fresh() {
-                slices.push(tuples);
-                continue;
-            }
-            for seg in ss.segments() {
-                if zones.iter().all(|(attr, vals)| seg.admits(*attr, vals)) {
-                    slices.push(&tuples[seg.range()]);
-                } else {
-                    skipped += 1;
-                }
-            }
-        }
-        TableScan {
-            shards: slices,
-            shard: 0,
-            idx: 0,
-            stats: &self.stats,
-            yielded: 0,
-            skipped,
-        }
+    /// [`TableSnapshot::scan_shards_zoned`] against a freshly pinned
+    /// snapshot.
+    pub fn scan_shards_zoned(&self, shards: &[usize], zones: &[(AttrId, ValueSet)]) -> TableScan {
+        self.snapshot().scan_shards_zoned(shards, zones)
     }
 
-    /// Counts, without scanning anything, how many segments of each
-    /// listed shard the zone conjuncts would skip: `(skipped, total)`
-    /// per shard, in the order given. Stale shards report `(0, n)` —
-    /// they cannot skip. This is the static side of EXPLAIN's pruning
-    /// report; [`scan_shards_zoned`](Self::scan_shards_zoned) is the
-    /// execution side and its [`TableStats::segments_skipped`] tally
-    /// agrees with the sum reported here.
+    /// [`TableSnapshot::zone_skip_counts`] against a freshly pinned
+    /// snapshot.
     pub fn zone_skip_counts(
         &self,
         shards: &[usize],
         zones: &[(AttrId, ValueSet)],
     ) -> Vec<(usize, usize)> {
-        let segs = self.canon.segments();
-        shards
-            .iter()
-            .filter_map(|&i| segs.get(i))
-            .map(|ss| {
-                let total = ss.segment_count();
-                if zones.is_empty() || !ss.is_fresh() {
-                    return (0, total);
-                }
-                let kept = ss
-                    .segments()
-                    .iter()
-                    .filter(|seg| zones.iter().all(|(attr, vals)| seg.admits(*attr, vals)))
-                    .count();
-                (total - kept, total)
-            })
-            .collect()
+        self.snapshot().zone_skip_counts(shards, zones)
     }
 
-    /// Changes the target tuples-per-segment on the backing store and
-    /// re-tiles every fresh shard. Test and experiment knob.
-    pub fn set_segment_rows(&mut self, rows: usize) {
-        self.canon.set_segment_rows(rows);
-    }
-
-    fn scan_of<'a>(&'a self, shards: impl Iterator<Item = &'a [NfTuple]>) -> TableScan<'a> {
-        TableScan {
-            shards: shards.collect(),
-            shard: 0,
-            idx: 0,
-            stats: &self.stats,
-            yielded: 0,
-            skipped: 0,
-        }
+    /// Changes the target tuples-per-segment on the backing store,
+    /// re-tiles every fresh shard and publishes the re-tiled versions.
+    /// Test and experiment knob.
+    pub fn set_segment_rows(&self, rows: usize) {
+        let mut w = self.writer.lock();
+        w.canon.set_segment_rows(rows);
+        self.versions.install_all(w.canon.versions());
     }
 
     /// The value router the table's shards are partitioned by — what a
     /// query planner asks to turn an outer-attribute predicate into a
     /// shard set for [`scan_shards`](Self::scan_shards).
     pub fn routing(&self) -> &nf2_core::shard::ShardRouter {
-        self.canon.router()
+        &self.routing
     }
 
     /// Scan lookup: NF² tuples whose `attr` component contains `value`.
     /// Probes every tuple (counted) — the realization-view win is that
     /// there are far fewer tuples than rows.
     pub fn lookup_scan(&self, attr: AttrId, value: Atom) -> Vec<NfTuple> {
-        let mut stats = self.stats.lock();
-        stats.lookups += 1;
+        let rel = self.relation();
+        let mut probed = 0u64;
         let mut hits = Vec::new();
-        for t in self.relation().tuples() {
-            stats.units_probed += 1;
+        for t in rel.tuples() {
+            probed += 1;
             if t.component(attr).contains(value) {
                 hits.push(t.clone());
             }
         }
+        self.stats.lookups.fetch_add(1, Ordering::Relaxed);
+        self.stats.units_probed.fetch_add(probed, Ordering::Relaxed);
         hits
     }
 
     /// Builds the (attr, value) → tuples index over the current state.
-    pub fn build_index(&mut self) {
+    ///
+    /// The index is held in the writer state and dropped on any
+    /// state-changing mutation, so an index that exists always describes
+    /// the current epoch's merged relation.
+    pub fn build_index(&self) {
+        let rel = self.relation();
         let mut index: HashMap<(AttrId, Atom), Vec<usize>> = HashMap::new();
-        for (pos, t) in self.relation().tuples().iter().enumerate() {
-            for attr in 0..self.schema().arity() {
+        for (pos, t) in rel.tuples().iter().enumerate() {
+            for attr in 0..self.schema.arity() {
                 for v in t.component(attr).iter() {
                     index.entry((attr, v)).or_default().push(pos);
                 }
             }
         }
-        self.index = Some(index);
+        self.writer.lock().index = Some(index);
     }
 
     /// Indexed lookup; probes only the posting list (counted). Requires
     /// [`build_index`](Self::build_index) since the last mutation.
     pub fn lookup_indexed(&self, attr: AttrId, value: Atom) -> Result<Vec<NfTuple>> {
-        let index = self.index.as_ref().ok_or_else(|| {
+        let rel = self.relation();
+        let w = self.writer.lock();
+        let index = w.index.as_ref().ok_or_else(|| {
             StorageError::InvalidRecord("index not built (or invalidated by a mutation)".into())
         })?;
-        let mut stats = self.stats.lock();
-        stats.lookups += 1;
-        let tuples = self.relation().tuples();
-        Ok(index
+        let tuples = rel.tuples();
+        let hits = index
             .get(&(attr, value))
             .map(|positions| {
-                stats.units_probed += positions.len() as u64;
+                self.stats
+                    .units_probed
+                    .fetch_add(positions.len() as u64, Ordering::Relaxed);
                 positions.iter().map(|&p| tuples[p].clone()).collect()
             })
-            .unwrap_or_default())
+            .unwrap_or_default();
+        self.stats.lookups.fetch_add(1, Ordering::Relaxed);
+        Ok(hits)
     }
 
     /// Checkpoints to `dir`: meta + page file of NF² tuples (the merged
     /// global canonical form); truncates the WAL.
-    pub fn checkpoint(&mut self, dir: &Path) -> Result<()> {
+    ///
+    /// Holds the writer lock across the whole checkpoint so the meta,
+    /// pages and WAL truncation describe one consistent state (every
+    /// mutation publishes before releasing that lock, so the published
+    /// snapshot and the writer state agree here).
+    pub fn checkpoint(&self, dir: &Path) -> Result<()> {
         std::fs::create_dir_all(dir)?;
-        self.write_meta(&meta_path(dir, &self.name))?;
+        let mut w = self.writer.lock();
+        self.write_meta(&w, &meta_path(dir, &self.name))?;
         let mut heap = HeapFile::new();
         let mut buf = BytesMut::new();
-        for t in self.relation().tuples() {
+        let merged = w.canon.to_relation();
+        for t in merged.tuples() {
             buf.clear();
             encode_nf_tuple(t, &mut buf);
             heap.insert(&buf)?;
         }
         heap.save(&pages_path(dir, &self.name))?;
-        self.wal.clear();
+        w.wal.clear();
         std::fs::write(wal_path(dir, &self.name), b"")?;
         Ok(())
     }
@@ -664,7 +748,7 @@ impl NfTable {
     pub fn flush_wal(&self, dir: &Path) -> Result<()> {
         std::fs::create_dir_all(dir)?;
         let mut buf = BytesMut::new();
-        for e in &self.wal {
+        for e in &self.writer.lock().wal {
             e.encode(&mut buf);
         }
         std::fs::write(wal_path(dir, &self.name), &buf)?;
@@ -723,7 +807,7 @@ impl NfTable {
         Ok(Self::wrap(name, dict, canon, TableStats::default()))
     }
 
-    fn write_meta(&self, path: &Path) -> Result<()> {
+    fn write_meta(&self, w: &TableWriter, path: &Path) -> Result<()> {
         let mut buf = BytesMut::new();
         let schema = self.schema();
         put_varint(&mut buf, schema.arity() as u64);
@@ -731,7 +815,7 @@ impl NfTable {
             put_varint(&mut buf, name.len() as u64);
             buf.extend_from_slice(name.as_bytes());
         }
-        for &a in self.canon.order().as_slice() {
+        for &a in self.order.as_slice() {
             put_varint(&mut buf, a as u64);
         }
         // Dictionary contents in atom order.
@@ -761,9 +845,10 @@ impl NfTable {
         // when fresh, each segment's row count, distinct-outer estimate
         // and per-attribute min/max codes. open() re-derives segments
         // from the checkpoint pages and validates them against this.
-        put_varint(&mut buf, self.canon.segment_rows() as u64);
-        put_varint(&mut buf, self.canon.shard_count() as u64);
-        for ss in self.canon.segments() {
+        put_varint(&mut buf, w.canon.segment_rows() as u64);
+        put_varint(&mut buf, w.canon.shard_count() as u64);
+        for shard in 0..w.canon.shard_count() {
+            let ss = w.canon.shard_segments(shard);
             if !ss.is_fresh() {
                 buf.put_u8(0);
                 continue;
@@ -785,6 +870,224 @@ impl NfTable {
         out.extend_from_slice(&buf);
         std::fs::write(path, &out)?;
         Ok(())
+    }
+}
+
+/// Merges a pinned [`TableVersion`] into the exact global canonical
+/// form `ν_P(R*)` — the snapshot-side twin of
+/// [`ShardedCanonical::to_relation`], computed from published versions
+/// so it never needs the writer lock.
+fn merge_version(schema: &Arc<Schema>, routing: &ShardRouter, pin: &TableVersion) -> NfRelation {
+    if pin.shard_count() == 1 {
+        return pin.shard(0).relation().clone();
+    }
+    let tuples: Vec<NfTuple> = pin
+        .shards()
+        .iter()
+        .flat_map(|s| s.tuples().iter().cloned())
+        .collect();
+    if tuples.is_empty() {
+        return NfRelation::new(schema.clone());
+    }
+    let attr = routing
+        .attr()
+        .expect("multi-shard relations have a routing attribute");
+    let concat = NfRelation::from_disjoint_tuples(schema.clone(), tuples)
+        .expect("per-shard tuples carry the shared schema arity");
+    NestKernel::new().nest_once(&concat, attr)
+}
+
+/// A writer-lock guard dereferencing to the table's [`ShardedCanonical`]
+/// store — what [`NfTable::sharded`] hands out for inspection and
+/// verification surfaces.
+pub struct ShardedGuard<'a> {
+    guard: std::sync::MutexGuard<'a, TableWriter>,
+}
+
+impl std::ops::Deref for ShardedGuard<'_> {
+    type Target = ShardedCanonical;
+
+    fn deref(&self) -> &ShardedCanonical {
+        &self.guard.canon
+    }
+}
+
+impl std::ops::DerefMut for ShardedGuard<'_> {
+    fn deref_mut(&mut self) -> &mut ShardedCanonical {
+        &mut self.guard.canon
+    }
+}
+
+/// A pinned, immutable view of one table at one epoch — the reader half
+/// of the MVCC protocol.
+///
+/// A snapshot is pinned once per statement ([`NfTable::snapshot`]) and
+/// every scan the statement runs goes against it: concurrent writers
+/// install new versions without disturbing it, so one statement sees
+/// one table state no matter how long its cursor streams. Dropping the
+/// snapshot releases the pinned shard versions.
+#[derive(Debug, Clone)]
+pub struct TableSnapshot {
+    version: Arc<TableVersion>,
+    routing: ShardRouter,
+    stats: Arc<SharedTableStats>,
+}
+
+impl TableSnapshot {
+    /// The epoch this snapshot was pinned at.
+    pub fn epoch(&self) -> u64 {
+        self.version.epoch()
+    }
+
+    /// The pinned per-shard versions.
+    pub fn version(&self) -> &Arc<TableVersion> {
+        &self.version
+    }
+
+    /// The value router (shard pruning resolves against the same
+    /// routing the pinned versions were partitioned by).
+    pub fn routing(&self) -> &ShardRouter {
+        &self.routing
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.version.shard_count()
+    }
+
+    /// One pinned shard's columnar segment synopsis.
+    pub fn shard_segments(&self, shard: usize) -> &ShardSegments {
+        self.version.shard(shard).segments()
+    }
+
+    /// NF² tuple count across the pinned shards.
+    pub fn tuple_count(&self) -> usize {
+        self.version.tuple_count()
+    }
+
+    /// Flat row count (`|R*|`) of the pinned state.
+    pub fn flat_count(&self) -> u128 {
+        self.version.flat_count()
+    }
+
+    /// Whether the pinned state contains the flat row.
+    pub fn contains(&self, row: &[Atom]) -> bool {
+        let shard = self.routing.route_row(row);
+        self.version.shard(shard).contains(row)
+    }
+
+    /// A zero-copy, probe-counted scan over every pinned shard in shard
+    /// order — see [`NfTable::scan`] for semantics and probe
+    /// accounting.
+    pub fn scan(&self) -> TableScan {
+        let all: Vec<usize> = (0..self.shard_count()).collect();
+        self.scan_shards(&all)
+    }
+
+    /// A zero-copy, probe-counted scan restricted to the given shards
+    /// (out-of-range ids are ignored). This is the storage half of
+    /// **shard pruning**: a selection that fixes the outermost nest
+    /// attribute resolves its shard set through
+    /// [`routing`](Self::routing) and scans only those shards — the
+    /// skipped shards' tuples are never yielded, so they never show up
+    /// in the table's stats either.
+    ///
+    /// Probe accounting uses **one** counter across all selected
+    /// shards, settled once on drop — concatenating shard streams must
+    /// never double-count, even when a downstream `take(n)` stops
+    /// mid-shard.
+    pub fn scan_shards(&self, shards: &[usize]) -> TableScan {
+        let parts = shards
+            .iter()
+            .filter_map(|&i| self.version.shards().get(i))
+            .map(|v| {
+                let len = v.tuples().len();
+                (Arc::clone(v), 0..len)
+            })
+            .collect();
+        TableScan {
+            parts,
+            part: 0,
+            idx: 0,
+            stats: Arc::clone(&self.stats),
+            yielded: 0,
+            skipped: 0,
+        }
+    }
+
+    /// A zero-copy, probe-counted scan over `shards` that additionally
+    /// skips whole columnar segments whose zone maps refute any of the
+    /// `zones` conjuncts — `(attr, values)` pairs meaning "the `attr`
+    /// component must intersect `values`". A segment whose `[min, max]`
+    /// range for `attr` excludes every value in `values` cannot hold a
+    /// matching tuple, so its tuples are never yielded (and never
+    /// probe-counted); the skip itself is tallied in
+    /// [`TableStats::segments_skipped`].
+    ///
+    /// Shards whose segments are stale (point maintenance since the
+    /// last rebuild) fall back to their full tuple slice — zone maps
+    /// are an optimization, never a semantic filter, so callers still
+    /// apply the real predicate downstream.
+    pub fn scan_shards_zoned(&self, shards: &[usize], zones: &[(AttrId, ValueSet)]) -> TableScan {
+        let mut parts: Vec<(Arc<ShardVersion>, Range<usize>)> = Vec::new();
+        let mut skipped = 0u64;
+        for &i in shards {
+            let Some(v) = self.version.shards().get(i) else {
+                continue;
+            };
+            let ss = v.segments();
+            if zones.is_empty() || !ss.is_fresh() {
+                let len = v.tuples().len();
+                parts.push((Arc::clone(v), 0..len));
+                continue;
+            }
+            for seg in ss.segments() {
+                if zones.iter().all(|(attr, vals)| seg.admits(*attr, vals)) {
+                    parts.push((Arc::clone(v), seg.range()));
+                } else {
+                    skipped += 1;
+                }
+            }
+        }
+        TableScan {
+            parts,
+            part: 0,
+            idx: 0,
+            stats: Arc::clone(&self.stats),
+            yielded: 0,
+            skipped,
+        }
+    }
+
+    /// Counts, without scanning anything, how many segments of each
+    /// listed shard the zone conjuncts would skip: `(skipped, total)`
+    /// per shard, in the order given. Stale shards report `(0, n)` —
+    /// they cannot skip. This is the static side of EXPLAIN's pruning
+    /// report; [`scan_shards_zoned`](Self::scan_shards_zoned) is the
+    /// execution side and its [`TableStats::segments_skipped`] tally
+    /// agrees with the sum reported here.
+    pub fn zone_skip_counts(
+        &self,
+        shards: &[usize],
+        zones: &[(AttrId, ValueSet)],
+    ) -> Vec<(usize, usize)> {
+        shards
+            .iter()
+            .filter_map(|&i| self.version.shards().get(i))
+            .map(|v| {
+                let ss = v.segments();
+                let total = ss.segment_count();
+                if zones.is_empty() || !ss.is_fresh() {
+                    return (0, total);
+                }
+                let kept = ss
+                    .segments()
+                    .iter()
+                    .filter(|seg| zones.iter().all(|(attr, vals)| seg.admits(*attr, vals)))
+                    .count();
+                (total - kept, total)
+            })
+            .collect()
     }
 }
 
@@ -960,58 +1263,75 @@ fn check_persisted_segments(canon: &ShardedCanonical, persisted: &PersistedSegme
     Ok(())
 }
 
-/// A lazy scan over an [`NfTable`]'s tuples — the shards' tuple slices,
-/// streamed back-to-back; see [`NfTable::scan`].
+/// A lazy, owning scan over a pinned table snapshot — tuple ranges of
+/// `Arc`-held shard versions, streamed back-to-back; see
+/// [`NfTable::scan`].
+///
+/// The scan holds its own pins, so it stays valid (and keeps yielding
+/// exactly the pinned state) however long it lives and whatever
+/// concurrent writers install in the meantime. Items are
+/// [`TupleView::Shared`] — zero-copy views that carry their pin with
+/// them, so downstream operators can hold or outlive the scan freely.
 ///
 /// Probe accounting is batched: the scan keeps a local counter and
-/// settles it into the table's [`TableStats`] exactly once, on drop, so
+/// settles it into the table's shared stats exactly once, on drop, so
 /// the per-tuple hot path takes no lock.
 #[derive(Debug)]
-pub struct TableScan<'a> {
-    /// Per-shard tuple slices, in shard order.
-    shards: Vec<&'a [NfTuple]>,
-    /// Current shard index.
-    shard: usize,
-    /// Next tuple within the current shard.
+pub struct TableScan {
+    /// Pinned shard versions with the tuple range to stream from each,
+    /// in shard order.
+    parts: Vec<(Arc<ShardVersion>, Range<usize>)>,
+    /// Current part index.
+    part: usize,
+    /// Next tuple within the current part (absolute index into the
+    /// shard version's tuple slice).
     idx: usize,
-    stats: &'a Mutex<TableStats>,
+    stats: Arc<SharedTableStats>,
     yielded: u64,
     /// Segments excluded up front by zone maps (settled on drop).
     skipped: u64,
 }
 
-impl<'a> Iterator for TableScan<'a> {
-    type Item = &'a NfTuple;
+impl Iterator for TableScan {
+    type Item = TupleView<'static>;
 
-    fn next(&mut self) -> Option<&'a NfTuple> {
+    fn next(&mut self) -> Option<TupleView<'static>> {
         loop {
-            let slice = self.shards.get(self.shard)?;
-            if let Some(t) = slice.get(self.idx) {
-                self.idx += 1;
+            let (version, range) = self.parts.get(self.part)?;
+            let at = self.idx.max(range.start);
+            if at < range.end {
+                self.idx = at + 1;
                 self.yielded += 1;
-                return Some(t);
+                let store: Arc<dyn TupleStore> = version.clone();
+                return Some(TupleView::shared(store, at));
             }
-            self.shard += 1;
+            self.part += 1;
             self.idx = 0;
         }
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let remaining: usize = self.shards[self.shard.min(self.shards.len())..]
+        let remaining: usize = self
+            .parts
+            .get(self.part..)
+            .unwrap_or_default()
             .iter()
-            .map(|s| s.len())
-            .sum::<usize>()
-            .saturating_sub(self.idx);
+            .enumerate()
+            .map(|(n, (_, range))| {
+                if n == 0 {
+                    range.end.saturating_sub(self.idx.max(range.start))
+                } else {
+                    range.len()
+                }
+            })
+            .sum();
         (remaining, Some(remaining))
     }
 }
 
-impl Drop for TableScan<'_> {
+impl Drop for TableScan {
     fn drop(&mut self) {
-        let mut stats = self.stats.lock();
-        stats.lookups += 1;
-        stats.units_probed += self.yielded;
-        stats.segments_skipped += self.skipped;
+        self.stats.settle_scan(self.yielded, self.skipped);
     }
 }
 
@@ -1035,7 +1355,7 @@ pub struct FlatTable {
     heap: HeapFile,
     locations: HashMap<FlatTuple, RecordId>,
     indexes: HashMap<AttrId, HashIndex>,
-    stats: Mutex<TableStats>,
+    stats: SharedTableStats,
 }
 
 impl FlatTable {
@@ -1047,7 +1367,7 @@ impl FlatTable {
             heap: HeapFile::new(),
             locations: HashMap::new(),
             indexes: HashMap::new(),
-            stats: Mutex::new(TableStats::default()),
+            stats: SharedTableStats::default(),
         })
     }
 
@@ -1078,7 +1398,7 @@ impl FlatTable {
 
     /// Point-in-time stats.
     pub fn stats(&self) -> TableStats {
-        *self.stats.lock()
+        self.stats.snapshot()
     }
 
     /// Inserts a flat row. Returns `true` if new. Maintained indexes are
@@ -1100,7 +1420,7 @@ impl FlatTable {
             index.insert(row[attr], rid);
         }
         self.locations.insert(row, rid);
-        self.stats.lock().inserts += 1;
+        self.stats.inserts.fetch_add(1, Ordering::Relaxed);
         Ok(true)
     }
 
@@ -1113,7 +1433,7 @@ impl FlatTable {
                 for (&attr, index) in &mut self.indexes {
                     index.remove(row[attr], rid);
                 }
-                self.stats.lock().deletes += 1;
+                self.stats.deletes.fetch_add(1, Ordering::Relaxed);
                 Ok(true)
             }
             None => Ok(false),
@@ -1142,12 +1462,13 @@ impl FlatTable {
             .indexes
             .get(&attr)
             .ok_or_else(|| StorageError::InvalidRecord(format!("no index on attribute {attr}")))?;
-        let mut stats = self.stats.lock();
-        stats.lookups += 1;
+        self.stats.lookups.fetch_add(1, Ordering::Relaxed);
         let arity = self.schema.arity();
         let mut hits = Vec::new();
         if let Some(rids) = index.lookup(value) {
-            stats.units_probed += rids.len() as u64;
+            self.stats
+                .units_probed
+                .fetch_add(rids.len() as u64, Ordering::Relaxed);
             for &rid in rids {
                 let mut slice = self.heap.get(rid)?;
                 hits.push(decode_flat_tuple(&mut slice, arity)?);
@@ -1167,12 +1488,11 @@ impl FlatTable {
 
     /// Scan lookup: rows whose `attr` equals `value`. Probes every row.
     pub fn lookup_scan(&self, attr: AttrId, value: Atom) -> Vec<FlatTuple> {
-        let mut stats = self.stats.lock();
-        stats.lookups += 1;
+        self.stats.lookups.fetch_add(1, Ordering::Relaxed);
         let mut hits = Vec::new();
         let arity = self.schema.arity();
         for (_, rec) in self.heap.iter() {
-            stats.units_probed += 1;
+            self.stats.units_probed.fetch_add(1, Ordering::Relaxed);
             let mut slice = rec;
             if let Ok(row) = decode_flat_tuple(&mut slice, arity) {
                 if row[attr] == value {
@@ -1203,7 +1523,7 @@ mod tests {
 
     fn sample_table() -> NfTable {
         let dict = SharedDictionary::new();
-        let mut t =
+        let t =
             NfTable::create("sc", &["Student", "Course"], NestOrder::identity(2), dict).unwrap();
         for (s, c) in [("s1", "c1"), ("s2", "c1"), ("s1", "c2"), ("s3", "c3")] {
             assert!(t.insert_row(&[s, c]).unwrap());
@@ -1220,7 +1540,7 @@ mod tests {
 
     #[test]
     fn duplicate_insert_and_missing_delete_are_noops() {
-        let mut t = sample_table();
+        let t = sample_table();
         assert!(!t.insert_row(&["s1", "c1"]).unwrap());
         assert!(!t.delete_row(&["zz", "c9"]).unwrap());
         assert_eq!(t.flat_count(), 4);
@@ -1228,7 +1548,7 @@ mod tests {
 
     #[test]
     fn delete_updates_canonical_form() {
-        let mut t = sample_table();
+        let t = sample_table();
         assert!(t.delete_row(&["s1", "c1"]).unwrap());
         assert_eq!(t.flat_count(), 3);
         let row = t.row_from_strs(&["s1", "c1"]).unwrap();
@@ -1266,7 +1586,7 @@ mod tests {
 
     #[test]
     fn indexed_lookup_probes_less() {
-        let mut t = sample_table();
+        let t = sample_table();
         assert!(t.lookup_indexed(0, Atom(0)).is_err(), "index not built yet");
         t.build_index();
         let s1 = t.dict().lookup("s1").unwrap();
@@ -1280,7 +1600,7 @@ mod tests {
     #[test]
     fn checkpoint_and_open_round_trips() {
         let dir = temp_dir("ckpt");
-        let mut t = sample_table();
+        let t = sample_table();
         t.checkpoint(&dir).unwrap();
         let reopened = NfTable::open(&dir, "sc", SharedDictionary::new()).unwrap();
         assert_eq!(reopened.relation(), t.relation());
@@ -1293,7 +1613,7 @@ mod tests {
     #[test]
     fn wal_replay_recovers_unflushed_updates() {
         let dir = temp_dir("wal");
-        let mut t = sample_table();
+        let t = sample_table();
         t.checkpoint(&dir).unwrap();
         // Post-checkpoint updates, flushed to WAL only.
         t.insert_row(&["s4", "c1"]).unwrap();
@@ -1301,7 +1621,8 @@ mod tests {
         t.flush_wal(&dir).unwrap();
         // Meta must know the new dictionary entries — rewrite it the way
         // checkpoint would, without truncating the wal.
-        t.write_meta(&meta_path(&dir, "sc")).unwrap();
+        t.write_meta(&t.writer.lock(), &meta_path(&dir, "sc"))
+            .unwrap();
         let reopened = NfTable::open(&dir, "sc", SharedDictionary::new()).unwrap();
         assert_eq!(reopened.relation(), t.relation());
         assert_eq!(reopened.flat_count(), 4);
@@ -1310,7 +1631,7 @@ mod tests {
     #[test]
     fn open_rejects_corrupt_meta() {
         let dir = temp_dir("badmeta");
-        let mut t = sample_table();
+        let t = sample_table();
         t.checkpoint(&dir).unwrap();
         let meta = meta_path(&dir, "sc");
         let mut bytes = std::fs::read(&meta).unwrap();
@@ -1359,14 +1680,14 @@ mod tests {
 
     #[test]
     fn append_batch_is_atomic_on_arity_errors() {
-        let mut t = sample_table();
-        let before = t.relation().clone();
+        let t = sample_table();
+        let before = t.relation();
         let good = t.row_from_strs(&["s9", "c9"]).unwrap();
         let bad = vec![t.dict().intern("s9")]; // arity 1 against a 2-ary schema
         let ops = vec![Op::Insert(good.clone()), Op::Insert(bad)];
         assert!(t.append_batch(&ops).is_err());
         // Nothing was applied or logged: the valid prefix did not land.
-        assert_eq!(t.relation(), &before);
+        assert_eq!(t.relation(), before);
         assert!(!t.contains(&good));
         assert_eq!(t.stats().inserts, 4, "only the seed inserts counted");
     }
@@ -1374,7 +1695,7 @@ mod tests {
     #[test]
     fn append_batch_maintains_canonical_form_and_wal() {
         let dir = temp_dir("append");
-        let mut t = sample_table();
+        let t = sample_table();
         t.checkpoint(&dir).unwrap();
         let mk = |s: &str, c: &str, t: &NfTable| t.row_from_strs(&[s, c]).unwrap();
         // Small batch: incremental arm.
@@ -1392,10 +1713,11 @@ mod tests {
         assert_eq!(t.flat_count(), 17);
         // The maintained form stays canonical either way.
         let fresh = nf2_core::nest::canonical_of_flat(&t.relation().expand(), t.order());
-        assert_eq!(&fresh, t.relation());
+        assert_eq!(fresh, *t.relation());
         // WAL replay after reopen reproduces the same relation.
         t.flush_wal(&dir).unwrap();
-        t.write_meta(&meta_path(&dir, "sc")).unwrap();
+        t.write_meta(&t.writer.lock(), &meta_path(&dir, "sc"))
+            .unwrap();
         let reopened = NfTable::open(&dir, "sc", SharedDictionary::new()).unwrap();
         assert_eq!(reopened.relation(), t.relation());
     }
@@ -1411,7 +1733,7 @@ mod tests {
     /// shards are populated.
     fn sharded_table(shards: usize) -> NfTable {
         let dict = SharedDictionary::new();
-        let mut t = NfTable::create_sharded(
+        let t = NfTable::create_sharded(
             "sc",
             &["Student", "Course"],
             NestOrder::identity(2),
@@ -1439,7 +1761,7 @@ mod tests {
         // relation() must equal the canonical form of the same rows on a
         // single-shard table.
         let dict = SharedDictionary::new();
-        let mut plain =
+        let plain =
             NfTable::create("sc", &["Student", "Course"], NestOrder::identity(2), dict).unwrap();
         for (s, c) in [
             ("s1", "c1"),
@@ -1466,7 +1788,7 @@ mod tests {
 
     #[test]
     fn sharded_append_batch_and_deletes_stay_canonical() {
-        let mut t = sharded_table(3);
+        let t = sharded_table(3);
         let big: Vec<Op> = (0..12)
             .map(|i| {
                 Op::Insert(
@@ -1479,7 +1801,7 @@ mod tests {
         assert_eq!(summary.inserted, 12);
         assert!(t.delete_row(&["s1", "c1"]).unwrap());
         let fresh = nf2_core::nest::canonical_of_flat(&t.relation().expand(), t.order());
-        assert_eq!(&fresh, t.relation(), "merge cache tracks every mutation");
+        assert_eq!(fresh, *t.relation(), "merge cache tracks every mutation");
         t.sharded().verify().unwrap();
         // Per-shard cost breakdown sums to the total.
         let breakdown = t.maintenance_breakdown();
@@ -1551,29 +1873,40 @@ mod tests {
         // state, replayed in reverse against exactly the state they
         // invert). No-op mutations, by contrast, may keep the cache —
         // the canonical shards did not move.
-        let mut t = sharded_table(3);
-        let before = t.relation().clone(); // fill the cache
+        let t = sharded_table(3);
+        let before = t.relation(); // fill the cache
+        let epoch_before = t.epoch();
         t.insert_row(&["s9", "c9"]).unwrap();
+        assert_eq!(t.epoch(), epoch_before + 1, "state change bumps the epoch");
         let _ = t.relation(); // re-fill with the mutated state
         t.delete_row(&["s9", "c9"]).unwrap(); // compensate
-        assert_eq!(t.relation(), &before, "compensation restores the merge");
+        assert_eq!(t.relation(), before, "compensation restores the merge");
         let fresh = nf2_core::nest::canonical_of_flat(&t.relation().expand(), t.order());
-        assert_eq!(t.relation(), &fresh);
-        // No-op duplicate insert / missing delete: the cache stays
-        // exact (and need not be rebuilt — the state is unchanged).
+        assert_eq!(*t.relation(), fresh);
+        // No-op duplicate insert / missing delete: the epoch — and the
+        // warm cache at it — stay put (the state is unchanged), so the
+        // next read hands back the same Arc without re-merging.
+        let warm = t.relation();
+        let epoch = t.epoch();
         assert!(!t.insert_row(&["s1", "c1"]).unwrap());
         assert!(!t.delete_row(&["zz", "zz"]).unwrap());
-        assert_eq!(t.relation(), &before);
+        assert_eq!(t.epoch(), epoch, "no-ops do not bump the epoch");
+        assert!(
+            Arc::ptr_eq(&t.relation(), &warm),
+            "no-op mutations keep the merge cache warm"
+        );
+        assert_eq!(t.relation(), before);
     }
 
     #[test]
     fn sharded_checkpoint_restores_spec_and_state() {
         let dir = temp_dir("sharded_ckpt");
-        let mut t = sharded_table(3);
+        let t = sharded_table(3);
         t.checkpoint(&dir).unwrap();
         t.insert_row(&["s9", "c9"]).unwrap();
         t.flush_wal(&dir).unwrap();
-        t.write_meta(&meta_path(&dir, "sc")).unwrap();
+        t.write_meta(&t.writer.lock(), &meta_path(&dir, "sc"))
+            .unwrap();
         let reopened = NfTable::open(&dir, "sc", SharedDictionary::new()).unwrap();
         assert_eq!(reopened.shard_count(), 3, "spec survives the round trip");
         assert_eq!(reopened.shard_spec(), t.shard_spec());
@@ -1592,7 +1925,7 @@ mod tests {
             .iter()
             .map(|r| r.iter().map(String::as_str).collect())
             .collect();
-        let mut t = NfTable::bulk_load_strs_sharded(
+        let t = NfTable::bulk_load_strs_sharded(
             "t",
             &["A", "B"],
             refs,
@@ -1653,7 +1986,7 @@ mod tests {
 
     #[test]
     fn stale_segments_fall_back_to_full_scans() {
-        let mut t = segmented_table(1, 200);
+        let t = segmented_table(1, 200);
         let vals = ValueSet::new(vec![t.dict().lookup("a00003").unwrap()])
             .expect("looked-up atoms form a set");
         let zones = vec![(0usize, vals)];
@@ -1678,12 +2011,13 @@ mod tests {
     #[test]
     fn checkpoint_persists_and_validates_segment_meta() {
         let dir = temp_dir("seg_meta");
-        let mut t = segmented_table(2, 300);
+        let t = segmented_table(2, 300);
         t.checkpoint(&dir).unwrap();
         let reopened = NfTable::open(&dir, "t", SharedDictionary::new()).unwrap();
         assert_eq!(reopened.relation(), t.relation());
         for s in 0..2 {
-            let ss = reopened.sharded().shard_segments(s);
+            let reopened_canon = reopened.sharded();
+            let ss = reopened_canon.shard_segments(s);
             assert!(ss.is_fresh(), "reopen re-derives fresh segments");
             assert_eq!(
                 ss.segment_count(),

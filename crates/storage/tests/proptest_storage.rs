@@ -193,7 +193,7 @@ fn table_checkpoint_cycle_is_lossless() {
     std::fs::create_dir_all(&dir).unwrap();
 
     let dict = SharedDictionary::new();
-    let mut t = NfTable::create("p", &["A", "B", "C"], NestOrder::identity(3), dict).unwrap();
+    let t = NfTable::create("p", &["A", "B", "C"], NestOrder::identity(3), dict).unwrap();
     let mut state = 0x5eedu64;
     for _ in 0..150 {
         state = state.wrapping_mul(6364136223846793005).wrapping_add(1);

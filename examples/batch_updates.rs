@@ -71,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The same trade is visible through the DML: STATS exposes the
     // accumulated §4 costs.
-    let mut engine = nf2::query::Engine::new();
+    let engine = nf2::query::Engine::new();
     let mut session = engine.session();
     session.run("CREATE TABLE sc (Student, Course) NEST ORDER (Student, Course)")?;
     let mut insert = session.prepare("INSERT INTO sc VALUES (?, ?)")?;

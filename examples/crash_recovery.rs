@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Build a table and checkpoint it.
     let dict = SharedDictionary::new();
-    let mut table = NfTable::create(
+    let table = NfTable::create(
         "sc",
         &["Student", "Course", "Club"],
         NestOrder::identity(3),
@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let expected = table.relation().clone();
     drop(table);
     let recovered = NfTable::open(&dir, "sc", SharedDictionary::new())?;
-    assert_eq!(recovered.relation(), &expected);
+    assert_eq!(recovered.relation(), expected.clone());
     println!(
         "recovered after crash: {} rows / {} tuples — checkpoint + WAL replay \
          reproduced the canonical relation exactly",

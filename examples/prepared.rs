@@ -15,7 +15,7 @@ use nf2::query::{Engine, Output, Param};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The engine owns tables + dictionary; the builder configures
     //    persistence (none here: purely in-memory).
-    let mut engine = Engine::builder().build().unwrap();
+    let engine = Engine::builder().build().unwrap();
     let mut session = engine.session();
     session.run_script(
         "CREATE TABLE sc (Student, Course) NEST ORDER (Student, Course);

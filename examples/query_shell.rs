@@ -14,7 +14,7 @@ use std::io::{BufRead, Write};
 use nf2::query::Engine;
 
 fn main() {
-    let mut engine = Engine::builder().build().unwrap();
+    let engine = Engine::builder().build().unwrap();
     let mut db = engine.session();
     // Seed a demo table so SHOW works immediately.
     db.run_script(

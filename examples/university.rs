@@ -12,7 +12,7 @@
 use nf2::query::Engine;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut engine = Engine::builder().build().unwrap();
+    let engine = Engine::builder().build().unwrap();
     let mut db = engine.session();
 
     // Fig. 1 R1: every student takes c1, c2, c3; clubs per student.

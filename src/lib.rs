@@ -25,7 +25,7 @@
 //! ```
 //! use nf2::query::{Engine, Output};
 //!
-//! let mut engine = Engine::builder().build().unwrap();
+//! let engine = Engine::builder().build().unwrap();
 //! let mut session = engine.session();
 //! session.run_script(
 //!     "CREATE TABLE sc (Student, Course) NEST ORDER (Student, Course);
@@ -43,7 +43,7 @@
 //!
 //! // Streaming: cursors yield NF² tuples as the scan reaches them.
 //! let first = session.query("SELECT * FROM sc").unwrap().next().unwrap();
-//! assert!(first.is_borrowed(), "zero-copy straight out of storage");
+//! assert!(first.is_zero_copy(), "shared view of the pinned snapshot");
 //! ```
 //!
 //! The original [`Database`](query::Database) type (string in, rendered

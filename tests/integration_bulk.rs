@@ -34,7 +34,7 @@ fn four_engines_agree_on_the_final_relation() {
 
     // Engine 3: the storage table (per-op, WAL-logged).
     let dict = SharedDictionary::new();
-    let mut table = NfTable::from_flat("sc", &base.flat, order.clone(), dict).unwrap();
+    let table = NfTable::from_flat("sc", &base.flat, order.clone(), dict).unwrap();
     for op in &trace {
         match op {
             Op::Insert(row) => {
@@ -54,7 +54,7 @@ fn four_engines_agree_on_the_final_relation() {
     .unwrap();
 
     assert_eq!(incremental.relation(), auto.relation());
-    assert_eq!(incremental.relation(), table.relation());
+    assert_eq!(*incremental.relation(), *table.relation());
     assert_eq!(incremental.relation(), baseline.relation());
     incremental.verify().unwrap();
 
@@ -72,7 +72,7 @@ fn replayed_trace_survives_checkpoint_and_reopen() {
     std::fs::create_dir_all(&dir).unwrap();
 
     let dict = SharedDictionary::new();
-    let mut table = NfTable::from_flat("sc", &base.flat, order, dict).unwrap();
+    let table = NfTable::from_flat("sc", &base.flat, order, dict).unwrap();
     // Checkpoint mid-stream; the rest rides the WAL.
     let (first, second) = trace.split_at(trace.len() / 2);
     for op in first {
@@ -96,7 +96,7 @@ fn replayed_trace_survives_checkpoint_and_reopen() {
     // wrote the dictionary? No — fresh rows intern new ids. Reopen with a
     // fresh dictionary must still replay by atom id.
     let reopened = NfTable::open(&dir, "sc", SharedDictionary::new()).unwrap();
-    assert_eq!(reopened.relation(), &expected);
+    assert_eq!(reopened.relation(), expected.clone());
 }
 
 #[test]

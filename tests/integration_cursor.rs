@@ -18,7 +18,7 @@ use nf2::storage::NfTable;
 /// own window of 100 `B`-values, so canonicalization folds each group
 /// into one rectangle.
 fn big_engine() -> Engine {
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let rows: Vec<FlatTuple> = (0u32..1_000)
         .flat_map(|g| (0u32..100).map(move |i| vec![Atom(g), Atom(1_000_000 + g * 100 + i)]))
         .collect();
@@ -39,13 +39,13 @@ fn big_engine() -> Engine {
 
 #[test]
 fn first_tuple_of_full_table_select_costs_one_probe() {
-    let mut engine = big_engine();
+    let engine = big_engine();
     let session = engine.session();
     let before = session.engine().table("big").unwrap().stats();
 
     let mut cursor = session.query("SELECT * FROM big").unwrap();
     let first = cursor.next().expect("non-empty table");
-    assert!(first.is_borrowed(), "full scans yield zero-copy views");
+    assert!(first.is_zero_copy(), "full scans yield zero-copy views");
     assert_eq!(first.expansion_count(), 100, "one group's rectangle");
     drop(cursor); // settle the scan's probe counter
 
@@ -66,7 +66,7 @@ fn first_tuple_of_full_table_select_costs_one_probe() {
 
 #[test]
 fn flat_rows_adapter_is_lazy_too() {
-    let mut engine = big_engine();
+    let engine = big_engine();
     let session = engine.session();
     let before = session.engine().table("big").unwrap().stats();
     let rows: Vec<FlatTuple> = session
@@ -87,7 +87,7 @@ fn flat_rows_adapter_is_lazy_too() {
 
 #[test]
 fn limit_terminates_the_pipeline_early() {
-    let mut engine = big_engine();
+    let engine = big_engine();
     let mut session = engine.session();
 
     // LIMIT 3 over a 1000-tuple table: the pull pipeline must stop
@@ -149,7 +149,7 @@ fn limit_zero_probes_nothing_on_every_plan_shape_and_path() {
     // `take(0)` still paid the full scan on those plans. Construction is
     // now lazy end to end: 0 rows AND 0 probes, on every plan shape,
     // through every execution path.
-    let mut engine = big_engine();
+    let engine = big_engine();
     {
         let mut session = engine.session();
         session.run("CREATE TABLE side (A, C)").unwrap();
@@ -224,7 +224,7 @@ fn limit_zero_probes_nothing_on_every_plan_shape_and_path() {
 
 #[test]
 fn selective_cursor_streams_matches_and_counts() {
-    let mut engine = big_engine();
+    let engine = big_engine();
     // Intern the predicate literal: bulk-loaded atoms are raw ids, so
     // give A=7 a name the dictionary can resolve.
     assert_eq!(engine.dict().intern("g7"), Atom(0), "fresh dictionary");

@@ -28,11 +28,11 @@ fn build_table(rows: usize, seed: u64) -> NfTable {
 #[test]
 fn checkpoint_reopen_preserves_canonical_form() {
     let dir = temp_dir("ckpt");
-    let mut t = build_table(300, 5);
+    let t = build_table(300, 5);
     let before = t.relation().clone();
     t.checkpoint(&dir).unwrap();
     let reopened = NfTable::open(&dir, "facts", SharedDictionary::new()).unwrap();
-    assert_eq!(reopened.relation(), &before);
+    assert_eq!(reopened.relation(), before.clone());
     assert_eq!(reopened.flat_count(), 300);
 }
 
@@ -40,7 +40,7 @@ fn checkpoint_reopen_preserves_canonical_form() {
 fn wal_replay_after_simulated_crash() {
     let dir = temp_dir("crash");
     let dict = SharedDictionary::new();
-    let mut t = NfTable::create("facts", &["A", "B", "C"], NestOrder::identity(3), dict).unwrap();
+    let t = NfTable::create("facts", &["A", "B", "C"], NestOrder::identity(3), dict).unwrap();
     for i in 0..50u32 {
         t.insert_row(&[
             &format!("a{}", i % 7),
@@ -70,13 +70,13 @@ fn wal_replay_after_simulated_crash() {
     // identity is what matters for relation equality.
     let reopened = reopened.unwrap();
     assert_eq!(reopened.relation().expand().len(), expected.expand().len());
-    assert_eq!(reopened.relation(), &expected);
+    assert_eq!(reopened.relation(), expected.clone());
 }
 
 #[test]
 fn pages_corruption_is_refused_on_open() {
     let dir = temp_dir("corrupt");
-    let mut t = build_table(100, 6);
+    let t = build_table(100, 6);
     t.checkpoint(&dir).unwrap();
     let pages = dir.join("facts.pages");
     let mut bytes = std::fs::read(&pages).unwrap();
@@ -92,10 +92,10 @@ fn pages_corruption_is_refused_on_open() {
 #[test]
 fn reopen_then_update_then_reopen_again() {
     let dir = temp_dir("cycle");
-    let mut t = build_table(120, 8);
+    let t = build_table(120, 8);
     t.checkpoint(&dir).unwrap();
 
-    let mut t2 = NfTable::open(&dir, "facts", SharedDictionary::new()).unwrap();
+    let t2 = NfTable::open(&dir, "facts", SharedDictionary::new()).unwrap();
     // Mutate the reopened table and checkpoint again.
     t2.insert_row(&["zz", "zz", "zz"]).unwrap();
     t2.checkpoint(&dir).unwrap();
@@ -114,7 +114,7 @@ fn reopen_then_update_then_reopen_again() {
 #[test]
 fn lookup_probe_accounting_survives_reopen() {
     let dir = temp_dir("probes");
-    let mut t = build_table(200, 9);
+    let t = build_table(200, 9);
     t.checkpoint(&dir).unwrap();
     let reopened = NfTable::open(&dir, "facts", SharedDictionary::new()).unwrap();
     let some_atom = reopened.relation().tuples()[0]

@@ -11,7 +11,7 @@ use std::collections::BTreeSet;
 use nf2::prelude::*;
 
 fn seeded_engine() -> Engine {
-    let mut engine = Engine::builder().build().unwrap();
+    let engine = Engine::builder().build().unwrap();
     engine
         .session()
         .run_script(
@@ -81,7 +81,7 @@ fn result_rows(engine: &Engine, out: &Output) -> BTreeSet<Vec<String>> {
 
 #[test]
 fn three_way_join_with_pushdown_matches_oracle() {
-    let mut engine = seeded_engine();
+    let engine = seeded_engine();
     let out = engine
         .session()
         .run("SELECT Student, Dept FROM enroll JOIN teach JOIN dept WHERE Prof = 'p1' AND Term = 't1'")
@@ -93,7 +93,7 @@ fn three_way_join_with_pushdown_matches_oracle() {
 
 #[test]
 fn in_list_over_join_matches_oracle_prepared_and_streamed() {
-    let mut engine = seeded_engine();
+    let engine = seeded_engine();
     let want = oracle(&engine, |s, _, _, _, _| s == "s1" || s == "s4");
     let mut session = engine.session();
     // One-shot, prepared, and cursor paths must agree with the oracle.
@@ -117,7 +117,7 @@ fn in_list_over_join_matches_oracle_prepared_and_streamed() {
 
 #[test]
 fn explain_optimized_plan_is_faithful() {
-    let mut engine = seeded_engine();
+    let engine = seeded_engine();
     let mut session = engine.session();
     let text = session
         .run("EXPLAIN OPTIMIZED SELECT Student FROM enroll JOIN teach WHERE Prof = 'p2'")
@@ -152,7 +152,7 @@ fn explain_optimized_plan_is_faithful() {
 
 #[test]
 fn aggregates_after_optimization() {
-    let mut engine = seeded_engine();
+    let engine = seeded_engine();
     let mut session = engine.session();
     match session
         .run("SELECT COUNT(*) FROM enroll JOIN teach WHERE Prof = 'p1'")
@@ -178,7 +178,7 @@ fn aggregates_after_optimization() {
 
 #[test]
 fn mutations_then_queries_stay_consistent() {
-    let mut engine = seeded_engine();
+    let engine = seeded_engine();
     let mut session = engine.session();
     session
         .run("DELETE FROM enroll WHERE Course = 'c1'")
@@ -196,5 +196,5 @@ fn mutations_then_queries_stay_consistent() {
     // The stored tables remain canonical for their orders after the DML.
     let t = engine.table("enroll").unwrap();
     let fresh = nf2::core::nest::canonical_of_flat(&t.relation().expand(), t.order());
-    assert_eq!(t.relation(), &fresh);
+    assert_eq!(*t.relation(), fresh);
 }

@@ -21,7 +21,7 @@ use nf2::query::{Engine, Output};
 fn ordered_engine(groups: usize, width: usize) -> Engine {
     use nf2::core::schema::NestOrder;
     use nf2::storage::NfTable;
-    let mut engine = Engine::builder().build().unwrap();
+    let engine = Engine::builder().build().unwrap();
     // Per-group-unique B values: canonicalization folds each group into
     // exactly one tuple (g, {its own w's}) instead of merging groups.
     let mut rows = Vec::new();
@@ -49,7 +49,7 @@ fn ordered_engine(groups: usize, width: usize) -> Engine {
 
 #[test]
 fn top_k_pulls_the_scan_exactly_once() {
-    let mut engine = ordered_engine(1_000, 5);
+    let engine = ordered_engine(1_000, 5);
     let session = engine.session();
 
     // ORDER BY A LIMIT 3 over 10³ tuples: the top-k heap must consume
@@ -109,7 +109,7 @@ fn order_by_is_deterministic_across_shard_layouts() {
     // Unique keys ⇒ the ordered stream is identical whatever the
     // physical shard layout underneath.
     let collect = |shards: usize| -> Vec<Vec<String>> {
-        let mut engine = Engine::builder().shards(shards).build().unwrap();
+        let engine = Engine::builder().shards(shards).build().unwrap();
         let mut session = engine.session();
         session.run("CREATE TABLE t (A, B)").unwrap();
         // Unique A and B per row: every row is its own canonical tuple
@@ -142,7 +142,7 @@ fn order_by_is_deterministic_across_shard_layouts() {
 
 /// A 4-shard engine whose outer (routing) attribute B spans 20 values.
 fn sharded_engine() -> Engine {
-    let mut engine = Engine::builder().shards(4).build().unwrap();
+    let engine = Engine::builder().shards(4).build().unwrap();
     let mut session = engine.session();
     session.run("CREATE TABLE t (A, B)").unwrap();
     // 400 distinct rows (A unique per row), 20 per B value — the
@@ -158,7 +158,7 @@ fn sharded_engine() -> Engine {
 
 #[test]
 fn outer_attribute_equality_scans_exactly_one_shard() {
-    let mut engine = sharded_engine();
+    let engine = sharded_engine();
     let session = engine.session();
     let table = session.engine().table("t").unwrap();
     assert_eq!(table.shard_count(), 4);
@@ -240,7 +240,7 @@ fn pruned_scans_equal_unpruned_scans() {
     // outer-attribute query with the same flat rows — pruning may skip
     // work, never answers.
     let run = |shards: usize, sql: &str| -> Vec<Vec<u32>> {
-        let mut engine = Engine::builder().shards(shards).build().unwrap();
+        let engine = Engine::builder().shards(shards).build().unwrap();
         let mut session = engine.session();
         session.run("CREATE TABLE t (A, B)").unwrap();
         let rows: Vec<String> = (0..200)
@@ -283,7 +283,7 @@ fn pruned_scans_equal_unpruned_scans() {
 
 #[test]
 fn prepared_statements_prune_per_binding() {
-    let mut engine = sharded_engine();
+    let engine = sharded_engine();
     let session = engine.session();
     let mut stmt = session
         .prepare("SELECT COUNT(*) FROM t WHERE B = ?")
@@ -313,7 +313,7 @@ fn prepared_statements_prune_per_binding() {
 
 #[test]
 fn join_pushdown_prunes_the_owning_side() {
-    let mut engine = Engine::builder().shards(4).build().unwrap();
+    let engine = Engine::builder().shards(4).build().unwrap();
     let mut session = engine.session();
     session.run("CREATE TABLE sc (Student, Course)").unwrap();
     // 240 distinct rows: student s{i} takes course c{i % 12}.

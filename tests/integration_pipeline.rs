@@ -89,7 +89,7 @@ fn union_against_flat_oracle() {
 fn query_engine_matches_direct_core_updates() {
     // The same operation stream through (a) the DML engine and (b) direct
     // core maintenance must give identical relations.
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let mut db = engine.session();
     db.run("CREATE TABLE t (A, B) NEST ORDER (A, B)").unwrap();
 
@@ -115,12 +115,15 @@ fn query_engine_matches_direct_core_updates() {
     let y1 = db.engine().dict().lookup("y1").unwrap();
     canon.delete(&[x1, y1]).unwrap();
 
-    assert_eq!(db.engine().table("t").unwrap().relation(), canon.relation());
+    assert_eq!(
+        *db.engine().table("t").unwrap().relation(),
+        *canon.relation()
+    );
 }
 
 #[test]
 fn select_statement_matches_algebra_directly() {
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let mut db = engine.session();
     db.run_script(
         "CREATE TABLE sc (Student, Course);
@@ -137,7 +140,7 @@ fn select_statement_matches_algebra_directly() {
     let c1 = db.engine().dict().lookup("c1").unwrap();
     let direct = project(
         &select_box(
-            db.engine().table("sc").unwrap().relation(),
+            &db.engine().table("sc").unwrap().relation(),
             &[(1, ValueSet::singleton(c1))],
         )
         .unwrap(),

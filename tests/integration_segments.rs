@@ -26,7 +26,7 @@ use nf2::storage::NfTable;
 /// (the merge path's dynamic precondition), then bulk-loaded through
 /// the kernel rebuild path (which emits the segments).
 fn segmented_engine(groups: usize, width: usize, shards: usize) -> Engine {
-    let mut engine = Engine::builder().shards(shards).build().unwrap();
+    let engine = Engine::builder().shards(shards).build().unwrap();
     let rows: Vec<[String; 2]> = (0..groups)
         .flat_map(|g| {
             (0..width).map(move |j| [format!("a{:05}", g * width + j), format!("b{g:04}")])
@@ -142,8 +142,8 @@ fn zone_maps_skip_segments_on_a_non_routing_equality() {
     // the canonical (B, A) sort gives each segment a tight A-range and
     // an A-equality — which cannot shard-prune, A does not route — can
     // skip every segment whose zone excludes the value.
-    let mut engine = segmented_engine(512, 2, 4);
-    engine.table_mut("t").unwrap().set_segment_rows(16);
+    let engine = segmented_engine(512, 2, 4);
+    engine.table("t").unwrap().set_segment_rows(16);
     let t = engine.table("t").unwrap();
     let total_segments: usize = (0..t.shard_count())
         .map(|s| t.sharded().shard_segments(s).segment_count())
@@ -197,8 +197,8 @@ fn zone_maps_skip_segments_on_a_non_routing_equality() {
 
 #[test]
 fn explain_reports_merge_pruning_and_skip_counts() {
-    let mut engine = segmented_engine(256, 2, 4);
-    engine.table_mut("t").unwrap().set_segment_rows(8);
+    let engine = segmented_engine(256, 2, 4);
+    engine.table("t").unwrap().set_segment_rows(8);
     let session = engine.session();
 
     // The merge-eligible shape names its operator and limit.

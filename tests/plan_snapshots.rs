@@ -22,7 +22,7 @@ use nf2_query::exec::Output;
 
 fn fixture_engine() -> Engine {
     // Explicit shard count: golden files must not depend on NF2_SHARDS.
-    let mut engine = Engine::builder().shards(4).build().unwrap();
+    let engine = Engine::builder().shards(4).build().unwrap();
     engine
         .session()
         .run_script(

@@ -117,7 +117,7 @@ proptest! {
         )
         .unwrap();
         let oracle = canonical_of_flat(&flat, &NestOrder::identity(2));
-        prop_assert_eq!(db.table("t").unwrap().relation(), &oracle);
+        prop_assert_eq!(*db.table("t").unwrap().relation(), oracle);
     }
 
     /// Transactions: any mutation stream inside BEGIN … ROLLBACK leaves
@@ -160,7 +160,7 @@ proptest! {
             db.run(&stmt).unwrap();
         }
         db.run("ROLLBACK").unwrap();
-        prop_assert_eq!(db.table("t").unwrap().relation(), &before);
+        prop_assert_eq!(db.table("t").unwrap().relation(), before.clone());
 
         // Commit: same final state as autocommit.
         let mut committed = Database::new();
@@ -197,6 +197,6 @@ proptest! {
         let _ = db.run(&format!("INSERT INTO t VALUES ({junk})"));
         let _ = db.run(&junk);
         let _ = db.run("DELETE FROM missing WHERE A='a0'");
-        prop_assert_eq!(db.table("t").unwrap().relation(), &before);
+        prop_assert_eq!(db.table("t").unwrap().relation(), before.clone());
     }
 }

@@ -19,6 +19,15 @@
 //!    statistics counters (`TopKStats`) are plain tallies, not
 //!    synchronization points: every atomic memory ordering in
 //!    `stream.rs` must be `Relaxed`.
+//! 6. **No `static mut`** — mutable globals are undefined-behavior bait
+//!    and invisible to the MVCC protocol; shared state goes through the
+//!    engine's interior-mutability types.
+//! 7. **Ordering containment** — `nf2-core::mvcc` is the one module
+//!    whose correctness may hang on non-`Relaxed` atomic orderings
+//!    (its docs say so). Everywhere else, counters are tallies: any
+//!    `SeqCst`/`AcqRel`/`Acquire`/`Release` outside `mvcc.rs` is a
+//!    finding — synchronization belongs behind the version cell, not
+//!    sprinkled through the codebase.
 //!
 //! The checks are purely lexical (comments, string literals, and
 //! `#[cfg(test)]` items are blanked before matching) so the tool runs
@@ -251,6 +260,37 @@ fn check_file(rel: &str, path: &Path, raw: &str, code: &str, findings: &mut Vec<
                 }
             }
         }
+
+        // Rule 6: no mutable globals, anywhere.
+        if line.contains("static mut ") {
+            push(
+                findings,
+                lineno,
+                "no-static-mut",
+                "static mut is UB-bait and invisible to the MVCC protocol; \
+                 use the engine's interior-mutability types"
+                    .into(),
+            );
+        }
+
+        // Rule 7: non-Relaxed orderings live in nf2-core::mvcc only
+        // (stream.rs already has the more specific rule 5 above).
+        if rel != "crates/core/src/mvcc.rs" && rel != "crates/algebra/src/stream.rs" {
+            for ord in NON_RELAXED_ORDERINGS {
+                if line.contains(ord) {
+                    push(
+                        findings,
+                        lineno,
+                        "ordering-containment",
+                        format!(
+                            "atomic ordering {ord} outside nf2-core::mvcc: \
+                             counters are Relaxed tallies; cross-thread \
+                             synchronization belongs in the version cell"
+                        ),
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -449,6 +489,35 @@ mod tests {
         let findings = lint(&dir);
         let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
         assert_eq!(rules, vec!["no-unwrap", "expect-invariant"]);
+        assert_eq!(findings[0].line, 1);
+        assert_eq!(findings[1].line, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lint_flags_static_mut_and_stray_orderings() {
+        let dir = std::env::temp_dir().join(format!("xtask-lint-conc-{}", std::process::id()));
+        let src_dir = dir.join("crates/storage/src");
+        std::fs::create_dir_all(&src_dir).unwrap();
+        std::fs::write(
+            src_dir.join("bad.rs"),
+            "static mut COUNTER: u64 = 0;\n\
+             fn f(a: &std::sync::atomic::AtomicU64) { a.load(std::sync::atomic::Ordering::Acquire); }\n\
+             // SeqCst in a comment is fine\n\
+             fn g(a: &std::sync::atomic::AtomicU64) { a.load(std::sync::atomic::Ordering::Relaxed); }\n",
+        )
+        .unwrap();
+        // The same tokens inside nf2-core::mvcc are the sanctioned home.
+        let mvcc_dir = dir.join("crates/core/src");
+        std::fs::create_dir_all(&mvcc_dir).unwrap();
+        std::fs::write(
+            mvcc_dir.join("mvcc.rs"),
+            "fn h(a: &std::sync::atomic::AtomicU64) { a.load(std::sync::atomic::Ordering::Acquire); }\n",
+        )
+        .unwrap();
+        let findings = lint(&dir);
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["no-static-mut", "ordering-containment"]);
         assert_eq!(findings[0].line, 1);
         assert_eq!(findings[1].line, 2);
         std::fs::remove_dir_all(&dir).unwrap();
