@@ -36,10 +36,10 @@ pub use ops::{
     unnest,
 };
 pub use optimize::{
-    estimate, optimize, try_optimize, verify_enabled, CostEstimate, Optimized, RewriteMode,
-    SchemaCatalog,
+    estimate, optimize, optimize_observed, try_optimize, verify_enabled, CostEstimate, Optimized,
+    RewriteMode, SchemaCatalog,
 };
 pub use stream::{
-    eval_stream, lazy_iter, AtomCmp, JoinLayout, RelStream, SortDir, StreamEnv, StreamSource,
-    TopKStats, TupleIter, TupleOrder,
+    eval_stream, lazy_iter, AtomCmp, JoinLayout, OpTally, RelStream, SortDir, StreamEnv,
+    StreamSource, TopKStats, TupleIter, TupleOrder,
 };

@@ -169,7 +169,22 @@ pub fn verify_enabled() -> bool {
 /// the rule set and panics with the offending rule and subtree. Use
 /// [`try_optimize`] for a non-panicking, always-gated variant.
 pub fn optimize(expr: &Expr, catalog: &SchemaCatalog, mode: RewriteMode) -> Optimized {
-    match optimize_gated(expr, catalog, mode, verify_enabled()) {
+    optimize_observed(expr, catalog, mode, &mut |_, _, _| {})
+}
+
+/// [`optimize`], reporting each applied rule to `on_rule` as
+/// `(rule, before, after)` immediately after it passes the soundness
+/// gate. The callback sees whole-tree expressions, so an observer can
+/// cost both sides (this crate stays free of any metrics dependency —
+/// callers bring their own cost model and sink). The rule also still
+/// lands in [`Optimized::trace`]; the callback is purely additive.
+pub fn optimize_observed(
+    expr: &Expr,
+    catalog: &SchemaCatalog,
+    mode: RewriteMode,
+    on_rule: &mut dyn FnMut(&'static str, &Expr, &Expr),
+) -> Optimized {
+    match optimize_gated(expr, catalog, mode, verify_enabled(), on_rule) {
         Ok(opt) => opt,
         Err(v) => panic!("optimizer rewrite-soundness gate: {v}"),
     }
@@ -182,7 +197,7 @@ pub fn try_optimize(
     catalog: &SchemaCatalog,
     mode: RewriteMode,
 ) -> std::result::Result<Optimized, RewriteViolation> {
-    optimize_gated(expr, catalog, mode, true)
+    optimize_gated(expr, catalog, mode, true, &mut |_, _, _| {})
 }
 
 fn optimize_gated(
@@ -190,6 +205,7 @@ fn optimize_gated(
     catalog: &SchemaCatalog,
     mode: RewriteMode,
     verify: bool,
+    on_rule: &mut dyn FnMut(&'static str, &Expr, &Expr),
 ) -> std::result::Result<Optimized, RewriteViolation> {
     let check_catalog = verify.then(|| CheckCatalog::from_schema_catalog(catalog));
     let mut current = expr.clone();
@@ -200,6 +216,7 @@ fn optimize_gated(
                 if let Some(cat) = &check_catalog {
                     check::check_rewrite(rule, &current, &next, cat, mode)?;
                 }
+                on_rule(rule, &current, &next);
                 trace.push(Applied {
                     rule,
                     result: next.to_string(),
@@ -737,6 +754,32 @@ mod tests {
         }
         assert_eq!(opt.trace[0].rule, "merge-selects");
         assert_structural_equiv(&expr);
+    }
+
+    #[test]
+    fn observer_sees_every_traced_rule_with_matching_after_tree() {
+        let expr = sel(sel(Expr::rel("sc"), "Student", &[1]), "Course", &[10]);
+        let catalog = SchemaCatalog::from_env(&env());
+        let mut seen: Vec<(&'static str, String, String)> = Vec::new();
+        let opt = optimize_observed(
+            &expr,
+            &catalog,
+            RewriteMode::Structural,
+            &mut |rule, before, after| {
+                seen.push((rule, before.to_string(), after.to_string()));
+            },
+        );
+        assert!(
+            !opt.trace.is_empty(),
+            "fixture must trigger at least one rule"
+        );
+        assert_eq!(seen.len(), opt.trace.len());
+        for (observed, traced) in seen.iter().zip(&opt.trace) {
+            assert_eq!(observed.0, traced.rule);
+            assert_eq!(observed.2, traced.result, "after-tree must match trace");
+        }
+        // The first callback's `before` is the input expression itself.
+        assert_eq!(seen[0].1, expr.to_string());
     }
 
     #[test]

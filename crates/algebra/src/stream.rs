@@ -198,6 +198,44 @@ pub struct TopKStats {
     pub peak_retained: AtomicUsize,
 }
 
+/// Per-operator actuals for `EXPLAIN ANALYZE`: tuples yielded and
+/// inclusive wall time (nanoseconds, measured by the caller — this
+/// crate never touches a clock). One tally may be shared by several
+/// pipelines (a sharded scan's per-shard streams all feed the same
+/// plan node), so both fields are cumulative across clones of the
+/// owning `Arc`. All accesses are `Relaxed`: tallies are read only
+/// after the cursor is fully drained on the draining thread.
+#[derive(Debug, Default)]
+pub struct OpTally {
+    rows: std::sync::atomic::AtomicU64,
+    nanos: std::sync::atomic::AtomicU64,
+}
+
+impl OpTally {
+    /// Records one tuple yielded by the operator.
+    #[inline]
+    pub fn add_row(&self) {
+        self.rows.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Adds inclusive operator time in nanoseconds.
+    #[inline]
+    pub fn add_nanos(&self, n: u64) {
+        self.nanos
+            .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Total tuples yielded so far.
+    pub fn rows(&self) -> u64 {
+        self.rows.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Total inclusive nanoseconds so far.
+    pub fn nanos(&self) -> u64 {
+        self.nanos.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 /// A streamed relation: the schema plus a lazily-evaluated tuple pipeline.
 pub struct RelStream<'a> {
     schema: Arc<Schema>,

@@ -2493,6 +2493,187 @@ pub fn e21_mvcc_snapshot_readers() -> Report {
     report
 }
 
+/// E22 — observability overhead and `EXPLAIN ANALYZE` exactness.
+///
+/// Phase A re-runs the E17 acceptance loop (prepared COUNT point
+/// lookup) with the metrics pipeline in both states — enabled (the
+/// default: statement latency histograms recorded, subscriber absent)
+/// and killed via `Obs::set_metrics_enabled(false)` — interleaved,
+/// best-of-rounds, and asserts the enabled/disabled ratio stays ≤ 1.05.
+/// Phase B runs `EXPLAIN ANALYZE` on the fetch statement and asserts
+/// its actuals are *exact*: the summary row count equals an independent
+/// cursor drain of the same statement, and each scan's `actual rows`
+/// equals that table's `units_probed` delta read from one
+/// [`nf2_storage::table::TableStats`] snapshot pair around the run (never re-loaded fields
+/// — see the tearing note on the type).
+///
+/// `NF2_E22_ITERS` overrides the per-round call count (default 2000).
+pub fn e22_obs_overhead() -> Report {
+    let iters = std::env::var("NF2_E22_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000usize);
+    e22_with(iters)
+}
+
+/// [`e22_obs_overhead`] at an explicit per-round call count (tests and
+/// the CI smoke leg run it small).
+pub fn e22_with(iters: usize) -> Report {
+    use nf2_query::{Engine, Output};
+
+    let iters = iters.max(200);
+    let mut report = Report::new(
+        "E22",
+        "Observability: metrics on/off overhead on the E17 hot loop, EXPLAIN ANALYZE exactness",
+        &["arm", "calls", "best round ms", "us/call", "on/off ratio"],
+    );
+
+    // The E17 serving-shaped instance: 64 students x 3 courses from a
+    // 16-course pool, each course taught by one of four profs.
+    let engine = Engine::new();
+    {
+        let mut session = engine.session();
+        session
+            .run("CREATE TABLE sc (Student, Course) NEST ORDER (Student, Course)")
+            .unwrap();
+        session.run("CREATE TABLE cp (Course, Prof)").unwrap();
+        for s in 0..64u32 {
+            for c in 0..3u32 {
+                session
+                    .run(&format!(
+                        "INSERT INTO sc VALUES ('s{s}', 'c{}')",
+                        (s + c) % 16
+                    ))
+                    .unwrap();
+            }
+        }
+        for c in 0..16u32 {
+            session
+                .run(&format!("INSERT INTO cp VALUES ('c{c}', 'p{}')", c % 4))
+                .unwrap();
+        }
+    }
+    let session = &mut engine.session();
+    let count_prepared =
+        "SELECT COUNT(*) FROM sc JOIN cp WHERE Student = ? AND Prof IN ('p0', 'p1')";
+    let mut stmt = session.prepare(count_prepared).unwrap();
+    let student_of = |i: usize| format!("s{}", i as u32 % 64);
+
+    // Phase A: interleaved best-of-rounds, metrics on vs off. The
+    // subscriber stays absent in both arms (the production default);
+    // the off arm additionally throws the registry kill switch, so the
+    // delta is exactly the per-statement clock + histogram record.
+    let mut round = |on: bool| -> f64 {
+        engine.obs().set_metrics_enabled(on);
+        let start = Instant::now();
+        for i in 0..iters {
+            let s = student_of(i);
+            let out = stmt.execute(session, &[s.as_str()]).unwrap();
+            assert!(matches!(out, Output::Count(_)));
+        }
+        start.elapsed().as_secs_f64() * 1e3
+    };
+    // Warm both paths before timing anything.
+    round(true);
+    round(false);
+    const ROUNDS: usize = 5;
+    // Best-of-rounds interleaving cancels drift; shared runners still
+    // wobble, so the 5% bar gets three attempts before it's binding.
+    let (mut on_best, mut off_best, mut ratio) = (0.0, 0.0, f64::INFINITY);
+    for attempt in 0..3 {
+        (on_best, off_best) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..ROUNDS {
+            on_best = on_best.min(round(true));
+            off_best = off_best.min(round(false));
+        }
+        ratio = on_best / off_best.max(1e-9);
+        if ratio <= 1.05 {
+            break;
+        }
+        eprintln!("e22 attempt {attempt}: on/off {ratio:.3}x — retrying");
+    }
+    engine.obs().set_metrics_enabled(true);
+    assert!(
+        ratio <= 1.05,
+        "metrics-enabled hot loop must stay within 5% of the kill-switch arm: \
+         on {on_best:.2}ms vs off {off_best:.2}ms ({ratio:.3}x)"
+    );
+    for (arm, ms) in [("metrics enabled", on_best), ("metrics killed", off_best)] {
+        report.push_row(vec![
+            arm.into(),
+            iters.to_string(),
+            format!("{ms:.2}"),
+            format!("{:.2}", ms * 1e3 / iters as f64),
+            format!("{ratio:.3}x"),
+        ]);
+    }
+
+    // Phase B: ANALYZE exactness. One stats snapshot per table before
+    // and after (whole-snapshot deltas — the counters tear field-wise).
+    let analyze_sql = "EXPLAIN ANALYZE SELECT Student FROM sc JOIN cp WHERE Prof = 'p0'";
+    let drain_sql = "SELECT Student FROM sc JOIN cp WHERE Prof = 'p0'";
+    let mut drain_stmt = session.prepare(drain_sql).unwrap();
+    let expected_rows = drain_stmt.query(session, &[] as &[&str]).unwrap().count() as u64;
+    let before_sc = engine.table("sc").unwrap().stats();
+    let before_cp = engine.table("cp").unwrap().stats();
+    let out = session.run(analyze_sql).unwrap();
+    let after_sc = engine.table("sc").unwrap().stats();
+    let after_cp = engine.table("cp").unwrap().stats();
+    let text = out.to_text();
+    let actual_of = |needle: &str| -> u64 {
+        text.lines()
+            .find(|l| l.contains(needle))
+            .and_then(|l| l.split("actual rows=").nth(1))
+            .and_then(|r| r.split_whitespace().next())
+            .and_then(|n| n.parse().ok())
+            .unwrap_or_else(|| panic!("no `{needle}` actuals in:\n{text}"))
+    };
+    let summary_rows: u64 = text
+        .lines()
+        .find(|l| l.starts_with("analyze: "))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("no analyze summary in:\n{text}"));
+    assert_eq!(
+        summary_rows, expected_rows,
+        "ANALYZE result count must equal an independent cursor drain"
+    );
+    let sc_scanned = actual_of("scan[sc");
+    let cp_scanned = actual_of("scan[cp");
+    assert_eq!(
+        sc_scanned,
+        after_sc.units_probed - before_sc.units_probed,
+        "sc scan actuals must equal the one-snapshot units_probed delta"
+    );
+    assert_eq!(
+        cp_scanned,
+        after_cp.units_probed - before_cp.units_probed,
+        "cp scan actuals must equal the one-snapshot units_probed delta"
+    );
+    report.push_row(vec![
+        "EXPLAIN ANALYZE exactness".into(),
+        "1 statement".into(),
+        "-".into(),
+        format!("{summary_rows} rows out"),
+        format!("scan actuals sc={sc_scanned} cp={cp_scanned} == probe deltas"),
+    ]);
+
+    report.note(format!(
+        "Phase A interleaves {ROUNDS} best-of rounds of the E17 prepared COUNT lookup \
+         ({iters} calls/round) with the metrics registry enabled vs killed \
+         (subscriber absent in both — the silent default); enabled/killed = {ratio:.3}x, \
+         asserted ≤ 1.05x. The per-statement cost when enabled is one monotonic clock \
+         read plus one log₂-bucket histogram record (3 relaxed atomic adds). Phase B \
+         asserts EXPLAIN ANALYZE actuals exactly: {summary_rows} result rows equal the \
+         cursor drain, and per-scan actual rows ({sc_scanned} sc, {cp_scanned} cp) \
+         equal whole-snapshot units_probed deltas. Engine metrics export:\n{}",
+        engine.metrics().to_text(),
+    ));
+    // The machine-readable form rides the BENCH json too.
+    report.note(format!("metrics.json: {}", engine.metrics().to_json()));
+    report
+}
+
 /// An experiment registry entry: id plus the function reproducing it.
 type Experiment = (&'static str, fn() -> Report);
 
@@ -2520,6 +2701,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("E19", e19_topk_pruning),
     ("E20", e20_topk_merge_zones),
     ("E21", e21_mvcc_snapshot_readers),
+    ("E22", e22_obs_overhead),
 ];
 
 /// All experiment ids, in run order.
@@ -2879,6 +3061,28 @@ mod tests {
         let (sk, tot) = zoned[5].split_once('/').expect("skip ratio");
         let (sk, tot): (usize, usize) = (sk.parse().unwrap(), tot.parse().unwrap());
         assert!(sk * 2 >= tot, "{sk}/{tot} segments skipped");
+    }
+
+    #[test]
+    fn e22_analyze_is_exact_and_metrics_export_lands() {
+        // The wall-clock 5% bar runs in release (`repro` / the CI smoke
+        // leg); a debug test run would measure assertion overhead, and
+        // e22_with asserts the exactness invariants (ANALYZE == drain ==
+        // probe deltas) at any scale, which is what this pins.
+        let r = e22_with(200);
+        assert_eq!(r.id, "E22");
+        let exact = r
+            .rows
+            .iter()
+            .find(|row| row[0] == "EXPLAIN ANALYZE exactness")
+            .expect("exactness row present");
+        assert!(exact[4].contains("== probe deltas"), "{exact:?}");
+        let note = r.notes.join("\n");
+        assert!(
+            note.contains("stmt.select.us"),
+            "metrics export rides the note: {note}"
+        );
+        assert!(note.contains("table.sc.units_probed"), "{note}");
     }
 
     #[test]

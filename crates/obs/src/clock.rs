@@ -1,0 +1,80 @@
+//! Monotonic timing, confined here.
+//!
+//! This module is the **only** place outside the bench crate allowed to
+//! touch `std::time::Instant` (`cargo xtask lint` enforces the
+//! containment lexically). Everything else in the workspace measures
+//! time through [`Stopwatch`], so timing policy — what clock, what
+//! resolution, what happens on non-monotonic hosts — lives in exactly
+//! one file.
+
+use std::time::Instant;
+
+/// A started monotonic stopwatch. Reading it never mutates, so one
+/// stopwatch can be sampled repeatedly (each read is the elapsed time
+/// since [`Stopwatch::start`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[inline]
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Elapsed nanoseconds since start (saturating at `u64::MAX`,
+    /// ~584 years).
+    #[inline]
+    pub fn elapsed_nanos(&self) -> u64 {
+        let n = self.0.elapsed().as_nanos();
+        u64::try_from(n).unwrap_or(u64::MAX)
+    }
+
+    /// Elapsed microseconds since start.
+    #[inline]
+    pub fn elapsed_us(&self) -> u64 {
+        self.elapsed_nanos() / 1_000
+    }
+
+    /// Elapsed milliseconds since start, fractional.
+    #[inline]
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed_nanos() as f64 / 1e6
+    }
+}
+
+/// Renders a nanosecond duration human-readably (`412ns`, `3.1us`,
+/// `2.45ms`, `1.203s`) — the format EXPLAIN ANALYZE annotations use.
+pub fn format_nanos(nanos: u64) -> String {
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3}s", nanos as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_is_monotonic_and_samples_repeatedly() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_nanos();
+        let b = sw.elapsed_nanos();
+        assert!(b >= a, "second sample must not go backwards");
+        assert!(sw.elapsed_us() <= sw.elapsed_nanos());
+    }
+
+    #[test]
+    fn format_nanos_picks_the_right_unit() {
+        assert_eq!(format_nanos(412), "412ns");
+        assert_eq!(format_nanos(3_100), "3.1us");
+        assert_eq!(format_nanos(2_450_000), "2.45ms");
+        assert_eq!(format_nanos(1_203_000_000), "1.203s");
+    }
+}

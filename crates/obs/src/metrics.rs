@@ -1,0 +1,449 @@
+//! A process-wide registry of named counters and latency histograms.
+//!
+//! Handles ([`Counter`], [`Histogram`]) are cheap `Arc` clones around
+//! lock-free atomics: the registry lock is taken only at
+//! **get-or-create** time, so hot paths resolve their handles once and
+//! then record with plain `Relaxed` atomic adds. Histograms bucket
+//! values by log₂ (bucket *i* ≥ 1 covers `[2^(i-1), 2^i)`), which keeps
+//! recording allocation-free and makes p50/p95/p99 a cumulative bucket
+//! walk at snapshot time.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+/// A monotonically increasing counter handle.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A free-standing counter (not registry-owned) — useful in tests.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets: bucket 0 holds the value `0`, bucket `i ≥ 1`
+/// holds `[2^(i-1), 2^i)`, so 65 buckets cover all of `u64`.
+const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// A log₂-bucketed histogram handle (typically of latencies in
+/// microseconds). Recording is two atomic adds and one increment;
+/// quantiles are estimated at snapshot time as the upper bound of the
+/// bucket containing the requested rank.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }))
+    }
+}
+
+/// Bucket index of `value`: 0 for 0, else `64 − leading_zeros`.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `idx` (the quantile estimate).
+fn bucket_bound(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else if idx >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << idx) - 1
+    }
+}
+
+impl Histogram {
+    /// A free-standing histogram (not registry-owned).
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let h = &*self.0;
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(value, Ordering::Relaxed);
+        h.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time summary. Like every snapshot of live `Relaxed`
+    /// counters, concurrent recordings may tear across the fields
+    /// (`count` and `sum` can disagree by in-flight observations); each
+    /// field is exact once writers quiesce.
+    pub fn summarize(&self) -> HistogramSummary {
+        let h = &*self.0;
+        let buckets: Vec<u64> = h
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let sum = h.sum.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            // Rank of the requested quantile, 1-based, clamped to count.
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (idx, &n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    return bucket_bound(idx);
+                }
+            }
+            bucket_bound(BUCKETS - 1)
+        };
+        let max_bucket = buckets.iter().rposition(|&n| n > 0);
+        HistogramSummary {
+            count,
+            sum,
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+            max: max_bucket.map(bucket_bound).unwrap_or(0),
+        }
+    }
+}
+
+/// A histogram's summarized state: totals plus log₂-bucket quantile
+/// estimates (each quantile reports its bucket's inclusive upper bound,
+/// so estimates are conservative within a factor of 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Median estimate (bucket upper bound).
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// Upper bound of the highest non-empty bucket.
+    pub max: u64,
+}
+
+impl HistogramSummary {
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A named registry of counters and histograms.
+///
+/// One process-wide instance is available through [`global`]; an
+/// engine defaults to its own private registry so tests and embedded
+/// engines stay hermetic — the series names are identical either way.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Get-or-create the counter named `name`. The returned handle is a
+    /// cheap clone; resolve it once outside hot loops.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock();
+        if let Some(c) = map.get(name) {
+            return c.clone();
+        }
+        let c = Counter::new();
+        map.insert(name.to_owned(), c.clone());
+        c
+    }
+
+    /// Get-or-create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.histograms.lock();
+        if let Some(h) = map.get(name) {
+            return h.clone();
+        }
+        let h = Histogram::new();
+        map.insert(name.to_owned(), h.clone());
+        h
+    }
+
+    /// A point-in-time snapshot of every series, in name order. Series
+    /// tear independently under concurrent recording (see
+    /// [`Histogram::summarize`]); take before/after snapshots and
+    /// compare deltas rather than re-reading live handles.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .iter()
+            .map(|(n, h)| (n.clone(), h.summarize()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// The process-wide registry (see [`MetricsRegistry`] for when to
+/// prefer a private one).
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// A rendered-out registry state: counters and histogram summaries in
+/// name order, exportable as aligned text or JSON.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, summary)` per histogram.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// Appends a counter series (used to merge engine-external series,
+    /// e.g. per-table storage stats, into one export).
+    pub fn push_counter(&mut self, name: impl Into<String>, value: u64) {
+        self.counters.push((name.into(), value));
+    }
+
+    /// Appends a histogram series.
+    pub fn push_histogram(&mut self, name: impl Into<String>, summary: HistogramSummary) {
+        self.histograms.push((name.into(), summary));
+    }
+
+    /// Human-readable rendering: one line per series.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("{name} = {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "{name}: count={} sum={} mean={:.1} p50<={} p95<={} p99<={} max<={}\n",
+                h.count,
+                h.sum,
+                h.mean(),
+                h.p50,
+                h.p95,
+                h.p99,
+                h.max
+            ));
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+
+    /// JSON rendering (the shape `repro --json` embeds in BENCH files).
+    pub fn to_json(&self) -> String {
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(n, v)| format!("{}:{v}", json_string(n)))
+            .collect();
+        let histograms: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(n, h)| {
+                format!(
+                    "{}:{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+                    json_string(n),
+                    h.count,
+                    h.sum,
+                    h.p50,
+                    h.p95,
+                    h.p99,
+                    h.max
+                )
+            })
+            .collect();
+        format!(
+            "{{\"counters\":{{{}}},\"histograms\":{{{}}}}}",
+            counters.join(","),
+            histograms.join(",")
+        )
+    }
+}
+
+/// Escapes a string as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_u64_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(1), 1);
+        assert_eq!(bucket_bound(2), 3);
+        assert_eq!(bucket_bound(64), u64::MAX);
+        // Every value lands in a bucket whose bound is >= the value.
+        for v in [0u64, 1, 5, 1000, 1 << 40, u64::MAX] {
+            assert!(bucket_bound(bucket_of(v)) >= v);
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_walk_cumulative_buckets() {
+        let h = Histogram::new();
+        // 90 fast observations (~8us), 10 slow ones (~1000us).
+        for _ in 0..90 {
+            h.record(8);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        let s = h.summarize();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 90 * 8 + 10 * 1000);
+        assert_eq!(s.p50, bucket_bound(bucket_of(8)), "median is a fast one");
+        assert_eq!(s.p99, bucket_bound(bucket_of(1000)), "p99 is a slow one");
+        assert!(s.p95 >= s.p50 && s.p99 >= s.p95 && s.max >= s.p99);
+        assert!((s.mean() - 107.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_summarizes_to_zeros() {
+        let s = Histogram::new().summarize();
+        assert_eq!(
+            s,
+            HistogramSummary {
+                count: 0,
+                sum: 0,
+                p50: 0,
+                p95: 0,
+                p99: 0,
+                max: 0
+            }
+        );
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn registry_returns_shared_handles() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(2);
+        b.incr();
+        assert_eq!(reg.counter("x").get(), 3, "same underlying atomic");
+        reg.histogram("h").record(7);
+        reg.histogram("h").record(9);
+        assert_eq!(reg.histogram("h").summarize().count, 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters, vec![("x".to_owned(), 3)]);
+        assert_eq!(snap.histograms.len(), 1);
+    }
+
+    #[test]
+    fn global_registry_is_one_instance() {
+        let c = global().counter("obs.test.global");
+        let before = c.get();
+        global().counter("obs.test.global").incr();
+        assert_eq!(c.get(), before + 1);
+    }
+
+    #[test]
+    fn snapshot_exports_text_and_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.count").add(4);
+        reg.histogram("b.us").record(100);
+        let mut snap = reg.snapshot();
+        snap.push_counter("table.sc.lookups", 9);
+        let text = snap.to_text();
+        assert!(text.contains("a.count = 4"));
+        assert!(text.contains("table.sc.lookups = 9"));
+        assert!(text.contains("b.us: count=1"));
+        let json = snap.to_json();
+        assert!(json.contains("\"a.count\":4"));
+        assert!(json.contains("\"b.us\":{\"count\":1"));
+        assert!(json.contains("\"table.sc.lookups\":9"));
+        assert_eq!(
+            MetricsSnapshot::default().to_json(),
+            "{\"counters\":{},\"histograms\":{}}"
+        );
+    }
+}

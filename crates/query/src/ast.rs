@@ -324,13 +324,15 @@ pub enum Statement {
     /// `ROLLBACK` — undo every row mutation since BEGIN, in reverse
     /// order, through the same §4 maintenance the forward path used.
     Rollback,
-    /// `EXPLAIN [VERIFY] [OPTIMIZED] SELECT …` — show the algebra plan
-    /// (with its cost estimate) without executing it; `OPTIMIZED`
-    /// additionally runs the rule-based rewriter and prints the applied
-    /// rules and the optimized plan's estimate; `VERIFY` runs the
-    /// static plan checker and appends its verdict (useful in release
-    /// builds, where the rewrite-soundness gate is off unless
-    /// `NF2_VERIFY` is set).
+    /// `EXPLAIN [VERIFY] [OPTIMIZED] [ANALYZE] SELECT …` — show the
+    /// algebra plan (with its cost estimate); `OPTIMIZED` additionally
+    /// runs the rule-based rewriter and prints the applied rules and the
+    /// optimized plan's estimate; `VERIFY` runs the static plan checker
+    /// and appends its verdict (useful in release builds, where the
+    /// rewrite-soundness gate is off unless `NF2_VERIFY` is set);
+    /// `ANALYZE` **executes** the statement and annotates each physical
+    /// operator with its actual rows and inclusive wall time. The flags
+    /// compose and may appear in any order after `EXPLAIN`.
     Explain {
         /// The SELECT being explained.
         inner: Box<Statement>,
@@ -338,6 +340,8 @@ pub enum Statement {
         optimized: bool,
         /// Whether to run and report the static plan checker.
         verify: bool,
+        /// Whether to execute and report per-operator actuals.
+        analyze: bool,
     },
 }
 
@@ -555,12 +559,14 @@ impl fmt::Display for Statement {
                 inner,
                 optimized,
                 verify,
+                analyze,
             } => {
                 write!(
                     f,
-                    "EXPLAIN {}{}{inner}",
+                    "EXPLAIN {}{}{}{inner}",
                     if *verify { "VERIFY " } else { "" },
-                    if *optimized { "OPTIMIZED " } else { "" }
+                    if *optimized { "OPTIMIZED " } else { "" },
+                    if *analyze { "ANALYZE " } else { "" }
                 )
             }
         }
@@ -696,6 +702,7 @@ mod tests {
             inner: Box::new(upd),
             optimized: false,
             verify: false,
+            analyze: false,
         };
         assert_eq!(explained.param_count(), 2);
     }

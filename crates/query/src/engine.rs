@@ -29,6 +29,7 @@ use nf2_core::display::{render_flat, render_nf};
 use nf2_core::relation::NfRelation;
 use nf2_core::schema::NestOrder;
 use nf2_core::value::Atom;
+use nf2_obs::{Counter, Histogram, MetricsSnapshot, Obs, Stopwatch, Subscriber};
 use nf2_storage::{NfTable, SharedDictionary};
 
 use crate::ast::{Predicate, Statement};
@@ -53,6 +54,8 @@ pub struct EngineBuilder {
     wal_autoflush: bool,
     rewrite_mode: Option<RewriteMode>,
     shards: Option<usize>,
+    subscriber: Option<Arc<dyn Subscriber>>,
+    slow_statement_us: Option<u64>,
 }
 
 impl EngineBuilder {
@@ -91,6 +94,26 @@ impl EngineBuilder {
         self
     }
 
+    /// Installs a tracing subscriber on the engine's [`Obs`] hub
+    /// (default: none — spans and events cost one relaxed load and
+    /// nothing else). The same hub is reachable later through
+    /// [`Engine::obs`], so a subscriber can also be attached or swapped
+    /// after construction.
+    pub fn subscriber(mut self, sub: Arc<dyn Subscriber>) -> Self {
+        self.subscriber = Some(sub);
+        self
+    }
+
+    /// Slow-statement threshold in microseconds: any statement whose
+    /// execution takes at least this long is counted in the
+    /// `stmt.slow.count` metric and logged — as a `stmt.slow` event when
+    /// a subscriber is installed, to stderr otherwise. Overrides the
+    /// `NF2_SLOW_US` environment variable; default: no slow log.
+    pub fn slow_statement_threshold(mut self, us: u64) -> Self {
+        self.slow_statement_us = Some(us);
+        self
+    }
+
     /// Builds the engine, validating the configuration.
     ///
     /// # Errors
@@ -110,6 +133,18 @@ impl EngineBuilder {
         // Validate through the spec constructor itself, so builder-time
         // and storage-time shard rules cannot drift apart.
         nf2_core::shard::ShardSpec::hash(shards)?;
+        let slow_statement_us = match self.slow_statement_us {
+            Some(us) => Some(us),
+            None => parse_slow_env(std::env::var("NF2_SLOW_US").ok().as_deref())?,
+        };
+        // Each engine gets a private hub and registry, so embedded
+        // engines and tests stay hermetic; share one by installing the
+        // same subscriber, or read `nf2_obs::global()` series alongside.
+        let obs = Arc::new(Obs::new());
+        if let Some(sub) = self.subscriber {
+            obs.set_subscriber(Some(sub));
+        }
+        let stmt_metrics = StmtMetrics::new(&obs);
         Ok(Engine {
             dict: SharedDictionary::new(),
             tables: RwLock::new(BTreeMap::new()),
@@ -119,6 +154,9 @@ impl EngineBuilder {
             wal_autoflush: self.wal_autoflush,
             rewrite_mode: self.rewrite_mode.unwrap_or(RewriteMode::Structural),
             default_shards: shards,
+            obs,
+            stmt_metrics,
+            slow_statement_us,
         })
     }
 }
@@ -136,6 +174,83 @@ fn parse_shards_env(raw: Option<&str>) -> Result<usize, QueryError> {
         Err(_) => Err(QueryError::Model(nf2_core::NfError::InvalidShardSpec(
             format!("NF2_SHARDS={raw:?} is not a shard count"),
         ))),
+    }
+}
+
+/// Parses the `NF2_SLOW_US` slow-statement threshold. `None` (unset)
+/// disables the slow log; anything set must be a non-negative integer
+/// number of microseconds (`0` logs every statement) — garbage is a
+/// configuration error, not a silent fallback.
+fn parse_slow_env(raw: Option<&str>) -> Result<Option<u64>, QueryError> {
+    let Some(raw) = raw else { return Ok(None) };
+    match raw.trim().parse::<u64>() {
+        Ok(us) => Ok(Some(us)),
+        Err(_) => Err(QueryError::Semantic(format!(
+            "NF2_SLOW_US={raw:?} is not a microsecond threshold"
+        ))),
+    }
+}
+
+/// Pre-resolved metric handles for the statement hot path: one
+/// histogram per statement kind plus the planning-phase histograms and
+/// the slow-statement counter, looked up once at engine construction so
+/// recording a statement never takes the registry lock.
+#[derive(Debug, Clone)]
+pub(crate) struct StmtMetrics {
+    select: Histogram,
+    insert: Histogram,
+    delete: Histogram,
+    update: Histogram,
+    ddl: Histogram,
+    other: Histogram,
+    pub(crate) parse: Histogram,
+    pub(crate) plan_build: Histogram,
+    pub(crate) plan_optimize: Histogram,
+    pub(crate) plan_verify: Histogram,
+    pub(crate) plan_compile: Histogram,
+    slow: Counter,
+}
+
+impl StmtMetrics {
+    fn new(obs: &Obs) -> Self {
+        let reg = obs.registry();
+        StmtMetrics {
+            select: reg.histogram("stmt.select.us"),
+            insert: reg.histogram("stmt.insert.us"),
+            delete: reg.histogram("stmt.delete.us"),
+            update: reg.histogram("stmt.update.us"),
+            ddl: reg.histogram("stmt.ddl.us"),
+            other: reg.histogram("stmt.other.us"),
+            parse: reg.histogram("stmt.parse.us"),
+            plan_build: reg.histogram("plan.build.us"),
+            plan_optimize: reg.histogram("plan.optimize.us"),
+            plan_verify: reg.histogram("plan.verify.us"),
+            plan_compile: reg.histogram("plan.compile.us"),
+            slow: reg.counter("stmt.slow.count"),
+        }
+    }
+
+    fn for_kind(&self, kind: &'static str) -> &Histogram {
+        match kind {
+            "select" => &self.select,
+            "insert" => &self.insert,
+            "delete" => &self.delete,
+            "update" => &self.update,
+            "ddl" => &self.ddl,
+            _ => &self.other,
+        }
+    }
+}
+
+/// The statement-kind label used for latency series and slow-log events.
+fn stmt_kind(stmt: &Statement) -> &'static str {
+    match stmt {
+        Statement::Select { .. } => "select",
+        Statement::Insert { .. } => "insert",
+        Statement::Delete { .. } => "delete",
+        Statement::Update { .. } => "update",
+        Statement::CreateTable { .. } | Statement::DropTable { .. } => "ddl",
+        _ => "other",
     }
 }
 
@@ -169,6 +284,13 @@ pub struct Engine {
     rewrite_mode: RewriteMode,
     /// Shard count `CREATE TABLE` partitions new tables into.
     default_shards: usize,
+    /// The observability hub: tracing subscriber plus private metrics
+    /// registry (see [`EngineBuilder::subscriber`]).
+    obs: Arc<Obs>,
+    /// Statement-path metric handles, resolved once at construction.
+    stmt_metrics: StmtMetrics,
+    /// Slow-statement threshold (µs); `None` disables the slow log.
+    slow_statement_us: Option<u64>,
 }
 
 impl Default for Engine {
@@ -235,6 +357,98 @@ impl Engine {
     /// [`EngineBuilder::shards`]).
     pub fn default_shards(&self) -> usize {
         self.default_shards
+    }
+
+    /// The engine's observability hub: install or swap a
+    /// [`Subscriber`], toggle the metrics kill switch, or reach the
+    /// private [`nf2_obs::MetricsRegistry`].
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The slow-statement threshold in microseconds, if configured
+    /// ([`EngineBuilder::slow_statement_threshold`] / `NF2_SLOW_US`).
+    pub fn slow_statement_us(&self) -> Option<u64> {
+        self.slow_statement_us
+    }
+
+    /// One point-in-time export of everything this engine counts: the
+    /// registry's statement/planning series merged with each table's
+    /// storage counters as `table.<name>.<counter>` series. Render with
+    /// [`MetricsSnapshot::to_text`] or [`MetricsSnapshot::to_json`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.obs.registry().snapshot();
+        for (name, t) in self.tables() {
+            let s = t.stats();
+            snap.push_counter(format!("table.{name}.lookups"), s.lookups);
+            snap.push_counter(format!("table.{name}.units_probed"), s.units_probed);
+            snap.push_counter(format!("table.{name}.inserts"), s.inserts);
+            snap.push_counter(format!("table.{name}.deletes"), s.deletes);
+            snap.push_counter(format!("table.{name}.segments_skipped"), s.segments_skipped);
+            snap.push_counter(format!("table.{name}.epoch_installs"), s.epoch_installs);
+            snap.push_counter(format!("table.{name}.snapshot_pins"), s.snapshot_pins);
+            snap.push_counter(format!("table.{name}.wal_flushes"), s.wal_flushes);
+            snap.push_counter(format!("table.{name}.rebuilds"), s.rebuilds);
+            snap.push_counter(format!("table.{name}.rebuild_nanos"), s.rebuild_nanos);
+        }
+        snap
+    }
+
+    /// Statement-path metric handles (internal hot-path plumbing).
+    pub(crate) fn stmt_metrics(&self) -> &StmtMetrics {
+        &self.stmt_metrics
+    }
+
+    /// Starts the statement stopwatch if anything downstream would
+    /// consume the reading — metrics on, a subscriber installed, or a
+    /// slow-statement threshold configured. `None` means the statement
+    /// path pays two relaxed loads and no clock calls at all.
+    pub(crate) fn stmt_clock(&self) -> Option<Stopwatch> {
+        if self.obs.metrics_enabled() || self.obs.enabled() || self.slow_statement_us.is_some() {
+            Some(Stopwatch::start())
+        } else {
+            None
+        }
+    }
+
+    /// Settles one executed statement against the metric and slow-log
+    /// surfaces: records the latency histogram for `kind`, emits a
+    /// `stmt.execute` event, and applies the slow-statement threshold.
+    pub(crate) fn observe_statement(&self, kind: &'static str, sw: Stopwatch) {
+        let us = sw.elapsed_us();
+        if self.obs.metrics_enabled() {
+            self.stmt_metrics.for_kind(kind).record(us);
+        }
+        self.obs.event("stmt.execute", || {
+            vec![("kind", kind.into()), ("us", us.into())]
+        });
+        if let Some(limit) = self.slow_statement_us {
+            if us >= limit {
+                self.stmt_metrics.slow.incr();
+                if self.obs.enabled() {
+                    self.obs.event("stmt.slow", || {
+                        vec![
+                            ("kind", kind.into()),
+                            ("us", us.into()),
+                            ("threshold_us", limit.into()),
+                        ]
+                    });
+                } else {
+                    eprintln!(
+                        "[nf2] slow statement: kind={kind} took {us}us (threshold {limit}us)"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Parses one statement under the `stmt.parse` span/histogram.
+    pub(crate) fn parse_traced(&self, sql: &str) -> Result<Statement, QueryError> {
+        let _span = self
+            .obs
+            .span("stmt.parse")
+            .observe(&self.stmt_metrics.parse);
+        Ok(crate::parser::parse(sql)?)
     }
 
     /// Shared access to a table. The returned `Arc` is a stable handle:
@@ -343,15 +557,24 @@ impl<'e> Session<'e> {
     }
 
     /// Parses and executes a whole script, returning one output per
-    /// statement.
+    /// statement. The batch parse records under `stmt.parse` like the
+    /// single-statement path (one histogram sample for the whole script).
     pub fn run_script(&mut self, script: &str) -> Result<Vec<Output>, QueryError> {
-        let stmts = crate::parser::parse_script(script)?;
+        let stmts = {
+            let _span = self
+                .engine
+                .obs()
+                .span("stmt.parse")
+                .observe(&self.engine.stmt_metrics().parse);
+            crate::parser::parse_script(script)?
+        };
         stmts.into_iter().map(|s| self.execute(s)).collect()
     }
 
     /// Parses and executes a single statement.
     pub fn run(&mut self, statement: &str) -> Result<Output, QueryError> {
-        self.execute(crate::parser::parse(statement)?)
+        let stmt = self.engine.parse_traced(statement)?;
+        self.execute(stmt)
     }
 
     /// Compiles a statement into a [`Prepared`] handle: parsed once,
@@ -368,7 +591,7 @@ impl<'e> Session<'e> {
     /// under concurrent mutations. Only SELECT statements (without `?`
     /// parameters) are accepted; use [`Session::prepare`] for parameters.
     pub fn query(&self, sql: &str) -> Result<Cursor<'static>, QueryError> {
-        let stmt = crate::parser::parse(sql)?;
+        let stmt = self.engine.parse_traced(sql)?;
         let unbound = stmt.param_count();
         if unbound > 0 {
             return Err(QueryError::Unbound { count: unbound });
@@ -405,6 +628,16 @@ impl<'e> Session<'e> {
         if unbound > 0 {
             return Err(QueryError::Unbound { count: unbound });
         }
+        let kind = stmt_kind(&stmt);
+        let clock = self.engine.stmt_clock();
+        let result = self.execute_inner(stmt);
+        if let Some(sw) = clock {
+            self.engine.observe_statement(kind, sw);
+        }
+        result
+    }
+
+    fn execute_inner(&mut self, stmt: Statement) -> Result<Output, QueryError> {
         match stmt {
             Statement::CreateTable {
                 name,
@@ -511,6 +744,7 @@ impl<'e> Session<'e> {
                 inner,
                 optimized,
                 verify,
+                analyze,
             } => {
                 let Statement::Select {
                     projection,
@@ -525,7 +759,7 @@ impl<'e> Session<'e> {
                         "EXPLAIN supports SELECT statements only".into(),
                     ));
                 };
-                let plan = SelectPlan::build(
+                let mut plan = SelectPlan::build(
                     self.engine,
                     projection,
                     table,
@@ -534,7 +768,12 @@ impl<'e> Session<'e> {
                     order_by,
                     limit,
                 )?;
-                let Some(text) = plan.explain::<Param>(self.engine, &[], optimized, verify)? else {
+                let text = if analyze {
+                    plan.explain_analyze::<Param>(self.engine, &[], optimized, verify)?
+                } else {
+                    plan.explain::<Param>(self.engine, &[], optimized, verify)?
+                };
+                let Some(text) = text else {
                     return Ok(Output::Message(
                         "plan: <empty result — predicate value never interned>".to_owned(),
                     ));
@@ -998,6 +1237,125 @@ mod tests {
                 .default_shards(),
             3
         );
+    }
+
+    #[test]
+    fn nf2_slow_us_env_values_are_validated() {
+        // Hermetic: the parser is exercised with explicit strings so the
+        // test never mutates the process environment other tests read.
+        assert_eq!(super::parse_slow_env(None).unwrap(), None);
+        assert_eq!(super::parse_slow_env(Some("250")).unwrap(), Some(250));
+        assert_eq!(super::parse_slow_env(Some(" 0 ")).unwrap(), Some(0));
+        for garbage in ["", "abc", "-3", "1.5", "4x"] {
+            match super::parse_slow_env(Some(garbage)) {
+                Err(QueryError::Semantic(msg)) => assert!(msg.contains("NF2_SLOW_US"), "{msg}"),
+                other => panic!("NF2_SLOW_US={garbage:?} must error, got {other:?}"),
+            }
+        }
+        // An explicit builder threshold wins over whatever the env says.
+        assert_eq!(
+            Engine::builder()
+                .slow_statement_threshold(9)
+                .build()
+                .unwrap()
+                .slow_statement_us(),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn metrics_export_merges_statement_and_table_series() {
+        let engine = seeded_engine();
+        engine.session().run("SELECT COUNT(*) FROM sc").unwrap();
+        let snap = engine.metrics();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+        };
+        let hist = |name: &str| snap.histograms.iter().find(|(n, _)| n == name);
+        // Statement latency series by kind, fed by Session::execute.
+        let (_, select) = hist("stmt.select.us").expect("select histogram");
+        assert!(select.count >= 1, "the COUNT(*) select was recorded");
+        let (_, insert) = hist("stmt.insert.us").expect("insert histogram");
+        assert!(insert.count >= 1, "the seeding INSERT was recorded");
+        assert!(hist("stmt.parse.us").is_some());
+        assert!(hist("plan.build.us").is_some());
+        // Table series from the storage counters.
+        assert_eq!(counter("table.sc.inserts"), Some(3));
+        assert!(counter("table.sc.epoch_installs").unwrap_or(0) >= 1);
+        assert!(counter("table.sc.snapshot_pins").unwrap_or(0) >= 1);
+        // Both render paths accept the merged snapshot.
+        assert!(snap.to_text().contains("table.sc.inserts = 3"));
+        assert!(snap.to_json().contains("\"table.sc.inserts\":3"));
+    }
+
+    #[test]
+    fn subscriber_sees_lifecycle_and_slow_events() {
+        let ring = Arc::new(nf2_obs::RingBufferSink::new(256));
+        let engine = Engine::builder()
+            .subscriber(ring.clone())
+            .slow_statement_threshold(0) // everything is "slow"
+            .build()
+            .unwrap();
+        let mut session = engine.session();
+        session
+            .run_script(
+                "CREATE TABLE sc (Student, Course);
+                 INSERT INTO sc VALUES ('s1','c1'), ('s2','c1'), ('s1','c2');
+                 CREATE TABLE cp (Course, Prof);
+                 INSERT INTO cp VALUES ('c1','p1'), ('c2','p2');",
+            )
+            .unwrap();
+        // The Prof conjunct is pushable below the join, so the optimizer
+        // must apply (and report) at least one rule.
+        session
+            .run("SELECT Student FROM sc JOIN cp WHERE Prof = 'p1'")
+            .unwrap();
+        let events = ring.events().join("\n");
+        assert!(events.contains("stmt.parse{"), "{events}");
+        assert!(events.contains("plan.build{"), "{events}");
+        assert!(events.contains("plan.optimize{"), "{events}");
+        assert!(events.contains("plan.compile{"), "{events}");
+        assert!(
+            events.contains("optimizer.rule{rule="),
+            "the projected+filtered select must fire at least one rule: {events}"
+        );
+        assert!(events.contains("work_delta="), "{events}");
+        assert!(events.contains("stmt.execute{kind=select"), "{events}");
+        assert!(events.contains("stmt.slow{kind=select"), "{events}");
+        // The slow counter advanced (threshold 0 catches every statement).
+        let snap = engine.metrics();
+        let slow = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "stmt.slow.count")
+            .map(|&(_, v)| v)
+            .unwrap_or(0);
+        assert!(slow >= 5, "2 CREATEs + 2 INSERTs + SELECT, got {slow}");
+    }
+
+    #[test]
+    fn metrics_kill_switch_stops_statement_series() {
+        let engine = seeded_engine();
+        engine.obs().set_metrics_enabled(false);
+        let before = engine
+            .metrics()
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "stmt.select.us")
+            .map(|(_, h)| h.count)
+            .unwrap_or(0);
+        engine.session().run("SELECT COUNT(*) FROM sc").unwrap();
+        let after = engine
+            .metrics()
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "stmt.select.us")
+            .map(|(_, h)| h.count)
+            .unwrap_or(0);
+        assert_eq!(before, after, "disabled metrics must not record");
     }
 
     #[test]

@@ -283,8 +283,20 @@ impl Parser {
             "commit" => Ok(Statement::Commit),
             "rollback" => Ok(Statement::Rollback),
             "explain" => {
-                let verify = self.eat_keyword("verify");
-                let optimized = self.eat_keyword("optimized");
+                // The flags compose in any order: EXPLAIN ANALYZE VERIFY
+                // and EXPLAIN VERIFY OPTIMIZED ANALYZE both parse.
+                let (mut verify, mut optimized, mut analyze) = (false, false, false);
+                loop {
+                    if self.eat_keyword("verify") {
+                        verify = true;
+                    } else if self.eat_keyword("optimized") {
+                        optimized = true;
+                    } else if self.eat_keyword("analyze") {
+                        analyze = true;
+                    } else {
+                        break;
+                    }
+                }
                 let inner = self.statement()?;
                 if !matches!(inner, Statement::Select { .. }) {
                     return Err(ParseError {
@@ -295,6 +307,7 @@ impl Parser {
                     inner: Box::new(inner),
                     optimized,
                     verify,
+                    analyze,
                 })
             }
             other => Err(ParseError {
@@ -742,6 +755,37 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn parses_explain_analyze_flags_in_any_order() {
+        assert!(matches!(
+            parse("EXPLAIN ANALYZE SELECT * FROM t").unwrap(),
+            Statement::Explain {
+                analyze: true,
+                optimized: false,
+                verify: false,
+                ..
+            }
+        ));
+        for sql in [
+            "EXPLAIN VERIFY OPTIMIZED ANALYZE SELECT * FROM t",
+            "EXPLAIN ANALYZE OPTIMIZED VERIFY SELECT * FROM t",
+            "EXPLAIN OPTIMIZED ANALYZE VERIFY SELECT * FROM t",
+        ] {
+            match parse(sql).unwrap() {
+                Statement::Explain {
+                    analyze: true,
+                    optimized: true,
+                    verify: true,
+                    ..
+                } => {}
+                other => panic!("{sql}: unexpected {other:?}"),
+            }
+        }
+        // Display round-trips the analyze flag.
+        let stmt = parse("EXPLAIN VERIFY ANALYZE SELECT * FROM t").unwrap();
+        assert_eq!(parse(&stmt.to_string()).unwrap(), stmt);
     }
 
     #[test]

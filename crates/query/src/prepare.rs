@@ -24,14 +24,16 @@ use std::sync::Arc;
 
 use nf2_algebra::optimize::Applied;
 use nf2_algebra::stream::{
-    filter_box, lazy_iter, AtomCmp, JoinLayout, RelStream, SortDir, TupleIter, TupleOrder,
+    filter_box, lazy_iter, AtomCmp, JoinLayout, OpTally, RelStream, SortDir, TopKStats, TupleIter,
+    TupleOrder,
 };
-use nf2_algebra::{estimate, optimize, Expr, SchemaCatalog};
+use nf2_algebra::{estimate, optimize, optimize_observed, Expr, SchemaCatalog};
 use nf2_core::display::render_nf;
 use nf2_core::relation::NfRelation;
 use nf2_core::schema::{NestOrder, Schema};
 use nf2_core::tuple::{NfTuple, TupleView, ValueSet};
 use nf2_core::value::Atom;
+use nf2_obs::Stopwatch;
 use nf2_storage::{NfTable, SharedDictionary, TableSnapshot};
 
 use crate::ast::{OrderBy, OrderDir, Predicate, Projection, Statement, Value};
@@ -160,6 +162,70 @@ pub(crate) enum Phys {
 pub(crate) struct PhysPlan {
     pub(crate) root: Phys,
     pub(crate) schema: Arc<Schema>,
+}
+
+/// Number of nodes in a physical subtree — the stride of the structural
+/// pre-order numbering `EXPLAIN ANALYZE` uses to address tallies (node
+/// `i`'s first child is `i + 1`; a join's right child is
+/// `i + 1 + phys_size(left)`). Both the executor and the renderer walk
+/// this same numbering, so an operator's tally is position-stable no
+/// matter in which order the pipeline was constructed.
+pub(crate) fn phys_size(node: &Phys) -> usize {
+    match node {
+        Phys::Scan { .. } => 1,
+        Phys::Select { input, .. } | Phys::Project { input, .. } => 1 + phys_size(input),
+        Phys::Join { left, right, .. } => 1 + phys_size(left) + phys_size(right),
+    }
+}
+
+/// `EXPLAIN ANALYZE` instrumentation for one execution: one shared
+/// [`OpTally`] per physical node (pre-order; shared across a merge
+/// path's per-shard pipelines, which sum into the same tallies), plus
+/// the order-operator actuals the cursor records when it picks a path.
+#[derive(Debug)]
+pub(crate) struct AnalyzeExec {
+    /// Per-node actuals, indexed by the [`phys_size`] pre-order.
+    pub(crate) tallies: Vec<Arc<OpTally>>,
+    /// The order path the cursor actually took (the dynamic decision —
+    /// a merge-eligible plan can still fall back at run time).
+    pub(crate) order_path: Option<String>,
+    /// Heap counters when the top-k path ran.
+    pub(crate) topk: Option<Arc<TopKStats>>,
+    /// Whether binding found a statically-empty result (no pipeline ran).
+    pub(crate) statically_empty: bool,
+}
+
+/// A pull-pipeline wrapper recording per-operator actuals: every `next`
+/// is clocked (inclusive — a parent's time contains its children, like
+/// `EXPLAIN ANALYZE` in PostgreSQL) and every yielded tuple counts one
+/// row. Only constructed on analyze runs; plain execution never pays
+/// the per-tuple stopwatch.
+struct Timed<I> {
+    inner: I,
+    tally: Arc<OpTally>,
+}
+
+impl<I: Iterator> Iterator for Timed<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        let sw = Stopwatch::start();
+        let item = self.inner.next();
+        self.tally.add_nanos(sw.elapsed_nanos());
+        if item.is_some() {
+            self.tally.add_row();
+        }
+        item
+    }
+}
+
+/// Everything an `EXPLAIN ANALYZE` render needs: the per-operator
+/// actuals plus the drained result size and total wall time.
+#[derive(Debug)]
+pub(crate) struct AnalyzeReport {
+    pub(crate) exec: AnalyzeExec,
+    pub(crate) result_rows: u64,
+    pub(crate) total_nanos: u64,
 }
 
 impl PhysPlan {
@@ -291,56 +357,58 @@ impl PhysPlan {
     /// result is the canonical form as of the statement's epoch no
     /// matter what concurrent writers install meanwhile — and the
     /// returned iterator is `'static`, owning its shard `Arc`s.
-    fn stream(&self, tables: &[TableSnapshot], bound: &[ValueSet]) -> TupleIter<'static> {
-        self.stream_restricted(tables, bound, None)
-    }
-
-    /// [`Self::stream`] with an optional shard restriction: when
+    /// Streams the pipeline, with an optional shard restriction: when
     /// `only_shard` is set, every scan touches at most that shard (in
     /// addition to its prune/zone filtering). The k-way merge path
     /// builds one such pipeline per shard so each stays in segment
-    /// order.
+    /// order. With `tallies` (one per node, [`phys_size`] pre-order)
+    /// every operator's output is wrapped in a [`Timed`] counter for
+    /// `EXPLAIN ANALYZE`.
     fn stream_restricted(
         &self,
         tables: &[TableSnapshot],
         bound: &[ValueSet],
         only_shard: Option<usize>,
+        tallies: Option<&[Arc<OpTally>]>,
     ) -> TupleIter<'static> {
         fn go(
             node: &Phys,
             tables: &[TableSnapshot],
             bound: &[ValueSet],
             only_shard: Option<usize>,
+            tallies: Option<&[Arc<OpTally>]>,
+            idx: usize,
         ) -> TupleIter<'static> {
-            match node {
+            let raw: TupleIter<'static> = match node {
                 Phys::Scan { table, prune, zone } => {
                     let t = &tables[*table];
                     if prune.is_empty() && zone.is_empty() && only_shard.is_none() {
-                        return Box::new(t.scan());
-                    }
-                    // Every pruning conjunct must be satisfied, so the
-                    // scannable shards are the intersection of the
-                    // per-conjunct shard sets (each sorted ascending).
-                    let mut shards: Vec<usize> = if prune.is_empty() {
-                        (0..t.shard_count()).collect()
+                        Box::new(t.scan())
                     } else {
-                        let mut sets = prune
-                            .iter()
-                            .map(|&flat| t.routing().shards_for_values(bound[flat].as_slice()));
-                        let mut shards = sets.next().expect("prune list is non-empty");
-                        for s in sets {
-                            shards.retain(|idx| s.contains(idx));
+                        // Every pruning conjunct must be satisfied, so the
+                        // scannable shards are the intersection of the
+                        // per-conjunct shard sets (each sorted ascending).
+                        let mut shards: Vec<usize> = if prune.is_empty() {
+                            (0..t.shard_count()).collect()
+                        } else {
+                            let mut sets = prune
+                                .iter()
+                                .map(|&flat| t.routing().shards_for_values(bound[flat].as_slice()));
+                            let mut shards = sets.next().expect("prune list is non-empty");
+                            for s in sets {
+                                shards.retain(|idx| s.contains(idx));
+                            }
+                            shards
+                        };
+                        if let Some(only) = only_shard {
+                            shards.retain(|&s| s == only);
                         }
-                        shards
-                    };
-                    if let Some(only) = only_shard {
-                        shards.retain(|&s| s == only);
+                        let zones: Vec<(usize, ValueSet)> = zone
+                            .iter()
+                            .map(|&(attr, flat)| (attr, bound[flat].clone()))
+                            .collect();
+                        Box::new(t.scan_shards_zoned(&shards, &zones))
                     }
-                    let zones: Vec<(usize, ValueSet)> = zone
-                        .iter()
-                        .map(|&(attr, flat)| (attr, bound[flat].clone()))
-                        .collect();
-                    Box::new(t.scan_shards_zoned(&shards, &zones))
                 }
                 Phys::Select { input, constraints } => {
                     let resolved: Vec<(usize, ValueSet)> = constraints
@@ -348,7 +416,7 @@ impl PhysPlan {
                         .map(|&(attr, flat)| (attr, bound[flat].clone()))
                         .collect();
                     Box::new(
-                        go(input, tables, bound, only_shard)
+                        go(input, tables, bound, only_shard, tallies, idx + 1)
                             .filter_map(move |t| filter_box(t, &resolved)),
                     )
                 }
@@ -357,7 +425,7 @@ impl PhysPlan {
                     input_schema,
                     attrs,
                 } => {
-                    let upstream = go(input, tables, bound, only_shard);
+                    let upstream = go(input, tables, bound, only_shard, tallies, idx + 1);
                     let input_schema = input_schema.clone();
                     let attrs = attrs.clone();
                     lazy_iter(move || {
@@ -375,8 +443,12 @@ impl PhysPlan {
                     right,
                     layout,
                 } => {
-                    let build_side = go(right, tables, bound, only_shard);
-                    let probe_side = go(left, tables, bound, only_shard);
+                    // Pre-order numbering: left child directly follows the
+                    // join, right child follows the whole left subtree.
+                    let left_idx = idx + 1;
+                    let right_idx = idx + 1 + phys_size(left);
+                    let build_side = go(right, tables, bound, only_shard, tallies, right_idx);
+                    let probe_side = go(left, tables, bound, only_shard, tallies, left_idx);
                     let layout = layout.clone();
                     lazy_iter(move || {
                         let build: Vec<TupleView<'static>> = build_side.collect();
@@ -387,9 +459,16 @@ impl PhysPlan {
                         }))
                     })
                 }
+            };
+            match tallies {
+                Some(ts) => Box::new(Timed {
+                    inner: raw,
+                    tally: Arc::clone(&ts[idx]),
+                }),
+                None => raw,
             }
         }
-        go(&self.root, tables, bound, only_shard)
+        go(&self.root, tables, bound, only_shard, tallies, 0)
     }
 }
 
@@ -583,6 +662,10 @@ impl SelectPlan {
         order_by: Option<OrderBy>,
         limit: Option<usize>,
     ) -> Result<Self, QueryError> {
+        let _build_span = engine
+            .obs()
+            .span("plan.build")
+            .observe(&engine.stmt_metrics().plan_build);
         if engine.dict().len() as u64 >= SLOT_BASE as u64 {
             return Err(QueryError::Semantic(
                 "dictionary exhausted the slot-atom range".into(),
@@ -674,15 +757,53 @@ impl SelectPlan {
             }
             Projection::All | Projection::CountStar => {}
         }
-        let optimized = optimize(&expr, &catalog, engine.rewrite_mode());
-        let phys =
+        let obs = engine.obs();
+        let metrics = engine.stmt_metrics();
+        let optimized = {
+            let _span = obs
+                .span("plan.optimize")
+                .field("table", table.as_str())
+                .observe(&metrics.plan_optimize);
+            if obs.enabled() {
+                // A subscriber is listening: report every applied rule
+                // with its estimated-work delta (the DataTracks-style
+                // per-rule reward trace). Costing runs only on this
+                // path, so the silent default pays nothing for it.
+                let sizes: std::collections::HashMap<String, usize> = tables
+                    .iter()
+                    .filter_map(|n| Some((n.clone(), engine.table(n).ok()?.tuple_count())))
+                    .collect();
+                optimize_observed(
+                    &expr,
+                    &catalog,
+                    engine.rewrite_mode(),
+                    &mut |rule, before, after| {
+                        let wb = estimate(before, &sizes).total_work;
+                        let wa = estimate(after, &sizes).total_work;
+                        obs.event("optimizer.rule", || {
+                            vec![
+                                ("rule", rule.into()),
+                                ("work_before", wb.into()),
+                                ("work_after", wa.into()),
+                                ("work_delta", (wa - wb).into()),
+                            ]
+                        });
+                    },
+                )
+            } else {
+                optimize(&expr, &catalog, engine.rewrite_mode())
+            }
+        };
+        let phys = {
+            let _span = obs.span("plan.compile").observe(&metrics.plan_compile);
             PhysPlan::compile(&optimized.expr, &tables, engine, &mut 0)?.ok_or_else(|| {
                 QueryError::Semantic(
                     "internal error: the optimizer produced a plan shape outside \
                  scan/select/project/join"
                         .into(),
                 )
-            })?;
+            })?
+        };
         // Every ORDER BY attribute must survive into the output schema
         // (ordering on a projected-away attribute is rejected here, at
         // prepare time, like any other unknown attribute).
@@ -722,6 +843,7 @@ impl SelectPlan {
         // any violation here is a planner bug, reported before the plan
         // can produce a wrong answer.
         if nf2_algebra::verify_enabled() {
+            let _span = obs.span("plan.verify").observe(&metrics.plan_verify);
             crate::verify::check_plan(&plan, engine)
                 .map_err(|v| QueryError::Verify(v.to_string()))?;
         }
@@ -797,13 +919,44 @@ impl SelectPlan {
         engine: &Engine,
         params: &[P],
     ) -> Result<Cursor<'static>, QueryError> {
+        self.cursor_instrumented(engine, params, None)
+    }
+
+    /// One [`OpTally`] per physical operator, numbered in the same
+    /// pre-order as [`crate::verify::render_phys`] walks the tree — so
+    /// tally `i` annotates the `i`-th rendered line.
+    pub(crate) fn analyze_exec(&self) -> AnalyzeExec {
+        AnalyzeExec {
+            tallies: (0..phys_size(&self.phys.root))
+                .map(|_| Arc::new(OpTally::default()))
+                .collect(),
+            order_path: None,
+            topk: None,
+            statically_empty: false,
+        }
+    }
+
+    /// [`Self::cursor`] with an optional `EXPLAIN ANALYZE` recorder:
+    /// when `analyze` is set every operator's pulls are tallied (rows +
+    /// inclusive nanos) and the chosen order path is noted.
+    pub(crate) fn cursor_instrumented<P: AsRef<str>>(
+        &mut self,
+        engine: &Engine,
+        params: &[P],
+        mut analyze: Option<&mut AnalyzeExec>,
+    ) -> Result<Cursor<'static>, QueryError> {
         // One template traversal binds the flat constraint store;
         // everything else was resolved at prepare time.
         let Some(bound) = self.bind_flat(engine.dict(), params)? else {
             // Statically empty: keep the plan's *output* schema, so a
             // cursor's shape does not depend on which value was bound.
+            if let Some(a) = analyze.as_deref_mut() {
+                a.statically_empty = true;
+            }
             return Ok(Cursor::new(RelStream::empty(self.phys.schema.clone())));
         };
+        let tallies: Option<Vec<Arc<OpTally>>> = analyze.as_deref().map(|a| a.tallies.clone());
+        let tallies = tallies.as_deref();
         // Pin one snapshot per table, once, at statement start: the
         // whole pipeline — every shard scan, the merge's per-shard
         // streams, the join's build side — reads exactly these epochs.
@@ -830,10 +983,19 @@ impl SelectPlan {
                         .map(|s| {
                             RelStream::new(
                                 self.phys.schema.clone(),
-                                self.phys.stream_restricted(&tables, &bound, Some(s)),
+                                // Per-shard pipelines share the same
+                                // tallies: the Arcs sum across shards.
+                                self.phys
+                                    .stream_restricted(&tables, &bound, Some(s), tallies),
                             )
                         })
                         .collect();
+                    if let Some(a) = analyze.as_deref_mut() {
+                        a.order_path = Some(match self.limit {
+                            Some(n) => format!("streaming k-way segment merge, limit {n}"),
+                            None => "streaming k-way segment merge".to_owned(),
+                        });
+                    }
                     let merged = RelStream::merge_sorted(self.phys.schema.clone(), parts, orders);
                     let stream = match self.limit {
                         Some(n) => {
@@ -847,7 +1009,7 @@ impl SelectPlan {
                 }
             }
         }
-        let iter = self.phys.stream(&tables, &bound);
+        let iter = self.phys.stream_restricted(&tables, &bound, None, tallies);
         let stream = RelStream::new(self.phys.schema.clone(), iter);
         let stream = match (&self.order, self.limit) {
             // ORDER BY + LIMIT fold into one streaming top-k: a bounded
@@ -857,8 +1019,21 @@ impl SelectPlan {
             (Some((ob, attrs)), limit) => {
                 let orders = resolved_orders(engine.dict(), ob, attrs);
                 match limit {
-                    Some(n) => stream.top_k_by(orders, n),
-                    None => stream.sorted_by(orders),
+                    Some(n) => match analyze.as_deref_mut() {
+                        Some(a) => {
+                            a.order_path = Some(format!("top-{n} bounded heap"));
+                            let stats = Arc::new(TopKStats::default());
+                            a.topk = Some(Arc::clone(&stats));
+                            stream.top_k_by_with_stats(orders, n, stats)
+                        }
+                        None => stream.top_k_by(orders, n),
+                    },
+                    None => {
+                        if let Some(a) = analyze {
+                            a.order_path = Some("blocking sort".to_owned());
+                        }
+                        stream.sorted_by(orders)
+                    }
                 }
             }
             // Plain LIMIT rides the pull pipeline: `take` stops calling
@@ -885,6 +1060,45 @@ impl SelectPlan {
         params: &[P],
         optimized: bool,
         verify: bool,
+    ) -> Result<Option<String>, QueryError> {
+        self.explain_with(engine, params, optimized, verify, None)
+    }
+
+    /// `EXPLAIN ANALYZE`: executes the statement with per-operator
+    /// tallies, drains the cursor, and renders the plan annotated with
+    /// actual row counts and inclusive operator times. `Ok(None)` for a
+    /// statically-empty result (nothing ran, so nothing to measure).
+    pub(crate) fn explain_analyze<P: AsRef<str>>(
+        &mut self,
+        engine: &Engine,
+        params: &[P],
+        optimized: bool,
+        verify: bool,
+    ) -> Result<Option<String>, QueryError> {
+        let mut exec = self.analyze_exec();
+        let sw = Stopwatch::start();
+        let cursor = self.cursor_instrumented(engine, params, Some(&mut exec))?;
+        if exec.statically_empty {
+            return Ok(None);
+        }
+        let result_rows = cursor.count() as u64;
+        let report = AnalyzeReport {
+            exec,
+            result_rows,
+            total_nanos: sw.elapsed_nanos(),
+        };
+        self.explain_with(engine, params, optimized, verify, Some(&report))
+    }
+
+    /// Shared renderer behind [`Self::explain`] (`analyzed: None`) and
+    /// [`Self::explain_analyze`] (`analyzed` carries the actuals).
+    fn explain_with<P: AsRef<str>>(
+        &self,
+        engine: &Engine,
+        params: &[P],
+        optimized: bool,
+        verify: bool,
+        analyzed: Option<&AnalyzeReport>,
     ) -> Result<Option<String>, QueryError> {
         // Both trees render from the template — literals as `'lit'`,
         // parameters as `?n` — so the text is identical to what
@@ -927,13 +1141,28 @@ impl SelectPlan {
             // A merge-eligible plan reports the merge (the cursor can
             // still fall back at run time if the dictionary or segments
             // stop cooperating — eligibility here is the static half).
-            let op = match (self.merge, self.limit) {
-                (true, Some(n)) => format!("streaming k-way segment merge, limit {n}"),
-                (true, None) => "streaming k-way segment merge".to_owned(),
-                (false, Some(n)) => format!("top-{n} bounded heap"),
-                (false, None) => "blocking sort".to_owned(),
+            let op = match analyzed.and_then(|r| r.exec.order_path.clone()) {
+                // ANALYZE reports the path the cursor *actually* took
+                // (merge eligibility has a dynamic half that can fall
+                // back at run time).
+                Some(actual) => actual,
+                None => match (self.merge, self.limit) {
+                    (true, Some(n)) => format!("streaming k-way segment merge, limit {n}"),
+                    (true, None) => "streaming k-way segment merge".to_owned(),
+                    (false, Some(n)) => format!("top-{n} bounded heap"),
+                    (false, None) => "blocking sort".to_owned(),
+                },
             };
             text.push_str(&format!("\norder: {ob} ({op})"));
+            if let Some(stats) = analyzed.and_then(|r| r.exec.topk.as_ref()) {
+                text.push_str(&format!(
+                    " (actual pulled={} peak retained={})",
+                    stats.pulled.load(std::sync::atomic::Ordering::Relaxed),
+                    stats
+                        .peak_retained
+                        .load(std::sync::atomic::Ordering::Relaxed),
+                ));
+            }
         }
         text.push_str(&format!(
             "\nestimated work: {:.0} ({:.0} tuples out)",
@@ -957,10 +1186,30 @@ impl SelectPlan {
                 before.total_work, after.total_work
             ));
         }
-        text.push_str(&format!(
-            "\nphysical:\n{}",
-            crate::verify::render_phys(&self.phys.root, &self.tables, Some(engine), 1)
-        ));
+        match analyzed {
+            Some(report) => {
+                text.push_str(&format!(
+                    "\nphysical:\n{}",
+                    crate::verify::render_phys_analyzed(
+                        &self.phys.root,
+                        &self.tables,
+                        Some(engine),
+                        1,
+                        &report.exec.tallies,
+                        0,
+                    )
+                ));
+                text.push_str(&format!(
+                    "\nanalyze: {} row(s) out in {}",
+                    report.result_rows,
+                    nf2_obs::format_nanos(report.total_nanos)
+                ));
+            }
+            None => text.push_str(&format!(
+                "\nphysical:\n{}",
+                crate::verify::render_phys(&self.phys.root, &self.tables, Some(engine), 1)
+            )),
+        }
         // With every parameter bound, the pruning effect is computable:
         // which shards the routing conjuncts leave, and how many
         // segments the zone maps skip in them.
@@ -1028,7 +1277,7 @@ pub struct Prepared {
 impl Prepared {
     /// Parses `sql` (one statement) and plans it if it is a SELECT.
     pub(crate) fn compile(engine: &Engine, sql: &str) -> Result<Self, QueryError> {
-        let stmt = crate::parser::parse(sql)?;
+        let stmt = engine.parse_traced(sql)?;
         let plan = Self::plan_of(engine, &stmt)?;
         Ok(Prepared {
             sql: sql.to_owned(),
@@ -1119,7 +1368,16 @@ impl Prepared {
     ) -> Result<Output, QueryError> {
         self.revalidate(session.engine())?;
         if let Some(plan) = &mut self.plan {
-            return execute_select(session.engine(), plan, params);
+            // Prepared SELECTs bypass Session::execute, so the latency
+            // series is settled here (mutations fall through to the
+            // session below and are recorded there).
+            let engine = session.engine();
+            let clock = engine.stmt_clock();
+            let result = execute_select(engine, plan, params);
+            if let Some(sw) = clock {
+                engine.observe_statement("select", sw);
+            }
+            return result;
         }
         let lits: Vec<&str> = params.iter().map(AsRef::as_ref).collect();
         let bound = self.stmt.bind(&lits).map_err(|e| QueryError::ParamCount {
@@ -1564,6 +1822,110 @@ mod tests {
             .unwrap();
         let text = stmt.explain(&session).unwrap();
         assert!(text.contains("blocking sort"), "{text}");
+    }
+
+    /// Parses the `N` out of `(actual rows=N time=…)` on one plan line.
+    fn actual_rows(line: &str) -> u64 {
+        let rest = line
+            .split("actual rows=")
+            .nth(1)
+            .unwrap_or_else(|| panic!("no actuals on {line:?}"));
+        rest.split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap_or_else(|e| panic!("bad rows in {line:?}: {e}"))
+    }
+
+    /// The indented operator lines of the `physical:` section.
+    fn physical_lines(text: &str) -> Vec<&str> {
+        text.lines()
+            .skip_while(|l| !l.starts_with("physical:"))
+            .skip(1)
+            .take_while(|l| l.starts_with("  "))
+            .collect()
+    }
+
+    #[test]
+    fn explain_analyze_annotates_every_operator() {
+        let engine = engine();
+        let mut session = engine.session();
+        let out = session
+            .run("EXPLAIN ANALYZE SELECT Student FROM sc JOIN cp WHERE Prof = 'p1'")
+            .unwrap();
+        let Output::Message(text) = out else {
+            panic!("unexpected {out:?}")
+        };
+        let phys = physical_lines(&text);
+        assert!(phys.len() >= 4, "expected a join pipeline: {text}");
+        for line in &phys {
+            assert!(line.contains("(actual rows="), "{line}\n{text}");
+            assert!(line.contains("time="), "{line}\n{text}");
+        }
+        // The summary line reports the drained result size, and the root
+        // operator's actual matches it exactly (nothing re-orders above
+        // the root here).
+        let summary = text
+            .lines()
+            .find(|l| l.starts_with("analyze: "))
+            .unwrap_or_else(|| panic!("no analyze summary: {text}"));
+        let result_rows: u64 = summary
+            .strip_prefix("analyze: ")
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(actual_rows(phys[0]), result_rows, "{text}");
+        assert!(result_rows > 0, "p1 teaches interned courses: {text}");
+        // The unfiltered scan of sc streamed the whole table.
+        let sc_line = phys
+            .iter()
+            .find(|l| l.contains("scan[sc"))
+            .unwrap_or_else(|| panic!("no sc scan: {text}"));
+        assert_eq!(
+            actual_rows(sc_line),
+            engine.table("sc").unwrap().tuple_count() as u64,
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn explain_analyze_reports_order_operator_actuals() {
+        let engine = engine();
+        let mut session = engine.session();
+        let out = session
+            .run("EXPLAIN ANALYZE SELECT * FROM sc ORDER BY Student LIMIT 2")
+            .unwrap();
+        let Output::Message(text) = out else {
+            panic!("unexpected {out:?}")
+        };
+        assert!(text.contains("top-2 bounded heap"), "{text}");
+        assert!(text.contains("(actual pulled="), "{text}");
+        assert!(text.contains("peak retained="), "{text}");
+        // The heap pulled exactly what the root operator yielded.
+        let pulled: u64 = text
+            .split("actual pulled=")
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let phys = physical_lines(&text);
+        assert_eq!(actual_rows(phys[0]), pulled, "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_of_statically_empty_result() {
+        let engine = engine();
+        let mut session = engine.session();
+        let out = session
+            .run("EXPLAIN ANALYZE SELECT * FROM sc WHERE Student = 'ghost'")
+            .unwrap();
+        assert!(out.to_text().contains("empty result"), "{out:?}");
     }
 
     #[test]

@@ -590,6 +590,52 @@ pub(crate) fn render_phys(
     text
 }
 
+/// [`render_phys`] with per-operator actuals appended: each node line
+/// gets `(actual rows=N time=…)` from its [`OpTally`]. `tallies` is
+/// indexed by the same pre-order as [`crate::prepare::phys_size`]
+/// numbers the tree (first child = `idx + 1`, a join's right child =
+/// `idx + 1 + phys_size(left)`), which is exactly the order this walk
+/// emits lines in.
+pub(crate) fn render_phys_analyzed(
+    node: &Phys,
+    tables: &[String],
+    engine: Option<&Engine>,
+    indent: usize,
+    tallies: &[std::sync::Arc<nf2_algebra::OpTally>],
+    idx: usize,
+) -> String {
+    let pad = "  ".repeat(indent);
+    let actual = match tallies.get(idx) {
+        Some(t) => format!(
+            " (actual rows={} time={})",
+            t.rows(),
+            nf2_obs::format_nanos(t.nanos())
+        ),
+        None => String::new(),
+    };
+    let mut text = format!("{pad}{}{actual}", render_node(node, tables, engine));
+    let children: Vec<(&Phys, usize)> = match node {
+        Phys::Scan { .. } => vec![],
+        Phys::Select { input, .. } | Phys::Project { input, .. } => vec![(input, idx + 1)],
+        Phys::Join { left, right, .. } => vec![
+            (left, idx + 1),
+            (right, idx + 1 + crate::prepare::phys_size(left)),
+        ],
+    };
+    for (child, child_idx) in children {
+        text.push('\n');
+        text.push_str(&render_phys_analyzed(
+            child,
+            tables,
+            engine,
+            indent + 1,
+            tallies,
+            child_idx,
+        ));
+    }
+    text
+}
+
 /// Runs [`check_plan`] and renders a human-readable verdict for
 /// `EXPLAIN VERIFY`.
 pub(crate) fn verify_report(plan: &SelectPlan, engine: &Engine) -> String {

@@ -135,11 +135,13 @@ fn statement() -> impl Strategy<Value = Statement> {
             select(),
             proptest::strategy::any::<bool>(),
             proptest::strategy::any::<bool>(),
+            proptest::strategy::any::<bool>(),
         )
-            .prop_map(|(inner, optimized, verify)| Statement::Explain {
+            .prop_map(|(inner, optimized, verify, analyze)| Statement::Explain {
                 inner: Box::new(inner),
                 optimized,
                 verify,
+                analyze,
             }),
     ]
 }

@@ -38,6 +38,18 @@ use crate::index::HashIndex;
 
 /// Probe and operation counters for the search-space experiments (E9) —
 /// a point-in-time snapshot of [`SharedTableStats`].
+///
+/// # Tearing semantics
+///
+/// A snapshot is **not** an atomic cut across counters: each field is a
+/// separate `Relaxed` load, so a snapshot taken while another thread is
+/// mid-operation can mix counters from before and after that operation
+/// (e.g. a scan's `lookups` bump without its `units_probed` settle).
+/// Each individual counter is still exact and monotonic. Code that
+/// reasons about *deltas* must therefore diff two whole snapshots taken
+/// at quiescent points (`after.units_probed - before.units_probed`),
+/// never re-load individual fields mid-measurement — the E21/E22
+/// assertions and the analyze proptests follow this discipline.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct TableStats {
     /// Number of lookup calls.
@@ -52,6 +64,16 @@ pub struct TableStats {
     /// ([`NfTable::scan_shards_zoned`]) — their tuples were never
     /// probed, so they are *not* in `units_probed`.
     pub segments_skipped: u64,
+    /// Shard-version epochs installed by writers (`NfTable::publish`).
+    pub epoch_installs: u64,
+    /// MVCC snapshots pinned ([`NfTable::snapshot`]).
+    pub snapshot_pins: u64,
+    /// Explicit WAL flushes that reached the data directory.
+    pub wal_flushes: u64,
+    /// Canonical-form rebuilds triggered by batch maintenance.
+    pub rebuilds: u64,
+    /// Wall time spent inside those rebuilds, in nanoseconds.
+    pub rebuild_nanos: u64,
 }
 
 /// The live, concurrently-updated counters behind [`TableStats`].
@@ -67,6 +89,11 @@ pub struct SharedTableStats {
     inserts: AtomicU64,
     deletes: AtomicU64,
     segments_skipped: AtomicU64,
+    epoch_installs: AtomicU64,
+    snapshot_pins: AtomicU64,
+    wal_flushes: AtomicU64,
+    rebuilds: AtomicU64,
+    rebuild_nanos: AtomicU64,
 }
 
 impl SharedTableStats {
@@ -77,12 +104,19 @@ impl SharedTableStats {
             inserts: AtomicU64::new(stats.inserts),
             deletes: AtomicU64::new(stats.deletes),
             segments_skipped: AtomicU64::new(stats.segments_skipped),
+            epoch_installs: AtomicU64::new(stats.epoch_installs),
+            snapshot_pins: AtomicU64::new(stats.snapshot_pins),
+            wal_flushes: AtomicU64::new(stats.wal_flushes),
+            rebuilds: AtomicU64::new(stats.rebuilds),
+            rebuild_nanos: AtomicU64::new(stats.rebuild_nanos),
         }
     }
 
     /// A point-in-time copy. Counters are read individually (`Relaxed`),
     /// so a snapshot taken during a concurrent scan may be mid-settle —
     /// each counter is still exact once the scans it observed finish.
+    /// See [`TableStats`] for the tearing semantics and the
+    /// whole-snapshot-delta discipline this implies.
     pub fn snapshot(&self) -> TableStats {
         TableStats {
             lookups: self.lookups.load(Ordering::Relaxed),
@@ -90,6 +124,11 @@ impl SharedTableStats {
             inserts: self.inserts.load(Ordering::Relaxed),
             deletes: self.deletes.load(Ordering::Relaxed),
             segments_skipped: self.segments_skipped.load(Ordering::Relaxed),
+            epoch_installs: self.epoch_installs.load(Ordering::Relaxed),
+            snapshot_pins: self.snapshot_pins.load(Ordering::Relaxed),
+            wal_flushes: self.wal_flushes.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            rebuild_nanos: self.rebuild_nanos.load(Ordering::Relaxed),
         }
     }
 
@@ -353,6 +392,7 @@ impl NfTable {
             .map(|s| (s, Arc::clone(w.canon.version(s))))
             .collect();
         self.versions.install(versions);
+        self.stats.epoch_installs.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Applies a batch of flat-row operations through the auto strategy
@@ -380,8 +420,20 @@ impl NfTable {
         let TableWriter {
             canon, maintenance, ..
         } = &mut *w;
+        let sw = nf2_obs::Stopwatch::start();
         let (summary, rebuilds) = canon.apply_batch_auto(ops, maintenance)?;
         let rebuilt = rebuilds > 0;
+        if rebuilt {
+            // Attribute the batch's wall time to the rebuild series only
+            // when a shard actually took the rebuild arm — incremental
+            // batches stay out of the rebuild histogram.
+            self.stats
+                .rebuilds
+                .fetch_add(rebuilds as u64, Ordering::Relaxed);
+            self.stats
+                .rebuild_nanos
+                .fetch_add(sw.elapsed_nanos(), Ordering::Relaxed);
+        }
         if summary.inserted + summary.deleted > 0 {
             w.index = None;
             // Publish the shards the batch routed to, all behind one
@@ -462,6 +514,7 @@ impl NfTable {
     /// published version, grabbed atomically. All statement-level reads
     /// go through a snapshot so one statement sees one table state.
     pub fn snapshot(&self) -> TableSnapshot {
+        self.stats.snapshot_pins.fetch_add(1, Ordering::Relaxed);
         TableSnapshot {
             version: self.versions.pin(),
             routing: self.routing.clone(),
@@ -752,6 +805,7 @@ impl NfTable {
             e.encode(&mut buf);
         }
         std::fs::write(wal_path(dir, &self.name), &buf)?;
+        self.stats.wal_flushes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 

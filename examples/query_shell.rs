@@ -6,11 +6,16 @@
 //! Statements: CREATE TABLE / DROP TABLE / INSERT / DELETE / UPDATE /
 //! SELECT (multi-way JOIN, IN lists, COUNT aggregates, ORDER BY
 //! [ASC|DESC], LIMIT) / NEST / UNNEST / SHOW [FLAT] / TABLES / STATS /
-//! BEGIN / COMMIT / ROLLBACK / EXPLAIN [OPTIMIZED]. End each with `;`
-//! or a newline.
+//! BEGIN / COMMIT / ROLLBACK / EXPLAIN [OPTIMIZED] [VERIFY] [ANALYZE].
+//! End each with `;` or a newline.
+//!
+//! Shell commands: `\timing` toggles per-statement wall time,
+//! `\metrics` dumps the engine's metrics snapshot (statement latency
+//! histograms + per-table counters).
 
 use std::io::{BufRead, Write};
 
+use nf2::obs::{format_nanos, Stopwatch};
 use nf2::query::Engine;
 
 fn main() {
@@ -36,11 +41,14 @@ fn main() {
         println!("  SELECT COUNT(DISTINCT Student) FROM sc;");
         println!("  BEGIN; DELETE FROM sc; ROLLBACK;");
         println!("  EXPLAIN OPTIMIZED SELECT Club FROM sc WHERE Student IN ('s1','s2');");
+        println!("  EXPLAIN ANALYZE SELECT Student, Course FROM sc ORDER BY Course LIMIT 2;");
+        println!("  \\timing   \\metrics");
         println!("  TABLES;   SHOW FLAT sc;   STATS sc;   (Ctrl-D to quit)\n");
     }
 
     let stdin = std::io::stdin();
     let mut buffer = String::new();
+    let mut timing = false;
     loop {
         if interactive {
             print!("nf2> ");
@@ -58,12 +66,26 @@ fn main() {
         buffer.push_str(&line);
         // Execute once the statement terminates (`;`) or on a bare line.
         if buffer.trim_end().ends_with(';') || !line.contains(';') {
-            let script = buffer.trim();
+            let script = buffer.trim().to_owned();
+            buffer.clear();
             if script.is_empty() {
-                buffer.clear();
                 continue;
             }
-            match db.run_script(script) {
+            // Backslash commands are shell-local, never sent to the engine.
+            match script.trim_end_matches(';').trim() {
+                "\\timing" => {
+                    timing = !timing;
+                    println!("Timing is {}.", if timing { "on" } else { "off" });
+                    continue;
+                }
+                "\\metrics" => {
+                    println!("{}", engine.metrics().to_text());
+                    continue;
+                }
+                _ => {}
+            }
+            let sw = Stopwatch::start();
+            match db.run_script(&script) {
                 Ok(outputs) => {
                     for out in outputs {
                         println!("{}", out.to_text());
@@ -71,7 +93,9 @@ fn main() {
                 }
                 Err(e) => eprintln!("error: {e}"),
             }
-            buffer.clear();
+            if timing {
+                println!("Time: {}", format_nanos(sw.elapsed_nanos()));
+            }
         }
     }
 }

@@ -11,6 +11,7 @@
 //! | [`algebra`] | `nf2-algebra` | NF² relational algebra with NEST/UNNEST, plus streaming evaluation |
 //! | [`storage`] | `nf2-storage` | realization-view storage: pages, heap files, WAL, tables |
 //! | [`query`] | `nf2-query` | the NF² engine: SQL-ish DML, sessions, prepared statements, cursors |
+//! | [`obs`] | `nf2-obs` | observability: spans, metrics registry, subscribers, the sanctioned clock |
 //! | [`workload`] | `nf2-workload` | deterministic experiment workloads |
 //!
 //! ## Quickstart
@@ -55,6 +56,7 @@
 pub use nf2_algebra as algebra;
 pub use nf2_core as core;
 pub use nf2_deps as deps;
+pub use nf2_obs as obs;
 pub use nf2_query as query;
 pub use nf2_storage as storage;
 pub use nf2_workload as workload;

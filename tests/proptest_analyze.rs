@@ -1,0 +1,155 @@
+//! Property tests pinning `EXPLAIN ANALYZE` exactness at the outermost
+//! boundary: for random workloads and a family of query shapes, the
+//! per-operator `actual rows=` annotations must equal what an
+//! independent cursor drain of the same statement yields, and each
+//! scan's actuals must equal that table's `units_probed` delta read
+//! from one whole [`TableStats`] snapshot pair around the ANALYZE run
+//! (the counters tear field-wise — see the type's tearing note). Both
+//! invariants are checked sharded (4 hash shards, where a merge path's
+//! per-shard pipelines sum into shared tallies) and unsharded.
+
+use proptest::prelude::*;
+
+use nf2::query::{Engine, Output};
+
+/// One query shape from the family ANALYZE must account for exactly.
+#[derive(Debug, Clone)]
+enum Q {
+    /// Full scan: `SELECT * FROM sc`.
+    Scan,
+    /// Point lookup, possibly on a never-inserted (even never-interned)
+    /// course value — the statically-empty path.
+    Point(u8),
+    /// Join with a pushed-down dimension predicate.
+    Join(u8),
+    /// ORDER BY + LIMIT: the top-k / merge order paths.
+    TopK(u8),
+}
+
+fn arb_q() -> impl Strategy<Value = Q> {
+    prop_oneof![
+        Just(Q::Scan),
+        (0u8..6).prop_map(Q::Point),
+        (0u8..4).prop_map(Q::Join),
+        (1u8..5).prop_map(Q::TopK),
+    ]
+}
+
+fn sql_of(q: &Q) -> String {
+    match q {
+        Q::Scan => "SELECT * FROM sc".to_owned(),
+        Q::Point(c) => format!("SELECT Student FROM sc WHERE Course = 'c{c}'"),
+        Q::Join(p) => format!("SELECT Student FROM sc JOIN cp WHERE Prof = 'p{p}'"),
+        Q::TopK(n) => format!("SELECT * FROM sc ORDER BY Student LIMIT {n}"),
+    }
+}
+
+/// The `N` of the first `(actual rows=N …)` on the line containing
+/// `needle`, or a panic naming what is missing.
+fn actual_rows(text: &str, needle: &str) -> u64 {
+    text.lines()
+        .find(|l| l.contains(needle))
+        .and_then(|l| l.split("actual rows=").nth(1))
+        .and_then(|r| r.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("no `{needle}` actuals in:\n{text}"))
+}
+
+/// The root operator line of the `physical:` section.
+fn root_rows(text: &str) -> u64 {
+    let line = text
+        .lines()
+        .skip_while(|l| !l.starts_with("physical:"))
+        .nth(1)
+        .unwrap_or_else(|| panic!("no physical section in:\n{text}"));
+    actual_rows(line, "")
+}
+
+fn seed(engine: &Engine, rows: &[(u8, u8)]) {
+    let mut script = String::from(
+        "CREATE TABLE sc (Student, Course) NEST ORDER (Student, Course);
+         CREATE TABLE cp (Course, Prof);",
+    );
+    for (s, c) in rows {
+        script.push_str(&format!("INSERT INTO sc VALUES ('s{s}', 'c{c}');"));
+    }
+    for c in 0..4u8 {
+        script.push_str(&format!("INSERT INTO cp VALUES ('c{c}', 'p{}');", c % 3));
+    }
+    engine.session().run_script(&script).unwrap();
+}
+
+fn check(engine: &Engine, q: &Q) {
+    let sql = sql_of(q);
+    let mut session = engine.session();
+
+    // Independent oracle: drain the statement's own cursor.
+    let mut stmt = session.prepare(&sql).unwrap();
+    let expected = stmt.query(&session, nf2::query::NO_PARAMS).unwrap().count() as u64;
+
+    // One whole-snapshot pair per table around the ANALYZE run only.
+    let before_sc = engine.table("sc").unwrap().stats();
+    let before_cp = engine.table("cp").unwrap().stats();
+    let out = session.run(&format!("EXPLAIN ANALYZE {sql}")).unwrap();
+    let after_sc = engine.table("sc").unwrap().stats();
+    let after_cp = engine.table("cp").unwrap().stats();
+    let Output::Message(text) = out else {
+        panic!("unexpected {out:?}")
+    };
+
+    if text.contains("empty result") {
+        // Statically empty: the predicate value was never interned, so
+        // nothing ran — the oracle must agree nothing matches.
+        prop_assert_eq!(expected, 0, "{}", text);
+        return;
+    }
+
+    let summary: u64 = text
+        .lines()
+        .find(|l| l.starts_with("analyze: "))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("no analyze summary in:\n{text}"));
+    prop_assert_eq!(summary, expected, "drain vs ANALYZE on {}:\n{}", sql, text);
+    if !matches!(q, Q::TopK(_)) {
+        // No order operator above the root: the root's actuals are the
+        // result. (Top-k pulls more than it keeps, by design.)
+        prop_assert_eq!(root_rows(&text), expected, "{}", text);
+    }
+
+    // Scan actuals == the storage layer's own probe accounting.
+    prop_assert_eq!(
+        actual_rows(&text, "scan[sc"),
+        after_sc.units_probed - before_sc.units_probed,
+        "sc probes on {}:\n{}",
+        sql,
+        text
+    );
+    if matches!(q, Q::Join(_)) {
+        prop_assert_eq!(
+            actual_rows(&text, "scan[cp"),
+            after_cp.units_probed - before_cp.units_probed,
+            "cp probes on {}:\n{}",
+            sql,
+            text
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// ANALYZE actuals are exact — sharded and unsharded — for random
+    /// workloads across the query-shape family.
+    #[test]
+    fn analyze_actuals_match_drain_and_probe_deltas(
+        rows in proptest::collection::vec((0u8..6, 0u8..4), 1..30),
+        q in arb_q(),
+    ) {
+        for shards in [1usize, 4] {
+            let engine = Engine::builder().shards(shards).build().unwrap();
+            seed(&engine, &rows);
+            check(&engine, &q);
+        }
+    }
+}

@@ -28,6 +28,11 @@
 //!    `SeqCst`/`AcqRel`/`Acquire`/`Release` outside `mvcc.rs` is a
 //!    finding — synchronization belongs behind the version cell, not
 //!    sprinkled through the codebase.
+//! 8. **Clock containment** — `std::time::Instant` lives in `nf2-obs`
+//!    (whose `Stopwatch` is the sanctioned monotonic clock, honoring
+//!    the metrics kill switch pattern) and the bench/measurement crate.
+//!    Everywhere else, raw clock reads bypass the observability layer
+//!    and its disabled-path guarantees — time through `nf2-obs`.
 //!
 //! The checks are purely lexical (comments, string literals, and
 //! `#[cfg(test)]` items are blanked before matching) so the tool runs
@@ -269,6 +274,23 @@ fn check_file(rel: &str, path: &Path, raw: &str, code: &str, findings: &mut Vec<
                 "no-static-mut",
                 "static mut is UB-bait and invisible to the MVCC protocol; \
                  use the engine's interior-mutability types"
+                    .into(),
+            );
+        }
+
+        // Rule 8: Instant is confined to nf2-obs (the Stopwatch home)
+        // and the bench crate. The token match catches both the `use`
+        // and any fully-qualified call.
+        if line.contains("Instant")
+            && !rel.starts_with("crates/obs/")
+            && !rel.starts_with("crates/bench/")
+        {
+            push(
+                findings,
+                lineno,
+                "clock-containment",
+                "std::time::Instant outside nf2-obs/bench: raw clock reads \
+                 bypass the observability layer — use nf2_obs::Stopwatch"
                     .into(),
             );
         }
@@ -520,6 +542,43 @@ mod tests {
         assert_eq!(rules, vec!["no-static-mut", "ordering-containment"]);
         assert_eq!(findings[0].line, 1);
         assert_eq!(findings[1].line, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lint_confines_instant_to_obs_and_bench() {
+        let dir = std::env::temp_dir().join(format!("xtask-lint-clock-{}", std::process::id()));
+        // Planted violation: a query-layer file reaching for the raw clock.
+        let query_dir = dir.join("crates/query/src");
+        std::fs::create_dir_all(&query_dir).unwrap();
+        std::fs::write(
+            query_dir.join("bad.rs"),
+            "use std::time::Instant;\n\
+             // Instant in a comment is fine\n\
+             fn f() -> u64 { let t = Instant::now(); t.elapsed().as_nanos() as u64 }\n",
+        )
+        .unwrap();
+        // The same token in the sanctioned homes is clean.
+        let obs_dir = dir.join("crates/obs/src");
+        std::fs::create_dir_all(&obs_dir).unwrap();
+        std::fs::write(
+            obs_dir.join("clock.rs"),
+            "pub struct Stopwatch(std::time::Instant);\n",
+        )
+        .unwrap();
+        let bench_dir = dir.join("crates/bench/src");
+        std::fs::create_dir_all(&bench_dir).unwrap();
+        std::fs::write(
+            bench_dir.join("timing.rs"),
+            "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n",
+        )
+        .unwrap();
+        let findings = lint(&dir);
+        let rules: Vec<(&str, usize)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+        assert_eq!(
+            rules,
+            vec![("clock-containment", 1), ("clock-containment", 3)]
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
