@@ -741,6 +741,171 @@ impl ShardedCanonical {
     }
 }
 
+/// One shard's **writer-side** state, split out of [`ShardedCanonical`]
+/// so each shard can sit behind its own lock: the shard's current
+/// [`ShardVersion`] (mutated copy-on-write), its private [`NestKernel`]
+/// rebuild scratch, and its accumulated §4 maintenance cost.
+///
+/// A table that wants per-shard write concurrency calls
+/// [`ShardedCanonical::into_writers`] once at construction and wraps
+/// each writer in a mutex; routed point ops then lock exactly one
+/// writer, build the replacement `Arc<ShardVersion>` in parallel with
+/// writers on other shards, and publish through
+/// [`crate::mvcc::VersionCell::submit`]. The writer itself is
+/// lock-free — acquisition ordering across writers is the caller's
+/// contract (the storage write module locks ascending shard index).
+#[derive(Debug)]
+pub struct ShardWriter {
+    version: Arc<ShardVersion>,
+    kernel: NestKernel,
+    cost: CostCounter,
+    /// The routing attribute (`P(n−1)`) — needed to re-emit segments
+    /// after a rebuild arm. `None` only for zero-arity schemas.
+    attr: Option<AttrId>,
+    arity: usize,
+    segment_rows: usize,
+}
+
+impl ShardWriter {
+    /// The shard's current version — what gets published after a
+    /// mutation (cheap `Arc` clone).
+    pub fn version(&self) -> &Arc<ShardVersion> {
+        &self.version
+    }
+
+    /// §4 maintenance cost accumulated by every op routed here.
+    pub fn cost(&self) -> &CostCounter {
+        &self.cost
+    }
+
+    /// The target tuples-per-segment currently in effect.
+    pub fn segment_rows(&self) -> usize {
+        self.segment_rows
+    }
+
+    /// Changes the tuples-per-segment target and re-tiles the shard if
+    /// its tuple vector is still in canonical sorted order.
+    pub fn set_segment_rows(&mut self, rows: usize) {
+        self.segment_rows = rows.max(1);
+        if self.version.segments().is_fresh() {
+            self.rebuild_segments();
+        }
+    }
+
+    fn check_arity(&self, got: usize) -> Result<()> {
+        if got != self.arity {
+            return Err(NfError::ArityMismatch {
+                expected: self.arity,
+                got,
+            });
+        }
+        Ok(())
+    }
+
+    fn rebuild_segments(&mut self) {
+        let attr = self.attr;
+        let rows = self.segment_rows;
+        let ShardVersion { canon, segments } = Arc::make_mut(&mut self.version);
+        segments.rebuild(canon.relation().tuples(), attr, rows);
+    }
+
+    /// §4.2 insertion against this shard. Returns `true` if new. The
+    /// caller is responsible for having routed the row here.
+    pub fn insert_counted(&mut self, row: FlatTuple) -> Result<bool> {
+        self.check_arity(row.len())?;
+        let mut c = CostCounter::new();
+        let v = Arc::make_mut(&mut self.version);
+        let fresh = v.canon.insert_counted(row, &mut c)?;
+        self.cost.accumulate(&c);
+        if fresh {
+            v.segments.note_delta(1);
+        }
+        Ok(fresh)
+    }
+
+    /// §4.3 deletion against this shard. Returns `true` if present.
+    pub fn delete_counted(&mut self, row: &[Atom]) -> Result<bool> {
+        self.check_arity(row.len())?;
+        let mut c = CostCounter::new();
+        let v = Arc::make_mut(&mut self.version);
+        let hit = v.canon.delete_counted(row, &mut c)?;
+        self.cost.accumulate(&c);
+        if hit {
+            v.segments.note_delta(1);
+        }
+        Ok(hit)
+    }
+
+    /// Applies this shard's sub-batch through the auto strategy
+    /// (incremental §4 maintenance or a kernel rebuild, whichever the
+    /// batch-size heuristic picks) and keeps the segment synopsis
+    /// consistent. Returns the summary and whether the rebuild arm ran.
+    pub fn apply_batch(&mut self, batch: &[Op]) -> Result<(BatchSummary, bool)> {
+        for op in batch {
+            self.check_arity(op.row().len())?;
+        }
+        let mut c = CostCounter::new();
+        let v = Arc::make_mut(&mut self.version);
+        let (summary, rebuilt) =
+            apply_batch_auto_with(&mut self.kernel, &mut v.canon, batch, &mut c)?;
+        self.cost.accumulate(&c);
+        if rebuilt {
+            self.rebuild_segments();
+        } else if summary.inserted + summary.deleted > 0 {
+            v.segments.note_delta(summary.inserted + summary.deleted);
+        }
+        Ok((summary, rebuilt))
+    }
+}
+
+impl ShardedCanonical {
+    /// Splits this store into independent per-shard writer states — the
+    /// constructor for a table's per-shard commit pipeline. Each writer
+    /// takes its shard's version, kernel scratch, and segment-rows
+    /// target; the shared routing/schema context stays with the caller.
+    pub fn into_writers(self) -> Vec<ShardWriter> {
+        let arity = self.schema.arity();
+        let attr = self.router.attr();
+        let rows = self.segment_rows;
+        self.shards
+            .into_iter()
+            .zip(self.kernels)
+            .map(|(version, kernel)| ShardWriter {
+                version,
+                kernel,
+                cost: CostCounter::new(),
+                attr,
+                arity,
+                segment_rows: rows,
+            })
+            .collect()
+    }
+
+    /// Reassembles a store from published shard versions — the
+    /// inspection path for a table whose writer state lives in
+    /// per-shard lanes. The versions must come from a store built with
+    /// the same schema, order, and spec (shard count must match).
+    pub fn from_versions(
+        schema: Arc<Schema>,
+        order: NestOrder,
+        spec: ShardSpec,
+        versions: Vec<Arc<ShardVersion>>,
+        segment_rows: usize,
+    ) -> Result<Self> {
+        let mut out = Self::new(schema, order, spec)?;
+        if versions.len() != out.shard_count() {
+            return Err(NfError::InvalidShardSpec(format!(
+                "{} versions supplied for a {}-shard spec",
+                versions.len(),
+                out.shard_count()
+            )));
+        }
+        out.shards = versions;
+        out.segment_rows = segment_rows.max(1);
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1102,6 +1267,96 @@ mod tests {
             sharded.shard(0).tuple_count()
         );
         sharded.verify().unwrap();
+    }
+
+    #[test]
+    fn shard_writers_mirror_the_monolithic_store() {
+        let flat = random_flat(2, 60, 8, 55);
+        let order = NestOrder::identity(2);
+        let spec = ShardSpec::hash(3).unwrap();
+        let mut oracle = ShardedCanonical::from_flat(&flat, order.clone(), spec.clone()).unwrap();
+        let split = ShardedCanonical::from_flat(&flat, order.clone(), spec.clone()).unwrap();
+        let schema = split.schema().clone();
+        let router = split.router().clone();
+        let seg_rows = split.segment_rows();
+        let mut writers = split.into_writers();
+        assert_eq!(writers.len(), 3);
+
+        // Routed point ops through the writer lanes track the oracle.
+        let mut state = 0x51EDu64;
+        for _ in 0..60 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let r = row(&[(state >> 13) as u32 % 9, 100 + (state >> 33) as u32 % 9]);
+            let shard = router.route_row(&r);
+            if state.is_multiple_of(3) {
+                assert_eq!(
+                    writers[shard].delete_counted(&r).unwrap(),
+                    oracle.delete(&r).unwrap()
+                );
+            } else {
+                assert_eq!(
+                    writers[shard].insert_counted(r.clone()).unwrap(),
+                    oracle.insert(r).unwrap()
+                );
+            }
+        }
+        // A per-shard sub-batch through the writer matches the oracle.
+        let batch: Vec<Op> = (0..40u32)
+            .map(|i| Op::Insert(row(&[3000 + i, 4000])))
+            .collect();
+        let shard = router.route_row(batch[0].row());
+        let (summary, _) = writers[shard].apply_batch(&batch).unwrap();
+        let mut cost = MaintenanceCost::new(oracle.shard_count());
+        let (oracle_summary, _) = oracle.apply_batch_auto(&batch, &mut cost).unwrap();
+        assert_eq!(summary, oracle_summary);
+
+        // Reassembled from the writers' versions, the store verifies and
+        // merges to the oracle's canonical form.
+        let versions: Vec<_> = writers.iter().map(|w| Arc::clone(w.version())).collect();
+        let view =
+            ShardedCanonical::from_versions(schema, order, spec, versions, seg_rows).unwrap();
+        view.verify().unwrap();
+        assert_eq!(view.to_relation(), oracle.to_relation());
+        assert!(
+            writers.iter().map(|w| w.cost().recons_calls).sum::<u64>() > 0,
+            "writer lanes accumulate maintenance cost"
+        );
+    }
+
+    #[test]
+    fn shard_writer_guards_arity_and_segment_rows() {
+        let s = schema(&["A", "B"]);
+        let store =
+            ShardedCanonical::new(s, NestOrder::identity(2), ShardSpec::hash(2).unwrap()).unwrap();
+        let mut writers = store.into_writers();
+        assert!(writers[0].insert_counted(row(&[1])).is_err());
+        assert!(writers[0].delete_counted(&row(&[1, 2, 3])).is_err());
+        assert!(writers[0].apply_batch(&[Op::Insert(row(&[9]))]).is_err());
+        for i in 0..40u32 {
+            let _ = writers[0].insert_counted(row(&[i, i])).ok();
+        }
+        writers[0].set_segment_rows(4);
+        assert_eq!(writers[0].segment_rows(), 4);
+    }
+
+    #[test]
+    fn from_versions_rejects_shard_count_mismatch() {
+        let s = schema(&["A", "B"]);
+        let store = ShardedCanonical::new(
+            s.clone(),
+            NestOrder::identity(2),
+            ShardSpec::hash(2).unwrap(),
+        )
+        .unwrap();
+        let versions = store.versions();
+        assert!(ShardedCanonical::from_versions(
+            s,
+            NestOrder::identity(2),
+            ShardSpec::hash(3).unwrap(),
+            versions,
+            DEFAULT_SEGMENT_ROWS,
+        )
+        .is_err());
     }
 
     #[test]

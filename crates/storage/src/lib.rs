@@ -13,6 +13,8 @@
 //! * [`index`] — secondary hash indexes (value → record ids) with
 //!   persistence and integrity verification;
 //! * [`dictionary`] — a concurrent interning dictionary;
+//! * `wal` (crate-internal) — the sequenced group-commit write-ahead
+//!   log shared by a table's per-shard writer lanes;
 //! * [`table`] — [`table::NfTable`], the NF²-native engine
 //!   (canonical maintenance + WAL + checkpoints + probe-counted lookups),
 //!   and [`table::FlatTable`], the 1NF baseline it is measured
@@ -27,6 +29,7 @@ pub mod heap;
 pub mod index;
 pub mod page;
 pub mod table;
+pub(crate) mod wal;
 
 pub use bufferpool::{BufferPool, PagedFile, PoolStats};
 pub use dictionary::SharedDictionary;

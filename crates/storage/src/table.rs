@@ -7,6 +7,21 @@
 //! [`FlatTable`] is the 1NF baseline storing one record per flat row.
 //! Both count probes so the "reduction of logical search space" claim
 //! (§2, §5) is measurable.
+//!
+//! ## Write path: routed per-shard commit pipeline
+//!
+//! Writers no longer serialize on one table lock. Each shard's writer
+//! state ([`nf2_core::shard::ShardWriter`]) sits behind its own mutex
+//! (a *lane*); a routed §4 point op locks exactly the lane its row
+//! routes to, builds the replacement `Arc<ShardVersion>` there, appends
+//! its WAL entry to the shared sequenced commit log (`crate::wal`), and
+//! publishes through [`VersionCell::submit`] — whose short table-level
+//! critical section coalesces racing commits from different shards into
+//! a single epoch bump. Multi-shard operations (batches, checkpoints,
+//! inspection views) acquire the lanes they touch in **ascending shard
+//! index order**; that ordering discipline lives only in this module
+//! (`lock_lane`/`lock_lanes`, enforced by `cargo xtask lint`) and is
+//! what makes the pipeline deadlock-free.
 
 use std::collections::HashMap;
 use std::ops::Range;
@@ -24,9 +39,10 @@ use nf2_core::mvcc::{ShardVersion, TableVersion, VersionCell};
 use nf2_core::relation::{FlatRelation, NfRelation};
 use nf2_core::schema::{AttrId, NestOrder, Schema};
 use nf2_core::segment::ShardSegments;
-use nf2_core::shard::{MaintenanceCost, ShardRouter, ShardSpec, ShardedCanonical};
+use nf2_core::shard::{MaintenanceCost, ShardRouter, ShardSpec, ShardWriter, ShardedCanonical};
 use nf2_core::tuple::{FlatTuple, NfTuple, TupleStore, TupleView, ValueSet};
 use nf2_core::value::Atom;
+use nf2_obs::Histogram;
 
 use crate::codec::{
     decode_flat_tuple, decode_nf_tuple, encode_flat_tuple, encode_nf_tuple, get_varint, put_varint,
@@ -35,6 +51,7 @@ use crate::dictionary::SharedDictionary;
 use crate::error::{Result, StorageError};
 use crate::heap::{HeapFile, RecordId};
 use crate::index::HashIndex;
+use crate::wal::{CommitLog, WalEntry};
 
 /// Probe and operation counters for the search-space experiments (E9) —
 /// a point-in-time snapshot of [`SharedTableStats`].
@@ -64,11 +81,16 @@ pub struct TableStats {
     /// ([`NfTable::scan_shards_zoned`]) — their tuples were never
     /// probed, so they are *not* in `units_probed`.
     pub segments_skipped: u64,
-    /// Shard-version epochs installed by writers (`NfTable::publish`).
+    /// Version publications submitted by writers. Concurrent
+    /// submissions may coalesce into fewer epoch bumps (the install
+    /// leader drains racing shards under one bump), so this counts
+    /// committed operations, not epochs — `epoch() <= epoch_installs`.
     pub epoch_installs: u64,
     /// MVCC snapshots pinned ([`NfTable::snapshot`]).
     pub snapshot_pins: u64,
-    /// Explicit WAL flushes that reached the data directory.
+    /// WAL flushes that reached the data directory: one per
+    /// fsync-equivalent, however many writers' entries rode in the
+    /// group (a flush finding its group already durable counts zero).
     pub wal_flushes: u64,
     /// Canonical-form rebuilds triggered by batch maintenance.
     pub rebuilds: u64,
@@ -139,38 +161,6 @@ impl SharedTableStats {
     }
 }
 
-/// A WAL entry: one flat-row mutation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum WalEntry {
-    Insert(FlatTuple),
-    Delete(FlatTuple),
-}
-
-impl WalEntry {
-    fn encode(&self, out: &mut BytesMut) {
-        let (tag, row) = match self {
-            WalEntry::Insert(r) => (1u8, r),
-            WalEntry::Delete(r) => (2u8, r),
-        };
-        out.put_u8(tag);
-        encode_flat_tuple(row, out);
-    }
-
-    fn decode(buf: &mut &[u8], arity: usize) -> Result<Self> {
-        if buf.is_empty() {
-            return Err(StorageError::Corrupt("wal entry truncated".into()));
-        }
-        let tag = buf[0];
-        *buf = &buf[1..];
-        let row = decode_flat_tuple(buf, arity)?;
-        match tag {
-            1 => Ok(WalEntry::Insert(row)),
-            2 => Ok(WalEntry::Delete(row)),
-            t => Err(StorageError::Corrupt(format!("unknown wal tag {t}"))),
-        }
-    }
-}
-
 /// An NF² table: canonical NFR as the physical representation — held as
 /// a [`ShardedCanonical`] partitioned on the outermost nest attribute
 /// (one shard by default) — with WAL + checkpoint durability and an
@@ -182,16 +172,27 @@ impl WalEntry {
 /// per-shard tuple streams, and [`relation`](NfTable::relation) serves
 /// the exact global canonical form from an epoch-keyed merge cache.
 ///
-/// ## Concurrency (shard-snapshot MVCC)
+/// ## Concurrency (shard-snapshot MVCC, per-shard writer lanes)
 ///
 /// The table is fully shareable (`&self` for every operation, including
-/// mutations): the canonical store lives behind a writer [`Mutex`], and
-/// every committed state is *published* into a [`VersionCell`] as
-/// immutable `Arc`-held [`ShardVersion`]s. Readers pin a
-/// [`TableSnapshot`] once per statement and stream scans without taking
-/// any lock; a writer installs replacement versions for exactly the
-/// shards it touched behind a single epoch bump, so pinned readers keep
-/// their state and readers pruned to other shards are untouched.
+/// mutations): the writer state is split into per-shard *lanes* — one
+/// [`ShardWriter`] behind its own [`Mutex`] per shard — and every
+/// committed state is *published* into a [`VersionCell`] as immutable
+/// `Arc`-held [`ShardVersion`]s. Readers pin a [`TableSnapshot`] once
+/// per statement and stream scans without taking any lock. A routed
+/// point op locks only the lane its row routes to, so writers on
+/// different shards build their replacement versions fully in parallel;
+/// publication goes through [`VersionCell::submit`], whose table-level
+/// critical section is just the pointer install — racing commits from
+/// different shards coalesce there into a single epoch bump, preserving
+/// the bump-by-{0,1} snapshot protocol pinned readers rely on.
+///
+/// Deadlock freedom: every multi-lane path acquires lanes in ascending
+/// shard-index order through `lock_lanes`, and a single point op holds
+/// exactly one lane. The lane guard is held across the whole commit
+/// (mutate → WAL append → submit), so each shard has at most one
+/// in-flight commit and its WAL entries appear in serial mutation
+/// order.
 #[derive(Debug)]
 pub struct NfTable {
     name: String,
@@ -203,9 +204,23 @@ pub struct NfTable {
     routing: ShardRouter,
     /// The published MVCC state: readers pin, writers install.
     versions: VersionCell,
-    /// The write half: canonical store, WAL, index and maintenance
-    /// counters. Writers serialize on this lock; readers never take it.
-    writer: Mutex<TableWriter>,
+    /// Per-shard writer lanes, indexed by shard id. Lock through
+    /// `lock_lane`/`lock_lanes` only — ascending order is the
+    /// deadlock-freedom contract (checked by `cargo xtask lint`).
+    lanes: Vec<Mutex<ShardWriter>>,
+    /// The sequenced group-commit WAL shared by all lanes.
+    wal: CommitLog,
+    /// (attr, value) → tuple positions at index-build time; dropped on
+    /// any state-changing mutation.
+    index: Mutex<Option<PointIndex>>,
+    /// Group-commit window in microseconds (leader dwell before the
+    /// fsync-equivalent); 0 = flush immediately. Engine-configurable.
+    group_commit_us: AtomicU64,
+    /// Microseconds writers spent blocked on contended lane locks
+    /// (uncontended acquisitions record nothing).
+    lock_wait_us: Histogram,
+    /// Entries made durable per WAL group flush.
+    wal_group_size: Histogram,
     /// Epoch-keyed merged-relation cache: `(epoch, merge)` of the last
     /// merge computed. A read at the same epoch reuses the `Arc`; a
     /// state-changing mutation bumps the epoch and the next read
@@ -216,18 +231,9 @@ pub struct NfTable {
     stats: Arc<SharedTableStats>,
 }
 
-/// The writer-side state of an [`NfTable`], serialized by one mutex.
-#[derive(Debug)]
-struct TableWriter {
-    canon: ShardedCanonical,
-    wal: Vec<WalEntry>,
-    /// (attr, value) → tuple positions at index-build time; dropped on any
-    /// mutation.
-    index: Option<HashMap<(AttrId, Atom), Vec<usize>>>,
-    /// Accumulated §4 maintenance costs across all updates, with the
-    /// per-shard breakdown.
-    maintenance: MaintenanceCost,
-}
+/// The secondary point-lookup index: (attr, value) → positions of the
+/// canonical tuples containing that value.
+type PointIndex = HashMap<(AttrId, Atom), Vec<usize>>;
 
 impl NfTable {
     /// Creates an empty single-shard table.
@@ -251,7 +257,13 @@ impl NfTable {
     ) -> Result<Self> {
         let schema = Schema::new(name, attr_names)?;
         let canon = ShardedCanonical::new(schema, order, spec)?;
-        Ok(Self::wrap(name, dict, canon, TableStats::default()))
+        Ok(Self::wrap(
+            name,
+            dict,
+            canon,
+            TableStats::default(),
+            CommitLog::new(),
+        ))
     }
 
     /// Builds a single-shard table from an existing 1NF relation by
@@ -275,7 +287,13 @@ impl NfTable {
         dict: SharedDictionary,
     ) -> Result<Self> {
         let canon = ShardedCanonical::from_flat(flat, order, spec)?;
-        Ok(Self::wrap(name, dict, canon, TableStats::default()))
+        Ok(Self::wrap(
+            name,
+            dict,
+            canon,
+            TableStats::default(),
+            CommitLog::new(),
+        ))
     }
 
     /// Bulk-loads rows of atoms through the single-pass nest kernel: one
@@ -321,6 +339,7 @@ impl NfTable {
                 inserts: loaded,
                 ..TableStats::default()
             },
+            CommitLog::new(),
         ))
     }
 
@@ -356,15 +375,16 @@ impl NfTable {
         Self::bulk_load_atoms_sharded(name, attr_names, atoms, order, spec, dict)
     }
 
-    /// Assembles a table around a sharded canonical relation and
-    /// publishes its initial versions at epoch 0.
+    /// Assembles a table around a sharded canonical relation — split
+    /// into per-shard writer lanes — and publishes its initial versions
+    /// at epoch 0.
     fn wrap(
         name: &str,
         dict: SharedDictionary,
         canon: ShardedCanonical,
         stats: TableStats,
+        wal: CommitLog,
     ) -> Self {
-        let shards = canon.shard_count();
         Self {
             name: name.to_owned(),
             dict,
@@ -372,26 +392,59 @@ impl NfTable {
             order: canon.order().clone(),
             routing: canon.router().clone(),
             versions: VersionCell::new(canon.versions()),
-            writer: Mutex::new(TableWriter {
-                canon,
-                wal: Vec::new(),
-                index: None,
-                maintenance: MaintenanceCost::new(shards),
-            }),
+            lanes: canon.into_writers().into_iter().map(Mutex::new).collect(),
+            wal,
+            index: Mutex::new(None),
+            group_commit_us: AtomicU64::new(0),
+            lock_wait_us: Histogram::new(),
+            wal_group_size: Histogram::new(),
             merged: Mutex::new(None),
             stats: Arc::new(SharedTableStats::with(stats)),
         }
     }
 
-    /// Publishes the current writer-side versions of `touched` shards
-    /// behind a single epoch bump. Must be called with the writer lock
-    /// held and only after a state-changing mutation.
-    fn publish(&self, w: &TableWriter, touched: impl IntoIterator<Item = usize>) {
-        let versions = touched
-            .into_iter()
-            .map(|s| (s, Arc::clone(w.canon.version(s))))
+    /// Locks one shard's writer lane — the single per-shard lock
+    /// acquisition point. Contended acquisitions (another writer holds
+    /// the lane) record their wait in the `lock_wait_us` histogram;
+    /// the uncontended fast path costs one `try_lock`.
+    fn lock_lane(&self, shard: usize) -> std::sync::MutexGuard<'_, ShardWriter> {
+        if let Some(guard) = self.lanes[shard].try_lock() {
+            return guard;
+        }
+        let sw = nf2_obs::Stopwatch::start();
+        let guard = self.lanes[shard].lock();
+        self.lock_wait_us.record(sw.elapsed_us());
+        guard
+    }
+
+    /// Locks the given lanes in **ascending shard-index order** — the
+    /// deadlock-freedom discipline every multi-shard path follows.
+    /// `shards` must be sorted and deduplicated.
+    fn lock_lanes(&self, shards: &[usize]) -> Vec<std::sync::MutexGuard<'_, ShardWriter>> {
+        debug_assert!(
+            shards.windows(2).all(|w| w[0] < w[1]),
+            "lanes must be acquired in ascending shard order"
+        );
+        shards.iter().map(|&s| self.lock_lane(s)).collect()
+    }
+
+    /// Locks every lane (ascending), quiescing all writers — the
+    /// whole-table critical section for checkpoints and inspection.
+    fn lock_all_lanes(&self) -> Vec<std::sync::MutexGuard<'_, ShardWriter>> {
+        let all: Vec<usize> = (0..self.lanes.len()).collect();
+        self.lock_lanes(&all)
+    }
+
+    /// Publishes already-locked lanes' current versions through the
+    /// coalescing submit protocol. Callers must hold the lane guards
+    /// they pass in (that is what bounds each shard to one in-flight
+    /// commit).
+    fn submit_lanes(&self, lanes: &[(usize, &ShardWriter)]) {
+        let versions = lanes
+            .iter()
+            .map(|&(shard, lane)| (shard, Arc::clone(lane.version())))
             .collect();
-        self.versions.install(versions);
+        self.versions.submit(versions);
         self.stats.epoch_installs.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -416,48 +469,83 @@ impl NfTable {
                 }));
             }
         }
-        let mut w = self.writer.lock();
-        let TableWriter {
-            canon, maintenance, ..
-        } = &mut *w;
+        // Route the batch: one sub-batch per shard, in the original
+        // operation order within each shard.
+        let mut per_shard: Vec<Vec<Op>> = vec![Vec::new(); self.shard_count()];
+        for op in ops {
+            per_shard[self.routing.route_row(op.row())].push(op.clone());
+        }
+        let touched: Vec<usize> = (0..per_shard.len())
+            .filter(|&s| !per_shard[s].is_empty())
+            .collect();
+        if touched.is_empty() {
+            return Ok((BatchSummary::default(), false));
+        }
+        let mut lanes = self.lock_lanes(&touched);
         let sw = nf2_obs::Stopwatch::start();
-        let (summary, rebuilds) = canon.apply_batch_auto(ops, maintenance)?;
+        let mut outcomes: Vec<Option<nf2_core::Result<(BatchSummary, bool)>>> =
+            (0..touched.len()).map(|_| None).collect();
+        // Fan the sub-batches across scoped threads — each lane's
+        // rebuild/incremental arm runs concurrently, exactly like the
+        // shard-parallel rebuild the monolithic store used to do.
+        std::thread::scope(|scope| {
+            let mut slots = outcomes.iter_mut();
+            for (lane, &shard) in lanes.iter_mut().zip(&touched) {
+                let slot = slots.next().expect("one outcome slot per touched lane");
+                let batch = &per_shard[shard];
+                let lane: &mut ShardWriter = lane;
+                if touched.len() == 1 {
+                    *slot = Some(lane.apply_batch(batch));
+                } else {
+                    scope.spawn(move || *slot = Some(lane.apply_batch(batch)));
+                }
+            }
+        });
+        let mut summary = BatchSummary::default();
+        let mut rebuilds = 0u64;
+        for outcome in outcomes {
+            let (s, rebuilt) = outcome
+                .expect("scoped threads filled every slot")
+                .map_err(StorageError::Model)?;
+            summary.inserted += s.inserted;
+            summary.deleted += s.deleted;
+            summary.noops += s.noops;
+            rebuilds += u64::from(rebuilt);
+        }
         let rebuilt = rebuilds > 0;
         if rebuilt {
             // Attribute the batch's wall time to the rebuild series only
             // when a shard actually took the rebuild arm — incremental
             // batches stay out of the rebuild histogram.
-            self.stats
-                .rebuilds
-                .fetch_add(rebuilds as u64, Ordering::Relaxed);
+            self.stats.rebuilds.fetch_add(rebuilds, Ordering::Relaxed);
             self.stats
                 .rebuild_nanos
                 .fetch_add(sw.elapsed_nanos(), Ordering::Relaxed);
         }
         if summary.inserted + summary.deleted > 0 {
-            w.index = None;
-            // Publish the shards the batch routed to, all behind one
-            // epoch bump. A shard whose sub-batch turned out to be all
+            *self.index.lock() = None;
+            // Publish every shard the batch routed to through one
+            // submit. A shard whose sub-batch turned out to be all
             // no-ops re-installs its existing Arc — pointer-identical,
             // so pinned and pruned readers are untouched. A batch with
             // no state change at all skips the bump entirely, keeping
             // the epoch-keyed merge cache warm.
-            let mut touched: Vec<usize> = ops
+            let locked: Vec<(usize, &ShardWriter)> = touched
                 .iter()
-                .map(|op| self.routing.route_row(op.row()))
+                .zip(lanes.iter())
+                .map(|(&shard, lane)| (shard, &**lane))
                 .collect();
-            touched.sort_unstable();
-            touched.dedup();
-            self.publish(&w, touched);
+            self.submit_lanes(&locked);
         }
         // WAL replay tolerates no-ops (insert/delete return false), so the
-        // whole batch is logged verbatim and replays to the same state.
-        for op in ops {
-            match op {
-                Op::Insert(row) => w.wal.push(WalEntry::Insert(row.clone())),
-                Op::Delete(row) => w.wal.push(WalEntry::Delete(row.clone())),
-            }
-        }
+        // whole batch is logged verbatim — while the lanes are still
+        // held, so no racing point op can interleave inside the batch's
+        // log footprint on any touched shard — and replays to the same
+        // state.
+        self.wal.extend(ops.iter().map(|op| match op {
+            Op::Insert(row) => WalEntry::Insert(row.clone()),
+            Op::Delete(row) => WalEntry::Delete(row.clone()),
+        }));
         self.stats
             .inserts
             .fetch_add(summary.inserted as u64, Ordering::Relaxed);
@@ -493,16 +581,29 @@ impl NfTable {
         self.routing.shard_count()
     }
 
-    /// The writer-side sharded canonical store backing the table.
+    /// An assembled view of the table's sharded canonical store.
     ///
-    /// Takes the writer lock for the lifetime of the returned guard —
-    /// an inspection/verification surface, not a fast path. Do not hold
-    /// two of these guards (or call another writer-locking method while
-    /// holding one) on the same table.
-    pub fn sharded(&self) -> ShardedGuard<'_> {
-        ShardedGuard {
-            guard: self.writer.lock(),
-        }
+    /// Quiesces writers momentarily (every lane locked in ascending
+    /// order), snapshots each lane's version, and reassembles a
+    /// [`ShardedCanonical`] around them — an inspection/verification
+    /// surface, not a fast path. The returned view is owned: the lanes
+    /// are released before it is handed back, so holding it blocks
+    /// nothing.
+    pub fn sharded(&self) -> ShardedView {
+        let lanes = self.lock_all_lanes();
+        let versions: Vec<Arc<ShardVersion>> =
+            lanes.iter().map(|l| Arc::clone(l.version())).collect();
+        let segment_rows = lanes.first().map_or(1, |l| l.segment_rows());
+        drop(lanes);
+        let store = ShardedCanonical::from_versions(
+            self.schema.clone(),
+            self.order.clone(),
+            self.routing.spec().clone(),
+            versions,
+            segment_rows,
+        )
+        .expect("lane versions always match the table's own shard spec");
+        ShardedView { store }
     }
 
     /// The shared dictionary.
@@ -565,13 +666,19 @@ impl NfTable {
     /// Accumulated §4 maintenance cost over the table's lifetime
     /// (summed across shards).
     pub fn maintenance_cost(&self) -> CostCounter {
-        self.writer.lock().maintenance.total
+        self.maintenance_breakdown().total
     }
 
-    /// The per-shard maintenance-cost breakdown (copied out of the
-    /// writer state).
+    /// The per-shard maintenance-cost breakdown, aggregated from the
+    /// per-lane counters under a whole-table quiesce.
     pub fn maintenance_breakdown(&self) -> MaintenanceCost {
-        self.writer.lock().maintenance.clone()
+        let lanes = self.lock_all_lanes();
+        let mut breakdown = MaintenanceCost::new(lanes.len());
+        for (shard, lane) in lanes.iter().enumerate() {
+            breakdown.per_shard[shard] = *lane.cost();
+            breakdown.total.accumulate(lane.cost());
+        }
+        breakdown
     }
 
     /// Interns string values into a flat row for this schema.
@@ -606,16 +713,18 @@ impl NfTable {
     /// (the table- and session-level rollback regression tests pin
     /// this).
     pub fn insert_atoms(&self, row: FlatTuple) -> Result<bool> {
-        let mut w = self.writer.lock();
-        let TableWriter {
-            canon, maintenance, ..
-        } = &mut *w;
-        let fresh = canon.insert_counted(row.clone(), maintenance)?;
+        self.check_row_arity(row.len())?;
+        let shard = self.routing.route_row(&row);
+        let mut lane = self.lock_lane(shard);
+        let fresh = lane
+            .insert_counted(row.clone())
+            .map_err(StorageError::Model)?;
         if fresh {
-            let shard = self.routing.route_row(&row);
-            w.wal.push(WalEntry::Insert(row));
-            w.index = None;
-            self.publish(&w, [shard]);
+            *self.index.lock() = None;
+            // WAL append happens under the lane lock so this shard's
+            // entries hit the sequenced log in serial mutation order.
+            self.wal.append(WalEntry::Insert(row));
+            self.submit_lanes(&[(shard, &*lane)]);
             self.stats.inserts.fetch_add(1, Ordering::Relaxed);
         }
         Ok(fresh)
@@ -633,19 +742,29 @@ impl NfTable {
     /// [`insert_atoms`](Self::insert_atoms) for why this conditional
     /// form also covers the rollback/undo path.
     pub fn delete_atoms(&self, row: &[Atom]) -> Result<bool> {
-        let mut w = self.writer.lock();
-        let TableWriter {
-            canon, maintenance, ..
-        } = &mut *w;
-        let hit = canon.delete_counted(row, maintenance)?;
+        self.check_row_arity(row.len())?;
+        let shard = self.routing.route_row(row);
+        let mut lane = self.lock_lane(shard);
+        let hit = lane.delete_counted(row).map_err(StorageError::Model)?;
         if hit {
-            let shard = self.routing.route_row(row);
-            w.wal.push(WalEntry::Delete(row.to_vec()));
-            w.index = None;
-            self.publish(&w, [shard]);
+            *self.index.lock() = None;
+            self.wal.append(WalEntry::Delete(row.to_vec()));
+            self.submit_lanes(&[(shard, &*lane)]);
             self.stats.deletes.fetch_add(1, Ordering::Relaxed);
         }
         Ok(hit)
+    }
+
+    /// Rejects rows of the wrong arity before routing (the router
+    /// indexes the routing attribute, so arity must hold first).
+    fn check_row_arity(&self, got: usize) -> Result<()> {
+        if got != self.schema.arity() {
+            return Err(StorageError::Model(nf2_core::NfError::ArityMismatch {
+                expected: self.schema.arity(),
+                got,
+            }));
+        }
+        Ok(())
     }
 
     /// Whether the table contains the flat row (`searcht` against
@@ -702,9 +821,14 @@ impl NfTable {
     /// re-tiles every fresh shard and publishes the re-tiled versions.
     /// Test and experiment knob.
     pub fn set_segment_rows(&self, rows: usize) {
-        let mut w = self.writer.lock();
-        w.canon.set_segment_rows(rows);
-        self.versions.install_all(w.canon.versions());
+        let mut lanes = self.lock_all_lanes();
+        for lane in lanes.iter_mut() {
+            lane.set_segment_rows(rows);
+        }
+        // Holding every lane means no submit is in flight, so the
+        // whole-table install cannot race a coalescing leader.
+        self.versions
+            .install_all(lanes.iter().map(|l| Arc::clone(l.version())).collect());
     }
 
     /// The value router the table's shards are partitioned by — what a
@@ -747,15 +871,15 @@ impl NfTable {
                 }
             }
         }
-        self.writer.lock().index = Some(index);
+        *self.index.lock() = Some(index);
     }
 
     /// Indexed lookup; probes only the posting list (counted). Requires
     /// [`build_index`](Self::build_index) since the last mutation.
     pub fn lookup_indexed(&self, attr: AttrId, value: Atom) -> Result<Vec<NfTuple>> {
         let rel = self.relation();
-        let w = self.writer.lock();
-        let index = w.index.as_ref().ok_or_else(|| {
+        let guard = self.index.lock();
+        let index = guard.as_ref().ok_or_else(|| {
             StorageError::InvalidRecord("index not built (or invalidated by a mutation)".into())
         })?;
         let tuples = rel.tuples();
@@ -775,43 +899,90 @@ impl NfTable {
     /// Checkpoints to `dir`: meta + page file of NF² tuples (the merged
     /// global canonical form); truncates the WAL.
     ///
-    /// Holds the writer lock across the whole checkpoint so the meta,
-    /// pages and WAL truncation describe one consistent state (every
-    /// mutation publishes before releasing that lock, so the published
-    /// snapshot and the writer state agree here).
+    /// Holds every lane lock (ascending) across the whole checkpoint so
+    /// the meta, pages and WAL truncation describe one consistent state
+    /// (every mutation publishes before releasing its lane, so the
+    /// published snapshot and the lane state agree here).
     pub fn checkpoint(&self, dir: &Path) -> Result<()> {
         std::fs::create_dir_all(dir)?;
-        let mut w = self.writer.lock();
-        self.write_meta(&w, &meta_path(dir, &self.name))?;
+        let lanes = self.lock_all_lanes();
+        let versions: Vec<Arc<ShardVersion>> =
+            lanes.iter().map(|l| Arc::clone(l.version())).collect();
+        let segment_rows = lanes.first().map_or(1, |l| l.segment_rows());
+        self.write_meta_for(&versions, segment_rows, &meta_path(dir, &self.name))?;
+        let store = ShardedCanonical::from_versions(
+            self.schema.clone(),
+            self.order.clone(),
+            self.routing.spec().clone(),
+            versions,
+            segment_rows,
+        )
+        .expect("lane versions always match the table's own shard spec");
         let mut heap = HeapFile::new();
         let mut buf = BytesMut::new();
-        let merged = w.canon.to_relation();
+        let merged = store.to_relation();
         for t in merged.tuples() {
             buf.clear();
             encode_nf_tuple(t, &mut buf);
             heap.insert(&buf)?;
         }
         heap.save(&pages_path(dir, &self.name))?;
-        w.wal.clear();
-        std::fs::write(wal_path(dir, &self.name), b"")?;
+        self.wal.truncate(&wal_path(dir, &self.name))?;
+        drop(lanes);
         Ok(())
     }
 
-    /// Appends pending WAL entries to disk without checkpointing.
+    /// Makes buffered WAL entries durable without checkpointing, via
+    /// the group-commit protocol: concurrent flushers elect one leader
+    /// per group and the whole sequenced log lands in one
+    /// fsync-equivalent. `wal_flushes` counts actual writes — a flush
+    /// whose group a racing leader already made durable counts zero —
+    /// and each group's size is recorded in the `wal.group.size`
+    /// histogram.
     pub fn flush_wal(&self, dir: &Path) -> Result<()> {
         std::fs::create_dir_all(dir)?;
-        let mut buf = BytesMut::new();
-        for e in &self.writer.lock().wal {
-            e.encode(&mut buf);
+        let window = self.group_commit_us.load(Ordering::Relaxed);
+        if let Some(group) = self.wal.flush_to(&wal_path(dir, &self.name), window)? {
+            self.stats.wal_flushes.fetch_add(1, Ordering::Relaxed);
+            self.wal_group_size.record(group);
         }
-        std::fs::write(wal_path(dir, &self.name), &buf)?;
-        self.stats.wal_flushes.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Sets the group-commit window: how long an elected flush leader
+    /// dwells (microseconds) before its fsync-equivalent, letting
+    /// concurrent writers' entries join the group. 0 flushes
+    /// immediately. Engine wiring (`EngineBuilder::group_commit`).
+    pub fn set_group_commit_us(&self, us: u64) {
+        self.group_commit_us.store(us, Ordering::Relaxed);
+    }
+
+    /// The configured group-commit window in microseconds.
+    pub fn group_commit_us(&self) -> u64 {
+        self.group_commit_us.load(Ordering::Relaxed)
+    }
+
+    /// Replaces the write-path histogram handles with shared ones —
+    /// registry-backed clones, so the engine's metrics snapshot exports
+    /// lane lock waits and WAL group sizes without polling the table.
+    /// Called at table registration, before the table is shared.
+    pub fn set_write_metrics(&mut self, lock_wait_us: Histogram, wal_group_size: Histogram) {
+        self.lock_wait_us = lock_wait_us;
+        self.wal_group_size = wal_group_size;
     }
 
     /// Opens a table from `dir`: loads the checkpoint pages, restores the
     /// persisted shard spec, then replays the WAL (every entry routed
     /// through the sharded store like a live mutation).
+    ///
+    /// Replay is prefix-tolerant: a crash in the middle of a group
+    /// flush leaves a torn byte tail, and because the group-commit log
+    /// rewrites the whole sequenced file per flush, any byte prefix
+    /// decodes to an entry prefix — replay stops at the first torn
+    /// entry, which is exactly the last durably committed prefix. The
+    /// replayed entries re-seed the in-memory commit log as
+    /// already-durable, so a later flush re-writes them instead of
+    /// silently dropping them.
     pub fn open(dir: &Path, name: &str, dict: SharedDictionary) -> Result<Self> {
         let (attr_names, order_attrs, dict_entries, spec, persisted_segments) =
             read_meta(&meta_path(dir, name))?;
@@ -846,22 +1017,54 @@ impl NfTable {
                 check_persisted_segments(&canon, persisted)?;
             }
         }
-        // Replay WAL.
+        // Replay the WAL up to the first torn entry (see above).
         let mut slice: &[u8] = &wal_bytes;
+        let mut entries = Vec::new();
         while !slice.is_empty() {
-            match WalEntry::decode(&mut slice, arity)? {
+            match WalEntry::decode(&mut slice, arity) {
+                Ok(entry) => entries.push(entry),
+                Err(_) => break,
+            }
+        }
+        for entry in &entries {
+            match entry {
                 WalEntry::Insert(row) => {
-                    canon.insert(row)?;
+                    canon.insert(row.clone())?;
                 }
                 WalEntry::Delete(row) => {
-                    canon.delete(&row)?;
+                    canon.delete(row)?;
                 }
             }
         }
-        Ok(Self::wrap(name, dict, canon, TableStats::default()))
+        Ok(Self::wrap(
+            name,
+            dict,
+            canon,
+            TableStats::default(),
+            CommitLog::with_durable(entries),
+        ))
     }
 
-    fn write_meta(&self, w: &TableWriter, path: &Path) -> Result<()> {
+    /// Writes the meta file describing the current table state — what a
+    /// checkpoint records, without touching pages or WAL. Quiesces the
+    /// lanes to collect a consistent synopsis.
+    pub fn write_meta(&self, path: &Path) -> Result<()> {
+        let lanes = self.lock_all_lanes();
+        let versions: Vec<Arc<ShardVersion>> =
+            lanes.iter().map(|l| Arc::clone(l.version())).collect();
+        let segment_rows = lanes.first().map_or(1, |l| l.segment_rows());
+        drop(lanes);
+        self.write_meta_for(&versions, segment_rows, path)
+    }
+
+    /// The meta serializer proper, fed a consistent set of shard
+    /// versions (collected under lane locks by the caller).
+    fn write_meta_for(
+        &self,
+        versions: &[Arc<ShardVersion>],
+        segment_rows: usize,
+        path: &Path,
+    ) -> Result<()> {
         let mut buf = BytesMut::new();
         let schema = self.schema();
         put_varint(&mut buf, schema.arity() as u64);
@@ -899,10 +1102,10 @@ impl NfTable {
         // when fresh, each segment's row count, distinct-outer estimate
         // and per-attribute min/max codes. open() re-derives segments
         // from the checkpoint pages and validates them against this.
-        put_varint(&mut buf, w.canon.segment_rows() as u64);
-        put_varint(&mut buf, w.canon.shard_count() as u64);
-        for shard in 0..w.canon.shard_count() {
-            let ss = w.canon.shard_segments(shard);
+        put_varint(&mut buf, segment_rows as u64);
+        put_varint(&mut buf, versions.len() as u64);
+        for version in versions {
+            let ss = version.segments();
             if !ss.is_fresh() {
                 buf.put_u8(0);
                 continue;
@@ -951,24 +1154,20 @@ fn merge_version(schema: &Arc<Schema>, routing: &ShardRouter, pin: &TableVersion
     NestKernel::new().nest_once(&concat, attr)
 }
 
-/// A writer-lock guard dereferencing to the table's [`ShardedCanonical`]
+/// An owned, read-only assembly of the table's [`ShardedCanonical`]
 /// store — what [`NfTable::sharded`] hands out for inspection and
-/// verification surfaces.
-pub struct ShardedGuard<'a> {
-    guard: std::sync::MutexGuard<'a, TableWriter>,
+/// verification surfaces. Holds `Arc` snapshots of the lane versions
+/// taken under a momentary whole-table quiesce; no lock is held while
+/// the view is alive.
+pub struct ShardedView {
+    store: ShardedCanonical,
 }
 
-impl std::ops::Deref for ShardedGuard<'_> {
+impl std::ops::Deref for ShardedView {
     type Target = ShardedCanonical;
 
     fn deref(&self) -> &ShardedCanonical {
-        &self.guard.canon
-    }
-}
-
-impl std::ops::DerefMut for ShardedGuard<'_> {
-    fn deref_mut(&mut self) -> &mut ShardedCanonical {
-        &mut self.guard.canon
+        &self.store
     }
 }
 
@@ -1675,8 +1874,7 @@ mod tests {
         t.flush_wal(&dir).unwrap();
         // Meta must know the new dictionary entries — rewrite it the way
         // checkpoint would, without truncating the wal.
-        t.write_meta(&t.writer.lock(), &meta_path(&dir, "sc"))
-            .unwrap();
+        t.write_meta(&meta_path(&dir, "sc")).unwrap();
         let reopened = NfTable::open(&dir, "sc", SharedDictionary::new()).unwrap();
         assert_eq!(reopened.relation(), t.relation());
         assert_eq!(reopened.flat_count(), 4);
@@ -1770,8 +1968,7 @@ mod tests {
         assert_eq!(fresh, *t.relation());
         // WAL replay after reopen reproduces the same relation.
         t.flush_wal(&dir).unwrap();
-        t.write_meta(&t.writer.lock(), &meta_path(&dir, "sc"))
-            .unwrap();
+        t.write_meta(&meta_path(&dir, "sc")).unwrap();
         let reopened = NfTable::open(&dir, "sc", SharedDictionary::new()).unwrap();
         assert_eq!(reopened.relation(), t.relation());
     }
@@ -1959,13 +2156,101 @@ mod tests {
         t.checkpoint(&dir).unwrap();
         t.insert_row(&["s9", "c9"]).unwrap();
         t.flush_wal(&dir).unwrap();
-        t.write_meta(&t.writer.lock(), &meta_path(&dir, "sc"))
-            .unwrap();
+        t.write_meta(&meta_path(&dir, "sc")).unwrap();
         let reopened = NfTable::open(&dir, "sc", SharedDictionary::new()).unwrap();
         assert_eq!(reopened.shard_count(), 3, "spec survives the round trip");
         assert_eq!(reopened.shard_spec(), t.shard_spec());
         assert_eq!(reopened.relation(), t.relation());
         reopened.sharded().verify().unwrap();
+    }
+
+    #[test]
+    fn concurrent_point_writers_commit_on_distinct_shards() {
+        let t = sharded_table(4);
+        let start = t.flat_count();
+        // Four writer threads, each hammering its own set of rows. The
+        // lanes let them commit in parallel; the coalescing submit may
+        // batch racing publications, so the epoch advances by at most —
+        // and usually fewer than — the number of state changes.
+        let rounds = 50u32;
+        std::thread::scope(|scope| {
+            for w in 0..4u32 {
+                let t = &t;
+                scope.spawn(move || {
+                    for i in 0..rounds {
+                        t.insert_row(&[&format!("w{w}_{i}"), &format!("c{w}x{i}")])
+                            .expect("concurrent insert routes cleanly");
+                    }
+                });
+            }
+        });
+        assert_eq!(t.flat_count(), start + u128::from(4 * rounds));
+        let inserted = u64::from(4 * rounds);
+        assert!(t.epoch() <= inserted + 6, "one bump max per state change");
+        assert_eq!(t.stats().inserts, 6 + inserted);
+        let fresh = nf2_core::nest::canonical_of_flat(&t.relation().expand(), t.order());
+        assert_eq!(fresh, *t.relation(), "storm preserves canonical form");
+        t.sharded().verify().unwrap();
+    }
+
+    #[test]
+    fn wal_flushes_count_once_per_write_and_record_group_size() {
+        let dir = temp_dir("group_stats");
+        let t = sample_table();
+        assert_eq!(t.stats().wal_flushes, 0);
+        t.flush_wal(&dir).unwrap();
+        assert_eq!(t.stats().wal_flushes, 1, "four entries, one write");
+        // Nothing new buffered: the flush is a no-op and must not count.
+        t.flush_wal(&dir).unwrap();
+        assert_eq!(t.stats().wal_flushes, 1, "already-durable group is free");
+        t.insert_row(&["s7", "c7"]).unwrap();
+        t.flush_wal(&dir).unwrap();
+        assert_eq!(t.stats().wal_flushes, 2);
+    }
+
+    #[test]
+    fn torn_wal_tail_recovers_last_durable_prefix() {
+        let dir = temp_dir("torn");
+        let t = sample_table();
+        t.checkpoint(&dir).unwrap();
+        // Two post-checkpoint entries; remember the byte boundary after
+        // the first so we can tear the file inside the second.
+        t.insert_row(&["s5", "c5"]).unwrap();
+        t.flush_wal(&dir).unwrap();
+        t.write_meta(&meta_path(&dir, "sc")).unwrap();
+        let boundary = std::fs::metadata(wal_path(&dir, "sc")).unwrap().len();
+        t.insert_row(&["s6", "c6"]).unwrap();
+        t.flush_wal(&dir).unwrap();
+        t.write_meta(&meta_path(&dir, "sc")).unwrap();
+        let full = std::fs::read(wal_path(&dir, "sc")).unwrap();
+        assert!(full.len() > boundary as usize);
+        // Crash mid-group: only part of the second entry hit the disk.
+        std::fs::write(wal_path(&dir, "sc"), &full[..boundary as usize + 1]).unwrap();
+        let reopened = NfTable::open(&dir, "sc", SharedDictionary::new()).unwrap();
+        let s5 = reopened.row_from_strs(&["s5", "c5"]).unwrap();
+        assert!(reopened.contains(&s5), "durable prefix replayed");
+        assert_eq!(reopened.flat_count(), 5, "torn entry not applied");
+    }
+
+    #[test]
+    fn reopened_table_keeps_replayed_wal_across_flushes() {
+        let dir = temp_dir("reseed");
+        let t = sample_table();
+        t.checkpoint(&dir).unwrap();
+        t.insert_row(&["s5", "c5"]).unwrap();
+        t.flush_wal(&dir).unwrap();
+        t.write_meta(&meta_path(&dir, "sc")).unwrap();
+        // First reopen replays s5 from the WAL; a flush after another
+        // insert must keep s5 in the rewritten log (the commit log is
+        // seeded with the replayed entries as already durable).
+        let r1 = NfTable::open(&dir, "sc", SharedDictionary::new()).unwrap();
+        r1.insert_row(&["s6", "c6"]).unwrap();
+        r1.flush_wal(&dir).unwrap();
+        r1.write_meta(&meta_path(&dir, "sc")).unwrap();
+        let r2 = NfTable::open(&dir, "sc", SharedDictionary::new()).unwrap();
+        assert_eq!(r2.flat_count(), 6);
+        let s5 = r2.row_from_strs(&["s5", "c5"]).unwrap();
+        assert!(r2.contains(&s5), "replayed entry survives the next flush");
     }
 
     /// A bulk-loaded table (fresh segments) with clustered values:

@@ -1,0 +1,285 @@
+//! Group-commit write-ahead log: a sequenced per-table commit buffer
+//! with leader-elected flushes.
+//!
+//! Concurrent writers (each holding its own per-shard lane lock, see
+//! `crate::table`) append entries to one sequenced buffer; a flush
+//! request first checks whether its entries are already durable — a
+//! racing leader may have flushed the whole group — and otherwise
+//! elects itself leader by taking the flush lock and writing the entire
+//! buffered prefix in **one** fsync-equivalent (`std::fs::write` of the
+//! whole log). The leader can be told to dwell for a configurable
+//! group-commit window before snapshotting the buffer, so commits that
+//! arrive during the window ride along in the same write.
+//!
+//! Durability bookkeeping is a single watermark: `durable` counts the
+//! log prefix already on disk. Because writers append while holding
+//! their shard lock, each shard's entries appear in the log in its
+//! serial mutation order; cross-shard interleaving is arbitrary but
+//! harmless (ops on different shards touch disjoint rows and commute).
+//! Crash recovery therefore replays any *prefix* of the log to a
+//! consistent state — `NfTable::open` stops at the first torn entry,
+//! which is exactly the last durably committed prefix.
+
+use std::path::Path;
+
+use bytes::{BufMut, BytesMut};
+use parking_lot::Mutex;
+
+use nf2_core::tuple::FlatTuple;
+
+use crate::codec::{decode_flat_tuple, encode_flat_tuple};
+use crate::error::{Result, StorageError};
+
+/// A WAL entry: one flat-row mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum WalEntry {
+    Insert(FlatTuple),
+    Delete(FlatTuple),
+}
+
+impl WalEntry {
+    pub(crate) fn encode(&self, out: &mut BytesMut) {
+        let (tag, row) = match self {
+            WalEntry::Insert(r) => (1u8, r),
+            WalEntry::Delete(r) => (2u8, r),
+        };
+        out.put_u8(tag);
+        encode_flat_tuple(row, out);
+    }
+
+    pub(crate) fn decode(buf: &mut &[u8], arity: usize) -> Result<Self> {
+        if buf.is_empty() {
+            return Err(StorageError::Corrupt("wal entry truncated".into()));
+        }
+        let tag = buf[0];
+        *buf = &buf[1..];
+        let row = decode_flat_tuple(buf, arity)?;
+        match tag {
+            1 => Ok(WalEntry::Insert(row)),
+            2 => Ok(WalEntry::Delete(row)),
+            t => Err(StorageError::Corrupt(format!("unknown wal tag {t}"))),
+        }
+    }
+}
+
+/// The sequenced buffer plus its durability watermark. One mutex, held
+/// only for appends and snapshot/watermark reads — never across I/O.
+#[derive(Debug, Default)]
+struct LogBuffer {
+    entries: Vec<WalEntry>,
+    /// Entries `[..durable]` are on disk.
+    durable: usize,
+}
+
+/// A per-table group-commit log. See the module docs for the protocol.
+///
+/// Lock order within the log: `flush` before `buf` (appenders take only
+/// `buf`).
+#[derive(Debug, Default)]
+pub(crate) struct CommitLog {
+    buf: Mutex<LogBuffer>,
+    /// The leader's flush critical section: serializes the
+    /// fsync-equivalent so exactly one writer pays it per group.
+    flush: Mutex<()>,
+}
+
+impl CommitLog {
+    /// An empty log.
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// A log seeded with already-durable entries — what `open` builds
+    /// after replaying an on-disk WAL, so a later flush re-writes the
+    /// replayed entries instead of silently dropping them.
+    pub(crate) fn with_durable(entries: Vec<WalEntry>) -> Self {
+        let durable = entries.len();
+        Self {
+            buf: Mutex::new(LogBuffer { entries, durable }),
+            flush: Mutex::new(()),
+        }
+    }
+
+    /// Appends one entry to the sequenced buffer.
+    pub(crate) fn append(&self, entry: WalEntry) {
+        self.buf.lock().entries.push(entry);
+    }
+
+    /// Appends a batch of entries contiguously (one buffer lock).
+    pub(crate) fn extend(&self, entries: impl IntoIterator<Item = WalEntry>) {
+        self.buf.lock().entries.extend(entries);
+    }
+
+    /// Number of buffered entries (durable or not). Test/inspection
+    /// surface.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.buf.lock().entries.len()
+    }
+
+    /// Makes every buffered entry durable at `path`, group-committing
+    /// with concurrent flushers.
+    ///
+    /// Returns `Ok(None)` when the caller's group was already flushed
+    /// by a racing leader (no I/O performed — this is the
+    /// once-per-fsync-equivalent accounting contract: callers bump
+    /// their flush counters only on `Some`). Returns `Ok(Some(n))`
+    /// after actually writing, where `n` is the group size: the number
+    /// of entries this write newly made durable.
+    ///
+    /// A non-zero `window_us` makes the elected leader dwell that many
+    /// microseconds before snapshotting the buffer, letting concurrent
+    /// writers' appends join the group.
+    pub(crate) fn flush_to(&self, path: &Path, window_us: u64) -> Result<Option<u64>> {
+        {
+            let b = self.buf.lock();
+            if b.durable >= b.entries.len() {
+                return Ok(None);
+            }
+        }
+        let _leader = self.flush.lock();
+        if window_us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(window_us));
+        }
+        let (bytes, high, low) = {
+            let b = self.buf.lock();
+            if b.durable >= b.entries.len() {
+                // A leader that won the race flushed our group already.
+                return Ok(None);
+            }
+            let mut out = BytesMut::new();
+            for e in &b.entries {
+                e.encode(&mut out);
+            }
+            (out, b.entries.len(), b.durable)
+        };
+        // The whole sequenced log is rewritten in one write: a crash
+        // mid-write leaves a byte prefix, which decodes to an entry
+        // prefix — the recovery contract `open` relies on.
+        std::fs::write(path, &bytes)?;
+        let mut b = self.buf.lock();
+        if b.durable < high {
+            b.durable = high;
+        }
+        Ok(Some((high - low) as u64))
+    }
+
+    /// Truncates the log after a checkpoint: clears the buffer, resets
+    /// the watermark and writes an empty WAL file. Callers must have
+    /// quiesced writers (the table holds every lane lock across a
+    /// checkpoint).
+    pub(crate) fn truncate(&self, path: &Path) -> Result<()> {
+        let _leader = self.flush.lock();
+        let mut b = self.buf.lock();
+        b.entries.clear();
+        b.durable = 0;
+        std::fs::write(path, b"")?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nf2_core::value::Atom;
+    use std::path::PathBuf;
+
+    fn temp_wal(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nf2_commitlog_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir creatable");
+        dir.join("t.wal")
+    }
+
+    fn entry(v: u32) -> WalEntry {
+        WalEntry::Insert(vec![Atom(v), Atom(v + 1)])
+    }
+
+    fn decode_all(bytes: &[u8]) -> Vec<WalEntry> {
+        let mut slice = bytes;
+        let mut out = Vec::new();
+        while !slice.is_empty() {
+            out.push(WalEntry::decode(&mut slice, 2).expect("intact log decodes"));
+        }
+        out
+    }
+
+    #[test]
+    fn flush_writes_once_per_group_and_reports_size() {
+        let path = temp_wal("group");
+        let log = CommitLog::new();
+        log.append(entry(1));
+        log.append(entry(2));
+        assert_eq!(log.flush_to(&path, 0).unwrap(), Some(2), "two-entry group");
+        // Nothing new buffered: the next flush is a no-op, not a write.
+        assert_eq!(log.flush_to(&path, 0).unwrap(), None);
+        log.extend([entry(3)]);
+        assert_eq!(log.flush_to(&path, 0).unwrap(), Some(1));
+        let on_disk = decode_all(&std::fs::read(&path).unwrap());
+        assert_eq!(on_disk, vec![entry(1), entry(2), entry(3)]);
+    }
+
+    #[test]
+    fn truncate_resets_buffer_and_file() {
+        let path = temp_wal("trunc");
+        let log = CommitLog::new();
+        log.append(entry(9));
+        log.flush_to(&path, 0).unwrap();
+        log.truncate(&path).unwrap();
+        assert_eq!(log.len(), 0);
+        assert!(std::fs::read(&path).unwrap().is_empty());
+        assert_eq!(log.flush_to(&path, 0).unwrap(), None, "nothing to flush");
+    }
+
+    #[test]
+    fn seeded_log_keeps_replayed_entries_durable() {
+        let path = temp_wal("seed");
+        let log = CommitLog::with_durable(vec![entry(1), entry(2)]);
+        // Replayed entries are already on disk: no write needed.
+        assert_eq!(log.flush_to(&path, 0).unwrap(), None);
+        // A later append re-writes the *whole* sequenced log, keeping
+        // the replayed prefix.
+        log.append(entry(3));
+        assert_eq!(log.flush_to(&path, 0).unwrap(), Some(1));
+        let on_disk = decode_all(&std::fs::read(&path).unwrap());
+        assert_eq!(on_disk, vec![entry(1), entry(2), entry(3)]);
+    }
+
+    #[test]
+    fn concurrent_flushers_coalesce_into_few_writes() {
+        let path = temp_wal("storm");
+        let log = std::sync::Arc::new(CommitLog::new());
+        let writes = std::sync::atomic::AtomicU64::new(0);
+        let appended = 64u32;
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let log = std::sync::Arc::clone(&log);
+                let path = path.clone();
+                let writes = &writes;
+                s.spawn(move || {
+                    for i in 0..appended / 4 {
+                        log.append(entry(1000 * t + i));
+                        if log
+                            .flush_to(&path, 0)
+                            .expect("flush path writable")
+                            .is_some()
+                        {
+                            writes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let total_writes = writes.load(std::sync::atomic::Ordering::Relaxed);
+        assert!(total_writes >= 1, "someone flushed");
+        assert!(
+            total_writes <= u64::from(appended),
+            "never more writes than flush calls"
+        );
+        assert_eq!(
+            decode_all(&std::fs::read(&path).unwrap()).len(),
+            appended as usize,
+            "every appended entry became durable"
+        );
+    }
+}

@@ -16,9 +16,11 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
+use nf2::core::schema::NestOrder;
+use nf2::core::shard::ShardSpec;
 use nf2::core::tuple::NfTuple;
 use nf2::query::Engine;
-use nf2::storage::TableSnapshot;
+use nf2::storage::{NfTable, SharedDictionary, TableSnapshot};
 
 /// One random single-row mutation over a tiny value universe (small
 /// enough that duplicate inserts and missing deletes — the no-op paths
@@ -167,5 +169,201 @@ proptest! {
             shard_tuples(&t.snapshot()),
             states.last().unwrap().clone()
         );
+    }
+
+    /// The routed write pipeline: N writers storm N *distinct* shards
+    /// concurrently. Ops on different shards commute, so every shard
+    /// must march through exactly its own serial state sequence — any
+    /// pinned snapshot is, shard for shard, a state from that shard's
+    /// serial history, and the drained table is every shard's serial
+    /// final state. Concurrent commits may coalesce into one epoch
+    /// bump, so the live epoch is bounded by (not equal to) the number
+    /// of effective state transitions.
+    #[test]
+    fn distinct_shard_writers_match_per_shard_serial_oracles(
+        ops in proptest::collection::vec(arb_op(), 4..60),
+    ) {
+        let engine = Arc::new(fresh_engine());
+        let shard_count = {
+            let snap = engine.table("t").unwrap().snapshot();
+            snap.shard_count()
+        };
+
+        // Partition the stream by routed shard: each writer thread owns
+        // one shard's ops, so no two writers ever contend on a lane.
+        let route = |a: u8, b: u8| -> usize {
+            let row = vec![
+                engine.dict().lookup(&format!("a{a}")).unwrap(),
+                engine.dict().lookup(&format!("b{b}")).unwrap(),
+            ];
+            engine.table("t").unwrap().routing().route_row(&row)
+        };
+        let mut per_shard: Vec<Vec<Op>> = vec![Vec::new(); shard_count];
+        for op in &ops {
+            let (Op::Insert(a, b) | Op::Delete(a, b)) = *op;
+            per_shard[route(a, b)].push(op.clone());
+        }
+
+        // Serial oracle per shard: replay that shard's ops alone and
+        // record every state the shard passes through (consecutive
+        // duplicates — the no-op paths — collapse, so transitions count
+        // exactly the state-changing ops).
+        let mut serial_states: Vec<Vec<Vec<NfTuple>>> = Vec::new();
+        for (s, shard_ops) in per_shard.iter().enumerate() {
+            let oracle = fresh_engine();
+            let mut session = oracle.session();
+            let shard_of = |e: &Engine| {
+                e.table("t").unwrap().snapshot().version().shard(s).tuples().to_vec()
+            };
+            let mut states = vec![shard_of(&oracle)];
+            for op in shard_ops {
+                session.run(&stmt_of(op)).unwrap();
+                let st = shard_of(&oracle);
+                if Some(&st) != states.last() {
+                    states.push(st);
+                }
+            }
+            serial_states.push(states);
+        }
+        let serial_states = Arc::new(serial_states);
+
+        // Storm: one writer per non-empty shard, readers pinning
+        // snapshots throughout and holding every shard to its own
+        // serial history — no torn states, no lost updates.
+        let done = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            let mut readers = Vec::new();
+            for _ in 0..2 {
+                let engine = Arc::clone(&engine);
+                let done = Arc::clone(&done);
+                let serial_states = Arc::clone(&serial_states);
+                readers.push(scope.spawn(move || {
+                    let mut last = 0u64;
+                    while !done.load(Ordering::Relaxed) {
+                        let snap = engine.table("t").unwrap().snapshot();
+                        let epoch = snap.epoch();
+                        assert!(epoch >= last, "epochs are monotone per reader");
+                        last = epoch;
+                        for (s, states) in serial_states.iter().enumerate() {
+                            let tuples = snap.version().shard(s).tuples().to_vec();
+                            assert!(
+                                states.contains(&tuples),
+                                "shard {s} pinned at epoch {epoch} is not a serial state"
+                            );
+                        }
+                    }
+                }));
+            }
+            let mut writers = Vec::new();
+            for shard_ops in per_shard.iter().filter(|v| !v.is_empty()) {
+                let engine = Arc::clone(&engine);
+                let shard_ops = shard_ops.clone();
+                writers.push(scope.spawn(move || {
+                    let mut session = engine.session();
+                    for op in &shard_ops {
+                        session.run(&stmt_of(op)).unwrap();
+                    }
+                }));
+            }
+            for w in writers {
+                w.join().unwrap();
+            }
+            done.store(true, Ordering::Relaxed);
+            for r in readers {
+                r.join().unwrap();
+            }
+        });
+
+        // Drained: every shard sits at its serial final state, and the
+        // epoch respects the coalescing bound (at least one bump when
+        // anything changed, never more than the effective transitions).
+        let t = engine.table("t").unwrap();
+        let snap = t.snapshot();
+        for (s, states) in serial_states.iter().enumerate() {
+            prop_assert_eq!(
+                snap.version().shard(s).tuples().to_vec(),
+                states.last().unwrap().clone(),
+                "shard {} did not drain to its serial final state", s
+            );
+        }
+        let effective: usize = serial_states.iter().map(|s| s.len() - 1).sum();
+        let epoch = t.epoch() as usize;
+        prop_assert!(epoch <= effective, "epoch {} > {} transitions", epoch, effective);
+        prop_assert!(effective == 0 || epoch >= 1, "changes happened but no bump");
+    }
+}
+
+proptest! {
+    // Crash recovery touches the filesystem on every op: keep the case
+    // count low (CI reduces it further via PROPTEST_CASES).
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Group-commit durability: flush after every op, cut the WAL at an
+    /// arbitrary byte, and replay. Recovery must land on **exactly** the
+    /// state of the largest durable boundary at or below the cut — the
+    /// last durably committed prefix — never a torn suffix, never a lost
+    /// durable op.
+    #[test]
+    fn truncated_wal_replays_the_last_durable_prefix(
+        ops in proptest::collection::vec(arb_op(), 1..24),
+        cut_seed in any::<u64>(),
+    ) {
+        let dir = std::env::temp_dir().join("nf2_proptest_wal_crash");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Pre-intern the whole value universe so the checkpointed meta
+        // carries every atom the WAL rows will reference on replay.
+        let dict = SharedDictionary::new();
+        for a in 0..4 {
+            dict.intern(&format!("a{a}"));
+        }
+        for b in 0..6 {
+            dict.intern(&format!("b{b}"));
+        }
+        let t = NfTable::create_sharded(
+            "t",
+            &["A", "B"],
+            NestOrder::identity(2),
+            ShardSpec::hash(4).unwrap(),
+            dict,
+        )
+        .unwrap();
+        t.insert_row(&["a0", "b0"]).unwrap();
+        t.checkpoint(&dir).unwrap();
+
+        // Apply the stream, flushing after every op and recording each
+        // durable boundary: (WAL byte size, the state it pins).
+        let wal = dir.join("t.wal");
+        let mut boundaries = vec![(0u64, t.relation())];
+        for op in &ops {
+            match op {
+                Op::Insert(a, b) => {
+                    t.insert_row(&[&format!("a{a}"), &format!("b{b}")]).unwrap();
+                }
+                Op::Delete(a, b) => {
+                    t.delete_row(&[&format!("a{a}"), &format!("b{b}")]).unwrap();
+                }
+            }
+            t.flush_wal(&dir).unwrap();
+            let size = std::fs::metadata(&wal).unwrap().len();
+            boundaries.push((size, t.relation()));
+        }
+        drop(t); // crash
+
+        // Cut the log at an arbitrary byte: everything past the cut —
+        // including a torn entry straddling it — must vanish on replay.
+        let bytes = std::fs::read(&wal).unwrap();
+        let cut = (cut_seed % (bytes.len() as u64 + 1)) as usize;
+        std::fs::write(&wal, &bytes[..cut]).unwrap();
+
+        let expected = boundaries
+            .iter()
+            .rev()
+            .find(|(size, _)| *size <= cut as u64)
+            .map(|(_, state)| Arc::clone(state))
+            .unwrap();
+        let reopened = NfTable::open(&dir, "t", SharedDictionary::new()).unwrap();
+        prop_assert_eq!(reopened.relation(), expected);
     }
 }

@@ -34,6 +34,15 @@ impl<T: ?Sized> Mutex<T> {
         self.inner.lock().unwrap_or_else(|p| p.into_inner())
     }
 
+    /// Attempts to acquire the lock without blocking; `None` if held.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
         self.inner.get_mut().unwrap_or_else(|p| p.into_inner())
@@ -99,6 +108,16 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 400);
+    }
+
+    #[test]
+    fn try_lock_fails_only_while_held() {
+        let m = Mutex::new(1u32);
+        {
+            let _g = m.lock();
+            assert!(m.try_lock().is_none());
+        }
+        assert_eq!(*m.try_lock().expect("mutex currently free"), 1);
     }
 
     #[test]

@@ -33,6 +33,13 @@
 //!    the metrics kill switch pattern) and the bench/measurement crate.
 //!    Everywhere else, raw clock reads bypass the observability layer
 //!    and its disabled-path guarantees — time through `nf2-obs`.
+//! 9. **Lane-lock containment** — the per-shard writer lanes and their
+//!    deadlock-freedom discipline (ascending shard order, ≤ 1 lane per
+//!    point op) live entirely in `nf2-storage`'s table module. Any
+//!    `lock_lane`/`lock_lanes`/`lock_all_lanes` call outside
+//!    `crates/storage/src/table.rs` spreads lock-ordering obligations
+//!    the checker cannot see — route writes through `NfTable`'s public
+//!    methods instead.
 //!
 //! The checks are purely lexical (comments, string literals, and
 //! `#[cfg(test)]` items are blanked before matching) so the tool runs
@@ -60,6 +67,10 @@ const LEGACY_ALLOWED: &[&str] = &["crates/core/src/nest.rs", "crates/core/src/li
 /// (`std::cmp::Ordering` has no variants by these names, so matching
 /// the bare tokens is safe).
 const NON_RELAXED_ORDERINGS: &[&str] = &["SeqCst", "AcqRel", "Acquire", "Release"];
+
+/// Per-shard writer-lane lock tokens confined to the storage write
+/// module (`lock_lane` also matches `lock_lanes` as a substring).
+const LANE_LOCK_TOKENS: &[&str] = &["lock_lane", "lock_all_lanes"];
 
 #[derive(Debug)]
 struct Finding {
@@ -293,6 +304,27 @@ fn check_file(rel: &str, path: &Path, raw: &str, code: &str, findings: &mut Vec<
                  bypass the observability layer — use nf2_obs::Stopwatch"
                     .into(),
             );
+        }
+
+        // Rule 9: the per-shard lane locks (and their ordering
+        // discipline) are private to the storage write module. The
+        // token match catches definitions and calls alike — table.rs
+        // is the one file allowed to contain either.
+        if rel != "crates/storage/src/table.rs" {
+            for token in LANE_LOCK_TOKENS {
+                if line.contains(token) {
+                    push(
+                        findings,
+                        lineno,
+                        "lane-lock-containment",
+                        format!(
+                            "{token} outside crates/storage/src/table.rs: per-shard \
+                             lane locking (ascending-order discipline) is confined \
+                             to the storage write module"
+                        ),
+                    );
+                }
+            }
         }
 
         // Rule 7: non-Relaxed orderings live in nf2-core::mvcc only
@@ -578,6 +610,37 @@ mod tests {
         assert_eq!(
             rules,
             vec![("clock-containment", 1), ("clock-containment", 3)]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lint_confines_lane_locks_to_the_storage_write_module() {
+        let dir = std::env::temp_dir().join(format!("xtask-lint-lanes-{}", std::process::id()));
+        // Planted violation: the query layer grabbing writer lanes
+        // directly, sidestepping the ascending-order discipline.
+        let query_dir = dir.join("crates/query/src");
+        std::fs::create_dir_all(&query_dir).unwrap();
+        std::fs::write(
+            query_dir.join("bad.rs"),
+            "fn f(t: &Table) { let _g = t.lock_lane(0); }\n\
+             // lock_lanes in a comment is fine\n\
+             fn g(t: &Table) { let _g = t.lock_all_lanes(); }\n",
+        )
+        .unwrap();
+        // The same tokens in the sanctioned home are clean.
+        let storage_dir = dir.join("crates/storage/src");
+        std::fs::create_dir_all(&storage_dir).unwrap();
+        std::fs::write(
+            storage_dir.join("table.rs"),
+            "fn lock_lane(shard: usize) {}\nfn lock_all_lanes() {}\n",
+        )
+        .unwrap();
+        let findings = lint(&dir);
+        let rules: Vec<(&str, usize)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+        assert_eq!(
+            rules,
+            vec![("lane-lock-containment", 1), ("lane-lock-containment", 3)]
         );
         std::fs::remove_dir_all(&dir).unwrap();
     }
